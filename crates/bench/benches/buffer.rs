@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the buffer layer: raw LRU operations and the
+//! local/global managers under a zipfian page-access pattern.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use psj_buffer::{GlobalAccess, GlobalBuffer, LocalBuffers, Lru};
+use psj_store::PageId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+/// A skewed page-access trace: hot pages dominate, as in a join with
+/// spatial locality.
+fn trace(len: usize, universe: u32, seed: u64) -> Vec<PageId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let r: f64 = rng.random();
+            PageId(((r * r) * universe as f64) as u32)
+        })
+        .collect()
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let accesses = trace(100_000, 4_000, 1);
+    let mut g = c.benchmark_group("lru");
+    g.throughput(Throughput::Elements(accesses.len() as u64));
+    g.bench_function("touch_insert_100k", |b| {
+        b.iter(|| {
+            let mut lru = Lru::new(800);
+            let mut hits = 0u64;
+            for &p in &accesses {
+                if lru.touch(p) {
+                    hits += 1;
+                } else {
+                    lru.insert(p);
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_managers(c: &mut Criterion) {
+    let accesses = trace(100_000, 4_000, 2);
+    let mut g = c.benchmark_group("buffer_managers");
+    g.throughput(Throughput::Elements(accesses.len() as u64));
+    g.bench_function("local_8x100", |b| {
+        b.iter(|| {
+            let mut lb = LocalBuffers::new(8, 100);
+            for (i, &p) in accesses.iter().enumerate() {
+                let proc = i % 8;
+                if !lb.access(proc, p) {
+                    lb.load(proc, p);
+                }
+            }
+            black_box(lb.total_stats().misses)
+        })
+    });
+    g.bench_function("global_800", |b| {
+        b.iter(|| {
+            let mut gb = GlobalBuffer::new(8, 800);
+            for (i, &p) in accesses.iter().enumerate() {
+                let proc = i % 8;
+                if let GlobalAccess::Miss = gb.access(proc, p) {
+                    gb.complete_read(proc, p);
+                }
+            }
+            black_box(gb.total_stats().misses)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lru, bench_managers);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion benchmarks for the spatial join itself: the sequential filter
+//! step, the native multithreaded executor at different thread counts, and
+//! one simulated run (measuring simulator overhead, not virtual time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psj_core::{
+    join_candidates, run_native_join, run_sim_join, Assignment, NativeConfig, SimConfig,
+};
+use psj_datagen::Scenario;
+use psj_rtree::{PagedTree, RTree};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn workload(scale: f64) -> (PagedTree, PagedTree) {
+    let (m1, m2) = Scenario::scaled(1996, scale).generate();
+    let build = |objs: &[psj_datagen::MapObject]| {
+        let mut t = RTree::new();
+        for o in objs {
+            t.insert(o.mbr(), o.oid);
+        }
+        let geoms: HashMap<u64, psj_geom::Polyline> =
+            objs.iter().map(|o| (o.oid, o.geom.clone())).collect();
+        PagedTree::freeze(&t, |oid| geoms.get(&oid).cloned())
+    };
+    (build(&m1), build(&m2))
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let (a, b) = workload(0.05);
+    let mut g = c.benchmark_group("join_sequential");
+    g.sample_size(20);
+    g.bench_function("filter_step_5pct", |bch| {
+        bch.iter(|| black_box(join_candidates(&a, &b).candidates.len()))
+    });
+    g.finish();
+}
+
+fn bench_native_threads(c: &mut Criterion) {
+    let (a, b) = workload(0.05);
+    let mut g = c.benchmark_group("join_native");
+    g.sample_size(20);
+    for threads in [1usize, 2, 4, 8] {
+        let mut cfg = NativeConfig::new(threads);
+        cfg.refine = true;
+        g.bench_function(format!("refined_{threads}threads"), |bch| {
+            bch.iter(|| black_box(run_native_join(&a, &b, &cfg).pairs.len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_native_assignments(c: &mut Criterion) {
+    let (a, b) = workload(0.05);
+    let mut g = c.benchmark_group("join_native_assignment");
+    g.sample_size(20);
+    for assignment in
+        [Assignment::Dynamic, Assignment::StaticRange, Assignment::StaticRoundRobin]
+    {
+        let cfg = NativeConfig {
+            num_threads: 4,
+            assignment,
+            work_stealing: true,
+            min_tasks_factor: 8,
+            refine: false,
+        };
+        g.bench_function(format!("{:?}_4threads", assignment), |bch| {
+            bch.iter(|| black_box(run_native_join(&a, &b, &cfg).pairs.len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulator_overhead(c: &mut Criterion) {
+    let (a, b) = workload(0.05);
+    let mut g = c.benchmark_group("simulator_real_time");
+    g.sample_size(20);
+    g.bench_function("best_8x8", |bch| {
+        let cfg = SimConfig::best(8, 8, 128);
+        bch.iter(|| black_box(run_sim_join(&a, &b, &cfg).metrics.disk_accesses))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential,
+    bench_native_threads,
+    bench_native_assignments,
+    bench_simulator_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks for the R*-tree: dynamic insertion, STR bulk
+//! loading, freezing, and window queries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use psj_datagen::Scenario;
+use psj_geom::Rect;
+use psj_rtree::{bulk::bulk_load_str, PagedTree, RTree};
+use std::hint::black_box;
+
+fn items(n: usize) -> Vec<(Rect, u64)> {
+    let s = Scenario::scaled(7, (n as f64 / 131_443.0).clamp(0.001, 1.0));
+    let (m1, _) = s.generate();
+    m1.iter().take(n).map(|o| (o.mbr(), o.oid)).collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let data = items(10_000);
+    let mut g = c.benchmark_group("rtree_insert");
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.sample_size(10);
+    g.bench_function("dynamic_10k", |b| {
+        b.iter(|| {
+            let mut t = RTree::new();
+            for &(r, oid) in &data {
+                t.insert(r, oid);
+            }
+            black_box(t.len())
+        })
+    });
+    g.bench_function("str_bulk_10k", |b| b.iter(|| black_box(bulk_load_str(&data).len())));
+    g.finish();
+}
+
+fn bench_freeze(c: &mut Criterion) {
+    let data = items(10_000);
+    let mut tree = RTree::new();
+    for &(r, oid) in &data {
+        tree.insert(r, oid);
+    }
+    c.bench_function("rtree_freeze_10k", |b| {
+        b.iter_batched(
+            || tree.clone(),
+            |t| black_box(PagedTree::freeze(&t, |_| None).num_pages()),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_query(c: &mut Criterion) {
+    let data = items(50_000);
+    let mut tree = RTree::new();
+    for &(r, oid) in &data {
+        tree.insert(r, oid);
+    }
+    let paged = PagedTree::freeze(&tree, |_| None);
+    let world = paged.mbr();
+    let mut g = c.benchmark_group("rtree_window_query");
+    for frac in [0.01f64, 0.1, 0.5] {
+        let w = Rect::new(
+            world.xl,
+            world.yl,
+            world.xl + world.width() * frac,
+            world.yl + world.height() * frac,
+        );
+        g.bench_function(format!("extent_{frac}"), |b| {
+            b.iter(|| black_box(paged.window_query(&w).len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_freeze, bench_query);
+criterion_main!(benches);

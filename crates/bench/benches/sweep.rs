@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the plane-sweep pair computation against the
+//! nested-loop baseline — the paper's §2.2 CPU tuning technique.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use psj_geom::sweep::{nested_loop_pairs, sort_by_xl, sweep_pairs, sweep_pairs_restricted};
+use psj_geom::Rect;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn random_rects(n: usize, extent: f64, seed: u64) -> Vec<Rect> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<Rect> = (0..n)
+        .map(|_| {
+            let x = rng.random_range(0.0..100.0);
+            let y = rng.random_range(0.0..100.0);
+            let w = rng.random_range(0.0..extent);
+            let h = rng.random_range(0.0..extent);
+            Rect::new(x, y, x + w, y + h)
+        })
+        .collect();
+    sort_by_xl(&mut v);
+    v
+}
+
+/// Node-sized inputs: a data node holds 26 entries, a directory node 102.
+fn bench_node_sized(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_node_sized");
+    for (n, label) in [(26usize, "data_26"), (102, "dir_102")] {
+        let r = random_rects(n, 3.0, 1);
+        let s = random_rects(n, 3.0, 2);
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_function(format!("sweep_{label}"), |b| {
+            b.iter(|| black_box(sweep_pairs(&r, &s).len()))
+        });
+        g.bench_function(format!("nested_loop_{label}"), |b| {
+            b.iter(|| black_box(nested_loop_pairs(&r, &s).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_large(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_large");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let r = random_rects(n, 1.0, 3);
+        let s = random_rects(n, 1.0, 4);
+        g.bench_function(format!("sweep_{n}"), |b| {
+            b.iter(|| black_box(sweep_pairs(&r, &s).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_restricted(c: &mut Criterion) {
+    let r = random_rects(102, 3.0, 5);
+    let s = random_rects(102, 3.0, 6);
+    let window = Rect::new(20.0, 20.0, 40.0, 40.0);
+    let (mut fa, mut fb, mut out) = (Vec::new(), Vec::new(), Vec::new());
+    c.bench_function("sweep_restricted_dir_102", |b| {
+        b.iter(|| {
+            out.clear();
+            sweep_pairs_restricted(&r, &s, &window, &mut fa, &mut fb, &mut out);
+            black_box(out.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_node_sized, bench_large, bench_restricted);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Ablation study (beyond the paper's figures): quantifies the design
+//! choices DESIGN.md calls out, on the best variant (gd + all-level
+//! reassignment, n = d = 8, total buffer 800 pages).
+//!
+//! 1. **Path buffer** on/off — §2.2 claims the path buffer absorbs repeat
+//!    accesses along the current path and reduces global-buffer traffic.
+//! 2. **Search-space restriction** on/off — the [BKS 93] CPU tuning.
+//! 3. **Buffer replacement policy** LRU vs CLOCK vs FIFO — the paper uses
+//!    LRU ([GR 93]); how much does the join's spatial locality depend on it?
+//! 4. **Tree construction** dynamic R\*-tree insertion vs STR bulk loading —
+//!    fuller pages mean fewer tasks and fewer, larger I/Os.
+
+use psj_bench::{build_workload, build_workload_hilbert, build_workload_str, ExpArgs};
+use psj_buffer::Policy;
+use psj_core::{run_sim_join, SimConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let w = build_workload(&args);
+    let n = 8usize;
+    let pages = ((800.0 * args.scale).ceil() as usize).max(2 * n);
+    let base = SimConfig::best(n, n, pages);
+
+    println!("Ablation study (best variant, {n} procs, {n} disks, buffer {pages} pages)");
+    println!();
+    println!(
+        "{:<34} {:>9} {:>12} {:>12} {:>12}",
+        "configuration", "resp[s]", "disk reads", "buf hits", "path hits"
+    );
+
+    let row = |label: &str, cfg: &SimConfig| {
+        let m = run_sim_join(&w.tree1, &w.tree2, cfg).metrics;
+        println!(
+            "{:<34} {:>9.1} {:>12} {:>12} {:>12}",
+            label,
+            m.response_secs(),
+            m.disk_accesses,
+            m.buffer.hits_local + m.buffer.hits_remote + m.buffer.hits_in_flight,
+            m.buffer.hits_path
+        );
+    };
+
+    row("baseline (paper)", &base);
+
+    let mut no_path = base.clone();
+    no_path.use_path_buffer = false;
+    row("- path buffer", &no_path);
+
+    let mut no_restrict = base.clone();
+    no_restrict.use_restriction = false;
+    row("- search-space restriction", &no_restrict);
+
+    let mut clock = base.clone();
+    clock.policy = Policy::Clock;
+    row("replacement: CLOCK", &clock);
+
+    let mut fifo = base.clone();
+    fifo.policy = Policy::Fifo;
+    row("replacement: FIFO", &fifo);
+
+    println!();
+
+    // Tree-construction ablation: STR bulk loading.
+    let ws = build_workload_str(&args);
+    let m_dyn = run_sim_join(&w.tree1, &w.tree2, &base).metrics;
+    let m_str = run_sim_join(&ws.tree1, &ws.tree2, &base).metrics;
+    println!("tree construction (same cost model):");
+    println!(
+        "{:<34} {:>9} {:>12} {:>8} {:>12}",
+        "", "resp[s]", "disk reads", "tasks", "candidates"
+    );
+    println!(
+        "{:<34} {:>9.1} {:>12} {:>8} {:>12}",
+        "dynamic R*-tree insertion",
+        m_dyn.response_secs(),
+        m_dyn.disk_accesses,
+        m_dyn.tasks,
+        m_dyn.candidates
+    );
+    println!(
+        "{:<34} {:>9.1} {:>12} {:>8} {:>12}",
+        "STR bulk loading",
+        m_str.response_secs(),
+        m_str.disk_accesses,
+        m_str.tasks,
+        m_str.candidates
+    );
+    let wh = build_workload_hilbert(&args);
+    let m_hil = run_sim_join(&wh.tree1, &wh.tree2, &base).metrics;
+    println!(
+        "{:<34} {:>9.1} {:>12} {:>8} {:>12}",
+        "Hilbert packing",
+        m_hil.response_secs(),
+        m_hil.disk_accesses,
+        m_hil.tasks,
+        m_hil.candidates
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 10 — speed-up and disk accesses as a function of the number of
+//! processors.
+//!
+//! Same runs as Figure 9; the speed-up is `t(1) / t(n)` per disk series.
+//! Additionally prints the total run time of all tasks, which the paper
+//! reports as ~7 % above t(1) at 4 processors and falling for more
+//! processors (§4.5).
+//!
+//! Expected shape (paper): speed-up saturates quickly for d = 1, bends
+//! beyond ~10 processors for d = 8, and is near-linear for d = n (22.6 at
+//! 24 processors); the number of disk accesses *falls* with n for d = n
+//! because the global buffer grows with the processor count.
+
+use psj_bench::{build_workload, speedup_series, DiskSeries, ExpArgs, FIG9_PROCS};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let w = build_workload(&args);
+
+    let d1 = speedup_series(&w, &FIG9_PROCS, DiskSeries::Fixed(1), args.scale);
+    let d8 = speedup_series(&w, &FIG9_PROCS, DiskSeries::Fixed(8), args.scale);
+    let dn = speedup_series(&w, &FIG9_PROCS, DiskSeries::EqualToProcs, args.scale);
+
+    println!("Figure 10: speed up t(1)/t(n) and disk accesses vs number of processors");
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>13} {:>13}",
+        "n", "d=1", "d=8", "d=n", "reads(d=n)", "busy[s](d=n)"
+    );
+    for i in 0..FIG9_PROCS.len() {
+        println!(
+            "{:>6} {:>9.1} {:>9.1} {:>9.1} {:>13} {:>13.1}",
+            FIG9_PROCS[i],
+            d1[0].response_secs / d1[i].response_secs,
+            d8[0].response_secs / d8[i].response_secs,
+            dn[0].response_secs / dn[i].response_secs,
+            dn[i].disk_accesses,
+            dn[i].total_busy_secs,
+        );
+    }
+    println!();
+    println!("(paper: speed up 22.6 at n = d = 24; disk accesses fall with the growing");
+    println!(" global buffer; total run time of all tasks only slightly above t(1))");
+}

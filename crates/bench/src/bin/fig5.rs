@@ -1,0 +1,37 @@
+//! Figure 5 — total disk accesses as a function of the LRU buffer size.
+//!
+//! Variants: `lsr` (local buffers, static range), `gsrr` (global buffer,
+//! static round-robin), `gd` (global buffer, dynamic assignment); task
+//! reassignment on the root level; n = d ∈ {8, 24}; total buffer size 200 …
+//! 3200 pages.
+//!
+//! Expected shape (paper): lsr ≈ gsrr, gd lowest; the global buffer profits
+//! more from larger buffers; 24 processors read more than 8 (per-processor
+//! buffer share shrinks).
+
+use psj_bench::{build_workload, ExpArgs};
+use psj_core::{run_sim_join, SimConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let w = build_workload(&args);
+    let buffer_sizes = [200usize, 400, 800, 1600, 3200];
+
+    for n in [8usize, 24] {
+        println!("Figure 5: disk accesses, {n} processors / {n} disks");
+        println!("{:>8} {:>10} {:>10} {:>10}", "buffer", "lsr", "gsrr", "gd");
+        for &pages in &buffer_sizes {
+            let pages = ((pages as f64 * args.scale).ceil() as usize).max(2 * n);
+            let lsr = run_sim_join(&w.tree1, &w.tree2, &SimConfig::lsr(n, n, pages)).metrics;
+            let gsrr = run_sim_join(&w.tree1, &w.tree2, &SimConfig::gsrr(n, n, pages)).metrics;
+            let gd = run_sim_join(&w.tree1, &w.tree2, &SimConfig::gd(n, n, pages)).metrics;
+            println!(
+                "{:>8} {:>10} {:>10} {:>10}",
+                pages, lsr.disk_accesses, gsrr.disk_accesses, gd.disk_accesses
+            );
+        }
+        println!();
+    }
+    println!("(paper: lsr and gsrr close together, gd lowest; global buffer");
+    println!(" profits more from larger buffers; more processors => more reads)");
+}

@@ -1,0 +1,52 @@
+//! Figure 8 — choosing the processor to be helped.
+//!
+//! Test series (a): the idle processor helps the processor with the most
+//! extensive work load (highest reported `(hl, ns)`). Test series (b): an
+//! arbitrary processor is chosen ([SN 93]). Compared for a local-buffer
+//! variant (lsr) and a global-buffer variant (gd), reassignment on all
+//! levels, n = d = 8.
+//!
+//! Expected shape (paper): with local buffers, arbitrary selection causes a
+//! small increase in disk accesses (more reassignments whose helper lacks
+//! the pages); with a global buffer there is no difference. The overhead of
+//! determining the most loaded processor is negligible either way.
+
+use psj_bench::{build_workload, ExpArgs};
+use psj_core::{run_sim_join, Reassignment, SimConfig, VictimSelection};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let w = build_workload(&args);
+    let n = 8usize;
+    let pages = ((800.0 * args.scale).ceil() as usize).max(2 * n);
+
+    println!("Figure 8: victim selection for the task reassignment");
+    println!("({n} processors, {n} disks, total buffer {pages} pages, reassignment on all levels)");
+    println!();
+    println!(
+        "{:<8} {:<14} {:>12} {:>9} {:>8} {:>10}",
+        "variant", "selection", "disk reads", "resp[s]", "steals", "reassign"
+    );
+    for (vname, make) in
+        [("lsr", SimConfig::lsr as fn(usize, usize, usize) -> SimConfig), ("gd", SimConfig::gd)]
+    {
+        for (sname, sel) in
+            [("a most-loaded", VictimSelection::MostLoaded), ("b arbitrary", VictimSelection::Arbitrary)]
+        {
+            let mut cfg = make(n, n, pages);
+            cfg.reassignment = Reassignment::AllLevels;
+            cfg.victim = sel;
+            cfg.seed = args.seed;
+            let m = run_sim_join(&w.tree1, &w.tree2, &cfg).metrics;
+            println!(
+                "{:<8} {:<14} {:>12} {:>9.1} {:>8} {:>10}",
+                vname,
+                sname,
+                m.disk_accesses,
+                m.response_secs(),
+                m.reassignments,
+                m.steals_failed
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 9 — response time as a function of the number of processors.
+//!
+//! Best variant (global buffer, dynamic task assignment, reassignment on
+//! all levels); total buffer = 100 pages per processor; disk series d = 1,
+//! d = 8 and d = n.
+//!
+//! Expected shape (paper): with one disk the response time bottoms out at
+//! ~550 s for ≥ 4 processors; with 8 disks it keeps falling but flattens
+//! beyond ~10 processors; with d = n it falls near-linearly to ~63 s at 24
+//! processors.
+
+use psj_bench::{build_workload, speedup_series, DiskSeries, ExpArgs, FIG9_PROCS};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let w = build_workload(&args);
+
+    let d1 = speedup_series(&w, &FIG9_PROCS, DiskSeries::Fixed(1), args.scale);
+    let d8 = speedup_series(&w, &FIG9_PROCS, DiskSeries::Fixed(8), args.scale);
+    let dn = speedup_series(&w, &FIG9_PROCS, DiskSeries::EqualToProcs, args.scale);
+
+    println!("Figure 9: response time [s] vs number of processors");
+    println!("{:>6} {:>12} {:>12} {:>12}", "n", "d=1", "d=8", "d=n");
+    for i in 0..FIG9_PROCS.len() {
+        println!(
+            "{:>6} {:>12.1} {:>12.1} {:>12.1}",
+            FIG9_PROCS[i], d1[i].response_secs, d8[i].response_secs, dn[i].response_secs
+        );
+    }
+    println!();
+    println!("(paper: d=1 saturates ≈550 s beyond 4 processors; d=n reaches 62.8 s at n=24)");
+}

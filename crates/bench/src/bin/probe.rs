@@ -1,0 +1,41 @@
+//! Calibration probe (not a paper figure): reports workload statistics and
+//! a couple of simulated runs so the cost-model calibration can be checked
+//! quickly. See EXPERIMENTS.md.
+
+use psj_bench::{build_workload, ExpArgs};
+use psj_core::{join_candidates, run_sim_join, SimConfig};
+use std::time::Instant;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let w = build_workload(&args);
+
+    let t0 = Instant::now();
+    let seq = join_candidates(&w.tree1, &w.tree2);
+    println!(
+        "sequential filter step: {} candidates, {} node pairs ({:.1?} real)",
+        seq.candidates.len(),
+        seq.node_pairs,
+        t0.elapsed()
+    );
+    println!(
+        "clusters: avg {} KB / {} KB",
+        w.tree1.stats().avg_cluster_bytes / 1024,
+        w.tree2.stats().avg_cluster_bytes / 1024
+    );
+
+    for (n, d) in [(1usize, 1usize), (8, 8), (24, 24)] {
+        let cfg = SimConfig::best(n, d, 100 * n);
+        let t0 = Instant::now();
+        let m = run_sim_join(&w.tree1, &w.tree2, &cfg).metrics;
+        println!(
+            "best variant n={n:>2} d={d:>2}: response {:>8.1} s, disk accesses {:>7}, tasks {}, candidates {}, reassigns {} ({:.1?} real)",
+            m.response_secs(),
+            m.disk_accesses,
+            m.tasks,
+            m.candidates,
+            m.reassignments,
+            t0.elapsed()
+        );
+    }
+}

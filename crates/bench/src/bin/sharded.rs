@@ -1,0 +1,45 @@
+//! Shared-nothing extension experiment (paper §5 future work): response
+//! time and network traffic of the distributed join as a function of the
+//! number of sites, for both page placements and two interconnects.
+//!
+//! Expected shape: with the mid-90s ATM interconnect, remote page service
+//! costs approach a disk read, so placement matters and scaling bends much
+//! earlier than on the SVM platform; with a fast modern network the curve
+//! approaches the Figure 9 d = n behaviour — supporting the paper's closing
+//! conjecture that "shared-nothing architectures available soon will be
+//! comparable to a state-of-the-art SVM-architecture".
+
+use psj_bench::{build_workload, ExpArgs};
+use psj_core::{run_sharded_join, Network, Placement, ShardedConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let w = build_workload(&args);
+    let sites = [1usize, 2, 4, 8, 16, 24];
+
+    for (net_name, net) in [("ATM (250us, 12MB/s)", Network::atm()), ("fast (10us, 1GB/s)", Network::fast())] {
+        println!("Shared-nothing join, {net_name} interconnect");
+        println!(
+            "{:>6} {:>14} {:>14} {:>12} {:>12}",
+            "sites", "rr resp[s]", "contig resp[s]", "rr net[MB]", "contig [MB]"
+        );
+        for &n in &sites {
+            let pages = (((100 * n) as f64 * args.scale).ceil() as usize / n).max(2);
+            let mut row = Vec::new();
+            for placement in [Placement::RoundRobin, Placement::Contiguous] {
+                let cfg = ShardedConfig {
+                    placement,
+                    network: net,
+                    ..ShardedConfig::new(n, pages)
+                };
+                let m = run_sharded_join(&w.tree1, &w.tree2, &cfg).metrics;
+                row.push((m.join.response_secs(), m.network_bytes as f64 / (1024.0 * 1024.0)));
+            }
+            println!(
+                "{:>6} {:>14.1} {:>14.1} {:>12.1} {:>12.1}",
+                n, row[0].0, row[1].0, row[0].1, row[1].1
+            );
+        }
+        println!();
+    }
+}

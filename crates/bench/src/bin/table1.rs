@@ -1,0 +1,49 @@
+//! Table 1 — parameters of the R\*-trees.
+//!
+//! Regenerates the paper's Table 1 for the synthetic workload: tree height,
+//! number of data entries / data pages / directory pages, and `m`, the
+//! number of intersecting MBR pairs in the root pages (= number of tasks).
+
+use psj_bench::{build_workload, ExpArgs};
+use psj_core::create_tasks;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let w = build_workload(&args);
+    let s1 = w.tree1.stats();
+    let s2 = w.tree2.stats();
+    // m: intersecting root-entry pairs = tasks when created at root level.
+    let tc = create_tasks(&w.tree1, &w.tree2, 1);
+    let m = tc.tasks.len();
+
+    println!("Table 1: Parameters of the R*-trees");
+    println!("{:<28} {:>12} {:>12}", "", "tree1", "tree2");
+    println!("{:<28} {:>12} {:>12}", "height", s1.height, s2.height);
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "number of data entries", s1.num_data_entries, s2.num_data_entries
+    );
+    println!("{:<28} {:>12} {:>12}", "number of data pages", s1.num_data_pages, s2.num_data_pages);
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "number of directory pages", s1.num_dir_pages, s2.num_dir_pages
+    );
+    println!("{:<28} {:>12} {:>12}", "m (number of tasks)", m, m);
+    println!();
+    println!(
+        "{:<28} {:>11.1}% {:>11.1}%",
+        "data page utilization",
+        s1.data_utilization() * 100.0,
+        s2.data_utilization() * 100.0
+    );
+    println!(
+        "{:<28} {:>9} KB {:>9} KB",
+        "avg geometry cluster",
+        s1.avg_cluster_bytes / 1024,
+        s2.avg_cluster_bytes / 1024
+    );
+    println!();
+    println!("paper reference (TIGER California counties):");
+    println!("  height 3/3, entries 131443/127312, data pages 6968/6778,");
+    println!("  directory pages 95/92, m = 404");
+}

@@ -1,0 +1,41 @@
+//! Table 2 — parameters of the simulated platform's memory hierarchy, plus
+//! the disk and refinement constants of §4.2. Prints the model the
+//! simulator actually uses, for comparison with the paper.
+
+use psj_core::cost::CostModel;
+use psj_store::timing::to_millis;
+use psj_store::DiskModel;
+
+fn main() {
+    println!("Table 2: Parameters of the KSR1 concerning the memory (as modelled)");
+    print!("{}", CostModel::table2());
+    println!();
+
+    let c = CostModel::paper();
+    println!("derived page-access costs:");
+    println!(
+        "  local buffer hit   {:>8.3} ms   remote buffer hit {:>8.3} ms",
+        to_millis(c.mem_local_page),
+        to_millis(c.mem_remote_page)
+    );
+    println!(
+        "  global-buffer lock {:>8.3} ms   task queue access {:>8.3} ms",
+        to_millis(c.global_lock),
+        to_millis(c.task_queue_access)
+    );
+    println!();
+
+    let d = DiskModel::paper(8);
+    println!("disk model (9 ms seek + 6 ms latency + 1 ms / 4 KB):");
+    println!("  directory page read {:>7.1} ms", to_millis(d.page_read_time()));
+    println!(
+        "  data page + 26 KB cluster {:>7.1} ms",
+        to_millis(d.data_page_read_time(26 * 1024))
+    );
+    println!();
+    println!(
+        "refinement test per candidate: {:.0}–{:.0} ms depending on MBR overlap",
+        to_millis(c.refine_base),
+        to_millis(c.refine_base + c.refine_span)
+    );
+}

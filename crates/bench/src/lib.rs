@@ -1,0 +1,215 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every `fig*`/`table*` binary builds the same workload: the synthetic
+//! TIGER-like scenario at a chosen scale, indexed by two R\*-trees with the
+//! paper's page layout. `--scale <f>` (default 1.0 = paper scale) and
+//! `--seed <n>` are accepted by all binaries so the full suite can be run
+//! quickly at reduced scale.
+
+use psj_datagen::{MapObject, Scenario};
+use psj_rtree::{PagedTree, RTree};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Workload scale and seed parsed from the command line.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpArgs {
+    /// Workload scale (1.0 = the paper's Table 1 sizes).
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl ExpArgs {
+    /// Parses `--scale <f>` and `--seed <n>` from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut args = ExpArgs { scale: 1.0, seed: 1996 };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    args.scale = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale needs a float argument");
+                }
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer argument");
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: <bin> [--scale <f>] [--seed <n>]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        args
+    }
+
+    /// The scenario these arguments select.
+    pub fn scenario(&self) -> Scenario {
+        if (self.scale - 1.0).abs() < 1e-12 {
+            Scenario::paper(self.seed)
+        } else {
+            Scenario::scaled(self.seed, self.scale)
+        }
+    }
+}
+
+/// The built workload: both maps and their frozen R\*-trees.
+pub struct Workload {
+    /// Street map (paper's map 1).
+    pub map1: Vec<MapObject>,
+    /// Boundaries/rivers/railways map (paper's map 2).
+    pub map2: Vec<MapObject>,
+    /// R\*-tree over map 1.
+    pub tree1: PagedTree,
+    /// R\*-tree over map 2.
+    pub tree2: PagedTree,
+}
+
+/// Generates the maps and builds + freezes both trees (dynamic R\*-tree
+/// insertion, as in the paper). Progress goes to stderr.
+pub fn build_workload(args: &ExpArgs) -> Workload {
+    let scenario = args.scenario();
+    eprintln!(
+        "[workload] generating scenario: {} + {} objects, seed {}, world {:.0} km",
+        scenario.map1_objects, scenario.map2_objects, scenario.seed, scenario.world
+    );
+    let t0 = Instant::now();
+    let (map1, map2) = scenario.generate();
+    eprintln!("[workload] generated in {:.1?}", t0.elapsed());
+
+    let tree1 = build_tree(&map1, "map1");
+    let tree2 = build_tree(&map2, "map2");
+    Workload { map1, map2, tree1, tree2 }
+}
+
+/// Stored attribute payload per TIGER-style record (address ranges, feature
+/// names, classification codes) in addition to the bare coordinates.
+/// Calibrated so the average geometry cluster is ~26 KB as in the paper.
+pub const TIGER_ATTR_BYTES: u64 = 1365;
+
+fn build_tree(objects: &[MapObject], name: &str) -> PagedTree {
+    let t0 = Instant::now();
+    let mut tree = RTree::new();
+    for o in objects {
+        tree.insert(o.mbr(), o.oid);
+    }
+    let geoms: HashMap<u64, psj_geom::Polyline> =
+        objects.iter().map(|o| (o.oid, o.geom.clone())).collect();
+    let paged =
+        PagedTree::freeze_with_attrs(&tree, |oid| geoms.get(&oid).cloned(), TIGER_ATTR_BYTES);
+    eprintln!(
+        "[workload] {name}: built + froze {} entries into {} pages in {:.1?}",
+        paged.len(),
+        paged.num_pages(),
+        t0.elapsed()
+    );
+    paged
+}
+
+/// Formats a virtual-time value in seconds with 1 decimal.
+pub fn secs(ns: psj_store::Nanos) -> String {
+    format!("{:.1}", psj_store::timing::to_secs(ns))
+}
+
+/// One measured point of the Figure 9/10 series.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesPoint {
+    /// Number of processors.
+    pub n: usize,
+    /// Number of disks.
+    pub d: usize,
+    /// Response time in seconds.
+    pub response_secs: f64,
+    /// Total disk accesses.
+    pub disk_accesses: u64,
+    /// Sum of all processors' busy times in seconds ("total run time of all
+    /// tasks").
+    pub total_busy_secs: f64,
+}
+
+/// How the number of disks follows the number of processors in the
+/// Figure 9/10 series.
+#[derive(Debug, Clone, Copy)]
+pub enum DiskSeries {
+    /// A fixed number of disks.
+    Fixed(usize),
+    /// As many disks as processors (`d = n`).
+    EqualToProcs,
+}
+
+/// Runs the best variant (global buffer, dynamic assignment, reassignment on
+/// all levels) for each processor count, with the paper's buffer scaling of
+/// 100 pages per processor (scaled alongside the workload).
+pub fn speedup_series(w: &Workload, procs: &[usize], disks: DiskSeries, scale: f64) -> Vec<SeriesPoint> {
+    use psj_core::{run_sim_join, SimConfig};
+    procs
+        .iter()
+        .map(|&n| {
+            let d = match disks {
+                DiskSeries::Fixed(d) => d,
+                DiskSeries::EqualToProcs => n,
+            };
+            let pages = (((100 * n) as f64 * scale).ceil() as usize).max(2 * n);
+            let m = run_sim_join(&w.tree1, &w.tree2, &SimConfig::best(n, d, pages)).metrics;
+            SeriesPoint {
+                n,
+                d,
+                response_secs: m.response_secs(),
+                disk_accesses: m.disk_accesses,
+                total_busy_secs: m.total_busy_secs(),
+            }
+        })
+        .collect()
+}
+
+/// The processor counts of the Figure 9/10 sweeps.
+pub const FIG9_PROCS: [usize; 10] = [1, 2, 4, 6, 8, 10, 12, 16, 20, 24];
+
+/// Builds the workload with Hilbert-packed trees (tree-construction
+/// ablation).
+pub fn build_workload_hilbert(args: &ExpArgs) -> Workload {
+    build_workload_with(args, |items| psj_rtree::hilbert::bulk_load_hilbert(items), "hilbert")
+}
+
+/// Builds the workload with STR-bulk-loaded trees instead of dynamic
+/// R\*-tree insertion (the tree-construction ablation).
+pub fn build_workload_str(args: &ExpArgs) -> Workload {
+    build_workload_with(args, |items| psj_rtree::bulk::bulk_load_str(items), "STR")
+}
+
+fn build_workload_with(
+    args: &ExpArgs,
+    load: impl Fn(&[(psj_geom::Rect, u64)]) -> psj_rtree::RTree,
+    label: &str,
+) -> Workload {
+    let scenario = args.scenario();
+    let (map1, map2) = scenario.generate();
+    let build = |objects: &[MapObject], name: &str| {
+        let t0 = Instant::now();
+        let items: Vec<(psj_geom::Rect, u64)> = objects.iter().map(|o| (o.mbr(), o.oid)).collect();
+        let tree = load(&items);
+        let geoms: HashMap<u64, psj_geom::Polyline> =
+            objects.iter().map(|o| (o.oid, o.geom.clone())).collect();
+        let paged = PagedTree::freeze_with_attrs(
+            &tree,
+            |oid| geoms.get(&oid).cloned(),
+            TIGER_ATTR_BYTES,
+        );
+        eprintln!(
+            "[workload] {name} ({label}): {} entries into {} pages in {:.1?}",
+            paged.len(),
+            paged.num_pages(),
+            t0.elapsed()
+        );
+        paged
+    };
+    let tree1 = build(&map1, "map1");
+    let tree2 = build(&map2, "map2");
+    Workload { map1, map2, tree1, tree2 }
+}

@@ -1,0 +1,263 @@
+//! The shared-virtual-memory global buffer (paper §3.2).
+//!
+//! "The global buffer consists of the sum of the local buffers. The access to
+//! a page in the global buffer is directed by the manager of the virtual
+//! shared memory." Key properties reproduced here:
+//!
+//! * a page resides in **at most one** processor's partition,
+//! * a hit in one's own partition costs a local memory access; a hit in
+//!   another partition costs a (~10× slower) interconnect transfer,
+//! * replacement is LRU over the *whole* buffer,
+//! * when a page is already being fetched from disk by some processor, a
+//!   concurrent requester waits for that fetch instead of issuing a second
+//!   disk read (the in-flight mechanism the paper motivates in §3.1).
+//!
+//! The virtual-time bookkeeping of in-flight reads lives in the executor;
+//! this type exposes the residency/ownership state transitions.
+
+use crate::policy::{PageBuffer, Policy};
+use crate::stats::BufferStats;
+use psj_store::PageId;
+use std::collections::HashMap;
+
+/// Outcome of a global-buffer access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalAccess {
+    /// Resident in the requesting processor's own partition.
+    HitLocal,
+    /// Resident in another processor's partition; the page is served over
+    /// the interconnect from `owner`.
+    HitRemote {
+        /// Processor whose partition holds the page.
+        owner: usize,
+    },
+    /// A disk read for this page is already in flight, issued by `reader`;
+    /// the requester should wait for it rather than re-read from disk.
+    InFlight {
+        /// Processor that issued the outstanding read.
+        reader: usize,
+    },
+    /// Not resident; the requester must read it from disk (and then call
+    /// [`GlobalBuffer::complete_read`]).
+    Miss,
+}
+
+/// A single logical LRU buffer spanning all processors' memories.
+#[derive(Debug, Clone)]
+pub struct GlobalBuffer {
+    lru: PageBuffer,
+    owner: HashMap<PageId, usize>,
+    in_flight: HashMap<PageId, usize>,
+    stats: Vec<BufferStats>,
+}
+
+impl GlobalBuffer {
+    /// Creates a global LRU buffer of `total_pages` capacity shared by `n`
+    /// processors.
+    pub fn new(n: usize, total_pages: usize) -> Self {
+        Self::with_policy(n, total_pages, Policy::Lru)
+    }
+
+    /// As [`GlobalBuffer::new`] with an explicit replacement policy.
+    pub fn with_policy(n: usize, total_pages: usize, policy: Policy) -> Self {
+        assert!(n > 0, "need at least one processor");
+        GlobalBuffer {
+            lru: PageBuffer::new(policy, total_pages.max(1)),
+            owner: HashMap::new(),
+            in_flight: HashMap::new(),
+            stats: vec![BufferStats::default(); n],
+        }
+    }
+
+    /// Number of processors sharing the buffer.
+    pub fn num_procs(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Number of currently resident pages.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether no page is resident.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Processor `proc` requests `page`.
+    ///
+    /// On [`GlobalAccess::Miss`] the caller must start a disk read and call
+    /// [`GlobalBuffer::complete_read`] when it finishes. On
+    /// [`GlobalAccess::InFlight`] the caller should block until the pending
+    /// read completes (the executor knows its completion time) — the page is
+    /// then owned by the original reader, i.e. a subsequent access is a
+    /// remote hit unless `proc == reader`.
+    pub fn access(&mut self, proc: usize, page: PageId) -> GlobalAccess {
+        if let Some(&reader) = self.in_flight.get(&page) {
+            self.stats[proc].hits_in_flight += 1;
+            return GlobalAccess::InFlight { reader };
+        }
+        if self.lru.touch(page) {
+            let owner = *self.owner.get(&page).expect("resident page must have an owner");
+            if owner == proc {
+                self.stats[proc].hits_local += 1;
+                GlobalAccess::HitLocal
+            } else {
+                self.stats[proc].hits_remote += 1;
+                GlobalAccess::HitRemote { owner }
+            }
+        } else {
+            self.stats[proc].misses += 1;
+            self.in_flight.insert(page, proc);
+            GlobalAccess::Miss
+        }
+    }
+
+    /// Finishes the disk read of `page` issued by `proc`: the page becomes
+    /// resident in `proc`'s partition and most-recently-used; the global LRU
+    /// victim (if any) is evicted.
+    pub fn complete_read(&mut self, proc: usize, page: PageId) {
+        let reader = self.in_flight.remove(&page);
+        debug_assert_eq!(reader, Some(proc), "completing a read that was not in flight");
+        if let Some(victim) = self.lru.insert(page) {
+            self.owner.remove(&victim);
+            self.stats[proc].evictions += 1;
+        }
+        self.owner.insert(page, proc);
+    }
+
+    /// Read-only residency test (no promotion, no stats).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.lru.contains(page)
+    }
+
+    /// The partition (processor) currently holding `page`, if resident.
+    pub fn owner_of(&self, page: PageId) -> Option<usize> {
+        self.owner.get(&page).copied()
+    }
+
+    /// Per-processor statistics.
+    pub fn stats(&self, proc: usize) -> &BufferStats {
+        &self.stats[proc]
+    }
+
+    /// Aggregated statistics over all processors.
+    pub fn total_stats(&self) -> BufferStats {
+        self.stats
+            .iter()
+            .fold(BufferStats::default(), |acc, s| acc.merged(s))
+    }
+
+    /// Records a path-buffer hit for `proc`.
+    pub fn record_path_hit(&mut self, proc: usize) {
+        self.stats[proc].hits_path += 1;
+    }
+
+    /// Invariant check used by tests: every resident page has exactly one
+    /// owner and vice versa.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.owner.len() != self.lru.len() {
+            return Err(format!(
+                "owner map has {} entries but LRU holds {} pages",
+                self.owner.len(),
+                self.lru.len()
+            ));
+        }
+        for page in self.owner.keys() {
+            if !self.lru.contains(*page) {
+                return Err(format!("owned page {page} not resident"));
+            }
+        }
+        for page in self.owner.keys() {
+            if self.in_flight.contains_key(page) {
+                return Err(format!("page {page} both resident and in flight"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u32) -> PageId {
+        PageId(n)
+    }
+
+    #[test]
+    fn miss_then_local_hit() {
+        let mut g = GlobalBuffer::new(2, 4);
+        assert_eq!(g.access(0, p(1)), GlobalAccess::Miss);
+        g.complete_read(0, p(1));
+        assert_eq!(g.access(0, p(1)), GlobalAccess::HitLocal);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remote_hit_reports_owner() {
+        let mut g = GlobalBuffer::new(3, 4);
+        assert_eq!(g.access(2, p(7)), GlobalAccess::Miss);
+        g.complete_read(2, p(7));
+        assert_eq!(g.access(0, p(7)), GlobalAccess::HitRemote { owner: 2 });
+        assert_eq!(g.owner_of(p(7)), Some(2));
+        // Ownership does not migrate on read.
+        assert_eq!(g.access(1, p(7)), GlobalAccess::HitRemote { owner: 2 });
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn page_at_most_once() {
+        let mut g = GlobalBuffer::new(2, 4);
+        assert_eq!(g.access(0, p(1)), GlobalAccess::Miss);
+        g.complete_read(0, p(1));
+        // Processor 1 gets a remote hit, NOT a second copy.
+        assert_eq!(g.access(1, p(1)), GlobalAccess::HitRemote { owner: 0 });
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.total_stats().misses, 1, "only one disk read");
+    }
+
+    #[test]
+    fn concurrent_fetch_waits_in_flight() {
+        let mut g = GlobalBuffer::new(2, 4);
+        assert_eq!(g.access(0, p(5)), GlobalAccess::Miss);
+        // Processor 1 asks while the read is still outstanding.
+        assert_eq!(g.access(1, p(5)), GlobalAccess::InFlight { reader: 0 });
+        g.complete_read(0, p(5));
+        assert_eq!(g.access(1, p(5)), GlobalAccess::HitRemote { owner: 0 });
+        assert_eq!(g.total_stats().misses, 1);
+        assert_eq!(g.total_stats().hits_in_flight, 1);
+    }
+
+    #[test]
+    fn global_lru_eviction_across_owners() {
+        let mut g = GlobalBuffer::new(2, 2);
+        g.access(0, p(1));
+        g.complete_read(0, p(1));
+        g.access(1, p(2));
+        g.complete_read(1, p(2));
+        // p1 is LRU; inserting p3 evicts it even though owners differ.
+        g.access(0, p(3));
+        g.complete_read(0, p(3));
+        assert!(!g.contains(p(1)));
+        assert!(g.contains(p(2)));
+        assert!(g.contains(p(3)));
+        assert_eq!(g.owner_of(p(1)), None);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remote_hit_promotes_in_global_lru() {
+        let mut g = GlobalBuffer::new(2, 2);
+        g.access(0, p(1));
+        g.complete_read(0, p(1));
+        g.access(0, p(2));
+        g.complete_read(0, p(2));
+        // Remote access by proc 1 promotes p1.
+        assert_eq!(g.access(1, p(1)), GlobalAccess::HitRemote { owner: 0 });
+        g.access(1, p(3));
+        g.complete_read(1, p(3));
+        assert!(g.contains(p(1)), "promoted page survives");
+        assert!(!g.contains(p(2)), "un-promoted page evicted");
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-processor local buffers (paper §3.1/§3.2, the `lsr` configuration).
+//!
+//! Each processor owns a private LRU buffer; processors cannot see each
+//! other's buffers. The same page may therefore be resident at several
+//! processors simultaneously, and two processors needing the same page both
+//! read it from disk — the extra I/O the global buffer is designed to avoid.
+
+use crate::policy::{PageBuffer, Policy};
+use crate::stats::BufferStats;
+use psj_store::PageId;
+
+/// A set of private LRU buffers, one per processor.
+#[derive(Debug, Clone)]
+pub struct LocalBuffers {
+    bufs: Vec<PageBuffer>,
+    stats: Vec<BufferStats>,
+}
+
+impl LocalBuffers {
+    /// Creates `n` LRU buffers of `pages_per_proc` pages each.
+    pub fn new(n: usize, pages_per_proc: usize) -> Self {
+        Self::with_policy(n, pages_per_proc, Policy::Lru)
+    }
+
+    /// Creates `n` buffers of `pages_per_proc` pages each with the given
+    /// replacement policy.
+    pub fn with_policy(n: usize, pages_per_proc: usize, policy: Policy) -> Self {
+        assert!(n > 0, "need at least one processor");
+        LocalBuffers {
+            bufs: (0..n).map(|_| PageBuffer::new(policy, pages_per_proc)).collect(),
+            stats: vec![BufferStats::default(); n],
+        }
+    }
+
+    /// Creates `n` buffers splitting `total_pages` evenly (the paper quotes
+    /// buffer sizes as totals, e.g. "800 pages" for 8 processors = 100 each).
+    /// Every buffer gets at least one page.
+    pub fn with_total(n: usize, total_pages: usize) -> Self {
+        Self::new(n, (total_pages / n).max(1))
+    }
+
+    /// As [`LocalBuffers::with_total`] with an explicit replacement policy.
+    pub fn with_total_policy(n: usize, total_pages: usize, policy: Policy) -> Self {
+        Self::with_policy(n, (total_pages / n).max(1), policy)
+    }
+
+    /// Number of processors.
+    pub fn num_procs(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Whether `page` is resident in `proc`'s buffer; promotes on hit.
+    /// Returns `true` on hit. On miss the caller performs the disk read and
+    /// must call [`LocalBuffers::load`].
+    pub fn access(&mut self, proc: usize, page: PageId) -> bool {
+        if self.bufs[proc].touch(page) {
+            self.stats[proc].hits_local += 1;
+            true
+        } else {
+            self.stats[proc].misses += 1;
+            false
+        }
+    }
+
+    /// Installs a page just read from disk into `proc`'s buffer.
+    pub fn load(&mut self, proc: usize, page: PageId) {
+        if self.bufs[proc].insert(page).is_some() {
+            self.stats[proc].evictions += 1;
+        }
+    }
+
+    /// Read-only residency test (no promotion, no stats).
+    pub fn contains(&self, proc: usize, page: PageId) -> bool {
+        self.bufs[proc].contains(page)
+    }
+
+    /// Per-processor statistics.
+    pub fn stats(&self, proc: usize) -> &BufferStats {
+        &self.stats[proc]
+    }
+
+    /// Aggregated statistics over all processors.
+    pub fn total_stats(&self) -> BufferStats {
+        self.stats
+            .iter()
+            .fold(BufferStats::default(), |acc, s| acc.merged(s))
+    }
+
+    /// Records a path-buffer hit for `proc` (kept here so all buffer counters
+    /// live in one place).
+    pub fn record_path_hit(&mut self, proc: usize) {
+        self.stats[proc].hits_path += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u32) -> PageId {
+        PageId(n)
+    }
+
+    #[test]
+    fn buffers_are_independent() {
+        let mut lb = LocalBuffers::new(2, 2);
+        assert!(!lb.access(0, p(1)));
+        lb.load(0, p(1));
+        // Processor 1 does not see processor 0's page.
+        assert!(!lb.access(1, p(1)));
+        lb.load(1, p(1));
+        // Both now hit independently.
+        assert!(lb.access(0, p(1)));
+        assert!(lb.access(1, p(1)));
+        assert_eq!(lb.total_stats().misses, 2);
+        assert_eq!(lb.total_stats().hits_local, 2);
+    }
+
+    #[test]
+    fn with_total_splits_evenly() {
+        let lb = LocalBuffers::with_total(8, 800);
+        assert_eq!(lb.num_procs(), 8);
+        // Each buffer holds 100 pages: verify via fill behaviour.
+        let mut lb = lb;
+        for n in 0..100 {
+            lb.load(0, p(n));
+        }
+        assert!(lb.contains(0, p(0)));
+        lb.load(0, p(100));
+        assert!(!lb.contains(0, p(0)), "101st page evicts the LRU one");
+    }
+
+    #[test]
+    fn with_total_gives_minimum_one_page() {
+        let mut lb = LocalBuffers::with_total(8, 4);
+        lb.load(0, p(1));
+        assert!(lb.contains(0, p(1)));
+    }
+
+    #[test]
+    fn eviction_counted() {
+        let mut lb = LocalBuffers::new(1, 1);
+        lb.load(0, p(1));
+        lb.load(0, p(2));
+        assert_eq!(lb.stats(0).evictions, 1);
+    }
+}

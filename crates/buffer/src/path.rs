@@ -1,0 +1,101 @@
+//! The R\*-tree path buffer (paper §2.2).
+//!
+//! "The R\*-tree makes use of a so-called *path buffer* accommodating all
+//! nodes of the path which was accessed last." The path buffer belongs to the
+//! tree (one per tree per processor), lives in the processor's local memory,
+//! and is consulted *before* the page buffer: a path hit costs neither a
+//! buffer lookup nor network traffic — which is exactly why the paper notes
+//! that path buffers reduce the communication caused by a global buffer.
+
+use psj_store::PageId;
+
+/// Last-accessed path of one R\*-tree, indexed by level (0 = leaf).
+#[derive(Debug, Clone)]
+pub struct PathBuffer {
+    levels: Vec<Option<PageId>>,
+}
+
+impl PathBuffer {
+    /// Creates a path buffer for a tree of the given height (number of
+    /// levels, root included).
+    pub fn new(height: usize) -> Self {
+        PathBuffer { levels: vec![None; height] }
+    }
+
+    /// Tree height this buffer was sized for.
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Records an access of `page` at `level`, returning `true` when it was
+    /// already the buffered node of that level (a path hit).
+    pub fn access(&mut self, level: usize, page: PageId) -> bool {
+        match self.levels.get_mut(level) {
+            Some(slot) => {
+                if *slot == Some(page) {
+                    true
+                } else {
+                    *slot = Some(page);
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `page` is the buffered node of `level` (no update).
+    pub fn contains(&self, level: usize, page: PageId) -> bool {
+        self.levels.get(level).is_some_and(|s| *s == Some(page))
+    }
+
+    /// Forgets everything (e.g. when a processor switches trees).
+    pub fn clear(&mut self) {
+        self.levels.fill(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u32) -> PageId {
+        PageId(n)
+    }
+
+    #[test]
+    fn first_access_is_miss_then_hit() {
+        let mut pb = PathBuffer::new(3);
+        assert!(!pb.access(2, p(0)));
+        assert!(pb.access(2, p(0)));
+    }
+
+    #[test]
+    fn levels_are_independent() {
+        let mut pb = PathBuffer::new(3);
+        pb.access(2, p(0));
+        pb.access(1, p(5));
+        pb.access(0, p(9));
+        assert!(pb.contains(2, p(0)));
+        assert!(pb.contains(1, p(5)));
+        assert!(pb.contains(0, p(9)));
+        // Replacing level 1 leaves the others alone.
+        assert!(!pb.access(1, p(6)));
+        assert!(pb.contains(2, p(0)));
+        assert!(!pb.contains(1, p(5)));
+    }
+
+    #[test]
+    fn out_of_range_level_is_never_hit() {
+        let mut pb = PathBuffer::new(2);
+        assert!(!pb.access(5, p(1)));
+        assert!(!pb.access(5, p(1)), "out-of-range accesses are not cached");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut pb = PathBuffer::new(2);
+        pb.access(0, p(1));
+        pb.clear();
+        assert!(!pb.contains(0, p(1)));
+    }
+}

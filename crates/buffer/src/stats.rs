@@ -1,0 +1,88 @@
+//! Buffer access statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters kept per buffer manager (and per processor where that makes
+/// sense). "Disk accesses" in the paper's figures equals [`misses`].
+///
+/// [`misses`]: BufferStats::misses
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferStats {
+    /// Hits served from the requesting processor's own memory.
+    pub hits_local: u64,
+    /// Hits served from another processor's partition over the interconnect
+    /// (global buffer only).
+    pub hits_remote: u64,
+    /// Hits on an in-flight disk read issued by another processor: the
+    /// requester waits for that read instead of issuing its own.
+    pub hits_in_flight: u64,
+    /// Misses, i.e. actual disk reads.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Hits on the R\*-tree path buffers (bypass the page buffer entirely).
+    pub hits_path: u64,
+}
+
+impl BufferStats {
+    /// Total page requests that reached the buffer layer (excludes path
+    /// buffer hits, which are absorbed before the buffer is consulted).
+    pub fn requests(&self) -> u64 {
+        self.hits_local + self.hits_remote + self.hits_in_flight + self.misses
+    }
+
+    /// Hit ratio over buffer-layer requests, in `[0, 1]`; 0 when idle.
+    pub fn hit_ratio(&self) -> f64 {
+        let r = self.requests();
+        if r == 0 {
+            0.0
+        } else {
+            (r - self.misses) as f64 / r as f64
+        }
+    }
+
+    /// Element-wise sum, for aggregating per-processor counters.
+    pub fn merged(&self, other: &BufferStats) -> BufferStats {
+        BufferStats {
+            hits_local: self.hits_local + other.hits_local,
+            hits_remote: self.hits_remote + other.hits_remote,
+            hits_in_flight: self.hits_in_flight + other.hits_in_flight,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            hits_path: self.hits_path + other.hits_path,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_zero_when_idle() {
+        assert_eq!(BufferStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_counts_all_hit_kinds() {
+        let s = BufferStats {
+            hits_local: 2,
+            hits_remote: 1,
+            hits_in_flight: 1,
+            misses: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.requests(), 8);
+        assert_eq!(s.hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn merged_adds_fields() {
+        let a = BufferStats { hits_local: 1, misses: 2, ..Default::default() };
+        let b = BufferStats { hits_local: 3, evictions: 1, ..Default::default() };
+        let m = a.merged(&b);
+        assert_eq!(m.hits_local, 4);
+        assert_eq!(m.misses, 2);
+        assert_eq!(m.evictions, 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the buffer layer.
+
+use proptest::prelude::*;
+use psj_buffer::{GlobalAccess, GlobalBuffer, Lru, PageBuffer, Policy};
+use psj_store::PageId;
+use std::collections::VecDeque;
+
+fn arb_trace(max_page: u32, len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..max_page, 0..len)
+}
+
+proptest! {
+    /// The O(1) LRU behaves exactly like a naive reference implementation.
+    #[test]
+    fn lru_matches_reference(
+        capacity in 1usize..12,
+        trace in arb_trace(30, 300),
+    ) {
+        let mut lru = Lru::new(capacity);
+        let mut reference: VecDeque<PageId> = VecDeque::new(); // front = MRU
+        for n in trace {
+            let page = PageId(n);
+            let hit = lru.touch(page);
+            let ref_hit = reference.contains(&page);
+            prop_assert_eq!(hit, ref_hit);
+            if ref_hit {
+                let pos = reference.iter().position(|&q| q == page).unwrap();
+                reference.remove(pos);
+                reference.push_front(page);
+            } else {
+                let evicted = lru.insert(page);
+                let ref_evicted =
+                    if reference.len() >= capacity { reference.pop_back() } else { None };
+                prop_assert_eq!(evicted, ref_evicted);
+                reference.push_front(page);
+            }
+            prop_assert_eq!(lru.len(), reference.len());
+            prop_assert_eq!(lru.pages_mru_order(), Vec::from(reference.clone()));
+        }
+    }
+
+    /// All policies never exceed capacity and always retain the newest page.
+    #[test]
+    fn policies_respect_capacity(
+        capacity in 1usize..10,
+        trace in arb_trace(40, 200),
+    ) {
+        for policy in [Policy::Lru, Policy::Fifo, Policy::Clock] {
+            let mut buf = PageBuffer::new(policy, capacity);
+            for &n in &trace {
+                let page = PageId(n);
+                if !buf.touch(page) {
+                    buf.insert(page);
+                }
+                prop_assert!(buf.len() <= capacity, "{policy:?} overflowed");
+                prop_assert!(buf.contains(page), "{policy:?} dropped fresh page");
+            }
+        }
+    }
+
+    /// Global buffer invariants hold under arbitrary access interleavings:
+    /// page-at-most-once, owner consistency, and misses equal disk reads.
+    #[test]
+    fn global_buffer_invariants(
+        procs in 1usize..6,
+        capacity in 1usize..16,
+        trace in arb_trace(25, 250),
+    ) {
+        let mut g = GlobalBuffer::new(procs, capacity);
+        let mut disk_reads = 0u64;
+        for (i, &n) in trace.iter().enumerate() {
+            let proc = i % procs;
+            match g.access(proc, PageId(n)) {
+                GlobalAccess::Miss => {
+                    disk_reads += 1;
+                    // Complete immediately (no interleaved fetch in this test).
+                    g.complete_read(proc, PageId(n));
+                }
+                GlobalAccess::HitLocal => {
+                    prop_assert_eq!(g.owner_of(PageId(n)), Some(proc));
+                }
+                GlobalAccess::HitRemote { owner } => {
+                    prop_assert!(owner != proc);
+                    prop_assert_eq!(g.owner_of(PageId(n)), Some(owner));
+                }
+                GlobalAccess::InFlight { .. } => {
+                    prop_assert!(false, "no read left in flight here");
+                }
+            }
+            g.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        prop_assert_eq!(g.total_stats().misses, disk_reads);
+    }
+
+    /// With capacity at least the page universe, the global buffer never
+    /// reads a page from disk twice.
+    #[test]
+    fn big_global_buffer_reads_each_page_once(trace in arb_trace(20, 300)) {
+        let mut g = GlobalBuffer::new(4, 64);
+        let mut distinct = std::collections::BTreeSet::new();
+        for (i, &n) in trace.iter().enumerate() {
+            let proc = i % 4;
+            if let GlobalAccess::Miss = g.access(proc, PageId(n)) {
+                g.complete_read(proc, PageId(n));
+            }
+            distinct.insert(n);
+        }
+        prop_assert_eq!(g.total_stats().misses, distinct.len() as u64);
+    }
+}

@@ -1,0 +1,105 @@
+//! Minimal `--key value` / `--flag` argument parsing (the workspace's
+//! dependency policy excludes argument-parsing crates).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: `--key value` options and bare `--flag`s.
+#[derive(Debug, Default)]
+pub struct Args {
+    opts: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the raw argument list. A token starting with `--` consumes the
+    /// next token as its value unless that token also starts with `--` (then
+    /// it is a flag).
+    pub fn parse(argv: &[String]) -> Args {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            if let Some(key) = token.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    args.opts.insert(key.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    args.flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                eprintln!("ignoring stray argument: {token}");
+                i += 1;
+            }
+        }
+        args
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.opts.get(key).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Parsed option with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn options_and_flags() {
+        let a = parse(&["--scale", "0.5", "--str", "--seed", "7"]);
+        assert_eq!(a.get("scale"), Some("0.5"));
+        assert_eq!(a.get("seed"), Some("7"));
+        assert!(a.flag("str"));
+        assert!(!a.flag("missing"));
+    }
+
+    #[test]
+    fn parse_or_defaults() {
+        let a = parse(&["--procs", "12"]);
+        assert_eq!(a.parse_or("procs", 1usize).unwrap(), 12);
+        assert_eq!(a.parse_or("disks", 4usize).unwrap(), 4);
+        assert!(a.parse_or::<usize>("procs", 0).is_ok());
+    }
+
+    #[test]
+    fn invalid_value_is_an_error() {
+        let a = parse(&["--procs", "twelve"]);
+        assert!(a.parse_or::<usize>("procs", 1).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse(&[]);
+        assert!(a.require("tree").is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_option() {
+        let a = parse(&["--str", "--out", "x.bin"]);
+        assert!(a.flag("str"));
+        assert_eq!(a.get("out"), Some("x.bin"));
+    }
+}

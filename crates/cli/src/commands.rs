@@ -1,0 +1,153 @@
+//! The CLI subcommands.
+
+use crate::args::Args;
+use psj_core::{run_native_join, run_sim_join, NativeConfig, SimConfig};
+use psj_datagen::io::{load_map, save_map};
+use psj_datagen::Scenario;
+use psj_rtree::{bulk::bulk_load_str, PagedTree, RTree};
+use std::collections::HashMap;
+use std::path::Path;
+use std::time::Instant;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+psj — parallel spatial joins on R*-trees
+
+commands:
+  generate --scale <f> --seed <n> --out1 <map> --out2 <map>
+  build    --map <map> --out <tree> [--attrs <bytes>] [--str|--hilbert]
+  stats    --tree <tree>
+  join     --tree1 <tree> --tree2 <tree> [--threads <n>] [--no-refine]
+  simulate --tree1 <tree> --tree2 <tree> [--procs <n>] [--disks <n>]
+           [--buffer <pages>] [--variant lsr|gsrr|gd|best]
+  help";
+
+type CmdResult = Result<(), String>;
+
+fn io_err<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+/// `psj generate` — write a synthetic TIGER-like scenario to two map files.
+pub fn generate(args: &Args) -> CmdResult {
+    let scale: f64 = args.parse_or("scale", 0.1)?;
+    let seed: u64 = args.parse_or("seed", 1996)?;
+    let out1 = args.require("out1")?;
+    let out2 = args.require("out2")?;
+    let scenario =
+        if (scale - 1.0).abs() < 1e-12 { Scenario::paper(seed) } else { Scenario::scaled(seed, scale) };
+    let t0 = Instant::now();
+    let (m1, m2) = scenario.generate();
+    save_map(&m1, Path::new(out1)).map_err(io_err)?;
+    save_map(&m2, Path::new(out2)).map_err(io_err)?;
+    println!(
+        "wrote {} objects to {out1} and {} objects to {out2} ({:.2?})",
+        m1.len(),
+        m2.len(),
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+/// `psj build` — index a map file into a persisted R*-tree.
+pub fn build(args: &Args) -> CmdResult {
+    let map_path = args.require("map")?;
+    let out = args.require("out")?;
+    let attrs: u64 = args.parse_or("attrs", 1365)?;
+    let objects = load_map(Path::new(map_path)).map_err(io_err)?;
+    let t0 = Instant::now();
+    let tree = if args.flag("str") {
+        let items: Vec<(psj_geom::Rect, u64)> = objects.iter().map(|o| (o.mbr(), o.oid)).collect();
+        bulk_load_str(&items)
+    } else if args.flag("hilbert") {
+        let items: Vec<(psj_geom::Rect, u64)> = objects.iter().map(|o| (o.mbr(), o.oid)).collect();
+        psj_rtree::hilbert::bulk_load_hilbert(&items)
+    } else {
+        let mut t = RTree::new();
+        for o in &objects {
+            t.insert(o.mbr(), o.oid);
+        }
+        t
+    };
+    let geoms: HashMap<u64, psj_geom::Polyline> =
+        objects.iter().map(|o| (o.oid, o.geom.clone())).collect();
+    let paged = PagedTree::freeze_with_attrs(&tree, |oid| geoms.get(&oid).cloned(), attrs);
+    paged.save_to(Path::new(out)).map_err(io_err)?;
+    println!(
+        "indexed {} objects into {} pages (height {}) in {:.2?} -> {out}",
+        paged.len(),
+        paged.num_pages(),
+        paged.height(),
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+/// `psj stats` — print a tree's Table-1 statistics.
+pub fn stats(args: &Args) -> CmdResult {
+    let tree = PagedTree::load_from(Path::new(args.require("tree")?)).map_err(io_err)?;
+    println!("{}", tree.stats());
+    Ok(())
+}
+
+/// `psj join` — native multithreaded join of two persisted trees.
+pub fn join(args: &Args) -> CmdResult {
+    let a = PagedTree::load_from(Path::new(args.require("tree1")?)).map_err(io_err)?;
+    let b = PagedTree::load_from(Path::new(args.require("tree2")?)).map_err(io_err)?;
+    let threads: usize = args.parse_or(
+        "threads",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4),
+    )?;
+    let mut cfg = NativeConfig::new(threads);
+    cfg.refine = !args.flag("no-refine");
+    let res = run_native_join(&a, &b, &cfg);
+    println!("threads:            {threads}");
+    println!("tasks:              {}", res.tasks);
+    println!("node pairs:         {}", res.node_pairs);
+    println!("filter candidates:  {}", res.candidates);
+    println!(
+        "{} {}",
+        if cfg.refine { "exact results:     " } else { "candidate results: " },
+        res.pairs.len()
+    );
+    println!("steals:             {}", res.steals);
+    println!("wall time:          {:.3?}", res.elapsed);
+    Ok(())
+}
+
+/// `psj simulate` — run the KSR1-style simulated platform.
+pub fn simulate(args: &Args) -> CmdResult {
+    let a = PagedTree::load_from(Path::new(args.require("tree1")?)).map_err(io_err)?;
+    let b = PagedTree::load_from(Path::new(args.require("tree2")?)).map_err(io_err)?;
+    let procs: usize = args.parse_or("procs", 8)?;
+    let disks: usize = args.parse_or("disks", procs)?;
+    let buffer: usize = args.parse_or("buffer", 100 * procs)?;
+    let variant = args.get("variant").unwrap_or("best");
+    let cfg = match variant {
+        "lsr" => SimConfig::lsr(procs, disks, buffer),
+        "gsrr" => SimConfig::gsrr(procs, disks, buffer),
+        "gd" => SimConfig::gd(procs, disks, buffer),
+        "best" => SimConfig::best(procs, disks, buffer),
+        other => return Err(format!("unknown variant: {other} (use lsr|gsrr|gd|best)")),
+    };
+    let m = run_sim_join(&a, &b, &cfg).metrics;
+    println!("variant:            {variant}");
+    println!("processors/disks:   {}/{}", m.num_procs, m.num_disks);
+    println!("tasks:              {}", m.tasks);
+    println!("response time:      {:.1} s", m.response_secs());
+    println!(
+        "proc finish:        min {:.1} / avg {:.1} / max {:.1} s",
+        m.min_finish_secs(),
+        m.avg_finish_secs(),
+        m.max_finish_secs()
+    );
+    println!("disk accesses:      {}", m.disk_accesses);
+    println!("  directory pages:  {}", m.dir_page_reads);
+    println!("  data pages:       {}", m.data_page_reads);
+    println!("buffer hit ratio:   {:.1} %", m.buffer.hit_ratio() * 100.0);
+    println!("path buffer hits:   {}", m.buffer.hits_path);
+    println!("candidates:         {}", m.candidates);
+    println!("reassignments:      {}", m.reassignments);
+    println!("total busy time:    {:.1} s", m.total_busy_secs());
+    Ok(())
+}

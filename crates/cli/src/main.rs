@@ -1,0 +1,42 @@
+//! `psj` — command-line driver for the parallel spatial join library.
+//!
+//! ```text
+//! psj generate --scale 0.1 --seed 1996 --out1 map1.psjm --out2 map2.psjm
+//! psj build    --map map1.psjm --out tree1.psjt [--attrs 1365] [--str]
+//! psj stats    --tree tree1.psjt
+//! psj join     --tree1 tree1.psjt --tree2 tree2.psjt [--threads 8] [--no-refine]
+//! psj simulate --tree1 tree1.psjt --tree2 tree2.psjt [--procs 8] [--disks 8]
+//!              [--buffer 800] [--variant lsr|gsrr|gd|best]
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("{}", commands::USAGE);
+        std::process::exit(2);
+    }
+    let cmd = argv.remove(0);
+    let parsed = args::Args::parse(&argv);
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(&parsed),
+        "build" => commands::build(&parsed),
+        "stats" => commands::stats(&parsed),
+        "join" => commands::join(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command: {other}\n{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

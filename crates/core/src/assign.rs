@@ -1,0 +1,165 @@
+//! Task assignment strategies (paper §3.1 and §3.3, Figures 2–4).
+//!
+//! * **Static range** (`lsr`'s assignment): the tasks, in local plane-sweep
+//!   order, are cut into `n` contiguous ranges — spatially adjacent pairs go
+//!   to the *same* processor, maximizing each local buffer's locality.
+//! * **Static round-robin** (`gsrr`'s assignment): tasks are dealt out like
+//!   cards — spatially adjacent pairs go to *different* processors so they
+//!   are in memory at roughly the same time, maximizing global-buffer reuse.
+//! * **Dynamic** (`gd`'s assignment): tasks stay in a shared queue and are
+//!   handed out one at a time on demand.
+
+use crate::task::TaskPair;
+use serde::{Deserialize, Serialize};
+
+/// Which task-assignment strategy an executor uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Assignment {
+    /// Contiguous ranges of the plane-sweep order (one per processor).
+    StaticRange,
+    /// Round-robin over the plane-sweep order.
+    StaticRoundRobin,
+    /// Shared task queue, task-at-a-time.
+    Dynamic,
+}
+
+impl Assignment {
+    /// Short name used in experiment output (`lsr`/`gsrr`/`gd` pair with the
+    /// buffer organizations in the paper's figures).
+    pub fn short(&self) -> &'static str {
+        match self {
+            Assignment::StaticRange => "range",
+            Assignment::StaticRoundRobin => "round-robin",
+            Assignment::Dynamic => "dynamic",
+        }
+    }
+}
+
+/// Splits `tasks` (already in plane-sweep order) into `n` contiguous
+/// work loads: the first `m mod n` processors receive `⌈m/n⌉` tasks, the
+/// rest `⌊m/n⌋` (paper §3.1).
+pub fn static_range(tasks: &[TaskPair], n: usize) -> Vec<Vec<TaskPair>> {
+    assert!(n > 0);
+    let m = tasks.len();
+    let big = m.div_ceil(n);
+    let small = m / n;
+    let bigs = if n == 0 { 0 } else { m % n };
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 0;
+    for p in 0..n {
+        let take = if p < bigs || m.is_multiple_of(n) { big } else { small };
+        let take = take.min(m - pos);
+        out.push(tasks[pos..pos + take].to_vec());
+        pos += take;
+    }
+    debug_assert_eq!(pos, m);
+    out
+}
+
+/// Deals `tasks` round-robin over `n` processors (paper §3.3).
+pub fn static_round_robin(tasks: &[TaskPair], n: usize) -> Vec<Vec<TaskPair>> {
+    assert!(n > 0);
+    let mut out = vec![Vec::with_capacity(tasks.len() / n + 1); n];
+    for (i, t) in tasks.iter().enumerate() {
+        out[i % n].push(*t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psj_geom::Rect;
+    use psj_store::PageId;
+
+    /// Five tasks t1..t5 in plane-sweep order, as in Figures 2–4.
+    fn five_tasks() -> Vec<TaskPair> {
+        (0..5)
+            .map(|i| TaskPair {
+                a: PageId(i),
+                la: 1,
+                b: PageId(10 + i),
+                lb: 1,
+                window: Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0),
+            })
+            .collect()
+    }
+
+    fn ids(v: &[TaskPair]) -> Vec<u32> {
+        v.iter().map(|t| t.a.0).collect()
+    }
+
+    /// Figure 2: m = 5, n = 3 → P1 gets (t1, t2), P2 gets (t3, t4), P3 gets t5.
+    #[test]
+    fn figure2_static_range() {
+        let w = static_range(&five_tasks(), 3);
+        assert_eq!(ids(&w[0]), vec![0, 1]);
+        assert_eq!(ids(&w[1]), vec![2, 3]);
+        assert_eq!(ids(&w[2]), vec![4]);
+    }
+
+    /// Figure 3: round-robin → P1 gets (t1, t4), P2 gets (t2, t5), P3 gets t3.
+    #[test]
+    fn figure3_static_round_robin() {
+        let w = static_round_robin(&five_tasks(), 3);
+        assert_eq!(ids(&w[0]), vec![0, 3]);
+        assert_eq!(ids(&w[1]), vec![1, 4]);
+        assert_eq!(ids(&w[2]), vec![2]);
+    }
+
+    /// Figure 4's dynamic assignment has no static partition — it is the
+    /// shared queue itself; this just pins the strategy names used in the
+    /// experiment output.
+    #[test]
+    fn figure4_dynamic_is_a_queue() {
+        assert_eq!(Assignment::Dynamic.short(), "dynamic");
+        assert_eq!(Assignment::StaticRange.short(), "range");
+        assert_eq!(Assignment::StaticRoundRobin.short(), "round-robin");
+    }
+
+    #[test]
+    fn range_covers_all_tasks_exactly_once() {
+        for n in 1..8 {
+            for m in 0..12 {
+                let tasks: Vec<TaskPair> = (0..m)
+                    .map(|i| TaskPair {
+                        a: PageId(i),
+                        la: 0,
+                        b: PageId(i),
+                        lb: 0,
+                        window: Rect::new(0.0, 0.0, 1.0, 1.0),
+                    })
+                    .collect();
+                let w = static_range(&tasks, n);
+                assert_eq!(w.len(), n);
+                let flat: Vec<u32> = w.iter().flatten().map(|t| t.a.0).collect();
+                assert_eq!(flat, (0..m).collect::<Vec<_>>(), "m={m} n={n}");
+                // Sizes differ by at most one and are non-increasing.
+                let sizes: Vec<usize> = w.iter().map(|v| v.len()).collect();
+                assert!(sizes.windows(2).all(|s| s[0] >= s[1]), "sizes {sizes:?}");
+                assert!(sizes[0] - sizes[n - 1] <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_covers_all_tasks_exactly_once() {
+        for n in 1..8 {
+            for m in 0..12 {
+                let tasks: Vec<TaskPair> = (0..m)
+                    .map(|i| TaskPair {
+                        a: PageId(i),
+                        la: 0,
+                        b: PageId(i),
+                        lb: 0,
+                        window: Rect::new(0.0, 0.0, 1.0, 1.0),
+                    })
+                    .collect();
+                let w = static_round_robin(&tasks, n);
+                let mut flat: Vec<u32> = w.iter().flatten().map(|t| t.a.0).collect();
+                flat.sort_unstable();
+                assert_eq!(flat, (0..m).collect::<Vec<_>>());
+            }
+        }
+    }
+}

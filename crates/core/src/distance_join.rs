@@ -1,0 +1,210 @@
+//! Distance joins: all pairs of objects within distance `eps`.
+//!
+//! A natural companion of the intersection join (and of the neighbor
+//! queries the paper's §5 framework calls for): "find all streets within
+//! 100 m of a river". The filter step descends both R\*-trees pruning node
+//! pairs whose MBR distance exceeds `eps`; candidates are refined with the
+//! exact polyline distance from the geometry clusters.
+//!
+//! The MBR filter uses the L∞-style test `rect_distance(a, b) ≤ eps`
+//! (Euclidean MBR distance) which lower-bounds the exact geometry distance,
+//! so no result can be lost.
+
+use psj_geom::rect_distance;
+use psj_rtree::{NodeKind, PagedTree};
+use psj_store::PageId;
+
+/// All `(oid_a, oid_b)` pairs whose *MBRs* are within `eps` (the filter
+/// step of the distance join).
+pub fn distance_join_candidates(a: &PagedTree, b: &PagedTree, eps: f64) -> Vec<(u64, u64)> {
+    assert!(eps >= 0.0, "eps must be non-negative");
+    let mut out = Vec::new();
+    traverse(a, b, eps, &mut |oa, ob| out.push((oa, ob)));
+    out
+}
+
+/// All `(oid_a, oid_b)` pairs whose *exact geometry* comes within `eps`.
+/// Candidates whose geometry is missing on either side are kept
+/// conservatively.
+pub fn distance_join(a: &PagedTree, b: &PagedTree, eps: f64) -> Vec<(u64, u64)> {
+    assert!(eps >= 0.0, "eps must be non-negative");
+    let mut out = Vec::new();
+    let mut refine = |oa: u64, ob: u64| {
+        out.push((oa, ob));
+    };
+    // Collect candidates with their geometry refs, refining inline.
+    let mut candidates = Vec::new();
+    traverse_entries(a, b, eps, &mut |ea, eb| candidates.push((ea, eb)));
+    for (ea, eb) in candidates {
+        let ga = a.clusters().geometry(ea.geom.page, ea.geom.slot);
+        let gb = b.clusters().geometry(eb.geom.page, eb.geom.slot);
+        let hit = match (ga, gb) {
+            (Some(ga), Some(gb)) => psj_geom::polylines_within(ga, gb, eps),
+            _ => true,
+        };
+        if hit {
+            refine(ea.oid, eb.oid);
+        }
+    }
+    out
+}
+
+fn traverse(a: &PagedTree, b: &PagedTree, eps: f64, emit: &mut impl FnMut(u64, u64)) {
+    traverse_entries(a, b, eps, &mut |ea, eb| emit(ea.oid, eb.oid));
+}
+
+fn traverse_entries(
+    a: &PagedTree,
+    b: &PagedTree,
+    eps: f64,
+    emit: &mut impl FnMut(psj_rtree::DataEntry, psj_rtree::DataEntry),
+) {
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    let mut stack: Vec<(PageId, PageId)> = vec![(a.root(), b.root())];
+    while let Some((pa, pb)) = stack.pop() {
+        let na = a.node(pa);
+        let nb = b.node(pb);
+        match (&na.kind, &nb.kind) {
+            (NodeKind::Dir(ea), NodeKind::Dir(eb)) => {
+                for x in ea {
+                    for y in eb {
+                        if rect_distance(&x.mbr, &y.mbr) <= eps {
+                            stack.push((PageId(x.child), PageId(y.child)));
+                        }
+                    }
+                }
+            }
+            (NodeKind::Dir(ea), NodeKind::Leaf(_)) => {
+                let mb = nb.mbr();
+                for x in ea {
+                    if rect_distance(&x.mbr, &mb) <= eps {
+                        stack.push((PageId(x.child), pb));
+                    }
+                }
+            }
+            (NodeKind::Leaf(_), NodeKind::Dir(eb)) => {
+                let ma = na.mbr();
+                for y in eb {
+                    if rect_distance(&ma, &y.mbr) <= eps {
+                        stack.push((pa, PageId(y.child)));
+                    }
+                }
+            }
+            (NodeKind::Leaf(ea), NodeKind::Leaf(eb)) => {
+                for x in ea {
+                    for y in eb {
+                        if rect_distance(&x.mbr, &y.mbr) <= eps {
+                            emit(*x, *y);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psj_geom::{Point, Polyline, Rect};
+    use psj_rtree::RTree;
+
+    fn tree(n: usize, offset: f64) -> PagedTree {
+        let mut t = RTree::new();
+        let mut geoms = Vec::new();
+        for i in 0..n {
+            let x = (i % 25) as f64 * 2.0 + offset;
+            let y = (i / 25) as f64 * 2.0 + offset;
+            t.insert(Rect::new(x, y, x + 0.5, y + 0.5), i as u64);
+            geoms.push(Polyline::new(vec![Point::new(x, y), Point::new(x + 0.5, y + 0.5)]));
+        }
+        PagedTree::freeze(&t, move |oid| Some(geoms[oid as usize].clone()))
+    }
+
+    #[test]
+    fn candidates_match_brute_force() {
+        let a = tree(300, 0.0);
+        let b = tree(300, 0.7);
+        for eps in [0.0, 0.3, 1.0, 5.0] {
+            let mut got = distance_join_candidates(&a, &b, eps);
+            got.sort_unstable();
+            let all_a = a.window_query(&a.mbr());
+            let all_b = b.window_query(&b.mbr());
+            let mut want = Vec::new();
+            for ea in &all_a {
+                for eb in &all_b {
+                    if rect_distance(&ea.mbr, &eb.mbr) <= eps {
+                        want.push((ea.oid, eb.oid));
+                    }
+                }
+            }
+            want.sort_unstable();
+            assert_eq!(got, want, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn exact_join_matches_brute_force_geometry() {
+        let a = tree(200, 0.0);
+        let b = tree(200, 0.7);
+        let eps = 0.4;
+        let mut got = distance_join(&a, &b, eps);
+        got.sort_unstable();
+        let all_a = a.window_query(&a.mbr());
+        let all_b = b.window_query(&b.mbr());
+        let mut want = Vec::new();
+        for ea in &all_a {
+            for eb in &all_b {
+                let ga = a.clusters().geometry(ea.geom.page, ea.geom.slot).unwrap();
+                let gb = b.clusters().geometry(eb.geom.page, eb.geom.slot).unwrap();
+                if psj_geom::polylines_within(ga, gb, eps) {
+                    want.push((ea.oid, eb.oid));
+                }
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn eps_zero_contains_intersection_join() {
+        // eps = 0 distance join ⊇ intersection join (touching counts).
+        let a = tree(200, 0.0);
+        let b = tree(200, 0.25);
+        let dist: std::collections::BTreeSet<_> =
+            distance_join(&a, &b, 0.0).into_iter().collect();
+        for pair in crate::seq::join_refined(&a, &b) {
+            assert!(dist.contains(&pair), "intersection pair {pair:?} missing at eps=0");
+        }
+    }
+
+    #[test]
+    fn growing_eps_is_monotone() {
+        let a = tree(150, 0.0);
+        let b = tree(150, 0.6);
+        let mut last = 0usize;
+        for eps in [0.0, 0.5, 1.0, 2.0, 4.0] {
+            let count = distance_join_candidates(&a, &b, eps).len();
+            assert!(count >= last, "eps={eps}: {count} < {last}");
+            last = count;
+        }
+    }
+
+    #[test]
+    fn empty_trees() {
+        let a = tree(50, 0.0);
+        let empty = PagedTree::freeze(&RTree::new(), |_| None);
+        assert!(distance_join_candidates(&a, &empty, 10.0).is_empty());
+        assert!(distance_join_candidates(&empty, &a, 10.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_eps_rejected() {
+        let a = tree(10, 0.0);
+        let _ = distance_join(&a, &a, -1.0);
+    }
+}

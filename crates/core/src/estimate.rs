@@ -1,0 +1,209 @@
+//! Analytic cost estimation for a parallel join run.
+//!
+//! A dry traversal of the two trees yields the workload invariants — the
+//! distinct pages touched, the candidate count, the total simulated
+//! refinement and sweep CPU time — from which simple lower bounds on any
+//! executor's response time follow:
+//!
+//! * disk bound: all touched pages must be read at least once, and `d`
+//!   disks serve at most `d` requests in parallel;
+//! * CPU bound: the total CPU work is spread over at most `n` processors.
+//!
+//! The estimator is useful for sizing (how many disks before the CPU
+//! dominates?) and doubles as an oracle in tests: every simulated run must
+//! respect these bounds, and the best variant with a large buffer should
+//! approach them.
+
+use crate::cost::Platform;
+use crate::task::{create_tasks, expand_pair, Candidate, KernelScratch, TaskPair};
+use psj_rtree::PagedTree;
+use psj_store::{Nanos, PageId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Workload invariants and derived bounds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinEstimate {
+    /// Distinct pages of tree A touched by the traversal.
+    pub pages_a: u64,
+    /// Distinct pages of tree B touched by the traversal.
+    pub pages_b: u64,
+    /// Filter-step candidate pairs.
+    pub candidates: u64,
+    /// Node pairs visited.
+    pub node_pairs: u64,
+    /// Total disk service time if every touched page is read exactly once
+    /// (the cold-buffer minimum).
+    pub min_disk_service: Nanos,
+    /// Total CPU time: plane sweeps plus simulated refinement waits.
+    pub total_cpu: Nanos,
+}
+
+impl JoinEstimate {
+    /// Minimum number of disk accesses any executor needs with cold
+    /// buffers: every touched page once.
+    pub fn min_disk_accesses(&self) -> u64 {
+        self.pages_a + self.pages_b
+    }
+
+    /// Lower bound on the response time with `n` processors and `d` disks:
+    /// `max(disk service / d, CPU / n)`.
+    pub fn response_lower_bound(&self, n: usize, d: usize) -> Nanos {
+        let disk = self.min_disk_service / d.max(1) as u64;
+        let cpu = self.total_cpu / n.max(1) as u64;
+        disk.max(cpu)
+    }
+
+    /// The processor count beyond which the disks (at `d`) are the
+    /// bottleneck: where the CPU bound falls below the disk bound.
+    pub fn cpu_disk_crossover(&self, d: usize) -> usize {
+        let disk = self.min_disk_service / d.max(1) as u64;
+        if disk == 0 {
+            return usize::MAX;
+        }
+        (self.total_cpu / disk.max(1)).max(1) as usize
+    }
+}
+
+/// Computes the estimate by a dry traversal (no buffers, no clocks).
+pub fn estimate_join(a: &PagedTree, b: &PagedTree, platform: &Platform) -> JoinEstimate {
+    let tc = create_tasks(a, b, 1);
+    let mut scratch = KernelScratch::default();
+    let mut stack: Vec<TaskPair> = tc.tasks.iter().rev().copied().collect();
+    let mut children: Vec<TaskPair> = Vec::new();
+    let mut cands: Vec<Candidate> = Vec::new();
+    let mut pages_a: BTreeSet<PageId> = tc.pages_a.iter().copied().collect();
+    let mut pages_b: BTreeSet<PageId> = tc.pages_b.iter().copied().collect();
+    let mut candidates = 0u64;
+    let mut node_pairs = 0u64;
+    let mut total_cpu: Nanos = 0;
+
+    while let Some(pair) = stack.pop() {
+        node_pairs += 1;
+        pages_a.insert(pair.a);
+        pages_b.insert(pair.b);
+        let na = a.node(pair.a);
+        let nb = b.node(pair.b);
+        children.clear();
+        cands.clear();
+        let work = expand_pair(na, nb, &pair, &mut scratch, &mut children, &mut cands);
+        total_cpu += platform.cost.sweep_time(work.entries, work.pairs);
+        stack.extend(children.drain(..).rev());
+        for c in &cands {
+            let ea = a.node(c.page_a).data_entries()[c.idx_a as usize];
+            let eb = b.node(c.page_b).data_entries()[c.idx_b as usize];
+            total_cpu += platform.cost.refinement_time(&ea.mbr, &eb.mbr);
+            candidates += 1;
+        }
+    }
+
+    let mut min_disk_service: Nanos = 0;
+    for &p in &pages_a {
+        min_disk_service += if a.node(p).is_leaf() {
+            platform.disk.data_page_read_time(a.clusters().bytes_of(p))
+        } else {
+            platform.disk.page_read_time()
+        };
+    }
+    for &p in &pages_b {
+        min_disk_service += if b.node(p).is_leaf() {
+            platform.disk.data_page_read_time(b.clusters().bytes_of(p))
+        } else {
+            platform.disk.page_read_time()
+        };
+    }
+
+    JoinEstimate {
+        pages_a: pages_a.len() as u64,
+        pages_b: pages_b.len() as u64,
+        candidates,
+        node_pairs,
+        min_disk_service,
+        total_cpu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{run_sim_join, SimConfig};
+    use psj_geom::Rect;
+    use psj_rtree::RTree;
+
+    fn tree(n: usize, offset: f64) -> PagedTree {
+        let mut t = RTree::new();
+        for i in 0..n {
+            let x = (i % 30) as f64 + offset;
+            let y = (i / 30) as f64 + offset;
+            t.insert(Rect::new(x, y, x + 1.1, y + 1.1), i as u64);
+        }
+        PagedTree::freeze(&t, |_| None)
+    }
+
+    #[test]
+    fn estimate_counts_match_simulation() {
+        let a = tree(800, 0.0);
+        let b = tree(800, 0.4);
+        let platform = Platform::paper(4);
+        let est = estimate_join(&a, &b, &platform);
+        let m = run_sim_join(&a, &b, &SimConfig::best(4, 4, 4096)).metrics;
+        assert_eq!(est.candidates, m.candidates);
+        // A huge buffer reads every touched page exactly once.
+        assert_eq!(est.min_disk_accesses(), m.disk_accesses);
+    }
+
+    #[test]
+    fn simulated_response_respects_lower_bound() {
+        let a = tree(800, 0.0);
+        let b = tree(800, 0.4);
+        let platform = Platform::paper(4);
+        let est = estimate_join(&a, &b, &platform);
+        for (n, d, buf) in [(1usize, 1usize, 16usize), (4, 4, 64), (8, 8, 4096)] {
+            let m = run_sim_join(&a, &b, &SimConfig::best(n, d, buf)).metrics;
+            let bound = est.response_lower_bound(n, d);
+            assert!(
+                m.response_time >= bound,
+                "n={n} d={d}: response {} below bound {}",
+                m.response_time,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn best_variant_with_big_buffer_approaches_the_bound() {
+        let a = tree(900, 0.0);
+        let b = tree(900, 0.4);
+        let platform = Platform::paper(8);
+        let est = estimate_join(&a, &b, &platform);
+        let m = run_sim_join(&a, &b, &SimConfig::best(8, 8, 4096)).metrics;
+        let bound = est.response_lower_bound(8, 8) as f64;
+        let ratio = m.response_time as f64 / bound;
+        assert!(ratio < 2.5, "response is {ratio:.2}x the lower bound");
+    }
+
+    #[test]
+    fn crossover_is_sane() {
+        let a = tree(800, 0.0);
+        let b = tree(800, 0.4);
+        let platform = Platform::paper(1);
+        let est = estimate_join(&a, &b, &platform);
+        let cross = est.cpu_disk_crossover(1);
+        // With one disk, a CPU-heavy workload crosses over at a small
+        // processor count (the Figure 9 d=1 saturation).
+        assert!(cross >= 1);
+        let more_disks = est.cpu_disk_crossover(8);
+        assert!(more_disks >= cross, "more disks must push the crossover up");
+    }
+
+    #[test]
+    fn disjoint_join_is_free() {
+        let a = tree(100, 0.0);
+        let b = tree(100, 10_000.0);
+        let est = estimate_join(&a, &b, &Platform::paper(1));
+        assert_eq!(est.candidates, 0);
+        assert_eq!(est.node_pairs, 0);
+        // Only the roots were touched during task creation.
+        assert_eq!(est.min_disk_accesses(), 2);
+    }
+}

@@ -1,0 +1,344 @@
+//! Native multithreaded executor: the same three-phase parallel join run on
+//! real OS threads.
+//!
+//! While [`crate::sim`] reproduces the paper's *evaluation* (virtual time,
+//! KSR1 cost model), this executor is what a downstream user calls to
+//! actually join two indexed relations fast: `n` worker threads drain the
+//! task set, descend the trees with the same kernel, refine candidates with
+//! the *exact* polyline geometry from the clusters, and steal work from each
+//! other when they run dry (crossbeam deques — the moral equivalent of the
+//! paper's task reassignment, without the cost model).
+
+use crate::assign::{static_range, static_round_robin, Assignment};
+use crate::task::{create_tasks, expand_pair, Candidate, KernelScratch, TaskPair};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use psj_rtree::PagedTree;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Configuration of a native parallel join.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NativeConfig {
+    /// Number of worker threads.
+    pub num_threads: usize,
+    /// Task assignment strategy (dynamic = shared injector; static
+    /// strategies pre-partition, with stealing providing the reassignment).
+    pub assignment: Assignment,
+    /// Whether idle workers steal from busy ones.
+    pub work_stealing: bool,
+    /// Phase 1 descends until at least `min_tasks_factor × num_threads`
+    /// tasks exist.
+    pub min_tasks_factor: usize,
+    /// `true`: run the exact-geometry refinement step on every candidate
+    /// (objects without stored geometry pass through). `false`: return the
+    /// filter-step candidates.
+    pub refine: bool,
+}
+
+impl NativeConfig {
+    /// Dynamic assignment with stealing — the recommended configuration.
+    pub fn new(num_threads: usize) -> Self {
+        NativeConfig {
+            num_threads,
+            assignment: Assignment::Dynamic,
+            work_stealing: true,
+            min_tasks_factor: 8,
+            refine: true,
+        }
+    }
+}
+
+/// Result of a native parallel join.
+#[derive(Debug, Clone)]
+pub struct NativeResult {
+    /// Joined `(oid_a, oid_b)` pairs: exact results when `refine` was set,
+    /// filter-step candidates otherwise. Order is unspecified (parallel).
+    pub pairs: Vec<(u64, u64)>,
+    /// Number of filter-step candidates (before refinement).
+    pub candidates: u64,
+    /// Node pairs visited across all threads.
+    pub node_pairs: u64,
+    /// Wall-clock duration of the parallel phase.
+    pub elapsed: std::time::Duration,
+    /// Number of tasks created in phase 1.
+    pub tasks: usize,
+    /// Successful steals across all workers.
+    pub steals: u64,
+}
+
+/// Runs the join on real threads.
+pub fn run_native_join(a: &PagedTree, b: &PagedTree, cfg: &NativeConfig) -> NativeResult {
+    assert!(cfg.num_threads > 0, "need at least one thread");
+    let tc = create_tasks(a, b, cfg.min_tasks_factor * cfg.num_threads);
+    let tasks = tc.tasks.len();
+
+    let injector: Injector<TaskPair> = Injector::new();
+    let workers: Vec<Worker<TaskPair>> =
+        (0..cfg.num_threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<TaskPair>> = workers.iter().map(|w| w.stealer()).collect();
+
+    match cfg.assignment {
+        Assignment::Dynamic => {
+            for t in &tc.tasks {
+                injector.push(*t);
+            }
+        }
+        Assignment::StaticRange => {
+            for (w, load) in workers.iter().zip(static_range(&tc.tasks, cfg.num_threads)) {
+                // LIFO worker: push in reverse so pops follow sweep order.
+                for t in load.into_iter().rev() {
+                    w.push(t);
+                }
+            }
+        }
+        Assignment::StaticRoundRobin => {
+            for (w, load) in workers.iter().zip(static_round_robin(&tc.tasks, cfg.num_threads)) {
+                for t in load.into_iter().rev() {
+                    w.push(t);
+                }
+            }
+        }
+    }
+
+    let candidates = AtomicU64::new(0);
+    let node_pairs = AtomicU64::new(0);
+    let steals = AtomicU64::new(0);
+    let active = AtomicUsize::new(cfg.num_threads);
+    let start = Instant::now();
+
+    let mut results: Vec<Vec<(u64, u64)>> = Vec::with_capacity(cfg.num_threads);
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.num_threads);
+        for (id, worker) in workers.into_iter().enumerate() {
+            let injector = &injector;
+            let stealers = &stealers;
+            let candidates = &candidates;
+            let node_pairs = &node_pairs;
+            let steals = &steals;
+            let active = &active;
+            handles.push(scope.spawn(move |_| {
+                run_worker(
+                    id, a, b, cfg, worker, injector, stealers, candidates, node_pairs, steals,
+                    active,
+                )
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope failed");
+    let elapsed = start.elapsed();
+
+    let mut pairs = Vec::with_capacity(results.iter().map(Vec::len).sum());
+    for mut r in results {
+        pairs.append(&mut r);
+    }
+    NativeResult {
+        pairs,
+        candidates: candidates.load(Ordering::Relaxed),
+        node_pairs: node_pairs.load(Ordering::Relaxed),
+        elapsed,
+        tasks,
+        steals: steals.load(Ordering::Relaxed),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    id: usize,
+    a: &PagedTree,
+    b: &PagedTree,
+    cfg: &NativeConfig,
+    worker: Worker<TaskPair>,
+    injector: &Injector<TaskPair>,
+    stealers: &[Stealer<TaskPair>],
+    candidates: &AtomicU64,
+    node_pairs: &AtomicU64,
+    steals: &AtomicU64,
+    active: &AtomicUsize,
+) -> Vec<(u64, u64)> {
+    let mut scratch = KernelScratch::default();
+    let mut children: Vec<TaskPair> = Vec::new();
+    let mut cands: Vec<Candidate> = Vec::new();
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    let mut local_candidates = 0u64;
+    let mut local_pairs = 0u64;
+
+    'outer: loop {
+        // Local work first, then the shared queue, then stealing.
+        let pair = worker.pop().or_else(|| {
+            loop {
+                match injector.steal_batch_and_pop(&worker) {
+                    Steal::Success(t) => return Some(t),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+            if !cfg.work_stealing {
+                return None;
+            }
+            // Steal half a victim's deque, round-robin from our own id.
+            for k in 1..stealers.len() {
+                let v = (id + k) % stealers.len();
+                loop {
+                    match stealers[v].steal_batch_and_pop(&worker) {
+                        Steal::Success(t) => {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                            return Some(t);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                }
+            }
+            None
+        });
+
+        let Some(pair) = pair else {
+            // Nothing found: deregister; if others are still active they may
+            // still produce work, so spin-wait politely and re-check.
+            let remaining = active.fetch_sub(1, Ordering::SeqCst) - 1;
+            if remaining == 0 {
+                break 'outer;
+            }
+            loop {
+                std::thread::yield_now();
+                if active.load(Ordering::SeqCst) == 0 {
+                    break 'outer;
+                }
+                let has_work = !injector.is_empty()
+                    || (cfg.work_stealing && stealers.iter().any(|s| !s.is_empty()));
+                if has_work {
+                    active.fetch_add(1, Ordering::SeqCst);
+                    continue 'outer;
+                }
+            }
+        };
+
+        local_pairs += 1;
+        let na = a.node(pair.a);
+        let nb = b.node(pair.b);
+        children.clear();
+        cands.clear();
+        expand_pair(na, nb, &pair, &mut scratch, &mut children, &mut cands);
+        for c in children.drain(..).rev() {
+            worker.push(c);
+        }
+        for c in &cands {
+            local_candidates += 1;
+            let ea = a.node(c.page_a).data_entries()[c.idx_a as usize];
+            let eb = b.node(c.page_b).data_entries()[c.idx_b as usize];
+            if cfg.refine {
+                let ga = a.clusters().geometry(ea.geom.page, ea.geom.slot);
+                let gb = b.clusters().geometry(eb.geom.page, eb.geom.slot);
+                let hit = match (ga, gb) {
+                    (Some(ga), Some(gb)) => ga.intersects(gb),
+                    _ => true,
+                };
+                if hit {
+                    out.push((ea.oid, eb.oid));
+                }
+            } else {
+                out.push((ea.oid, eb.oid));
+            }
+        }
+    }
+
+    candidates.fetch_add(local_candidates, Ordering::Relaxed);
+    node_pairs.fetch_add(local_pairs, Ordering::Relaxed);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{join_candidates, join_refined};
+    use psj_geom::{Point, Polyline, Rect};
+    use psj_rtree::RTree;
+    use std::collections::BTreeSet;
+
+    fn tree(n: usize, offset: f64) -> PagedTree {
+        let mut t = RTree::new();
+        let mut geoms = Vec::new();
+        for i in 0..n {
+            let x = (i % 30) as f64 + offset;
+            let y = (i / 30) as f64 + offset;
+            t.insert(Rect::new(x, y, x + 1.1, y + 1.1), i as u64);
+            geoms.push(Polyline::new(vec![Point::new(x, y), Point::new(x + 1.1, y + 1.1)]));
+        }
+        PagedTree::freeze(&t, move |oid| Some(geoms[oid as usize].clone()))
+    }
+
+    fn as_set(v: &[(u64, u64)]) -> BTreeSet<(u64, u64)> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn filter_step_matches_sequential() {
+        let a = tree(800, 0.0);
+        let b = tree(800, 0.4);
+        let want = as_set(&join_candidates(&a, &b).candidates);
+        for threads in [1, 2, 4, 8] {
+            let mut cfg = NativeConfig::new(threads);
+            cfg.refine = false;
+            let res = run_native_join(&a, &b, &cfg);
+            assert_eq!(as_set(&res.pairs), want, "{threads} threads");
+            assert_eq!(res.candidates as usize, res.pairs.len());
+        }
+    }
+
+    #[test]
+    fn refined_matches_sequential_refined() {
+        let a = tree(600, 0.0);
+        let b = tree(600, 0.4);
+        let want = as_set(&join_refined(&a, &b));
+        let res = run_native_join(&a, &b, &NativeConfig::new(4));
+        assert_eq!(as_set(&res.pairs), want);
+        assert!(res.pairs.len() <= res.candidates as usize);
+    }
+
+    #[test]
+    fn static_assignments_with_stealing_are_correct() {
+        let a = tree(600, 0.0);
+        let b = tree(600, 0.4);
+        let want = as_set(&join_candidates(&a, &b).candidates);
+        for assignment in [Assignment::StaticRange, Assignment::StaticRoundRobin] {
+            let cfg = NativeConfig {
+                num_threads: 4,
+                assignment,
+                work_stealing: true,
+                min_tasks_factor: 4,
+                refine: false,
+            };
+            let res = run_native_join(&a, &b, &cfg);
+            assert_eq!(as_set(&res.pairs), want, "{assignment:?}");
+        }
+    }
+
+    #[test]
+    fn static_without_stealing_is_correct() {
+        let a = tree(600, 0.0);
+        let b = tree(600, 0.4);
+        let want = as_set(&join_candidates(&a, &b).candidates);
+        let cfg = NativeConfig {
+            num_threads: 3,
+            assignment: Assignment::StaticRange,
+            work_stealing: false,
+            min_tasks_factor: 2,
+            refine: false,
+        };
+        let res = run_native_join(&a, &b, &cfg);
+        assert_eq!(as_set(&res.pairs), want);
+    }
+
+    #[test]
+    fn empty_join_terminates() {
+        let a = tree(50, 0.0);
+        let b = tree(50, 10_000.0);
+        let res = run_native_join(&a, &b, &NativeConfig::new(4));
+        assert!(res.pairs.is_empty());
+        assert_eq!(res.tasks, 0);
+    }
+}

@@ -1,0 +1,600 @@
+//! Shared-nothing distributed spatial join — the paper's §5 future work.
+//!
+//! "In our future work, we are particularly interested in a distributed
+//! spatial join processing using a shared-nothing architecture. [...] In
+//! contrast to the SVM-model, in a shared-nothing architecture the
+//! assignment of the data to the different disks is of special interest."
+//!
+//! This executor models a cluster of `n` *sites*, each with its own
+//! processor, private buffer, and private disk. Every page has a **home
+//! site** determined by the placement policy; a site needing a foreign page
+//! sends a request over the interconnect: the home site serves it from its
+//! buffer or reads it from *its* disk, then ships the 4 KB page back
+//! (request latency + transfer time). Received pages are cached in the
+//! requester's buffer (replication — the paper notes that parallel spatial
+//! joins need data replication or communication; here we model both).
+//!
+//! The placement policy is the experiment: round-robin (`page mod n`, the
+//! paper's spatially-oblivious simulated disk array) versus contiguous
+//! block partitioning (pages in depth-first order are spatially clustered,
+//! so blocks ≈ spatial partitions — good locality for range-assigned tasks,
+//! but hot-spot prone).
+
+use crate::assign::{static_range, static_round_robin, Assignment};
+use crate::cost::Platform;
+use crate::metrics::JoinMetrics;
+use crate::task::{create_tasks, expand_pair, Candidate, KernelScratch, TaskPair};
+use psj_buffer::{BufferStats, LocalBuffers, PathBuffer};
+use psj_desim::{EventQueue, ResourcePool};
+use psj_rtree::PagedTree;
+use psj_store::disk::DiskStats;
+use psj_store::{Nanos, PageId, MICROS};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How pages are assigned to home sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// `page mod n` — spatially oblivious, perfectly balanced.
+    RoundRobin,
+    /// Contiguous blocks of the (depth-first, spatially clustered) page
+    /// order — spatially correlated, hot-spot prone.
+    Contiguous,
+}
+
+/// Interconnect model (ATM-era defaults; both fields are configurable).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Network {
+    /// One-way message latency.
+    pub latency: Nanos,
+    /// Transfer time for one 4 KB page.
+    pub page_transfer: Nanos,
+}
+
+impl Network {
+    /// A mid-90s ATM switch: ~250 µs latency, ~12 MB/s effective → ~330 µs
+    /// per 4 KB page.
+    pub fn atm() -> Self {
+        Network { latency: 250 * MICROS, page_transfer: 330 * MICROS }
+    }
+
+    /// A modern datacenter network: 10 µs latency, ~1 GB/s → 4 µs per page.
+    pub fn fast() -> Self {
+        Network { latency: 10 * MICROS, page_transfer: 4 * MICROS }
+    }
+}
+
+/// Configuration of one shared-nothing run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardedConfig {
+    /// Number of sites (processor + buffer + disk each).
+    pub num_sites: usize,
+    /// Buffer pages per site.
+    pub buffer_pages_per_site: usize,
+    /// Page placement policy.
+    pub placement: Placement,
+    /// Task assignment (dynamic uses a coordinator queue at site 0; queue
+    /// accesses from other sites pay a network round trip).
+    pub assignment: Assignment,
+    /// Interconnect model.
+    pub network: Network,
+    /// Disk and CPU cost model (per-site disks use the same disk model).
+    pub platform: Platform,
+    /// Phase 1 descends until at least `min_tasks_factor × n` tasks exist.
+    pub min_tasks_factor: usize,
+    /// Collect candidate pairs for verification.
+    pub collect_candidates: bool,
+}
+
+impl ShardedConfig {
+    /// Round-robin placement, dynamic assignment, ATM network.
+    pub fn new(num_sites: usize, buffer_pages_per_site: usize) -> Self {
+        ShardedConfig {
+            num_sites,
+            buffer_pages_per_site,
+            placement: Placement::RoundRobin,
+            assignment: Assignment::Dynamic,
+            network: Network::atm(),
+            platform: Platform::paper(num_sites),
+            min_tasks_factor: 4,
+            collect_candidates: false,
+        }
+    }
+}
+
+/// Metrics specific to the shared-nothing run, wrapping [`JoinMetrics`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardedMetrics {
+    /// The common join metrics.
+    pub join: JoinMetrics,
+    /// Page requests served over the network.
+    pub remote_requests: u64,
+    /// Remote requests that the home site answered from its buffer.
+    pub remote_buffer_hits: u64,
+    /// Total bytes shipped over the interconnect.
+    pub network_bytes: u64,
+}
+
+/// Result of a shared-nothing run.
+#[derive(Debug, Clone)]
+pub struct ShardedResult {
+    /// Metrics.
+    pub metrics: ShardedMetrics,
+    /// Candidates when requested.
+    pub candidates: Option<Vec<(u64, u64)>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Stage {
+    NeedA,
+    NeedB,
+    Process,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Resume(usize),
+}
+
+struct Site {
+    workload: VecDeque<TaskPair>,
+    stack: Vec<TaskPair>,
+    pending: Option<(TaskPair, Stage)>,
+    /// A page to install into this site's buffer on resume.
+    install: Option<PageId>,
+    paths: [PathBuffer; 2],
+    parked: bool,
+    idle_total: Nanos,
+    idle_before_last_work: Nanos,
+    parked_since: Nanos,
+    last_work_end: Nanos,
+    /// Work version observed when the site parked; it is only woken when
+    /// new work has appeared since (prevents wake/park live-lock).
+    parked_version: u64,
+}
+
+enum PageOutcome {
+    Acquired,
+    Blocked(Nanos),
+}
+
+/// Runs one shared-nothing simulated join.
+pub fn run_sharded_join(a: &PagedTree, b: &PagedTree, cfg: &ShardedConfig) -> ShardedResult {
+    assert!(cfg.num_sites > 0);
+    let n = cfg.num_sites;
+    let b_offset = a.num_pages() as u32;
+    let total_pages = a.num_pages() + b.num_pages();
+    let block = total_pages.div_ceil(n);
+    let home_of = |upid: PageId| -> usize {
+        match cfg.placement {
+            Placement::RoundRobin => upid.index() % n,
+            Placement::Contiguous => (upid.index() / block).min(n - 1),
+        }
+    };
+    let upid = |tree: u8, page: PageId| -> PageId {
+        if tree == 0 {
+            page
+        } else {
+            PageId(page.0 + b_offset)
+        }
+    };
+    let level_of = |tree: u8, page: PageId| -> usize {
+        (if tree == 0 { a.node(page) } else { b.node(page) }).level as usize
+    };
+    let service_time = |tree: u8, page: PageId| -> Nanos {
+        if level_of(tree, page) == 0 {
+            let bytes =
+                if tree == 0 { a.clusters().bytes_of(page) } else { b.clusters().bytes_of(page) };
+            cfg.platform.disk.data_page_read_time(bytes)
+        } else {
+            cfg.platform.disk.page_read_time()
+        }
+    };
+
+    // --- Phase 1 on site 0 (sequential). ---------------------------------
+    let tc = create_tasks(a, b, cfg.min_tasks_factor * n);
+    let tasks_created = tc.tasks.len();
+
+    let mut buffers = LocalBuffers::new(n, cfg.buffer_pages_per_site);
+    let mut disks = ResourcePool::new(n); // one disk per site
+    let mut disk_stats = DiskStats::new(n);
+    let mut events: EventQueue<Ev> = EventQueue::new();
+    let mut shared_queue: VecDeque<TaskPair> = VecDeque::new();
+    let mut sites: Vec<Site> = (0..n)
+        .map(|_| Site {
+            workload: VecDeque::new(),
+            stack: Vec::new(),
+            pending: None,
+            install: None,
+            paths: [PathBuffer::new(a.height() as usize), PathBuffer::new(b.height() as usize)],
+            parked: false,
+            idle_total: 0,
+            idle_before_last_work: 0,
+            parked_since: 0,
+            last_work_end: 0,
+            parked_version: 0,
+        })
+        .collect();
+
+    let mut work_version: u64 = 1;
+    let mut remote_requests = 0u64;
+    let mut remote_buffer_hits = 0u64;
+    let mut network_bytes = 0u64;
+    let mut dir_reads = 0u64;
+    let mut data_reads = 0u64;
+    let mut candidates = 0u64;
+    let mut collected: Vec<(u64, u64)> = Vec::new();
+
+    // Phase-1 page charges on site 0 (sequential, disks idle).
+    let mut now: Nanos = 0;
+    for (tree, pages) in [(0u8, &tc.pages_a), (1u8, &tc.pages_b)] {
+        for &p in pages {
+            let u = upid(tree, p);
+            if buffers.access(0, u) {
+                now += cfg.platform.cost.mem_local_page;
+            } else {
+                let home = home_of(u);
+                let service = service_time(tree, p);
+                if level_of(tree, p) == 0 {
+                    data_reads += 1;
+                } else {
+                    dir_reads += 1;
+                }
+                let done = disks.request(home, now, service);
+                disk_stats.record(home, service);
+                now = done;
+                if home != 0 {
+                    now += 2 * cfg.network.latency + cfg.network.page_transfer;
+                    remote_requests += 1;
+                    network_bytes += psj_store::PAGE_SIZE as u64;
+                }
+                buffers.load(0, u);
+            }
+        }
+    }
+    sites[0].last_work_end = now;
+    let phase1_end = now;
+
+    // --- Phase 2: assignment. ---------------------------------------------
+    match cfg.assignment {
+        Assignment::StaticRange => {
+            for (p, w) in static_range(&tc.tasks, n).into_iter().enumerate() {
+                sites[p].workload = w.into();
+            }
+        }
+        Assignment::StaticRoundRobin => {
+            for (p, w) in static_round_robin(&tc.tasks, n).into_iter().enumerate() {
+                sites[p].workload = w.into();
+            }
+        }
+        Assignment::Dynamic => {
+            shared_queue = tc.tasks.iter().copied().collect();
+        }
+    }
+
+    // --- Phase 3: the event loop. ------------------------------------------
+    for p in 0..n {
+        events.schedule(phase1_end, Ev::Resume(p));
+    }
+    let mut scratch = KernelScratch::default();
+    let mut child_buf: Vec<TaskPair> = Vec::new();
+    let mut cand_buf: Vec<Candidate> = Vec::new();
+
+    while let Some((t, Ev::Resume(p))) = events.pop() {
+        let mut now = t;
+        if sites[p].parked {
+            sites[p].parked = false;
+            sites[p].idle_total += now.saturating_sub(sites[p].parked_since);
+        }
+        if let Some(u) = sites[p].install.take() {
+            buffers.load(p, u);
+        }
+        'run: loop {
+            if events.peek_time().is_some_and(|pt| pt < now) {
+                events.schedule(now, Ev::Resume(p));
+                break 'run;
+            }
+            if let Some((pair, stage)) = sites[p].pending.take() {
+                let (tree, page, next) = match stage {
+                    Stage::NeedA => (0u8, pair.a, Stage::NeedB),
+                    Stage::NeedB => (1u8, pair.b, Stage::Process),
+                    Stage::Process => {
+                        // Both pages resident: run the kernel.
+                        let na = a.node(pair.a);
+                        let nb = b.node(pair.b);
+                        child_buf.clear();
+                        cand_buf.clear();
+                        let work =
+                            expand_pair(na, nb, &pair, &mut scratch, &mut child_buf, &mut cand_buf);
+                        now += cfg.platform.cost.sweep_time(work.entries, work.pairs);
+                        sites[p].stack.extend(child_buf.drain(..).rev());
+                        for c in &cand_buf {
+                            let ea = a.node(c.page_a).data_entries()[c.idx_a as usize];
+                            let eb = b.node(c.page_b).data_entries()[c.idx_b as usize];
+                            now += cfg.platform.cost.refinement_time(&ea.mbr, &eb.mbr);
+                            candidates += 1;
+                            if cfg.collect_candidates {
+                                collected.push((ea.oid, eb.oid));
+                            }
+                        }
+                        sites[p].idle_before_last_work = sites[p].idle_total;
+                        sites[p].last_work_end = now;
+                        continue 'run;
+                    }
+                };
+                let level = match stage {
+                    Stage::NeedA => pair.la as usize,
+                    _ => pair.lb as usize,
+                };
+                sites[p].pending = Some((pair, next));
+                match access_page(
+                    p, tree, page, level, &mut now, cfg, &mut buffers, &mut disks,
+                    &mut disk_stats, &mut sites, &home_of, &upid, &service_time,
+                    &mut remote_requests, &mut remote_buffer_hits, &mut network_bytes,
+                    &mut dir_reads, &mut data_reads,
+                ) {
+                    PageOutcome::Acquired => continue 'run,
+                    PageOutcome::Blocked(at) => {
+                        events.schedule(at, Ev::Resume(p));
+                        break 'run;
+                    }
+                }
+            }
+            if let Some(pair) = sites[p].stack.pop() {
+                sites[p].pending = Some((pair, Stage::NeedA));
+                continue 'run;
+            }
+            if let Some(task) = sites[p].workload.pop_front() {
+                sites[p].stack.push(task);
+                continue 'run;
+            }
+            if cfg.assignment == Assignment::Dynamic && !shared_queue.is_empty() {
+                // Coordinator queue at site 0: remote sites pay a round trip.
+                now += cfg.platform.cost.task_queue_access;
+                if p != 0 {
+                    now += 2 * cfg.network.latency;
+                }
+                if let Some(task) = shared_queue.pop_front() {
+                    sites[p].stack.push(task);
+                    continue 'run;
+                }
+            }
+            // Steal half of the most loaded site's unstarted work (root-level
+            // reassignment over the network).
+            if let Some(v) = most_loaded_site(&sites, p) {
+                now += cfg.platform.cost.reassign_overhead + 2 * cfg.network.latency;
+                let take = sites[v].workload.len().div_ceil(2);
+                let mut stolen: Vec<TaskPair> = Vec::with_capacity(take);
+                for _ in 0..take {
+                    if let Some(t) = sites[v].workload.pop_back() {
+                        stolen.push(t);
+                    }
+                }
+                stolen.reverse();
+                sites[p].workload.extend(stolen);
+                work_version += 1;
+                continue 'run;
+            }
+            sites[p].parked = true;
+            sites[p].parked_since = now;
+            sites[p].parked_version = work_version;
+            break 'run;
+        }
+        // Wake parked sites only when work appeared since they parked —
+        // waking unconditionally would live-lock a site that cannot steal.
+        let any_work = !shared_queue.is_empty()
+            || sites.iter().any(|s| s.workload.len() >= 2);
+        if any_work {
+            for (q, site) in sites.iter_mut().enumerate() {
+                if site.parked && site.parked_version < work_version {
+                    site.parked = false;
+                    site.idle_total += t.saturating_sub(site.parked_since);
+                    events.schedule(t, Ev::Resume(q));
+                }
+            }
+        }
+    }
+
+    let proc_finish: Vec<Nanos> = sites.iter().map(|s| s.last_work_end).collect();
+    let proc_busy: Vec<Nanos> =
+        sites.iter().map(|s| s.last_work_end.saturating_sub(s.idle_before_last_work)).collect();
+    let response_time = proc_finish.iter().copied().max().unwrap_or(0);
+    let buffer: BufferStats = buffers.total_stats();
+    let join = JoinMetrics {
+        num_procs: n,
+        num_disks: n,
+        tasks: tasks_created,
+        response_time,
+        proc_finish,
+        proc_busy,
+        disk_accesses: disk_stats.total_reads(),
+        dir_page_reads: dir_reads,
+        data_page_reads: data_reads,
+        buffer,
+        candidates,
+        reassignments: 0,
+        steals_failed: 0,
+    };
+    ShardedResult {
+        metrics: ShardedMetrics { join, remote_requests, remote_buffer_hits, network_bytes },
+        candidates: if cfg.collect_candidates { Some(collected) } else { None },
+    }
+}
+
+fn most_loaded_site(sites: &[Site], p: usize) -> Option<usize> {
+    sites
+        .iter()
+        .enumerate()
+        .filter(|&(v, s)| v != p && s.workload.len() >= 2)
+        .max_by_key(|&(_, s)| s.workload.len())
+        .map(|(v, _)| v)
+}
+
+/// One page access at site `p`: path buffer → own buffer → home site
+/// (buffer or disk) over the network.
+#[allow(clippy::too_many_arguments)]
+fn access_page(
+    p: usize,
+    tree: u8,
+    page: PageId,
+    level: usize,
+    now: &mut Nanos,
+    cfg: &ShardedConfig,
+    buffers: &mut LocalBuffers,
+    disks: &mut ResourcePool,
+    disk_stats: &mut DiskStats,
+    sites: &mut [Site],
+    home_of: &dyn Fn(PageId) -> usize,
+    upid: &dyn Fn(u8, PageId) -> PageId,
+    service_time: &dyn Fn(u8, PageId) -> Nanos,
+    remote_requests: &mut u64,
+    remote_buffer_hits: &mut u64,
+    network_bytes: &mut u64,
+    dir_reads: &mut u64,
+    data_reads: &mut u64,
+) -> PageOutcome {
+    if sites[p].paths[tree as usize].access(level, page) {
+        buffers.record_path_hit(p);
+        return PageOutcome::Acquired;
+    }
+    let u = upid(tree, page);
+    if buffers.access(p, u) {
+        *now += cfg.platform.cost.mem_local_page;
+        return PageOutcome::Acquired;
+    }
+    let home = home_of(u);
+    if home == p {
+        // Own disk.
+        let service = service_time(tree, page);
+        if level == 0 {
+            *data_reads += 1;
+        } else {
+            *dir_reads += 1;
+        }
+        let done = disks.request(p, *now, service);
+        disk_stats.record(p, service);
+        sites[p].install = Some(u);
+        return PageOutcome::Blocked(done);
+    }
+    // Remote request: latency to home; served from home's buffer if
+    // resident there, else from home's disk; then shipped back.
+    *remote_requests += 1;
+    *network_bytes += psj_store::PAGE_SIZE as u64;
+    let arrive_home = *now + cfg.network.latency;
+    let served_at = if buffers.contains(home, u) {
+        *remote_buffer_hits += 1;
+        arrive_home + cfg.platform.cost.mem_local_page
+    } else {
+        let service = service_time(tree, page);
+        if level == 0 {
+            *data_reads += 1;
+        } else {
+            *dir_reads += 1;
+        }
+        let done = disks.request(home, arrive_home, service);
+        disk_stats.record(home, service);
+        // The home site caches what it read on behalf of others.
+        buffers.load(home, u);
+        done
+    };
+    let back = served_at + cfg.network.latency + cfg.network.page_transfer;
+    sites[p].install = Some(u);
+    PageOutcome::Blocked(back)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::join_candidates;
+    use psj_geom::Rect;
+    use psj_rtree::RTree;
+    use std::collections::BTreeSet;
+
+    fn tree(n: usize, offset: f64) -> PagedTree {
+        let mut t = RTree::new();
+        for i in 0..n {
+            let x = (i % 30) as f64 + offset;
+            let y = (i / 30) as f64 + offset;
+            t.insert(Rect::new(x, y, x + 1.1, y + 1.1), i as u64);
+        }
+        PagedTree::freeze(&t, |_| None)
+    }
+
+    fn as_set(v: &[(u64, u64)]) -> BTreeSet<(u64, u64)> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn sharded_join_matches_sequential() {
+        let a = tree(700, 0.0);
+        let b = tree(700, 0.4);
+        let want = as_set(&join_candidates(&a, &b).candidates);
+        for placement in [Placement::RoundRobin, Placement::Contiguous] {
+            for assignment in
+                [Assignment::Dynamic, Assignment::StaticRange, Assignment::StaticRoundRobin]
+            {
+                let cfg = ShardedConfig {
+                    placement,
+                    assignment,
+                    collect_candidates: true,
+                    ..ShardedConfig::new(4, 16)
+                };
+                let res = run_sharded_join(&a, &b, &cfg);
+                assert_eq!(
+                    as_set(res.candidates.as_ref().unwrap()),
+                    want,
+                    "{placement:?}/{assignment:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_is_deterministic() {
+        let a = tree(500, 0.0);
+        let b = tree(500, 0.3);
+        let cfg = ShardedConfig::new(6, 16);
+        let m1 = run_sharded_join(&a, &b, &cfg).metrics;
+        let m2 = run_sharded_join(&a, &b, &cfg).metrics;
+        assert_eq!(m1.join.response_time, m2.join.response_time);
+        assert_eq!(m1.network_bytes, m2.network_bytes);
+    }
+
+    #[test]
+    fn more_sites_scale_down_response() {
+        let a = tree(900, 0.0);
+        let b = tree(900, 0.4);
+        let m1 = run_sharded_join(&a, &b, &ShardedConfig::new(1, 64)).metrics;
+        let m8 = run_sharded_join(&a, &b, &ShardedConfig::new(8, 64)).metrics;
+        assert!(
+            m8.join.response_time < m1.join.response_time,
+            "8 sites {} !< 1 site {}",
+            m8.join.response_time,
+            m1.join.response_time
+        );
+    }
+
+    #[test]
+    fn remote_traffic_exists_with_multiple_sites() {
+        let a = tree(700, 0.0);
+        let b = tree(700, 0.4);
+        let m = run_sharded_join(&a, &b, &ShardedConfig::new(4, 16)).metrics;
+        assert!(m.remote_requests > 0);
+        assert!(m.network_bytes >= m.remote_requests * 4096);
+        // Single site: everything is local.
+        let m1 = run_sharded_join(&a, &b, &ShardedConfig::new(1, 64)).metrics;
+        assert_eq!(m1.remote_requests, 0);
+        assert_eq!(m1.network_bytes, 0);
+    }
+
+    #[test]
+    fn fast_network_beats_atm() {
+        let a = tree(900, 0.0);
+        let b = tree(900, 0.4);
+        let atm = ShardedConfig { network: Network::atm(), ..ShardedConfig::new(8, 32) };
+        let fast = ShardedConfig { network: Network::fast(), ..ShardedConfig::new(8, 32) };
+        let m_atm = run_sharded_join(&a, &b, &atm).metrics;
+        let m_fast = run_sharded_join(&a, &b, &fast).metrics;
+        assert!(m_fast.join.response_time <= m_atm.join.response_time);
+    }
+}

@@ -1,0 +1,102 @@
+//! Binary serialization of generated maps.
+//!
+//! A deliberately simple, self-describing format (magic, version, count,
+//! then per object: oid + vertex list), so scenario generation and
+//! indexing can run as separate CLI steps.
+
+use crate::MapObject;
+use psj_geom::{Point, Polyline};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 6] = b"PSJM1\n";
+
+/// Writes a map to `path`, overwriting any existing file.
+pub fn save_map(objects: &[MapObject], path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(objects.len() as u64).to_le_bytes())?;
+    for o in objects {
+        w.write_all(&o.oid.to_le_bytes())?;
+        let pts = o.geom.points();
+        w.write_all(&(pts.len() as u32).to_le_bytes())?;
+        for p in pts {
+            w.write_all(&p.x.to_le_bytes())?;
+            w.write_all(&p.y.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads a map previously written by [`save_map`].
+pub fn load_map(path: &Path) -> io::Result<Vec<MapObject>> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 6];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a psj map file"));
+    }
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let count = u64::from_le_bytes(b8) as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 24));
+    for _ in 0..count {
+        r.read_exact(&mut b8)?;
+        let oid = u64::from_le_bytes(b8);
+        let mut b4 = [0u8; 4];
+        r.read_exact(&mut b4)?;
+        let nv = u32::from_le_bytes(b4) as usize;
+        if !(2..=1_000_000).contains(&nv) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible vertex count"));
+        }
+        let mut pts = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            r.read_exact(&mut b8)?;
+            let x = f64::from_le_bytes(b8);
+            r.read_exact(&mut b8)?;
+            let y = f64::from_le_bytes(b8);
+            pts.push(Point::new(x, y));
+        }
+        out.push(MapObject { oid, geom: Polyline::new(pts) });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("psj-map-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (m1, _) = Scenario::scaled(5, 0.002).generate();
+        let path = tmp("roundtrip");
+        save_map(&m1, &path).unwrap();
+        let loaded = load_map(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, m1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(load_map(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_map_roundtrip() {
+        let path = tmp("empty");
+        save_map(&[], &path).unwrap();
+        let loaded = load_map(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(loaded.is_empty());
+    }
+}

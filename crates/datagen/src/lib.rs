@@ -1,0 +1,422 @@
+//! Synthetic TIGER-like map generation.
+//!
+//! The paper evaluates on two 1990 TIGER/Line extracts of Californian
+//! counties: *map 1* holds 131,443 street segments, *map 2* holds 127,312
+//! objects representing administrative boundaries, rivers and railway
+//! tracks. Those files are not redistributable here, so this crate generates
+//! a synthetic scenario with the same *statistics* (see DESIGN.md §2):
+//!
+//! * TIGER decomposes linear features into short per-segment records — both
+//!   maps therefore consist of very many small-MBR polylines;
+//! * streets cluster inside towns; rivers meander across the map; railways
+//!   connect towns; boundaries ring towns and follow a county grid —
+//!   so the two relations are spatially correlated, which is what makes the
+//!   spatial join selective but non-trivial;
+//! * object counts, page layout and R\*-tree shape (height 3, ≈7 k data
+//!   pages, ≈95 directory pages) match the paper's Table 1 at
+//!   [`Scenario::paper`] scale.
+//!
+//! Everything is driven by a single `u64` seed through [`rand::rngs::StdRng`]
+//! — identical seeds yield byte-identical maps on every platform.
+
+#![warn(missing_docs)]
+
+pub mod io;
+
+use psj_geom::{Point, Polyline, Rect};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One spatial object: an id and its exact polyline geometry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapObject {
+    /// Object identifier, unique within its map.
+    pub oid: u64,
+    /// Exact geometry.
+    pub geom: Polyline,
+}
+
+impl MapObject {
+    /// The object's MBR.
+    pub fn mbr(&self) -> Rect {
+        self.geom.mbr()
+    }
+}
+
+/// Extent of the paper-scale synthetic world in both axes (kilometres).
+/// Scaled-down scenarios shrink the world proportionally (area ∝ object
+/// count) so that spatial density — and with it join selectivity per object —
+/// stays paper-like at every scale.
+pub const WORLD: f64 = 100.0;
+
+/// Configuration of a generated scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// RNG seed; equal seeds give identical scenarios.
+    pub seed: u64,
+    /// Number of street-segment objects in map 1.
+    pub map1_objects: usize,
+    /// Number of boundary/river/railway segment objects in map 2.
+    pub map2_objects: usize,
+    /// Number of towns streets cluster around.
+    pub towns: usize,
+    /// Extent of the (square) world in kilometres.
+    pub world: f64,
+}
+
+impl Scenario {
+    /// The paper-scale scenario: Table 1 object counts.
+    pub fn paper(seed: u64) -> Self {
+        Scenario { seed, map1_objects: 131_443, map2_objects: 127_312, towns: 180, world: WORLD }
+    }
+
+    /// A linearly scaled-down scenario for tests and examples.
+    /// `scale = 1.0` equals [`Scenario::paper`].
+    pub fn scaled(seed: u64, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        Scenario {
+            seed,
+            map1_objects: ((131_443.0 * scale) as usize).max(16),
+            map2_objects: ((127_312.0 * scale) as usize).max(16),
+            towns: ((180.0 * scale) as usize).max(3),
+            world: (WORLD * scale.sqrt()).max(4.0),
+        }
+    }
+
+    /// Generates both maps. Map 1 and map 2 share the town layout, so the
+    /// relations are spatially correlated as in the real TIGER data.
+    pub fn generate(&self) -> (Vec<MapObject>, Vec<MapObject>) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let w = self.world;
+        let towns = gen_towns(&mut rng, self.towns, w);
+        let map1 = gen_streets(&mut rng, &towns, self.map1_objects, w);
+        let map2 = gen_features(&mut rng, &towns, self.map2_objects, w);
+        (map1, map2)
+    }
+}
+
+/// A town: center plus spread (σ of its street cloud) and weight.
+#[derive(Debug, Clone, Copy)]
+struct Town {
+    center: Point,
+    sigma: f64,
+    weight: f64,
+}
+
+fn gen_towns(rng: &mut StdRng, n: usize, world: f64) -> Vec<Town> {
+    let mut towns = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for i in 0..n {
+        // Zipf-ish weights: a few big cities, many villages.
+        let weight = 1.0 / (1.0 + i as f64).powf(0.7);
+        total += weight;
+        towns.push(Town {
+            center: Point::new(
+                rng.random_range(world * 0.05..world * 0.95),
+                rng.random_range(world * 0.05..world * 0.95),
+            ),
+            sigma: rng.random_range(0.6..2.2),
+            weight,
+        });
+    }
+    for t in &mut towns {
+        t.weight /= total;
+    }
+    towns
+}
+
+/// Samples a town index proportional to weight.
+fn pick_town(rng: &mut StdRng, towns: &[Town]) -> usize {
+    let mut x = rng.random::<f64>();
+    for (i, t) in towns.iter().enumerate() {
+        if x < t.weight {
+            return i;
+        }
+        x -= t.weight;
+    }
+    towns.len() - 1
+}
+
+/// Standard normal via Box–Muller (rand_distr is outside the allowed crate
+/// set, and two lines suffice).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn clamp_world(p: Point, world: f64) -> Point {
+    Point::new(p.x.clamp(0.0, world), p.y.clamp(0.0, world))
+}
+
+/// Map 1: short grid-aligned street segments clustered around towns.
+fn gen_streets(rng: &mut StdRng, towns: &[Town], count: usize, world: f64) -> Vec<MapObject> {
+    let mut out = Vec::with_capacity(count);
+    for oid in 0..count {
+        let town = towns[pick_town(rng, towns)];
+        let anchor = Point::new(
+            town.center.x + normal(rng) * town.sigma,
+            town.center.y + normal(rng) * town.sigma,
+        );
+        // Street length: mostly 60–250 m, grid-aligned with jitter.
+        let len = 0.06 + rng.random::<f64>().powi(2) * 0.25;
+        let horizontal = rng.random::<bool>();
+        let jitter = normal(rng) * 0.01;
+        let (dx, dy) = if horizontal { (len, jitter) } else { (jitter, len) };
+        let a = clamp_world(anchor, world);
+        let b = clamp_world(Point::new(anchor.x + dx, anchor.y + dy), world);
+        // Some streets get a bend (TIGER chains often have shape points).
+        let geom = if rng.random::<f64>() < 0.3 {
+            let mid = Point::new(
+                (a.x + b.x) * 0.5 + normal(rng) * 0.01,
+                (a.y + b.y) * 0.5 + normal(rng) * 0.01,
+            );
+            Polyline::new(vec![a, clamp_world(mid, world), b])
+        } else {
+            Polyline::new(vec![a, b])
+        };
+        out.push(MapObject { oid: oid as u64, geom });
+    }
+    out
+}
+
+/// Kinds of map-2 features, with the TIGER-style decomposition into
+/// per-segment objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FeatureKind {
+    Boundary,
+    River,
+    Railway,
+}
+
+/// Map 2: boundaries, rivers and railway tracks, each generated as a long
+/// path and decomposed into one object per segment.
+fn gen_features(rng: &mut StdRng, towns: &[Town], count: usize, world: f64) -> Vec<MapObject> {
+    let mut out: Vec<MapObject> = Vec::with_capacity(count);
+    while out.len() < count {
+        let kind = match rng.random_range(0..10) {
+            0..4 => FeatureKind::Boundary,
+            4..7 => FeatureKind::River,
+            _ => FeatureKind::Railway,
+        };
+        let path = match kind {
+            FeatureKind::Boundary => gen_boundary_path(rng, towns, world),
+            FeatureKind::River => gen_river_path(rng, world),
+            FeatureKind::Railway => gen_railway_path(rng, towns, world),
+        };
+        for w in path.windows(2) {
+            if out.len() >= count {
+                break;
+            }
+            if w[0].distance(&w[1]) < 1e-9 {
+                continue;
+            }
+            let oid = out.len() as u64;
+            out.push(MapObject { oid, geom: Polyline::new(vec![w[0], w[1]]) });
+        }
+    }
+    out
+}
+
+/// An administrative boundary: a ring around a town (or a county-grid line).
+fn gen_boundary_path(rng: &mut StdRng, towns: &[Town], world: f64) -> Vec<Point> {
+    if rng.random::<f64>() < 0.35 {
+        // County grid line: straight across the world with slight jitter.
+        let horizontal = rng.random::<bool>();
+        let c = rng.random_range(world * 0.05..world * 0.95);
+        let steps = (world * 2.0).ceil().max(8.0) as usize;
+        return (0..=steps)
+            .map(|i| {
+                let t = i as f64 / steps as f64 * world;
+                let j = normal(rng) * 0.02;
+                if horizontal {
+                    Point::new(t, (c + j).clamp(0.0, world))
+                } else {
+                    Point::new((c + j).clamp(0.0, world), t)
+                }
+            })
+            .collect();
+    }
+    // Ring around a town at 1.5–3.5 σ, polygonal with irregular radius.
+    let town = towns[pick_town(rng, towns)];
+    let base_r = town.sigma * rng.random_range(1.5..3.5);
+    let steps = rng.random_range(40..120);
+    let phase = rng.random_range(0.0..std::f64::consts::TAU);
+    let wobble = rng.random_range(0.05..0.25);
+    let mut pts: Vec<Point> = (0..=steps)
+        .map(|i| {
+            let a = phase + i as f64 / steps as f64 * std::f64::consts::TAU;
+            let r = base_r * (1.0 + wobble * (3.0 * a).sin());
+            clamp_world(
+                Point::new(town.center.x + r * a.cos(), town.center.y + r * a.sin()),
+                world,
+            )
+        })
+        .collect();
+    // Close the ring exactly.
+    if let Some(&first) = pts.first() {
+        pts.push(first);
+    }
+    pts
+}
+
+/// A river: a meandering walk from one edge of the world to another.
+fn gen_river_path(rng: &mut StdRng, world: f64) -> Vec<Point> {
+    let from_left = rng.random::<bool>();
+    let mut p = if from_left {
+        Point::new(0.0, rng.random_range(0.0..world))
+    } else {
+        Point::new(rng.random_range(0.0..world), 0.0)
+    };
+    let mut heading: f64 = if from_left { 0.0 } else { std::f64::consts::FRAC_PI_2 };
+    let mut pts = vec![p];
+    let step = 0.25;
+    for _ in 0..2000 {
+        heading += normal(rng) * 0.25;
+        let q = Point::new(p.x + step * heading.cos(), p.y + step * heading.sin());
+        if q.x < 0.0 || q.x > world || q.y < 0.0 || q.y > world {
+            break;
+        }
+        pts.push(q);
+        p = q;
+    }
+    pts
+}
+
+/// A railway: a nearly straight line connecting two towns, with shape
+/// points every ~300 m.
+fn gen_railway_path(rng: &mut StdRng, towns: &[Town], world: f64) -> Vec<Point> {
+    let a = towns[pick_town(rng, towns)].center;
+    let b = towns[pick_town(rng, towns)].center;
+    let dist = a.distance(&b).max(0.5);
+    let steps = (dist / 0.3).ceil() as usize;
+    (0..=steps)
+        .map(|i| {
+            let t = i as f64 / steps as f64;
+            let jitter = if i == 0 || i == steps { 0.0 } else { normal(rng) * 0.03 };
+            clamp_world(
+                Point::new(a.x + (b.x - a.x) * t + jitter, a.y + (b.y - a.y) * t + jitter),
+                world,
+            )
+        })
+        .collect()
+}
+
+/// Summary statistics of one generated map, for calibration reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MapStats {
+    /// Number of objects.
+    pub objects: usize,
+    /// Average MBR width + height (a size proxy).
+    pub avg_mbr_extent: f64,
+    /// Average number of vertices per object.
+    pub avg_vertices: f64,
+    /// MBR of the whole map.
+    pub extent: Rect,
+}
+
+/// Computes [`MapStats`] for a map.
+pub fn map_stats(objects: &[MapObject]) -> MapStats {
+    let mut extent = Rect::empty();
+    let mut sum_ext = 0.0;
+    let mut sum_v = 0usize;
+    for o in objects {
+        let m = o.mbr();
+        extent = extent.union(&m);
+        sum_ext += m.width() + m.height();
+        sum_v += o.geom.points().len();
+    }
+    let n = objects.len().max(1) as f64;
+    MapStats {
+        objects: objects.len(),
+        avg_mbr_extent: sum_ext / n,
+        avg_vertices: sum_v as f64 / n,
+        extent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = Scenario::scaled(42, 0.005);
+        let (a1, a2) = s.generate();
+        let (b1, b2) = s.generate();
+        assert_eq!(a1, b1);
+        assert_eq!(a2, b2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a1, _) = Scenario::scaled(1, 0.005).generate();
+        let (b1, _) = Scenario::scaled(2, 0.005).generate();
+        assert_ne!(a1, b1);
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let s = Scenario::scaled(7, 0.01);
+        let (m1, m2) = s.generate();
+        assert_eq!(m1.len(), s.map1_objects);
+        assert_eq!(m2.len(), s.map2_objects);
+    }
+
+    #[test]
+    fn paper_scenario_counts() {
+        let s = Scenario::paper(0);
+        assert_eq!(s.map1_objects, 131_443);
+        assert_eq!(s.map2_objects, 127_312);
+    }
+
+    #[test]
+    fn oids_are_dense_and_unique() {
+        let (m1, m2) = Scenario::scaled(3, 0.005).generate();
+        for (i, o) in m1.iter().enumerate() {
+            assert_eq!(o.oid, i as u64);
+        }
+        for (i, o) in m2.iter().enumerate() {
+            assert_eq!(o.oid, i as u64);
+        }
+    }
+
+    #[test]
+    fn objects_stay_in_world() {
+        let s = Scenario::scaled(5, 0.01);
+        let (m1, m2) = s.generate();
+        let world = Rect::new(0.0, 0.0, s.world, s.world);
+        for o in m1.iter().chain(m2.iter()) {
+            assert!(world.contains(&o.mbr()), "object {} escapes: {:?}", o.oid, o.mbr());
+        }
+    }
+
+    #[test]
+    fn street_mbrs_are_small() {
+        let (m1, _) = Scenario::scaled(11, 0.01).generate();
+        let stats = map_stats(&m1);
+        assert!(stats.avg_mbr_extent < 1.0, "streets too large: {}", stats.avg_mbr_extent);
+        assert!(stats.avg_vertices >= 2.0);
+    }
+
+    #[test]
+    fn maps_overlap_spatially() {
+        // The join must have work to do: many map1 MBRs intersect map2 MBRs.
+        let (m1, m2) = Scenario::scaled(13, 0.01).generate();
+        let mut hits = 0usize;
+        for a in m1.iter().take(200) {
+            let ma = a.mbr();
+            if m2.iter().any(|b| ma.intersects(&b.mbr())) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 10, "only {hits}/200 streets touch map2");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be")]
+    fn invalid_scale_rejected() {
+        let _ = Scenario::scaled(0, 0.0);
+    }
+}

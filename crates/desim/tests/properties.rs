@@ -1,0 +1,66 @@
+//! Property-based tests for the discrete-event engine.
+
+use proptest::prelude::*;
+use psj_desim::{EventQueue, FcfsResource, ResourcePool};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, with FIFO ties.
+    #[test]
+    fn events_pop_sorted(times in prop::collection::vec(0u64..1000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li),
+                    "order violated: ({lt},{li}) then ({t},{i})");
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// An FCFS server never overlaps requests and never idles while work
+    /// is queued: completion times are non-decreasing and each request
+    /// starts at max(arrival, previous completion).
+    #[test]
+    fn fcfs_no_overlap_no_idle(
+        reqs in prop::collection::vec((0u64..500, 1u64..50), 1..100),
+    ) {
+        // Arrival times must be non-decreasing, as from an event loop.
+        let mut reqs = reqs;
+        reqs.sort_by_key(|&(arrival, _)| arrival);
+        let mut r = FcfsResource::new();
+        let mut prev_done = 0u64;
+        let mut total_service = 0u64;
+        for &(arrival, service) in &reqs {
+            let done = r.request(arrival, service);
+            let start = done - service;
+            prop_assert!(start >= arrival, "started before arrival");
+            prop_assert!(start >= prev_done, "overlapped previous request");
+            prop_assert!(start == arrival.max(prev_done), "idled while work queued");
+            prev_done = done;
+            total_service += service;
+        }
+        prop_assert_eq!(r.busy_time(), total_service);
+        prop_assert_eq!(r.served(), reqs.len() as u64);
+    }
+
+    /// Pool servers are independent: requests on one never affect another.
+    #[test]
+    fn pool_isolation(
+        reqs in prop::collection::vec((0usize..4, 0u64..100, 1u64..20), 1..80),
+    ) {
+        let mut reqs = reqs;
+        reqs.sort_by_key(|&(_, arrival, _)| arrival);
+        let mut pool = ResourcePool::new(4);
+        let mut singles: Vec<FcfsResource> = (0..4).map(|_| FcfsResource::new()).collect();
+        for &(idx, arrival, service) in &reqs {
+            let a = pool.request(idx, arrival, service);
+            let b = singles[idx].request(arrival, service);
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(pool.total_served(), reqs.len() as u64);
+    }
+}

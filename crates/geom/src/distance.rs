@@ -1,0 +1,137 @@
+//! Distance computations between geometric primitives.
+//!
+//! These support distance joins and nearest-neighbor refinement: the filter
+//! step works on MBR distances (lower bounds), the refinement step on exact
+//! geometry distances.
+
+use crate::{Point, Polyline, Rect, Segment};
+
+/// Distance from a point to the closed segment `s`.
+pub fn point_segment_distance(p: &Point, s: &Segment) -> f64 {
+    let (ax, ay) = (s.a.x, s.a.y);
+    let (bx, by) = (s.b.x, s.b.y);
+    let (dx, dy) = (bx - ax, by - ay);
+    let len_sq = dx * dx + dy * dy;
+    if len_sq == 0.0 {
+        return p.distance(&s.a);
+    }
+    let t = (((p.x - ax) * dx + (p.y - ay) * dy) / len_sq).clamp(0.0, 1.0);
+    p.distance(&Point::new(ax + t * dx, ay + t * dy))
+}
+
+/// Distance between two closed segments (0 when they intersect).
+pub fn segment_distance(a: &Segment, b: &Segment) -> f64 {
+    if a.intersects(b) {
+        return 0.0;
+    }
+    point_segment_distance(&a.a, b)
+        .min(point_segment_distance(&a.b, b))
+        .min(point_segment_distance(&b.a, a))
+        .min(point_segment_distance(&b.b, a))
+}
+
+/// Minimum distance between two rectangles (0 when they intersect); a lower
+/// bound for the distance of any geometries they bound.
+pub fn rect_distance(a: &Rect, b: &Rect) -> f64 {
+    let dx = (b.xl - a.xu).max(a.xl - b.xu).max(0.0);
+    let dy = (b.yl - a.yu).max(a.yl - b.yu).max(0.0);
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Exact minimum distance between two polylines (0 when they intersect).
+pub fn polyline_distance(a: &Polyline, b: &Polyline) -> f64 {
+    let mut best = f64::INFINITY;
+    for sa in a.segments() {
+        for sb in b.segments() {
+            let d = segment_distance(&sa, &sb);
+            if d == 0.0 {
+                return 0.0;
+            }
+            best = best.min(d);
+        }
+    }
+    best
+}
+
+/// Whether two polylines come within `eps` of each other. Exits early via
+/// per-segment MBR lower bounds.
+pub fn polylines_within(a: &Polyline, b: &Polyline, eps: f64) -> bool {
+    if rect_distance(&a.mbr(), &b.mbr()) > eps {
+        return false;
+    }
+    for sa in a.segments() {
+        let ma = sa.mbr();
+        for sb in b.segments() {
+            if rect_distance(&ma, &sb.mbr()) > eps {
+                continue;
+            }
+            if segment_distance(&sa, &sb) <= eps {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn point_to_segment() {
+        let seg = s(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(point_segment_distance(&Point::new(5.0, 3.0), &seg), 3.0);
+        assert_eq!(point_segment_distance(&Point::new(-4.0, 0.0), &seg), 4.0); // before start
+        assert_eq!(point_segment_distance(&Point::new(13.0, 4.0), &seg), 5.0); // past end
+        assert_eq!(point_segment_distance(&Point::new(7.0, 0.0), &seg), 0.0); // on it
+    }
+
+    #[test]
+    fn degenerate_segment_is_a_point() {
+        let seg = s(2.0, 2.0, 2.0, 2.0);
+        assert_eq!(point_segment_distance(&Point::new(5.0, 6.0), &seg), 5.0);
+    }
+
+    #[test]
+    fn segment_to_segment() {
+        assert_eq!(segment_distance(&s(0.0, 0.0, 1.0, 0.0), &s(0.0, 3.0, 1.0, 3.0)), 3.0);
+        // Crossing segments: zero.
+        assert_eq!(segment_distance(&s(0.0, 0.0, 2.0, 2.0), &s(0.0, 2.0, 2.0, 0.0)), 0.0);
+        // Skew segments where the closest points are endpoints.
+        let d = segment_distance(&s(0.0, 0.0, 1.0, 0.0), &s(2.0, 1.0, 3.0, 2.0));
+        assert!((d - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_distance_basics() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(rect_distance(&a, &Rect::new(3.0, 0.0, 4.0, 1.0)), 2.0);
+        assert_eq!(rect_distance(&a, &Rect::new(0.5, 0.5, 2.0, 2.0)), 0.0);
+        let d = rect_distance(&a, &Rect::new(4.0, 5.0, 6.0, 7.0));
+        assert_eq!(d, 5.0); // 3-4-5 triangle from corner (1,1) to (4,5)
+    }
+
+    #[test]
+    fn rect_distance_lower_bounds_geometry() {
+        let a = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+        let b = Polyline::new(vec![Point::new(5.0, 0.0), Point::new(6.0, 1.0)]);
+        assert!(rect_distance(&a.mbr(), &b.mbr()) <= polyline_distance(&a, &b));
+    }
+
+    #[test]
+    fn polyline_distance_and_within() {
+        let a = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        let b = Polyline::new(vec![Point::new(0.0, 2.0), Point::new(10.0, 2.0)]);
+        assert_eq!(polyline_distance(&a, &b), 2.0);
+        assert!(polylines_within(&a, &b, 2.0));
+        assert!(!polylines_within(&a, &b, 1.9));
+        // Intersecting polylines have distance zero.
+        let c = Polyline::new(vec![Point::new(5.0, -1.0), Point::new(5.0, 1.0)]);
+        assert_eq!(polyline_distance(&a, &c), 0.0);
+        assert!(polylines_within(&a, &c, 0.0));
+    }
+}

@@ -1,0 +1,165 @@
+//! Line segments and exact segment-intersection predicates.
+//!
+//! The refinement step of the spatial join tests the *exact* geometry of two
+//! candidate objects for intersection. For the TIGER-style line data used in
+//! the paper, the exact geometry consists of polylines, whose intersection
+//! test reduces to segment/segment tests.
+
+use crate::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A straight line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+/// Orientation of the ordered point triple `(a, b, c)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Counter-clockwise turn.
+    Ccw,
+    /// Clockwise turn.
+    Cw,
+    /// Collinear points.
+    Collinear,
+}
+
+/// Computes the orientation of the ordered triple `(a, b, c)`.
+#[inline]
+pub fn orientation(a: &Point, b: &Point, c: &Point) -> Orientation {
+    let v = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+    if v > 0.0 {
+        Orientation::Ccw
+    } else if v < 0.0 {
+        Orientation::Cw
+    } else {
+        Orientation::Collinear
+    }
+}
+
+impl Segment {
+    /// Creates a segment from its endpoints.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Minimum bounding rectangle of the segment.
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        Rect {
+            xl: self.a.x.min(self.b.x),
+            yl: self.a.y.min(self.b.y),
+            xu: self.a.x.max(self.b.x),
+            yu: self.a.y.max(self.b.y),
+        }
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(&self.b)
+    }
+
+    /// Whether the closed segments share at least one point.
+    ///
+    /// Uses the classic orientation test, with bounding-box checks for the
+    /// collinear special cases. Endpoint touching counts as intersection.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let o1 = orientation(&self.a, &self.b, &other.a);
+        let o2 = orientation(&self.a, &self.b, &other.b);
+        let o3 = orientation(&other.a, &other.b, &self.a);
+        let o4 = orientation(&other.a, &other.b, &self.b);
+
+        if o1 != o2 && o3 != o4 {
+            // General position or an endpoint lying exactly on the other
+            // segment; both are true intersections for closed segments.
+            return true;
+        }
+        // Collinear cases: intersection iff the projections overlap.
+        (o1 == Orientation::Collinear && self.mbr().contains_point(&other.a))
+            || (o2 == Orientation::Collinear && self.mbr().contains_point(&other.b))
+            || (o3 == Orientation::Collinear && other.mbr().contains_point(&self.a))
+            || (o4 == Orientation::Collinear && other.mbr().contains_point(&self.b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        assert!(s(0.0, 0.0, 2.0, 2.0).intersects(&s(0.0, 2.0, 2.0, 0.0)));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        assert!(!s(0.0, 0.0, 2.0, 0.0).intersects(&s(0.0, 1.0, 2.0, 1.0)));
+    }
+
+    #[test]
+    fn touching_at_endpoint_intersects() {
+        assert!(s(0.0, 0.0, 1.0, 1.0).intersects(&s(1.0, 1.0, 2.0, 0.0)));
+    }
+
+    #[test]
+    fn t_junction_intersects() {
+        // Endpoint of one segment lies in the interior of the other.
+        assert!(s(0.0, 0.0, 2.0, 0.0).intersects(&s(1.0, 0.0, 1.0, 5.0)));
+    }
+
+    #[test]
+    fn collinear_overlapping_intersects() {
+        assert!(s(0.0, 0.0, 2.0, 0.0).intersects(&s(1.0, 0.0, 3.0, 0.0)));
+    }
+
+    #[test]
+    fn collinear_disjoint_does_not_intersect() {
+        assert!(!s(0.0, 0.0, 1.0, 0.0).intersects(&s(2.0, 0.0, 3.0, 0.0)));
+    }
+
+    #[test]
+    fn disjoint_in_general_position() {
+        assert!(!s(0.0, 0.0, 1.0, 1.0).intersects(&s(2.0, 0.0, 3.0, -1.0)));
+    }
+
+    #[test]
+    fn near_miss_does_not_intersect() {
+        // Segments whose MBRs overlap but that do not cross.
+        assert!(!s(0.0, 0.0, 4.0, 4.0).intersects(&s(0.0, 1.5, 1.0, 4.0)));
+    }
+
+    #[test]
+    fn intersection_is_symmetric() {
+        let a = s(0.0, 0.0, 3.0, 3.0);
+        let b = s(0.0, 3.0, 3.0, 0.0);
+        assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn mbr_covers_endpoints() {
+        let seg = s(3.0, -1.0, 0.0, 2.0);
+        let m = seg.mbr();
+        assert!(m.contains_point(&seg.a));
+        assert!(m.contains_point(&seg.b));
+        assert_eq!(m, Rect::new(0.0, -1.0, 3.0, 2.0));
+    }
+
+    #[test]
+    fn orientation_basic() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        assert_eq!(orientation(&a, &b, &Point::new(1.0, 1.0)), Orientation::Ccw);
+        assert_eq!(orientation(&a, &b, &Point::new(1.0, -1.0)), Orientation::Cw);
+        assert_eq!(orientation(&a, &b, &Point::new(2.0, 0.0)), Orientation::Collinear);
+    }
+}

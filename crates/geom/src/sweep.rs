@@ -1,0 +1,304 @@
+//! Restricted plane sweep over x-sorted rectangle sequences (paper §2.2).
+//!
+//! Given two sequences `R` and `S` of rectangles, both sorted by their lower
+//! x bound, [`sweep_pairs`] reports every intersecting pair `(i, j)` with
+//! `R[i] ∩ S[j] ≠ ∅` — without building any dynamic sweep structure. The
+//! sweep line visits the rectangles of `R ∪ S` in ascending `xl` order; at a
+//! stop on a rectangle `t ∈ R` it scans `S` forward from the current frontier
+//! until `S[j].xl > t.xu`, testing each scanned rectangle for intersection
+//! (symmetrically for `t ∈ S`).
+//!
+//! The order in which pairs are produced is the **local plane-sweep order**:
+//! it determines the order in which a spatial-join task descends into child
+//! node pairs and therefore the order in which pages are read from secondary
+//! storage. Reading pages in this order preserves spatial locality in the
+//! LRU buffer (paper §2.2, Figure 1) and is the foundation of the static
+//! range / round-robin task assignments of §3.
+//!
+//! Complexity: `O(k·(|R| + |S|) + #pairs)` where `k` is the average overlap
+//! fan-out; no allocation beyond the output vector.
+
+use crate::Rect;
+
+/// A pair of indices `(i, j)` into the two input sequences whose rectangles
+/// intersect.
+pub type SweepPair = (u32, u32);
+
+/// Computes all intersecting pairs between two x-sorted rectangle sequences,
+/// in local plane-sweep order. See the module docs for the algorithm.
+///
+/// Both inputs must be sorted by `xl` (ascending); this is debug-asserted.
+pub fn sweep_pairs(r: &[Rect], s: &[Rect]) -> Vec<SweepPair> {
+    let mut out = Vec::new();
+    sweep_pairs_into(r, s, &mut out);
+    out
+}
+
+/// As [`sweep_pairs`], but appends into a caller-provided buffer so hot join
+/// loops can reuse one allocation ("workhorse collection").
+pub fn sweep_pairs_into(r: &[Rect], s: &[Rect], out: &mut Vec<SweepPair>) {
+    debug_assert!(is_sorted_by_xl(r), "R sequence not sorted by xl");
+    debug_assert!(is_sorted_by_xl(s), "S sequence not sorted by xl");
+
+    let mut i = 0usize; // frontier into r
+    let mut j = 0usize; // frontier into s
+    while i < r.len() && j < s.len() {
+        if r[i].xl <= s[j].xl {
+            // Sweep line stops on t = r[i]; scan S forward from j.
+            let t = &r[i];
+            let mut k = j;
+            while k < s.len() && s[k].xl <= t.xu {
+                if y_overlaps(t, &s[k]) {
+                    out.push((i as u32, k as u32));
+                }
+                k += 1;
+            }
+            i += 1;
+        } else {
+            // Sweep line stops on t = s[j]; scan R forward from i.
+            let t = &s[j];
+            let mut k = i;
+            while k < r.len() && r[k].xl <= t.xu {
+                if y_overlaps(t, &r[k]) {
+                    out.push((k as u32, j as u32));
+                }
+                k += 1;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Restriction of the sweep to rectangles intersecting a window: the
+/// search-space restriction of [BKS 93]. Rectangles outside `window` cannot
+/// contribute result pairs when `window` is the intersection of the parent
+/// MBRs, so they are skipped before the sweep runs.
+///
+/// Returns the filtered, still-sorted subsequences as index vectors alongside
+/// the pairs (indices refer to the *original* slices).
+pub fn sweep_pairs_restricted(
+    r: &[Rect],
+    s: &[Rect],
+    window: &Rect,
+    scratch_r: &mut Vec<u32>,
+    scratch_s: &mut Vec<u32>,
+    out: &mut Vec<SweepPair>,
+) {
+    scratch_r.clear();
+    scratch_s.clear();
+    for (i, rect) in r.iter().enumerate() {
+        if rect.intersects(window) {
+            scratch_r.push(i as u32);
+        }
+    }
+    for (j, rect) in s.iter().enumerate() {
+        if rect.intersects(window) {
+            scratch_s.push(j as u32);
+        }
+    }
+    // Inline sweep over the filtered index lists (they remain xl-sorted).
+    let mut i = 0usize;
+    let mut j = 0usize;
+    while i < scratch_r.len() && j < scratch_s.len() {
+        let ri = scratch_r[i] as usize;
+        let sj = scratch_s[j] as usize;
+        if r[ri].xl <= s[sj].xl {
+            let t = &r[ri];
+            let mut k = j;
+            while k < scratch_s.len() {
+                let sk = scratch_s[k] as usize;
+                if s[sk].xl > t.xu {
+                    break;
+                }
+                if y_overlaps(t, &s[sk]) {
+                    out.push((ri as u32, sk as u32));
+                }
+                k += 1;
+            }
+            i += 1;
+        } else {
+            let t = &s[sj];
+            let mut k = i;
+            while k < scratch_r.len() {
+                let rk = scratch_r[k] as usize;
+                if r[rk].xl > t.xu {
+                    break;
+                }
+                if y_overlaps(t, &r[rk]) {
+                    out.push((rk as u32, sj as u32));
+                }
+                k += 1;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Brute-force reference: every pair tested, output in row-major order.
+/// Used by tests and benchmarks as the correctness baseline.
+pub fn nested_loop_pairs(r: &[Rect], s: &[Rect]) -> Vec<SweepPair> {
+    let mut out = Vec::new();
+    for (i, a) in r.iter().enumerate() {
+        for (j, b) in s.iter().enumerate() {
+            if a.intersects(b) {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+#[inline]
+fn y_overlaps(a: &Rect, b: &Rect) -> bool {
+    a.yl <= b.yu && b.yl <= a.yu
+}
+
+fn is_sorted_by_xl(v: &[Rect]) -> bool {
+    v.windows(2).all(|w| w[0].xl <= w[1].xl)
+}
+
+/// Sorts a rectangle sequence by `xl`, returning the permutation applied, so
+/// callers can map sweep indices back to original entries.
+pub fn sort_by_xl(rects: &mut [Rect]) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..rects.len() as u32).collect();
+    perm.sort_by(|&a, &b| {
+        rects[a as usize]
+            .xl
+            .partial_cmp(&rects[b as usize].xl)
+            .expect("NaN coordinate")
+    });
+    let sorted: Vec<Rect> = perm.iter().map(|&k| rects[k as usize]).collect();
+    rects.copy_from_slice(&sorted);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(xl: f64, yl: f64, xu: f64, yu: f64) -> Rect {
+        Rect::new(xl, yl, xu, yu)
+    }
+
+    fn as_set(pairs: &[SweepPair]) -> std::collections::BTreeSet<SweepPair> {
+        pairs.iter().copied().collect()
+    }
+
+    /// Reconstruction of Figure 1: R = ⟨r1, r2, r3⟩, S = ⟨s1, s2⟩ laid out so
+    /// the sweep line stops at r1, s1, r2, s2, r3 in that order and the pair
+    /// tests happen in the figure's local plane-sweep order.
+    #[test]
+    fn figure1_order() {
+        let rs = [
+            r(0.0, 2.0, 3.0, 4.0), // r1
+            r(2.0, 1.0, 5.0, 3.0), // r2
+            r(6.0, 2.0, 8.0, 4.0), // r3
+        ];
+        let ss = [
+            r(1.0, 3.0, 4.0, 5.0), // s1
+            r(4.5, 1.5, 7.0, 3.0), // s2
+        ];
+        let pairs = sweep_pairs(&rs, &ss);
+        // Stops: r1 (tests s1) → s1 (tests r2) → r2 (tests s2) → s2 (tests r3).
+        assert_eq!(pairs, vec![(0, 0), (1, 0), (1, 1), (2, 1)]);
+        // The order is exactly non-decreasing in sweep position: each pair's
+        // later-starting rectangle advances monotonically.
+        assert_eq!(as_set(&pairs), as_set(&nested_loop_pairs(&rs, &ss)));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(sweep_pairs(&[], &[]).is_empty());
+        assert!(sweep_pairs(&[r(0.0, 0.0, 1.0, 1.0)], &[]).is_empty());
+        assert!(sweep_pairs(&[], &[r(0.0, 0.0, 1.0, 1.0)]).is_empty());
+    }
+
+    #[test]
+    fn no_intersections() {
+        let rs = [r(0.0, 0.0, 1.0, 1.0), r(2.0, 0.0, 3.0, 1.0)];
+        let ss = [r(0.0, 5.0, 3.0, 6.0)];
+        assert!(sweep_pairs(&rs, &ss).is_empty());
+    }
+
+    #[test]
+    fn x_overlap_without_y_overlap_is_rejected() {
+        let rs = [r(0.0, 0.0, 10.0, 1.0)];
+        let ss = [r(1.0, 5.0, 2.0, 6.0)];
+        assert!(sweep_pairs(&rs, &ss).is_empty());
+    }
+
+    #[test]
+    fn identical_xl_values() {
+        // Ties on xl must not lose pairs.
+        let rs = [r(0.0, 0.0, 2.0, 2.0), r(0.0, 3.0, 2.0, 5.0)];
+        let ss = [r(0.0, 1.0, 2.0, 4.0)];
+        let pairs = sweep_pairs(&rs, &ss);
+        assert_eq!(as_set(&pairs), as_set(&[(0, 0), (1, 0)]));
+    }
+
+    #[test]
+    fn matches_nested_loop_on_grid() {
+        // Overlapping lattice: every adjacent pair intersects.
+        let mut rs = Vec::new();
+        let mut ss = Vec::new();
+        for k in 0..20 {
+            let x = k as f64 * 0.5;
+            rs.push(r(x, 0.0, x + 1.0, 1.0));
+            ss.push(r(x + 0.25, 0.5, x + 0.75, 1.5));
+        }
+        let pairs = sweep_pairs(&rs, &ss);
+        assert_eq!(as_set(&pairs), as_set(&nested_loop_pairs(&rs, &ss)));
+    }
+
+    #[test]
+    fn restricted_sweep_filters_by_window() {
+        let rs = [r(0.0, 0.0, 1.0, 1.0), r(5.0, 0.0, 6.0, 1.0)];
+        let ss = [r(0.5, 0.5, 1.5, 1.5), r(5.5, 0.5, 6.5, 1.5)];
+        let window = r(0.0, 0.0, 2.0, 2.0);
+        let (mut sr, mut ssc, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        sweep_pairs_restricted(&rs, &ss, &window, &mut sr, &mut ssc, &mut out);
+        // Only the left pair survives the restriction.
+        assert_eq!(out, vec![(0, 0)]);
+        assert_eq!(sr, vec![0]);
+        assert_eq!(ssc, vec![0]);
+    }
+
+    #[test]
+    fn restricted_equals_unrestricted_with_covering_window() {
+        let rs = [r(0.0, 0.0, 2.0, 2.0), r(1.0, 1.0, 3.0, 3.0)];
+        let ss = [r(0.5, 0.5, 1.5, 1.5), r(2.5, 2.5, 4.0, 4.0)];
+        let window = r(-10.0, -10.0, 10.0, 10.0);
+        let (mut sr, mut ssc, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        sweep_pairs_restricted(&rs, &ss, &window, &mut sr, &mut ssc, &mut out);
+        assert_eq!(out, sweep_pairs(&rs, &ss));
+    }
+
+    #[test]
+    fn sort_by_xl_returns_permutation() {
+        let mut v = vec![r(3.0, 0.0, 4.0, 1.0), r(1.0, 0.0, 2.0, 1.0), r(2.0, 0.0, 3.0, 1.0)];
+        let perm = sort_by_xl(&mut v);
+        assert_eq!(perm, vec![1, 2, 0]);
+        assert!(v.windows(2).all(|w| w[0].xl <= w[1].xl));
+    }
+
+    #[test]
+    fn sweep_order_is_monotone_in_x() {
+        // Pairs must be emitted so that the sweep-line stop position — the
+        // smaller xl of each pair — never decreases. That is what "preserves
+        // spatial locality" means.
+        let mut rs = Vec::new();
+        let mut ss = Vec::new();
+        for k in 0..30 {
+            let x = k as f64;
+            rs.push(r(x, 0.0, x + 2.0, 2.0));
+            ss.push(r(x + 0.5, 1.0, x + 1.5, 3.0));
+        }
+        let pairs = sweep_pairs(&rs, &ss);
+        let stops: Vec<f64> = pairs
+            .iter()
+            .map(|&(i, j)| rs[i as usize].xl.min(ss[j as usize].xl))
+            .collect();
+        assert!(stops.windows(2).all(|w| w[0] <= w[1]), "not monotone: {stops:?}");
+        assert!(!pairs.is_empty());
+    }
+}

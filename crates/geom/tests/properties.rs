@@ -1,0 +1,190 @@
+//! Property-based tests for the geometry crate.
+
+use proptest::prelude::*;
+use psj_geom::sweep::{nested_loop_pairs, sort_by_xl, sweep_pairs};
+use psj_geom::{Point, Polygon, Polyline, Rect, Segment};
+use std::collections::BTreeSet;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        0.0f64..50.0,
+        0.0f64..50.0,
+    )
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Segment::new(a, b))
+}
+
+proptest! {
+    #[test]
+    fn intersects_is_symmetric(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn intersection_consistent_with_predicate(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersection(&b).is_some(), a.intersects(&b));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains(&i));
+            prop_assert!(b.contains(&i));
+        }
+    }
+
+    #[test]
+    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a));
+        prop_assert!(u.contains(&b));
+        // Union is the *smallest* covering rect: every bound is attained.
+        prop_assert!(u.xl == a.xl || u.xl == b.xl);
+        prop_assert!(u.xu == a.xu || u.xu == b.xu);
+        prop_assert!(u.yl == a.yl || u.yl == b.yl);
+        prop_assert!(u.yu == a.yu || u.yu == b.yu);
+    }
+
+    #[test]
+    fn enlargement_nonnegative(a in arb_rect(), b in arb_rect()) {
+        prop_assert!(a.enlargement(&b) >= 0.0);
+        if a.contains(&b) {
+            prop_assert_eq!(a.enlargement(&b), 0.0);
+        }
+    }
+
+    #[test]
+    fn overlap_area_bounded(a in arb_rect(), b in arb_rect()) {
+        let o = a.overlap_area(&b);
+        prop_assert!(o >= 0.0);
+        prop_assert!(o <= a.area() + 1e-9);
+        prop_assert!(o <= b.area() + 1e-9);
+    }
+
+    #[test]
+    fn overlap_degree_in_unit_interval(a in arb_rect(), b in arb_rect()) {
+        let d = a.overlap_degree(&b);
+        prop_assert!((0.0..=1.0).contains(&d), "degree {} out of range", d);
+        prop_assert_eq!(d > 0.0, a.overlap_area(&b) > 0.0 ||
+            (a.intersects(&b) && (a.area() == 0.0 || b.area() == 0.0)));
+    }
+
+    #[test]
+    fn sweep_equals_nested_loop(
+        mut r in prop::collection::vec(arb_rect(), 0..60),
+        mut s in prop::collection::vec(arb_rect(), 0..60),
+    ) {
+        sort_by_xl(&mut r);
+        sort_by_xl(&mut s);
+        let a: BTreeSet<_> = sweep_pairs(&r, &s).into_iter().collect();
+        let b: BTreeSet<_> = nested_loop_pairs(&r, &s).into_iter().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_emits_no_duplicates(
+        mut r in prop::collection::vec(arb_rect(), 0..60),
+        mut s in prop::collection::vec(arb_rect(), 0..60),
+    ) {
+        sort_by_xl(&mut r);
+        sort_by_xl(&mut s);
+        let pairs = sweep_pairs(&r, &s);
+        let set: BTreeSet<_> = pairs.iter().copied().collect();
+        prop_assert_eq!(set.len(), pairs.len());
+    }
+
+    #[test]
+    fn segment_intersection_symmetric(a in arb_segment(), b in arb_segment()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn intersecting_segments_have_intersecting_mbrs(a in arb_segment(), b in arb_segment()) {
+        if a.intersects(&b) {
+            prop_assert!(a.mbr().intersects(&b.mbr()));
+        }
+    }
+
+    #[test]
+    fn segment_self_intersects(a in arb_segment()) {
+        prop_assert!(a.intersects(&a));
+    }
+
+    #[test]
+    fn polyline_mbr_contains_segment_mbrs(
+        pts in prop::collection::vec(arb_point(), 2..12),
+    ) {
+        let pl = Polyline::new(pts);
+        let m = pl.mbr();
+        for s in pl.segments() {
+            prop_assert!(m.contains(&s.mbr()));
+        }
+    }
+
+    #[test]
+    fn rect_as_polygon_agrees_with_rect_ops(a in arb_rect(), b in arb_rect()) {
+        // A rectangle converted to a polygon ring must agree with the
+        // native Rect operations.
+        let poly = |r: &Rect| Polygon::new(vec![
+            Point::new(r.xl, r.yl),
+            Point::new(r.xu, r.yl),
+            Point::new(r.xu, r.yu),
+            Point::new(r.xl, r.yu),
+        ]);
+        let pa = poly(&a);
+        let pb = poly(&b);
+        prop_assert!((pa.area() - a.area()).abs() < 1e-9);
+        prop_assert_eq!(pa.mbr(), a);
+        prop_assert_eq!(pa.intersects(&pb), a.intersects(&b));
+        prop_assert_eq!(pa.contains_polygon(&pb), a.contains(&b));
+    }
+
+    #[test]
+    fn polygon_vertices_are_contained(
+        pts in prop::collection::vec(arb_point(), 3..10),
+    ) {
+        let poly = Polygon::new(pts.clone());
+        for p in &pts {
+            prop_assert!(poly.contains_point(p), "vertex {p:?} not contained");
+        }
+    }
+
+    #[test]
+    fn polygon_centroidish_point_inside_mbr_rule(
+        cx in -50.0f64..50.0,
+        cy in -50.0f64..50.0,
+        r in 1.0f64..20.0,
+        sides in 3usize..12,
+    ) {
+        // Regular polygon: the center is inside; points far outside are not.
+        let ring: Vec<Point> = (0..sides)
+            .map(|i| {
+                let a = i as f64 / sides as f64 * std::f64::consts::TAU;
+                Point::new(cx + r * a.cos(), cy + r * a.sin())
+            })
+            .collect();
+        let poly = Polygon::new(ring);
+        prop_assert!(poly.contains_point(&Point::new(cx, cy)));
+        prop_assert!(!poly.contains_point(&Point::new(cx + 3.0 * r, cy)));
+        prop_assert!((poly.area() - 0.5 * sides as f64 * r * r
+            * (std::f64::consts::TAU / sides as f64).sin()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn polyline_intersection_implies_mbr_overlap(
+        a in prop::collection::vec(arb_point(), 2..8),
+        b in prop::collection::vec(arb_point(), 2..8),
+    ) {
+        let pa = Polyline::new(a);
+        let pb = Polyline::new(b);
+        if pa.intersects(&pb) {
+            prop_assert!(pa.mbr().intersects(&pb.mbr()));
+        }
+        prop_assert_eq!(pa.intersects(&pb), pb.intersects(&pa));
+    }
+}

@@ -1,0 +1,246 @@
+//! Deletion with tree condensation (Guttman's `Delete`/`CondenseTree`,
+//! adapted to the R\*-tree).
+//!
+//! Spatial relations are not append-only; a production index needs removal.
+//! Deletion locates the leaf holding the entry, removes it, and walks the
+//! path back up: nodes that fall below their minimum fill are dissolved and
+//! their entries reinserted at their original level (which re-optimizes
+//! placement, in the spirit of the R\*-tree's forced reinsertion). A root
+//! with a single child is collapsed.
+
+use crate::entry::DataEntry;
+use crate::node::NodeKind;
+use crate::tree::RTree;
+use psj_geom::Rect;
+
+impl RTree {
+    /// Removes the data entry with the given `oid` whose MBR equals `mbr`.
+    /// Returns the removed entry, or `None` if no such entry exists.
+    ///
+    /// `mbr` guides the search; if several entries share `oid` and `mbr`,
+    /// one of them is removed.
+    pub fn delete(&mut self, mbr: &Rect, oid: u64) -> Option<DataEntry> {
+        // Find the path root → leaf containing the entry.
+        let path = self.find_leaf(mbr, oid)?;
+        let leaf = *path.last().expect("path is never empty");
+
+        // Remove the entry from the leaf.
+        let removed = {
+            let entries = self.node_mut(leaf).data_entries_mut();
+            let pos = entries
+                .iter()
+                .position(|e| e.oid == oid && e.mbr == *mbr)
+                .expect("find_leaf returned a leaf without the entry");
+            entries.swap_remove(pos)
+        };
+        self.dec_items();
+
+        // Condense: dissolve underfull nodes bottom-up, collect orphans.
+        let mut orphans: Vec<(u32, bool)> = Vec::new(); // (node idx, is_leaf)
+        for i in (1..path.len()).rev() {
+            let node_idx = path[i];
+            let parent_idx = path[i - 1];
+            let len = self.node(node_idx).len();
+            if len < self.node(node_idx).min_fill() {
+                // Remove the entry pointing to node_idx from the parent and
+                // orphan the node.
+                let entries = self.node_mut(parent_idx).dir_entries_mut();
+                let pos = entries
+                    .iter()
+                    .position(|e| e.child == node_idx)
+                    .expect("parent lost its child entry");
+                entries.swap_remove(pos);
+                orphans.push((node_idx, self.node(node_idx).is_leaf()));
+            } else {
+                // Tighten the parent entry's MBR.
+                let new_mbr = self.node(node_idx).mbr();
+                let entries = self.node_mut(parent_idx).dir_entries_mut();
+                if let Some(e) = entries.iter_mut().find(|e| e.child == node_idx) {
+                    e.mbr = new_mbr;
+                }
+            }
+        }
+        // Tighten remaining ancestors root-down (cheap: path is short).
+        for i in (1..path.len()).rev() {
+            let node_idx = path[i];
+            let parent_idx = path[i - 1];
+            let new_mbr = self.node(node_idx).mbr();
+            let entries = self.node_mut(parent_idx).dir_entries_mut();
+            if let Some(e) = entries.iter_mut().find(|e| e.child == node_idx) {
+                e.mbr = new_mbr;
+            }
+        }
+
+        // Reinsert the orphans' entries at their original levels.
+        for (node_idx, is_leaf) in orphans {
+            if is_leaf {
+                let entries = std::mem::take(self.node_mut(node_idx).data_entries_mut());
+                for e in entries {
+                    self.reinsert_data(e);
+                }
+            } else {
+                let entries = std::mem::take(self.node_mut(node_idx).dir_entries_mut());
+                for e in entries {
+                    self.reinsert_dir(e);
+                }
+            }
+        }
+
+        // Collapse a root that has a single directory child.
+        loop {
+            let root = self.root();
+            let collapse = match &self.node(root).kind {
+                NodeKind::Dir(entries) if entries.len() == 1 => Some(entries[0].child),
+                NodeKind::Dir(entries) if entries.is_empty() => None, // impossible unless empty tree
+                _ => None,
+            };
+            match collapse {
+                Some(child) => self.set_root(child),
+                None => break,
+            }
+        }
+        // An empty directory root (everything deleted) degenerates to an
+        // empty leaf.
+        if self.is_empty() && !self.node(self.root()).is_leaf() {
+            let empty = self.push_node(crate::node::Node::new_leaf());
+            self.set_root(empty);
+        }
+
+        Some(removed)
+    }
+
+    /// Path from the root to a leaf containing `(mbr, oid)`.
+    fn find_leaf(&self, mbr: &Rect, oid: u64) -> Option<Vec<u32>> {
+        let mut stack: Vec<Vec<u32>> = vec![vec![self.root()]];
+        while let Some(p) = stack.pop() {
+            let node = self.node(*p.last().unwrap());
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    if entries.iter().any(|e| e.oid == oid && e.mbr == *mbr) {
+                        return Some(p);
+                    }
+                }
+                NodeKind::Dir(entries) => {
+                    for e in entries {
+                        if e.mbr.contains(mbr) {
+                            let mut q = p.clone();
+                            q.push(e.child);
+                            stack.push(q);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect_at(i: usize) -> Rect {
+        let x = (i % 40) as f64;
+        let y = (i / 40) as f64;
+        Rect::new(x, y, x + 0.9, y + 0.9)
+    }
+
+    fn build(n: usize) -> RTree {
+        let mut t = RTree::new();
+        for i in 0..n {
+            t.insert(rect_at(i), i as u64);
+        }
+        t
+    }
+
+    #[test]
+    fn delete_single_entry() {
+        let mut t = build(50);
+        let removed = t.delete(&rect_at(7), 7);
+        assert_eq!(removed.map(|e| e.oid), Some(7));
+        assert_eq!(t.len(), 49);
+        assert!(t.window_query(&rect_at(7)).iter().all(|e| e.oid != 7));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_missing_entry_returns_none() {
+        let mut t = build(50);
+        assert!(t.delete(&rect_at(7), 999).is_none());
+        assert!(t.delete(&Rect::new(500.0, 500.0, 501.0, 501.0), 7).is_none());
+        assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    fn delete_everything() {
+        let mut t = build(300);
+        for i in 0..300 {
+            assert!(t.delete(&rect_at(i), i as u64).is_some(), "delete {i}");
+            t.check_invariants().unwrap_or_else(|e| panic!("after delete {i}: {e}"));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert!(t.window_query(&Rect::new(-1e9, -1e9, 1e9, 1e9)).is_empty());
+    }
+
+    #[test]
+    fn delete_everything_reverse_order() {
+        let mut t = build(300);
+        for i in (0..300).rev() {
+            assert!(t.delete(&rect_at(i), i as u64).is_some());
+        }
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn root_collapses_after_mass_deletion() {
+        let mut t = build(2000);
+        let h = t.height();
+        assert!(h >= 2);
+        for i in 0..1950 {
+            t.delete(&rect_at(i), i as u64).unwrap();
+        }
+        assert!(t.height() <= h);
+        assert_eq!(t.len(), 50);
+        t.check_invariants().unwrap();
+        // Remaining entries still retrievable.
+        for i in 1950..2000 {
+            let hits = t.window_query(&rect_at(i));
+            assert!(hits.iter().any(|e| e.oid == i as u64), "lost entry {i}");
+        }
+    }
+
+    #[test]
+    fn interleaved_insert_delete() {
+        let mut t = RTree::new();
+        for round in 0..6 {
+            for i in 0..200 {
+                t.insert(rect_at(i + round * 7), (round * 1000 + i) as u64);
+            }
+            for i in 0..100 {
+                assert!(
+                    t.delete(&rect_at(i + round * 7), (round * 1000 + i) as u64).is_some(),
+                    "round {round}, item {i}"
+                );
+            }
+            t.check_invariants().unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+        assert_eq!(t.len(), 6 * 100);
+    }
+
+    #[test]
+    fn delete_one_of_duplicates() {
+        let mut t = RTree::new();
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        for i in 0..40 {
+            t.insert(r, i);
+        }
+        assert!(t.delete(&r, 13).is_some());
+        assert!(t.delete(&r, 13).is_none(), "already deleted");
+        assert_eq!(t.len(), 39);
+        let hits = t.window_query(&r);
+        assert_eq!(hits.len(), 39);
+        assert!(hits.iter().all(|e| e.oid != 13));
+    }
+}

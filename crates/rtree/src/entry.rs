@@ -1,0 +1,140 @@
+//! Directory and data entries with the paper's on-page byte layout.
+//!
+//! "For the representation of an entry in a directory page, 40 bytes are
+//! used and for an entry in a data page, 156 bytes are reserved (including
+//! the MBR and a pointer to the exact object representation)." (§4.1)
+
+use bytes::{Buf, BufMut};
+use psj_geom::Rect;
+use psj_store::PageId;
+use serde::{Deserialize, Serialize};
+
+/// Stored size of one directory entry: 4×f64 MBR + u32 child + 4 pad.
+pub const DIR_ENTRY_BYTES: usize = 40;
+
+/// Stored size of one data entry: 4×f64 MBR + u64 object id + geometry
+/// pointer + reserved attribute payload, padded to the paper's 156 bytes.
+pub const DATA_ENTRY_BYTES: usize = 156;
+
+/// Pointer to an object's exact geometry: the cluster of a data page plus a
+/// slot within it ([BK 94] clustering: cluster id == data page id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GeomRef {
+    /// Data page whose cluster stores the geometry.
+    pub page: PageId,
+    /// Slot within the cluster.
+    pub slot: u32,
+}
+
+impl GeomRef {
+    /// A placeholder reference used while the tree is still in memory and
+    /// pages have not been assigned yet.
+    pub const UNSET: GeomRef = GeomRef { page: PageId(u32::MAX), slot: u32::MAX };
+}
+
+/// An entry of a directory node: the MBR of a subtree and its page.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DirEntry {
+    /// Minimum bounding rectangle of everything below `child`.
+    pub mbr: Rect,
+    /// Child node (arena index while in memory, page number once paged).
+    pub child: u32,
+}
+
+/// An entry of a data (leaf) node: an object's MBR, id, and geometry pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataEntry {
+    /// Minimum bounding rectangle of the object.
+    pub mbr: Rect,
+    /// Application object identifier.
+    pub oid: u64,
+    /// Pointer to the exact geometry.
+    pub geom: GeomRef,
+}
+
+impl DirEntry {
+    /// Serializes into exactly [`DIR_ENTRY_BYTES`] bytes.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_f64_le(self.mbr.xl);
+        buf.put_f64_le(self.mbr.yl);
+        buf.put_f64_le(self.mbr.xu);
+        buf.put_f64_le(self.mbr.yu);
+        buf.put_u32_le(self.child);
+        buf.put_bytes(0, DIR_ENTRY_BYTES - 36);
+    }
+
+    /// Deserializes from exactly [`DIR_ENTRY_BYTES`] bytes.
+    pub fn decode<B: Buf>(buf: &mut B) -> Self {
+        let xl = buf.get_f64_le();
+        let yl = buf.get_f64_le();
+        let xu = buf.get_f64_le();
+        let yu = buf.get_f64_le();
+        let child = buf.get_u32_le();
+        buf.advance(DIR_ENTRY_BYTES - 36);
+        DirEntry { mbr: Rect::new(xl, yl, xu, yu), child }
+    }
+}
+
+impl DataEntry {
+    /// Serializes into exactly [`DATA_ENTRY_BYTES`] bytes.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_f64_le(self.mbr.xl);
+        buf.put_f64_le(self.mbr.yl);
+        buf.put_f64_le(self.mbr.xu);
+        buf.put_f64_le(self.mbr.yu);
+        buf.put_u64_le(self.oid);
+        buf.put_u32_le(self.geom.page.0);
+        buf.put_u32_le(self.geom.slot);
+        buf.put_bytes(0, DATA_ENTRY_BYTES - 48);
+    }
+
+    /// Deserializes from exactly [`DATA_ENTRY_BYTES`] bytes.
+    pub fn decode<B: Buf>(buf: &mut B) -> Self {
+        let xl = buf.get_f64_le();
+        let yl = buf.get_f64_le();
+        let xu = buf.get_f64_le();
+        let yu = buf.get_f64_le();
+        let oid = buf.get_u64_le();
+        let page = PageId(buf.get_u32_le());
+        let slot = buf.get_u32_le();
+        buf.advance(DATA_ENTRY_BYTES - 48);
+        DataEntry { mbr: Rect::new(xl, yl, xu, yu), oid, geom: GeomRef { page, slot } }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_entry_roundtrip() {
+        let e = DirEntry { mbr: Rect::new(1.0, 2.0, 3.0, 4.0), child: 42 };
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        assert_eq!(buf.len(), DIR_ENTRY_BYTES);
+        let mut slice = &buf[..];
+        assert_eq!(DirEntry::decode(&mut slice), e);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn data_entry_roundtrip() {
+        let e = DataEntry {
+            mbr: Rect::new(-1.5, 0.0, 2.5, 9.75),
+            oid: 0xDEAD_BEEF_CAFE,
+            geom: GeomRef { page: PageId(7), slot: 3 },
+        };
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        assert_eq!(buf.len(), DATA_ENTRY_BYTES);
+        let mut slice = &buf[..];
+        assert_eq!(DataEntry::decode(&mut slice), e);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn layout_matches_paper() {
+        assert_eq!(DIR_ENTRY_BYTES, 40);
+        assert_eq!(DATA_ENTRY_BYTES, 156);
+    }
+}

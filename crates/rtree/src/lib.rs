@@ -1,0 +1,41 @@
+//! An R\*-tree implementation with the page layout of the paper.
+//!
+//! The filter step of the spatial join operates on R\*-trees
+//! (Beckmann/Kriegel/Schneider/Seeger, SIGMOD '90) over the objects' MBRs.
+//! This crate provides:
+//!
+//! * [`RTree`] — the dynamic in-memory tree: ChooseSubtree, R\* split
+//!   (axis + distribution selection by margin/overlap), and forced
+//!   reinsertion;
+//! * [`bulk::bulk_load_str`] — Sort-Tile-Recursive bulk loading, used as an
+//!   ablation baseline against dynamic insertion;
+//! * [`PagedTree`] — the frozen, paged form of a tree: nodes serialized into
+//!   4 KB pages (40-byte directory entries, 156-byte data entries — the
+//!   paper's Table 1 layout), entries sorted by their lower x bound so join
+//!   tasks can plane-sweep without re-sorting;
+//! * window queries on both forms, and [`TreeStats`] which regenerates
+//!   Table 1.
+//!
+//! Levels are counted from the leaves: level 0 = data (leaf) nodes. The
+//! *height* is the number of levels including the root (the paper's trees
+//! have height 3: root → directory → data).
+
+#![warn(missing_docs)]
+
+pub mod bulk;
+pub mod delete;
+pub mod entry;
+pub mod hilbert;
+pub mod nn;
+pub mod node;
+pub mod paged;
+pub mod persist;
+pub mod split;
+pub mod stats;
+pub mod tree;
+
+pub use entry::{DataEntry, DirEntry, GeomRef, DATA_ENTRY_BYTES, DIR_ENTRY_BYTES};
+pub use node::{Node, NodeKind, DATA_FANOUT, DIR_FANOUT, DATA_MIN_FILL, DIR_MIN_FILL};
+pub use paged::PagedTree;
+pub use stats::TreeStats;
+pub use tree::RTree;

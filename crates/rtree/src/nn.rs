@@ -1,0 +1,233 @@
+//! Nearest-neighbor queries (best-first branch and bound, Hjaltason &
+//! Samet style).
+//!
+//! The paper's future work names neighbor queries as the next operator to
+//! integrate with parallel spatial query processing; the sequential
+//! building block is provided here for both tree forms.
+
+use crate::entry::DataEntry;
+use crate::node::NodeKind;
+use crate::paged::PagedTree;
+use crate::tree::RTree;
+use psj_geom::{Point, Rect};
+use psj_store::PageId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Minimum distance between a point and a rectangle (0 when inside).
+pub fn min_dist(p: &Point, r: &Rect) -> f64 {
+    let dx = (r.xl - p.x).max(0.0).max(p.x - r.xu);
+    let dy = (r.yl - p.y).max(0.0).max(p.y - r.yu);
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Heap element ordered by ascending distance.
+struct HeapItem<T> {
+    dist: f64,
+    item: T,
+}
+
+impl<T> PartialEq for HeapItem<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl<T> Eq for HeapItem<T> {}
+impl<T> PartialOrd for HeapItem<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapItem<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on distance; NaN-free by construction.
+        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+    }
+}
+
+enum Candidate {
+    Node(u32),
+    Entry(DataEntry),
+}
+
+impl RTree {
+    /// The `k` data entries whose MBRs are nearest to `query`, ascending by
+    /// distance (ties in arbitrary order). Returns fewer than `k` when the
+    /// tree is smaller.
+    pub fn nearest_neighbors(&self, query: &Point, k: usize) -> Vec<(f64, DataEntry)> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapItem<Candidate>> = BinaryHeap::new();
+        heap.push(HeapItem { dist: 0.0, item: Candidate::Node(self.root()) });
+        let mut out = Vec::with_capacity(k);
+        while let Some(HeapItem { dist, item }) = heap.pop() {
+            match item {
+                Candidate::Node(idx) => match &self.node(idx).kind {
+                    NodeKind::Dir(entries) => {
+                        for e in entries {
+                            heap.push(HeapItem {
+                                dist: min_dist(query, &e.mbr),
+                                item: Candidate::Node(e.child),
+                            });
+                        }
+                    }
+                    NodeKind::Leaf(entries) => {
+                        for e in entries {
+                            heap.push(HeapItem {
+                                dist: min_dist(query, &e.mbr),
+                                item: Candidate::Entry(*e),
+                            });
+                        }
+                    }
+                },
+                Candidate::Entry(e) => {
+                    out.push((dist, e));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+enum PagedCandidate {
+    Node(PageId),
+    Entry(DataEntry),
+}
+
+impl PagedTree {
+    /// The `k` data entries whose MBRs are nearest to `query`; see
+    /// [`RTree::nearest_neighbors`].
+    pub fn nearest_neighbors(&self, query: &Point, k: usize) -> Vec<(f64, DataEntry)> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapItem<PagedCandidate>> = BinaryHeap::new();
+        heap.push(HeapItem { dist: 0.0, item: PagedCandidate::Node(self.root()) });
+        let mut out = Vec::with_capacity(k);
+        while let Some(HeapItem { dist, item }) = heap.pop() {
+            match item {
+                PagedCandidate::Node(page) => match &self.node(page).kind {
+                    NodeKind::Dir(entries) => {
+                        for e in entries {
+                            heap.push(HeapItem {
+                                dist: min_dist(query, &e.mbr),
+                                item: PagedCandidate::Node(PageId(e.child)),
+                            });
+                        }
+                    }
+                    NodeKind::Leaf(entries) => {
+                        for e in entries {
+                            heap.push(HeapItem {
+                                dist: min_dist(query, &e.mbr),
+                                item: PagedCandidate::Entry(*e),
+                            });
+                        }
+                    }
+                },
+                PagedCandidate::Entry(e) => {
+                    out.push((dist, e));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(n: usize) -> RTree {
+        let mut t = RTree::new();
+        for i in 0..n {
+            let x = (i % 40) as f64;
+            let y = (i / 40) as f64;
+            t.insert(Rect::new(x, y, x + 0.5, y + 0.5), i as u64);
+        }
+        t
+    }
+
+    #[test]
+    fn min_dist_basics() {
+        let r = Rect::new(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(min_dist(&Point::new(2.0, 2.0), &r), 0.0); // inside
+        assert_eq!(min_dist(&Point::new(0.0, 2.0), &r), 1.0); // left
+        assert_eq!(min_dist(&Point::new(4.0, 2.0), &r), 1.0); // right
+        assert_eq!(min_dist(&Point::new(0.0, 0.0), &r), 2.0_f64.sqrt()); // corner
+    }
+
+    #[test]
+    fn nn_matches_linear_scan() {
+        let t = build(500);
+        let queries =
+            [Point::new(0.0, 0.0), Point::new(20.3, 6.1), Point::new(-5.0, 100.0), Point::new(39.9, 12.0)];
+        for q in queries {
+            for k in [1usize, 5, 17] {
+                let got: Vec<u64> =
+                    t.nearest_neighbors(&q, k).iter().map(|(_, e)| e.oid).collect();
+                // Linear-scan oracle.
+                let mut all: Vec<(f64, u64)> = t
+                    .window_query(&t.mbr())
+                    .iter()
+                    .map(|e| (min_dist(&q, &e.mbr), e.oid))
+                    .collect();
+                all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                // Distances must match exactly (ids may tie).
+                let want_dists: Vec<f64> = all.iter().take(k).map(|(d, _)| *d).collect();
+                let got_dists: Vec<f64> = t
+                    .nearest_neighbors(&q, k)
+                    .iter()
+                    .map(|(d, _)| *d)
+                    .collect();
+                assert_eq!(got_dists, want_dists, "q={q:?} k={k}");
+                assert_eq!(got.len(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn nn_results_are_sorted_by_distance() {
+        let t = build(300);
+        let res = t.nearest_neighbors(&Point::new(11.5, 3.2), 20);
+        assert!(res.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn nn_k_larger_than_tree() {
+        let t = build(10);
+        let res = t.nearest_neighbors(&Point::new(0.0, 0.0), 50);
+        assert_eq!(res.len(), 10);
+    }
+
+    #[test]
+    fn nn_zero_k_and_empty_tree() {
+        let t = build(10);
+        assert!(t.nearest_neighbors(&Point::new(0.0, 0.0), 0).is_empty());
+        let empty = RTree::new();
+        assert!(empty.nearest_neighbors(&Point::new(0.0, 0.0), 3).is_empty());
+    }
+
+    #[test]
+    fn paged_nn_agrees_with_in_memory() {
+        let t = build(400);
+        let p = crate::paged::PagedTree::freeze(&t, |_| None);
+        for q in [Point::new(5.0, 5.0), Point::new(33.3, 1.1)] {
+            let a: Vec<(u64,)> =
+                t.nearest_neighbors(&q, 8).iter().map(|(_, e)| (e.oid,)).collect();
+            let b: Vec<(u64,)> =
+                p.nearest_neighbors(&q, 8).iter().map(|(_, e)| (e.oid,)).collect();
+            // Distances equal; compare distance sequences to dodge ties.
+            let da: Vec<f64> = t.nearest_neighbors(&q, 8).iter().map(|(d, _)| *d).collect();
+            let db: Vec<f64> = p.nearest_neighbors(&q, 8).iter().map(|(d, _)| *d).collect();
+            assert_eq!(da, db);
+            assert_eq!(a.len(), b.len());
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Frozen, paged R\*-trees.
+//!
+//! After building (dynamic insertion or bulk loading) a tree is *frozen*:
+//! nodes are assigned page numbers in depth-first order, child pointers are
+//! rewritten to page numbers, entries are sorted by their lower x bound
+//! (the plane-sweep precondition, so join tasks never re-sort), data entries
+//! receive their geometry pointers, and every node is serialized into a real
+//! 4 KB page. The exact geometries are grouped into per-data-page clusters
+//! ([BK 94]) whose sizes drive the simulated cluster I/O time.
+
+use crate::entry::GeomRef;
+use crate::node::{Node, NodeKind};
+use crate::stats::TreeStats;
+use crate::tree::RTree;
+use psj_geom::{Polyline, Rect};
+use psj_store::{ClusterStore, PageId, PageStore};
+
+/// A read-only paged R\*-tree: decoded nodes indexed by page number plus the
+/// authoritative serialized pages and geometry clusters.
+#[derive(Debug)]
+pub struct PagedTree {
+    nodes: Vec<Node>,
+    root: PageId,
+    height: u32,
+    num_items: u64,
+    pages: PageStore,
+    clusters: ClusterStore,
+}
+
+impl PagedTree {
+    /// Freezes `tree` into pages. `geometry` supplies the exact geometry of
+    /// each object id; objects without geometry get [`GeomRef::UNSET`] and
+    /// contribute nothing to their page's cluster.
+    pub fn freeze<F>(tree: &RTree, geometry: F) -> Self
+    where
+        F: FnMut(u64) -> Option<Polyline>,
+    {
+        Self::freeze_with_attrs(tree, geometry, 0)
+    }
+
+    /// As [`PagedTree::freeze`], additionally accounting `attr_bytes` of
+    /// stored attribute payload per object in its geometry cluster. The
+    /// paper's TIGER records average ~26 KB per data-page cluster — far more
+    /// than bare segment coordinates — because each record carries address
+    /// ranges, names and classification codes; `attr_bytes` models that.
+    pub fn freeze_with_attrs<F>(tree: &RTree, mut geometry: F, attr_bytes: u64) -> Self
+    where
+        F: FnMut(u64) -> Option<Polyline>,
+    {
+        let height = tree.height();
+        let num_nodes = tree.nodes().len();
+
+        // Depth-first page numbering from the root.
+        let mut page_of = vec![u32::MAX; num_nodes];
+        let mut order = Vec::with_capacity(num_nodes);
+        let mut stack = vec![tree.root()];
+        while let Some(idx) = stack.pop() {
+            if page_of[idx as usize] != u32::MAX {
+                continue;
+            }
+            page_of[idx as usize] = order.len() as u32;
+            order.push(idx);
+            if let NodeKind::Dir(entries) = &tree.node(idx).kind {
+                // Push in reverse so children are numbered in entry order.
+                for e in entries.iter().rev() {
+                    stack.push(e.child);
+                }
+            }
+        }
+
+        // Clone reachable nodes in page order, remap children, sort entries.
+        let mut nodes: Vec<Node> = Vec::with_capacity(order.len());
+        let mut clusters = ClusterStore::new();
+        for &idx in &order {
+            let mut node = tree.node(idx).clone();
+            if let NodeKind::Dir(entries) = &mut node.kind {
+                for e in entries.iter_mut() {
+                    e.child = page_of[e.child as usize];
+                }
+            }
+            node.sort_entries_by_xl();
+            let page = PageId(nodes.len() as u32);
+            if let NodeKind::Leaf(entries) = &mut node.kind {
+                for e in entries.iter_mut() {
+                    e.geom = match geometry(e.oid) {
+                        Some(g) => {
+                            GeomRef { page, slot: clusters.push_with_extra(page, g, attr_bytes) }
+                        }
+                        None => GeomRef::UNSET,
+                    };
+                }
+            }
+            nodes.push(node);
+        }
+
+        // Serialize.
+        let mut pages = PageStore::new();
+        for node in &nodes {
+            let id = pages.allocate();
+            node.encode(pages.write(id));
+        }
+
+        PagedTree {
+            nodes,
+            root: PageId(0),
+            height,
+            num_items: tree.len(),
+            pages,
+            clusters,
+        }
+    }
+
+    /// Assembles a tree from parts loaded from disk (crate-internal; the
+    /// loader verifies structure afterwards).
+    pub(crate) fn from_loaded_parts(
+        nodes: Vec<Node>,
+        root: PageId,
+        height: u32,
+        num_items: u64,
+        pages: PageStore,
+        clusters: ClusterStore,
+    ) -> Self {
+        PagedTree { nodes, root, height, num_items, pages, clusters }
+    }
+
+    /// Page number of the root (always page 0 of this tree's file).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Tree height (number of levels including the root).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of data entries.
+    pub fn len(&self) -> u64 {
+        self.num_items
+    }
+
+    /// Whether the tree holds no data entries.
+    pub fn is_empty(&self) -> bool {
+        self.num_items == 0
+    }
+
+    /// The decoded node stored on `page`.
+    pub fn node(&self, page: PageId) -> &Node {
+        &self.nodes[page.index()]
+    }
+
+    /// Total number of pages.
+    pub fn num_pages(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The serialized pages.
+    pub fn pages(&self) -> &PageStore {
+        &self.pages
+    }
+
+    /// The geometry clusters.
+    pub fn clusters(&self) -> &ClusterStore {
+        &self.clusters
+    }
+
+    /// MBR of the whole tree.
+    pub fn mbr(&self) -> Rect {
+        self.node(self.root).mbr()
+    }
+
+    /// Window query over the paged form.
+    pub fn window_query(&self, window: &Rect) -> Vec<crate::entry::DataEntry> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            match &self.node(page).kind {
+                NodeKind::Dir(entries) => {
+                    for e in entries {
+                        if e.mbr.intersects(window) {
+                            stack.push(PageId(e.child));
+                        }
+                    }
+                }
+                NodeKind::Leaf(entries) => {
+                    for e in entries {
+                        if e.mbr.intersects(window) {
+                            out.push(*e);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Table 1 statistics for this tree.
+    pub fn stats(&self) -> TreeStats {
+        let data_pages = self.nodes.iter().filter(|n| n.is_leaf()).count();
+        TreeStats {
+            height: self.height,
+            num_data_entries: self.num_items,
+            num_data_pages: data_pages,
+            num_dir_pages: self.nodes.len() - data_pages,
+            avg_cluster_bytes: self.clusters.avg_bytes(),
+        }
+    }
+
+    /// Verifies that every in-memory node round-trips through its serialized
+    /// page, that entries are xl-sorted, and that directory MBRs exactly
+    /// bound their children. Used by tests.
+    pub fn verify(&self) -> Result<(), String> {
+        for (page, node) in self.nodes.iter().enumerate() {
+            let decoded = Node::decode(self.pages.read(PageId(page as u32)));
+            if &decoded != node {
+                return Err(format!("page {page}: decode mismatch"));
+            }
+            let mbrs = node.entry_mbrs();
+            if !mbrs.windows(2).all(|w| w[0].xl <= w[1].xl) {
+                return Err(format!("page {page}: entries not xl-sorted"));
+            }
+            if let NodeKind::Dir(entries) = &node.kind {
+                for e in entries {
+                    let child = self.node(PageId(e.child));
+                    if child.mbr() != e.mbr {
+                        return Err(format!("page {page}: stale child MBR"));
+                    }
+                    if child.level + 1 != node.level {
+                        return Err(format!("page {page}: level mismatch"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bulk::bulk_load_str_with_fanout;
+    use psj_geom::Point;
+
+    fn build_tree(n: usize) -> RTree {
+        let mut t = RTree::new();
+        for i in 0..n {
+            let x = (i % 40) as f64;
+            let y = (i / 40) as f64;
+            t.insert(Rect::new(x, y, x + 0.9, y + 0.9), i as u64);
+        }
+        t
+    }
+
+    fn geom_for(oid: u64) -> Option<Polyline> {
+        let x = (oid % 40) as f64;
+        let y = (oid / 40) as f64;
+        Some(Polyline::new(vec![Point::new(x, y), Point::new(x + 0.9, y + 0.9)]))
+    }
+
+    #[test]
+    fn freeze_assigns_root_page_zero() {
+        let t = build_tree(200);
+        let p = PagedTree::freeze(&t, geom_for);
+        assert_eq!(p.root(), PageId(0));
+        assert_eq!(p.height(), t.height());
+        assert_eq!(p.len(), 200);
+        p.verify().unwrap();
+    }
+
+    #[test]
+    fn page_count_equals_node_count() {
+        let t = build_tree(500);
+        let p = PagedTree::freeze(&t, geom_for);
+        assert_eq!(p.num_pages(), p.pages().len());
+        let s = p.stats();
+        assert_eq!(s.num_data_pages + s.num_dir_pages, p.num_pages());
+        assert!(s.num_data_pages > 0 && s.num_dir_pages > 0);
+    }
+
+    #[test]
+    fn queries_survive_freezing() {
+        let t = build_tree(700);
+        let p = PagedTree::freeze(&t, geom_for);
+        let w = Rect::new(3.0, 2.0, 12.0, 9.0);
+        let mut got: Vec<u64> = p.window_query(&w).iter().map(|e| e.oid).collect();
+        let mut want: Vec<u64> = t.window_query(&w).iter().map(|e| e.oid).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn geometry_refs_resolve() {
+        let t = build_tree(300);
+        let p = PagedTree::freeze(&t, geom_for);
+        let all = p.window_query(&p.mbr());
+        assert_eq!(all.len(), 300);
+        for e in &all {
+            let g = p.clusters().geometry(e.geom.page, e.geom.slot).expect("geometry present");
+            // The geometry's MBR is the entry's MBR by construction.
+            assert_eq!(g.mbr(), e.mbr);
+        }
+        assert!(p.clusters().avg_bytes() > 0);
+    }
+
+    #[test]
+    fn missing_geometry_leaves_unset_ref() {
+        let t = build_tree(50);
+        let p = PagedTree::freeze(&t, |_| None);
+        for e in p.window_query(&p.mbr()) {
+            assert_eq!(e.geom, GeomRef::UNSET);
+        }
+        assert_eq!(p.clusters().avg_bytes(), 0);
+    }
+
+    #[test]
+    fn bulk_loaded_tree_freezes_too() {
+        let items: Vec<(Rect, u64)> = (0..400)
+            .map(|i| {
+                let x = (i % 20) as f64;
+                let y = (i / 20) as f64;
+                (Rect::new(x, y, x + 0.5, y + 0.5), i as u64)
+            })
+            .collect();
+        let t = bulk_load_str_with_fanout(&items, 8, 8);
+        let p = PagedTree::freeze(&t, |_| None);
+        p.verify().unwrap();
+        assert!(p.height() >= 3);
+        assert_eq!(p.len(), 400);
+    }
+}

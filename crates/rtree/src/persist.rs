@@ -1,0 +1,324 @@
+//! On-disk persistence for frozen trees.
+//!
+//! A [`PagedTree`] serializes to a single file: a fixed header, the raw
+//! 4 KB pages, and the geometry clusters, protected by an FNV-1a checksum.
+//! Buffered I/O throughout; loading re-decodes every node from its page
+//! bytes (the same code path the in-memory freeze uses), so a loaded tree
+//! is verified against its page images by construction.
+//!
+//! ```text
+//! +------------------+ magic "PSJT1\n", root u32, height u32,
+//! | header           | num_items u64, num_pages u32, num_clusters u32
+//! +------------------+
+//! | pages            | num_pages × 4096 raw bytes
+//! +------------------+
+//! | clusters         | per cluster: page u32, extra_bytes u64,
+//! |                  |   count u32, then per geometry:
+//! |                  |   vertex count u32 + count × (f64, f64)
+//! +------------------+
+//! | checksum         | FNV-1a 64 over everything above
+//! +------------------+
+//! ```
+
+use crate::node::Node;
+use crate::paged::PagedTree;
+use psj_geom::{Point, Polyline};
+use psj_store::{PageId, PageStore, ClusterStore, PAGE_SIZE};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 6] = b"PSJT1\n";
+
+/// FNV-1a 64-bit, incrementally updatable.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+}
+
+/// Writer that checksums everything it passes through.
+struct HashWriter<W: Write> {
+    inner: W,
+    hash: Fnv,
+}
+
+impl<W: Write> HashWriter<W> {
+    fn write_all_hashed(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.hash.update(buf);
+        self.inner.write_all(buf)
+    }
+    fn u32(&mut self, v: u32) -> io::Result<()> {
+        self.write_all_hashed(&v.to_le_bytes())
+    }
+    fn u64(&mut self, v: u64) -> io::Result<()> {
+        self.write_all_hashed(&v.to_le_bytes())
+    }
+    fn f64(&mut self, v: f64) -> io::Result<()> {
+        self.write_all_hashed(&v.to_le_bytes())
+    }
+}
+
+/// Reader that checksums everything it passes through.
+struct HashReader<R: Read> {
+    inner: R,
+    hash: Fnv,
+}
+
+impl<R: Read> HashReader<R> {
+    fn read_exact_hashed(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.inner.read_exact(buf)?;
+        self.hash.update(buf);
+        Ok(())
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.read_exact_hashed(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.read_exact_hashed(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn f64(&mut self) -> io::Result<f64> {
+        let mut b = [0u8; 8];
+        self.read_exact_hashed(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+}
+
+fn corrupt(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+impl PagedTree {
+    /// Writes the tree to `path`, overwriting any existing file.
+    pub fn save_to(&self, path: &Path) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = HashWriter { inner: BufWriter::new(file), hash: Fnv::new() };
+
+        w.write_all_hashed(MAGIC)?;
+        w.u32(self.root().0)?;
+        w.u32(self.height())?;
+        w.u64(self.len())?;
+        w.u32(self.num_pages() as u32)?;
+
+        // Clusters: collect page ids in ascending order for determinism.
+        let mut cluster_pages: Vec<PageId> =
+            (0..self.num_pages() as u32).map(PageId).filter(|p| self.clusters().get(*p).is_some()).collect();
+        cluster_pages.sort_unstable();
+        w.u32(cluster_pages.len() as u32)?;
+
+        for (_, page) in self.pages().iter() {
+            w.write_all_hashed(page.bytes())?;
+        }
+
+        for pid in cluster_pages {
+            let c = self.clusters().get(pid).expect("filtered to existing clusters");
+            w.u32(pid.0)?;
+            // Extra (attribute) bytes beyond the raw geometry.
+            let geo_bytes: u64 = c.geometries().iter().map(|g| g.stored_size() as u64).sum();
+            w.u64(c.bytes() - geo_bytes)?;
+            w.u32(c.len() as u32)?;
+            for g in c.geometries() {
+                w.u32(g.points().len() as u32)?;
+                for p in g.points() {
+                    w.f64(p.x)?;
+                    w.f64(p.y)?;
+                }
+            }
+        }
+
+        let checksum = w.hash.0;
+        w.inner.write_all(&checksum.to_le_bytes())?;
+        w.inner.flush()
+    }
+
+    /// Reads a tree previously written by [`PagedTree::save_to`].
+    pub fn load_from(path: &Path) -> io::Result<PagedTree> {
+        let file = std::fs::File::open(path)?;
+        let mut r = HashReader { inner: BufReader::new(file), hash: Fnv::new() };
+
+        let mut magic = [0u8; 6];
+        r.read_exact_hashed(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(corrupt("bad magic: not a psj tree file"));
+        }
+        let root = PageId(r.u32()?);
+        let height = r.u32()?;
+        let num_items = r.u64()?;
+        let num_pages = r.u32()? as usize;
+        let num_clusters = r.u32()? as usize;
+        if root.index() >= num_pages.max(1) {
+            return Err(corrupt("root page out of range"));
+        }
+
+        let mut pages = PageStore::new();
+        let mut nodes = Vec::with_capacity(num_pages);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for _ in 0..num_pages {
+            r.read_exact_hashed(&mut buf)?;
+            let id = pages.allocate();
+            pages.write(id).bytes_mut().copy_from_slice(&buf);
+            nodes.push(Node::decode(pages.read(id)));
+        }
+
+        let mut clusters = ClusterStore::new();
+        for _ in 0..num_clusters {
+            let pid = PageId(r.u32()?);
+            if pid.index() >= num_pages {
+                return Err(corrupt("cluster page out of range"));
+            }
+            let extra_total = r.u64()?;
+            let count = r.u32()? as usize;
+            if count == 0 {
+                return Err(corrupt("empty cluster"));
+            }
+            let extra_each = extra_total / count as u64;
+            let mut extra_rem = extra_total % count as u64;
+            for _ in 0..count {
+                let nv = r.u32()? as usize;
+                if !(2..=1_000_000).contains(&nv) {
+                    return Err(corrupt("implausible vertex count"));
+                }
+                let mut pts = Vec::with_capacity(nv);
+                for _ in 0..nv {
+                    let x = r.f64()?;
+                    let y = r.f64()?;
+                    pts.push(Point::new(x, y));
+                }
+                let extra = extra_each + if extra_rem > 0 { extra_rem -= 1; 1 } else { 0 };
+                clusters.push_with_extra(pid, Polyline::new(pts), extra);
+            }
+        }
+
+        let computed = r.hash.0;
+        let mut cs = [0u8; 8];
+        r.inner.read_exact(&mut cs)?;
+        if u64::from_le_bytes(cs) != computed {
+            return Err(corrupt("checksum mismatch"));
+        }
+        // Must be at end of file.
+        let mut extra = [0u8; 1];
+        if r.inner.read(&mut extra)? != 0 {
+            return Err(corrupt("trailing bytes after checksum"));
+        }
+
+        let tree = PagedTree::from_loaded_parts(nodes, root, height, num_items, pages, clusters);
+        tree.verify().map_err(|e| corrupt(&format!("structural verification failed: {e}")))?;
+        Ok(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RTree;
+    use psj_geom::Rect;
+
+    fn sample_tree(n: usize) -> PagedTree {
+        let mut t = RTree::new();
+        for i in 0..n {
+            let x = (i % 40) as f64;
+            let y = (i / 40) as f64;
+            t.insert(Rect::new(x, y, x + 0.9, y + 0.9), i as u64);
+        }
+        PagedTree::freeze_with_attrs(
+            &t,
+            |oid| {
+                let x = (oid % 40) as f64;
+                let y = (oid / 40) as f64;
+                Some(Polyline::new(vec![Point::new(x, y), Point::new(x + 0.9, y + 0.9)]))
+            },
+            100,
+        )
+    }
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("psj-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let tree = sample_tree(500);
+        let path = tmpfile("roundtrip");
+        tree.save_to(&path).unwrap();
+        let loaded = PagedTree::load_from(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.len(), tree.len());
+        assert_eq!(loaded.height(), tree.height());
+        assert_eq!(loaded.num_pages(), tree.num_pages());
+        assert_eq!(loaded.stats(), tree.stats());
+        // Queries agree.
+        let w = Rect::new(3.0, 2.0, 17.0, 9.0);
+        let a: Vec<u64> = tree.window_query(&w).iter().map(|e| e.oid).collect();
+        let b: Vec<u64> = loaded.window_query(&w).iter().map(|e| e.oid).collect();
+        assert_eq!(a, b);
+        // Geometry survives.
+        for e in loaded.window_query(&w) {
+            assert!(loaded.clusters().geometry(e.geom.page, e.geom.slot).is_some());
+        }
+    }
+
+    #[test]
+    fn corrupted_file_rejected() {
+        let tree = sample_tree(100);
+        let path = tmpfile("corrupt");
+        tree.save_to(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = PagedTree::load_from(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let tree = sample_tree(100);
+        let path = tmpfile("truncate");
+        tree.save_to(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        assert!(PagedTree::load_from(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let path = tmpfile("magic");
+        std::fs::write(&path, b"not a tree file at all").unwrap();
+        let err = PagedTree::load_from(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn cluster_sizes_preserved() {
+        let tree = sample_tree(300);
+        let path = tmpfile("clusters");
+        tree.save_to(&path).unwrap();
+        let loaded = PagedTree::load_from(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        for pid in (0..tree.num_pages() as u32).map(PageId) {
+            assert_eq!(
+                tree.clusters().bytes_of(pid),
+                loaded.clusters().bytes_of(pid),
+                "cluster size of {pid}"
+            );
+        }
+    }
+}

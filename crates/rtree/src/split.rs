@@ -1,0 +1,208 @@
+//! The R\*-tree split algorithm (Beckmann et al., SIGMOD '90, §4.2).
+//!
+//! Splitting an overflowing node proceeds in two steps:
+//!
+//! 1. **ChooseSplitAxis** — for each axis, sort the entries by their lower
+//!    and by their upper bound; over all legal distributions of both sorts,
+//!    sum the margins of the two group MBRs. The axis with the minimum total
+//!    margin wins (margin ≈ perimeter: minimizing it yields square-ish
+//!    nodes).
+//! 2. **ChooseSplitIndex** — along the winning axis, pick the distribution
+//!    with minimum overlap between the two group MBRs, ties broken by
+//!    minimum total area.
+//!
+//! A *distribution* assigns the first `m - 1 + k` entries (in sorted order)
+//! to the first group and the rest to the second, for
+//! `k = 1 .. M - 2m + 2`, so both groups respect the minimum fill `m`.
+
+use psj_geom::Rect;
+
+/// Anything with an MBR can be split; implemented by both entry kinds.
+pub trait HasMbr {
+    /// The entry's minimum bounding rectangle.
+    fn mbr(&self) -> Rect;
+}
+
+impl HasMbr for crate::entry::DirEntry {
+    fn mbr(&self) -> Rect {
+        self.mbr
+    }
+}
+
+impl HasMbr for crate::entry::DataEntry {
+    fn mbr(&self) -> Rect {
+        self.mbr
+    }
+}
+
+/// Splits `entries` (an overflowing set of `M + 1` entries) into two groups,
+/// each holding at least `min_fill` entries. Returns `(first, second)`.
+pub fn rstar_split<E: HasMbr + Clone>(mut entries: Vec<E>, min_fill: usize) -> (Vec<E>, Vec<E>) {
+    let total = entries.len();
+    assert!(
+        total >= 2 * min_fill,
+        "cannot split {total} entries with min fill {min_fill}"
+    );
+
+    // --- ChooseSplitAxis -------------------------------------------------
+    // For each axis and each sort (by lower / by upper bound), accumulate the
+    // margin sum over all legal distributions.
+    let mut best_axis = 0usize;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..2 {
+        let mut margin_sum = 0.0;
+        for lower in [true, false] {
+            sort_entries(&mut entries, axis, lower);
+            let (prefix, suffix) = group_mbrs(&entries);
+            for k in distributions(total, min_fill) {
+                margin_sum += prefix[k - 1].margin() + suffix[k].margin();
+            }
+        }
+        if margin_sum < best_margin {
+            best_margin = margin_sum;
+            best_axis = axis;
+        }
+    }
+
+    // --- ChooseSplitIndex ------------------------------------------------
+    // Along the winning axis, examine both sorts again and take the
+    // distribution with minimal overlap (ties: minimal total area).
+    let mut best: Option<(bool, usize, f64, f64)> = None; // (lower, split, overlap, area)
+    for lower in [true, false] {
+        sort_entries(&mut entries, best_axis, lower);
+        let (prefix, suffix) = group_mbrs(&entries);
+        for k in distributions(total, min_fill) {
+            let a = prefix[k - 1];
+            let b = suffix[k];
+            let overlap = a.overlap_area(&b);
+            let area = a.area() + b.area();
+            let better = match &best {
+                None => true,
+                Some((_, _, bo, ba)) => {
+                    let (bo, ba) = (*bo, *ba);
+                    overlap < bo || (overlap == bo && area < ba)
+                }
+            };
+            if better {
+                best = Some((lower, k, overlap, area));
+            }
+        }
+    }
+    let (lower, split, _, _) = best.expect("at least one distribution exists");
+    sort_entries(&mut entries, best_axis, lower);
+    let second = entries.split_off(split);
+    (entries, second)
+}
+
+fn sort_entries<E: HasMbr>(entries: &mut [E], axis: usize, lower: bool) {
+    entries.sort_by(|a, b| {
+        let (ka, kb) = match (axis, lower) {
+            (0, true) => (a.mbr().xl, b.mbr().xl),
+            (0, false) => (a.mbr().xu, b.mbr().xu),
+            (1, true) => (a.mbr().yl, b.mbr().yl),
+            _ => (a.mbr().yu, b.mbr().yu),
+        };
+        ka.partial_cmp(&kb).expect("NaN coordinate")
+    });
+}
+
+/// Legal split points: the first group takes entries `[0, k)`.
+fn distributions(total: usize, min_fill: usize) -> impl Iterator<Item = usize> {
+    min_fill..=(total - min_fill)
+}
+
+/// `prefix[i]` = MBR of entries `[0, i]`; `suffix[i]` = MBR of entries
+/// `[i, total)`. Lets every distribution's group MBRs be read in O(1).
+fn group_mbrs<E: HasMbr>(entries: &[E]) -> (Vec<Rect>, Vec<Rect>) {
+    let n = entries.len();
+    let mut prefix = Vec::with_capacity(n);
+    let mut acc = Rect::empty();
+    for e in entries {
+        acc = acc.union(&e.mbr());
+        prefix.push(acc);
+    }
+    let mut suffix = vec![Rect::empty(); n];
+    let mut acc = Rect::empty();
+    for i in (0..n).rev() {
+        acc = acc.union(&entries[i].mbr());
+        suffix[i] = acc;
+    }
+    (prefix, suffix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{DataEntry, GeomRef};
+
+    fn entry(xl: f64, yl: f64, xu: f64, yu: f64) -> DataEntry {
+        DataEntry { mbr: Rect::new(xl, yl, xu, yu), oid: 0, geom: GeomRef::UNSET }
+    }
+
+    #[test]
+    fn split_respects_min_fill() {
+        let entries: Vec<_> = (0..27).map(|i| entry(i as f64, 0.0, i as f64 + 0.5, 1.0)).collect();
+        let (a, b) = rstar_split(entries, 10);
+        assert!(a.len() >= 10 && b.len() >= 10);
+        assert_eq!(a.len() + b.len(), 27);
+    }
+
+    #[test]
+    fn split_preserves_all_entries() {
+        let entries: Vec<_> =
+            (0..30).map(|i| entry((i % 5) as f64, (i / 5) as f64, (i % 5) as f64 + 1.0, (i / 5) as f64 + 1.0)).collect();
+        let oids: Vec<u64> = (0..30).collect();
+        let entries: Vec<_> = entries
+            .into_iter()
+            .zip(&oids)
+            .map(|(mut e, &o)| {
+                e.oid = o;
+                e
+            })
+            .collect();
+        let (a, b) = rstar_split(entries, 10);
+        let mut got: Vec<u64> = a.iter().chain(b.iter()).map(|e| e.oid).collect();
+        got.sort_unstable();
+        assert_eq!(got, oids);
+    }
+
+    #[test]
+    fn split_separates_two_obvious_clusters() {
+        // Two clusters far apart along x: the split must not mix them.
+        let mut entries = Vec::new();
+        for i in 0..10 {
+            entries.push(entry(i as f64 * 0.1, 0.0, i as f64 * 0.1 + 0.05, 1.0));
+        }
+        for i in 0..10 {
+            entries.push(entry(100.0 + i as f64 * 0.1, 0.0, 100.0 + i as f64 * 0.1 + 0.05, 1.0));
+        }
+        let (a, b) = rstar_split(entries, 10);
+        let mbr_a = a.iter().fold(Rect::empty(), |r, e| r.union(&e.mbr));
+        let mbr_b = b.iter().fold(Rect::empty(), |r, e| r.union(&e.mbr));
+        assert_eq!(mbr_a.overlap_area(&mbr_b), 0.0, "clusters must separate cleanly");
+        assert!(!mbr_a.intersects(&mbr_b));
+    }
+
+    #[test]
+    fn split_chooses_good_axis_vertically() {
+        // Same picture rotated 90°: clusters separated along y.
+        let mut entries = Vec::new();
+        for i in 0..10 {
+            entries.push(entry(0.0, i as f64 * 0.1, 1.0, i as f64 * 0.1 + 0.05));
+        }
+        for i in 0..10 {
+            entries.push(entry(0.0, 50.0 + i as f64 * 0.1, 1.0, 50.0 + i as f64 * 0.1 + 0.05));
+        }
+        let (a, b) = rstar_split(entries, 10);
+        let mbr_a = a.iter().fold(Rect::empty(), |r, e| r.union(&e.mbr));
+        let mbr_b = b.iter().fold(Rect::empty(), |r, e| r.union(&e.mbr));
+        assert!(!mbr_a.intersects(&mbr_b));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn too_few_entries_panics() {
+        let entries: Vec<_> = (0..5).map(|i| entry(i as f64, 0.0, i as f64 + 1.0, 1.0)).collect();
+        let _ = rstar_split(entries, 10);
+    }
+}

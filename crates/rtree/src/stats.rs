@@ -1,0 +1,86 @@
+//! Tree statistics — regenerates the rows of the paper's Table 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one R\*-tree as reported in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeStats {
+    /// Number of levels including the root.
+    pub height: u32,
+    /// Number of data entries (objects).
+    pub num_data_entries: u64,
+    /// Number of data (leaf) pages.
+    pub num_data_pages: usize,
+    /// Number of directory pages (root included).
+    pub num_dir_pages: usize,
+    /// Average geometry cluster size in bytes (paper: ~26 KB).
+    pub avg_cluster_bytes: u64,
+}
+
+impl TreeStats {
+    /// Average data-page fill factor relative to the 26-entry capacity.
+    pub fn data_utilization(&self) -> f64 {
+        if self.num_data_pages == 0 {
+            0.0
+        } else {
+            self.num_data_entries as f64
+                / (self.num_data_pages as f64 * crate::node::DATA_FANOUT as f64)
+        }
+    }
+}
+
+impl std::fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "height                     {:>10}", self.height)?;
+        writeln!(f, "number of data entries     {:>10}", self.num_data_entries)?;
+        writeln!(f, "number of data pages       {:>10}", self.num_data_pages)?;
+        writeln!(f, "number of directory pages  {:>10}", self.num_dir_pages)?;
+        writeln!(f, "data page utilization      {:>9.1}%", self.data_utilization() * 100.0)?;
+        write!(f, "avg cluster size           {:>8} KB", self.avg_cluster_bytes / 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_formula() {
+        let s = TreeStats {
+            height: 3,
+            num_data_entries: 2600,
+            num_data_pages: 200,
+            num_dir_pages: 10,
+            avg_cluster_bytes: 0,
+        };
+        // 2600 / (200 * 26) = 0.5
+        assert_eq!(s.data_utilization(), 0.5);
+    }
+
+    #[test]
+    fn utilization_zero_pages() {
+        let s = TreeStats {
+            height: 1,
+            num_data_entries: 0,
+            num_data_pages: 0,
+            num_dir_pages: 1,
+            avg_cluster_bytes: 0,
+        };
+        assert_eq!(s.data_utilization(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let s = TreeStats {
+            height: 3,
+            num_data_entries: 131_443,
+            num_data_pages: 6_968,
+            num_dir_pages: 95,
+            avg_cluster_bytes: 26 * 1024,
+        };
+        let text = s.to_string();
+        assert!(text.contains("131443"));
+        assert!(text.contains("6968"));
+        assert!(text.contains("26 KB"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the R*-tree.
+
+use proptest::prelude::*;
+use psj_geom::{Point, Polyline, Rect};
+use psj_rtree::bulk::bulk_load_str_with_fanout;
+use psj_rtree::split::rstar_split;
+use psj_rtree::{DataEntry, GeomRef, PagedTree, RTree};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0f64..1000.0, 0.0f64..1000.0, 0.0f64..20.0, 0.0f64..20.0)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn insert_preserves_invariants(rects in prop::collection::vec(arb_rect(), 1..400)) {
+        let mut t = RTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            t.insert(*r, i as u64);
+        }
+        prop_assert_eq!(t.len(), rects.len() as u64);
+        t.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn window_query_equals_linear_scan(
+        rects in prop::collection::vec(arb_rect(), 0..300),
+        window in arb_rect(),
+    ) {
+        let mut t = RTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            t.insert(*r, i as u64);
+        }
+        let mut got: Vec<u64> = t.window_query(&window).iter().map(|e| e.oid).collect();
+        got.sort_unstable();
+        let want: Vec<u64> = rects.iter().enumerate()
+            .filter(|(_, r)| r.intersects(&window))
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn full_window_returns_everything(rects in prop::collection::vec(arb_rect(), 1..300)) {
+        let mut t = RTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            t.insert(*r, i as u64);
+        }
+        let all = t.window_query(&t.mbr());
+        prop_assert_eq!(all.len(), rects.len());
+    }
+
+    #[test]
+    fn split_partitions_entries(rects in prop::collection::vec(arb_rect(), 20..60)) {
+        let entries: Vec<DataEntry> = rects.iter().enumerate()
+            .map(|(i, &mbr)| DataEntry { mbr, oid: i as u64, geom: GeomRef::UNSET })
+            .collect();
+        let min_fill = entries.len() / 3;
+        let min_fill = min_fill.max(1);
+        let (a, b) = rstar_split(entries.clone(), min_fill);
+        prop_assert!(a.len() >= min_fill);
+        prop_assert!(b.len() >= min_fill);
+        let mut oids: Vec<u64> = a.iter().chain(b.iter()).map(|e| e.oid).collect();
+        oids.sort_unstable();
+        let want: Vec<u64> = (0..entries.len() as u64).collect();
+        prop_assert_eq!(oids, want);
+    }
+
+    #[test]
+    fn bulk_load_query_equals_scan(
+        rects in prop::collection::vec(arb_rect(), 0..300),
+        window in arb_rect(),
+    ) {
+        let items: Vec<(Rect, u64)> = rects.iter().enumerate()
+            .map(|(i, &r)| (r, i as u64)).collect();
+        let t = bulk_load_str_with_fanout(&items, 6, 6);
+        t.check_invariants_bulk().map_err(TestCaseError::fail)?;
+        let mut got: Vec<u64> = t.window_query(&window).iter().map(|e| e.oid).collect();
+        got.sort_unstable();
+        let want: Vec<u64> = rects.iter().enumerate()
+            .filter(|(_, r)| r.intersects(&window))
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn frozen_tree_round_trips(rects in prop::collection::vec(arb_rect(), 1..250)) {
+        let mut t = RTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            t.insert(*r, i as u64);
+        }
+        let p = PagedTree::freeze(&t, |oid| {
+            let r = &rects[oid as usize];
+            Some(Polyline::new(vec![
+                Point::new(r.xl, r.yl),
+                Point::new(r.xu, r.yu),
+            ]))
+        });
+        p.verify().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(p.len(), rects.len() as u64);
+        // Every object's geometry is reachable through its GeomRef.
+        for e in p.window_query(&p.mbr()) {
+            let g = p.clusters().geometry(e.geom.page, e.geom.slot);
+            prop_assert!(g.is_some());
+        }
+    }
+}

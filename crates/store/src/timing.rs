@@ -1,0 +1,57 @@
+//! Integer-nanosecond virtual time.
+//!
+//! All simulated clocks in the workspace use integer nanoseconds so that
+//! event ordering is exact and runs are bit-for-bit reproducible — no
+//! floating-point drift in the event queue.
+
+/// Virtual time / durations in nanoseconds.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICROS: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MILLIS: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SECS: Nanos = 1_000_000_000;
+
+/// Converts a duration in (possibly fractional) milliseconds to [`Nanos`].
+#[inline]
+pub fn millis_f(ms: f64) -> Nanos {
+    debug_assert!(ms >= 0.0);
+    (ms * MILLIS as f64).round() as Nanos
+}
+
+/// Converts [`Nanos`] to fractional seconds, for reporting.
+#[inline]
+pub fn to_secs(t: Nanos) -> f64 {
+    t as f64 / SECS as f64
+}
+
+/// Converts [`Nanos`] to fractional milliseconds, for reporting.
+#[inline]
+pub fn to_millis(t: Nanos) -> f64 {
+    t as f64 / MILLIS as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_relationships() {
+        assert_eq!(MILLIS, 1_000 * MICROS);
+        assert_eq!(SECS, 1_000 * MILLIS);
+    }
+
+    #[test]
+    fn millis_roundtrip() {
+        assert_eq!(millis_f(16.0), 16 * MILLIS);
+        assert_eq!(millis_f(37.5), 37 * MILLIS + 500 * MICROS);
+        assert_eq!(to_millis(millis_f(2.25)), 2.25);
+    }
+
+    #[test]
+    fn to_secs_scaling() {
+        assert_eq!(to_secs(62 * SECS + 800 * MILLIS), 62.8);
+    }
+}

@@ -1,0 +1,89 @@
+//! Strategy explorer: run the *simulated* KSR1-style platform over all
+//! combinations of buffer organization, task assignment and reassignment
+//! policy, and print a comparison table — a miniature of the paper's whole
+//! evaluation in one command.
+//!
+//! ```sh
+//! cargo run --release -p psj-examples --bin strategy_explorer -- [scale] [procs] [disks]
+//! ```
+
+use psj_core::{
+    run_sim_join, Assignment, BufferOrg, Reassignment, SimConfig, VictimSelection,
+};
+use psj_datagen::Scenario;
+use psj_rtree::{PagedTree, RTree};
+use std::collections::HashMap;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let procs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let disks: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(procs);
+    let buffer = ((800.0 * scale).ceil() as usize).max(2 * procs);
+
+    println!("scale {scale}, {procs} processors, {disks} disks, buffer {buffer} pages\n");
+    let (map1, map2) = Scenario::scaled(1996, scale).generate();
+    let index = |objs: &[psj_datagen::MapObject]| {
+        let mut t = RTree::new();
+        for o in objs {
+            t.insert(o.mbr(), o.oid);
+        }
+        let geoms: HashMap<u64, psj_geom::Polyline> =
+            objs.iter().map(|o| (o.oid, o.geom.clone())).collect();
+        PagedTree::freeze(&t, move |oid| geoms.get(&oid).cloned())
+    };
+    let a = index(&map1);
+    let b = index(&map2);
+
+    println!(
+        "{:<8} {:<12} {:<11} {:>9} {:>10} {:>8} {:>8} {:>9}",
+        "buffer", "assignment", "reassign", "resp[s]", "reads", "hit%", "steals", "busy[s]"
+    );
+    for buffer_org in [BufferOrg::Local, BufferOrg::Global] {
+        for assignment in
+            [Assignment::StaticRange, Assignment::StaticRoundRobin, Assignment::Dynamic]
+        {
+            for reassignment in
+                [Reassignment::None, Reassignment::RootLevel, Reassignment::AllLevels]
+            {
+                let cfg = SimConfig {
+                    num_procs: procs,
+                    num_disks: disks,
+                    buffer_pages_total: buffer,
+                    buffer_org,
+                    assignment,
+                    reassignment,
+                    victim: VictimSelection::MostLoaded,
+                    platform: psj_core::Platform::paper(disks),
+                    min_tasks_factor: 4,
+                    min_steal: 2,
+                    seed: 0,
+                    collect_candidates: false,
+                    ..SimConfig::best(procs, disks, buffer)
+                };
+                let m = run_sim_join(&a, &b, &cfg).metrics;
+                println!(
+                    "{:<8} {:<12} {:<11} {:>9.1} {:>10} {:>7.1}% {:>8} {:>9.1}",
+                    match buffer_org {
+                        BufferOrg::Local => "local",
+                        BufferOrg::Global => "global",
+                    },
+                    assignment.short(),
+                    match reassignment {
+                        Reassignment::None => "none",
+                        Reassignment::RootLevel => "root",
+                        Reassignment::AllLevels => "all",
+                    },
+                    m.response_secs(),
+                    m.disk_accesses,
+                    m.buffer.hit_ratio() * 100.0,
+                    m.reassignments,
+                    m.total_busy_secs(),
+                );
+            }
+        }
+    }
+    println!("\nthe paper's named variants: lsr = local/range/root,");
+    println!("gsrr = global/round-robin/root, gd = global/dynamic/root,");
+    println!("best = global/dynamic/all");
+}

@@ -1,0 +1,123 @@
+//! Shape guards: the paper's qualitative claims, checked at reduced scale
+//! so `cargo test` protects the reproduction without the full experiment
+//! runtime. EXPERIMENTS.md holds the paper-scale numbers.
+
+use psj_core::{run_sim_join, Reassignment, SimConfig, VictimSelection};
+use psj_datagen::{MapObject, Scenario};
+use psj_rtree::{PagedTree, RTree};
+use std::collections::HashMap;
+
+fn workload(scale: f64) -> (PagedTree, PagedTree) {
+    let (m1, m2) = Scenario::scaled(1996, scale).generate();
+    let index = |objects: &[MapObject]| {
+        let mut t = RTree::new();
+        for o in objects {
+            t.insert(o.mbr(), o.oid);
+        }
+        let geoms: HashMap<u64, psj_geom::Polyline> =
+            objects.iter().map(|o| (o.oid, o.geom.clone())).collect();
+        PagedTree::freeze_with_attrs(&t, |oid| geoms.get(&oid).cloned(), 1365)
+    };
+    (index(&m1), index(&m2))
+}
+
+const SCALE: f64 = 0.03;
+
+/// Figure 5 shape: disk accesses fall with buffer size, and gd beats the
+/// static variants at generous buffers.
+#[test]
+fn fig5_shape_buffer_size_monotonicity() {
+    let (a, b) = workload(SCALE);
+    let n = 8;
+    let sizes = [24usize, 48, 96];
+    let mut prev_gd = u64::MAX;
+    for &pages in &sizes {
+        let lsr = run_sim_join(&a, &b, &SimConfig::lsr(n, n, pages)).metrics;
+        let gsrr = run_sim_join(&a, &b, &SimConfig::gsrr(n, n, pages)).metrics;
+        let gd = run_sim_join(&a, &b, &SimConfig::gd(n, n, pages)).metrics;
+        assert!(gd.disk_accesses <= prev_gd, "gd not monotone at {pages}");
+        prev_gd = gd.disk_accesses;
+        // gd never reads more than the static global variant.
+        assert!(
+            gd.disk_accesses <= gsrr.disk_accesses,
+            "at {pages} pages: gd {} > gsrr {}",
+            gd.disk_accesses,
+            gsrr.disk_accesses
+        );
+        // All variants compute the same join.
+        assert_eq!(lsr.candidates, gd.candidates);
+        assert_eq!(gsrr.candidates, gd.candidates);
+    }
+}
+
+/// Figure 7 shape: for gd, "no reassignment" and "root level" coincide.
+#[test]
+fn fig7_shape_gd_none_equals_root() {
+    let (a, b) = workload(SCALE);
+    let mut none = SimConfig::gd(8, 8, 48);
+    none.reassignment = Reassignment::None;
+    let mut root = SimConfig::gd(8, 8, 48);
+    root.reassignment = Reassignment::RootLevel;
+    let m_none = run_sim_join(&a, &b, &none).metrics;
+    let m_root = run_sim_join(&a, &b, &root).metrics;
+    assert_eq!(m_none.response_time, m_root.response_time);
+    assert_eq!(m_none.disk_accesses, m_root.disk_accesses);
+    assert_eq!(m_root.reassignments, 0, "nothing stealable at root level under gd");
+}
+
+/// Figure 7 shape: all-level reassignment tightens the finish spread for
+/// the static-range variant.
+#[test]
+fn fig7_shape_reassignment_tightens_spread() {
+    let (a, b) = workload(SCALE);
+    let mut none = SimConfig::lsr(8, 8, 48);
+    none.reassignment = Reassignment::None;
+    let mut all = SimConfig::lsr(8, 8, 48);
+    all.reassignment = Reassignment::AllLevels;
+    let m_none = run_sim_join(&a, &b, &none).metrics;
+    let m_all = run_sim_join(&a, &b, &all).metrics;
+    let spread_none = m_none.max_finish_secs() - m_none.min_finish_secs();
+    let spread_all = m_all.max_finish_secs() - m_all.min_finish_secs();
+    assert!(
+        spread_all < spread_none,
+        "spread did not shrink: {spread_all:.2} !< {spread_none:.2}"
+    );
+    assert!(m_all.response_time <= m_none.response_time);
+}
+
+/// Figure 8 shape: victim selection never changes the result, and with a
+/// global buffer it does not change the disk accesses either.
+#[test]
+fn fig8_shape_victim_selection_on_global_buffer() {
+    let (a, b) = workload(SCALE);
+    let mk = |victim| SimConfig {
+        reassignment: Reassignment::AllLevels,
+        victim,
+        ..SimConfig::gd(8, 8, 48)
+    };
+    let ml = run_sim_join(&a, &b, &mk(VictimSelection::MostLoaded)).metrics;
+    let arb = run_sim_join(&a, &b, &mk(VictimSelection::Arbitrary)).metrics;
+    assert_eq!(ml.candidates, arb.candidates);
+    assert_eq!(ml.disk_accesses, arb.disk_accesses);
+}
+
+/// Figures 9/10 shape: d = 1 saturates while d = n keeps scaling.
+#[test]
+fn fig9_shape_disk_bottleneck_vs_scaling() {
+    let (a, b) = workload(SCALE);
+    let t = |n: usize, d: usize| {
+        run_sim_join(&a, &b, &SimConfig::best(n, d, 12 * n)).metrics.response_time
+    };
+    let t1 = t(1, 1);
+    // d = 1: going from 4 to 16 processors barely helps (< 1.6x).
+    let d1_4 = t(4, 1);
+    let d1_16 = t(16, 1);
+    assert!(
+        (d1_4 as f64) / (d1_16 as f64) < 1.6,
+        "single disk should saturate: t(4)={d1_4}, t(16)={d1_16}"
+    );
+    // d = n: 16 processors give at least 6x over 1.
+    let dn_16 = t(16, 16);
+    let speedup = t1 as f64 / dn_16 as f64;
+    assert!(speedup > 6.0, "d=n speed-up only {speedup:.1}");
+}
