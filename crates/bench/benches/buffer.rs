@@ -2,7 +2,9 @@
 //! local/global managers under a zipfian page-access pattern.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use psj_buffer::{GlobalAccess, GlobalBuffer, LocalBuffers, Lru};
+use psj_buffer::{
+    GlobalAccess, GlobalBuffer, LocalBuffers, Lru, PageSource, Policy, SharedPageCache,
+};
 use psj_store::PageId;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -72,5 +74,57 @@ fn bench_managers(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_lru, bench_managers);
+/// Trivial source so the benchmark measures cache overhead, not fetch cost.
+struct Ident;
+
+impl PageSource for Ident {
+    type Item = u32;
+
+    fn fetch_page(&self, page: PageId) -> u32 {
+        page.0
+    }
+
+    fn page_count(&self) -> usize {
+        4_000
+    }
+}
+
+fn bench_shared_cache(c: &mut Criterion) {
+    let accesses = trace(100_000, 4_000, 3);
+    let mut g = c.benchmark_group("shared_cache");
+    g.throughput(Throughput::Elements(accesses.len() as u64));
+    // Single-threaded baseline against the same trace the managers see.
+    g.bench_function("1thread_800p_8shards", |b| {
+        b.iter(|| {
+            let cache: SharedPageCache<u32> = SharedPageCache::new(1, 800, 8, Policy::Lru);
+            for &p in &accesses {
+                black_box(cache.get(0, p, &Ident));
+            }
+            black_box(cache.total_stats().misses)
+        })
+    });
+    // Contended: 8 threads share the trace; measures shard-lock scaling.
+    for shards in [1usize, 8] {
+        g.bench_function(format!("8threads_800p_{shards}shards"), |b| {
+            b.iter(|| {
+                let cache: SharedPageCache<u32> = SharedPageCache::new(8, 800, shards, Policy::Lru);
+                std::thread::scope(|scope| {
+                    for w in 0..8 {
+                        let cache = &cache;
+                        let accesses = &accesses;
+                        scope.spawn(move || {
+                            for &p in accesses.iter().skip(w).step_by(8) {
+                                black_box(cache.get(w, p, &Ident));
+                            }
+                        });
+                    }
+                });
+                black_box(cache.total_stats().misses)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lru, bench_managers, bench_shared_cache);
 criterion_main!(benches);

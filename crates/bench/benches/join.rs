@@ -53,15 +53,18 @@ fn bench_native_assignments(c: &mut Criterion) {
     let (a, b) = workload(0.05);
     let mut g = c.benchmark_group("join_native_assignment");
     g.sample_size(20);
-    for assignment in
-        [Assignment::Dynamic, Assignment::StaticRange, Assignment::StaticRoundRobin]
-    {
+    for assignment in [
+        Assignment::Dynamic,
+        Assignment::StaticRange,
+        Assignment::StaticRoundRobin,
+    ] {
         let cfg = NativeConfig {
             num_threads: 4,
             assignment,
             work_stealing: true,
             min_tasks_factor: 8,
             refine: false,
+            buffer: None,
         };
         g.bench_function(format!("{:?}_4threads", assignment), |bch| {
             bch.iter(|| black_box(run_native_join(&a, &b, &cfg).pairs.len()))

@@ -27,7 +27,9 @@ fn bench_insert(c: &mut Criterion) {
             black_box(t.len())
         })
     });
-    g.bench_function("str_bulk_10k", |b| b.iter(|| black_box(bulk_load_str(&data).len())));
+    g.bench_function("str_bulk_10k", |b| {
+        b.iter(|| black_box(bulk_load_str(&data).len()))
+    });
     g.finish();
 }
 

@@ -22,8 +22,11 @@ fn main() {
     let pages = ((800.0 * args.scale).ceil() as usize).max(2 * n);
 
     type MakeConfig = fn(usize, usize, usize) -> SimConfig;
-    let variants: [(&str, MakeConfig); 3] =
-        [("lsr", SimConfig::lsr), ("gsrr", SimConfig::gsrr), ("gd", SimConfig::gd)];
+    let variants: [(&str, MakeConfig); 3] = [
+        ("lsr", SimConfig::lsr),
+        ("gsrr", SimConfig::gsrr),
+        ("gd", SimConfig::gd),
+    ];
     let reassignments = [
         ("1 none", Reassignment::None),
         ("2 root level", Reassignment::RootLevel),

@@ -27,12 +27,17 @@ fn main() {
         "{:<8} {:<14} {:>12} {:>9} {:>8} {:>10}",
         "variant", "selection", "disk reads", "resp[s]", "steals", "reassign"
     );
-    for (vname, make) in
-        [("lsr", SimConfig::lsr as fn(usize, usize, usize) -> SimConfig), ("gd", SimConfig::gd)]
-    {
-        for (sname, sel) in
-            [("a most-loaded", VictimSelection::MostLoaded), ("b arbitrary", VictimSelection::Arbitrary)]
-        {
+    for (vname, make) in [
+        (
+            "lsr",
+            SimConfig::lsr as fn(usize, usize, usize) -> SimConfig,
+        ),
+        ("gd", SimConfig::gd),
+    ] {
+        for (sname, sel) in [
+            ("a most-loaded", VictimSelection::MostLoaded),
+            ("b arbitrary", VictimSelection::Arbitrary),
+        ] {
             let mut cfg = make(n, n, pages);
             cfg.reassignment = Reassignment::AllLevels;
             cfg.victim = sel;

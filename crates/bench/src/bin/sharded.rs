@@ -17,7 +17,10 @@ fn main() {
     let w = build_workload(&args);
     let sites = [1usize, 2, 4, 8, 16, 24];
 
-    for (net_name, net) in [("ATM (250us, 12MB/s)", Network::atm()), ("fast (10us, 1GB/s)", Network::fast())] {
+    for (net_name, net) in [
+        ("ATM (250us, 12MB/s)", Network::atm()),
+        ("fast (10us, 1GB/s)", Network::fast()),
+    ] {
         println!("Shared-nothing join, {net_name} interconnect");
         println!(
             "{:>6} {:>14} {:>14} {:>12} {:>12}",
@@ -33,7 +36,10 @@ fn main() {
                     ..ShardedConfig::new(n, pages)
                 };
                 let m = run_sharded_join(&w.tree1, &w.tree2, &cfg).metrics;
-                row.push((m.join.response_secs(), m.network_bytes as f64 / (1024.0 * 1024.0)));
+                row.push((
+                    m.join.response_secs(),
+                    m.network_bytes as f64 / (1024.0 * 1024.0),
+                ));
             }
             println!(
                 "{:>6} {:>14.1} {:>14.1} {:>12.1} {:>12.1}",

@@ -23,7 +23,10 @@ fn main() {
         "{:<28} {:>12} {:>12}",
         "number of data entries", s1.num_data_entries, s2.num_data_entries
     );
-    println!("{:<28} {:>12} {:>12}", "number of data pages", s1.num_data_pages, s2.num_data_pages);
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "number of data pages", s1.num_data_pages, s2.num_data_pages
+    );
     println!(
         "{:<28} {:>12} {:>12}",
         "number of directory pages", s1.num_dir_pages, s2.num_dir_pages

@@ -27,7 +27,10 @@ fn main() {
 
     let d = DiskModel::paper(8);
     println!("disk model (9 ms seek + 6 ms latency + 1 ms / 4 KB):");
-    println!("  directory page read {:>7.1} ms", to_millis(d.page_read_time()));
+    println!(
+        "  directory page read {:>7.1} ms",
+        to_millis(d.page_read_time())
+    );
     println!(
         "  data page + 26 KB cluster {:>7.1} ms",
         to_millis(d.data_page_read_time(26 * 1024))

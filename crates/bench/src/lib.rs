@@ -23,7 +23,10 @@ pub struct ExpArgs {
 impl ExpArgs {
     /// Parses `--scale <f>` and `--seed <n>` from `std::env::args`.
     pub fn parse() -> Self {
-        let mut args = ExpArgs { scale: 1.0, seed: 1996 };
+        let mut args = ExpArgs {
+            scale: 1.0,
+            seed: 1996,
+        };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -85,7 +88,12 @@ pub fn build_workload(args: &ExpArgs) -> Workload {
 
     let tree1 = build_tree(&map1, "map1");
     let tree2 = build_tree(&map2, "map2");
-    Workload { map1, map2, tree1, tree2 }
+    Workload {
+        map1,
+        map2,
+        tree1,
+        tree2,
+    }
 }
 
 /// Stored attribute payload per TIGER-style record (address ranges, feature
@@ -146,7 +154,12 @@ pub enum DiskSeries {
 /// Runs the best variant (global buffer, dynamic assignment, reassignment on
 /// all levels) for each processor count, with the paper's buffer scaling of
 /// 100 pages per processor (scaled alongside the workload).
-pub fn speedup_series(w: &Workload, procs: &[usize], disks: DiskSeries, scale: f64) -> Vec<SeriesPoint> {
+pub fn speedup_series(
+    w: &Workload,
+    procs: &[usize],
+    disks: DiskSeries,
+    scale: f64,
+) -> Vec<SeriesPoint> {
     use psj_core::{run_sim_join, SimConfig};
     procs
         .iter()
@@ -174,13 +187,13 @@ pub const FIG9_PROCS: [usize; 10] = [1, 2, 4, 6, 8, 10, 12, 16, 20, 24];
 /// Builds the workload with Hilbert-packed trees (tree-construction
 /// ablation).
 pub fn build_workload_hilbert(args: &ExpArgs) -> Workload {
-    build_workload_with(args, |items| psj_rtree::hilbert::bulk_load_hilbert(items), "hilbert")
+    build_workload_with(args, psj_rtree::hilbert::bulk_load_hilbert, "hilbert")
 }
 
 /// Builds the workload with STR-bulk-loaded trees instead of dynamic
 /// R\*-tree insertion (the tree-construction ablation).
 pub fn build_workload_str(args: &ExpArgs) -> Workload {
-    build_workload_with(args, |items| psj_rtree::bulk::bulk_load_str(items), "STR")
+    build_workload_with(args, psj_rtree::bulk::bulk_load_str, "STR")
 }
 
 fn build_workload_with(
@@ -196,11 +209,8 @@ fn build_workload_with(
         let tree = load(&items);
         let geoms: HashMap<u64, psj_geom::Polyline> =
             objects.iter().map(|o| (o.oid, o.geom.clone())).collect();
-        let paged = PagedTree::freeze_with_attrs(
-            &tree,
-            |oid| geoms.get(&oid).cloned(),
-            TIGER_ATTR_BYTES,
-        );
+        let paged =
+            PagedTree::freeze_with_attrs(&tree, |oid| geoms.get(&oid).cloned(), TIGER_ATTR_BYTES);
         eprintln!(
             "[workload] {name} ({label}): {} entries into {} pages in {:.1?}",
             paged.len(),
@@ -211,5 +221,10 @@ fn build_workload_with(
     };
     let tree1 = build(&map1, "map1");
     let tree2 = build(&map2, "map2");
-    Workload { map1, map2, tree1, tree2 }
+    Workload {
+        map1,
+        map2,
+        tree1,
+        tree2,
+    }
 }

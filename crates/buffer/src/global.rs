@@ -98,7 +98,10 @@ impl GlobalBuffer {
             return GlobalAccess::InFlight { reader };
         }
         if self.lru.touch(page) {
-            let owner = *self.owner.get(&page).expect("resident page must have an owner");
+            let owner = *self
+                .owner
+                .get(&page)
+                .expect("resident page must have an owner");
             if owner == proc {
                 self.stats[proc].hits_local += 1;
                 GlobalAccess::HitLocal
@@ -118,7 +121,11 @@ impl GlobalBuffer {
     /// victim (if any) is evicted.
     pub fn complete_read(&mut self, proc: usize, page: PageId) {
         let reader = self.in_flight.remove(&page);
-        debug_assert_eq!(reader, Some(proc), "completing a read that was not in flight");
+        debug_assert_eq!(
+            reader,
+            Some(proc),
+            "completing a read that was not in flight"
+        );
         if let Some(victim) = self.lru.insert(page) {
             self.owner.remove(&victim);
             self.stats[proc].evictions += 1;

@@ -17,6 +17,10 @@
 //!   recently accessed path. It belongs to the R\*-tree itself and lives in
 //!   the processor's local memory, so path hits bypass the page buffer and
 //!   the network entirely.
+//! * [`SharedPageCache`] — the *concurrent* counterpart used by the native
+//!   executor: a lock-sharded bounded cache over a [`PageSource`], serving
+//!   real OS threads with the same local/remote/in-flight accounting the
+//!   simulated buffers report.
 
 #![warn(missing_docs)]
 
@@ -25,6 +29,7 @@ pub mod local;
 pub mod lru;
 pub mod path;
 pub mod policy;
+pub mod shared;
 pub mod stats;
 
 pub use global::{GlobalAccess, GlobalBuffer};
@@ -32,4 +37,5 @@ pub use local::LocalBuffers;
 pub use lru::Lru;
 pub use path::PathBuffer;
 pub use policy::{Clock, Fifo, PageBuffer, Policy};
+pub use shared::{PageSource, SharedAccess, SharedPageCache};
 pub use stats::BufferStats;

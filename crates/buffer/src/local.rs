@@ -27,7 +27,9 @@ impl LocalBuffers {
     pub fn with_policy(n: usize, pages_per_proc: usize, policy: Policy) -> Self {
         assert!(n > 0, "need at least one processor");
         LocalBuffers {
-            bufs: (0..n).map(|_| PageBuffer::new(policy, pages_per_proc)).collect(),
+            bufs: (0..n)
+                .map(|_| PageBuffer::new(policy, pages_per_proc))
+                .collect(),
             stats: vec![BufferStats::default(); n],
         }
     }

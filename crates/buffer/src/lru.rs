@@ -101,7 +101,11 @@ impl Lru {
             }
             None => {
                 let s = self.slots.len() as u32;
-                self.slots.push(Slot { page, prev: NIL, next: NIL });
+                self.slots.push(Slot {
+                    page,
+                    prev: NIL,
+                    next: NIL,
+                });
                 s
             }
         };
@@ -278,8 +282,7 @@ mod tests {
         use std::collections::VecDeque;
         let mut l = Lru::new(5);
         let mut reference: VecDeque<PageId> = VecDeque::new(); // front = MRU
-        let accesses: Vec<u32> =
-            (0..500).map(|i| (i * 7 + i / 3) % 13).collect();
+        let accesses: Vec<u32> = (0..500).map(|i| (i * 7 + i / 3) % 13).collect();
         for a in accesses {
             let page = p(a);
             let hit = l.touch(page);

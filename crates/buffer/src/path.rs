@@ -19,7 +19,9 @@ impl PathBuffer {
     /// Creates a path buffer for a tree of the given height (number of
     /// levels, root included).
     pub fn new(height: usize) -> Self {
-        PathBuffer { levels: vec![None; height] }
+        PathBuffer {
+            levels: vec![None; height],
+        }
     }
 
     /// Tree height this buffer was sized for.

@@ -33,7 +33,11 @@ impl Fifo {
     /// Creates a FIFO buffer of the given capacity.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "FIFO capacity must be positive");
-        Fifo { queue: VecDeque::with_capacity(capacity), set: HashMap::new(), capacity }
+        Fifo {
+            queue: VecDeque::with_capacity(capacity),
+            set: HashMap::new(),
+            capacity,
+        }
     }
 
     /// Whether `page` is resident; FIFO hits do not change anything.
@@ -87,7 +91,12 @@ impl Clock {
     /// Creates a CLOCK buffer of the given capacity.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "CLOCK capacity must be positive");
-        Clock { frames: Vec::with_capacity(capacity), map: HashMap::new(), hand: 0, capacity }
+        Clock {
+            frames: Vec::with_capacity(capacity),
+            map: HashMap::new(),
+            hand: 0,
+            capacity,
+        }
     }
 
     /// Whether `page` is resident; a hit sets its reference bit.
@@ -221,7 +230,11 @@ mod tests {
         assert_eq!(f.insert(p(1)), None);
         assert_eq!(f.insert(p(2)), None);
         assert!(f.touch(p(1)), "hit does not promote in FIFO");
-        assert_eq!(f.insert(p(3)), Some(p(1)), "oldest goes first despite the hit");
+        assert_eq!(
+            f.insert(p(3)),
+            Some(p(1)),
+            "oldest goes first despite the hit"
+        );
         assert_eq!(f.insert(p(4)), Some(p(2)));
         assert_eq!(f.len(), 2);
     }

@@ -1,0 +1,502 @@
+//! A concurrent, lock-sharded page cache for the native executor.
+//!
+//! The paper's buffer layer ([`crate::LocalBuffers`], [`crate::GlobalBuffer`])
+//! is single-threaded: the discrete-event simulator interleaves processors
+//! deterministically, so plain `&mut` access suffices. The native executor
+//! runs real OS threads, which need a cache that is *correct under
+//! concurrency* while preserving the paper's semantics:
+//!
+//! * bounded residency — at most `capacity` pages cached across all shards,
+//! * single fetch per page — concurrent requesters of a non-resident page
+//!   wait for the one in-flight load instead of fetching twice (the paper's
+//!   §3.1 in-flight mechanism, here a per-shard condvar),
+//! * per-worker [`BufferStats`] distinguishing local hits, *remote* hits
+//!   (page cached by a different worker — the global organization's
+//!   interconnect traffic), in-flight waits, misses, and evictions,
+//! * pluggable replacement [`Policy`] via the existing [`PageBuffer`]
+//!   machinery, LRU by default.
+//!
+//! The cache is generic over what a page decodes to (`T`): the native join
+//! caches decoded R\*-tree nodes, the pager tests cache raw 4 KB pages.
+//! Values are handed out as `Arc<T>`, so a page a worker is still using
+//! ("pinned") stays valid even if the cache evicts it concurrently —
+//! eviction only drops the cache's reference.
+//!
+//! Sharding: a page's shard is `hash(page) % shards`. Each shard has its own
+//! mutex, residency buffer (`capacity / shards` pages, ≥ 1), and condvar, so
+//! disjoint pages contend only 1/N of the time. With `shards == 1` the cache
+//! degenerates to a single global lock — the configuration a per-worker
+//! *local* buffer uses, since it is uncontended anyway.
+
+use crate::policy::{PageBuffer, Policy};
+use crate::stats::BufferStats;
+use psj_store::{Page, PageId};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Where a page's bytes come from on a cache miss.
+///
+/// Implemented by the disk-backed [`psj_store::FilePager`] (raw pages) and,
+/// in `psj-core`, by an adapter over `PagedTree` (decoded nodes).
+pub trait PageSource {
+    /// What a fetched page decodes to.
+    type Item;
+
+    /// Fetches/decodes `page`. Called outside all cache locks; concurrent
+    /// calls for *distinct* pages may overlap, the cache guarantees at most
+    /// one in-flight fetch per page.
+    fn fetch_page(&self, page: PageId) -> Self::Item;
+
+    /// Total number of pages this source can serve (page ids `0..n`).
+    fn page_count(&self) -> usize;
+}
+
+/// How a request was satisfied; returned so callers can account costs
+/// (e.g. charge an interconnect penalty for remote hits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharedAccess {
+    /// Cached, and this worker was the one who loaded it.
+    HitLocal,
+    /// Cached by a different worker (`owner`): the global organization
+    /// serves this over the interconnect.
+    HitRemote {
+        /// Worker whose fetch brought the page in.
+        owner: usize,
+    },
+    /// Another worker's fetch was in flight; this request waited for it.
+    HitInFlight,
+    /// Not cached: this worker fetched it from the source.
+    Miss,
+}
+
+struct ShardState<T> {
+    /// Residency + replacement order over this shard's pages.
+    buf: PageBuffer,
+    /// Cached values for resident pages.
+    data: HashMap<PageId, Arc<T>>,
+    /// Worker whose fetch loaded each resident page.
+    owner: HashMap<PageId, usize>,
+    /// Pages some worker is currently fetching.
+    loading: HashSet<PageId>,
+}
+
+struct Shard<T> {
+    state: Mutex<ShardState<T>>,
+    loaded: Condvar,
+    capacity: usize,
+}
+
+/// Per-worker counters, padded out so workers on different cores don't
+/// false-share a cache line.
+#[repr(align(64))]
+#[derive(Default)]
+struct WorkerStats {
+    stats: Mutex<BufferStats>,
+}
+
+/// The concurrent sharded page cache.
+pub struct SharedPageCache<T> {
+    shards: Vec<Shard<T>>,
+    stats: Vec<WorkerStats>,
+}
+
+impl<T> SharedPageCache<T> {
+    /// Creates a cache holding at most `capacity` pages, split over `shards`
+    /// independently locked segments, tracking stats for `workers` workers.
+    ///
+    /// Every shard gets at least one page, so the effective capacity is
+    /// `max(capacity, shards)` when `capacity < shards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `workers` is zero.
+    pub fn new(workers: usize, capacity: usize, shards: usize, policy: Policy) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(workers > 0, "need at least one worker");
+        let per_shard = capacity.div_ceil(shards).max(1);
+        SharedPageCache {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    state: Mutex::new(ShardState {
+                        buf: PageBuffer::new(policy, per_shard),
+                        data: HashMap::with_capacity(per_shard),
+                        owner: HashMap::with_capacity(per_shard),
+                        loading: HashSet::new(),
+                    }),
+                    loaded: Condvar::new(),
+                    capacity: per_shard,
+                })
+                .collect(),
+            stats: (0..workers).map(|_| WorkerStats::default()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of workers stats are tracked for.
+    pub fn num_workers(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Maximum number of resident pages (sum of shard capacities).
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.capacity).sum()
+    }
+
+    /// Current number of resident pages.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().unwrap().buf.len())
+            .sum()
+    }
+
+    /// Whether no page is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn shard_of(&self, page: PageId) -> &Shard<T> {
+        // Fibonacci hashing spreads the sequential page ids trees produce;
+        // plain modulo would put all of a small tree in adjacent shards.
+        let h = (page.0 as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        &self.shards[(h >> 32) as usize % self.shards.len()]
+    }
+
+    fn bump(&self, worker: usize, access: SharedAccess, evicted: bool) {
+        let mut s = self.stats[worker].stats.lock().unwrap();
+        match access {
+            SharedAccess::HitLocal => s.hits_local += 1,
+            SharedAccess::HitRemote { .. } => s.hits_remote += 1,
+            SharedAccess::HitInFlight => s.hits_in_flight += 1,
+            SharedAccess::Miss => s.misses += 1,
+        }
+        if evicted {
+            s.evictions += 1;
+        }
+    }
+
+    /// Looks up `page`, fetching it from `source` on a miss. Returns the
+    /// cached value and how the request was satisfied.
+    ///
+    /// `worker` indexes the per-worker statistics and is recorded as the
+    /// page's owner when this call fetches it.
+    pub fn get<S>(&self, worker: usize, page: PageId, source: &S) -> (Arc<T>, SharedAccess)
+    where
+        S: PageSource<Item = T> + ?Sized,
+    {
+        let shard = self.shard_of(page);
+        let mut state = shard.state.lock().unwrap();
+        let mut waited = false;
+        loop {
+            if let Some(value) = state.data.get(&page) {
+                let value = Arc::clone(value);
+                state.buf.touch(page);
+                let access = if waited {
+                    SharedAccess::HitInFlight
+                } else {
+                    match state.owner.get(&page) {
+                        Some(&o) if o == worker => SharedAccess::HitLocal,
+                        Some(&o) => SharedAccess::HitRemote { owner: o },
+                        // Unreachable in practice (resident ⇒ owned), but a
+                        // local hit is the safe default.
+                        None => SharedAccess::HitLocal,
+                    }
+                };
+                drop(state);
+                self.bump(worker, access, false);
+                return (value, access);
+            }
+            if state.loading.contains(&page) {
+                // Someone else is fetching this page: wait for their load
+                // rather than issuing a second fetch (paper §3.1).
+                waited = true;
+                state = shard.loaded.wait(state).unwrap();
+                continue;
+            }
+            // We fetch. Mark in flight and release the shard lock so other
+            // pages of this shard stay accessible during the fetch.
+            state.loading.insert(page);
+            drop(state);
+            let value = Arc::new(source.fetch_page(page));
+            let mut state = shard.state.lock().unwrap();
+            state.loading.remove(&page);
+            let mut evicted = false;
+            if let Some(victim) = state.buf.insert(page) {
+                state.data.remove(&victim);
+                state.owner.remove(&victim);
+                evicted = true;
+            }
+            state.data.insert(page, Arc::clone(&value));
+            state.owner.insert(page, worker);
+            drop(state);
+            shard.loaded.notify_all();
+            self.bump(worker, SharedAccess::Miss, evicted);
+            return (value, SharedAccess::Miss);
+        }
+    }
+
+    /// Read-only residency test (no promotion, no stats).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.shard_of(page).state.lock().unwrap().buf.contains(page)
+    }
+
+    /// One worker's statistics.
+    pub fn stats(&self, worker: usize) -> BufferStats {
+        *self.stats[worker].stats.lock().unwrap()
+    }
+
+    /// Per-worker statistics, indexed by worker.
+    pub fn per_worker_stats(&self) -> Vec<BufferStats> {
+        self.stats
+            .iter()
+            .map(|w| *w.stats.lock().unwrap())
+            .collect()
+    }
+
+    /// Aggregated statistics over all workers.
+    pub fn total_stats(&self) -> BufferStats {
+        self.per_worker_stats()
+            .iter()
+            .fold(BufferStats::default(), |acc, s| acc.merged(s))
+    }
+
+    /// Structural invariant check for tests; call only while no access is
+    /// concurrently in flight.
+    ///
+    /// Verifies, per shard: residency within capacity, the value and owner
+    /// maps exactly mirror the residency buffer, and no load marked in
+    /// flight. Globally: every worker's counters are internally consistent
+    /// (`requests() == hits + misses` holds by construction of
+    /// [`BufferStats::requests`]).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let state = shard.state.lock().unwrap();
+            if state.buf.len() > shard.capacity {
+                return Err(format!(
+                    "shard {i}: {} resident pages exceed capacity {}",
+                    state.buf.len(),
+                    shard.capacity
+                ));
+            }
+            if state.data.len() != state.buf.len() || state.owner.len() != state.buf.len() {
+                return Err(format!(
+                    "shard {i}: maps out of sync (buf {}, data {}, owner {})",
+                    state.buf.len(),
+                    state.data.len(),
+                    state.owner.len()
+                ));
+            }
+            for page in state.data.keys() {
+                if !state.buf.contains(*page) {
+                    return Err(format!("shard {i}: cached page {page} not resident"));
+                }
+                if !state.owner.contains_key(page) {
+                    return Err(format!("shard {i}: cached page {page} has no owner"));
+                }
+            }
+            if !state.loading.is_empty() {
+                return Err(format!(
+                    "shard {i}: {} loads still marked in flight at rest",
+                    state.loading.len()
+                ));
+            }
+            for owner in state.owner.values() {
+                if *owner >= self.stats.len() {
+                    return Err(format!("shard {i}: owner {owner} out of range"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<T> std::fmt::Debug for SharedPageCache<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPageCache")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl PageSource for psj_store::FilePager {
+    type Item = Page;
+
+    fn fetch_page(&self, page: PageId) -> Page {
+        self.read_page(page)
+    }
+
+    fn page_count(&self) -> usize {
+        self.num_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A source that counts fetches and returns the page number.
+    struct Counting {
+        fetches: AtomicU64,
+        pages: usize,
+    }
+
+    impl Counting {
+        fn new(pages: usize) -> Self {
+            Counting {
+                fetches: AtomicU64::new(0),
+                pages,
+            }
+        }
+    }
+
+    impl PageSource for Counting {
+        type Item = u32;
+
+        fn fetch_page(&self, page: PageId) -> u32 {
+            self.fetches.fetch_add(1, Ordering::Relaxed);
+            page.0
+        }
+
+        fn page_count(&self) -> usize {
+            self.pages
+        }
+    }
+
+    fn p(n: u32) -> PageId {
+        PageId(n)
+    }
+
+    #[test]
+    fn miss_then_local_hit() {
+        let cache: SharedPageCache<u32> = SharedPageCache::new(2, 8, 2, Policy::Lru);
+        let src = Counting::new(100);
+        let (v, a) = cache.get(0, p(5), &src);
+        assert_eq!((*v, a), (5, SharedAccess::Miss));
+        let (v, a) = cache.get(0, p(5), &src);
+        assert_eq!((*v, a), (5, SharedAccess::HitLocal));
+        assert_eq!(src.fetches.load(Ordering::Relaxed), 1);
+        cache.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn hit_by_other_worker_is_remote() {
+        let cache: SharedPageCache<u32> = SharedPageCache::new(3, 8, 2, Policy::Lru);
+        let src = Counting::new(100);
+        cache.get(2, p(7), &src);
+        let (_, a) = cache.get(0, p(7), &src);
+        assert_eq!(a, SharedAccess::HitRemote { owner: 2 });
+        let total = cache.total_stats();
+        assert_eq!(total.misses, 1);
+        assert_eq!(total.hits_remote, 1);
+        assert_eq!(cache.stats(0).hits_remote, 1);
+        assert_eq!(cache.stats(2).misses, 1);
+    }
+
+    #[test]
+    fn eviction_keeps_capacity_and_drops_value() {
+        let cache: SharedPageCache<u32> = SharedPageCache::new(1, 4, 1, Policy::Lru);
+        let src = Counting::new(100);
+        for n in 0..10 {
+            cache.get(0, p(n), &src);
+            assert!(cache.len() <= cache.capacity());
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.total_stats().evictions, 6);
+        // Re-reading an evicted page re-fetches.
+        assert!(!cache.contains(p(0)));
+        let (_, a) = cache.get(0, p(0), &src);
+        assert_eq!(a, SharedAccess::Miss);
+        cache.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pinned_value_survives_eviction() {
+        let cache: SharedPageCache<u32> = SharedPageCache::new(1, 1, 1, Policy::Lru);
+        let src = Counting::new(100);
+        let (pinned, _) = cache.get(0, p(1), &src);
+        for n in 2..6 {
+            cache.get(0, p(n), &src); // evicts p1 and successors
+        }
+        assert!(!cache.contains(p(1)));
+        assert_eq!(*pinned, 1, "Arc keeps the evicted value alive");
+    }
+
+    #[test]
+    fn capacity_rounds_up_per_shard() {
+        let cache: SharedPageCache<u32> = SharedPageCache::new(1, 10, 4, Policy::Lru);
+        // 10 / 4 rounds to 3 per shard: effective capacity 12.
+        assert_eq!(cache.capacity(), 12);
+        let tiny: SharedPageCache<u32> = SharedPageCache::new(1, 0, 3, Policy::Lru);
+        assert_eq!(tiny.capacity(), 3, "every shard holds at least one page");
+    }
+
+    #[test]
+    fn fetch_count_equals_misses() {
+        let cache: SharedPageCache<u32> = SharedPageCache::new(4, 64, 4, Policy::Lru);
+        let src = Counting::new(40);
+        for round in 0..3 {
+            for n in 0..40 {
+                let (v, _) = cache.get((n as usize + round) % 4, p(n), &src);
+                assert_eq!(*v, n);
+            }
+        }
+        let total = cache.total_stats();
+        assert_eq!(total.misses, 40, "big cache: one miss per distinct page");
+        assert_eq!(src.fetches.load(Ordering::Relaxed), total.misses);
+        assert_eq!(total.requests(), 120);
+        cache.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concurrent_single_fetch_per_page() {
+        let cache: SharedPageCache<u32> = SharedPageCache::new(8, 128, 4, Policy::Lru);
+        let src = Counting::new(64);
+        std::thread::scope(|scope| {
+            for w in 0..8 {
+                let cache = &cache;
+                let src = &src;
+                scope.spawn(move || {
+                    for n in 0..64u32 {
+                        let (v, _) = cache.get(w, p(n), src);
+                        assert_eq!(*v, n);
+                    }
+                });
+            }
+        });
+        // Big enough cache: despite 8 threads racing on every page, each
+        // page was fetched exactly once.
+        assert_eq!(src.fetches.load(Ordering::Relaxed), 64);
+        let total = cache.total_stats();
+        assert_eq!(total.misses, 64);
+        assert_eq!(total.requests(), 8 * 64);
+        cache.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn policies_dispatch() {
+        for policy in [Policy::Lru, Policy::Fifo, Policy::Clock] {
+            let cache: SharedPageCache<u32> = SharedPageCache::new(1, 3, 1, policy);
+            let src = Counting::new(10);
+            for n in 0..5 {
+                cache.get(0, p(n), &src);
+            }
+            assert_eq!(cache.len(), 3, "{policy:?}");
+            assert!(cache.contains(p(4)), "{policy:?} keeps newest");
+            cache.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _: SharedPageCache<u32> = SharedPageCache::new(1, 4, 0, Policy::Lru);
+    }
+}

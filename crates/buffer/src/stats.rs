@@ -41,6 +41,24 @@ impl BufferStats {
         }
     }
 
+    /// Element-wise difference against an earlier snapshot of the same
+    /// counters, isolating the activity between the two observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, via underflow) if `earlier` is not actually
+    /// an earlier snapshot — counters only grow.
+    pub fn since(&self, earlier: &BufferStats) -> BufferStats {
+        BufferStats {
+            hits_local: self.hits_local - earlier.hits_local,
+            hits_remote: self.hits_remote - earlier.hits_remote,
+            hits_in_flight: self.hits_in_flight - earlier.hits_in_flight,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            hits_path: self.hits_path - earlier.hits_path,
+        }
+    }
+
     /// Element-wise sum, for aggregating per-processor counters.
     pub fn merged(&self, other: &BufferStats) -> BufferStats {
         BufferStats {
@@ -78,8 +96,16 @@ mod tests {
 
     #[test]
     fn merged_adds_fields() {
-        let a = BufferStats { hits_local: 1, misses: 2, ..Default::default() };
-        let b = BufferStats { hits_local: 3, evictions: 1, ..Default::default() };
+        let a = BufferStats {
+            hits_local: 1,
+            misses: 2,
+            ..Default::default()
+        };
+        let b = BufferStats {
+            hits_local: 3,
+            evictions: 1,
+            ..Default::default()
+        };
         let m = a.merged(&b);
         assert_eq!(m.hits_local, 4);
         assert_eq!(m.misses, 2);

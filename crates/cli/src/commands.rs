@@ -1,7 +1,7 @@
 //! The CLI subcommands.
 
 use crate::args::Args;
-use psj_core::{run_native_join, run_sim_join, NativeConfig, SimConfig};
+use psj_core::{run_native_join, run_sim_join, BufferConfig, BufferOrg, NativeConfig, SimConfig};
 use psj_datagen::io::{load_map, save_map};
 use psj_datagen::Scenario;
 use psj_rtree::{bulk::bulk_load_str, PagedTree, RTree};
@@ -18,6 +18,7 @@ commands:
   build    --map <map> --out <tree> [--attrs <bytes>] [--str|--hilbert]
   stats    --tree <tree>
   join     --tree1 <tree> --tree2 <tree> [--threads <n>] [--no-refine]
+           [--cache <pages>] [--cache-org local|global] [--cache-shards <n>]
   simulate --tree1 <tree> --tree2 <tree> [--procs <n>] [--disks <n>]
            [--buffer <pages>] [--variant lsr|gsrr|gd|best]
   help";
@@ -34,8 +35,11 @@ pub fn generate(args: &Args) -> CmdResult {
     let seed: u64 = args.parse_or("seed", 1996)?;
     let out1 = args.require("out1")?;
     let out2 = args.require("out2")?;
-    let scenario =
-        if (scale - 1.0).abs() < 1e-12 { Scenario::paper(seed) } else { Scenario::scaled(seed, scale) };
+    let scenario = if (scale - 1.0).abs() < 1e-12 {
+        Scenario::paper(seed)
+    } else {
+        Scenario::scaled(seed, scale)
+    };
     let t0 = Instant::now();
     let (m1, m2) = scenario.generate();
     save_map(&m1, Path::new(out1)).map_err(io_err)?;
@@ -96,10 +100,26 @@ pub fn join(args: &Args) -> CmdResult {
     let b = PagedTree::load_from(Path::new(args.require("tree2")?)).map_err(io_err)?;
     let threads: usize = args.parse_or(
         "threads",
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4),
     )?;
     let mut cfg = NativeConfig::new(threads);
     cfg.refine = !args.flag("no-refine");
+    if let Some(pages) = args.get("cache") {
+        let capacity_pages: usize = pages
+            .parse()
+            .map_err(|_| format!("invalid value for --cache: {pages}"))?;
+        let org = match args.get("cache-org").unwrap_or("global") {
+            "local" => BufferOrg::Local,
+            "global" => BufferOrg::Global,
+            other => return Err(format!("unknown cache org: {other} (use local|global)")),
+        };
+        let mut buffer = BufferConfig::global(capacity_pages);
+        buffer.org = org;
+        buffer.shards = args.parse_or("cache-shards", buffer.shards)?;
+        cfg.buffer = Some(buffer);
+    }
     let res = run_native_join(&a, &b, &cfg);
     println!("threads:            {threads}");
     println!("tasks:              {}", res.tasks);
@@ -107,10 +127,31 @@ pub fn join(args: &Args) -> CmdResult {
     println!("filter candidates:  {}", res.candidates);
     println!(
         "{} {}",
-        if cfg.refine { "exact results:     " } else { "candidate results: " },
+        if cfg.refine {
+            "exact results:     "
+        } else {
+            "candidate results: "
+        },
         res.pairs.len()
     );
     println!("steals:             {}", res.steals);
+    if let Some(stats) = &res.buffer {
+        let org = match cfg.buffer.as_ref().map(|b| b.org) {
+            Some(BufferOrg::Local) => "local",
+            _ => "global",
+        };
+        println!(
+            "page cache ({org}):  {} requests, {:.1}% hit ({} local / {} remote / {} in-flight), \
+             {} misses, {} evictions",
+            stats.requests(),
+            100.0 * stats.hit_ratio(),
+            stats.hits_local,
+            stats.hits_remote,
+            stats.hits_in_flight,
+            stats.misses,
+            stats.evictions
+        );
+    }
     println!("wall time:          {:.3?}", res.elapsed);
     Ok(())
 }

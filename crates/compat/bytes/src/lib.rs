@@ -1,0 +1,158 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the [`Buf`]/[`BufMut`] subset the page serialization
+//! code uses — little-endian scalar reads/writes, `advance`, and
+//! `put_bytes` — over `&[u8]`, `&mut [u8]`, and `Vec<u8>`, with the same
+//! cursor semantics as the real crate (reading/writing consumes the slice).
+//! Swapping the path dependency back to crates.io `bytes` requires no
+//! source change.
+
+/// Read cursor over a byte source (the used subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes out and advances the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads a single byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor over a byte sink (the used subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_slice(&[val]);
+        }
+    }
+
+    /// Writes a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Writes a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for &mut [u8] {
+    fn put_slice(&mut self, src: &[u8]) {
+        let taken = std::mem::take(self);
+        let (head, tail) = taken.split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        let taken = std::mem::take(self);
+        let (head, tail) = taken.split_at_mut(cnt);
+        head.fill(val);
+        *self = tail;
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.resize(self.len() + cnt, val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_roundtrip() {
+        let mut v = Vec::new();
+        v.put_u32_le(7);
+        v.put_u64_le(u64::MAX - 1);
+        v.put_f64_le(1.5);
+        v.put_bytes(0, 3);
+        assert_eq!(v.len(), 4 + 8 + 8 + 3);
+        let mut r = &v[..];
+        assert_eq!(r.get_u32_le(), 7);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_f64_le(), 1.5);
+        r.advance(3);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_writer_advances() {
+        let mut backing = [0u8; 12];
+        let mut w = &mut backing[..];
+        w.put_u32_le(0xAABBCCDD);
+        w.put_u64_le(1);
+        assert!(w.is_empty());
+        assert_eq!(backing[0], 0xDD);
+        assert_eq!(backing[4], 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the bench suite uses — `criterion_group!`/
+//! `criterion_main!`, [`Criterion::bench_function`], benchmark groups with
+//! [`Throughput`], and `iter`/`iter_batched` — with a simple wall-clock
+//! measurement loop (fixed warm-up, then timed iterations, median-of-runs
+//! reporting). No statistical analysis, plots, or saved baselines; output is
+//! one line per benchmark. The real crate drops in by switching the path
+//! dependency back to crates.io.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted, not used for scheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Units processed per iteration, for deriving a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop driver passed to benchmark closures.
+pub struct Bencher {
+    /// Measured total duration and iteration count of the best run.
+    best: Option<(Duration, u64)>,
+}
+
+const WARMUP_ITERS: u64 = 3;
+const RUNS: usize = 5;
+const TARGET_RUN: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { best: None }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a per-iteration cost.
+        let start = Instant::now();
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let per_iter = start.elapsed() / WARMUP_ITERS as u32;
+        let iters = if per_iter.is_zero() {
+            10_000
+        } else {
+            (TARGET_RUN.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        for _ in 0..RUNS {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if self
+                .best
+                .map_or(true, |(b, n)| elapsed * (n as u32) < b * (iters as u32))
+            {
+                self.best = Some((elapsed, iters));
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup excluded from the
+    /// measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        // Run until the measured time (setup excluded) reaches the target.
+        while total < TARGET_RUN && iters < 1_000_000 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.best = Some((total, iters));
+    }
+}
+
+fn report(name: &str, best: Option<(Duration, u64)>, throughput: Option<Throughput>) {
+    let Some((elapsed, iters)) = best else {
+        println!("{name:<40} (no measurement)");
+        return;
+    };
+    let per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / (per_iter * 1e-9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / (per_iter * 1e-9))
+        }
+        None => String::new(),
+    };
+    println!("{name:<40} {:>12.1} ns/iter{rate}", per_iter);
+}
+
+/// A named set of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API parity; the shim sizes samples by wall clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), b.best, self.throughput);
+        self
+    }
+
+    /// Finishes the group (reporting happens eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A driver with default settings.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, b.best, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Re-export so `criterion::black_box` callers work.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => { $crate::criterion_group!($group, $($rest)*); };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_sum(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sum");
+        g.throughput(Throughput::Elements(1000));
+        g.bench_function("thousand", |b| b.iter(|| (0u64..1000).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(benches, bench_sum);
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn iter_batched_measures() {
+        let mut b = Bencher::new();
+        b.iter_batched(
+            || vec![1u64; 64],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::LargeInput,
+        );
+        let (elapsed, iters) = b.best.unwrap();
+        assert!(iters >= 1);
+        assert!(elapsed > Duration::ZERO);
+    }
+}

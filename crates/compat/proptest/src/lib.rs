@@ -1,0 +1,313 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim keeps the workspace's property tests compiling and
+//! *running* unchanged: the [`proptest!`] macro, range/tuple/`prop_map`/
+//! `collection::vec` strategies, `prop_assert*`, [`TestCaseError`], and
+//! [`ProptestConfig::with_cases`]. Inputs are generated from a per-test
+//! deterministic seed (no shrinking on failure — the failing input is
+//! printed instead, along with the case number, so a failure reproduces by
+//! construction).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SampleRange, SeedableRng};
+use std::ops::Range;
+
+/// Number of random cases a test runs by default.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Runner configuration (the used subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// A failed test case (mirrors `proptest::test_runner::TestCaseError`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fails the current case with `reason`.
+    pub fn fail(reason: impl std::fmt::Display) -> Self {
+        TestCaseError(reason.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A generator of random values (the used subset of `proptest::Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T: Copy> Strategy for Range<T>
+where
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+
+/// A strategy producing a fixed value (mirrors `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{RngExt, SampleRange, StdRng, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `len` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        Range<usize>: SampleRange<usize>,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.random_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Mirrors the `proptest::prop` facade module (`prop::collection::vec`).
+pub mod prop {
+    pub use super::collection;
+}
+
+/// Runs `body` for each case with inputs from `strategy`; used by the
+/// [`proptest!`] macro expansion, not called directly.
+pub fn run_cases<S: Strategy, F>(test_name: &str, config: &ProptestConfig, strategy: S, body: F)
+where
+    S::Value: std::fmt::Debug + Clone,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    // Per-test deterministic seed: tests are reproducible run to run while
+    // different tests see unrelated streams.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    let mut rng = StdRng::seed_from_u64(h);
+    for case in 0..config.cases {
+        let input = strategy.generate(&mut rng);
+        let shown = input.clone();
+        if let Err(e) = body(input) {
+            panic!(
+                "proptest case {case}/{} failed: {e}\ninput: {shown:?}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random inputs.
+#[macro_export]
+macro_rules! proptest {
+    // Internal: expand the test fns with a resolved config. Must precede the
+    // catch-all arm or it would recurse into it forever.
+    (@cfg ($config:expr)
+        $(
+            $(#[$fattr:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$fattr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    ($($strat,)+),
+                    |($($pat,)+)| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    // With a leading #![proptest_config(...)].
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    // Without one: default config.
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, u32)> {
+        (0u32..50, 0u32..50)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in prop::collection::vec((0u32..9).prop_map(|n| n * 2), 1..20),
+            mut w in prop::collection::vec(0u32..5, 0..4),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|n| n % 2 == 0 && *n < 18));
+            w.sort_unstable();
+            prop_assert!(w.len() < 4);
+        }
+
+        #[test]
+        fn question_mark_propagates(pair in arb_pair()) {
+            let (a, b) = pair;
+            let check = || -> Result<(), String> { if a < 50 && b < 50 { Ok(()) } else { Err("out of range".into()) } };
+            check().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_reports_input() {
+        crate::run_cases(
+            "failing_case",
+            &ProptestConfig::with_cases(10),
+            (0u32..5,),
+            |(_n,)| Err(TestCaseError::fail("always fails")),
+        );
+    }
+}

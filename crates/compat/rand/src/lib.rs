@@ -1,0 +1,220 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides a deterministic, seedable [`rngs::StdRng`] (xoshiro256++ seeded
+//! via SplitMix64) and the trait subset the workspace uses:
+//! [`SeedableRng::seed_from_u64`], [`RngExt::random`] for the primitive
+//! types, and [`RngExt::random_range`] over half-open ranges. All call
+//! sites compile unchanged against the real crate; only the exact random
+//! streams differ (every consumer in this workspace treats the stream as an
+//! opaque function of the seed, so determinism per seed is what matters).
+
+use std::ops::Range;
+
+/// Core RNG interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their "standard" domain (`[0,1)` for
+/// floats, the full range for integers).
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        let u = f64::standard_sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Widening-multiply range reduction (bias < 2^-64: fine for
+                // synthetic data generation and tests).
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + hi) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`]
+/// (mirrors `rand::Rng`/`RngExt`).
+pub trait RngExt: RngCore {
+    /// A value uniform over `T`'s standard domain.
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// A value uniform over `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::standard_sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_state(mut sm: u64) -> Self {
+            // SplitMix64 expansion of the seed, as the xoshiro authors
+            // recommend, so similar seeds give unrelated streams.
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self::from_state(seed)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = r.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let u = r.random_range(0usize..3);
+            assert!(u < 3);
+            let f = r.random_range(-2.0..4.0);
+            assert!((-2.0..4.0).contains(&f));
+            let n = r.random_range(-50i64..-40);
+            assert!((-50..-40).contains(&n));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bool_roughly_fair() {
+        let mut r = StdRng::seed_from_u64(13);
+        let trues = (0..10_000).filter(|_| r.random::<bool>()).count();
+        assert!((4000..6000).contains(&trues), "{trues}");
+    }
+}

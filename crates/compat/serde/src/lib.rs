@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and result
+//! types so applications can persist them, but nothing *inside* the
+//! workspace serializes, and the build environment has no network access to
+//! fetch the real crate. This shim keeps the source identical to what it
+//! would be with real serde:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits blanket-implemented
+//!   for every type, so bounds like `T: Serialize` keep compiling;
+//! * the re-exported derive macros (from the sibling no-op `serde_derive`)
+//!   accept `#[derive(Serialize, Deserialize)]` and expand to nothing.
+//!
+//! Swapping the path dependency back to crates.io `serde` requires no source
+//! change anywhere in the workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`; blanket-implemented.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirrors `serde::de` far enough for `use serde::de::DeserializeOwned`.
+pub mod de {
+    pub use super::Deserialize;
+    pub use super::DeserializeOwned;
+}
+
+/// Mirrors `serde::ser` for symmetric imports.
+pub mod ser {
+    pub use super::Serialize;
+}

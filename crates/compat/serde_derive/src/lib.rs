@@ -1,0 +1,23 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! This workspace builds in fully offline environments where crates.io is
+//! unreachable, so the real `serde_derive` cannot be downloaded. Nothing in
+//! the workspace actually serializes (there is no `serde_json` consumer);
+//! the derives exist so downstream users *could* plug real serde in. These
+//! macros accept the derive syntax and expand to an empty token stream; the
+//! sibling `serde` shim blanket-implements the marker traits, so
+//! `#[derive(Serialize, Deserialize)]` keeps compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

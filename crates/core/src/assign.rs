@@ -47,7 +47,11 @@ pub fn static_range(tasks: &[TaskPair], n: usize) -> Vec<Vec<TaskPair>> {
     let mut out = Vec::with_capacity(n);
     let mut pos = 0;
     for p in 0..n {
-        let take = if p < bigs || m.is_multiple_of(n) { big } else { small };
+        let take = if p < bigs || m.is_multiple_of(n) {
+            big
+        } else {
+            small
+        };
         let take = take.min(m - pos);
         out.push(tasks[pos..pos + take].to_vec());
         pos += take;

@@ -158,7 +158,10 @@ pub struct Platform {
 impl Platform {
     /// The paper's platform with `d` disks.
     pub fn paper(num_disks: usize) -> Self {
-        Platform { disk: DiskModel::paper(num_disks), cost: CostModel::paper() }
+        Platform {
+            disk: DiskModel::paper(num_disks),
+            cost: CostModel::paper(),
+        }
     }
 }
 

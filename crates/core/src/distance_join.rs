@@ -118,7 +118,10 @@ mod tests {
             let x = (i % 25) as f64 * 2.0 + offset;
             let y = (i / 25) as f64 * 2.0 + offset;
             t.insert(Rect::new(x, y, x + 0.5, y + 0.5), i as u64);
-            geoms.push(Polyline::new(vec![Point::new(x, y), Point::new(x + 0.5, y + 0.5)]));
+            geoms.push(Polyline::new(vec![
+                Point::new(x, y),
+                Point::new(x + 0.5, y + 0.5),
+            ]));
         }
         PagedTree::freeze(&t, move |oid| Some(geoms[oid as usize].clone()))
     }
@@ -174,10 +177,12 @@ mod tests {
         // eps = 0 distance join ⊇ intersection join (touching counts).
         let a = tree(200, 0.0);
         let b = tree(200, 0.25);
-        let dist: std::collections::BTreeSet<_> =
-            distance_join(&a, &b, 0.0).into_iter().collect();
+        let dist: std::collections::BTreeSet<_> = distance_join(&a, &b, 0.0).into_iter().collect();
         for pair in crate::seq::join_refined(&a, &b) {
-            assert!(dist.contains(&pair), "intersection pair {pair:?} missing at eps=0");
+            assert!(
+                dist.contains(&pair),
+                "intersection pair {pair:?} missing at eps=0"
+            );
         }
     }
 

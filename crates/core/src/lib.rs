@@ -47,6 +47,7 @@
 
 pub mod assign;
 pub mod cost;
+pub mod deque;
 pub mod distance_join;
 pub mod estimate;
 pub mod metrics;
@@ -62,9 +63,13 @@ pub use cost::{CostModel, Platform};
 pub use distance_join::{distance_join, distance_join_candidates};
 pub use estimate::{estimate_join, JoinEstimate};
 pub use metrics::JoinMetrics;
-pub use native::{run_native_join, NativeConfig, NativeResult};
+pub use native::{
+    run_native_join, run_native_join_with_cache, BufferConfig, NativeConfig, NativeResult,
+};
 pub use queries::{parallel_nn_queries, parallel_window_queries};
 pub use seq::{join_candidates, join_refined, SeqJoinResult};
-pub use shnothing::{run_sharded_join, Network, Placement, ShardedConfig, ShardedMetrics, ShardedResult};
+pub use shnothing::{
+    run_sharded_join, Network, Placement, ShardedConfig, ShardedMetrics, ShardedResult,
+};
 pub use sim::{run_sim_join, BufferOrg, Reassignment, SimConfig, SimResult, VictimSelection};
 pub use task::{create_tasks, TaskPair};

@@ -6,16 +6,80 @@
 //! actually join two indexed relations fast: `n` worker threads drain the
 //! task set, descend the trees with the same kernel, refine candidates with
 //! the *exact* polyline geometry from the clusters, and steal work from each
-//! other when they run dry (crossbeam deques — the moral equivalent of the
-//! paper's task reassignment, without the cost model).
+//! other when they run dry (work-stealing deques — the moral equivalent of
+//! the paper's task reassignment, without the cost model).
+//!
+//! # Out-of-core execution
+//!
+//! By default workers read tree nodes straight from the frozen in-memory
+//! trees. Setting [`NativeConfig::buffer`] instead routes every node access
+//! through a bounded [`SharedPageCache`]: a miss decodes the node from its
+//! serialized 4 KB page, a hit reuses the cached decode, and the cache
+//! never holds more than the configured page budget. This reproduces the
+//! paper's local/global buffer dimension on real threads:
+//!
+//! * [`BufferOrg::Local`] — each worker gets a private cache with
+//!   `capacity / num_threads` pages. Workers never see each other's pages,
+//!   so a page hot on two workers is decoded twice (the paper's
+//!   shared-nothing organization).
+//! * [`BufferOrg::Global`] — one lock-sharded cache with the full budget is
+//!   shared by all workers. A page any worker loaded serves everyone;
+//!   hits on another worker's page are counted as *remote* hits, the
+//!   accesses the paper charges with the ~10× interconnect penalty.
+//!
+//! [`NativeResult::buffer`] reports the aggregate [`BufferStats`];
+//! [`NativeResult::buffer_per_worker`] breaks them down by worker.
 
 use crate::assign::{static_range, static_round_robin, Assignment};
+use crate::deque::{Injector, Steal, Stealer, Worker};
+use crate::sim::BufferOrg;
 use crate::task::{create_tasks, expand_pair, Candidate, KernelScratch, TaskPair};
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use psj_rtree::PagedTree;
+use psj_buffer::{BufferStats, PageSource, Policy, SharedPageCache};
+use psj_rtree::{Node, PagedTree};
+use psj_store::PageId;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Buffered (out-of-core) execution settings for the native join.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BufferConfig {
+    /// Buffer organization: private per-worker caches or one shared cache.
+    pub org: BufferOrg,
+    /// Total page budget across all workers. Under [`BufferOrg::Local`]
+    /// each worker gets `capacity_pages / num_threads` (at least 1).
+    pub capacity_pages: usize,
+    /// Lock shards of the global cache (ignored for the local
+    /// organization, whose per-worker caches are uncontended).
+    pub shards: usize,
+    /// Page replacement policy.
+    pub policy: Policy,
+}
+
+impl BufferConfig {
+    /// A global (shared) cache with the given page budget, LRU replacement,
+    /// and 8 lock shards.
+    pub fn global(capacity_pages: usize) -> Self {
+        BufferConfig {
+            org: BufferOrg::Global,
+            capacity_pages,
+            shards: 8,
+            policy: Policy::Lru,
+        }
+    }
+
+    /// Private per-worker caches splitting the given total page budget,
+    /// LRU replacement.
+    pub fn local(capacity_pages: usize) -> Self {
+        BufferConfig {
+            org: BufferOrg::Local,
+            capacity_pages,
+            shards: 1,
+            policy: Policy::Lru,
+        }
+    }
+}
 
 /// Configuration of a native parallel join.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -34,10 +98,14 @@ pub struct NativeConfig {
     /// (objects without stored geometry pass through). `false`: return the
     /// filter-step candidates.
     pub refine: bool,
+    /// `Some`: run out-of-core, reading nodes through a bounded page cache
+    /// with this configuration. `None`: read the frozen trees directly.
+    pub buffer: Option<BufferConfig>,
 }
 
 impl NativeConfig {
-    /// Dynamic assignment with stealing — the recommended configuration.
+    /// Dynamic assignment with stealing, unbuffered — the recommended
+    /// configuration when both trees fit in memory.
     pub fn new(num_threads: usize) -> Self {
         NativeConfig {
             num_threads,
@@ -45,7 +113,15 @@ impl NativeConfig {
             work_stealing: true,
             min_tasks_factor: 8,
             refine: true,
+            buffer: None,
         }
+    }
+
+    /// The same, with node accesses routed through `buffer`.
+    pub fn buffered(num_threads: usize, buffer: BufferConfig) -> Self {
+        let mut cfg = NativeConfig::new(num_threads);
+        cfg.buffer = Some(buffer);
+        cfg
     }
 }
 
@@ -65,17 +141,187 @@ pub struct NativeResult {
     pub tasks: usize,
     /// Successful steals across all workers.
     pub steals: u64,
+    /// Aggregate page-cache statistics (`None` when unbuffered).
+    pub buffer: Option<BufferStats>,
+    /// Per-worker page-cache statistics (empty when unbuffered).
+    pub buffer_per_worker: Vec<BufferStats>,
+}
+
+/// High bit of a [`PageId`] distinguishes tree B's pages from tree A's in
+/// the shared cache's key space.
+const TREE_B_TAG: u32 = 1 << 31;
+
+/// A [`PageSource`] over both join inputs: fetching decodes the node from
+/// its serialized page in the owning tree's [`psj_store::PageStore`].
+struct JoinSource<'t> {
+    a: &'t PagedTree,
+    b: &'t PagedTree,
+}
+
+impl PageSource for JoinSource<'_> {
+    type Item = Node;
+
+    fn fetch_page(&self, page: PageId) -> Node {
+        if page.0 & TREE_B_TAG != 0 {
+            Node::decode(self.b.pages().read(PageId(page.0 & !TREE_B_TAG)))
+        } else {
+            Node::decode(self.a.pages().read(page))
+        }
+    }
+
+    fn page_count(&self) -> usize {
+        self.a.pages().len() + self.b.pages().len()
+    }
+}
+
+/// A node obtained either by direct reference into a frozen tree or as a
+/// cached decode owned by the page cache.
+enum NodeRef<'t> {
+    Borrowed(&'t Node),
+    Cached(Arc<Node>),
+}
+
+impl std::ops::Deref for NodeRef<'_> {
+    type Target = Node;
+
+    #[inline]
+    fn deref(&self) -> &Node {
+        match self {
+            NodeRef::Borrowed(n) => n,
+            NodeRef::Cached(n) => n,
+        }
+    }
+}
+
+/// One worker's view of the node storage: direct tree access, or a cache
+/// (shared or private) in front of the serialized pages.
+struct NodeFetcher<'t> {
+    source: JoinSource<'t>,
+    /// `(cache, stats index)` — the stats index is the worker id for the
+    /// shared cache and 0 for a private one.
+    cache: Option<(&'t SharedPageCache<Node>, usize)>,
+}
+
+impl<'t> NodeFetcher<'t> {
+    #[inline]
+    fn node_a(&self, page: PageId) -> NodeRef<'t> {
+        match self.cache {
+            None => NodeRef::Borrowed(self.source.a.node(page)),
+            Some((cache, w)) => NodeRef::Cached(cache.get(w, page, &self.source).0),
+        }
+    }
+
+    #[inline]
+    fn node_b(&self, page: PageId) -> NodeRef<'t> {
+        match self.cache {
+            None => NodeRef::Borrowed(self.source.b.node(page)),
+            Some((cache, w)) => {
+                NodeRef::Cached(cache.get(w, PageId(page.0 | TREE_B_TAG), &self.source).0)
+            }
+        }
+    }
+}
+
+/// The caches a buffered run uses, by organization and ownership.
+enum CacheSet<'c> {
+    None,
+    Global(SharedPageCache<Node>),
+    Local(Vec<SharedPageCache<Node>>),
+    /// Caller-owned shared cache that stays warm across joins.
+    External(&'c SharedPageCache<Node>),
+}
+
+impl<'c> CacheSet<'c> {
+    fn build(cfg: &NativeConfig) -> Self {
+        match &cfg.buffer {
+            None => CacheSet::None,
+            Some(b) => match b.org {
+                BufferOrg::Global => CacheSet::Global(SharedPageCache::new(
+                    cfg.num_threads,
+                    b.capacity_pages,
+                    b.shards.max(1),
+                    b.policy,
+                )),
+                BufferOrg::Local => {
+                    let per_worker = (b.capacity_pages / cfg.num_threads).max(1);
+                    CacheSet::Local(
+                        (0..cfg.num_threads)
+                            .map(|_| SharedPageCache::new(1, per_worker, 1, b.policy))
+                            .collect(),
+                    )
+                }
+            },
+        }
+    }
+
+    /// The cache worker `id` uses plus its stats index within that cache.
+    fn for_worker(&self, id: usize) -> Option<(&SharedPageCache<Node>, usize)> {
+        match self {
+            CacheSet::None => None,
+            CacheSet::Global(c) => Some((c, id)),
+            CacheSet::Local(v) => Some((&v[id], 0)),
+            CacheSet::External(c) => Some((c, id)),
+        }
+    }
+
+    /// Per-worker stats, indexed by worker id.
+    fn per_worker_stats(&self, num_threads: usize) -> Vec<BufferStats> {
+        match self {
+            CacheSet::None => Vec::new(),
+            CacheSet::Global(c) => c.per_worker_stats(),
+            CacheSet::Local(v) => (0..num_threads).map(|i| v[i].stats(0)).collect(),
+            CacheSet::External(c) => c.per_worker_stats().into_iter().take(num_threads).collect(),
+        }
+    }
 }
 
 /// Runs the join on real threads.
 pub fn run_native_join(a: &PagedTree, b: &PagedTree, cfg: &NativeConfig) -> NativeResult {
+    run_with_caches(a, b, cfg, CacheSet::build(cfg))
+}
+
+/// Runs the join with a caller-owned shared cache (global organization).
+///
+/// Unlike [`run_native_join`], the cache outlives the call: a second join
+/// over the same trees starts warm, so a cache sized to the working set
+/// reports zero misses the second time. [`NativeResult::buffer`] reports
+/// only the activity of *this* run (the delta against the cache's counters
+/// at entry). Any `cfg.buffer` setting is ignored in favor of `cache`.
+///
+/// # Panics
+///
+/// Panics if `cache` tracks stats for fewer workers than `cfg.num_threads`.
+pub fn run_native_join_with_cache(
+    a: &PagedTree,
+    b: &PagedTree,
+    cfg: &NativeConfig,
+    cache: &SharedPageCache<Node>,
+) -> NativeResult {
+    assert!(
+        cache.num_workers() >= cfg.num_threads,
+        "cache tracks {} workers, config wants {}",
+        cache.num_workers(),
+        cfg.num_threads
+    );
+    run_with_caches(a, b, cfg, CacheSet::External(cache))
+}
+
+fn run_with_caches(
+    a: &PagedTree,
+    b: &PagedTree,
+    cfg: &NativeConfig,
+    caches: CacheSet<'_>,
+) -> NativeResult {
     assert!(cfg.num_threads > 0, "need at least one thread");
+    assert!(
+        a.pages().len() < TREE_B_TAG as usize && b.pages().len() < TREE_B_TAG as usize,
+        "page id tag bit collision"
+    );
     let tc = create_tasks(a, b, cfg.min_tasks_factor * cfg.num_threads);
     let tasks = tc.tasks.len();
 
     let injector: Injector<TaskPair> = Injector::new();
-    let workers: Vec<Worker<TaskPair>> =
-        (0..cfg.num_threads).map(|_| Worker::new_lifo()).collect();
+    let workers: Vec<Worker<TaskPair>> = (0..cfg.num_threads).map(|_| Worker::new_lifo()).collect();
     let stealers: Vec<Stealer<TaskPair>> = workers.iter().map(|w| w.stealer()).collect();
 
     match cfg.assignment {
@@ -93,7 +339,10 @@ pub fn run_native_join(a: &PagedTree, b: &PagedTree, cfg: &NativeConfig) -> Nati
             }
         }
         Assignment::StaticRoundRobin => {
-            for (w, load) in workers.iter().zip(static_round_robin(&tc.tasks, cfg.num_threads)) {
+            for (w, load) in workers
+                .iter()
+                .zip(static_round_robin(&tc.tasks, cfg.num_threads))
+            {
                 for t in load.into_iter().rev() {
                     w.push(t);
                 }
@@ -101,6 +350,9 @@ pub fn run_native_join(a: &PagedTree, b: &PagedTree, cfg: &NativeConfig) -> Nati
         }
     }
 
+    // Snapshot so a pre-warmed external cache reports only this run's
+    // activity (freshly built caches snapshot all-zero counters).
+    let baseline = caches.per_worker_stats(cfg.num_threads);
     let candidates = AtomicU64::new(0);
     let node_pairs = AtomicU64::new(0);
     let steals = AtomicU64::new(0);
@@ -108,28 +360,48 @@ pub fn run_native_join(a: &PagedTree, b: &PagedTree, cfg: &NativeConfig) -> Nati
     let start = Instant::now();
 
     let mut results: Vec<Vec<(u64, u64)>> = Vec::with_capacity(cfg.num_threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.num_threads);
         for (id, worker) in workers.into_iter().enumerate() {
             let injector = &injector;
             let stealers = &stealers;
+            let caches = &caches;
             let candidates = &candidates;
             let node_pairs = &node_pairs;
             let steals = &steals;
             let active = &active;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
+                let fetcher = NodeFetcher {
+                    source: JoinSource { a, b },
+                    cache: caches.for_worker(id),
+                };
                 run_worker(
-                    id, a, b, cfg, worker, injector, stealers, candidates, node_pairs, steals,
-                    active,
+                    id, a, b, cfg, &fetcher, worker, injector, stealers, candidates, node_pairs,
+                    steals, active,
                 )
             }));
         }
         for h in handles {
             results.push(h.join().expect("worker panicked"));
         }
-    })
-    .expect("scope failed");
+    });
     let elapsed = start.elapsed();
+
+    let buffer_per_worker: Vec<BufferStats> = caches
+        .per_worker_stats(cfg.num_threads)
+        .iter()
+        .zip(&baseline)
+        .map(|(now, then)| now.since(then))
+        .collect();
+    let buffer = if matches!(caches, CacheSet::None) {
+        None
+    } else {
+        Some(
+            buffer_per_worker
+                .iter()
+                .fold(BufferStats::default(), |acc, s| acc.merged(s)),
+        )
+    };
 
     let mut pairs = Vec::with_capacity(results.iter().map(Vec::len).sum());
     for mut r in results {
@@ -142,6 +414,8 @@ pub fn run_native_join(a: &PagedTree, b: &PagedTree, cfg: &NativeConfig) -> Nati
         elapsed,
         tasks,
         steals: steals.load(Ordering::Relaxed),
+        buffer,
+        buffer_per_worker,
     }
 }
 
@@ -151,6 +425,7 @@ fn run_worker(
     a: &PagedTree,
     b: &PagedTree,
     cfg: &NativeConfig,
+    fetcher: &NodeFetcher<'_>,
     worker: Worker<TaskPair>,
     injector: &Injector<TaskPair>,
     stealers: &[Stealer<TaskPair>],
@@ -218,19 +493,23 @@ fn run_worker(
         };
 
         local_pairs += 1;
-        let na = a.node(pair.a);
-        let nb = b.node(pair.b);
+        let na = fetcher.node_a(pair.a);
+        let nb = fetcher.node_b(pair.b);
         children.clear();
         cands.clear();
-        expand_pair(na, nb, &pair, &mut scratch, &mut children, &mut cands);
+        expand_pair(&na, &nb, &pair, &mut scratch, &mut children, &mut cands);
+        drop((na, nb));
         for c in children.drain(..).rev() {
             worker.push(c);
         }
         for c in &cands {
             local_candidates += 1;
-            let ea = a.node(c.page_a).data_entries()[c.idx_a as usize];
-            let eb = b.node(c.page_b).data_entries()[c.idx_b as usize];
+            let ea = fetcher.node_a(c.page_a).data_entries()[c.idx_a as usize];
+            let eb = fetcher.node_b(c.page_b).data_entries()[c.idx_b as usize];
             if cfg.refine {
+                // Refinement geometry lives in the cluster store, outside the
+                // page budget: the paper reads clusters once per data page and
+                // does not buffer them (§4.2).
                 let ga = a.clusters().geometry(ea.geom.page, ea.geom.slot);
                 let gb = b.clusters().geometry(eb.geom.page, eb.geom.slot);
                 let hit = match (ga, gb) {
@@ -266,7 +545,10 @@ mod tests {
             let x = (i % 30) as f64 + offset;
             let y = (i / 30) as f64 + offset;
             t.insert(Rect::new(x, y, x + 1.1, y + 1.1), i as u64);
-            geoms.push(Polyline::new(vec![Point::new(x, y), Point::new(x + 1.1, y + 1.1)]));
+            geoms.push(Polyline::new(vec![
+                Point::new(x, y),
+                Point::new(x + 1.1, y + 1.1),
+            ]));
         }
         PagedTree::freeze(&t, move |oid| Some(geoms[oid as usize].clone()))
     }
@@ -286,6 +568,7 @@ mod tests {
             let res = run_native_join(&a, &b, &cfg);
             assert_eq!(as_set(&res.pairs), want, "{threads} threads");
             assert_eq!(res.candidates as usize, res.pairs.len());
+            assert!(res.buffer.is_none());
         }
     }
 
@@ -311,6 +594,7 @@ mod tests {
                 work_stealing: true,
                 min_tasks_factor: 4,
                 refine: false,
+                buffer: None,
             };
             let res = run_native_join(&a, &b, &cfg);
             assert_eq!(as_set(&res.pairs), want, "{assignment:?}");
@@ -328,6 +612,7 @@ mod tests {
             work_stealing: false,
             min_tasks_factor: 2,
             refine: false,
+            buffer: None,
         };
         let res = run_native_join(&a, &b, &cfg);
         assert_eq!(as_set(&res.pairs), want);
@@ -340,5 +625,75 @@ mod tests {
         let res = run_native_join(&a, &b, &NativeConfig::new(4));
         assert!(res.pairs.is_empty());
         assert_eq!(res.tasks, 0);
+    }
+
+    #[test]
+    fn buffered_global_matches_unbuffered() {
+        let a = tree(600, 0.0);
+        let b = tree(600, 0.4);
+        let want = as_set(&join_candidates(&a, &b).candidates);
+        let total_pages = a.pages().len() + b.pages().len();
+        // From comfortable to badly thrashing.
+        for capacity in [total_pages * 2, total_pages / 2, 4] {
+            let mut cfg = NativeConfig::buffered(4, BufferConfig::global(capacity));
+            cfg.refine = false;
+            let res = run_native_join(&a, &b, &cfg);
+            assert_eq!(as_set(&res.pairs), want, "capacity {capacity}");
+            let stats = res.buffer.expect("buffered run reports stats");
+            assert!(stats.requests() > 0);
+            assert!(stats.misses > 0);
+            assert_eq!(res.buffer_per_worker.len(), 4);
+        }
+    }
+
+    #[test]
+    fn buffered_local_matches_unbuffered() {
+        let a = tree(600, 0.0);
+        let b = tree(600, 0.4);
+        let want = as_set(&join_refined(&a, &b));
+        let cfg = NativeConfig::buffered(4, BufferConfig::local(32));
+        let res = run_native_join(&a, &b, &cfg);
+        assert_eq!(as_set(&res.pairs), want);
+        let stats = res.buffer.expect("buffered run reports stats");
+        assert_eq!(
+            stats.hits_remote, 0,
+            "local organization has no remote hits"
+        );
+        assert!(stats.misses > 0);
+    }
+
+    #[test]
+    fn warm_external_cache_has_zero_misses_on_second_join() {
+        let a = tree(600, 0.0);
+        let b = tree(600, 0.4);
+        let total_pages = a.pages().len() + b.pages().len();
+        let cache: SharedPageCache<Node> = SharedPageCache::new(4, total_pages * 2, 8, Policy::Lru);
+        let mut cfg = NativeConfig::new(4);
+        cfg.refine = false;
+        let cold = run_native_join_with_cache(&a, &b, &cfg, &cache);
+        let warm = run_native_join_with_cache(&a, &b, &cfg, &cache);
+        assert_eq!(as_set(&cold.pairs), as_set(&warm.pairs));
+        assert!(cold.buffer.unwrap().misses > 0, "first run faults pages in");
+        let warm_stats = warm.buffer.unwrap();
+        assert_eq!(
+            warm_stats.misses, 0,
+            "warm cache serves everything: {warm_stats:?}"
+        );
+        assert!(warm_stats.requests() > 0);
+    }
+
+    #[test]
+    fn global_buffer_sees_remote_hits() {
+        let a = tree(800, 0.0);
+        let b = tree(800, 0.4);
+        let total_pages = a.pages().len() + b.pages().len();
+        let mut cfg = NativeConfig::buffered(4, BufferConfig::global(total_pages * 2));
+        cfg.refine = false;
+        let res = run_native_join(&a, &b, &cfg);
+        let stats = res.buffer.unwrap();
+        // With a cache big enough to hold everything, each page is fetched
+        // once; any other worker touching it scores a remote hit.
+        assert!(stats.hits_remote > 0, "4 workers sharing pages: {stats:?}");
+        assert!(stats.misses as usize <= total_pages);
     }
 }

@@ -7,7 +7,7 @@
 //! set is the task set, distributed over worker threads through a shared
 //! injector with work stealing — the dynamic assignment that won for joins.
 
-use crossbeam::deque::{Injector, Steal};
+use crate::deque::{Injector, Steal};
 use psj_geom::{Point, Rect};
 use psj_rtree::{DataEntry, PagedTree};
 
@@ -29,7 +29,9 @@ pub fn parallel_nn_queries(
     k: usize,
     threads: usize,
 ) -> Vec<Vec<(f64, DataEntry)>> {
-    parallel_batch(queries.len(), threads, |i| tree.nearest_neighbors(&queries[i], k))
+    parallel_batch(queries.len(), threads, |i| {
+        tree.nearest_neighbors(&queries[i], k)
+    })
 }
 
 /// Generic fan-out: evaluates `run(i)` for `i in 0..count` on `threads`
@@ -51,12 +53,12 @@ where
     // Workers drain the shared queue and collect (index, result) pairs
     // locally; results are merged back into input order afterwards.
     let mut per_worker: Vec<Vec<(usize, Vec<T>)>> = Vec::with_capacity(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let injector = &injector;
             let run = &run;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 loop {
                     match injector.steal() {
@@ -71,15 +73,17 @@ where
         for h in handles {
             per_worker.push(h.join().expect("query worker panicked"));
         }
-    })
-    .expect("scope failed");
+    });
 
     let mut slots: Vec<Option<Vec<T>>> = (0..count).map(|_| None).collect();
     for (i, r) in per_worker.into_iter().flatten() {
         debug_assert!(slots[i].is_none(), "query {i} evaluated twice");
         slots[i] = Some(r);
     }
-    slots.into_iter().map(|s| s.expect("every query slot filled")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("every query slot filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -123,8 +127,9 @@ mod tests {
     #[test]
     fn parallel_nn_match_sequential() {
         let t = tree(1500);
-        let queries: Vec<Point> =
-            (0..25).map(|k| Point::new((k * 2) as f64, (k % 7) as f64 * 4.0)).collect();
+        let queries: Vec<Point> = (0..25)
+            .map(|k| Point::new((k * 2) as f64, (k % 7) as f64 * 4.0))
+            .collect();
         let par = parallel_nn_queries(&t, &queries, 5, 4);
         for (i, q) in queries.iter().enumerate() {
             let want: Vec<f64> = t.nearest_neighbors(q, 5).iter().map(|(d, _)| *d).collect();

@@ -53,7 +53,11 @@ pub fn join_candidates(a: &PagedTree, b: &PagedTree) -> SeqJoinResult {
             cands.truncate(before);
         }
     }
-    SeqJoinResult { candidates: out, node_pairs, node_accesses: node_pairs * 2 }
+    SeqJoinResult {
+        candidates: out,
+        node_pairs,
+        node_accesses: node_pairs * 2,
+    }
 }
 
 /// Runs the full join sequentially: filter step plus *exact* refinement
@@ -104,7 +108,10 @@ mod tests {
             let x = (i % 25) as f64 + offset;
             let y = (i / 25) as f64 + offset;
             t.insert(Rect::new(x, y, x + 1.0, y + 1.0), i as u64);
-            geoms.push(Polyline::new(vec![Point::new(x, y), Point::new(x + 1.0, y + 1.0)]));
+            geoms.push(Polyline::new(vec![
+                Point::new(x, y),
+                Point::new(x + 1.0, y + 1.0),
+            ]));
         }
         PagedTree::freeze(&t, move |oid| Some(geoms[oid as usize].clone()))
     }
@@ -163,9 +170,17 @@ mod tests {
         assert!(refined > 0, "refinement must keep true intersections");
         // Exactness: every refined pair's geometry truly intersects.
         for (oa, ob) in join_refined(&a, &b) {
-            let ea = a.window_query(&a.mbr()).into_iter().find(|e| e.oid == oa).unwrap();
+            let ea = a
+                .window_query(&a.mbr())
+                .into_iter()
+                .find(|e| e.oid == oa)
+                .unwrap();
             let ga = a.clusters().geometry(ea.geom.page, ea.geom.slot).unwrap();
-            let eb = b.window_query(&b.mbr()).into_iter().find(|e| e.oid == ob).unwrap();
+            let eb = b
+                .window_query(&b.mbr())
+                .into_iter()
+                .find(|e| e.oid == ob)
+                .unwrap();
             let gb = b.clusters().geometry(eb.geom.page, eb.geom.slot).unwrap();
             assert!(ga.intersects(gb));
         }

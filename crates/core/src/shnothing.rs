@@ -55,12 +55,18 @@ impl Network {
     /// A mid-90s ATM switch: ~250 µs latency, ~12 MB/s effective → ~330 µs
     /// per 4 KB page.
     pub fn atm() -> Self {
-        Network { latency: 250 * MICROS, page_transfer: 330 * MICROS }
+        Network {
+            latency: 250 * MICROS,
+            page_transfer: 330 * MICROS,
+        }
     }
 
     /// A modern datacenter network: 10 µs latency, ~1 GB/s → 4 µs per page.
     pub fn fast() -> Self {
-        Network { latency: 10 * MICROS, page_transfer: 4 * MICROS }
+        Network {
+            latency: 10 * MICROS,
+            page_transfer: 4 * MICROS,
+        }
     }
 }
 
@@ -179,12 +185,20 @@ pub fn run_sharded_join(a: &PagedTree, b: &PagedTree, cfg: &ShardedConfig) -> Sh
         }
     };
     let level_of = |tree: u8, page: PageId| -> usize {
-        (if tree == 0 { a.node(page) } else { b.node(page) }).level as usize
+        (if tree == 0 {
+            a.node(page)
+        } else {
+            b.node(page)
+        })
+        .level as usize
     };
     let service_time = |tree: u8, page: PageId| -> Nanos {
         if level_of(tree, page) == 0 {
-            let bytes =
-                if tree == 0 { a.clusters().bytes_of(page) } else { b.clusters().bytes_of(page) };
+            let bytes = if tree == 0 {
+                a.clusters().bytes_of(page)
+            } else {
+                b.clusters().bytes_of(page)
+            };
             cfg.platform.disk.data_page_read_time(bytes)
         } else {
             cfg.platform.disk.page_read_time()
@@ -206,7 +220,10 @@ pub fn run_sharded_join(a: &PagedTree, b: &PagedTree, cfg: &ShardedConfig) -> Sh
             stack: Vec::new(),
             pending: None,
             install: None,
-            paths: [PathBuffer::new(a.height() as usize), PathBuffer::new(b.height() as usize)],
+            paths: [
+                PathBuffer::new(a.height() as usize),
+                PathBuffer::new(b.height() as usize),
+            ],
             parked: false,
             idle_total: 0,
             idle_before_last_work: 0,
@@ -328,10 +345,24 @@ pub fn run_sharded_join(a: &PagedTree, b: &PagedTree, cfg: &ShardedConfig) -> Sh
                 };
                 sites[p].pending = Some((pair, next));
                 match access_page(
-                    p, tree, page, level, &mut now, cfg, &mut buffers, &mut disks,
-                    &mut disk_stats, &mut sites, &home_of, &upid, &service_time,
-                    &mut remote_requests, &mut remote_buffer_hits, &mut network_bytes,
-                    &mut dir_reads, &mut data_reads,
+                    p,
+                    tree,
+                    page,
+                    level,
+                    &mut now,
+                    cfg,
+                    &mut buffers,
+                    &mut disks,
+                    &mut disk_stats,
+                    &mut sites,
+                    &home_of,
+                    &upid,
+                    &service_time,
+                    &mut remote_requests,
+                    &mut remote_buffer_hits,
+                    &mut network_bytes,
+                    &mut dir_reads,
+                    &mut data_reads,
                 ) {
                     PageOutcome::Acquired => continue 'run,
                     PageOutcome::Blocked(at) => {
@@ -382,8 +413,7 @@ pub fn run_sharded_join(a: &PagedTree, b: &PagedTree, cfg: &ShardedConfig) -> Sh
         }
         // Wake parked sites only when work appeared since they parked —
         // waking unconditionally would live-lock a site that cannot steal.
-        let any_work = !shared_queue.is_empty()
-            || sites.iter().any(|s| s.workload.len() >= 2);
+        let any_work = !shared_queue.is_empty() || sites.iter().any(|s| s.workload.len() >= 2);
         if any_work {
             for (q, site) in sites.iter_mut().enumerate() {
                 if site.parked && site.parked_version < work_version {
@@ -396,8 +426,10 @@ pub fn run_sharded_join(a: &PagedTree, b: &PagedTree, cfg: &ShardedConfig) -> Sh
     }
 
     let proc_finish: Vec<Nanos> = sites.iter().map(|s| s.last_work_end).collect();
-    let proc_busy: Vec<Nanos> =
-        sites.iter().map(|s| s.last_work_end.saturating_sub(s.idle_before_last_work)).collect();
+    let proc_busy: Vec<Nanos> = sites
+        .iter()
+        .map(|s| s.last_work_end.saturating_sub(s.idle_before_last_work))
+        .collect();
     let response_time = proc_finish.iter().copied().max().unwrap_or(0);
     let buffer: BufferStats = buffers.total_stats();
     let join = JoinMetrics {
@@ -416,8 +448,17 @@ pub fn run_sharded_join(a: &PagedTree, b: &PagedTree, cfg: &ShardedConfig) -> Sh
         steals_failed: 0,
     };
     ShardedResult {
-        metrics: ShardedMetrics { join, remote_requests, remote_buffer_hits, network_bytes },
-        candidates: if cfg.collect_candidates { Some(collected) } else { None },
+        metrics: ShardedMetrics {
+            join,
+            remote_requests,
+            remote_buffer_hits,
+            network_bytes,
+        },
+        candidates: if cfg.collect_candidates {
+            Some(collected)
+        } else {
+            None
+        },
     }
 }
 
@@ -530,9 +571,11 @@ mod tests {
         let b = tree(700, 0.4);
         let want = as_set(&join_candidates(&a, &b).candidates);
         for placement in [Placement::RoundRobin, Placement::Contiguous] {
-            for assignment in
-                [Assignment::Dynamic, Assignment::StaticRange, Assignment::StaticRoundRobin]
-            {
+            for assignment in [
+                Assignment::Dynamic,
+                Assignment::StaticRange,
+                Assignment::StaticRoundRobin,
+            ] {
                 let cfg = ShardedConfig {
                     placement,
                     assignment,
@@ -591,8 +634,14 @@ mod tests {
     fn fast_network_beats_atm() {
         let a = tree(900, 0.0);
         let b = tree(900, 0.4);
-        let atm = ShardedConfig { network: Network::atm(), ..ShardedConfig::new(8, 32) };
-        let fast = ShardedConfig { network: Network::fast(), ..ShardedConfig::new(8, 32) };
+        let atm = ShardedConfig {
+            network: Network::atm(),
+            ..ShardedConfig::new(8, 32)
+        };
+        let fast = ShardedConfig {
+            network: Network::fast(),
+            ..ShardedConfig::new(8, 32)
+        };
         let m_atm = run_sharded_join(&a, &b, &atm).metrics;
         let m_fast = run_sharded_join(&a, &b, &fast).metrics;
         assert!(m_fast.join.response_time <= m_atm.join.response_time);

@@ -274,9 +274,11 @@ impl<'t> Executor<'t> {
                 cfg.buffer_pages_total,
                 cfg.policy,
             )),
-            BufferOrg::Global => {
-                Buffers::Global(GlobalBuffer::with_policy(n, cfg.buffer_pages_total, cfg.policy))
-            }
+            BufferOrg::Global => Buffers::Global(GlobalBuffer::with_policy(
+                n,
+                cfg.buffer_pages_total,
+                cfg.policy,
+            )),
         };
         let procs = (0..n)
             .map(|_| Proc {
@@ -325,7 +327,11 @@ impl<'t> Executor<'t> {
 
     fn run(mut self) -> SimResult {
         // --- Phase 1: sequential task creation on processor 0. ------------
-        let tc = create_tasks(self.a, self.b, self.cfg.min_tasks_factor * self.cfg.num_procs);
+        let tc = create_tasks(
+            self.a,
+            self.b,
+            self.cfg.min_tasks_factor * self.cfg.num_procs,
+        );
         self.tasks_created = tc.tasks.len();
         let mut now: Nanos = 0;
         for &p in &tc.pages_a {
@@ -340,13 +346,17 @@ impl<'t> Executor<'t> {
         // --- Phase 2: task assignment. -------------------------------------
         match self.cfg.assignment {
             Assignment::StaticRange => {
-                for (p, w) in static_range(&tc.tasks, self.cfg.num_procs).into_iter().enumerate() {
+                for (p, w) in static_range(&tc.tasks, self.cfg.num_procs)
+                    .into_iter()
+                    .enumerate()
+                {
                     self.procs[p].workload = w.into();
                 }
             }
             Assignment::StaticRoundRobin => {
-                for (p, w) in
-                    static_round_robin(&tc.tasks, self.cfg.num_procs).into_iter().enumerate()
+                for (p, w) in static_round_robin(&tc.tasks, self.cfg.num_procs)
+                    .into_iter()
+                    .enumerate()
                 {
                     self.procs[p].workload = w.into();
                 }
@@ -394,7 +404,11 @@ impl<'t> Executor<'t> {
         };
         SimResult {
             metrics,
-            candidates: if self.cfg.collect_candidates { Some(self.collected) } else { None },
+            candidates: if self.cfg.collect_candidates {
+                Some(self.collected)
+            } else {
+                None
+            },
         }
     }
 
@@ -523,7 +537,11 @@ impl<'t> Executor<'t> {
     }
 
     fn level_of(&self, tree: u8, page: PageId) -> usize {
-        let node = if tree == 0 { self.a.node(page) } else { self.b.node(page) };
+        let node = if tree == 0 {
+            self.a.node(page)
+        } else {
+            self.b.node(page)
+        };
         node.level as usize
     }
 
@@ -661,8 +679,14 @@ impl<'t> Executor<'t> {
             }
         };
         let pair = &pair;
-        let work =
-            expand_pair(na, nb, pair, &mut self.scratch, &mut self.child_buf, &mut self.cand_buf);
+        let work = expand_pair(
+            na,
+            nb,
+            pair,
+            &mut self.scratch,
+            &mut self.child_buf,
+            &mut self.cand_buf,
+        );
         let cost = &self.cfg.platform.cost;
         *now += cost.sweep_time(work.entries, work.pairs);
 
@@ -771,9 +795,10 @@ impl<'t> Executor<'t> {
             return None;
         }
         match self.cfg.victim {
-            VictimSelection::MostLoaded => {
-                candidates.into_iter().max_by_key(|&(v, (hl, ns))| (hl, ns, usize::MAX - v)).map(|(v, _)| v)
-            }
+            VictimSelection::MostLoaded => candidates
+                .into_iter()
+                .max_by_key(|&(v, (hl, ns))| (hl, ns, usize::MAX - v))
+                .map(|(v, _)| v),
             VictimSelection::Arbitrary => {
                 let i = self.rng.random_range(0..candidates.len());
                 Some(candidates[i].0)
@@ -835,8 +860,15 @@ mod tests {
         for cfg in all_variants(4) {
             let res = run_sim_join(&a, &b, &cfg);
             let got = as_set(res.candidates.as_ref().unwrap());
-            assert_eq!(got, want, "variant {:?}/{:?}/{:?}", cfg.buffer_org, cfg.assignment, cfg.reassignment);
-            assert_eq!(res.metrics.candidates as usize, res.candidates.unwrap().len());
+            assert_eq!(
+                got, want,
+                "variant {:?}/{:?}/{:?}",
+                cfg.buffer_org, cfg.assignment, cfg.reassignment
+            );
+            assert_eq!(
+                res.metrics.candidates as usize,
+                res.candidates.unwrap().len()
+            );
         }
     }
 
@@ -964,14 +996,20 @@ mod tests {
         let a = tree(60, 0.0);
         let b = tree(60, 0.4);
         let want = as_set(&join_candidates(&a, &b).candidates);
-        for assignment in
-            [Assignment::StaticRange, Assignment::StaticRoundRobin, Assignment::Dynamic]
-        {
+        for assignment in [
+            Assignment::StaticRange,
+            Assignment::StaticRoundRobin,
+            Assignment::Dynamic,
+        ] {
             let mut cfg = SimConfig::best(16, 4, 64);
             cfg.assignment = assignment;
             cfg.collect_candidates = true;
             let res = run_sim_join(&a, &b, &cfg);
-            assert_eq!(as_set(res.candidates.as_ref().unwrap()), want, "{assignment:?}");
+            assert_eq!(
+                as_set(res.candidates.as_ref().unwrap()),
+                want,
+                "{assignment:?}"
+            );
         }
     }
 
@@ -981,12 +1019,21 @@ mod tests {
         let a = tree(4000, 0.0);
         let b = tree(4000, 0.4);
         assert!(a.height() >= 3);
-        let coarse = SimConfig { min_tasks_factor: 1, ..SimConfig::best(2, 2, 64) };
-        let fine = SimConfig { min_tasks_factor: 64, ..SimConfig::best(2, 2, 64) };
+        let coarse = SimConfig {
+            min_tasks_factor: 1,
+            ..SimConfig::best(2, 2, 64)
+        };
+        let fine = SimConfig {
+            min_tasks_factor: 64,
+            ..SimConfig::best(2, 2, 64)
+        };
         let mc = run_sim_join(&a, &b, &coarse).metrics;
         let mf = run_sim_join(&a, &b, &fine).metrics;
         assert!(mf.tasks > mc.tasks, "{} !> {}", mf.tasks, mc.tasks);
-        assert_eq!(mc.candidates, mf.candidates, "task granularity must not change the result");
+        assert_eq!(
+            mc.candidates, mf.candidates,
+            "task granularity must not change the result"
+        );
     }
 
     #[test]
@@ -1015,7 +1062,10 @@ mod tests {
         let without = run_sim_join(
             &a,
             &b,
-            &SimConfig { use_path_buffer: false, ..SimConfig::best(4, 4, 64) },
+            &SimConfig {
+                use_path_buffer: false,
+                ..SimConfig::best(4, 4, 64)
+            },
         )
         .metrics;
         assert!(with.buffer.hits_path > 0);

@@ -95,8 +95,14 @@ pub fn expand_pair(
     children: &mut Vec<TaskPair>,
     candidates: &mut Vec<Candidate>,
 ) -> SweepWork {
-    debug_assert_eq!(na.level, pair.la as u32, "node/page level mismatch (tree A)");
-    debug_assert_eq!(nb.level, pair.lb as u32, "node/page level mismatch (tree B)");
+    debug_assert_eq!(
+        na.level, pair.la as u32,
+        "node/page level mismatch (tree A)"
+    );
+    debug_assert_eq!(
+        nb.level, pair.lb as u32,
+        "node/page level mismatch (tree B)"
+    );
 
     if pair.la != pair.lb {
         return expand_unequal(na, nb, pair, children);
@@ -115,13 +121,20 @@ pub fn expand_pair(
         &mut scratch.filt_b,
         &mut scratch.pairs,
     );
-    let work =
-        SweepWork { entries: scratch.filt_a.len() + scratch.filt_b.len(), pairs: scratch.pairs.len() };
+    let work = SweepWork {
+        entries: scratch.filt_a.len() + scratch.filt_b.len(),
+        pairs: scratch.pairs.len(),
+    };
 
     if pair.la == 0 {
         candidates.reserve(scratch.pairs.len());
         for &(i, j) in &scratch.pairs {
-            candidates.push(Candidate { page_a: pair.a, idx_a: i, page_b: pair.b, idx_b: j });
+            candidates.push(Candidate {
+                page_a: pair.a,
+                idx_a: i,
+                page_b: pair.b,
+                idx_b: j,
+            });
         }
     } else {
         let ea = na.dir_entries();
@@ -153,7 +166,12 @@ fn collect_mbrs(node: &Node, out: &mut Vec<Rect>) {
 }
 
 /// Aligns trees of unequal height: descend only in the deeper side.
-fn expand_unequal(na: &Node, nb: &Node, pair: &TaskPair, children: &mut Vec<TaskPair>) -> SweepWork {
+fn expand_unequal(
+    na: &Node,
+    nb: &Node,
+    pair: &TaskPair,
+    children: &mut Vec<TaskPair>,
+) -> SweepWork {
     let mut entries = 0usize;
     let mut pairs = 0usize;
     if pair.la > pair.lb {
@@ -272,7 +290,11 @@ pub fn create_tasks(a: &PagedTree, b: &PagedTree, min_tasks: usize) -> TaskCreat
     pages_a.dedup();
     pages_b.sort_unstable();
     pages_b.dedup();
-    TaskCreation { tasks, pages_a, pages_b }
+    TaskCreation {
+        tasks,
+        pages_a,
+        pages_b,
+    }
 }
 
 #[cfg(test)]
@@ -314,7 +336,10 @@ mod tests {
         let shallow = create_tasks(&a, &b, 1);
         let deep = create_tasks(&a, &b, shallow.tasks.len() + 1);
         assert!(deep.tasks.len() > shallow.tasks.len());
-        assert!(deep.tasks.iter().all(|t| t.level() < shallow.tasks[0].level()));
+        assert!(deep
+            .tasks
+            .iter()
+            .all(|t| t.level() < shallow.tasks[0].level()));
         assert!(deep.pages_a.len() > 1, "descending reads level-1 pages");
     }
 

@@ -34,7 +34,10 @@ pub fn load_map(path: &Path) -> io::Result<Vec<MapObject>> {
     let mut magic = [0u8; 6];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a psj map file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a psj map file",
+        ));
     }
     let mut b8 = [0u8; 8];
     r.read_exact(&mut b8)?;
@@ -47,7 +50,10 @@ pub fn load_map(path: &Path) -> io::Result<Vec<MapObject>> {
         r.read_exact(&mut b4)?;
         let nv = u32::from_le_bytes(b4) as usize;
         if !(2..=1_000_000).contains(&nv) {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible vertex count"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "implausible vertex count",
+            ));
         }
         let mut pts = Vec::with_capacity(nv);
         for _ in 0..nv {
@@ -57,7 +63,10 @@ pub fn load_map(path: &Path) -> io::Result<Vec<MapObject>> {
             let y = f64::from_le_bytes(b8);
             pts.push(Point::new(x, y));
         }
-        out.push(MapObject { oid, geom: Polyline::new(pts) });
+        out.push(MapObject {
+            oid,
+            geom: Polyline::new(pts),
+        });
     }
     Ok(out)
 }

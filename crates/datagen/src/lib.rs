@@ -68,7 +68,13 @@ pub struct Scenario {
 impl Scenario {
     /// The paper-scale scenario: Table 1 object counts.
     pub fn paper(seed: u64) -> Self {
-        Scenario { seed, map1_objects: 131_443, map2_objects: 127_312, towns: 180, world: WORLD }
+        Scenario {
+            seed,
+            map1_objects: 131_443,
+            map2_objects: 127_312,
+            towns: 180,
+            world: WORLD,
+        }
     }
 
     /// A linearly scaled-down scenario for tests and examples.
@@ -163,7 +169,11 @@ fn gen_streets(rng: &mut StdRng, towns: &[Town], count: usize, world: f64) -> Ve
         let len = 0.06 + rng.random::<f64>().powi(2) * 0.25;
         let horizontal = rng.random::<bool>();
         let jitter = normal(rng) * 0.01;
-        let (dx, dy) = if horizontal { (len, jitter) } else { (jitter, len) };
+        let (dx, dy) = if horizontal {
+            (len, jitter)
+        } else {
+            (jitter, len)
+        };
         let a = clamp_world(anchor, world);
         let b = clamp_world(Point::new(anchor.x + dx, anchor.y + dy), world);
         // Some streets get a bend (TIGER chains often have shape points).
@@ -176,7 +186,10 @@ fn gen_streets(rng: &mut StdRng, towns: &[Town], count: usize, world: f64) -> Ve
         } else {
             Polyline::new(vec![a, b])
         };
-        out.push(MapObject { oid: oid as u64, geom });
+        out.push(MapObject {
+            oid: oid as u64,
+            geom,
+        });
     }
     out
 }
@@ -213,7 +226,10 @@ fn gen_features(rng: &mut StdRng, towns: &[Town], count: usize, world: f64) -> V
                 continue;
             }
             let oid = out.len() as u64;
-            out.push(MapObject { oid, geom: Polyline::new(vec![w[0], w[1]]) });
+            out.push(MapObject {
+                oid,
+                geom: Polyline::new(vec![w[0], w[1]]),
+            });
         }
     }
     out
@@ -269,7 +285,11 @@ fn gen_river_path(rng: &mut StdRng, world: f64) -> Vec<Point> {
     } else {
         Point::new(rng.random_range(0.0..world), 0.0)
     };
-    let mut heading: f64 = if from_left { 0.0 } else { std::f64::consts::FRAC_PI_2 };
+    let mut heading: f64 = if from_left {
+        0.0
+    } else {
+        std::f64::consts::FRAC_PI_2
+    };
     let mut pts = vec![p];
     let step = 0.25;
     for _ in 0..2000 {
@@ -294,9 +314,16 @@ fn gen_railway_path(rng: &mut StdRng, towns: &[Town], world: f64) -> Vec<Point> 
     (0..=steps)
         .map(|i| {
             let t = i as f64 / steps as f64;
-            let jitter = if i == 0 || i == steps { 0.0 } else { normal(rng) * 0.03 };
+            let jitter = if i == 0 || i == steps {
+                0.0
+            } else {
+                normal(rng) * 0.03
+            };
             clamp_world(
-                Point::new(a.x + (b.x - a.x) * t + jitter, a.y + (b.y - a.y) * t + jitter),
+                Point::new(
+                    a.x + (b.x - a.x) * t + jitter,
+                    a.y + (b.y - a.y) * t + jitter,
+                ),
                 world,
             )
         })
@@ -388,7 +415,12 @@ mod tests {
         let (m1, m2) = s.generate();
         let world = Rect::new(0.0, 0.0, s.world, s.world);
         for o in m1.iter().chain(m2.iter()) {
-            assert!(world.contains(&o.mbr()), "object {} escapes: {:?}", o.oid, o.mbr());
+            assert!(
+                world.contains(&o.mbr()),
+                "object {} escapes: {:?}",
+                o.oid,
+                o.mbr()
+            );
         }
     }
 
@@ -396,7 +428,11 @@ mod tests {
     fn street_mbrs_are_small() {
         let (m1, _) = Scenario::scaled(11, 0.01).generate();
         let stats = map_stats(&m1);
-        assert!(stats.avg_mbr_extent < 1.0, "streets too large: {}", stats.avg_mbr_extent);
+        assert!(
+            stats.avg_mbr_extent < 1.0,
+            "streets too large: {}",
+            stats.avg_mbr_extent
+        );
         assert!(stats.avg_vertices >= 2.0);
     }
 

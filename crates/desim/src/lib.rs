@@ -57,7 +57,10 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `payload` at virtual time `time`.
@@ -148,7 +151,9 @@ impl ResourcePool {
     /// Creates `n` idle resources.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "resource pool needs at least one server");
-        ResourcePool { servers: vec![FcfsResource::new(); n] }
+        ResourcePool {
+            servers: vec![FcfsResource::new(); n],
+        }
     }
 
     /// Number of servers.

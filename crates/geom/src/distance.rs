@@ -98,9 +98,15 @@ mod tests {
 
     #[test]
     fn segment_to_segment() {
-        assert_eq!(segment_distance(&s(0.0, 0.0, 1.0, 0.0), &s(0.0, 3.0, 1.0, 3.0)), 3.0);
+        assert_eq!(
+            segment_distance(&s(0.0, 0.0, 1.0, 0.0), &s(0.0, 3.0, 1.0, 3.0)),
+            3.0
+        );
         // Crossing segments: zero.
-        assert_eq!(segment_distance(&s(0.0, 0.0, 2.0, 2.0), &s(0.0, 2.0, 2.0, 0.0)), 0.0);
+        assert_eq!(
+            segment_distance(&s(0.0, 0.0, 2.0, 2.0), &s(0.0, 2.0, 2.0, 0.0)),
+            0.0
+        );
         // Skew segments where the closest points are endpoints.
         let d = segment_distance(&s(0.0, 0.0, 1.0, 0.0), &s(2.0, 1.0, 3.0, 2.0));
         assert!((d - 2.0_f64.sqrt()).abs() < 1e-12);

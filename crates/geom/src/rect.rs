@@ -29,7 +29,10 @@ impl Rect {
     /// Panics (debug builds only) if the bounds are inverted or NaN.
     #[inline]
     pub fn new(xl: f64, yl: f64, xu: f64, yu: f64) -> Self {
-        debug_assert!(xl <= xu && yl <= yu, "inverted rect: [{xl},{xu}]x[{yl},{yu}]");
+        debug_assert!(
+            xl <= xu && yl <= yu,
+            "inverted rect: [{xl},{xu}]x[{yl},{yu}]"
+        );
         Rect { xl, yl, xu, yu }
     }
 
@@ -180,8 +183,16 @@ impl Rect {
         }
         // Degenerate case: compare per-axis extents of the intersection with
         // the union's extents, treating a zero-extent axis as fully shared.
-        let fx = if u.width() > 0.0 { i.width() / u.width() } else { 1.0 };
-        let fy = if u.height() > 0.0 { i.height() / u.height() } else { 1.0 };
+        let fx = if u.width() > 0.0 {
+            i.width() / u.width()
+        } else {
+            1.0
+        };
+        let fy = if u.height() > 0.0 {
+            i.height() / u.height()
+        } else {
+            1.0
+        };
         (fx * fy).clamp(0.0, 1.0)
     }
 
@@ -315,7 +326,11 @@ mod tests {
 
     #[test]
     fn mbr_of_points_covers_all() {
-        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 0.0), Point::new(3.0, 2.0)];
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.0),
+            Point::new(3.0, 2.0),
+        ];
         let m = mbr_of_points(&pts);
         assert_eq!(m, r(-2.0, 0.0, 3.0, 5.0));
         assert!(mbr_of_points(&[]).is_empty());

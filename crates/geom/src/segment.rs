@@ -160,6 +160,9 @@ mod tests {
         let b = Point::new(1.0, 0.0);
         assert_eq!(orientation(&a, &b, &Point::new(1.0, 1.0)), Orientation::Ccw);
         assert_eq!(orientation(&a, &b, &Point::new(1.0, -1.0)), Orientation::Cw);
-        assert_eq!(orientation(&a, &b, &Point::new(2.0, 0.0)), Orientation::Collinear);
+        assert_eq!(
+            orientation(&a, &b, &Point::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
     }
 }

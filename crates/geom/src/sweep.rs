@@ -275,7 +275,11 @@ mod tests {
 
     #[test]
     fn sort_by_xl_returns_permutation() {
-        let mut v = vec![r(3.0, 0.0, 4.0, 1.0), r(1.0, 0.0, 2.0, 1.0), r(2.0, 0.0, 3.0, 1.0)];
+        let mut v = vec![
+            r(3.0, 0.0, 4.0, 1.0),
+            r(1.0, 0.0, 2.0, 1.0),
+            r(2.0, 0.0, 3.0, 1.0),
+        ];
         let perm = sort_by_xl(&mut v);
         assert_eq!(perm, vec![1, 2, 0]);
         assert!(v.windows(2).all(|w| w[0].xl <= w[1].xl));
@@ -298,7 +302,10 @@ mod tests {
             .iter()
             .map(|&(i, j)| rs[i as usize].xl.min(ss[j as usize].xl))
             .collect();
-        assert!(stops.windows(2).all(|w| w[0] <= w[1]), "not monotone: {stops:?}");
+        assert!(
+            stops.windows(2).all(|w| w[0] <= w[1]),
+            "not monotone: {stops:?}"
+        );
         assert!(!pairs.is_empty());
     }
 }

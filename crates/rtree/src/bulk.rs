@@ -18,7 +18,10 @@ pub fn bulk_load_str_with_fanout(
     leaf_capacity: usize,
     dir_capacity: usize,
 ) -> RTree {
-    assert!(leaf_capacity >= 2 && dir_capacity >= 2, "capacities must be at least 2");
+    assert!(
+        leaf_capacity >= 2 && dir_capacity >= 2,
+        "capacities must be at least 2"
+    );
     if items.is_empty() {
         return RTree::new();
     }
@@ -26,7 +29,11 @@ pub fn bulk_load_str_with_fanout(
     // --- leaf level -------------------------------------------------------
     let mut entries: Vec<DataEntry> = items
         .iter()
-        .map(|&(mbr, oid)| DataEntry { mbr, oid, geom: GeomRef::UNSET })
+        .map(|&(mbr, oid)| DataEntry {
+            mbr,
+            oid,
+            geom: GeomRef::UNSET,
+        })
         .collect();
     let leaves = str_tile(&mut entries, leaf_capacity, |e| e.mbr);
 
@@ -79,12 +86,20 @@ fn str_tile<E: Clone>(entries: &mut [E], cap: usize, mbr: impl Fn(&E) -> Rect) -
     let slab_size = n.div_ceil(num_slabs);
 
     entries.sort_by(|a, b| {
-        mbr(a).center().x.partial_cmp(&mbr(b).center().x).expect("NaN coordinate")
+        mbr(a)
+            .center()
+            .x
+            .partial_cmp(&mbr(b).center().x)
+            .expect("NaN coordinate")
     });
     let mut out = Vec::with_capacity(num_groups);
     for slab in entries.chunks_mut(slab_size) {
         slab.sort_by(|a, b| {
-            mbr(a).center().y.partial_cmp(&mbr(b).center().y).expect("NaN coordinate")
+            mbr(a)
+                .center()
+                .y
+                .partial_cmp(&mbr(b).center().y)
+                .expect("NaN coordinate")
         });
         for group in slab.chunks(cap) {
             out.push(group.to_vec());
@@ -172,8 +187,11 @@ mod tests {
         let w = Rect::new(10.0, 5.0, 20.0, 12.0);
         let mut got: Vec<u64> = t.window_query(&w).iter().map(|e| e.oid).collect();
         got.sort_unstable();
-        let want: Vec<u64> =
-            data.iter().filter(|(r, _)| r.intersects(&w)).map(|&(_, o)| o).collect();
+        let want: Vec<u64> = data
+            .iter()
+            .filter(|(r, _)| r.intersects(&w))
+            .map(|&(_, o)| o)
+            .collect();
         assert_eq!(got, want);
     }
 

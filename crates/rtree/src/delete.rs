@@ -167,7 +167,9 @@ mod tests {
     fn delete_missing_entry_returns_none() {
         let mut t = build(50);
         assert!(t.delete(&rect_at(7), 999).is_none());
-        assert!(t.delete(&Rect::new(500.0, 500.0, 501.0, 501.0), 7).is_none());
+        assert!(t
+            .delete(&Rect::new(500.0, 500.0, 501.0, 501.0), 7)
+            .is_none());
         assert_eq!(t.len(), 50);
     }
 
@@ -176,7 +178,8 @@ mod tests {
         let mut t = build(300);
         for i in 0..300 {
             assert!(t.delete(&rect_at(i), i as u64).is_some(), "delete {i}");
-            t.check_invariants().unwrap_or_else(|e| panic!("after delete {i}: {e}"));
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("after delete {i}: {e}"));
         }
         assert!(t.is_empty());
         assert_eq!(t.height(), 1);
@@ -220,11 +223,13 @@ mod tests {
             }
             for i in 0..100 {
                 assert!(
-                    t.delete(&rect_at(i + round * 7), (round * 1000 + i) as u64).is_some(),
+                    t.delete(&rect_at(i + round * 7), (round * 1000 + i) as u64)
+                        .is_some(),
                     "round {round}, item {i}"
                 );
             }
-            t.check_invariants().unwrap_or_else(|e| panic!("round {round}: {e}"));
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
         }
         assert_eq!(t.len(), 6 * 100);
     }

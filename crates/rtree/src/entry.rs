@@ -29,7 +29,10 @@ pub struct GeomRef {
 impl GeomRef {
     /// A placeholder reference used while the tree is still in memory and
     /// pages have not been assigned yet.
-    pub const UNSET: GeomRef = GeomRef { page: PageId(u32::MAX), slot: u32::MAX };
+    pub const UNSET: GeomRef = GeomRef {
+        page: PageId(u32::MAX),
+        slot: u32::MAX,
+    };
 }
 
 /// An entry of a directory node: the MBR of a subtree and its page.
@@ -71,7 +74,10 @@ impl DirEntry {
         let yu = buf.get_f64_le();
         let child = buf.get_u32_le();
         buf.advance(DIR_ENTRY_BYTES - 36);
-        DirEntry { mbr: Rect::new(xl, yl, xu, yu), child }
+        DirEntry {
+            mbr: Rect::new(xl, yl, xu, yu),
+            child,
+        }
     }
 }
 
@@ -98,7 +104,11 @@ impl DataEntry {
         let page = PageId(buf.get_u32_le());
         let slot = buf.get_u32_le();
         buf.advance(DATA_ENTRY_BYTES - 48);
-        DataEntry { mbr: Rect::new(xl, yl, xu, yu), oid, geom: GeomRef { page, slot } }
+        DataEntry {
+            mbr: Rect::new(xl, yl, xu, yu),
+            oid,
+            geom: GeomRef { page, slot },
+        }
     }
 }
 
@@ -108,7 +118,10 @@ mod tests {
 
     #[test]
     fn dir_entry_roundtrip() {
-        let e = DirEntry { mbr: Rect::new(1.0, 2.0, 3.0, 4.0), child: 42 };
+        let e = DirEntry {
+            mbr: Rect::new(1.0, 2.0, 3.0, 4.0),
+            child: 42,
+        };
         let mut buf = Vec::new();
         e.encode(&mut buf);
         assert_eq!(buf.len(), DIR_ENTRY_BYTES);
@@ -122,7 +135,10 @@ mod tests {
         let e = DataEntry {
             mbr: Rect::new(-1.5, 0.0, 2.5, 9.75),
             oid: 0xDEAD_BEEF_CAFE,
-            geom: GeomRef { page: PageId(7), slot: 3 },
+            geom: GeomRef {
+                page: PageId(7),
+                slot: 3,
+            },
         };
         let mut buf = Vec::new();
         e.encode(&mut buf);

@@ -44,8 +44,16 @@ pub fn hilbert_index(order: u32, mut x: u32, mut y: u32) -> u64 {
 pub fn hilbert_of_rect(world: &Rect, r: &Rect) -> u64 {
     let n = (1u32 << HILBERT_ORDER) as f64;
     let c = r.center();
-    let fx = if world.width() > 0.0 { (c.x - world.xl) / world.width() } else { 0.0 };
-    let fy = if world.height() > 0.0 { (c.y - world.yl) / world.height() } else { 0.0 };
+    let fx = if world.width() > 0.0 {
+        (c.x - world.xl) / world.width()
+    } else {
+        0.0
+    };
+    let fy = if world.height() > 0.0 {
+        (c.y - world.yl) / world.height()
+    } else {
+        0.0
+    };
     let gx = ((fx * n) as u32).min((1 << HILBERT_ORDER) - 1);
     let gy = ((fy * n) as u32).min((1 << HILBERT_ORDER) - 1);
     hilbert_index(HILBERT_ORDER, gx, gy)
@@ -59,7 +67,10 @@ pub fn bulk_load_hilbert_with_fanout(
     leaf_capacity: usize,
     dir_capacity: usize,
 ) -> RTree {
-    assert!(leaf_capacity >= 2 && dir_capacity >= 2, "capacities must be at least 2");
+    assert!(
+        leaf_capacity >= 2 && dir_capacity >= 2,
+        "capacities must be at least 2"
+    );
     if items.is_empty() {
         return RTree::new();
     }
@@ -67,7 +78,11 @@ pub fn bulk_load_hilbert_with_fanout(
 
     let mut entries: Vec<DataEntry> = items
         .iter()
-        .map(|&(mbr, oid)| DataEntry { mbr, oid, geom: GeomRef::UNSET })
+        .map(|&(mbr, oid)| DataEntry {
+            mbr,
+            oid,
+            geom: GeomRef::UNSET,
+        })
         .collect();
     entries.sort_by_key(|e| hilbert_of_rect(&world, &e.mbr));
 
@@ -88,8 +103,10 @@ pub fn bulk_load_hilbert_with_fanout(
         let mut next = Vec::with_capacity(level_nodes.len() / dir_capacity + 1);
         for chunk in level_nodes.chunks(dir_capacity) {
             let mut node = Node::new_dir(level);
-            *node.dir_entries_mut() =
-                chunk.iter().map(|&(idx, mbr)| DirEntry { mbr, child: idx }).collect();
+            *node.dir_entries_mut() = chunk
+                .iter()
+                .map(|&(idx, mbr)| DirEntry { mbr, child: idx })
+                .collect();
             let mbr = node.mbr();
             next.push((nodes.len() as u32, mbr));
             nodes.push(node);
@@ -186,8 +203,11 @@ mod tests {
         let w = Rect::new(5.0, 3.0, 22.0, 14.0);
         let mut got: Vec<u64> = t.window_query(&w).iter().map(|e| e.oid).collect();
         got.sort_unstable();
-        let want: Vec<u64> =
-            data.iter().filter(|(r, _)| r.intersects(&w)).map(|&(_, o)| o).collect();
+        let want: Vec<u64> = data
+            .iter()
+            .filter(|(r, _)| r.intersects(&w))
+            .map(|&(_, o)| o)
+            .collect();
         assert_eq!(got, want);
     }
 
@@ -221,8 +241,9 @@ mod tests {
     #[test]
     fn degenerate_world_single_column() {
         // All centers on a vertical line: world width 0 must not divide by 0.
-        let data: Vec<(Rect, u64)> =
-            (0..100).map(|i| (Rect::new(5.0, i as f64, 5.0, i as f64 + 0.5), i as u64)).collect();
+        let data: Vec<(Rect, u64)> = (0..100)
+            .map(|i| (Rect::new(5.0, i as f64, 5.0, i as f64 + 0.5), i as u64))
+            .collect();
         let t = bulk_load_hilbert(&data);
         assert_eq!(t.len(), 100);
         t.check_invariants_bulk().unwrap();

@@ -35,7 +35,7 @@ pub mod stats;
 pub mod tree;
 
 pub use entry::{DataEntry, DirEntry, GeomRef, DATA_ENTRY_BYTES, DIR_ENTRY_BYTES};
-pub use node::{Node, NodeKind, DATA_FANOUT, DIR_FANOUT, DATA_MIN_FILL, DIR_MIN_FILL};
+pub use node::{Node, NodeKind, DATA_FANOUT, DATA_MIN_FILL, DIR_FANOUT, DIR_MIN_FILL};
 pub use paged::PagedTree;
 pub use stats::TreeStats;
 pub use tree::RTree;

@@ -41,7 +41,10 @@ impl<T> PartialOrd for HeapItem<T> {
 impl<T> Ord for HeapItem<T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap on distance; NaN-free by construction.
-        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -59,7 +62,10 @@ impl RTree {
             return Vec::new();
         }
         let mut heap: BinaryHeap<HeapItem<Candidate>> = BinaryHeap::new();
-        heap.push(HeapItem { dist: 0.0, item: Candidate::Node(self.root()) });
+        heap.push(HeapItem {
+            dist: 0.0,
+            item: Candidate::Node(self.root()),
+        });
         let mut out = Vec::with_capacity(k);
         while let Some(HeapItem { dist, item }) = heap.pop() {
             match item {
@@ -106,7 +112,10 @@ impl PagedTree {
             return Vec::new();
         }
         let mut heap: BinaryHeap<HeapItem<PagedCandidate>> = BinaryHeap::new();
-        heap.push(HeapItem { dist: 0.0, item: PagedCandidate::Node(self.root()) });
+        heap.push(HeapItem {
+            dist: 0.0,
+            item: PagedCandidate::Node(self.root()),
+        });
         let mut out = Vec::with_capacity(k);
         while let Some(HeapItem { dist, item }) = heap.pop() {
             match item {
@@ -166,12 +175,19 @@ mod tests {
     #[test]
     fn nn_matches_linear_scan() {
         let t = build(500);
-        let queries =
-            [Point::new(0.0, 0.0), Point::new(20.3, 6.1), Point::new(-5.0, 100.0), Point::new(39.9, 12.0)];
+        let queries = [
+            Point::new(0.0, 0.0),
+            Point::new(20.3, 6.1),
+            Point::new(-5.0, 100.0),
+            Point::new(39.9, 12.0),
+        ];
         for q in queries {
             for k in [1usize, 5, 17] {
-                let got: Vec<u64> =
-                    t.nearest_neighbors(&q, k).iter().map(|(_, e)| e.oid).collect();
+                let got: Vec<u64> = t
+                    .nearest_neighbors(&q, k)
+                    .iter()
+                    .map(|(_, e)| e.oid)
+                    .collect();
                 // Linear-scan oracle.
                 let mut all: Vec<(f64, u64)> = t
                     .window_query(&t.mbr())
@@ -181,11 +197,8 @@ mod tests {
                 all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
                 // Distances must match exactly (ids may tie).
                 let want_dists: Vec<f64> = all.iter().take(k).map(|(d, _)| *d).collect();
-                let got_dists: Vec<f64> = t
-                    .nearest_neighbors(&q, k)
-                    .iter()
-                    .map(|(d, _)| *d)
-                    .collect();
+                let got_dists: Vec<f64> =
+                    t.nearest_neighbors(&q, k).iter().map(|(d, _)| *d).collect();
                 assert_eq!(got_dists, want_dists, "q={q:?} k={k}");
                 assert_eq!(got.len(), k);
             }
@@ -219,10 +232,16 @@ mod tests {
         let t = build(400);
         let p = crate::paged::PagedTree::freeze(&t, |_| None);
         for q in [Point::new(5.0, 5.0), Point::new(33.3, 1.1)] {
-            let a: Vec<(u64,)> =
-                t.nearest_neighbors(&q, 8).iter().map(|(_, e)| (e.oid,)).collect();
-            let b: Vec<(u64,)> =
-                p.nearest_neighbors(&q, 8).iter().map(|(_, e)| (e.oid,)).collect();
+            let a: Vec<(u64,)> = t
+                .nearest_neighbors(&q, 8)
+                .iter()
+                .map(|(_, e)| (e.oid,))
+                .collect();
+            let b: Vec<(u64,)> = p
+                .nearest_neighbors(&q, 8)
+                .iter()
+                .map(|(_, e)| (e.oid,))
+                .collect();
             // Distances equal; compare distance sequences to dodge ties.
             let da: Vec<f64> = t.nearest_neighbors(&q, 8).iter().map(|(d, _)| *d).collect();
             let db: Vec<f64> = p.nearest_neighbors(&q, 8).iter().map(|(d, _)| *d).collect();

@@ -43,12 +43,18 @@ pub struct Node {
 impl Node {
     /// An empty leaf.
     pub fn new_leaf() -> Self {
-        Node { level: 0, kind: NodeKind::Leaf(Vec::with_capacity(DATA_FANOUT + 1)) }
+        Node {
+            level: 0,
+            kind: NodeKind::Leaf(Vec::with_capacity(DATA_FANOUT + 1)),
+        }
     }
 
     /// An empty directory node at `level`.
     pub fn new_dir(level: u32) -> Self {
-        Node { level, kind: NodeKind::Dir(Vec::with_capacity(DIR_FANOUT + 1)) }
+        Node {
+            level,
+            kind: NodeKind::Dir(Vec::with_capacity(DIR_FANOUT + 1)),
+        }
     }
 
     /// Whether this is a leaf.

@@ -83,9 +83,10 @@ impl PagedTree {
             if let NodeKind::Leaf(entries) = &mut node.kind {
                 for e in entries.iter_mut() {
                     e.geom = match geometry(e.oid) {
-                        Some(g) => {
-                            GeomRef { page, slot: clusters.push_with_extra(page, g, attr_bytes) }
-                        }
+                        Some(g) => GeomRef {
+                            page,
+                            slot: clusters.push_with_extra(page, g, attr_bytes),
+                        },
                         None => GeomRef::UNSET,
                     };
                 }
@@ -120,7 +121,14 @@ impl PagedTree {
         pages: PageStore,
         clusters: ClusterStore,
     ) -> Self {
-        PagedTree { nodes, root, height, num_items, pages, clusters }
+        PagedTree {
+            nodes,
+            root,
+            height,
+            num_items,
+            pages,
+            clusters,
+        }
     }
 
     /// Page number of the root (always page 0 of this tree's file).
@@ -253,7 +261,10 @@ mod tests {
     fn geom_for(oid: u64) -> Option<Polyline> {
         let x = (oid % 40) as f64;
         let y = (oid / 40) as f64;
-        Some(Polyline::new(vec![Point::new(x, y), Point::new(x + 0.9, y + 0.9)]))
+        Some(Polyline::new(vec![
+            Point::new(x, y),
+            Point::new(x + 0.9, y + 0.9),
+        ]))
     }
 
     #[test]
@@ -295,7 +306,10 @@ mod tests {
         let all = p.window_query(&p.mbr());
         assert_eq!(all.len(), 300);
         for e in &all {
-            let g = p.clusters().geometry(e.geom.page, e.geom.slot).expect("geometry present");
+            let g = p
+                .clusters()
+                .geometry(e.geom.page, e.geom.slot)
+                .expect("geometry present");
             // The geometry's MBR is the entry's MBR by construction.
             assert_eq!(g.mbr(), e.mbr);
         }

@@ -23,7 +23,7 @@
 use crate::node::Node;
 use crate::paged::PagedTree;
 use psj_geom::{Point, Polyline};
-use psj_store::{PageId, PageStore, ClusterStore, PAGE_SIZE};
+use psj_store::{ClusterStore, PageId, PageStore, PAGE_SIZE};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -104,7 +104,10 @@ impl PagedTree {
     /// Writes the tree to `path`, overwriting any existing file.
     pub fn save_to(&self, path: &Path) -> io::Result<()> {
         let file = std::fs::File::create(path)?;
-        let mut w = HashWriter { inner: BufWriter::new(file), hash: Fnv::new() };
+        let mut w = HashWriter {
+            inner: BufWriter::new(file),
+            hash: Fnv::new(),
+        };
 
         w.write_all_hashed(MAGIC)?;
         w.u32(self.root().0)?;
@@ -113,8 +116,10 @@ impl PagedTree {
         w.u32(self.num_pages() as u32)?;
 
         // Clusters: collect page ids in ascending order for determinism.
-        let mut cluster_pages: Vec<PageId> =
-            (0..self.num_pages() as u32).map(PageId).filter(|p| self.clusters().get(*p).is_some()).collect();
+        let mut cluster_pages: Vec<PageId> = (0..self.num_pages() as u32)
+            .map(PageId)
+            .filter(|p| self.clusters().get(*p).is_some())
+            .collect();
         cluster_pages.sort_unstable();
         w.u32(cluster_pages.len() as u32)?;
 
@@ -123,7 +128,10 @@ impl PagedTree {
         }
 
         for pid in cluster_pages {
-            let c = self.clusters().get(pid).expect("filtered to existing clusters");
+            let c = self
+                .clusters()
+                .get(pid)
+                .expect("filtered to existing clusters");
             w.u32(pid.0)?;
             // Extra (attribute) bytes beyond the raw geometry.
             let geo_bytes: u64 = c.geometries().iter().map(|g| g.stored_size() as u64).sum();
@@ -146,7 +154,10 @@ impl PagedTree {
     /// Reads a tree previously written by [`PagedTree::save_to`].
     pub fn load_from(path: &Path) -> io::Result<PagedTree> {
         let file = std::fs::File::open(path)?;
-        let mut r = HashReader { inner: BufReader::new(file), hash: Fnv::new() };
+        let mut r = HashReader {
+            inner: BufReader::new(file),
+            hash: Fnv::new(),
+        };
 
         let mut magic = [0u8; 6];
         r.read_exact_hashed(&mut magic)?;
@@ -196,7 +207,13 @@ impl PagedTree {
                     let y = r.f64()?;
                     pts.push(Point::new(x, y));
                 }
-                let extra = extra_each + if extra_rem > 0 { extra_rem -= 1; 1 } else { 0 };
+                let extra = extra_each
+                    + if extra_rem > 0 {
+                        extra_rem -= 1;
+                        1
+                    } else {
+                        0
+                    };
                 clusters.push_with_extra(pid, Polyline::new(pts), extra);
             }
         }
@@ -214,7 +231,8 @@ impl PagedTree {
         }
 
         let tree = PagedTree::from_loaded_parts(nodes, root, height, num_items, pages, clusters);
-        tree.verify().map_err(|e| corrupt(&format!("structural verification failed: {e}")))?;
+        tree.verify()
+            .map_err(|e| corrupt(&format!("structural verification failed: {e}")))?;
         Ok(tree)
     }
 }
@@ -237,7 +255,10 @@ mod tests {
             |oid| {
                 let x = (oid % 40) as f64;
                 let y = (oid / 40) as f64;
-                Some(Polyline::new(vec![Point::new(x, y), Point::new(x + 0.9, y + 0.9)]))
+                Some(Polyline::new(vec![
+                    Point::new(x, y),
+                    Point::new(x + 0.9, y + 0.9),
+                ]))
             },
             100,
         )
@@ -268,7 +289,10 @@ mod tests {
         assert_eq!(a, b);
         // Geometry survives.
         for e in loaded.window_query(&w) {
-            assert!(loaded.clusters().geometry(e.geom.page, e.geom.slot).is_some());
+            assert!(loaded
+                .clusters()
+                .geometry(e.geom.page, e.geom.slot)
+                .is_some());
         }
     }
 

@@ -136,12 +136,18 @@ mod tests {
     use crate::entry::{DataEntry, GeomRef};
 
     fn entry(xl: f64, yl: f64, xu: f64, yu: f64) -> DataEntry {
-        DataEntry { mbr: Rect::new(xl, yl, xu, yu), oid: 0, geom: GeomRef::UNSET }
+        DataEntry {
+            mbr: Rect::new(xl, yl, xu, yu),
+            oid: 0,
+            geom: GeomRef::UNSET,
+        }
     }
 
     #[test]
     fn split_respects_min_fill() {
-        let entries: Vec<_> = (0..27).map(|i| entry(i as f64, 0.0, i as f64 + 0.5, 1.0)).collect();
+        let entries: Vec<_> = (0..27)
+            .map(|i| entry(i as f64, 0.0, i as f64 + 0.5, 1.0))
+            .collect();
         let (a, b) = rstar_split(entries, 10);
         assert!(a.len() >= 10 && b.len() >= 10);
         assert_eq!(a.len() + b.len(), 27);
@@ -149,8 +155,16 @@ mod tests {
 
     #[test]
     fn split_preserves_all_entries() {
-        let entries: Vec<_> =
-            (0..30).map(|i| entry((i % 5) as f64, (i / 5) as f64, (i % 5) as f64 + 1.0, (i / 5) as f64 + 1.0)).collect();
+        let entries: Vec<_> = (0..30)
+            .map(|i| {
+                entry(
+                    (i % 5) as f64,
+                    (i / 5) as f64,
+                    (i % 5) as f64 + 1.0,
+                    (i / 5) as f64 + 1.0,
+                )
+            })
+            .collect();
         let oids: Vec<u64> = (0..30).collect();
         let entries: Vec<_> = entries
             .into_iter()
@@ -174,12 +188,21 @@ mod tests {
             entries.push(entry(i as f64 * 0.1, 0.0, i as f64 * 0.1 + 0.05, 1.0));
         }
         for i in 0..10 {
-            entries.push(entry(100.0 + i as f64 * 0.1, 0.0, 100.0 + i as f64 * 0.1 + 0.05, 1.0));
+            entries.push(entry(
+                100.0 + i as f64 * 0.1,
+                0.0,
+                100.0 + i as f64 * 0.1 + 0.05,
+                1.0,
+            ));
         }
         let (a, b) = rstar_split(entries, 10);
         let mbr_a = a.iter().fold(Rect::empty(), |r, e| r.union(&e.mbr));
         let mbr_b = b.iter().fold(Rect::empty(), |r, e| r.union(&e.mbr));
-        assert_eq!(mbr_a.overlap_area(&mbr_b), 0.0, "clusters must separate cleanly");
+        assert_eq!(
+            mbr_a.overlap_area(&mbr_b),
+            0.0,
+            "clusters must separate cleanly"
+        );
         assert!(!mbr_a.intersects(&mbr_b));
     }
 
@@ -191,7 +214,12 @@ mod tests {
             entries.push(entry(0.0, i as f64 * 0.1, 1.0, i as f64 * 0.1 + 0.05));
         }
         for i in 0..10 {
-            entries.push(entry(0.0, 50.0 + i as f64 * 0.1, 1.0, 50.0 + i as f64 * 0.1 + 0.05));
+            entries.push(entry(
+                0.0,
+                50.0 + i as f64 * 0.1,
+                1.0,
+                50.0 + i as f64 * 0.1 + 0.05,
+            ));
         }
         let (a, b) = rstar_split(entries, 10);
         let mbr_a = a.iter().fold(Rect::empty(), |r, e| r.union(&e.mbr));
@@ -202,7 +230,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot split")]
     fn too_few_entries_panics() {
-        let entries: Vec<_> = (0..5).map(|i| entry(i as f64, 0.0, i as f64 + 1.0, 1.0)).collect();
+        let entries: Vec<_> = (0..5)
+            .map(|i| entry(i as f64, 0.0, i as f64 + 1.0, 1.0))
+            .collect();
         let _ = rstar_split(entries, 10);
     }
 }

@@ -32,11 +32,23 @@ impl TreeStats {
 impl std::fmt::Display for TreeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "height                     {:>10}", self.height)?;
-        writeln!(f, "number of data entries     {:>10}", self.num_data_entries)?;
+        writeln!(
+            f,
+            "number of data entries     {:>10}",
+            self.num_data_entries
+        )?;
         writeln!(f, "number of data pages       {:>10}", self.num_data_pages)?;
         writeln!(f, "number of directory pages  {:>10}", self.num_dir_pages)?;
-        writeln!(f, "data page utilization      {:>9.1}%", self.data_utilization() * 100.0)?;
-        write!(f, "avg cluster size           {:>8} KB", self.avg_cluster_bytes / 1024)
+        writeln!(
+            f,
+            "data page utilization      {:>9.1}%",
+            self.data_utilization() * 100.0
+        )?;
+        write!(
+            f,
+            "avg cluster size           {:>8} KB",
+            self.avg_cluster_bytes / 1024
+        )
     }
 }
 

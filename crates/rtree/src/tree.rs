@@ -50,13 +50,21 @@ impl EntryUnion {
 impl RTree {
     /// An empty tree (a single empty leaf as root).
     pub fn new() -> Self {
-        RTree { nodes: vec![Node::new_leaf()], root: 0, num_items: 0 }
+        RTree {
+            nodes: vec![Node::new_leaf()],
+            root: 0,
+            num_items: 0,
+        }
     }
 
     /// Assembles a tree from pre-built parts; callers guarantee structural
     /// consistency (used by bulk loading).
     pub(crate) fn assemble(nodes: Vec<Node>, root: u32, num_items: u64) -> Self {
-        RTree { nodes, root, num_items }
+        RTree {
+            nodes,
+            root,
+            num_items,
+        }
     }
 
     /// Number of data entries.
@@ -132,7 +140,11 @@ impl RTree {
 
     /// Inserts an object with the given MBR and id.
     pub fn insert(&mut self, mbr: Rect, oid: u64) {
-        let entry = DataEntry { mbr, oid, geom: GeomRef::UNSET };
+        let entry = DataEntry {
+            mbr,
+            oid,
+            geom: GeomRef::UNSET,
+        };
         let mut reinserted = vec![false; self.height() as usize + 1];
         self.insert_entry(EntryUnion::Data(entry), &mut reinserted);
         self.num_items += 1;
@@ -215,7 +227,10 @@ impl RTree {
             {
                 let pe = self.nodes[parent as usize].dir_entries_mut();
                 pe[slot].mbr = node_mbr;
-                pe.push(DirEntry { mbr: sib_mbr, child: sibling_idx });
+                pe.push(DirEntry {
+                    mbr: sib_mbr,
+                    child: sibling_idx,
+                });
             }
             self.adjust_path_mbrs(&path, parent);
             node_idx = parent;
@@ -256,8 +271,11 @@ impl RTree {
                             - entries[cand].mbr.overlap_area(&other.mbr);
                     }
                 }
-                let key =
-                    (overlap_enl, entries[cand].mbr.enlargement(r), entries[cand].mbr.area());
+                let key = (
+                    overlap_enl,
+                    entries[cand].mbr.enlargement(r),
+                    entries[cand].mbr.area(),
+                );
                 if key < best_key {
                     best_key = key;
                     best = cand;
@@ -343,12 +361,18 @@ impl RTree {
             NodeKind::Leaf(v) => {
                 let (a, b) = rstar_split(std::mem::take(v), min_fill);
                 *v = a;
-                Node { level, kind: NodeKind::Leaf(b) }
+                Node {
+                    level,
+                    kind: NodeKind::Leaf(b),
+                }
             }
             NodeKind::Dir(v) => {
                 let (a, b) = rstar_split(std::mem::take(v), min_fill);
                 *v = a;
-                Node { level, kind: NodeKind::Dir(b) }
+                Node {
+                    level,
+                    kind: NodeKind::Dir(b),
+                }
             }
         };
         let sibling_idx = self.nodes.len() as u32;
@@ -363,9 +387,10 @@ impl RTree {
             mbr: self.nodes[old_root as usize].mbr(),
             child: old_root,
         });
-        new_root
-            .dir_entries_mut()
-            .push(DirEntry { mbr: self.nodes[sibling as usize].mbr(), child: sibling });
+        new_root.dir_entries_mut().push(DirEntry {
+            mbr: self.nodes[sibling as usize].mbr(),
+            child: sibling,
+        });
         let idx = self.nodes.len() as u32;
         self.nodes.push(new_root);
         self.root = idx;
@@ -440,7 +465,10 @@ impl RTree {
             }
         }
         if seen_items != self.num_items {
-            return Err(format!("tree claims {} items, found {}", self.num_items, seen_items));
+            return Err(format!(
+                "tree claims {} items, found {}",
+                self.num_items, seen_items
+            ));
         }
         Ok(())
     }

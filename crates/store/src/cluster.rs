@@ -50,7 +50,9 @@ pub struct ClusterStore {
 impl ClusterStore {
     /// An empty store.
     pub fn new() -> Self {
-        ClusterStore { clusters: HashMap::new() }
+        ClusterStore {
+            clusters: HashMap::new(),
+        }
     }
 
     /// Appends one object's exact geometry to the cluster of `page`.
@@ -82,7 +84,9 @@ impl ClusterStore {
 
     /// One geometry by `(page, slot)` reference, as stored in a data entry.
     pub fn geometry(&self, page: PageId, slot: u32) -> Option<&Polyline> {
-        self.clusters.get(&page).and_then(|c| c.geometries.get(slot as usize))
+        self.clusters
+            .get(&page)
+            .and_then(|c| c.geometries.get(slot as usize))
     }
 
     /// Number of clusters (== number of data pages with geometry).

@@ -21,9 +21,11 @@
 pub mod cluster;
 pub mod disk;
 pub mod page;
+pub mod pager;
 pub mod timing;
 
 pub use cluster::ClusterStore;
 pub use disk::DiskModel;
 pub use page::{Page, PageId, PageStore, PAGE_SIZE};
+pub use pager::FilePager;
 pub use timing::{Nanos, MICROS, MILLIS, SECS};

@@ -38,7 +38,9 @@ pub struct Page {
 impl Page {
     /// A zero-filled page.
     pub fn zeroed() -> Self {
-        Page { data: Box::new([0u8; PAGE_SIZE]) }
+        Page {
+            data: Box::new([0u8; PAGE_SIZE]),
+        }
     }
 
     /// Read access to the raw bytes.
@@ -115,7 +117,10 @@ impl PageStore {
 
     /// Iterator over `(id, page)` in id order.
     pub fn iter(&self) -> impl Iterator<Item = (PageId, &Page)> {
-        self.pages.iter().enumerate().map(|(i, p)| (PageId(i as u32), p))
+        self.pages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PageId(i as u32), p))
     }
 }
 

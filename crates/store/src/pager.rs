@@ -1,0 +1,150 @@
+//! A disk-backed page file: the out-of-core counterpart of [`PageStore`].
+//!
+//! [`PageStore`] keeps every page in memory — fine for the simulator, but
+//! the native executor's shared buffer needs a source whose misses actually
+//! leave the process. [`FilePager`] stores pages densely in a regular file
+//! (page `n` at byte offset `n * 4096`) and reads them back on demand, so a
+//! cache running against it is genuinely out-of-core: only the buffered
+//! subset of pages is resident.
+//!
+//! Reads are positioned (`pread`-style) and therefore need only `&self`:
+//! any number of threads can fault pages in concurrently without
+//! serializing on a shared file cursor.
+
+use crate::page::{Page, PageId, PageStore, PAGE_SIZE};
+use std::fs::File;
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+/// A read-only, thread-safe pager over a densely packed page file.
+#[derive(Debug)]
+pub struct FilePager {
+    file: File,
+    num_pages: usize,
+}
+
+impl FilePager {
+    /// Opens an existing page file. The file length must be a whole number
+    /// of 4 KB pages.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("page file length {len} is not a multiple of {PAGE_SIZE}"),
+            ));
+        }
+        let num_pages = usize::try_from(len / PAGE_SIZE as u64)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "page file too large"))?;
+        Ok(FilePager { file, num_pages })
+    }
+
+    /// Writes every page of `store` to `path` in id order and opens a pager
+    /// over the result.
+    pub fn create_from_store<P: AsRef<Path>>(path: P, store: &PageStore) -> io::Result<Self> {
+        let mut out = File::create(&path)?;
+        for (_, page) in store.iter() {
+            io::Write::write_all(&mut out, page.bytes())?;
+        }
+        io::Write::flush(&mut out)?;
+        drop(out);
+        Self::open(path)
+    }
+
+    /// Number of pages in the file.
+    pub fn num_pages(&self) -> usize {
+        self.num_pages
+    }
+
+    /// Reads one page from the file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or the read fails (a truncated or
+    /// vanished backing file — unrecoverable mid-join either way).
+    pub fn read_page(&self, id: PageId) -> Page {
+        assert!(
+            id.index() < self.num_pages,
+            "page {id} out of range ({})",
+            self.num_pages
+        );
+        let mut page = Page::zeroed();
+        self.file
+            .read_exact_at(page.bytes_mut(), id.index() as u64 * PAGE_SIZE as u64)
+            .unwrap_or_else(|e| panic!("reading {id}: {e}"));
+        page
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("psj-pager-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sample_store(pages: usize) -> PageStore {
+        let mut store = PageStore::new();
+        for n in 0..pages {
+            let id = store.allocate();
+            store.write(id).bytes_mut()[0..8].copy_from_slice(&(n as u64).to_le_bytes());
+        }
+        store
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let path = temp_path("roundtrip");
+        let store = sample_store(7);
+        let pager = FilePager::create_from_store(&path, &store).unwrap();
+        assert_eq!(pager.num_pages(), 7);
+        for n in 0..7u32 {
+            let page = pager.read_page(PageId(n));
+            assert_eq!(page.bytes(), store.read(PageId(n)).bytes());
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn concurrent_reads_share_the_pager() {
+        let path = temp_path("concurrent");
+        let store = sample_store(16);
+        let pager = FilePager::create_from_store(&path, &store).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pager = &pager;
+                scope.spawn(move || {
+                    for n in 0..16u32 {
+                        let page = pager.read_page(PageId(n));
+                        let mut word = [0u8; 8];
+                        word.copy_from_slice(&page.bytes()[0..8]);
+                        assert_eq!(u64::from_le_bytes(word), n as u64);
+                    }
+                });
+            }
+        });
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_partial_page_file() {
+        let path = temp_path("partial");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE + 1]).unwrap();
+        assert!(FilePager::open(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        let path = temp_path("range");
+        let pager = FilePager::create_from_store(&path, &sample_store(2)).unwrap();
+        std::fs::remove_file(&path).ok();
+        pager.read_page(PageId(2));
+    }
+}

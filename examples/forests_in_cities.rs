@@ -24,7 +24,10 @@ mod rand_like {
             SimpleRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
         }
         pub fn next_f64(&mut self) -> f64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (self.0 >> 11) as f64 / (1u64 << 53) as f64
         }
         pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
@@ -97,8 +100,10 @@ fn main() {
     println!("forests:                {}", forests.len());
     println!("filter-step candidates: {}", filter.candidates);
     println!("forests inside a city:  {}", contained.len());
-    println!("false-hit rate:         {:.0}%",
-        100.0 * (1.0 - contained.len() as f64 / filter.candidates.max(1) as f64));
+    println!(
+        "false-hit rate:         {:.0}%",
+        100.0 * (1.0 - contained.len() as f64 / filter.candidates.max(1) as f64)
+    );
     for (f, c) in contained.iter().take(6) {
         println!("  forest {f:>3} ⊂ city {c}");
     }
@@ -113,6 +118,9 @@ fn main() {
         }
     }
     brute.sort_unstable();
-    assert_eq!(contained, brute, "index join must agree with the brute force");
+    assert_eq!(
+        contained, brute,
+        "index join must agree with the brute force"
+    );
     println!("verified against brute force ✓");
 }

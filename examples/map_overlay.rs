@@ -16,7 +16,10 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
     let scenario = Scenario::scaled(1996, scale);
     println!(
         "generating TIGER-like scenario: {} streets + {} line features",
@@ -63,9 +66,14 @@ fn main() {
 
     // Parallel join with exact refinement at increasing thread counts.
     println!("\nparallel join (filter + exact refinement):");
-    println!("{:>8} {:>12} {:>12} {:>10} {:>8}", "threads", "results", "wall time", "speedup", "steals");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>8}",
+        "threads", "results", "wall time", "speedup", "steals"
+    );
     let mut t1 = None;
-    let max_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let max_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     let mut threads = 1;
     while threads <= max_threads {
         let res = run_native_join(&a, &b, &NativeConfig::new(threads));

@@ -7,9 +7,7 @@
 //! cargo run --release -p psj-examples --bin strategy_explorer -- [scale] [procs] [disks]
 //! ```
 
-use psj_core::{
-    run_sim_join, Assignment, BufferOrg, Reassignment, SimConfig, VictimSelection,
-};
+use psj_core::{run_sim_join, Assignment, BufferOrg, Reassignment, SimConfig, VictimSelection};
 use psj_datagen::Scenario;
 use psj_rtree::{PagedTree, RTree};
 use std::collections::HashMap;
@@ -40,12 +38,16 @@ fn main() {
         "buffer", "assignment", "reassign", "resp[s]", "reads", "hit%", "steals", "busy[s]"
     );
     for buffer_org in [BufferOrg::Local, BufferOrg::Global] {
-        for assignment in
-            [Assignment::StaticRange, Assignment::StaticRoundRobin, Assignment::Dynamic]
-        {
-            for reassignment in
-                [Reassignment::None, Reassignment::RootLevel, Reassignment::AllLevels]
-            {
+        for assignment in [
+            Assignment::StaticRange,
+            Assignment::StaticRoundRobin,
+            Assignment::Dynamic,
+        ] {
+            for reassignment in [
+                Reassignment::None,
+                Reassignment::RootLevel,
+                Reassignment::AllLevels,
+            ] {
                 let cfg = SimConfig {
                     num_procs: procs,
                     num_disks: disks,

@@ -29,7 +29,10 @@ fn main() {
         world.height()
     );
 
-    println!("{:>12} {:>10} {:>14} {:>14}", "window", "results", "R*-tree", "linear scan");
+    println!(
+        "{:>12} {:>10} {:>14} {:>14}",
+        "window", "results", "R*-tree", "linear scan"
+    );
     for frac in [0.01f64, 0.05, 0.2, 0.5, 1.0] {
         let w = Rect::new(
             world.xl,

@@ -1,1 +1,7 @@
 //! Integration test host crate; see `tests/` alongside this file.
+//!
+//! [`harness`] provides the differential machinery the cross-executor tests
+//! use: seeded scenarios and a sweep runner that compares every executor
+//! configuration against the sequential oracle.
+
+pub mod harness;

@@ -1,0 +1,117 @@
+//! Buffer-statistics regression tests for the out-of-core native join:
+//! the stats in `NativeResult` must reflect real cache behavior, and a
+//! starved cache must degrade performance — never correctness.
+
+use psj_buffer::{Policy, SharedPageCache};
+use psj_core::native::{run_native_join, run_native_join_with_cache, BufferConfig, NativeConfig};
+use psj_core::{join_candidates, BufferOrg};
+use psj_integration::harness::JoinScenario;
+use psj_rtree::Node;
+use std::collections::BTreeSet;
+
+fn pair_set(pairs: &[(u64, u64)]) -> BTreeSet<(u64, u64)> {
+    pairs.iter().copied().collect()
+}
+
+#[test]
+fn second_join_on_warm_cache_has_zero_misses() {
+    let s = JoinScenario::paper_maps("warm-cache", 3, 0.02);
+    let cache: SharedPageCache<Node> = SharedPageCache::new(4, s.total_pages() * 2, 8, Policy::Lru);
+    let mut cfg = NativeConfig::new(4);
+    cfg.refine = false;
+
+    let cold = run_native_join_with_cache(&s.a, &s.b, &cfg, &cache);
+    let cold_stats = cold.buffer.expect("stats present");
+    assert!(
+        cold_stats.misses > 0,
+        "cold run must fault pages: {cold_stats:?}"
+    );
+    assert!(
+        cold_stats.misses as usize <= s.total_pages(),
+        "a big cache never faults a page twice: {cold_stats:?}"
+    );
+
+    let warm = run_native_join_with_cache(&s.a, &s.b, &cfg, &cache);
+    let warm_stats = warm.buffer.expect("stats present");
+    assert_eq!(
+        warm_stats.misses, 0,
+        "warm run re-faulted pages: {warm_stats:?}"
+    );
+    assert_eq!(warm_stats.evictions, 0);
+    assert!(warm_stats.requests() > 0, "warm run still counts accesses");
+    assert_eq!(pair_set(&warm.pairs), pair_set(&cold.pairs));
+}
+
+#[test]
+fn tiny_cache_thrashes_but_stays_correct() {
+    let s = JoinScenario::paper_maps("tiny-cache", 3, 0.02);
+    let oracle = pair_set(&join_candidates(&s.a, &s.b).candidates);
+    for org in [BufferOrg::Local, BufferOrg::Global] {
+        let buffer = BufferConfig {
+            org,
+            capacity_pages: 4,
+            shards: 2,
+            policy: Policy::Lru,
+        };
+        let mut cfg = NativeConfig::buffered(4, buffer);
+        cfg.refine = false;
+        let res = run_native_join(&s.a, &s.b, &cfg);
+        assert_eq!(pair_set(&res.pairs), oracle, "{org:?}");
+        let stats = res.buffer.unwrap();
+        assert!(
+            stats.misses as usize > s.total_pages(),
+            "{org:?}: a 4-page cache must re-fault pages: {stats:?}"
+        );
+        assert!(
+            stats.evictions > 0,
+            "{org:?}: no evictions despite thrashing"
+        );
+    }
+}
+
+#[test]
+fn stats_internally_consistent_across_configs() {
+    let s = JoinScenario::dense_grid("stats-consistency", 900, 0.5);
+    for (org, capacity) in [
+        (BufferOrg::Global, s.total_pages() * 2),
+        (BufferOrg::Global, 8),
+        (BufferOrg::Local, 64),
+    ] {
+        let buffer = BufferConfig {
+            org,
+            capacity_pages: capacity,
+            shards: 4,
+            policy: Policy::Lru,
+        };
+        let mut cfg = NativeConfig::buffered(4, buffer);
+        cfg.refine = false;
+        let res = run_native_join(&s.a, &s.b, &cfg);
+        let total = res.buffer.unwrap();
+        // The aggregate equals the sum of the per-worker counters.
+        let summed = res
+            .buffer_per_worker
+            .iter()
+            .fold(psj_buffer::BufferStats::default(), |acc, w| acc.merged(w));
+        assert_eq!(summed, total, "{org:?}/{capacity}");
+        // requests() is definitionally hits + misses; each node pair visit
+        // touches one page of each tree, so requests ≥ 2 × node pairs.
+        assert!(
+            total.requests() >= 2 * res.node_pairs,
+            "{org:?}/{capacity}: {total:?} vs {} node pairs",
+            res.node_pairs
+        );
+        if org == BufferOrg::Local {
+            assert_eq!(total.hits_remote, 0, "local caches cannot hit remotely");
+        }
+    }
+}
+
+#[test]
+fn unbuffered_run_reports_no_stats() {
+    let s = JoinScenario::dense_grid("no-stats", 300, 0.5);
+    let mut cfg = NativeConfig::new(2);
+    cfg.refine = false;
+    let res = run_native_join(&s.a, &s.b, &cfg);
+    assert!(res.buffer.is_none());
+    assert!(res.buffer_per_worker.is_empty());
+}

@@ -85,7 +85,10 @@ fn simulated_executor_agrees_with_sequential_on_tiger_data() {
         SimConfig::gd(6, 6, 64),
         SimConfig::best(6, 6, 64),
     ] {
-        let cfg = SimConfig { collect_candidates: true, ..cfg };
+        let cfg = SimConfig {
+            collect_candidates: true,
+            ..cfg
+        };
         let got = run_sim_join(&a, &b, &cfg).candidates.unwrap();
         assert_eq!(as_set(&got), want);
     }
@@ -124,10 +127,16 @@ fn native_refined_is_subset_of_candidates() {
 fn sim_determinism_across_all_variants() {
     let (a, b) = workload(0.005, 123);
     for buffer_org in [psj_core::BufferOrg::Local, psj_core::BufferOrg::Global] {
-        for assignment in
-            [Assignment::StaticRange, Assignment::StaticRoundRobin, Assignment::Dynamic]
-        {
-            for reass in [Reassignment::None, Reassignment::RootLevel, Reassignment::AllLevels] {
+        for assignment in [
+            Assignment::StaticRange,
+            Assignment::StaticRoundRobin,
+            Assignment::Dynamic,
+        ] {
+            for reass in [
+                Reassignment::None,
+                Reassignment::RootLevel,
+                Reassignment::AllLevels,
+            ] {
                 let cfg = SimConfig {
                     buffer_org,
                     assignment,

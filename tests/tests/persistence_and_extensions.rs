@@ -77,7 +77,11 @@ fn sharded_executor_agrees_on_tiger_data() {
             ..ShardedConfig::new(5, 24)
         };
         let res = run_sharded_join(&a, &b, &cfg);
-        assert_eq!(as_set(res.candidates.as_ref().unwrap()), want, "{placement:?}");
+        assert_eq!(
+            as_set(res.candidates.as_ref().unwrap()),
+            want,
+            "{placement:?}"
+        );
         assert!(res.metrics.join.disk_accesses > 0);
     }
 }
@@ -91,7 +95,10 @@ fn sharded_placement_affects_network_traffic() {
     let contig = run_sharded_join(
         &a,
         &b,
-        &ShardedConfig { placement: Placement::Contiguous, ..ShardedConfig::new(8, 32) },
+        &ShardedConfig {
+            placement: Placement::Contiguous,
+            ..ShardedConfig::new(8, 32)
+        },
     )
     .metrics;
     // Both do remote work; the point is they are measurably different
@@ -161,5 +168,8 @@ fn deletion_then_join_sees_fewer_pairs() {
         let a = PagedTree::freeze(&t1, |_| None);
         join_candidates(&a, &b).candidates.len()
     };
-    assert!(half < full, "deleting objects must shrink the join ({half} !< {full})");
+    assert!(
+        half < full,
+        "deleting objects must shrink the join ({half} !< {full})"
+    );
 }
