@@ -80,8 +80,8 @@ struct Ident;
 impl PageSource for Ident {
     type Item = u32;
 
-    fn fetch_page(&self, page: PageId) -> u32 {
-        page.0
+    fn fetch_page(&self, page: PageId) -> std::io::Result<u32> {
+        Ok(page.0)
     }
 
     fn page_count(&self) -> usize {

@@ -1,0 +1,75 @@
+//! Criterion benchmark for batched window queries: the shared-descent
+//! batch executor (`psj_core::batched_window_queries`) against a loop of
+//! individual `PagedTree::window_query` calls on the same query set.
+//!
+//! The batch amortizes directory-node decodes across queries that land in
+//! the same subtree, the inter-query analogue of the paper's buffer reuse
+//! across a join's node pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use psj_core::batched_window_queries;
+use psj_geom::Rect;
+use psj_rtree::{PagedTree, RTree};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn build_tree(n: usize) -> PagedTree {
+    let mut t = RTree::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..n {
+        let x = rng.random_range(0.0..1_000.0);
+        let y = rng.random_range(0.0..1_000.0);
+        let w = rng.random_range(0.5..4.0);
+        t.insert(Rect::new(x, y, x + w, y + w), i as u64);
+    }
+    PagedTree::freeze(&t, |_| None)
+}
+
+/// Clustered query windows (several per hot region), the shape a batching
+/// window collects under concurrent clients.
+fn windows(count: usize, seed: u64) -> Vec<Rect> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let cx = rng.random_range(0.0..950.0);
+        let cy = rng.random_range(0.0..950.0);
+        for _ in 0..4 {
+            if out.len() == count {
+                break;
+            }
+            let x = (cx + rng.random_range(-20.0..20.0)).clamp(0.0, 950.0);
+            let y = (cy + rng.random_range(-20.0..20.0)).clamp(0.0, 950.0);
+            out.push(Rect::new(x, y, x + 30.0, y + 30.0));
+        }
+    }
+    out
+}
+
+fn bench_window_batches(c: &mut Criterion) {
+    let tree = build_tree(60_000);
+    let mut g = c.benchmark_group("serve_batch");
+    for batch in [8usize, 64] {
+        let qs = windows(batch, 11);
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_function(format!("individual_x{batch}"), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &qs {
+                    total += tree.window_query(black_box(q)).len();
+                }
+                black_box(total)
+            })
+        });
+        g.bench_function(format!("shared_descent_x{batch}"), |b| {
+            b.iter(|| {
+                let results = batched_window_queries(&tree, black_box(&qs));
+                black_box(results.iter().map(Vec::len).sum::<usize>())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_window_batches);
+criterion_main!(benches);

@@ -32,6 +32,7 @@ use crate::policy::{PageBuffer, Policy};
 use crate::stats::BufferStats;
 use psj_store::{Page, PageId};
 use std::collections::{HashMap, HashSet};
+use std::io;
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Where a page's bytes come from on a cache miss.
@@ -44,8 +45,10 @@ pub trait PageSource {
 
     /// Fetches/decodes `page`. Called outside all cache locks; concurrent
     /// calls for *distinct* pages may overlap, the cache guarantees at most
-    /// one in-flight fetch per page.
-    fn fetch_page(&self, page: PageId) -> Self::Item;
+    /// one in-flight fetch per page. A failed fetch (bad disk read) is
+    /// propagated to the requester by [`SharedPageCache::try_get`] and
+    /// cached nowhere — the next request for the page retries the source.
+    fn fetch_page(&self, page: PageId) -> io::Result<Self::Item>;
 
     /// Total number of pages this source can serve (page ids `0..n`).
     fn page_count(&self) -> usize;
@@ -185,7 +188,31 @@ impl<T> SharedPageCache<T> {
     ///
     /// `worker` indexes the per-worker statistics and is recorded as the
     /// page's owner when this call fetches it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source's fetch fails; use [`SharedPageCache::try_get`]
+    /// for fallible sources (e.g. a disk-backed pager).
     pub fn get<S>(&self, worker: usize, page: PageId, source: &S) -> (Arc<T>, SharedAccess)
+    where
+        S: PageSource<Item = T> + ?Sized,
+    {
+        self.try_get(worker, page, source)
+            .unwrap_or_else(|e| panic!("fetching page {page}: {e}"))
+    }
+
+    /// As [`SharedPageCache::get`], propagating a failed fetch to the caller
+    /// instead of panicking.
+    ///
+    /// On error nothing is cached and the in-flight marker is cleared, so
+    /// concurrent waiters on the same page wake up and retry the fetch
+    /// themselves; one degraded request does not poison the page for others.
+    pub fn try_get<S>(
+        &self,
+        worker: usize,
+        page: PageId,
+        source: &S,
+    ) -> io::Result<(Arc<T>, SharedAccess)>
     where
         S: PageSource<Item = T> + ?Sized,
     {
@@ -209,11 +236,13 @@ impl<T> SharedPageCache<T> {
                 };
                 drop(state);
                 self.bump(worker, access, false);
-                return (value, access);
+                return Ok((value, access));
             }
             if state.loading.contains(&page) {
                 // Someone else is fetching this page: wait for their load
-                // rather than issuing a second fetch (paper §3.1).
+                // rather than issuing a second fetch (paper §3.1). If that
+                // load *fails*, the marker is cleared and the wakeup sends
+                // us around the loop to retry the fetch ourselves.
                 waited = true;
                 state = shard.loaded.wait(state).unwrap();
                 continue;
@@ -222,9 +251,19 @@ impl<T> SharedPageCache<T> {
             // pages of this shard stay accessible during the fetch.
             state.loading.insert(page);
             drop(state);
-            let value = Arc::new(source.fetch_page(page));
+            let fetched = source.fetch_page(page);
             let mut state = shard.state.lock().unwrap();
             state.loading.remove(&page);
+            let value = match fetched {
+                Ok(v) => Arc::new(v),
+                Err(e) => {
+                    // Nothing cached; wake waiters so they retry or fail on
+                    // their own fetch attempt.
+                    drop(state);
+                    shard.loaded.notify_all();
+                    return Err(e);
+                }
+            };
             let mut evicted = false;
             if let Some(victim) = state.buf.insert(page) {
                 state.data.remove(&victim);
@@ -236,7 +275,7 @@ impl<T> SharedPageCache<T> {
             drop(state);
             shard.loaded.notify_all();
             self.bump(worker, SharedAccess::Miss, evicted);
-            return (value, SharedAccess::Miss);
+            return Ok((value, SharedAccess::Miss));
         }
     }
 
@@ -263,6 +302,20 @@ impl<T> SharedPageCache<T> {
         self.per_worker_stats()
             .iter()
             .fold(BufferStats::default(), |acc, s| acc.merged(s))
+    }
+
+    /// A point-in-time view of the cache: aggregate counters plus residency.
+    ///
+    /// Counters are monotone, so the delta between two snapshots
+    /// ([`CacheSnapshot::since`]) isolates the activity in between — the
+    /// serving layer takes one snapshot at startup and reports deltas in its
+    /// stats endpoint without ever resetting the live counters.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            stats: self.total_stats(),
+            resident_pages: self.len(),
+            capacity_pages: self.capacity(),
+        }
     }
 
     /// Structural invariant check for tests; call only while no access is
@@ -325,10 +378,30 @@ impl<T> std::fmt::Debug for SharedPageCache<T> {
     }
 }
 
+/// A point-in-time view of a [`SharedPageCache`], from
+/// [`SharedPageCache::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Aggregate counters over all workers at snapshot time.
+    pub stats: BufferStats,
+    /// Pages resident at snapshot time.
+    pub resident_pages: usize,
+    /// Maximum resident pages (constant over the cache's life).
+    pub capacity_pages: usize,
+}
+
+impl CacheSnapshot {
+    /// Counter activity between `earlier` and this snapshot (both must be
+    /// of the same cache, this one taken later).
+    pub fn since(&self, earlier: &CacheSnapshot) -> BufferStats {
+        self.stats.since(&earlier.stats)
+    }
+}
+
 impl PageSource for psj_store::FilePager {
     type Item = Page;
 
-    fn fetch_page(&self, page: PageId) -> Page {
+    fn fetch_page(&self, page: PageId) -> io::Result<Page> {
         self.read_page(page)
     }
 
@@ -360,13 +433,37 @@ mod tests {
     impl PageSource for Counting {
         type Item = u32;
 
-        fn fetch_page(&self, page: PageId) -> u32 {
+        fn fetch_page(&self, page: PageId) -> io::Result<u32> {
             self.fetches.fetch_add(1, Ordering::Relaxed);
-            page.0
+            Ok(page.0)
         }
 
         fn page_count(&self) -> usize {
             self.pages
+        }
+    }
+
+    /// A source that fails the first `failures` fetches.
+    struct Flaky {
+        failures: AtomicU64,
+    }
+
+    impl PageSource for Flaky {
+        type Item = u32;
+
+        fn fetch_page(&self, page: PageId) -> io::Result<u32> {
+            if self
+                .failures
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |f| f.checked_sub(1))
+                .is_ok()
+            {
+                return Err(io::Error::other("simulated bad read"));
+            }
+            Ok(page.0)
+        }
+
+        fn page_count(&self) -> usize {
+            100
         }
     }
 
@@ -498,5 +595,80 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _: SharedPageCache<u32> = SharedPageCache::new(1, 4, 0, Policy::Lru);
+    }
+
+    #[test]
+    fn failed_fetch_degrades_one_request_only() {
+        let cache: SharedPageCache<u32> = SharedPageCache::new(1, 8, 2, Policy::Lru);
+        let src = Flaky {
+            failures: AtomicU64::new(1),
+        };
+        let err = cache.try_get(0, p(3), &src).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        cache.check_invariants().unwrap();
+        assert!(!cache.contains(p(3)), "failed fetch caches nothing");
+        // The very next request retries the source and succeeds.
+        let (v, a) = cache.try_get(0, p(3), &src).unwrap();
+        assert_eq!((*v, a), (3, SharedAccess::Miss));
+        cache.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concurrent_waiters_survive_a_failed_fetch() {
+        let cache: SharedPageCache<u32> = SharedPageCache::new(8, 64, 2, Policy::Lru);
+        let src = Flaky {
+            failures: AtomicU64::new(3),
+        };
+        let ok = AtomicU64::new(0);
+        let failed = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for w in 0..8 {
+                let cache = &cache;
+                let src = &src;
+                let ok = &ok;
+                let failed = &failed;
+                scope.spawn(move || {
+                    for n in 0..16u32 {
+                        match cache.try_get(w, p(n), src) {
+                            Ok((v, _)) => {
+                                assert_eq!(*v, n);
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            failed.load(Ordering::Relaxed),
+            3,
+            "each failure hits one request"
+        );
+        assert_eq!(ok.load(Ordering::Relaxed), 8 * 16 - 3);
+        cache.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_activity() {
+        let cache: SharedPageCache<u32> = SharedPageCache::new(2, 16, 2, Policy::Lru);
+        let src = Counting::new(100);
+        for n in 0..8 {
+            cache.get(0, p(n), &src);
+        }
+        let before = cache.snapshot();
+        assert_eq!(before.stats.misses, 8);
+        assert_eq!(before.resident_pages, 8);
+        for n in 0..8 {
+            cache.get(1, p(n), &src); // all remote hits
+        }
+        let after = cache.snapshot();
+        let delta = after.since(&before);
+        assert_eq!(delta.misses, 0);
+        assert_eq!(delta.hits_remote, 8);
+        assert_eq!(delta.requests(), 8);
+        assert_eq!(after.capacity_pages, cache.capacity());
     }
 }

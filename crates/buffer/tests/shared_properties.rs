@@ -34,9 +34,9 @@ impl Numbers {
 impl PageSource for Numbers {
     type Item = u64;
 
-    fn fetch_page(&self, page: PageId) -> u64 {
+    fn fetch_page(&self, page: PageId) -> std::io::Result<u64> {
         self.fetches.fetch_add(1, Ordering::Relaxed);
-        page.0 as u64
+        Ok(page.0 as u64)
     }
 
     fn page_count(&self) -> usize {

@@ -1,5 +1,5 @@
-//! Minimal `--key value` / `--flag` argument parsing (the workspace's
-//! dependency policy excludes argument-parsing crates).
+//! Minimal `--key value` / `--key=value` / `--flag` argument parsing (the
+//! workspace's dependency policy excludes argument-parsing crates).
 
 use std::collections::HashMap;
 
@@ -11,28 +11,43 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses the raw argument list. A token starting with `--` consumes the
-    /// next token as its value unless that token also starts with `--` (then
-    /// it is a flag).
-    pub fn parse(argv: &[String]) -> Args {
+    /// Parses the raw argument list. Accepted token shapes:
+    ///
+    /// * `--key=value` — one token, split at the first `=`;
+    /// * `--key value` — `--key` consumes the next token as its value
+    ///   unless that token also starts with `--`;
+    /// * `--flag` — a `--` token not followed by a value.
+    ///
+    /// Any other token is a hard error (a stray positional is almost
+    /// always a typo — e.g. `--scale0.5` or a forgotten `--`).
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
         let mut args = Args::default();
         let mut i = 0;
         while i < argv.len() {
             let token = &argv[i];
-            if let Some(key) = token.strip_prefix("--") {
-                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
-                    args.opts.insert(key.to_string(), argv[i + 1].clone());
-                    i += 2;
-                } else {
-                    args.flags.push(key.to_string());
-                    i += 1;
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(format!(
+                    "unexpected positional argument: {token} (options are --key value or --key=value)"
+                ));
+            };
+            if key.is_empty() {
+                return Err("bare -- is not a valid option".into());
+            }
+            if let Some((k, v)) = key.split_once('=') {
+                if k.is_empty() {
+                    return Err(format!("malformed option: {token}"));
                 }
+                args.opts.insert(k.to_string(), v.to_string());
+                i += 1;
+            } else if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                args.opts.insert(key.to_string(), argv[i + 1].clone());
+                i += 2;
             } else {
-                eprintln!("ignoring stray argument: {token}");
+                args.flags.push(key.to_string());
                 i += 1;
             }
         }
-        args
+        Ok(args)
     }
 
     /// String option.
@@ -67,7 +82,11 @@ mod tests {
     use super::*;
 
     fn parse(s: &[&str]) -> Args {
-        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn parse_err(s: &[&str]) -> String {
+        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>()).unwrap_err()
     }
 
     #[test]
@@ -77,6 +96,34 @@ mod tests {
         assert_eq!(a.get("seed"), Some("7"));
         assert!(a.flag("str"));
         assert!(!a.flag("missing"));
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = parse(&["--scale=0.5", "--out=a=b.bin", "--str"]);
+        assert_eq!(a.get("scale"), Some("0.5"));
+        // Only the first = splits; values may contain =.
+        assert_eq!(a.get("out"), Some("a=b.bin"));
+        assert!(a.flag("str"));
+    }
+
+    #[test]
+    fn equals_with_empty_value() {
+        let a = parse(&["--tag="]);
+        assert_eq!(a.get("tag"), Some(""));
+    }
+
+    #[test]
+    fn stray_positional_is_a_hard_error() {
+        let e = parse_err(&["--scale", "0.5", "oops"]);
+        assert!(e.contains("oops"), "{e}");
+        assert!(parse_err(&["build", "--map", "x"]).contains("build"));
+    }
+
+    #[test]
+    fn malformed_dashes_are_errors() {
+        assert!(Args::parse(&["--".to_string()]).is_err());
+        assert!(Args::parse(&["--=v".to_string()]).is_err());
     }
 
     #[test]

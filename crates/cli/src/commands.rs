@@ -5,6 +5,7 @@ use psj_core::{run_native_join, run_sim_join, BufferConfig, BufferOrg, NativeCon
 use psj_datagen::io::{load_map, save_map};
 use psj_datagen::Scenario;
 use psj_rtree::{bulk::bulk_load_str, PagedTree, RTree};
+use psj_serve::{loadgen, LoadConfig, ServeConfig, Server};
 use std::collections::HashMap;
 use std::path::Path;
 use std::time::Instant;
@@ -21,7 +22,15 @@ commands:
            [--cache <pages>] [--cache-org local|global] [--cache-shards <n>]
   simulate --tree1 <tree> --tree2 <tree> [--procs <n>] [--disks <n>]
            [--buffer <pages>] [--variant lsr|gsrr|gd|best]
-  help";
+  serve    --trees <tree>[,<tree>...] [--addr 127.0.0.1:7878] [--workers <n>]
+           [--queue-bound <n>] [--batch-window-us <us>] [--max-batch <n>]
+           [--cache <pages>] [--cache-shards <n>] [--join-threads <n>]
+  bench-serve --addr <host:port> [--clients <n>] [--requests <n>] [--seed <n>]
+           [--window-frac <f>] [--nearest-frac <f>] [--deadline-ms <n>]
+           [--k <n>] [--window-extent <f>] [--out <file.json>] [--shutdown]
+  help
+
+options may be written --key value or --key=value";
 
 type CmdResult = Result<(), String>;
 
@@ -153,6 +162,100 @@ pub fn join(args: &Args) -> CmdResult {
         );
     }
     println!("wall time:          {:.3?}", res.elapsed);
+    Ok(())
+}
+
+/// `psj serve` — run the query service until a client sends Shutdown.
+pub fn serve(args: &Args) -> CmdResult {
+    let tree_list = args.require("trees")?;
+    let mut trees = Vec::new();
+    for path in tree_list.split(',').filter(|s| !s.is_empty()) {
+        let t = PagedTree::load_from(Path::new(path)).map_err(io_err)?;
+        println!(
+            "loaded {path}: {} objects, {} pages, height {}",
+            t.len(),
+            t.num_pages(),
+            t.height()
+        );
+        trees.push(std::sync::Arc::new(t));
+    }
+    let cfg = ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        workers: args.parse_or(
+            "workers",
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+        )?,
+        queue_bound: args.parse_or("queue-bound", 256)?,
+        batch_window: std::time::Duration::from_micros(args.parse_or("batch-window-us", 2_000u64)?),
+        max_batch: args.parse_or("max-batch", 32)?,
+        cache_pages: args.parse_or("cache", 4096)?,
+        cache_shards: args.parse_or("cache-shards", 16)?,
+        join_threads: args.parse_or("join-threads", 4)?,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, trees).map_err(io_err)?;
+    println!(
+        "serving on {} (send a Shutdown request to stop)",
+        server.local_addr()
+    );
+    let report = server.wait();
+    println!("--- server report ---\n{report}");
+    Ok(())
+}
+
+/// `psj bench-serve` — closed-loop load generator against a running server.
+pub fn bench_serve(args: &Args) -> CmdResult {
+    let addr_str = args.require("addr")?;
+    let addr: std::net::SocketAddr = addr_str
+        .parse()
+        .map_err(|_| format!("invalid address: {addr_str}"))?;
+    let cfg = LoadConfig {
+        addr,
+        clients: args.parse_or("clients", 4)?,
+        requests_per_client: args.parse_or("requests", 250)?,
+        seed: args.parse_or("seed", 42)?,
+        window_frac: args.parse_or("window-frac", 0.7)?,
+        nearest_frac: args.parse_or("nearest-frac", 0.3)?,
+        deadline_ms: args.parse_or("deadline-ms", 0)?,
+        k: args.parse_or("k", 10)?,
+        window_extent: args.parse_or("window-extent", 0.05)?,
+    };
+    if cfg.window_frac < 0.0 || cfg.nearest_frac < 0.0 || cfg.window_frac + cfg.nearest_frac > 1.0 {
+        return Err("window-frac and nearest-frac must be non-negative and sum to <= 1".into());
+    }
+    let report = loadgen::run(&cfg).map_err(io_err)?;
+    println!(
+        "{} offered, {} completed, {} shed, {} timed out, {} errors in {:.3} s",
+        report.offered,
+        report.completed,
+        report.shed,
+        report.timeouts,
+        report.errors,
+        report.elapsed_s
+    );
+    println!(
+        "throughput: {:.1} req/s; client latency p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+        report.throughput_rps, report.p50_ms, report.p95_ms, report.p99_ms
+    );
+    if let Some(s) = &report.server {
+        println!("--- server stats ---\n{s}");
+    }
+    if let Some(out) = args.get("out") {
+        if let Some(dir) = Path::new(out).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(io_err)?;
+            }
+        }
+        std::fs::write(out, report.to_json(&cfg)).map_err(io_err)?;
+        println!("wrote {out}");
+    }
+    if args.flag("shutdown") {
+        let mut c = psj_serve::Client::connect(addr).map_err(io_err)?;
+        c.shutdown().map_err(|e| e.to_string())?;
+        println!("server acknowledged shutdown");
+    }
     Ok(())
 }
 

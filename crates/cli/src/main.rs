@@ -7,7 +7,14 @@
 //! psj join     --tree1 tree1.psjt --tree2 tree2.psjt [--threads 8] [--no-refine]
 //! psj simulate --tree1 tree1.psjt --tree2 tree2.psjt [--procs 8] [--disks 8]
 //!              [--buffer 800] [--variant lsr|gsrr|gd|best]
+//! psj serve    --trees tree1.psjt,tree2.psjt [--addr 127.0.0.1:7878]
+//!              [--workers 4] [--queue-bound 256] [--batch-window-us 2000]
+//! psj bench-serve --addr 127.0.0.1:7878 [--clients 4] [--requests 250]
+//!              [--out results/serve_baseline.json] [--shutdown]
 //! ```
+//!
+//! Options are accepted as `--key value` or `--key=value`; stray
+//! positional tokens are an error.
 
 mod args;
 mod commands;
@@ -19,13 +26,21 @@ fn main() {
         std::process::exit(2);
     }
     let cmd = argv.remove(0);
-    let parsed = args::Args::parse(&argv);
+    let parsed = match args::Args::parse(&argv) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
     let result = match cmd.as_str() {
         "generate" => commands::generate(&parsed),
         "build" => commands::build(&parsed),
         "stats" => commands::stats(&parsed),
         "join" => commands::join(&parsed),
         "simulate" => commands::simulate(&parsed),
+        "serve" => commands::serve(&parsed),
+        "bench-serve" => commands::bench_serve(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

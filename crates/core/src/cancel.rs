@@ -1,0 +1,115 @@
+//! Cooperative cancellation for long-running joins and queries.
+//!
+//! The serving layer (`psj-serve`) executes many concurrent requests, each
+//! with its own deadline; a request that blows its budget must stop
+//! *promptly* without poisoning shared state. Rust threads cannot be killed,
+//! so cancellation is cooperative: the executors check a [`CancelToken`] at
+//! every loop iteration (one node pair in the join, one node in a query
+//! descent) and unwind cleanly when it fires.
+//!
+//! A token fires when either its deadline passes or [`CancelToken::cancel`]
+//! is called explicitly (e.g. the client disconnected). Tokens are cheap to
+//! clone and share; the flag is a single relaxed atomic load on the fast
+//! path, and the deadline check is one monotonic clock read.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Error returned by cancellable executors when their token fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("operation cancelled (deadline expired or explicitly cancelled)")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// A shared cancellation signal with an optional deadline.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only fires when [`cancel`](CancelToken::cancel)ed.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that fires at `deadline` (or earlier if cancelled).
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// The token's deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Fires the token: every clone observes cancellation from now on.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired (explicitly or by deadline).
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// `Err(Cancelled)` once the token has fired; for use with `?` inside
+    /// executor loops.
+    #[inline]
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert!(t.deadline().is_none());
+    }
+
+    #[test]
+    fn cancel_is_seen_by_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert_eq!(c.check(), Err(Cancelled));
+    }
+
+    #[test]
+    fn past_deadline_fires() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire() {
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled(), "explicit cancel overrides the deadline");
+    }
+}

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod assign;
+pub mod cancel;
 pub mod cost;
 pub mod deque;
 pub mod distance_join;
@@ -59,14 +60,19 @@ pub mod sim;
 pub mod task;
 
 pub use assign::Assignment;
+pub use cancel::{CancelToken, Cancelled};
 pub use cost::{CostModel, Platform};
 pub use distance_join::{distance_join, distance_join_candidates};
 pub use estimate::{estimate_join, JoinEstimate};
 pub use metrics::JoinMetrics;
 pub use native::{
-    run_native_join, run_native_join_with_cache, BufferConfig, NativeConfig, NativeResult,
+    run_native_join, run_native_join_cancellable, run_native_join_with_cache, BufferConfig,
+    NativeConfig, NativeResult,
 };
-pub use queries::{parallel_nn_queries, parallel_window_queries};
+pub use queries::{
+    batched_window_queries, batched_window_queries_cancellable, parallel_nn_queries,
+    parallel_window_queries,
+};
 pub use seq::{join_candidates, join_refined, SeqJoinResult};
 pub use shnothing::{
     run_sharded_join, Network, Placement, ShardedConfig, ShardedMetrics, ShardedResult,

@@ -31,6 +31,7 @@
 //! [`NativeResult::buffer_per_worker`] breaks them down by worker.
 
 use crate::assign::{static_range, static_round_robin, Assignment};
+use crate::cancel::{CancelToken, Cancelled};
 use crate::deque::{Injector, Steal, Stealer, Worker};
 use crate::sim::BufferOrg;
 use crate::task::{create_tasks, expand_pair, Candidate, KernelScratch, TaskPair};
@@ -161,12 +162,12 @@ struct JoinSource<'t> {
 impl PageSource for JoinSource<'_> {
     type Item = Node;
 
-    fn fetch_page(&self, page: PageId) -> Node {
-        if page.0 & TREE_B_TAG != 0 {
+    fn fetch_page(&self, page: PageId) -> std::io::Result<Node> {
+        Ok(if page.0 & TREE_B_TAG != 0 {
             Node::decode(self.b.pages().read(PageId(page.0 & !TREE_B_TAG)))
         } else {
             Node::decode(self.a.pages().read(page))
-        }
+        })
     }
 
     fn page_count(&self) -> usize {
@@ -277,7 +278,24 @@ impl<'c> CacheSet<'c> {
 
 /// Runs the join on real threads.
 pub fn run_native_join(a: &PagedTree, b: &PagedTree, cfg: &NativeConfig) -> NativeResult {
-    run_with_caches(a, b, cfg, CacheSet::build(cfg))
+    run_with_caches(a, b, cfg, CacheSet::build(cfg), None)
+        .expect("join without a cancel token cannot be cancelled")
+}
+
+/// Runs the join on real threads with cooperative cancellation.
+///
+/// Every worker checks `cancel` once per node pair; when the token fires
+/// (deadline expiry or explicit [`CancelToken::cancel`]) all workers unwind
+/// within one task's worth of work and the call returns `Err(Cancelled)`,
+/// discarding partial results. This is the entry point a serving layer uses
+/// to enforce per-request deadlines on join queries.
+pub fn run_native_join_cancellable(
+    a: &PagedTree,
+    b: &PagedTree,
+    cfg: &NativeConfig,
+    cancel: &CancelToken,
+) -> Result<NativeResult, Cancelled> {
+    run_with_caches(a, b, cfg, CacheSet::build(cfg), Some(cancel))
 }
 
 /// Runs the join with a caller-owned shared cache (global organization).
@@ -303,7 +321,8 @@ pub fn run_native_join_with_cache(
         cache.num_workers(),
         cfg.num_threads
     );
-    run_with_caches(a, b, cfg, CacheSet::External(cache))
+    run_with_caches(a, b, cfg, CacheSet::External(cache), None)
+        .expect("join without a cancel token cannot be cancelled")
 }
 
 fn run_with_caches(
@@ -311,7 +330,8 @@ fn run_with_caches(
     b: &PagedTree,
     cfg: &NativeConfig,
     caches: CacheSet<'_>,
-) -> NativeResult {
+    cancel: Option<&CancelToken>,
+) -> Result<NativeResult, Cancelled> {
     assert!(cfg.num_threads > 0, "need at least one thread");
     assert!(
         a.pages().len() < TREE_B_TAG as usize && b.pages().len() < TREE_B_TAG as usize,
@@ -319,6 +339,9 @@ fn run_with_caches(
     );
     let tc = create_tasks(a, b, cfg.min_tasks_factor * cfg.num_threads);
     let tasks = tc.tasks.len();
+    if let Some(token) = cancel {
+        token.check()?;
+    }
 
     let injector: Injector<TaskPair> = Injector::new();
     let workers: Vec<Worker<TaskPair>> = (0..cfg.num_threads).map(|_| Worker::new_lifo()).collect();
@@ -377,7 +400,7 @@ fn run_with_caches(
                 };
                 run_worker(
                     id, a, b, cfg, &fetcher, worker, injector, stealers, candidates, node_pairs,
-                    steals, active,
+                    steals, active, cancel,
                 )
             }));
         }
@@ -403,11 +426,17 @@ fn run_with_caches(
         )
     };
 
+    if let Some(token) = cancel {
+        // A token that fired mid-run means workers unwound early and the
+        // result set may be partial; report cancellation instead.
+        token.check()?;
+    }
+
     let mut pairs = Vec::with_capacity(results.iter().map(Vec::len).sum());
     for mut r in results {
         pairs.append(&mut r);
     }
-    NativeResult {
+    Ok(NativeResult {
         pairs,
         candidates: candidates.load(Ordering::Relaxed),
         node_pairs: node_pairs.load(Ordering::Relaxed),
@@ -416,7 +445,7 @@ fn run_with_caches(
         steals: steals.load(Ordering::Relaxed),
         buffer,
         buffer_per_worker,
-    }
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -433,6 +462,7 @@ fn run_worker(
     node_pairs: &AtomicU64,
     steals: &AtomicU64,
     active: &AtomicUsize,
+    cancel: Option<&CancelToken>,
 ) -> Vec<(u64, u64)> {
     let mut scratch = KernelScratch::default();
     let mut children: Vec<TaskPair> = Vec::new();
@@ -442,6 +472,11 @@ fn run_worker(
     let mut local_pairs = 0u64;
 
     'outer: loop {
+        // Cooperative cancellation: each worker bails out on its own; the
+        // caller discards partial results once every worker has unwound.
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            break 'outer;
+        }
         // Local work first, then the shared queue, then stealing.
         let pair = worker.pop().or_else(|| {
             loop {
@@ -480,6 +515,9 @@ fn run_worker(
             }
             loop {
                 std::thread::yield_now();
+                if cancel.is_some_and(|t| t.is_cancelled()) {
+                    break 'outer;
+                }
                 if active.load(Ordering::SeqCst) == 0 {
                     break 'outer;
                 }
@@ -680,6 +718,40 @@ mod tests {
             "warm cache serves everything: {warm_stats:?}"
         );
         assert!(warm_stats.requests() > 0);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_join() {
+        let a = tree(600, 0.0);
+        let b = tree(600, 0.4);
+        let token = CancelToken::new();
+        token.cancel();
+        let res = run_native_join_cancellable(&a, &b, &NativeConfig::new(4), &token);
+        assert_eq!(res.err(), Some(Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_join() {
+        let a = tree(800, 0.0);
+        let b = tree(800, 0.4);
+        let token = CancelToken::with_deadline(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        );
+        let res = run_native_join_cancellable(&a, &b, &NativeConfig::new(4), &token);
+        assert_eq!(res.err(), Some(Cancelled));
+    }
+
+    #[test]
+    fn live_token_join_matches_uncancelled() {
+        let a = tree(600, 0.0);
+        let b = tree(600, 0.4);
+        let want = as_set(&join_refined(&a, &b));
+        let token = CancelToken::with_deadline(
+            std::time::Instant::now() + std::time::Duration::from_secs(600),
+        );
+        let res = run_native_join_cancellable(&a, &b, &NativeConfig::new(4), &token)
+            .expect("far deadline never fires");
+        assert_eq!(as_set(&res.pairs), want);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! A blocking client for the psj-serve protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues one request at a
+//! time (the protocol has no request ids, so responses are matched by
+//! order). Use one client per thread for concurrency — the server
+//! multiplexes connections internally.
+
+use crate::protocol::{
+    read_frame, write_frame, ProtoError, Request, Response, ServerStats, TreeInfo,
+    MAX_RESPONSE_FRAME,
+};
+use psj_geom::Rect;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connection to a psj-serve server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// An unexpected (but well-formed) response, e.g. `Overloaded` where
+/// entries were expected. Carries the actual response (boxed — `Response`
+/// is large and errors are rare) so callers can distinguish shedding from
+/// deadline misses.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server answered with something other than the expected payload.
+    Unexpected(Box<Response>),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Unexpected(r) => write!(f, "unexpected response: {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Io(e.into())
+    }
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Connects with a connect/read timeout (for tests and load drivers
+    /// that must not hang on a stuck server).
+    pub fn connect_timeout(addr: &std::net::SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends a request and returns the raw response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &req.encode())?;
+        match read_frame(&mut self.reader, MAX_RESPONSE_FRAME)? {
+            Some(payload) => Ok(Response::decode(&payload)?),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            )),
+        }
+    }
+
+    /// Window query: oids of tree entries intersecting `rect`.
+    /// `deadline_ms = 0` means no deadline.
+    pub fn window(
+        &mut self,
+        tree: u16,
+        rect: Rect,
+        deadline_ms: u32,
+    ) -> Result<Vec<u64>, ClientError> {
+        match self.request(&Request::Window {
+            tree,
+            rect,
+            deadline_ms,
+        })? {
+            Response::Entries(oids) => Ok(oids),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// k-nearest-neighbor query: `(distance, oid)` ascending.
+    pub fn nearest(
+        &mut self,
+        tree: u16,
+        x: f64,
+        y: f64,
+        k: u32,
+        deadline_ms: u32,
+    ) -> Result<Vec<(f64, u64)>, ClientError> {
+        match self.request(&Request::Nearest {
+            tree,
+            x,
+            y,
+            k,
+            deadline_ms,
+        })? {
+            Response::Neighbors(nn) => Ok(nn),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Spatial join of two loaded trees.
+    pub fn join(
+        &mut self,
+        tree_a: u16,
+        tree_b: u16,
+        refine: bool,
+        deadline_ms: u32,
+    ) -> Result<Vec<(u64, u64)>, ClientError> {
+        match self.request(&Request::Join {
+            tree_a,
+            tree_b,
+            refine,
+            deadline_ms,
+        })? {
+            Response::Pairs(pairs) => Ok(pairs),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Server statistics.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Loaded-tree descriptions.
+    pub fn info(&mut self) -> Result<Vec<TreeInfo>, ClientError> {
+        match self.request(&Request::Info)? {
+            Response::Info(trees) => Ok(trees),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns once acked.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+}

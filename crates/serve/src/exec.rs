@@ -1,0 +1,448 @@
+//! Query execution against the shared page cache.
+//!
+//! The server pins every loaded tree's pages behind one
+//! [`SharedPageCache<Node>`]: all node accesses of all concurrent requests
+//! go through it, so the cache's budget bounds decoded-node residency
+//! across the whole service and its hit/miss counters describe real
+//! cross-request sharing. Page keys combine the tree index (upper bits)
+//! with the page number (lower [`TREE_SHIFT`] bits).
+//!
+//! Two traversals live here:
+//!
+//! * [`window_batch`] — a *shared* descent for a batch of window queries on
+//!   one tree: each directory node is fetched once and tested against every
+//!   query that reached it, amortizing directory-page faults across the
+//!   batch (the inter-query analogue of the paper's intra-join buffering).
+//! * [`nearest`] — best-first kNN through the cache.
+//!
+//! Both check their deadline cooperatively at every node fetch; an expired
+//! query is dropped from the traversal (its partial results discarded)
+//! without disturbing batch-mates.
+
+use psj_buffer::SharedPageCache;
+use psj_core::{run_native_join_cancellable, CancelToken, NativeConfig};
+use psj_geom::{Point, Rect};
+use psj_rtree::nn::min_dist;
+use psj_rtree::{Node, NodeKind, PagedTree};
+use psj_store::PageId;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Low bits of a cache key hold the page number; upper bits the tree index.
+pub const TREE_SHIFT: u32 = 24;
+
+/// Maximum number of trees a server can load (tree index fits the key's
+/// upper bits with the sign-ish top bit spare).
+pub const MAX_TREES: usize = 127;
+
+/// The trees a server instance exposes, indexed by position.
+#[derive(Debug)]
+pub struct TreeSet {
+    trees: Vec<Arc<PagedTree>>,
+}
+
+impl TreeSet {
+    /// Validates and wraps the loaded trees.
+    pub fn new(trees: Vec<Arc<PagedTree>>) -> Result<Self, String> {
+        if trees.is_empty() {
+            return Err("a server needs at least one tree".into());
+        }
+        if trees.len() > MAX_TREES {
+            return Err(format!("at most {MAX_TREES} trees, got {}", trees.len()));
+        }
+        for (i, t) in trees.iter().enumerate() {
+            if t.num_pages() >= 1 << TREE_SHIFT {
+                return Err(format!(
+                    "tree {i} has {} pages, page-key space holds {}",
+                    t.num_pages(),
+                    1 << TREE_SHIFT
+                ));
+            }
+        }
+        Ok(TreeSet { trees })
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// The tree at `idx`, if loaded.
+    pub fn get(&self, idx: u16) -> Option<&Arc<PagedTree>> {
+        self.trees.get(idx as usize)
+    }
+
+    /// Iterates over the trees in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<PagedTree>> {
+        self.trees.iter()
+    }
+
+    /// Total pages across all trees.
+    pub fn total_pages(&self) -> usize {
+        self.trees.iter().map(|t| t.num_pages()).sum()
+    }
+
+    fn key(&self, tree: usize, page: PageId) -> PageId {
+        PageId(((tree as u32) << TREE_SHIFT) | page.0)
+    }
+}
+
+impl psj_buffer::PageSource for TreeSet {
+    type Item = Node;
+
+    fn fetch_page(&self, key: PageId) -> std::io::Result<Node> {
+        let tree = (key.0 >> TREE_SHIFT) as usize;
+        let page = PageId(key.0 & ((1 << TREE_SHIFT) - 1));
+        Ok(Node::decode(self.trees[tree].pages().read(page)))
+    }
+
+    fn page_count(&self) -> usize {
+        self.total_pages()
+    }
+}
+
+/// One member of a window batch.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowQuery {
+    /// The query window.
+    pub rect: Rect,
+    /// Absolute deadline; `None` = unbounded.
+    pub deadline: Option<Instant>,
+}
+
+/// Runs a batch of window queries on tree `tree` with one shared descent
+/// through `cache`. `worker` indexes the cache's per-worker statistics.
+///
+/// `results[i]` is `Some(oids)` exactly matching a direct
+/// [`PagedTree::window_query`], or `None` if query `i`'s deadline expired
+/// mid-traversal (partial results are discarded, batch-mates unaffected).
+pub fn window_batch(
+    trees: &TreeSet,
+    cache: &SharedPageCache<Node>,
+    worker: usize,
+    tree: u16,
+    queries: &[WindowQuery],
+) -> Vec<Option<Vec<u64>>> {
+    let n = queries.len();
+    let mut out: Vec<Option<Vec<u64>>> = (0..n).map(|_| Some(Vec::new())).collect();
+    if n == 0 {
+        return out;
+    }
+    let t = &trees.trees[tree as usize];
+    let tree_idx = tree as usize;
+
+    // Expired members drop out as a group whenever the earliest live
+    // deadline passes; `next_deadline` keeps the per-node check to one
+    // clock read and one comparison.
+    let mut dead = vec![false; n];
+    let expire = |dead: &mut Vec<bool>, out: &mut Vec<Option<Vec<u64>>>, now: Instant| {
+        let mut next: Option<Instant> = None;
+        for (i, q) in queries.iter().enumerate() {
+            if dead[i] {
+                continue;
+            }
+            match q.deadline {
+                Some(d) if d <= now => {
+                    dead[i] = true;
+                    out[i] = None;
+                }
+                Some(d) => next = Some(next.map_or(d, |n: Instant| n.min(d))),
+                None => {}
+            }
+        }
+        next
+    };
+    let mut next_deadline = expire(&mut dead, &mut out, Instant::now());
+
+    if t.is_empty() {
+        return out;
+    }
+    let live: Vec<u16> = (0..n as u16).filter(|&i| !dead[i as usize]).collect();
+    if live.is_empty() {
+        return out;
+    }
+    let mut stack: Vec<(PageId, Vec<u16>)> = vec![(t.root(), live)];
+    while let Some((page, live)) = stack.pop() {
+        if next_deadline.is_some_and(|d| Instant::now() >= d) {
+            next_deadline = expire(&mut dead, &mut out, Instant::now());
+        }
+        let node = cache.get(worker, trees.key(tree_idx, page), trees).0;
+        match &node.kind {
+            NodeKind::Dir(entries) => {
+                for e in entries {
+                    let sub: Vec<u16> = live
+                        .iter()
+                        .copied()
+                        .filter(|&q| {
+                            !dead[q as usize] && e.mbr.intersects(&queries[q as usize].rect)
+                        })
+                        .collect();
+                    if !sub.is_empty() {
+                        stack.push((PageId(e.child), sub));
+                    }
+                }
+            }
+            NodeKind::Leaf(entries) => {
+                for e in entries {
+                    for &q in &live {
+                        if !dead[q as usize] && e.mbr.intersects(&queries[q as usize].rect) {
+                            out[q as usize]
+                                .as_mut()
+                                .expect("live query has output")
+                                .push(e.oid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+struct HeapItem {
+    dist: f64,
+    entry: HeapEntry,
+}
+
+enum HeapEntry {
+    Node(PageId),
+    Data(u64),
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Min-heap on distance; distances are NaN-free by construction.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(CmpOrdering::Equal)
+    }
+}
+
+/// Best-first k-nearest-neighbor query through the cache; results match
+/// [`PagedTree::nearest_neighbors`]. Returns `None` if the deadline expired
+/// mid-traversal.
+pub fn nearest(
+    trees: &TreeSet,
+    cache: &SharedPageCache<Node>,
+    worker: usize,
+    tree: u16,
+    query: Point,
+    k: usize,
+    deadline: Option<Instant>,
+) -> Option<Vec<(f64, u64)>> {
+    let t = &trees.trees[tree as usize];
+    let tree_idx = tree as usize;
+    let mut out = Vec::with_capacity(k.min(64));
+    if k == 0 || t.is_empty() {
+        return Some(out);
+    }
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem {
+        dist: 0.0,
+        entry: HeapEntry::Node(t.root()),
+    });
+    while let Some(HeapItem { dist, entry }) = heap.pop() {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return None;
+        }
+        match entry {
+            HeapEntry::Node(page) => {
+                let node = cache.get(worker, trees.key(tree_idx, page), trees).0;
+                match &node.kind {
+                    NodeKind::Dir(entries) => {
+                        for e in entries {
+                            heap.push(HeapItem {
+                                dist: min_dist(&query, &e.mbr),
+                                entry: HeapEntry::Node(PageId(e.child)),
+                            });
+                        }
+                    }
+                    NodeKind::Leaf(entries) => {
+                        for e in entries {
+                            heap.push(HeapItem {
+                                dist: min_dist(&query, &e.mbr),
+                                entry: HeapEntry::Data(e.oid),
+                            });
+                        }
+                    }
+                }
+            }
+            HeapEntry::Data(oid) => {
+                out.push((dist, oid));
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Spatial join of two loaded trees with a deadline, on `threads` worker
+/// threads. Joins descend the frozen trees directly (their node accesses
+/// are not routed through the query cache: the join kernel has its own
+/// buffer-organization machinery studied by the paper, and sharing the
+/// query cache's key space across arbitrary tree *pairs* would alias).
+/// Returns `None` if the deadline expired mid-join.
+pub fn join(
+    trees: &TreeSet,
+    tree_a: u16,
+    tree_b: u16,
+    refine: bool,
+    threads: usize,
+    deadline: Option<Instant>,
+) -> Option<Vec<(u64, u64)>> {
+    let a = &trees.trees[tree_a as usize];
+    let b = &trees.trees[tree_b as usize];
+    let mut cfg = NativeConfig::new(threads.max(1));
+    cfg.refine = refine;
+    let token = match deadline {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::new(),
+    };
+    run_native_join_cancellable(a, b, &cfg, &token)
+        .ok()
+        .map(|r| r.pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psj_buffer::Policy;
+    use psj_rtree::RTree;
+    use std::time::Duration;
+
+    fn tree(n: usize, offset: f64) -> Arc<PagedTree> {
+        let mut t = RTree::new();
+        for i in 0..n {
+            let x = (i % 40) as f64 + offset;
+            let y = (i / 40) as f64 + offset;
+            t.insert(Rect::new(x, y, x + 0.9, y + 0.9), i as u64);
+        }
+        Arc::new(PagedTree::freeze(&t, |_| None))
+    }
+
+    fn set() -> TreeSet {
+        TreeSet::new(vec![tree(1200, 0.0), tree(900, 0.3)]).unwrap()
+    }
+
+    #[test]
+    fn window_batch_matches_direct_queries() {
+        let trees = set();
+        let cache = SharedPageCache::new(1, 256, 4, Policy::Lru);
+        for tree_idx in 0..2u16 {
+            let queries: Vec<WindowQuery> = (0..12)
+                .map(|i| WindowQuery {
+                    rect: Rect::new((i * 3) as f64, 2.0, (i * 3 + 6) as f64, 9.0),
+                    deadline: None,
+                })
+                .collect();
+            let got = window_batch(&trees, &cache, 0, tree_idx, &queries);
+            for (i, q) in queries.iter().enumerate() {
+                let mut got_i = got[i].clone().expect("no deadline set");
+                let mut want: Vec<u64> = trees.trees[tree_idx as usize]
+                    .window_query(&q.rect)
+                    .iter()
+                    .map(|e| e.oid)
+                    .collect();
+                got_i.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got_i, want, "tree {tree_idx} query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_batch_under_tiny_cache_still_correct() {
+        let trees = set();
+        let cache = SharedPageCache::new(1, 2, 1, Policy::Lru);
+        let queries = vec![WindowQuery {
+            rect: Rect::new(0.0, 0.0, 40.0, 40.0),
+            deadline: None,
+        }];
+        let got = window_batch(&trees, &cache, 0, 0, &queries);
+        assert_eq!(
+            got[0].as_ref().unwrap().len(),
+            trees.trees[0].window_query(&queries[0].rect).len()
+        );
+        assert!(cache.total_stats().evictions > 0, "tiny cache thrashes");
+    }
+
+    #[test]
+    fn expired_member_gets_none_others_complete() {
+        let trees = set();
+        let cache = SharedPageCache::new(1, 256, 4, Policy::Lru);
+        let past = Instant::now() - Duration::from_millis(5);
+        let queries = vec![
+            WindowQuery {
+                rect: Rect::new(0.0, 0.0, 10.0, 10.0),
+                deadline: Some(past),
+            },
+            WindowQuery {
+                rect: Rect::new(0.0, 0.0, 10.0, 10.0),
+                deadline: None,
+            },
+        ];
+        let got = window_batch(&trees, &cache, 0, 0, &queries);
+        assert!(got[0].is_none(), "expired member dropped");
+        let want = trees.trees[0].window_query(&queries[1].rect).len();
+        assert_eq!(got[1].as_ref().unwrap().len(), want, "live member served");
+    }
+
+    #[test]
+    fn nearest_matches_direct() {
+        let trees = set();
+        let cache = SharedPageCache::new(1, 256, 4, Policy::Lru);
+        let q = Point::new(11.3, 4.2);
+        let got = nearest(&trees, &cache, 0, 0, q, 7, None).unwrap();
+        let want = trees.trees[0].nearest_neighbors(&q, 7);
+        assert_eq!(got.len(), want.len());
+        for ((gd, _), (wd, _)) in got.iter().zip(&want) {
+            assert_eq!(gd, wd);
+        }
+    }
+
+    #[test]
+    fn nearest_with_expired_deadline_is_none() {
+        let trees = set();
+        let cache = SharedPageCache::new(1, 256, 4, Policy::Lru);
+        let past = Instant::now() - Duration::from_millis(5);
+        assert!(nearest(&trees, &cache, 0, 0, Point::new(1.0, 1.0), 3, Some(past)).is_none());
+    }
+
+    #[test]
+    fn join_matches_core_and_respects_deadline() {
+        let trees = set();
+        let want = psj_core::join_refined(&trees.trees[0], &trees.trees[1]);
+        let got = join(&trees, 0, 1, true, 2, None).unwrap();
+        let as_set =
+            |v: &[(u64, u64)]| v.iter().copied().collect::<std::collections::BTreeSet<_>>();
+        assert_eq!(as_set(&got), as_set(&want));
+        let past = Instant::now() - Duration::from_millis(1);
+        assert!(join(&trees, 0, 1, true, 2, Some(past)).is_none());
+    }
+
+    #[test]
+    fn tree_set_rejects_oversized() {
+        assert!(TreeSet::new(vec![]).is_err());
+    }
+}

@@ -1,0 +1,713 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — travels as one *frame*:
+//!
+//! ```text
+//! +-----------------+---------------------------+
+//! | length: u32 LE  | payload (length bytes)    |
+//! +-----------------+---------------------------+
+//! payload = opcode: u8, then opcode-specific fields (LE, packed)
+//! ```
+//!
+//! Request frames are capped at [`MAX_REQUEST_FRAME`] (64 KiB — every
+//! request is a few dozen bytes, so a larger prefix is garbage or an
+//! attack and is rejected before any allocation). Response frames are
+//! capped at [`MAX_RESPONSE_FRAME`] (64 MiB — a full-extent window query or
+//! a large join result set legitimately runs to megabytes).
+//!
+//! Decoding is total: any byte sequence either decodes or returns a
+//! [`ProtoError`]; malformed payloads can not panic the peer. Trailing
+//! bytes after a well-formed payload are an error (they indicate framing
+//! corruption).
+
+use psj_geom::Rect;
+use std::io::{self, Read, Write};
+
+/// Maximum request frame payload (bytes).
+pub const MAX_REQUEST_FRAME: usize = 64 << 10;
+/// Maximum response frame payload (bytes).
+pub const MAX_RESPONSE_FRAME: usize = 64 << 20;
+
+/// A protocol decode error (malformed frame payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<ProtoError> for io::Error {
+    fn from(e: ProtoError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// All data entries of tree `tree` intersecting `rect`.
+    Window {
+        /// Index of the target tree (as listed by [`Request::Info`]).
+        tree: u16,
+        /// The query window.
+        rect: Rect,
+        /// Deadline in milliseconds from arrival; 0 = none.
+        deadline_ms: u32,
+    },
+    /// The `k` nearest data entries of tree `tree` to `(x, y)`.
+    Nearest {
+        /// Index of the target tree.
+        tree: u16,
+        /// Query point x.
+        x: f64,
+        /// Query point y.
+        y: f64,
+        /// Number of neighbors.
+        k: u32,
+        /// Deadline in milliseconds from arrival; 0 = none.
+        deadline_ms: u32,
+    },
+    /// Spatial join of two loaded trees.
+    Join {
+        /// Index of the left tree.
+        tree_a: u16,
+        /// Index of the right tree.
+        tree_b: u16,
+        /// Whether to run exact-geometry refinement.
+        refine: bool,
+        /// Deadline in milliseconds from arrival; 0 = none.
+        deadline_ms: u32,
+    },
+    /// Server statistics (histogram percentiles, queue depth, cache deltas).
+    Stats,
+    /// The loaded trees: MBRs, sizes, page counts.
+    Info,
+    /// Graceful shutdown: server acks, drains, prints its report and exits.
+    Shutdown,
+}
+
+/// One tree's description in an [`Response::Info`] reply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeInfo {
+    /// MBR of the whole tree.
+    pub mbr: Rect,
+    /// Number of data entries.
+    pub len: u64,
+    /// Number of pages.
+    pub pages: u32,
+}
+
+/// Server-side counters reported by [`Response::Stats`] and printed at
+/// shutdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerStats {
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests shed with [`Response::Overloaded`] by admission control.
+    pub shed: u64,
+    /// Requests that missed their deadline.
+    pub timeouts: u64,
+    /// Malformed frames / payloads received.
+    pub proto_errors: u64,
+    /// Requests admitted but not yet answered, at report time.
+    pub queue_depth: u32,
+    /// Query batches executed (a batch of one still counts).
+    pub batches: u64,
+    /// Queries that travelled inside those batches.
+    pub batched_queries: u64,
+    /// Latency percentiles over completed requests, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Page-cache requests since server start.
+    pub cache_requests: u64,
+    /// Page-cache hits (local + remote + in-flight) since start.
+    pub cache_hits: u64,
+    /// Page-cache misses since start.
+    pub cache_misses: u64,
+    /// Page-cache evictions since start.
+    pub cache_evictions: u64,
+    /// Pages resident at report time.
+    pub resident_pages: u32,
+    /// Page-cache capacity.
+    pub capacity_pages: u32,
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests:   {} completed, {} shed, {} timed out, {} protocol errors, {} queued",
+            self.completed, self.shed, self.timeouts, self.proto_errors, self.queue_depth
+        )?;
+        writeln!(
+            f,
+            "latency:    p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+            self.p50_ms, self.p95_ms, self.p99_ms
+        )?;
+        writeln!(
+            f,
+            "batching:   {} batches, {} queries batched",
+            self.batches, self.batched_queries
+        )?;
+        write!(
+            f,
+            "page cache: {} requests, {} hits, {} misses, {} evictions, {}/{} pages resident",
+            self.cache_requests,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.resident_pages,
+            self.capacity_pages
+        )
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Window query result: object ids (unordered).
+    Entries(Vec<u64>),
+    /// Nearest query result: `(distance, oid)` ascending by distance.
+    Neighbors(Vec<(f64, u64)>),
+    /// Join result: `(oid_a, oid_b)` pairs (unordered).
+    Pairs(Vec<(u64, u64)>),
+    /// Server statistics.
+    Stats(ServerStats),
+    /// Loaded trees.
+    Info(Vec<TreeInfo>),
+    /// Admission control shed this request; retry later.
+    Overloaded,
+    /// The request's deadline expired before it finished.
+    DeadlineExceeded,
+    /// The request was malformed or referenced an unknown tree.
+    Error(String),
+    /// Acknowledges a [`Request::Shutdown`].
+    ShutdownAck,
+}
+
+// Opcodes. Requests are < 0x80, responses >= 0x80.
+const OP_WINDOW: u8 = 0x01;
+const OP_NEAREST: u8 = 0x02;
+const OP_JOIN: u8 = 0x03;
+const OP_STATS: u8 = 0x04;
+const OP_INFO: u8 = 0x05;
+const OP_SHUTDOWN: u8 = 0x06;
+const OP_ENTRIES: u8 = 0x81;
+const OP_NEIGHBORS: u8 = 0x82;
+const OP_PAIRS: u8 = 0x83;
+const OP_STATS_REPORT: u8 = 0x84;
+const OP_INFO_REPORT: u8 = 0x85;
+const OP_OVERLOADED: u8 = 0x86;
+const OP_DEADLINE: u8 = 0x87;
+const OP_ERROR: u8 = 0x88;
+const OP_SHUTDOWN_ACK: u8 = 0x89;
+
+/// Bounds-checked little-endian reader over a frame payload.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ProtoError(format!(
+                "payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn rect(&mut self) -> Result<Rect, ProtoError> {
+        let (xl, yl, xu, yu) = (self.f64()?, self.f64()?, self.f64()?, self.f64()?);
+        if !(xl.is_finite() && yl.is_finite() && xu.is_finite() && yu.is_finite()) {
+            return Err(ProtoError("non-finite rectangle coordinate".into()));
+        }
+        if xl > xu || yl > yu {
+            return Err(ProtoError(format!(
+                "degenerate rectangle [{xl}, {yl}, {xu}, {yu}]"
+            )));
+        }
+        Ok(Rect::new(xl, yl, xu, yu))
+    }
+
+    /// A collection length, sanity-bounded so a hostile count cannot force
+    /// a huge allocation before the (bounds-checked) element reads fail.
+    fn len(&mut self, elem_bytes: usize) -> Result<usize, ProtoError> {
+        let n = self.u32()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(elem_bytes) > remaining {
+            return Err(ProtoError(format!(
+                "count {n} x {elem_bytes} bytes exceeds remaining payload {remaining}"
+            )));
+        }
+        Ok(n)
+    }
+
+    fn finish(&self) -> Result<(), ProtoError> {
+        if self.pos != self.buf.len() {
+            return Err(ProtoError(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_rect(out: &mut Vec<u8>, r: &Rect) {
+    put_f64(out, r.xl);
+    put_f64(out, r.yl);
+    put_f64(out, r.xu);
+    put_f64(out, r.yu);
+}
+
+impl Request {
+    /// Encodes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48);
+        match self {
+            Request::Window {
+                tree,
+                rect,
+                deadline_ms,
+            } => {
+                out.push(OP_WINDOW);
+                put_u16(&mut out, *tree);
+                put_rect(&mut out, rect);
+                put_u32(&mut out, *deadline_ms);
+            }
+            Request::Nearest {
+                tree,
+                x,
+                y,
+                k,
+                deadline_ms,
+            } => {
+                out.push(OP_NEAREST);
+                put_u16(&mut out, *tree);
+                put_f64(&mut out, *x);
+                put_f64(&mut out, *y);
+                put_u32(&mut out, *k);
+                put_u32(&mut out, *deadline_ms);
+            }
+            Request::Join {
+                tree_a,
+                tree_b,
+                refine,
+                deadline_ms,
+            } => {
+                out.push(OP_JOIN);
+                put_u16(&mut out, *tree_a);
+                put_u16(&mut out, *tree_b);
+                out.push(u8::from(*refine));
+                put_u32(&mut out, *deadline_ms);
+            }
+            Request::Stats => out.push(OP_STATS),
+            Request::Info => out.push(OP_INFO),
+            Request::Shutdown => out.push(OP_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decodes a frame payload into a request.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cur::new(payload);
+        let req = match c.u8()? {
+            OP_WINDOW => Request::Window {
+                tree: c.u16()?,
+                rect: c.rect()?,
+                deadline_ms: c.u32()?,
+            },
+            OP_NEAREST => {
+                let tree = c.u16()?;
+                let (x, y) = (c.f64()?, c.f64()?);
+                if !(x.is_finite() && y.is_finite()) {
+                    return Err(ProtoError("non-finite query point".into()));
+                }
+                Request::Nearest {
+                    tree,
+                    x,
+                    y,
+                    k: c.u32()?,
+                    deadline_ms: c.u32()?,
+                }
+            }
+            OP_JOIN => Request::Join {
+                tree_a: c.u16()?,
+                tree_b: c.u16()?,
+                refine: c.u8()? != 0,
+                deadline_ms: c.u32()?,
+            },
+            OP_STATS => Request::Stats,
+            OP_INFO => Request::Info,
+            OP_SHUTDOWN => Request::Shutdown,
+            op => return Err(ProtoError(format!("unknown request opcode {op:#04x}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Response::Entries(oids) => {
+                out.push(OP_ENTRIES);
+                put_u32(&mut out, oids.len() as u32);
+                for oid in oids {
+                    put_u64(&mut out, *oid);
+                }
+            }
+            Response::Neighbors(nn) => {
+                out.push(OP_NEIGHBORS);
+                put_u32(&mut out, nn.len() as u32);
+                for (d, oid) in nn {
+                    put_f64(&mut out, *d);
+                    put_u64(&mut out, *oid);
+                }
+            }
+            Response::Pairs(pairs) => {
+                out.push(OP_PAIRS);
+                put_u32(&mut out, pairs.len() as u32);
+                for (a, b) in pairs {
+                    put_u64(&mut out, *a);
+                    put_u64(&mut out, *b);
+                }
+            }
+            Response::Stats(s) => {
+                out.push(OP_STATS_REPORT);
+                put_u64(&mut out, s.completed);
+                put_u64(&mut out, s.shed);
+                put_u64(&mut out, s.timeouts);
+                put_u64(&mut out, s.proto_errors);
+                put_u32(&mut out, s.queue_depth);
+                put_u64(&mut out, s.batches);
+                put_u64(&mut out, s.batched_queries);
+                put_f64(&mut out, s.p50_ms);
+                put_f64(&mut out, s.p95_ms);
+                put_f64(&mut out, s.p99_ms);
+                put_u64(&mut out, s.cache_requests);
+                put_u64(&mut out, s.cache_hits);
+                put_u64(&mut out, s.cache_misses);
+                put_u64(&mut out, s.cache_evictions);
+                put_u32(&mut out, s.resident_pages);
+                put_u32(&mut out, s.capacity_pages);
+            }
+            Response::Info(trees) => {
+                out.push(OP_INFO_REPORT);
+                put_u32(&mut out, trees.len() as u32);
+                for t in trees {
+                    put_rect(&mut out, &t.mbr);
+                    put_u64(&mut out, t.len);
+                    put_u32(&mut out, t.pages);
+                }
+            }
+            Response::Overloaded => out.push(OP_OVERLOADED),
+            Response::DeadlineExceeded => out.push(OP_DEADLINE),
+            Response::Error(msg) => {
+                out.push(OP_ERROR);
+                let bytes = msg.as_bytes();
+                put_u32(&mut out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
+            Response::ShutdownAck => out.push(OP_SHUTDOWN_ACK),
+        }
+        out
+    }
+
+    /// Decodes a frame payload into a response.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut c = Cur::new(payload);
+        let resp = match c.u8()? {
+            OP_ENTRIES => {
+                let n = c.len(8)?;
+                let mut oids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    oids.push(c.u64()?);
+                }
+                Response::Entries(oids)
+            }
+            OP_NEIGHBORS => {
+                let n = c.len(16)?;
+                let mut nn = Vec::with_capacity(n);
+                for _ in 0..n {
+                    nn.push((c.f64()?, c.u64()?));
+                }
+                Response::Neighbors(nn)
+            }
+            OP_PAIRS => {
+                let n = c.len(16)?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pairs.push((c.u64()?, c.u64()?));
+                }
+                Response::Pairs(pairs)
+            }
+            OP_STATS_REPORT => Response::Stats(ServerStats {
+                completed: c.u64()?,
+                shed: c.u64()?,
+                timeouts: c.u64()?,
+                proto_errors: c.u64()?,
+                queue_depth: c.u32()?,
+                batches: c.u64()?,
+                batched_queries: c.u64()?,
+                p50_ms: c.f64()?,
+                p95_ms: c.f64()?,
+                p99_ms: c.f64()?,
+                cache_requests: c.u64()?,
+                cache_hits: c.u64()?,
+                cache_misses: c.u64()?,
+                cache_evictions: c.u64()?,
+                resident_pages: c.u32()?,
+                capacity_pages: c.u32()?,
+            }),
+            OP_INFO_REPORT => {
+                let n = c.len(44)?;
+                let mut trees = Vec::with_capacity(n);
+                for _ in 0..n {
+                    trees.push(TreeInfo {
+                        mbr: c.rect()?,
+                        len: c.u64()?,
+                        pages: c.u32()?,
+                    });
+                }
+                Response::Info(trees)
+            }
+            OP_OVERLOADED => Response::Overloaded,
+            OP_DEADLINE => Response::DeadlineExceeded,
+            OP_ERROR => {
+                let n = c.len(1)?;
+                let bytes = c.take(n)?;
+                Response::Error(
+                    std::str::from_utf8(bytes)
+                        .map_err(|_| ProtoError("error message is not UTF-8".into()))?
+                        .to_string(),
+                )
+            }
+            OP_SHUTDOWN_ACK => Response::ShutdownAck,
+            op => return Err(ProtoError(format!("unknown response opcode {op:#04x}"))),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. Returns `Ok(None)` on clean EOF at a frame
+/// boundary (peer closed the connection), an `InvalidData` error when the
+/// length prefix exceeds `max` (the stream cannot be resynchronized), and
+/// any other I/O error as-is (including `UnexpectedEof` for a frame
+/// truncated mid-payload).
+pub fn read_frame<R: Read>(r: &mut R, max: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame length prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds maximum {max}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let enc = Request::encode(&req);
+        assert_eq!(Request::decode(&enc).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let enc = Response::encode(&resp);
+        assert_eq!(Response::decode(&enc).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Window {
+            tree: 3,
+            rect: Rect::new(-1.5, 0.0, 2.5, 4.0),
+            deadline_ms: 250,
+        });
+        roundtrip_req(Request::Nearest {
+            tree: 0,
+            x: 1.25,
+            y: -9.0,
+            k: 10,
+            deadline_ms: 0,
+        });
+        roundtrip_req(Request::Join {
+            tree_a: 0,
+            tree_b: 1,
+            refine: true,
+            deadline_ms: 10_000,
+        });
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Info);
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Entries(vec![1, 2, 3, u64::MAX]));
+        roundtrip_resp(Response::Neighbors(vec![(0.5, 7), (1.5, 9)]));
+        roundtrip_resp(Response::Pairs(vec![(1, 2), (3, 4)]));
+        roundtrip_resp(Response::Stats(ServerStats {
+            completed: 10,
+            shed: 2,
+            p99_ms: 1.5,
+            ..Default::default()
+        }));
+        roundtrip_resp(Response::Info(vec![TreeInfo {
+            mbr: Rect::new(0.0, 0.0, 1.0, 1.0),
+            len: 42,
+            pages: 7,
+        }]));
+        roundtrip_resp(Response::Overloaded);
+        roundtrip_resp(Response::DeadlineExceeded);
+        roundtrip_resp(Response::Error("unknown tree 9".into()));
+        roundtrip_resp(Response::ShutdownAck);
+    }
+
+    #[test]
+    fn garbage_payloads_decode_to_errors_not_panics() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0xff]).is_err());
+        assert!(
+            Request::decode(&[OP_WINDOW, 1]).is_err(),
+            "truncated window"
+        );
+        // Trailing bytes are rejected.
+        let mut enc = Request::Stats.encode();
+        enc.push(0);
+        assert!(Request::decode(&enc).is_err());
+        // Hostile element count.
+        let mut resp = vec![OP_ENTRIES];
+        resp.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Response::decode(&resp).is_err());
+    }
+
+    #[test]
+    fn non_finite_and_degenerate_rects_rejected() {
+        let mut enc = vec![OP_WINDOW];
+        enc.extend_from_slice(&1u16.to_le_bytes());
+        for v in [f64::NAN, 0.0, 1.0, 1.0] {
+            enc.extend_from_slice(&v.to_le_bytes());
+        }
+        enc.extend_from_slice(&0u32.to_le_bytes());
+        assert!(Request::decode(&enc).is_err());
+
+        let mut enc = vec![OP_WINDOW];
+        enc.extend_from_slice(&1u16.to_le_bytes());
+        for v in [5.0f64, 0.0, 1.0, 1.0] {
+            // xl > xu
+            enc.extend_from_slice(&v.to_le_bytes());
+        }
+        enc.extend_from_slice(&0u32.to_le_bytes());
+        assert!(Request::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_and_enforce_limits() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[1, 2, 3]).unwrap();
+        write_frame(&mut buf, &[]).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, 16).unwrap(), Some(vec![1, 2, 3]));
+        assert_eq!(read_frame(&mut r, 16).unwrap(), Some(vec![]));
+        assert_eq!(read_frame(&mut r, 16).unwrap(), None, "clean EOF");
+
+        // Oversized length prefix.
+        let huge = (MAX_REQUEST_FRAME as u32 + 1).to_le_bytes();
+        let mut r = &huge[..];
+        let err = read_frame(&mut r, MAX_REQUEST_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Truncated payload.
+        let mut buf = 8u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[1, 2, 3]);
+        let mut r = &buf[..];
+        let err = read_frame(&mut r, 16).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // Truncated prefix.
+        let mut r = &[7u8, 0][..];
+        let err = read_frame(&mut r, 16).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,787 @@
+//! The server: acceptor, per-connection threads, a batching stage, and a
+//! work-stealing worker pool sharing one page cache.
+//!
+//! ```text
+//! acceptor ──► connection threads ──► batcher ──► injector ──► workers
+//!                    ▲                (window/nearest,            │
+//!                    │                 grouped per tree)          │
+//!                    └──────────────── mpsc reply ◄───────────────┘
+//! ```
+//!
+//! * **Admission control** — a request is *admitted* by incrementing the
+//!   `queued` counter; if that pushes past `queue_bound` (or the server is
+//!   draining) it is immediately un-admitted and answered
+//!   [`Response::Overloaded`]. `queued` counts admitted-but-unanswered
+//!   requests, so the bound covers the batcher, the injector, and
+//!   in-flight execution alike.
+//! * **Batching** — window and nearest queries landing within
+//!   `batch_window` of the oldest pending query are grouped per (tree,
+//!   kind) and executed together; a group reaching `max_batch` flushes
+//!   immediately. `batch_window == 0` disables the stage (every query is a
+//!   batch of one, dispatched straight to the injector).
+//! * **Deadlines** — `deadline_ms` is converted to an absolute instant at
+//!   arrival; executors check it cooperatively and expired requests get
+//!   [`Response::DeadlineExceeded`] with partial work discarded.
+//! * **Shutdown** — admission closes first, then the drain loop flushes
+//!   the batcher until `queued` reaches zero, then workers and the
+//!   acceptor are halted and joined. Connection threads notice the halt
+//!   flag at their next read timeout.
+
+use crate::exec::{self, TreeSet, WindowQuery};
+use crate::protocol::{
+    read_frame, write_frame, Request, Response, ServerStats, TreeInfo, MAX_REQUEST_FRAME,
+};
+use crate::telemetry::Telemetry;
+use psj_buffer::{Policy, SharedPageCache};
+use psj_core::deque::{Injector, Steal, Worker};
+use psj_geom::Point;
+use psj_rtree::{Node, PagedTree};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Query worker threads (each also indexes per-worker cache stats).
+    pub workers: usize,
+    /// Admission bound: maximum admitted-but-unanswered requests.
+    pub queue_bound: usize,
+    /// Batching window measured from the oldest pending query; zero
+    /// disables batching.
+    pub batch_window: Duration,
+    /// A (tree, kind) group reaching this size flushes immediately.
+    pub max_batch: usize,
+    /// Shared page-cache capacity, in decoded nodes.
+    pub cache_pages: usize,
+    /// Page-cache lock shards.
+    pub cache_shards: usize,
+    /// Threads per join request.
+    pub join_threads: usize,
+    /// Socket read timeout; also the cadence at which idle connection
+    /// threads re-check the halt flag.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_bound: 256,
+            batch_window: Duration::from_millis(2),
+            max_batch: 32,
+            cache_pages: 4096,
+            cache_shards: 16,
+            join_threads: 4,
+            read_timeout: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Reply routing for one admitted request.
+struct ReqCtx {
+    arrival: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+struct NearestQuery {
+    point: Point,
+    k: usize,
+    deadline: Option<Instant>,
+}
+
+enum WorkItem {
+    Windows {
+        tree: u16,
+        members: Vec<(WindowQuery, ReqCtx)>,
+    },
+    Nearests {
+        tree: u16,
+        members: Vec<(NearestQuery, ReqCtx)>,
+    },
+    Join {
+        tree_a: u16,
+        tree_b: u16,
+        refine: bool,
+        deadline: Option<Instant>,
+        ctx: ReqCtx,
+    },
+}
+
+/// Pending not-yet-flushed query groups.
+#[derive(Default)]
+struct BatchState {
+    windows: HashMap<u16, Vec<(WindowQuery, ReqCtx)>>,
+    nearests: HashMap<u16, Vec<(NearestQuery, ReqCtx)>>,
+    /// Arrival of the oldest pending query; the flush timer's origin.
+    oldest: Option<Instant>,
+}
+
+impl BatchState {
+    fn is_empty(&self) -> bool {
+        self.windows.is_empty() && self.nearests.is_empty()
+    }
+
+    fn drain(&mut self) -> Vec<WorkItem> {
+        let mut items = Vec::with_capacity(self.windows.len() + self.nearests.len());
+        for (tree, members) in self.windows.drain() {
+            items.push(WorkItem::Windows { tree, members });
+        }
+        for (tree, members) in self.nearests.drain() {
+            items.push(WorkItem::Nearests { tree, members });
+        }
+        self.oldest = None;
+        items
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    trees: TreeSet,
+    cache: SharedPageCache<Node>,
+    telemetry: Telemetry,
+    /// Admitted-but-unanswered requests.
+    queued: AtomicUsize,
+    /// Admission closed (drain in progress).
+    shutting_down: AtomicBool,
+    /// Workers / batcher / connection threads must exit.
+    halt: AtomicBool,
+    injector: Injector<WorkItem>,
+    work_mutex: Mutex<()>,
+    work_signal: Condvar,
+    batch: Mutex<BatchState>,
+    batch_signal: Condvar,
+    /// Signalled by a client [`Request::Shutdown`]; `Server::wait` listens.
+    shutdown_tx: Mutex<Option<mpsc::Sender<()>>>,
+}
+
+impl Shared {
+    fn notify_workers(&self) {
+        let _g = self.work_mutex.lock().unwrap();
+        self.work_signal.notify_all();
+    }
+
+    fn halted(&self) -> bool {
+        self.halt.load(Ordering::Acquire)
+    }
+
+    /// A point-in-time stats report.
+    fn stats(&self) -> ServerStats {
+        let t = &self.telemetry;
+        let snap = self.cache.snapshot();
+        let requests = snap.stats.requests();
+        ServerStats {
+            completed: t.completed.load(Ordering::Relaxed),
+            shed: t.shed.load(Ordering::Relaxed),
+            timeouts: t.timeouts.load(Ordering::Relaxed),
+            proto_errors: t.proto_errors.load(Ordering::Relaxed),
+            queue_depth: self.queued.load(Ordering::Relaxed) as u32,
+            batches: t.batches.load(Ordering::Relaxed),
+            batched_queries: t.batched_queries.load(Ordering::Relaxed),
+            p50_ms: t.latency.quantile_ms(0.50),
+            p95_ms: t.latency.quantile_ms(0.95),
+            p99_ms: t.latency.quantile_ms(0.99),
+            cache_requests: requests,
+            cache_hits: requests - snap.stats.misses,
+            cache_misses: snap.stats.misses,
+            cache_evictions: snap.stats.evictions,
+            resident_pages: snap.resident_pages as u32,
+            capacity_pages: snap.capacity_pages as u32,
+        }
+    }
+
+    fn info(&self) -> Vec<TreeInfo> {
+        self.trees
+            .iter()
+            .map(|t| TreeInfo {
+                mbr: t.mbr(),
+                len: t.len(),
+                pages: t.num_pages() as u32,
+            })
+            .collect()
+    }
+
+    /// Moves every pending batch group to the injector, regardless of age.
+    fn flush_batches(&self) {
+        let items = self.batch.lock().unwrap().drain();
+        if !items.is_empty() {
+            for item in items {
+                self.injector.push(item);
+            }
+            self.notify_workers();
+        }
+    }
+}
+
+/// A running server. Dropping the handle without calling [`Server::stop`]
+/// or [`Server::wait`] leaks the listener threads; tests and the CLI
+/// always stop explicitly.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shutdown_rx: mpsc::Receiver<()>,
+}
+
+/// What [`Server::stop`] returns: the final stats report.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Counters and percentiles at shutdown.
+    pub stats: ServerStats,
+}
+
+impl std::fmt::Display for ServerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.stats.fmt(f)
+    }
+}
+
+impl Server {
+    /// Binds `cfg.addr`, loads `trees` behind a fresh shared cache, and
+    /// starts the acceptor, batcher, and worker threads.
+    pub fn start(cfg: ServeConfig, trees: Vec<Arc<PagedTree>>) -> io::Result<Server> {
+        let trees =
+            TreeSet::new(trees).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let cache = SharedPageCache::new(
+            workers,
+            cfg.cache_pages.max(workers),
+            cfg.cache_shards.max(1),
+            Policy::Lru,
+        );
+        let (shutdown_tx, shutdown_rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            trees,
+            cache,
+            telemetry: Telemetry::new(),
+            queued: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+            halt: AtomicBool::new(false),
+            injector: Injector::new(),
+            work_mutex: Mutex::new(()),
+            work_signal: Condvar::new(),
+            batch: Mutex::new(BatchState::default()),
+            batch_signal: Condvar::new(),
+            shutdown_tx: Mutex::new(Some(shutdown_tx)),
+            cfg,
+        });
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("psj-serve-worker-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("psj-serve-batcher".into())
+                .spawn(move || batcher_loop(&shared))
+                .expect("spawn batcher")
+        };
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("psj-serve-acceptor".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.halted() {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let shared = Arc::clone(&shared);
+                        let h = std::thread::Builder::new()
+                            .name("psj-serve-conn".into())
+                            .spawn(move || handle_conn(&shared, stream))
+                            .expect("spawn connection thread");
+                        conns.lock().unwrap().push(h);
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            batcher: Some(batcher),
+            workers: worker_handles,
+            conns,
+            shutdown_rx,
+        })
+    }
+
+    /// The bound address (useful with `addr = "127.0.0.1:0"`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a client sends [`Request::Shutdown`], then drains and
+    /// stops.
+    pub fn wait(self) -> ServerReport {
+        let _ = self.shutdown_rx.recv();
+        self.stop()
+    }
+
+    /// Drains admitted requests, stops every thread, and returns the final
+    /// report.
+    pub fn stop(mut self) -> ServerReport {
+        let shared = &self.shared;
+        // 1. Close admission; new requests get Overloaded.
+        shared.shutting_down.store(true, Ordering::SeqCst);
+        // 2. Drain: flush the batcher until every admitted request has
+        //    been answered. Workers are still running here.
+        while shared.queued.load(Ordering::SeqCst) > 0 {
+            shared.flush_batches();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // 3. Halt workers and the batcher.
+        shared.halt.store(true, Ordering::SeqCst);
+        shared.notify_workers();
+        {
+            let _g = shared.batch.lock().unwrap();
+            shared.batch_signal.notify_all();
+        }
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // 4. Unblock the acceptor with a dummy connection and join it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // 5. Connection threads exit at their next read timeout (or when
+        //    their client hangs up).
+        let conns: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conns.lock().unwrap());
+        for c in conns {
+            let _ = c.join();
+        }
+        ServerReport {
+            stats: shared.stats(),
+        }
+    }
+}
+
+fn batcher_loop(shared: &Shared) {
+    let mut st = shared.batch.lock().unwrap();
+    loop {
+        // Wait for pending queries (or halt).
+        while st.is_empty() {
+            if shared.halted() {
+                return;
+            }
+            let (g, _) = shared
+                .batch_signal
+                .wait_timeout(st, Duration::from_millis(50))
+                .unwrap();
+            st = g;
+        }
+        // Run the window down from the oldest pending arrival. New
+        // arrivals join the same flush (the timer origin never moves
+        // later), so no query waits more than `batch_window`.
+        let flush_at = st.oldest.expect("non-empty batch has an origin") + shared.cfg.batch_window;
+        loop {
+            let now = Instant::now();
+            if now >= flush_at || shared.halted() {
+                break;
+            }
+            let (g, _) = shared
+                .batch_signal
+                .wait_timeout(st, flush_at - now)
+                .unwrap();
+            st = g;
+            if st.is_empty() {
+                break; // a max_batch flush emptied the state under us
+            }
+        }
+        let items = st.drain();
+        drop(st);
+        if !items.is_empty() {
+            for item in items {
+                shared.injector.push(item);
+            }
+            shared.notify_workers();
+        }
+        st = shared.batch.lock().unwrap();
+    }
+}
+
+fn worker_loop(shared: &Shared, idx: usize) {
+    let local: Worker<WorkItem> = Worker::new_lifo();
+    loop {
+        let item = local.pop().or_else(|| loop {
+            match shared.injector.steal_batch_and_pop(&local) {
+                Steal::Success(item) => break Some(item),
+                Steal::Empty => break None,
+                Steal::Retry => {}
+            }
+        });
+        match item {
+            Some(item) => execute(shared, idx, item),
+            None => {
+                if shared.halted() {
+                    return;
+                }
+                let g = shared.work_mutex.lock().unwrap();
+                // Re-check under the lock so a notify between the failed
+                // steal and this wait is not lost for long.
+                let _ = shared
+                    .work_signal
+                    .wait_timeout(g, Duration::from_millis(20))
+                    .unwrap();
+            }
+        }
+    }
+}
+
+fn execute(shared: &Shared, worker: usize, item: WorkItem) {
+    let t = &shared.telemetry;
+    match item {
+        WorkItem::Windows { tree, members } => {
+            t.batches.fetch_add(1, Ordering::Relaxed);
+            t.batched_queries
+                .fetch_add(members.len() as u64, Ordering::Relaxed);
+            let queries: Vec<WindowQuery> = members.iter().map(|(q, _)| *q).collect();
+            let results = exec::window_batch(&shared.trees, &shared.cache, worker, tree, &queries);
+            for ((_, ctx), result) in members.into_iter().zip(results) {
+                let latency = ctx.arrival.elapsed();
+                let resp = match result {
+                    Some(oids) => {
+                        t.complete(latency);
+                        Response::Entries(oids)
+                    }
+                    None => {
+                        t.timeout(latency);
+                        Response::DeadlineExceeded
+                    }
+                };
+                let _ = ctx.reply.send(resp);
+            }
+        }
+        WorkItem::Nearests { tree, members } => {
+            t.batches.fetch_add(1, Ordering::Relaxed);
+            t.batched_queries
+                .fetch_add(members.len() as u64, Ordering::Relaxed);
+            for (q, ctx) in members {
+                let result = exec::nearest(
+                    &shared.trees,
+                    &shared.cache,
+                    worker,
+                    tree,
+                    q.point,
+                    q.k,
+                    q.deadline,
+                );
+                let latency = ctx.arrival.elapsed();
+                let resp = match result {
+                    Some(nn) => {
+                        t.complete(latency);
+                        Response::Neighbors(nn)
+                    }
+                    None => {
+                        t.timeout(latency);
+                        Response::DeadlineExceeded
+                    }
+                };
+                let _ = ctx.reply.send(resp);
+            }
+        }
+        WorkItem::Join {
+            tree_a,
+            tree_b,
+            refine,
+            deadline,
+            ctx,
+        } => {
+            let result = exec::join(
+                &shared.trees,
+                tree_a,
+                tree_b,
+                refine,
+                shared.cfg.join_threads,
+                deadline,
+            );
+            let latency = ctx.arrival.elapsed();
+            let resp = match result {
+                Some(pairs) => {
+                    t.complete(latency);
+                    Response::Pairs(pairs)
+                }
+                None => {
+                    t.timeout(latency);
+                    Response::DeadlineExceeded
+                }
+            };
+            let _ = ctx.reply.send(resp);
+        }
+    }
+}
+
+/// Converts a wire deadline to an absolute instant.
+fn abs_deadline(arrival: Instant, deadline_ms: u32) -> Option<Instant> {
+    (deadline_ms > 0).then(|| arrival + Duration::from_millis(u64::from(deadline_ms)))
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        let payload = match read_frame(&mut reader, MAX_REQUEST_FRAME) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // client closed cleanly
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.halted() {
+                    return;
+                }
+                continue;
+            }
+            Err(e) => {
+                // Oversized prefix or mid-frame EOF: the stream cannot be
+                // resynchronized — report (best effort) and hang up.
+                shared
+                    .telemetry
+                    .proto_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                if e.kind() == io::ErrorKind::InvalidData {
+                    let _ = write_frame(&mut writer, &Response::Error(e.to_string()).encode());
+                }
+                return;
+            }
+        };
+        let req = match Request::decode(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                // Framing was sound, the payload was not: the stream is
+                // still in sync, so answer and keep serving.
+                shared
+                    .telemetry
+                    .proto_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                if write_frame(&mut writer, &Response::Error(e.to_string()).encode()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+
+        let resp = match req {
+            Request::Stats => shared.stats_response(),
+            Request::Info => Response::Info(shared.info()),
+            Request::Shutdown => {
+                let _ = write_frame(&mut writer, &Response::ShutdownAck.encode());
+                if let Some(tx) = shared.shutdown_tx.lock().unwrap().take() {
+                    let _ = tx.send(());
+                }
+                return;
+            }
+            Request::Window {
+                tree,
+                rect,
+                deadline_ms,
+            } => {
+                if shared.trees.get(tree).is_none() {
+                    bad_tree(shared, tree)
+                } else {
+                    match admit(shared) {
+                        Err(resp) => resp,
+                        Ok(arrival) => {
+                            let deadline = abs_deadline(arrival, deadline_ms);
+                            let (tx, rx) = mpsc::channel();
+                            let ctx = ReqCtx { arrival, reply: tx };
+                            let q = WindowQuery { rect, deadline };
+                            enqueue_window(shared, tree, q, ctx);
+                            finish(shared, &rx)
+                        }
+                    }
+                }
+            }
+            Request::Nearest {
+                tree,
+                x,
+                y,
+                k,
+                deadline_ms,
+            } => {
+                if shared.trees.get(tree).is_none() {
+                    bad_tree(shared, tree)
+                } else {
+                    match admit(shared) {
+                        Err(resp) => resp,
+                        Ok(arrival) => {
+                            let deadline = abs_deadline(arrival, deadline_ms);
+                            let (tx, rx) = mpsc::channel();
+                            let ctx = ReqCtx { arrival, reply: tx };
+                            let q = NearestQuery {
+                                point: Point::new(x, y),
+                                k: k as usize,
+                                deadline,
+                            };
+                            enqueue_nearest(shared, tree, q, ctx);
+                            finish(shared, &rx)
+                        }
+                    }
+                }
+            }
+            Request::Join {
+                tree_a,
+                tree_b,
+                refine,
+                deadline_ms,
+            } => {
+                if shared.trees.get(tree_a).is_none() {
+                    bad_tree(shared, tree_a)
+                } else if shared.trees.get(tree_b).is_none() {
+                    bad_tree(shared, tree_b)
+                } else {
+                    match admit(shared) {
+                        Err(resp) => resp,
+                        Ok(arrival) => {
+                            let deadline = abs_deadline(arrival, deadline_ms);
+                            let (tx, rx) = mpsc::channel();
+                            shared.injector.push(WorkItem::Join {
+                                tree_a,
+                                tree_b,
+                                refine,
+                                deadline,
+                                ctx: ReqCtx { arrival, reply: tx },
+                            });
+                            shared.notify_workers();
+                            finish(shared, &rx)
+                        }
+                    }
+                }
+            }
+        };
+        if write_frame(&mut writer, &resp.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+impl Shared {
+    fn stats_response(&self) -> Response {
+        Response::Stats(self.stats())
+    }
+}
+
+fn bad_tree(shared: &Shared, tree: u16) -> Response {
+    shared
+        .telemetry
+        .proto_errors
+        .fetch_add(1, Ordering::Relaxed);
+    Response::Error(format!(
+        "unknown tree {tree} ({} loaded)",
+        shared.trees.len()
+    ))
+}
+
+/// Admission control: returns the arrival instant, or the shed response.
+/// Increment-then-check closes the race against concurrent admitters — the
+/// counter can transiently overshoot the bound but admitted requests never
+/// exceed it.
+fn admit(shared: &Shared) -> Result<Instant, Response> {
+    let q = shared.queued.fetch_add(1, Ordering::SeqCst) + 1;
+    if shared.shutting_down.load(Ordering::SeqCst) || q > shared.cfg.queue_bound {
+        shared.queued.fetch_sub(1, Ordering::SeqCst);
+        shared.telemetry.shed.fetch_add(1, Ordering::Relaxed);
+        return Err(Response::Overloaded);
+    }
+    Ok(Instant::now())
+}
+
+/// Waits for the worker's reply and releases the admission slot.
+fn finish(shared: &Shared, rx: &mpsc::Receiver<Response>) -> Response {
+    let resp = rx
+        .recv()
+        .unwrap_or_else(|_| Response::Error("server dropped the request".into()));
+    shared.queued.fetch_sub(1, Ordering::SeqCst);
+    resp
+}
+
+fn enqueue_window(shared: &Shared, tree: u16, q: WindowQuery, ctx: ReqCtx) {
+    if shared.cfg.batch_window.is_zero() {
+        shared.injector.push(WorkItem::Windows {
+            tree,
+            members: vec![(q, ctx)],
+        });
+        shared.notify_workers();
+        return;
+    }
+    let mut st = shared.batch.lock().unwrap();
+    if st.oldest.is_none() {
+        st.oldest = Some(ctx.arrival);
+    }
+    let group = st.windows.entry(tree).or_default();
+    group.push((q, ctx));
+    if group.len() >= shared.cfg.max_batch {
+        let members = st.windows.remove(&tree).expect("group exists");
+        if st.is_empty() {
+            st.oldest = None;
+        }
+        drop(st);
+        shared.injector.push(WorkItem::Windows { tree, members });
+        shared.notify_workers();
+    } else {
+        drop(st);
+        shared.batch_signal.notify_all();
+    }
+}
+
+fn enqueue_nearest(shared: &Shared, tree: u16, q: NearestQuery, ctx: ReqCtx) {
+    if shared.cfg.batch_window.is_zero() {
+        shared.injector.push(WorkItem::Nearests {
+            tree,
+            members: vec![(q, ctx)],
+        });
+        shared.notify_workers();
+        return;
+    }
+    let mut st = shared.batch.lock().unwrap();
+    if st.oldest.is_none() {
+        st.oldest = Some(ctx.arrival);
+    }
+    let group = st.nearests.entry(tree).or_default();
+    group.push((q, ctx));
+    if group.len() >= shared.cfg.max_batch {
+        let members = st.nearests.remove(&tree).expect("group exists");
+        if st.is_empty() {
+            st.oldest = None;
+        }
+        drop(st);
+        shared.injector.push(WorkItem::Nearests { tree, members });
+        shared.notify_workers();
+    } else {
+        drop(st);
+        shared.batch_signal.notify_all();
+    }
+}

@@ -58,23 +58,46 @@ impl FilePager {
         self.num_pages
     }
 
+    /// How many times a failed positioned read is retried before the error
+    /// is propagated. `read_exact_at` already resumes short reads and
+    /// `ErrorKind::Interrupted` internally; the retries here cover transient
+    /// whole-call failures (e.g. EIO from a flaky device) so one blip does
+    /// not fail a request that would succeed a microsecond later.
+    const READ_RETRIES: usize = 2;
+
     /// Reads one page from the file.
     ///
-    /// # Panics
-    ///
-    /// Panics if `id` is out of range or the read fails (a truncated or
-    /// vanished backing file — unrecoverable mid-join either way).
-    pub fn read_page(&self, id: PageId) -> Page {
-        assert!(
-            id.index() < self.num_pages,
-            "page {id} out of range ({})",
-            self.num_pages
-        );
+    /// An out-of-range `id` or a failed read (truncated or vanished backing
+    /// file) is reported as an `Err`, not a panic: in a long-running server
+    /// a bad read must degrade the one request that needed the page, not
+    /// take down the process.
+    pub fn read_page(&self, id: PageId) -> io::Result<Page> {
+        if id.index() >= self.num_pages {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("page {id} out of range ({} pages)", self.num_pages),
+            ));
+        }
         let mut page = Page::zeroed();
-        self.file
-            .read_exact_at(page.bytes_mut(), id.index() as u64 * PAGE_SIZE as u64)
-            .unwrap_or_else(|e| panic!("reading {id}: {e}"));
-        page
+        let offset = id.index() as u64 * PAGE_SIZE as u64;
+        let mut attempt = 0;
+        loop {
+            match self.file.read_exact_at(page.bytes_mut(), offset) {
+                Ok(()) => return Ok(page),
+                // Truncation is permanent; anything else gets retried.
+                Err(e)
+                    if attempt < Self::READ_RETRIES && e.kind() != io::ErrorKind::UnexpectedEof =>
+                {
+                    attempt += 1;
+                }
+                Err(e) => {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("reading {id} (after {attempt} retries): {e}"),
+                    ))
+                }
+            }
+        }
     }
 }
 
@@ -104,7 +127,7 @@ mod tests {
         let pager = FilePager::create_from_store(&path, &store).unwrap();
         assert_eq!(pager.num_pages(), 7);
         for n in 0..7u32 {
-            let page = pager.read_page(PageId(n));
+            let page = pager.read_page(PageId(n)).unwrap();
             assert_eq!(page.bytes(), store.read(PageId(n)).bytes());
         }
         std::fs::remove_file(path).ok();
@@ -120,7 +143,7 @@ mod tests {
                 let pager = &pager;
                 scope.spawn(move || {
                     for n in 0..16u32 {
-                        let page = pager.read_page(PageId(n));
+                        let page = pager.read_page(PageId(n)).unwrap();
                         let mut word = [0u8; 8];
                         word.copy_from_slice(&page.bytes()[0..8]);
                         assert_eq!(u64::from_le_bytes(word), n as u64);
@@ -140,11 +163,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn out_of_range_read_panics() {
+    fn out_of_range_read_is_an_error() {
         let path = temp_path("range");
         let pager = FilePager::create_from_store(&path, &sample_store(2)).unwrap();
         std::fs::remove_file(&path).ok();
-        pager.read_page(PageId(2));
+        let err = pager.read_page(PageId(2)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn truncated_file_read_is_an_error_not_a_panic() {
+        let path = temp_path("truncated");
+        let pager = FilePager::create_from_store(&path, &sample_store(4)).unwrap();
+        // Shrink the backing file under the pager's feet: reads of the
+        // now-missing tail must surface as errors.
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(PAGE_SIZE as u64)
+            .unwrap();
+        assert!(pager.read_page(PageId(0)).is_ok());
+        let err = pager.read_page(PageId(3)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        std::fs::remove_file(path).ok();
     }
 }
