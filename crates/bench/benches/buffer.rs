@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use psj_buffer::{
     GlobalAccess, GlobalBuffer, LocalBuffers, Lru, PageSource, Policy, SharedPageCache,
 };
-use psj_store::PageId;
+use psj_store::{PageError, PageId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
@@ -80,7 +80,7 @@ struct Ident;
 impl PageSource for Ident {
     type Item = u32;
 
-    fn fetch_page(&self, page: PageId) -> std::io::Result<u32> {
+    fn fetch_page(&self, page: PageId) -> Result<u32, PageError> {
         Ok(page.0)
     }
 

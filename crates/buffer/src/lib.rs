@@ -37,5 +37,5 @@ pub use local::LocalBuffers;
 pub use lru::Lru;
 pub use path::PathBuffer;
 pub use policy::{Clock, Fifo, PageBuffer, Policy};
-pub use shared::{CacheSnapshot, PageSource, SharedAccess, SharedPageCache};
+pub use shared::{CacheSnapshot, FaultSource, PageSource, SharedAccess, SharedPageCache};
 pub use stats::BufferStats;

@@ -27,12 +27,24 @@
 //! disjoint pages contend only 1/N of the time. With `shards == 1` the cache
 //! degenerates to a single global lock — the configuration a per-worker
 //! *local* buffer uses, since it is uncontended anyway.
+//!
+//! ## Failure handling
+//!
+//! Fills are fallible and typed ([`psj_store::PageError`]). The cache owns
+//! the retry policy for the whole stack: a transient source error is
+//! retried in place under the cache's [`RetryPolicy`] (counted in
+//! [`BufferStats::retries`]), so neither the pager below nor the executor
+//! above needs its own loop. A *corrupt* fill (checksum mismatch) is never
+//! retried — the page is **quarantined** in its shard: the original error
+//! is stored and replayed to every later requester without touching the
+//! source again, so one poisoned page degrades exactly the requests that
+//! need it while the device is spared a re-read storm.
 
 use crate::policy::{PageBuffer, Policy};
 use crate::stats::BufferStats;
-use psj_store::{Page, PageId};
+use psj_store::{FaultPlan, Page, PageError, PageId, RetryPolicy};
 use std::collections::{HashMap, HashSet};
-use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Where a page's bytes come from on a cache miss.
@@ -45,10 +57,12 @@ pub trait PageSource {
 
     /// Fetches/decodes `page`. Called outside all cache locks; concurrent
     /// calls for *distinct* pages may overlap, the cache guarantees at most
-    /// one in-flight fetch per page. A failed fetch (bad disk read) is
-    /// propagated to the requester by [`SharedPageCache::try_get`] and
-    /// cached nowhere — the next request for the page retries the source.
-    fn fetch_page(&self, page: PageId) -> io::Result<Self::Item>;
+    /// one in-flight fetch per page. Retryable failures are retried by the
+    /// cache under its [`RetryPolicy`]; a corrupt result quarantines the
+    /// page; other final failures are propagated to the requester by
+    /// [`SharedPageCache::try_get`] and cached nowhere — the next request
+    /// for the page retries the source.
+    fn fetch_page(&self, page: PageId) -> Result<Self::Item, PageError>;
 
     /// Total number of pages this source can serve (page ids `0..n`).
     fn page_count(&self) -> usize;
@@ -81,6 +95,9 @@ struct ShardState<T> {
     owner: HashMap<PageId, usize>,
     /// Pages some worker is currently fetching.
     loading: HashSet<PageId>,
+    /// Pages whose fill returned a corrupt (unrecoverable) error: the
+    /// stored error is replayed to every later requester.
+    quarantined: HashMap<PageId, PageError>,
 }
 
 struct Shard<T> {
@@ -101,6 +118,8 @@ struct WorkerStats {
 pub struct SharedPageCache<T> {
     shards: Vec<Shard<T>>,
     stats: Vec<WorkerStats>,
+    retry: RetryPolicy,
+    corrupt_detected: AtomicU64,
 }
 
 impl<T> SharedPageCache<T> {
@@ -109,6 +128,9 @@ impl<T> SharedPageCache<T> {
     ///
     /// Every shard gets at least one page, so the effective capacity is
     /// `max(capacity, shards)` when `capacity < shards`.
+    ///
+    /// The cache starts with [`RetryPolicy::default`] (three attempts, no
+    /// backoff) — use [`SharedPageCache::with_retry`] to change it.
     ///
     /// # Panics
     ///
@@ -125,13 +147,27 @@ impl<T> SharedPageCache<T> {
                         data: HashMap::with_capacity(per_shard),
                         owner: HashMap::with_capacity(per_shard),
                         loading: HashSet::new(),
+                        quarantined: HashMap::new(),
                     }),
                     loaded: Condvar::new(),
                     capacity: per_shard,
                 })
                 .collect(),
             stats: (0..workers).map(|_| WorkerStats::default()).collect(),
+            retry: RetryPolicy::default(),
+            corrupt_detected: AtomicU64::new(0),
         }
+    }
+
+    /// Replace the retry policy applied to fills (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The retry policy applied to fills.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Number of shards.
@@ -162,6 +198,30 @@ impl<T> SharedPageCache<T> {
         self.len() == 0
     }
 
+    /// Number of pages currently quarantined as corrupt.
+    pub fn quarantined_pages(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().unwrap().quarantined.len())
+            .sum()
+    }
+
+    /// Whether `page` is quarantined.
+    pub fn is_quarantined(&self, page: PageId) -> bool {
+        self.shard_of(page)
+            .state
+            .lock()
+            .unwrap()
+            .quarantined
+            .contains_key(&page)
+    }
+
+    /// Total corrupt fills detected over the cache's lifetime (monotone;
+    /// counts first detections, not replays to later requesters).
+    pub fn corrupt_detected(&self) -> u64 {
+        self.corrupt_detected.load(Ordering::Relaxed)
+    }
+
     #[inline]
     fn shard_of(&self, page: PageId) -> &Shard<T> {
         // Fibonacci hashing spreads the sequential page ids trees produce;
@@ -170,7 +230,7 @@ impl<T> SharedPageCache<T> {
         &self.shards[(h >> 32) as usize % self.shards.len()]
     }
 
-    fn bump(&self, worker: usize, access: SharedAccess, evicted: bool) {
+    fn bump(&self, worker: usize, access: SharedAccess, evicted: bool, retries: u64) {
         let mut s = self.stats[worker].stats.lock().unwrap();
         match access {
             SharedAccess::HitLocal => s.hits_local += 1,
@@ -180,6 +240,13 @@ impl<T> SharedPageCache<T> {
         }
         if evicted {
             s.evictions += 1;
+        }
+        s.retries += retries;
+    }
+
+    fn bump_retries(&self, worker: usize, retries: u64) {
+        if retries > 0 {
+            self.stats[worker].stats.lock().unwrap().retries += retries;
         }
     }
 
@@ -204,15 +271,19 @@ impl<T> SharedPageCache<T> {
     /// As [`SharedPageCache::get`], propagating a failed fetch to the caller
     /// instead of panicking.
     ///
-    /// On error nothing is cached and the in-flight marker is cleared, so
-    /// concurrent waiters on the same page wake up and retry the fetch
-    /// themselves; one degraded request does not poison the page for others.
+    /// Retryable source errors are retried in place under the cache's
+    /// [`RetryPolicy`] before failing. A final *corrupt* error quarantines
+    /// the page — the stored error is replayed to every later requester
+    /// without re-fetching. Any other final error caches nothing and clears
+    /// the in-flight marker, so concurrent waiters on the same page wake up
+    /// and retry the fetch themselves; one degraded request does not poison
+    /// the page for others.
     pub fn try_get<S>(
         &self,
         worker: usize,
         page: PageId,
         source: &S,
-    ) -> io::Result<(Arc<T>, SharedAccess)>
+    ) -> Result<(Arc<T>, SharedAccess), PageError>
     where
         S: PageSource<Item = T> + ?Sized,
     {
@@ -220,6 +291,11 @@ impl<T> SharedPageCache<T> {
         let mut state = shard.state.lock().unwrap();
         let mut waited = false;
         loop {
+            if let Some(err) = state.quarantined.get(&page) {
+                let err = err.clone();
+                drop(state);
+                return Err(err);
+            }
             if let Some(value) = state.data.get(&page) {
                 let value = Arc::clone(value);
                 state.buf.touch(page);
@@ -235,14 +311,15 @@ impl<T> SharedPageCache<T> {
                     }
                 };
                 drop(state);
-                self.bump(worker, access, false);
+                self.bump(worker, access, false, 0);
                 return Ok((value, access));
             }
             if state.loading.contains(&page) {
                 // Someone else is fetching this page: wait for their load
                 // rather than issuing a second fetch (paper §3.1). If that
                 // load *fails*, the marker is cleared and the wakeup sends
-                // us around the loop to retry the fetch ourselves.
+                // us around the loop to retry the fetch ourselves (or to
+                // pick up the quarantine entry if it was corrupt).
                 waited = true;
                 state = shard.loaded.wait(state).unwrap();
                 continue;
@@ -251,16 +328,21 @@ impl<T> SharedPageCache<T> {
             // pages of this shard stay accessible during the fetch.
             state.loading.insert(page);
             drop(state);
-            let fetched = source.fetch_page(page);
+            let (fetched, retries) = self.retry.run(page.0 as u64, |_| source.fetch_page(page));
             let mut state = shard.state.lock().unwrap();
             state.loading.remove(&page);
             let value = match fetched {
                 Ok(v) => Arc::new(v),
                 Err(e) => {
-                    // Nothing cached; wake waiters so they retry or fail on
-                    // their own fetch attempt.
+                    if e.is_corrupt() {
+                        // Unrecoverable: quarantine so later requesters get
+                        // the typed error without hitting the device again.
+                        state.quarantined.insert(page, e.clone());
+                        self.corrupt_detected.fetch_add(1, Ordering::Relaxed);
+                    }
                     drop(state);
                     shard.loaded.notify_all();
+                    self.bump_retries(worker, retries);
                     return Err(e);
                 }
             };
@@ -274,7 +356,7 @@ impl<T> SharedPageCache<T> {
             state.owner.insert(page, worker);
             drop(state);
             shard.loaded.notify_all();
-            self.bump(worker, SharedAccess::Miss, evicted);
+            self.bump(worker, SharedAccess::Miss, evicted, retries);
             return Ok((value, SharedAccess::Miss));
         }
     }
@@ -315,6 +397,8 @@ impl<T> SharedPageCache<T> {
             stats: self.total_stats(),
             resident_pages: self.len(),
             capacity_pages: self.capacity(),
+            quarantined_pages: self.quarantined_pages(),
+            corrupt_detected: self.corrupt_detected(),
         }
     }
 
@@ -322,10 +406,10 @@ impl<T> SharedPageCache<T> {
     /// concurrently in flight.
     ///
     /// Verifies, per shard: residency within capacity, the value and owner
-    /// maps exactly mirror the residency buffer, and no load marked in
-    /// flight. Globally: every worker's counters are internally consistent
-    /// (`requests() == hits + misses` holds by construction of
-    /// [`BufferStats::requests`]).
+    /// maps exactly mirror the residency buffer, no load marked in flight,
+    /// and no quarantined page resident. Globally: every worker's counters
+    /// are internally consistent (`requests() == hits + misses` holds by
+    /// construction of [`BufferStats::requests`]).
     pub fn check_invariants(&self) -> Result<(), String> {
         for (i, shard) in self.shards.iter().enumerate() {
             let state = shard.state.lock().unwrap();
@@ -358,6 +442,11 @@ impl<T> SharedPageCache<T> {
                     state.loading.len()
                 ));
             }
+            for page in state.quarantined.keys() {
+                if state.buf.contains(*page) {
+                    return Err(format!("shard {i}: quarantined page {page} is resident"));
+                }
+            }
             for owner in state.owner.values() {
                 if *owner >= self.stats.len() {
                     return Err(format!("shard {i}: owner {owner} out of range"));
@@ -374,6 +463,7 @@ impl<T> std::fmt::Debug for SharedPageCache<T> {
             .field("shards", &self.shards.len())
             .field("capacity", &self.capacity())
             .field("len", &self.len())
+            .field("quarantined", &self.quarantined_pages())
             .finish()
     }
 }
@@ -388,6 +478,10 @@ pub struct CacheSnapshot {
     pub resident_pages: usize,
     /// Maximum resident pages (constant over the cache's life).
     pub capacity_pages: usize,
+    /// Pages quarantined as corrupt at snapshot time.
+    pub quarantined_pages: usize,
+    /// Corrupt fills detected so far (monotone).
+    pub corrupt_detected: u64,
 }
 
 impl CacheSnapshot {
@@ -401,7 +495,7 @@ impl CacheSnapshot {
 impl PageSource for psj_store::FilePager {
     type Item = Page;
 
-    fn fetch_page(&self, page: PageId) -> io::Result<Page> {
+    fn fetch_page(&self, page: PageId) -> Result<Page, PageError> {
         self.read_page(page)
     }
 
@@ -410,9 +504,65 @@ impl PageSource for psj_store::FilePager {
     }
 }
 
+impl PageSource for psj_store::FaultPager {
+    type Item = Page;
+
+    fn fetch_page(&self, page: PageId) -> Result<Page, PageError> {
+        self.read_page(page)
+    }
+
+    fn page_count(&self) -> usize {
+        self.num_pages()
+    }
+}
+
+/// A fault-injecting decorator over any [`PageSource`].
+///
+/// For *decoded* sources (nodes, not raw bytes) there are no record bytes
+/// to flip, so permanent flip/torn faults from the [`FaultPlan`] are
+/// synthesized directly as [`PageError::Corrupt`] (see
+/// [`FaultPlan::before_fetch`]); transient faults and latency behave
+/// exactly as in the byte-level [`psj_store::FaultPager`].
+#[derive(Debug)]
+pub struct FaultSource<S> {
+    inner: S,
+    plan: Arc<FaultPlan>,
+}
+
+impl<S: PageSource> FaultSource<S> {
+    /// Wrap `inner` with the fault plan.
+    pub fn new(inner: S, plan: Arc<FaultPlan>) -> Self {
+        FaultSource { inner, plan }
+    }
+
+    /// The fault plan driving this source.
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: PageSource> PageSource for FaultSource<S> {
+    type Item = S::Item;
+
+    fn fetch_page(&self, page: PageId) -> Result<S::Item, PageError> {
+        self.plan.before_fetch(page)?;
+        self.inner.fetch_page(page)
+    }
+
+    fn page_count(&self) -> usize {
+        self.inner.page_count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     /// A source that counts fetches and returns the page number.
@@ -433,7 +583,7 @@ mod tests {
     impl PageSource for Counting {
         type Item = u32;
 
-        fn fetch_page(&self, page: PageId) -> io::Result<u32> {
+        fn fetch_page(&self, page: PageId) -> Result<u32, PageError> {
             self.fetches.fetch_add(1, Ordering::Relaxed);
             Ok(page.0)
         }
@@ -443,7 +593,8 @@ mod tests {
         }
     }
 
-    /// A source that fails the first `failures` fetches.
+    /// A source that fails the first `failures` fetches with a transient
+    /// (retryable) error.
     struct Flaky {
         failures: AtomicU64,
     }
@@ -451,15 +602,37 @@ mod tests {
     impl PageSource for Flaky {
         type Item = u32;
 
-        fn fetch_page(&self, page: PageId) -> io::Result<u32> {
+        fn fetch_page(&self, page: PageId) -> Result<u32, PageError> {
             if self
                 .failures
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |f| f.checked_sub(1))
                 .is_ok()
             {
-                return Err(io::Error::other("simulated bad read"));
+                return Err(PageError::io(
+                    page,
+                    io::ErrorKind::Other,
+                    "simulated bad read",
+                ));
             }
             Ok(page.0)
+        }
+
+        fn page_count(&self) -> usize {
+            100
+        }
+    }
+
+    /// A source that always reports its pages corrupt.
+    struct Rotten;
+
+    impl PageSource for Rotten {
+        type Item = u32;
+
+        fn fetch_page(&self, page: PageId) -> Result<u32, PageError> {
+            Err(PageError::Corrupt {
+                page,
+                context: "rotten source".into(),
+            })
         }
 
         fn page_count(&self) -> usize {
@@ -599,12 +772,14 @@ mod tests {
 
     #[test]
     fn failed_fetch_degrades_one_request_only() {
-        let cache: SharedPageCache<u32> = SharedPageCache::new(1, 8, 2, Policy::Lru);
+        // RetryPolicy::none so the single injected failure is not absorbed.
+        let cache: SharedPageCache<u32> =
+            SharedPageCache::new(1, 8, 2, Policy::Lru).with_retry(RetryPolicy::none());
         let src = Flaky {
             failures: AtomicU64::new(1),
         };
         let err = cache.try_get(0, p(3), &src).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert!(matches!(err, PageError::Io { .. }));
         cache.check_invariants().unwrap();
         assert!(!cache.contains(p(3)), "failed fetch caches nothing");
         // The very next request retries the source and succeeds.
@@ -614,8 +789,64 @@ mod tests {
     }
 
     #[test]
+    fn transient_errors_absorbed_by_retry_policy() {
+        // Default policy: 3 attempts. Two failures are retried in place and
+        // the request still succeeds, with the retries counted.
+        let cache: SharedPageCache<u32> = SharedPageCache::new(1, 8, 2, Policy::Lru);
+        let src = Flaky {
+            failures: AtomicU64::new(2),
+        };
+        let (v, a) = cache.try_get(0, p(3), &src).unwrap();
+        assert_eq!((*v, a), (3, SharedAccess::Miss));
+        assert_eq!(cache.total_stats().retries, 2);
+        assert_eq!(cache.total_stats().misses, 1);
+        cache.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_and_counts() {
+        let cache: SharedPageCache<u32> = SharedPageCache::new(1, 8, 2, Policy::Lru);
+        let src = Flaky {
+            failures: AtomicU64::new(10),
+        };
+        let err = cache.try_get(0, p(3), &src).unwrap_err();
+        assert!(matches!(err, PageError::Io { .. }));
+        // 3 attempts = 2 retries, all counted even though the fill failed.
+        assert_eq!(cache.total_stats().retries, 2);
+        assert!(!cache.contains(p(3)));
+        cache.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn corrupt_fill_quarantines_and_replays() {
+        let cache: SharedPageCache<u32> = SharedPageCache::new(2, 8, 2, Policy::Lru);
+        let src = Rotten;
+        let err = cache.try_get(0, p(9), &src).unwrap_err();
+        assert!(err.is_corrupt());
+        assert!(cache.is_quarantined(p(9)));
+        assert_eq!(cache.quarantined_pages(), 1);
+        assert_eq!(cache.corrupt_detected(), 1);
+        // A later request (different worker) replays the stored error
+        // without touching the source again.
+        let counting_gate = Counting::new(100); // healthy source
+        let replay = cache.try_get(1, p(9), &counting_gate).unwrap_err();
+        assert!(replay.is_corrupt());
+        assert_eq!(
+            counting_gate.fetches.load(Ordering::Relaxed),
+            0,
+            "quarantined page never re-fetched"
+        );
+        assert_eq!(cache.corrupt_detected(), 1, "replays are not re-detections");
+        // Healthy pages are unaffected.
+        let (v, _) = cache.try_get(0, p(10), &counting_gate).unwrap();
+        assert_eq!(*v, 10);
+        cache.check_invariants().unwrap();
+    }
+
+    #[test]
     fn concurrent_waiters_survive_a_failed_fetch() {
-        let cache: SharedPageCache<u32> = SharedPageCache::new(8, 64, 2, Policy::Lru);
+        let cache: SharedPageCache<u32> =
+            SharedPageCache::new(8, 64, 2, Policy::Lru).with_retry(RetryPolicy::none());
         let src = Flaky {
             failures: AtomicU64::new(3),
         };
@@ -652,6 +883,65 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_waiters_on_a_corrupt_page_all_get_the_typed_error() {
+        let cache: SharedPageCache<u32> = SharedPageCache::new(8, 64, 2, Policy::Lru);
+        let src = Rotten;
+        let corrupt = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for w in 0..8 {
+                let cache = &cache;
+                let src = &src;
+                let corrupt = &corrupt;
+                scope.spawn(move || match cache.try_get(w, p(5), src) {
+                    Err(e) if e.is_corrupt() => {
+                        corrupt.fetch_add(1, Ordering::Relaxed);
+                    }
+                    other => panic!("expected corrupt error, got {other:?}"),
+                });
+            }
+        });
+        assert_eq!(corrupt.load(Ordering::Relaxed), 8);
+        assert_eq!(cache.corrupt_detected(), 1, "one detection, many replays");
+        cache.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fault_source_injects_per_plan() {
+        let plan = Arc::new(FaultPlan::new(21).with_transient(1.0, 1));
+        let src = FaultSource::new(Counting::new(100), plan.clone());
+        // Default retry policy (3 attempts) absorbs the burst of 1.
+        let cache: SharedPageCache<u32> = SharedPageCache::new(1, 32, 2, Policy::Lru);
+        for n in 0..20 {
+            let (v, _) = cache.try_get(0, p(n), &src).unwrap();
+            assert_eq!(*v, n);
+        }
+        assert_eq!(plan.transient_injected(), 20);
+        assert_eq!(cache.total_stats().retries, plan.transient_injected());
+        cache.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fault_source_corruption_quarantines() {
+        let plan = Arc::new(FaultPlan::new(22).with_flip(0.5));
+        let src = FaultSource::new(Counting::new(100), plan.clone());
+        let cache: SharedPageCache<u32> = SharedPageCache::new(1, 64, 2, Policy::Lru);
+        let mut corrupt = 0;
+        for n in 0..40 {
+            match cache.try_get(0, p(n), &src) {
+                Ok((v, _)) => assert_eq!(*v, n),
+                Err(e) => {
+                    assert!(e.is_corrupt());
+                    corrupt += 1;
+                }
+            }
+        }
+        assert!(corrupt > 0, "plan with flip=0.5 should poison some pages");
+        assert_eq!(cache.quarantined_pages(), corrupt);
+        assert_eq!(cache.corrupt_detected(), corrupt as u64);
+        cache.check_invariants().unwrap();
+    }
+
+    #[test]
     fn snapshot_delta_isolates_activity() {
         let cache: SharedPageCache<u32> = SharedPageCache::new(2, 16, 2, Policy::Lru);
         let src = Counting::new(100);
@@ -670,5 +960,6 @@ mod tests {
         assert_eq!(delta.hits_remote, 8);
         assert_eq!(delta.requests(), 8);
         assert_eq!(after.capacity_pages, cache.capacity());
+        assert_eq!(after.quarantined_pages, 0);
     }
 }

@@ -22,6 +22,9 @@ pub struct BufferStats {
     pub evictions: u64,
     /// Hits on the R\*-tree path buffers (bypass the page buffer entirely).
     pub hits_path: u64,
+    /// Fetch attempts retried under the cache's `RetryPolicy` after a
+    /// transient source error (each retry of each fill counts once).
+    pub retries: u64,
 }
 
 impl BufferStats {
@@ -56,6 +59,7 @@ impl BufferStats {
             misses: self.misses - earlier.misses,
             evictions: self.evictions - earlier.evictions,
             hits_path: self.hits_path - earlier.hits_path,
+            retries: self.retries - earlier.retries,
         }
     }
 
@@ -68,6 +72,7 @@ impl BufferStats {
             misses: self.misses + other.misses,
             evictions: self.evictions + other.evictions,
             hits_path: self.hits_path + other.hits_path,
+            retries: self.retries + other.retries,
         }
     }
 }
@@ -99,16 +104,36 @@ mod tests {
         let a = BufferStats {
             hits_local: 1,
             misses: 2,
+            retries: 3,
             ..Default::default()
         };
         let b = BufferStats {
             hits_local: 3,
             evictions: 1,
+            retries: 1,
             ..Default::default()
         };
         let m = a.merged(&b);
         assert_eq!(m.hits_local, 4);
         assert_eq!(m.misses, 2);
         assert_eq!(m.evictions, 1);
+        assert_eq!(m.retries, 4);
+    }
+
+    #[test]
+    fn since_subtracts_retries() {
+        let earlier = BufferStats {
+            retries: 2,
+            misses: 5,
+            ..Default::default()
+        };
+        let later = BufferStats {
+            retries: 7,
+            misses: 9,
+            ..Default::default()
+        };
+        let d = later.since(&earlier);
+        assert_eq!(d.retries, 5);
+        assert_eq!(d.misses, 4);
     }
 }

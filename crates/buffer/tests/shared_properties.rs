@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use psj_buffer::{PageSource, Policy, SharedAccess, SharedPageCache};
-use psj_store::PageId;
+use psj_store::{PageError, PageId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,7 +34,7 @@ impl Numbers {
 impl PageSource for Numbers {
     type Item = u64;
 
-    fn fetch_page(&self, page: PageId) -> std::io::Result<u64> {
+    fn fetch_page(&self, page: PageId) -> Result<u64, PageError> {
         self.fetches.fetch_add(1, Ordering::Relaxed);
         Ok(page.0 as u64)
     }

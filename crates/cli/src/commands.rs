@@ -1,13 +1,18 @@
 //! The CLI subcommands.
 
 use crate::args::Args;
-use psj_core::{run_native_join, run_sim_join, BufferConfig, BufferOrg, NativeConfig, SimConfig};
+use psj_core::{
+    run_sim_join, try_run_native_join, BufferConfig, BufferOrg, NativeConfig, NativeError,
+    RunControl, SimConfig,
+};
 use psj_datagen::io::{load_map, save_map};
 use psj_datagen::Scenario;
-use psj_rtree::{bulk::bulk_load_str, PagedTree, RTree};
-use psj_serve::{loadgen, LoadConfig, ServeConfig, Server};
+use psj_rtree::{bulk::bulk_load_str, fsck_file, PagedTree, RTree};
+use psj_serve::{loadgen, Client, ClientError, LoadConfig, Response, ServeConfig, Server};
+use psj_store::{FaultPlan, RetryPolicy};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Top-level usage text.
@@ -20,17 +25,27 @@ commands:
   stats    --tree <tree>
   join     --tree1 <tree> --tree2 <tree> [--threads <n>] [--no-refine]
            [--cache <pages>] [--cache-org local|global] [--cache-shards <n>]
+           [--inject-faults <spec>] [--retry-attempts <n>]
+  fsck     <tree>  (or --tree <tree>) — prints a JSON integrity report,
+           exits nonzero if the index is damaged
   simulate --tree1 <tree> --tree2 <tree> [--procs <n>] [--disks <n>]
            [--buffer <pages>] [--variant lsr|gsrr|gd|best]
   serve    --trees <tree>[,<tree>...] [--addr 127.0.0.1:7878] [--workers <n>]
            [--queue-bound <n>] [--batch-window-us <us>] [--max-batch <n>]
            [--cache <pages>] [--cache-shards <n>] [--join-threads <n>]
+           [--lenient] [--inject-faults <spec>] [--retry-attempts <n>]
+  query    --addr <host:port> [--tree <n>] (--window xl,yl,xu,yu |
+           --nearest x,y [--k <n>] | --join-with <n> | --stats | --shutdown)
   bench-serve --addr <host:port> [--clients <n>] [--requests <n>] [--seed <n>]
            [--window-frac <f>] [--nearest-frac <f>] [--deadline-ms <n>]
            [--k <n>] [--window-extent <f>] [--out <file.json>] [--shutdown]
   help
 
-options may be written --key value or --key=value";
+options may be written --key value or --key=value
+
+fault spec grammar (comma-separated key=value):
+  seed=<u64> transient=<p> burst=<n> flip=<p> torn=<p> latency-us=<n> latency-p=<p>
+  e.g. --inject-faults seed=42,transient=0.2,burst=2,flip=0.01";
 
 type CmdResult = Result<(), String>;
 
@@ -129,7 +144,33 @@ pub fn join(args: &Args) -> CmdResult {
         buffer.shards = args.parse_or("cache-shards", buffer.shards)?;
         cfg.buffer = Some(buffer);
     }
-    let res = run_native_join(&a, &b, &cfg);
+    let fault = match args.get("inject-faults") {
+        Some(spec) => Some(Arc::new(FaultPlan::parse(spec)?)),
+        None => None,
+    };
+    let mut ctl = RunControl::default();
+    if let Some(plan) = &fault {
+        ctl = ctl.with_fault(Arc::clone(plan));
+    }
+    if let Some(n) = args.get("retry-attempts") {
+        let attempts: u32 = n
+            .parse()
+            .map_err(|_| format!("invalid value for --retry-attempts: {n}"))?;
+        ctl = ctl.with_retry(RetryPolicy::attempts(attempts));
+    }
+    let res = match try_run_native_join(&a, &b, &cfg, &ctl) {
+        Ok(res) => res,
+        Err(NativeError::Storage(je)) => {
+            if let Some(plan) = &fault {
+                eprintln!("injected faults:    {}", plan.summary());
+            }
+            return Err(format!(
+                "join aborted by storage failure ({} tasks failed): {}",
+                je.failed_tasks, je.error
+            ));
+        }
+        Err(NativeError::Cancelled) => unreachable!("no cancel token installed"),
+    };
     println!("threads:            {threads}");
     println!("tasks:              {}", res.tasks);
     println!("node pairs:         {}", res.node_pairs);
@@ -161,23 +202,54 @@ pub fn join(args: &Args) -> CmdResult {
             stats.evictions
         );
     }
+    if let Some(plan) = &fault {
+        println!("injected faults:    {}", plan.summary());
+        if let Some(stats) = &res.buffer {
+            println!("page retries:       {}", stats.retries);
+        }
+    }
     println!("wall time:          {:.3?}", res.elapsed);
     Ok(())
+}
+
+/// `psj fsck` — verify an index file and print a JSON integrity report.
+pub fn fsck(args: &Args) -> CmdResult {
+    let path = args.require("tree")?;
+    let report = fsck_file(Path::new(path));
+    println!("{}", report.to_json());
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!("{path}: integrity check failed"))
+    }
 }
 
 /// `psj serve` — run the query service until a client sends Shutdown.
 pub fn serve(args: &Args) -> CmdResult {
     let tree_list = args.require("trees")?;
+    let lenient = args.flag("lenient");
     let mut trees = Vec::new();
     for path in tree_list.split(',').filter(|s| !s.is_empty()) {
-        let t = PagedTree::load_from(Path::new(path)).map_err(io_err)?;
+        let t = if lenient {
+            let l = PagedTree::load_from_lenient(Path::new(path)).map_err(io_err)?;
+            if !l.corrupt_pages.is_empty() {
+                println!(
+                    "loaded {path} LENIENT: {} corrupt pages poisoned \
+                     (queries touching them return storage errors)",
+                    l.corrupt_pages.len()
+                );
+            }
+            l.tree
+        } else {
+            PagedTree::load_from(Path::new(path)).map_err(io_err)?
+        };
         println!(
             "loaded {path}: {} objects, {} pages, height {}",
             t.len(),
             t.num_pages(),
             t.height()
         );
-        trees.push(std::sync::Arc::new(t));
+        trees.push(Arc::new(t));
     }
     let cfg = ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
@@ -193,6 +265,11 @@ pub fn serve(args: &Args) -> CmdResult {
         cache_pages: args.parse_or("cache", 4096)?,
         cache_shards: args.parse_or("cache-shards", 16)?,
         join_threads: args.parse_or("join-threads", 4)?,
+        fault: match args.get("inject-faults") {
+            Some(spec) => Some(Arc::new(FaultPlan::parse(spec)?)),
+            None => None,
+        },
+        retry: RetryPolicy::attempts(args.parse_or("retry-attempts", 3)?),
         ..ServeConfig::default()
     };
     let server = Server::start(cfg, trees).map_err(io_err)?;
@@ -202,6 +279,93 @@ pub fn serve(args: &Args) -> CmdResult {
     );
     let report = server.wait();
     println!("--- server report ---\n{report}");
+    Ok(())
+}
+
+/// One comma-separated list of exactly `N` floats.
+fn parse_floats<const N: usize>(key: &str, value: &str) -> Result<[f64; N], String> {
+    let parts: Vec<f64> = value
+        .split(',')
+        .map(|s| s.trim().parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("invalid --{key}: {value} (expected {N} comma-separated numbers)"))?;
+    parts
+        .try_into()
+        .map_err(|_| format!("invalid --{key}: {value} (expected {N} comma-separated numbers)"))
+}
+
+/// Maps a non-payload server response to the CLI error string.
+fn describe_response(r: Response) -> String {
+    match r {
+        Response::Storage { kind, msg } => format!("storage error ({kind}): {msg}"),
+        Response::Overloaded => "server overloaded".into(),
+        Response::DeadlineExceeded => "deadline exceeded".into(),
+        Response::Error(msg) => format!("server error: {msg}"),
+        other => format!("unexpected response: {other:?}"),
+    }
+}
+
+fn client_err(e: ClientError) -> String {
+    match e {
+        ClientError::Unexpected(r) => describe_response(*r),
+        ClientError::Io(e) => format!("transport error: {e}"),
+    }
+}
+
+/// `psj query` — one-shot client: issue a single query (or stats/shutdown)
+/// against a running server. Exits nonzero on any non-payload reply, with
+/// storage errors reported as `storage error (corrupt|unavailable): ...`.
+pub fn query(args: &Args) -> CmdResult {
+    let addr_str = args.require("addr")?;
+    let addr: std::net::SocketAddr = addr_str
+        .parse()
+        .map_err(|_| format!("invalid address: {addr_str}"))?;
+    let mut client =
+        Client::connect_timeout(&addr, std::time::Duration::from_secs(30)).map_err(io_err)?;
+    if args.flag("shutdown") {
+        client.shutdown().map_err(client_err)?;
+        println!("server acknowledged shutdown");
+        return Ok(());
+    }
+    if args.flag("stats") {
+        let stats = client.stats().map_err(client_err)?;
+        println!("{stats}");
+        return Ok(());
+    }
+    let tree: u16 = args.parse_or("tree", 0u16)?;
+    let deadline_ms: u32 = args.parse_or("deadline-ms", 0u32)?;
+    if let Some(w) = args.get("window") {
+        let [xl, yl, xu, yu] = parse_floats::<4>("window", w)?;
+        let oids = client
+            .window(tree, psj_geom::Rect::new(xl, yl, xu, yu), deadline_ms)
+            .map_err(client_err)?;
+        println!("{} entries", oids.len());
+        for oid in oids {
+            println!("{oid}");
+        }
+    } else if let Some(p) = args.get("nearest") {
+        let [x, y] = parse_floats::<2>("nearest", p)?;
+        let k: u32 = args.parse_or("k", 10u32)?;
+        let nn = client
+            .nearest(tree, x, y, k, deadline_ms)
+            .map_err(client_err)?;
+        println!("{} neighbors", nn.len());
+        for (dist, oid) in nn {
+            println!("{oid}\t{dist}");
+        }
+    } else if let Some(other) = args.get("join-with") {
+        let other: u16 = other
+            .parse()
+            .map_err(|_| format!("invalid --join-with: {other}"))?;
+        let pairs = client
+            .join(tree, other, true, deadline_ms)
+            .map_err(client_err)?;
+        println!("{} pairs", pairs.len());
+    } else {
+        return Err(
+            "query needs one of --window, --nearest, --join-with, --stats, --shutdown".into(),
+        );
+    }
     Ok(())
 }
 
@@ -227,11 +391,12 @@ pub fn bench_serve(args: &Args) -> CmdResult {
     }
     let report = loadgen::run(&cfg).map_err(io_err)?;
     println!(
-        "{} offered, {} completed, {} shed, {} timed out, {} errors in {:.3} s",
+        "{} offered, {} completed, {} shed, {} timed out, {} storage errors, {} errors in {:.3} s",
         report.offered,
         report.completed,
         report.shed,
         report.timeouts,
+        report.storage,
         report.errors,
         report.elapsed_s
     );

@@ -4,11 +4,14 @@
 //! psj generate --scale 0.1 --seed 1996 --out1 map1.psjm --out2 map2.psjm
 //! psj build    --map map1.psjm --out tree1.psjt [--attrs 1365] [--str]
 //! psj stats    --tree tree1.psjt
+//! psj fsck     tree1.psjt
 //! psj join     --tree1 tree1.psjt --tree2 tree2.psjt [--threads 8] [--no-refine]
+//!              [--inject-faults seed=42,flip=0.01] [--retry-attempts 4]
 //! psj simulate --tree1 tree1.psjt --tree2 tree2.psjt [--procs 8] [--disks 8]
 //!              [--buffer 800] [--variant lsr|gsrr|gd|best]
 //! psj serve    --trees tree1.psjt,tree2.psjt [--addr 127.0.0.1:7878]
 //!              [--workers 4] [--queue-bound 256] [--batch-window-us 2000]
+//! psj query    --addr 127.0.0.1:7878 --tree 0 --window 0,0,10,10
 //! psj bench-serve --addr 127.0.0.1:7878 [--clients 4] [--requests 250]
 //!              [--out results/serve_baseline.json] [--shutdown]
 //! ```
@@ -26,6 +29,11 @@ fn main() {
         std::process::exit(2);
     }
     let cmd = argv.remove(0);
+    // `psj fsck <index>` is the natural spelling; rewrite the bare path to
+    // the --tree option the parser expects (it rejects stray positionals).
+    if cmd == "fsck" && argv.len() == 1 && !argv[0].starts_with("--") {
+        argv[0] = format!("--tree={}", argv[0]);
+    }
     let parsed = match args::Args::parse(&argv) {
         Ok(parsed) => parsed,
         Err(e) => {
@@ -38,8 +46,10 @@ fn main() {
         "build" => commands::build(&parsed),
         "stats" => commands::stats(&parsed),
         "join" => commands::join(&parsed),
+        "fsck" => commands::fsck(&parsed),
         "simulate" => commands::simulate(&parsed),
         "serve" => commands::serve(&parsed),
+        "query" => commands::query(&parsed),
         "bench-serve" => commands::bench_serve(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

@@ -66,8 +66,9 @@ pub use distance_join::{distance_join, distance_join_candidates};
 pub use estimate::{estimate_join, JoinEstimate};
 pub use metrics::JoinMetrics;
 pub use native::{
-    run_native_join, run_native_join_cancellable, run_native_join_with_cache, BufferConfig,
-    NativeConfig, NativeResult,
+    run_native_join, run_native_join_cancellable, run_native_join_with_cache, try_run_native_join,
+    try_run_native_join_with_cache, BufferConfig, JoinError, NativeConfig, NativeError,
+    NativeResult, RunControl,
 };
 pub use queries::{
     batched_window_queries, batched_window_queries_cancellable, parallel_nn_queries,

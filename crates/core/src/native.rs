@@ -29,18 +29,29 @@
 //!
 //! [`NativeResult::buffer`] reports the aggregate [`BufferStats`];
 //! [`NativeResult::buffer_per_worker`] breaks them down by worker.
+//!
+//! # Faults and storage errors
+//!
+//! [`try_run_native_join`] is the fallible entry point: page fetches may be
+//! disturbed by an injected [`FaultPlan`] (see [`RunControl::fault`]) or, in
+//! a real deployment, fail outright. Transient failures are retried inside
+//! the cache per [`RunControl::retry`] and show up only as
+//! [`BufferStats::retries`]; unrecoverable failures (checksum corruption,
+//! quarantined pages) abort the join with [`NativeError::Storage`] — a
+//! parallel join never silently drops a subtree, so a storage error yields
+//! a typed error rather than a wrong answer.
 
 use crate::assign::{static_range, static_round_robin, Assignment};
 use crate::cancel::{CancelToken, Cancelled};
 use crate::deque::{Injector, Steal, Stealer, Worker};
 use crate::sim::BufferOrg;
 use crate::task::{create_tasks, expand_pair, Candidate, KernelScratch, TaskPair};
-use psj_buffer::{BufferStats, PageSource, Policy, SharedPageCache};
+use psj_buffer::{BufferStats, FaultSource, PageSource, Policy, SharedPageCache};
 use psj_rtree::{Node, PagedTree};
-use psj_store::PageId;
+use psj_store::{FaultPlan, PageError, PageId, RetryPolicy};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Buffered (out-of-core) execution settings for the native join.
@@ -126,6 +137,83 @@ impl NativeConfig {
     }
 }
 
+/// Runtime controls of a single join run that don't belong in the
+/// (serializable) [`NativeConfig`]: cancellation, fault injection, and the
+/// storage retry policy.
+#[derive(Default, Clone)]
+pub struct RunControl<'c> {
+    /// Cooperative cancellation token, checked once per node pair.
+    pub cancel: Option<&'c CancelToken>,
+    /// Deterministic fault plan applied to every page fetch. Requires a
+    /// buffered run; [`try_run_native_join`] forces an implicit global
+    /// buffer when `fault` is set on an unbuffered config.
+    pub fault: Option<Arc<FaultPlan>>,
+    /// Retry policy for failed page fetches (applied inside the cache).
+    pub retry: RetryPolicy,
+}
+
+impl<'c> RunControl<'c> {
+    /// Adds a cancellation token.
+    pub fn with_cancel(mut self, token: &'c CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Adds a fault plan.
+    pub fn with_fault(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Sets the storage retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+/// An unrecoverable storage failure that aborted a join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinError {
+    /// The first page error any worker hit (after retries).
+    pub error: PageError,
+    /// Tasks abandoned because their node fetch failed (workers that were
+    /// mid-task when the abort flag went up also count theirs).
+    pub failed_tasks: u64,
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "join aborted by storage error ({} failed tasks): {}",
+            self.failed_tasks, self.error
+        )
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Why a fallible native join did not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NativeError {
+    /// The cancel token fired (deadline or explicit cancellation).
+    Cancelled,
+    /// A page could not be read even after retries.
+    Storage(JoinError),
+}
+
+impl std::fmt::Display for NativeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NativeError::Cancelled => write!(f, "join cancelled"),
+            NativeError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NativeError {}
+
 /// Result of a native parallel join.
 #[derive(Debug, Clone)]
 pub struct NativeResult {
@@ -162,7 +250,7 @@ struct JoinSource<'t> {
 impl PageSource for JoinSource<'_> {
     type Item = Node;
 
-    fn fetch_page(&self, page: PageId) -> std::io::Result<Node> {
+    fn fetch_page(&self, page: PageId) -> Result<Node, PageError> {
         Ok(if page.0 & TREE_B_TAG != 0 {
             Node::decode(self.b.pages().read(PageId(page.0 & !TREE_B_TAG)))
         } else {
@@ -172,6 +260,31 @@ impl PageSource for JoinSource<'_> {
 
     fn page_count(&self) -> usize {
         self.a.pages().len() + self.b.pages().len()
+    }
+}
+
+/// The page source a buffered run fills its cache from: the plain decode
+/// path, or the same wrapped in an injected fault plan.
+enum Source<'t> {
+    Plain(JoinSource<'t>),
+    Faulted(FaultSource<JoinSource<'t>>),
+}
+
+impl PageSource for Source<'_> {
+    type Item = Node;
+
+    fn fetch_page(&self, page: PageId) -> Result<Node, PageError> {
+        match self {
+            Source::Plain(s) => s.fetch_page(page),
+            Source::Faulted(s) => s.fetch_page(page),
+        }
+    }
+
+    fn page_count(&self) -> usize {
+        match self {
+            Source::Plain(s) => s.page_count(),
+            Source::Faulted(s) => s.page_count(),
+        }
     }
 }
 
@@ -197,7 +310,9 @@ impl std::ops::Deref for NodeRef<'_> {
 /// One worker's view of the node storage: direct tree access, or a cache
 /// (shared or private) in front of the serialized pages.
 struct NodeFetcher<'t> {
-    source: JoinSource<'t>,
+    a: &'t PagedTree,
+    b: &'t PagedTree,
+    source: Source<'t>,
     /// `(cache, stats index)` — the stats index is the worker id for the
     /// shared cache and 0 for a private one.
     cache: Option<(&'t SharedPageCache<Node>, usize)>,
@@ -205,20 +320,22 @@ struct NodeFetcher<'t> {
 
 impl<'t> NodeFetcher<'t> {
     #[inline]
-    fn node_a(&self, page: PageId) -> NodeRef<'t> {
+    fn node_a(&self, page: PageId) -> Result<NodeRef<'t>, PageError> {
         match self.cache {
-            None => NodeRef::Borrowed(self.source.a.node(page)),
-            Some((cache, w)) => NodeRef::Cached(cache.get(w, page, &self.source).0),
+            None => Ok(NodeRef::Borrowed(self.a.node(page))),
+            Some((cache, w)) => cache
+                .try_get(w, page, &self.source)
+                .map(|(n, _)| NodeRef::Cached(n)),
         }
     }
 
     #[inline]
-    fn node_b(&self, page: PageId) -> NodeRef<'t> {
+    fn node_b(&self, page: PageId) -> Result<NodeRef<'t>, PageError> {
         match self.cache {
-            None => NodeRef::Borrowed(self.source.b.node(page)),
-            Some((cache, w)) => {
-                NodeRef::Cached(cache.get(w, PageId(page.0 | TREE_B_TAG), &self.source).0)
-            }
+            None => Ok(NodeRef::Borrowed(self.b.node(page))),
+            Some((cache, w)) => cache
+                .try_get(w, PageId(page.0 | TREE_B_TAG), &self.source)
+                .map(|(n, _)| NodeRef::Cached(n)),
         }
     }
 }
@@ -233,21 +350,26 @@ enum CacheSet<'c> {
 }
 
 impl<'c> CacheSet<'c> {
-    fn build(cfg: &NativeConfig) -> Self {
+    fn build(cfg: &NativeConfig, retry: RetryPolicy) -> Self {
         match &cfg.buffer {
             None => CacheSet::None,
             Some(b) => match b.org {
-                BufferOrg::Global => CacheSet::Global(SharedPageCache::new(
-                    cfg.num_threads,
-                    b.capacity_pages,
-                    b.shards.max(1),
-                    b.policy,
-                )),
+                BufferOrg::Global => CacheSet::Global(
+                    SharedPageCache::new(
+                        cfg.num_threads,
+                        b.capacity_pages,
+                        b.shards.max(1),
+                        b.policy,
+                    )
+                    .with_retry(retry),
+                ),
                 BufferOrg::Local => {
                     let per_worker = (b.capacity_pages / cfg.num_threads).max(1);
                     CacheSet::Local(
                         (0..cfg.num_threads)
-                            .map(|_| SharedPageCache::new(1, per_worker, 1, b.policy))
+                            .map(|_| {
+                                SharedPageCache::new(1, per_worker, 1, b.policy).with_retry(retry)
+                            })
                             .collect(),
                     )
                 }
@@ -276,10 +398,46 @@ impl<'c> CacheSet<'c> {
     }
 }
 
+/// Cross-worker failure state: the first unrecoverable page error raises
+/// `abort`; every worker bails out at its next loop iteration.
+#[derive(Default)]
+struct FailState {
+    abort: AtomicBool,
+    failed_tasks: AtomicU64,
+    first_error: Mutex<Option<PageError>>,
+}
+
+impl FailState {
+    fn record(&self, error: PageError) {
+        self.failed_tasks.fetch_add(1, Ordering::Relaxed);
+        let mut slot = self.first_error.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(error);
+        }
+        drop(slot);
+        self.abort.store(true, Ordering::SeqCst);
+    }
+}
+
 /// Runs the join on real threads.
+///
+/// # Panics
+///
+/// Panics on a storage error — impossible here, because without a fault
+/// plan the in-memory page decode cannot fail. Fallible deployments use
+/// [`try_run_native_join`].
 pub fn run_native_join(a: &PagedTree, b: &PagedTree, cfg: &NativeConfig) -> NativeResult {
-    run_with_caches(a, b, cfg, CacheSet::build(cfg), None)
-        .expect("join without a cancel token cannot be cancelled")
+    let retry = RetryPolicy::default();
+    match run_with_caches(
+        a,
+        b,
+        cfg,
+        CacheSet::build(cfg, retry),
+        &RunControl::default(),
+    ) {
+        Ok(res) => res,
+        Err(e) => unreachable!("in-memory join cannot fail: {e}"),
+    }
 }
 
 /// Runs the join on real threads with cooperative cancellation.
@@ -295,7 +453,39 @@ pub fn run_native_join_cancellable(
     cfg: &NativeConfig,
     cancel: &CancelToken,
 ) -> Result<NativeResult, Cancelled> {
-    run_with_caches(a, b, cfg, CacheSet::build(cfg), Some(cancel))
+    let ctl = RunControl::default().with_cancel(cancel);
+    match run_with_caches(a, b, cfg, CacheSet::build(cfg, ctl.retry), &ctl) {
+        Ok(res) => Ok(res),
+        Err(NativeError::Cancelled) => Err(Cancelled),
+        Err(e @ NativeError::Storage(_)) => unreachable!("in-memory join cannot fail: {e}"),
+    }
+}
+
+/// Runs the join under full runtime control: cancellation, fault
+/// injection, and a storage retry policy.
+///
+/// Faults act on cache fills, so a fault plan on an *unbuffered* config
+/// forces an implicit global buffer sized to both trees (the result then
+/// carries [`NativeResult::buffer`] stats even though `cfg.buffer` was
+/// `None`). Transient faults are absorbed by retries and reported in
+/// [`BufferStats::retries`]; an unrecoverable page failure aborts all
+/// workers and returns [`NativeError::Storage`].
+pub fn try_run_native_join(
+    a: &PagedTree,
+    b: &PagedTree,
+    cfg: &NativeConfig,
+    ctl: &RunControl<'_>,
+) -> Result<NativeResult, NativeError> {
+    let needs_buffer = cfg.buffer.is_none() && ctl.fault.as_ref().is_some_and(|p| !p.is_noop());
+    if needs_buffer {
+        let mut forced = cfg.clone();
+        forced.buffer = Some(BufferConfig::global(
+            (a.pages().len() + b.pages().len()).max(1),
+        ));
+        let caches = CacheSet::build(&forced, ctl.retry);
+        return run_with_caches(a, b, &forced, caches, ctl);
+    }
+    run_with_caches(a, b, cfg, CacheSet::build(cfg, ctl.retry), ctl)
 }
 
 /// Runs the join with a caller-owned shared cache (global organization).
@@ -308,21 +498,38 @@ pub fn run_native_join_cancellable(
 ///
 /// # Panics
 ///
-/// Panics if `cache` tracks stats for fewer workers than `cfg.num_threads`.
+/// Panics if `cache` tracks stats for fewer workers than `cfg.num_threads`,
+/// or on a storage error (a caller-owned cache may hold quarantined pages;
+/// use [`try_run_native_join_with_cache`] to handle those).
 pub fn run_native_join_with_cache(
     a: &PagedTree,
     b: &PagedTree,
     cfg: &NativeConfig,
     cache: &SharedPageCache<Node>,
 ) -> NativeResult {
+    match try_run_native_join_with_cache(a, b, cfg, cache, &RunControl::default()) {
+        Ok(res) => res,
+        Err(e) => panic!("join with external cache failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`run_native_join_with_cache`] with runtime
+/// controls. Note the retry policy of the *cache* (not `ctl.retry`)
+/// governs fetch retries, since the cache is caller-owned.
+pub fn try_run_native_join_with_cache(
+    a: &PagedTree,
+    b: &PagedTree,
+    cfg: &NativeConfig,
+    cache: &SharedPageCache<Node>,
+    ctl: &RunControl<'_>,
+) -> Result<NativeResult, NativeError> {
     assert!(
         cache.num_workers() >= cfg.num_threads,
         "cache tracks {} workers, config wants {}",
         cache.num_workers(),
         cfg.num_threads
     );
-    run_with_caches(a, b, cfg, CacheSet::External(cache), None)
-        .expect("join without a cancel token cannot be cancelled")
+    run_with_caches(a, b, cfg, CacheSet::External(cache), ctl)
 }
 
 fn run_with_caches(
@@ -330,17 +537,18 @@ fn run_with_caches(
     b: &PagedTree,
     cfg: &NativeConfig,
     caches: CacheSet<'_>,
-    cancel: Option<&CancelToken>,
-) -> Result<NativeResult, Cancelled> {
+    ctl: &RunControl<'_>,
+) -> Result<NativeResult, NativeError> {
     assert!(cfg.num_threads > 0, "need at least one thread");
     assert!(
         a.pages().len() < TREE_B_TAG as usize && b.pages().len() < TREE_B_TAG as usize,
         "page id tag bit collision"
     );
+    let cancel = ctl.cancel;
     let tc = create_tasks(a, b, cfg.min_tasks_factor * cfg.num_threads);
     let tasks = tc.tasks.len();
     if let Some(token) = cancel {
-        token.check()?;
+        token.check().map_err(|_| NativeError::Cancelled)?;
     }
 
     let injector: Injector<TaskPair> = Injector::new();
@@ -380,6 +588,7 @@ fn run_with_caches(
     let node_pairs = AtomicU64::new(0);
     let steals = AtomicU64::new(0);
     let active = AtomicUsize::new(cfg.num_threads);
+    let fail = FailState::default();
     let start = Instant::now();
 
     let mut results: Vec<Vec<(u64, u64)>> = Vec::with_capacity(cfg.num_threads);
@@ -393,14 +602,22 @@ fn run_with_caches(
             let node_pairs = &node_pairs;
             let steals = &steals;
             let active = &active;
+            let fail = &fail;
+            let fault = ctl.fault.clone();
             handles.push(scope.spawn(move || {
+                let join_source = JoinSource { a, b };
                 let fetcher = NodeFetcher {
-                    source: JoinSource { a, b },
+                    a,
+                    b,
+                    source: match fault {
+                        Some(plan) => Source::Faulted(FaultSource::new(join_source, plan)),
+                        None => Source::Plain(join_source),
+                    },
                     cache: caches.for_worker(id),
                 };
                 run_worker(
                     id, a, b, cfg, &fetcher, worker, injector, stealers, candidates, node_pairs,
-                    steals, active, cancel,
+                    steals, active, cancel, fail,
                 )
             }));
         }
@@ -426,10 +643,23 @@ fn run_with_caches(
         )
     };
 
+    if fail.abort.load(Ordering::SeqCst) {
+        let error = fail
+            .first_error
+            .lock()
+            .unwrap()
+            .take()
+            .expect("abort flag implies a recorded error");
+        return Err(NativeError::Storage(JoinError {
+            error,
+            failed_tasks: fail.failed_tasks.load(Ordering::Relaxed),
+        }));
+    }
+
     if let Some(token) = cancel {
         // A token that fired mid-run means workers unwound early and the
         // result set may be partial; report cancellation instead.
-        token.check()?;
+        token.check().map_err(|_| NativeError::Cancelled)?;
     }
 
     let mut pairs = Vec::with_capacity(results.iter().map(Vec::len).sum());
@@ -463,6 +693,7 @@ fn run_worker(
     steals: &AtomicU64,
     active: &AtomicUsize,
     cancel: Option<&CancelToken>,
+    fail: &FailState,
 ) -> Vec<(u64, u64)> {
     let mut scratch = KernelScratch::default();
     let mut children: Vec<TaskPair> = Vec::new();
@@ -472,9 +703,10 @@ fn run_worker(
     let mut local_pairs = 0u64;
 
     'outer: loop {
-        // Cooperative cancellation: each worker bails out on its own; the
-        // caller discards partial results once every worker has unwound.
-        if cancel.is_some_and(|t| t.is_cancelled()) {
+        // Cooperative cancellation / failure abort: each worker bails out on
+        // its own; the caller discards partial results once every worker has
+        // unwound.
+        if cancel.is_some_and(|t| t.is_cancelled()) || fail.abort.load(Ordering::Relaxed) {
             break 'outer;
         }
         // Local work first, then the shared queue, then stealing.
@@ -515,7 +747,7 @@ fn run_worker(
             }
             loop {
                 std::thread::yield_now();
-                if cancel.is_some_and(|t| t.is_cancelled()) {
+                if cancel.is_some_and(|t| t.is_cancelled()) || fail.abort.load(Ordering::Relaxed) {
                     break 'outer;
                 }
                 if active.load(Ordering::SeqCst) == 0 {
@@ -531,8 +763,16 @@ fn run_worker(
         };
 
         local_pairs += 1;
-        let na = fetcher.node_a(pair.a);
-        let nb = fetcher.node_b(pair.b);
+        let fetched = fetcher
+            .node_a(pair.a)
+            .and_then(|na| fetcher.node_b(pair.b).map(|nb| (na, nb)));
+        let (na, nb) = match fetched {
+            Ok(v) => v,
+            Err(e) => {
+                fail.record(e);
+                break 'outer;
+            }
+        };
         children.clear();
         cands.clear();
         expand_pair(&na, &nb, &pair, &mut scratch, &mut children, &mut cands);
@@ -542,8 +782,18 @@ fn run_worker(
         }
         for c in &cands {
             local_candidates += 1;
-            let ea = fetcher.node_a(c.page_a).data_entries()[c.idx_a as usize];
-            let eb = fetcher.node_b(c.page_b).data_entries()[c.idx_b as usize];
+            let fetched = fetcher
+                .node_a(c.page_a)
+                .and_then(|na| fetcher.node_b(c.page_b).map(|nb| (na, nb)));
+            let (na, nb) = match fetched {
+                Ok(v) => v,
+                Err(e) => {
+                    fail.record(e);
+                    break 'outer;
+                }
+            };
+            let ea = na.data_entries()[c.idx_a as usize];
+            let eb = nb.data_entries()[c.idx_b as usize];
             if cfg.refine {
                 // Refinement geometry lives in the cluster store, outside the
                 // page budget: the paper reads clusters once per data page and
@@ -767,5 +1017,54 @@ mod tests {
         // once; any other worker touching it scores a remote hit.
         assert!(stats.hits_remote > 0, "4 workers sharing pages: {stats:?}");
         assert!(stats.misses as usize <= total_pages);
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed_by_retries() {
+        let a = tree(600, 0.0);
+        let b = tree(600, 0.4);
+        let want = as_set(&join_refined(&a, &b));
+        let plan = Arc::new(FaultPlan::new(7).with_transient(0.3, 2));
+        let ctl = RunControl::default()
+            .with_fault(plan.clone())
+            .with_retry(RetryPolicy::attempts(4));
+        let res = try_run_native_join(&a, &b, &NativeConfig::new(4), &ctl)
+            .expect("transient faults must be retried away");
+        assert_eq!(as_set(&res.pairs), want);
+        let stats = res.buffer.expect("fault run forces a buffer");
+        assert!(plan.transient_injected() > 0, "plan injected nothing");
+        assert_eq!(
+            stats.retries,
+            plan.transient_injected(),
+            "every injected transient shows up as exactly one retry"
+        );
+    }
+
+    #[test]
+    fn unrecoverable_faults_abort_with_typed_error() {
+        let a = tree(600, 0.0);
+        let b = tree(600, 0.4);
+        let plan = Arc::new(FaultPlan::new(11).with_flip(1.0));
+        let ctl = RunControl::default().with_fault(plan);
+        let err = try_run_native_join(&a, &b, &NativeConfig::new(4), &ctl)
+            .expect_err("every page corrupt: join must fail");
+        match err {
+            NativeError::Storage(e) => {
+                assert!(e.error.is_corrupt(), "expected corruption: {}", e.error);
+                assert!(e.failed_tasks >= 1);
+            }
+            NativeError::Cancelled => panic!("not a cancellation"),
+        }
+    }
+
+    #[test]
+    fn fault_free_control_matches_plain_join() {
+        let a = tree(400, 0.0);
+        let b = tree(400, 0.4);
+        let want = as_set(&join_refined(&a, &b));
+        let res = try_run_native_join(&a, &b, &NativeConfig::new(2), &RunControl::default())
+            .expect("no faults, no cancel");
+        assert_eq!(as_set(&res.pairs), want);
+        assert!(res.buffer.is_none(), "no fault plan: no forced buffer");
     }
 }

@@ -37,5 +37,8 @@ pub mod tree;
 pub use entry::{DataEntry, DirEntry, GeomRef, DATA_ENTRY_BYTES, DIR_ENTRY_BYTES};
 pub use node::{Node, NodeKind, DATA_FANOUT, DATA_MIN_FILL, DIR_FANOUT, DIR_MIN_FILL};
 pub use paged::PagedTree;
+pub use persist::{
+    fsck_file, generation_path, manifest_path, FsckReport, LenientLoad, Manifest, MANIFEST_FORMAT,
+};
 pub use stats::TreeStats;
 pub use tree::RTree;

@@ -14,9 +14,16 @@ use crate::stats::TreeStats;
 use crate::tree::RTree;
 use psj_geom::{Polyline, Rect};
 use psj_store::{ClusterStore, PageId, PageStore};
+use std::collections::BTreeSet;
 
 /// A read-only paged R\*-tree: decoded nodes indexed by page number plus the
 /// authoritative serialized pages and geometry clusters.
+///
+/// Trees loaded leniently from a partially corrupt file carry a *poisoned*
+/// page set: those slots hold placeholder nodes (their on-disk bytes failed
+/// checksum verification) and must never be descended into. Fault-aware
+/// readers (the serve executor, `fsck`) consult [`PagedTree::is_poisoned`];
+/// direct traversal of a poisoned tree is a caller bug.
 #[derive(Debug)]
 pub struct PagedTree {
     nodes: Vec<Node>,
@@ -25,6 +32,7 @@ pub struct PagedTree {
     num_items: u64,
     pages: PageStore,
     clusters: ClusterStore,
+    poisoned: BTreeSet<u32>,
 }
 
 impl PagedTree {
@@ -108,6 +116,7 @@ impl PagedTree {
             num_items: tree.len(),
             pages,
             clusters,
+            poisoned: BTreeSet::new(),
         }
     }
 
@@ -128,7 +137,28 @@ impl PagedTree {
             num_items,
             pages,
             clusters,
+            poisoned: BTreeSet::new(),
         }
+    }
+
+    /// Marks pages whose on-disk bytes failed verification (lenient load).
+    pub(crate) fn set_poisoned(&mut self, poisoned: BTreeSet<u32>) {
+        self.poisoned = poisoned;
+    }
+
+    /// Whether `page` holds a placeholder for corrupt on-disk bytes.
+    pub fn is_poisoned(&self, page: PageId) -> bool {
+        self.poisoned.contains(&page.0)
+    }
+
+    /// Number of poisoned pages (0 for any strictly loaded or frozen tree).
+    pub fn poisoned_count(&self) -> usize {
+        self.poisoned.len()
+    }
+
+    /// The poisoned page ids, ascending.
+    pub fn poisoned_pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.poisoned.iter().map(|&p| PageId(p))
     }
 
     /// Page number of the root (always page 0 of this tree's file).
@@ -215,9 +245,16 @@ impl PagedTree {
 
     /// Verifies that every in-memory node round-trips through its serialized
     /// page, that entries are xl-sorted, and that directory MBRs exactly
-    /// bound their children. Used by tests.
+    /// bound their children. Used by tests and by loading.
+    ///
+    /// Poisoned pages (lenient load) are skipped entirely, and directory
+    /// entries pointing at a poisoned child skip the MBR/level checks —
+    /// the placeholder node there has no meaningful contents.
     pub fn verify(&self) -> Result<(), String> {
         for (page, node) in self.nodes.iter().enumerate() {
+            if self.poisoned.contains(&(page as u32)) {
+                continue;
+            }
             let decoded = Node::decode(self.pages.read(PageId(page as u32)));
             if &decoded != node {
                 return Err(format!("page {page}: decode mismatch"));
@@ -228,6 +265,12 @@ impl PagedTree {
             }
             if let NodeKind::Dir(entries) = &node.kind {
                 for e in entries {
+                    if e.child as usize >= self.nodes.len() {
+                        return Err(format!("page {page}: child {} out of range", e.child));
+                    }
+                    if self.poisoned.contains(&e.child) {
+                        continue;
+                    }
                     let child = self.node(PageId(e.child));
                     if child.mbr() != e.mbr {
                         return Err(format!("page {page}: stale child MBR"));

@@ -1,16 +1,18 @@
 //! On-disk persistence for frozen trees.
 //!
-//! A [`PagedTree`] serializes to a single file: a fixed header, the raw
-//! 4 KB pages, and the geometry clusters, protected by an FNV-1a checksum.
-//! Buffered I/O throughout; loading re-decodes every node from its page
-//! bytes (the same code path the in-memory freeze uses), so a loaded tree
-//! is verified against its page images by construction.
+//! A [`PagedTree`] serializes to a single file: a fixed header, the page
+//! *records* (each 4 KB payload followed by its 16-byte CRC32 footer, see
+//! [`psj_store::checksum`]), and the geometry clusters, the whole file
+//! additionally protected by an FNV-1a checksum. Buffered I/O throughout;
+//! loading re-decodes every node from its page bytes (the same code path
+//! the in-memory freeze uses), so a loaded tree is verified against its
+//! page images by construction.
 //!
 //! ```text
-//! +------------------+ magic "PSJT1\n", root u32, height u32,
+//! +------------------+ magic "PSJT2\n", root u32, height u32,
 //! | header           | num_items u64, num_pages u32, num_clusters u32
 //! +------------------+
-//! | pages            | num_pages × 4096 raw bytes
+//! | page records     | num_pages × 4112 bytes (payload + CRC footer)
 //! +------------------+
 //! | clusters         | per cluster: page u32, extra_bytes u64,
 //! |                  |   count u32, then per geometry:
@@ -19,15 +21,42 @@
 //! | checksum         | FNV-1a 64 over everything above
 //! +------------------+
 //! ```
+//!
+//! Files written by the previous format (`PSJT1`, raw unchecksummed pages)
+//! are still readable; new files are always `PSJT2`.
+//!
+//! **Crash safety.** [`PagedTree::save_to`] writes through
+//! [`psj_store::atomic_write`] (tmp file + fsync + atomic rename + dir
+//! fsync), so a crash mid-save never clobbers an existing index. On top of
+//! that, [`PagedTree::save_generation`] / [`PagedTree::load_latest`]
+//! maintain a *versioned manifest* (`<base>.manifest` pointing at
+//! `<base>.g<n>`): a new generation is written beside the old one and the
+//! manifest flips over atomically, so readers always find a complete file.
+//!
+//! **Degradation.** [`PagedTree::load_from_lenient`] salvages a corrupt
+//! `PSJT2` file: pages whose CRC footer fails are replaced by placeholder
+//! nodes and reported as *poisoned* ([`PagedTree::is_poisoned`]) instead of
+//! failing the whole load — the serving layer can then answer queries that
+//! avoid the poisoned subtrees and return typed errors for the rest.
+//! [`fsck_file`] reuses the same verification to produce a report.
 
 use crate::node::Node;
 use crate::paged::PagedTree;
 use psj_geom::{Point, Polyline};
-use psj_store::{ClusterStore, PageId, PageStore, PAGE_SIZE};
-use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use psj_store::{
+    atomic_write, encode_record, verify_record, ClusterStore, PageId, PageStore, PAGE_RECORD_SIZE,
+    PAGE_SIZE,
+};
+use std::collections::BTreeSet;
+use std::io::{self, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 6] = b"PSJT1\n";
+const MAGIC_V1: &[u8; 6] = b"PSJT1\n";
+const MAGIC_V2: &[u8; 6] = b"PSJT2\n";
+
+/// Sanity bound on the page count in a header (16 M pages = 64 GB of
+/// payload); a corrupt header must not drive allocation.
+const MAX_PAGES: usize = 1 << 24;
 
 /// FNV-1a 64-bit, incrementally updatable.
 #[derive(Debug, Clone, Copy)]
@@ -100,81 +129,161 @@ fn corrupt(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
-impl PagedTree {
-    /// Writes the tree to `path`, overwriting any existing file.
-    pub fn save_to(&self, path: &Path) -> io::Result<()> {
-        let file = std::fs::File::create(path)?;
-        let mut w = HashWriter {
-            inner: BufWriter::new(file),
-            hash: Fnv::new(),
-        };
+/// The result of a lenient load: the salvaged tree plus what was wrong.
+#[derive(Debug)]
+pub struct LenientLoad {
+    /// The tree; pages in `corrupt_pages` hold placeholders and are marked
+    /// poisoned ([`PagedTree::is_poisoned`]).
+    pub tree: PagedTree,
+    /// Pages whose CRC footer failed verification, ascending.
+    pub corrupt_pages: Vec<PageId>,
+    /// Whether the whole-file FNV checksum matched (false whenever any page
+    /// is corrupt, and also on cluster-section damage).
+    pub checksum_ok: bool,
+    /// Whether the geometry cluster section parsed (joins need it; window
+    /// and nearest-neighbor queries do not).
+    pub clusters_ok: bool,
+}
 
-        w.write_all_hashed(MAGIC)?;
-        w.u32(self.root().0)?;
-        w.u32(self.height())?;
-        w.u64(self.len())?;
-        w.u32(self.num_pages() as u32)?;
+/// Everything parsed out of a tree file, before structural verification.
+struct RawLoad {
+    root: PageId,
+    height: u32,
+    num_items: u64,
+    nodes: Vec<Node>,
+    pages: PageStore,
+    clusters: ClusterStore,
+    corrupt_pages: Vec<PageId>,
+    checksum_ok: bool,
+    clusters_ok: bool,
+}
 
-        // Clusters: collect page ids in ascending order for determinism.
-        let mut cluster_pages: Vec<PageId> = (0..self.num_pages() as u32)
-            .map(PageId)
-            .filter(|p| self.clusters().get(*p).is_some())
-            .collect();
-        cluster_pages.sort_unstable();
-        w.u32(cluster_pages.len() as u32)?;
+fn read_header<R: Read>(r: &mut HashReader<R>) -> io::Result<(PageId, u32, u64, usize, usize)> {
+    let root = PageId(r.u32()?);
+    let height = r.u32()?;
+    let num_items = r.u64()?;
+    let num_pages = r.u32()? as usize;
+    let num_clusters = r.u32()? as usize;
+    if num_pages == 0 || num_pages > MAX_PAGES {
+        return Err(corrupt(&format!("implausible page count {num_pages}")));
+    }
+    if root.index() >= num_pages {
+        return Err(corrupt("root page out of range"));
+    }
+    if num_clusters > num_pages {
+        return Err(corrupt("more clusters than pages"));
+    }
+    Ok((root, height, num_items, num_pages, num_clusters))
+}
 
-        for (_, page) in self.pages().iter() {
-            w.write_all_hashed(page.bytes())?;
+fn read_clusters<R: Read>(
+    r: &mut HashReader<R>,
+    num_pages: usize,
+    num_clusters: usize,
+) -> io::Result<ClusterStore> {
+    let mut clusters = ClusterStore::new();
+    for _ in 0..num_clusters {
+        let pid = PageId(r.u32()?);
+        if pid.index() >= num_pages {
+            return Err(corrupt("cluster page out of range"));
         }
+        let extra_total = r.u64()?;
+        let count = r.u32()? as usize;
+        if count == 0 {
+            return Err(corrupt("empty cluster"));
+        }
+        let extra_each = extra_total / count as u64;
+        let mut extra_rem = extra_total % count as u64;
+        for _ in 0..count {
+            let nv = r.u32()? as usize;
+            if !(2..=1_000_000).contains(&nv) {
+                return Err(corrupt("implausible vertex count"));
+            }
+            let mut pts = Vec::with_capacity(nv);
+            for _ in 0..nv {
+                let x = r.f64()?;
+                let y = r.f64()?;
+                pts.push(Point::new(x, y));
+            }
+            let extra = extra_each
+                + if extra_rem > 0 {
+                    extra_rem -= 1;
+                    1
+                } else {
+                    0
+                };
+            clusters.push_with_extra(pid, Polyline::new(pts), extra);
+        }
+    }
+    Ok(clusters)
+}
 
-        for pid in cluster_pages {
-            let c = self
-                .clusters()
-                .get(pid)
-                .expect("filtered to existing clusters");
-            w.u32(pid.0)?;
-            // Extra (attribute) bytes beyond the raw geometry.
-            let geo_bytes: u64 = c.geometries().iter().map(|g| g.stored_size() as u64).sum();
-            w.u64(c.bytes() - geo_bytes)?;
-            w.u32(c.len() as u32)?;
-            for g in c.geometries() {
-                w.u32(g.points().len() as u32)?;
-                for p in g.points() {
-                    w.f64(p.x)?;
-                    w.f64(p.y)?;
+/// Verify the trailing FNV checksum and end-of-file position.
+fn read_trailer<R: Read>(r: &mut HashReader<R>) -> io::Result<()> {
+    let computed = r.hash.0;
+    let mut cs = [0u8; 8];
+    r.inner.read_exact(&mut cs)?;
+    if u64::from_le_bytes(cs) != computed {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let mut extra = [0u8; 1];
+    if r.inner.read(&mut extra)? != 0 {
+        return Err(corrupt("trailing bytes after checksum"));
+    }
+    Ok(())
+}
+
+/// Parse a tree file. In strict mode any page-footer failure aborts the
+/// load; in lenient mode (v2 only) failed pages become placeholders and
+/// cluster/checksum damage is recorded instead of fatal.
+fn read_tree_file(path: &Path, lenient: bool) -> io::Result<RawLoad> {
+    let context = path.display().to_string();
+    let file = std::fs::File::open(path)
+        .map_err(|e| io::Error::new(e.kind(), format!("{context}: {e}")))?;
+    let mut r = HashReader {
+        inner: BufReader::new(file),
+        hash: Fnv::new(),
+    };
+
+    let mut magic = [0u8; 6];
+    r.read_exact_hashed(&mut magic)?;
+    let v2 = match &magic {
+        m if m == MAGIC_V2 => true,
+        m if m == MAGIC_V1 => false,
+        _ => {
+            return Err(corrupt(&format!(
+                "{context}: bad magic: not a psj tree file"
+            )))
+        }
+    };
+    let (root, height, num_items, num_pages, num_clusters) = read_header(&mut r)?;
+
+    let mut pages = PageStore::new();
+    let mut nodes = Vec::with_capacity(num_pages);
+    let mut corrupt_pages = Vec::new();
+    if v2 {
+        let mut record = vec![0u8; PAGE_RECORD_SIZE];
+        for n in 0..num_pages {
+            r.read_exact_hashed(&mut record)?;
+            let id = pages.allocate();
+            let fixed: &[u8; PAGE_RECORD_SIZE] = record[..].try_into().unwrap();
+            match verify_record(fixed, PageId(n as u32), &context) {
+                Ok(()) => {
+                    pages
+                        .write(id)
+                        .bytes_mut()
+                        .copy_from_slice(&record[..PAGE_SIZE]);
+                    nodes.push(Node::decode(pages.read(id)));
                 }
+                Err(_) if lenient => {
+                    // Placeholder: never decoded, never descended into.
+                    corrupt_pages.push(PageId(n as u32));
+                    nodes.push(Node::new_leaf());
+                }
+                Err(e) => return Err(e.into()),
             }
         }
-
-        let checksum = w.hash.0;
-        w.inner.write_all(&checksum.to_le_bytes())?;
-        w.inner.flush()
-    }
-
-    /// Reads a tree previously written by [`PagedTree::save_to`].
-    pub fn load_from(path: &Path) -> io::Result<PagedTree> {
-        let file = std::fs::File::open(path)?;
-        let mut r = HashReader {
-            inner: BufReader::new(file),
-            hash: Fnv::new(),
-        };
-
-        let mut magic = [0u8; 6];
-        r.read_exact_hashed(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(corrupt("bad magic: not a psj tree file"));
-        }
-        let root = PageId(r.u32()?);
-        let height = r.u32()?;
-        let num_items = r.u64()?;
-        let num_pages = r.u32()? as usize;
-        let num_clusters = r.u32()? as usize;
-        if root.index() >= num_pages.max(1) {
-            return Err(corrupt("root page out of range"));
-        }
-
-        let mut pages = PageStore::new();
-        let mut nodes = Vec::with_capacity(num_pages);
+    } else {
         let mut buf = vec![0u8; PAGE_SIZE];
         for _ in 0..num_pages {
             r.read_exact_hashed(&mut buf)?;
@@ -182,59 +291,463 @@ impl PagedTree {
             pages.write(id).bytes_mut().copy_from_slice(&buf);
             nodes.push(Node::decode(pages.read(id)));
         }
+    }
 
-        let mut clusters = ClusterStore::new();
-        for _ in 0..num_clusters {
-            let pid = PageId(r.u32()?);
-            if pid.index() >= num_pages {
-                return Err(corrupt("cluster page out of range"));
+    let (clusters, clusters_ok, checksum_ok) = if lenient {
+        match read_clusters(&mut r, num_pages, num_clusters) {
+            Ok(c) => {
+                let checksum_ok = read_trailer(&mut r).is_ok();
+                (c, true, checksum_ok)
             }
-            let extra_total = r.u64()?;
-            let count = r.u32()? as usize;
-            if count == 0 {
-                return Err(corrupt("empty cluster"));
+            // Cluster section unparseable: salvage the index structure
+            // alone. Without a parse we cannot locate the trailer either.
+            Err(_) => (ClusterStore::new(), false, false),
+        }
+    } else {
+        let c = read_clusters(&mut r, num_pages, num_clusters)?;
+        read_trailer(&mut r)?;
+        (c, true, true)
+    };
+
+    Ok(RawLoad {
+        root,
+        height,
+        num_items,
+        nodes,
+        pages,
+        clusters,
+        corrupt_pages,
+        checksum_ok,
+        clusters_ok,
+    })
+}
+
+impl PagedTree {
+    /// Writes the tree to `path` crash-safely (tmp + fsync + atomic
+    /// rename), overwriting any existing file only once the new one is
+    /// complete and durable.
+    pub fn save_to(&self, path: &Path) -> io::Result<()> {
+        atomic_write(path, |out| {
+            let mut w = HashWriter {
+                inner: out,
+                hash: Fnv::new(),
+            };
+
+            w.write_all_hashed(MAGIC_V2)?;
+            w.u32(self.root().0)?;
+            w.u32(self.height())?;
+            w.u64(self.len())?;
+            w.u32(self.num_pages() as u32)?;
+
+            // Clusters: collect page ids in ascending order for determinism.
+            let mut cluster_pages: Vec<PageId> = (0..self.num_pages() as u32)
+                .map(PageId)
+                .filter(|p| self.clusters().get(*p).is_some())
+                .collect();
+            cluster_pages.sort_unstable();
+            w.u32(cluster_pages.len() as u32)?;
+
+            for (id, page) in self.pages().iter() {
+                w.write_all_hashed(&encode_record(page.bytes(), id))?;
             }
-            let extra_each = extra_total / count as u64;
-            let mut extra_rem = extra_total % count as u64;
-            for _ in 0..count {
-                let nv = r.u32()? as usize;
-                if !(2..=1_000_000).contains(&nv) {
-                    return Err(corrupt("implausible vertex count"));
+
+            for pid in cluster_pages {
+                let c = self
+                    .clusters()
+                    .get(pid)
+                    .expect("filtered to existing clusters");
+                w.u32(pid.0)?;
+                // Extra (attribute) bytes beyond the raw geometry.
+                let geo_bytes: u64 = c.geometries().iter().map(|g| g.stored_size() as u64).sum();
+                w.u64(c.bytes() - geo_bytes)?;
+                w.u32(c.len() as u32)?;
+                for g in c.geometries() {
+                    w.u32(g.points().len() as u32)?;
+                    for p in g.points() {
+                        w.f64(p.x)?;
+                        w.f64(p.y)?;
+                    }
                 }
-                let mut pts = Vec::with_capacity(nv);
-                for _ in 0..nv {
-                    let x = r.f64()?;
-                    let y = r.f64()?;
-                    pts.push(Point::new(x, y));
-                }
-                let extra = extra_each
-                    + if extra_rem > 0 {
-                        extra_rem -= 1;
-                        1
-                    } else {
-                        0
-                    };
-                clusters.push_with_extra(pid, Polyline::new(pts), extra);
             }
-        }
 
-        let computed = r.hash.0;
-        let mut cs = [0u8; 8];
-        r.inner.read_exact(&mut cs)?;
-        if u64::from_le_bytes(cs) != computed {
-            return Err(corrupt("checksum mismatch"));
-        }
-        // Must be at end of file.
-        let mut extra = [0u8; 1];
-        if r.inner.read(&mut extra)? != 0 {
-            return Err(corrupt("trailing bytes after checksum"));
-        }
+            let checksum = w.hash.0;
+            w.inner.write_all(&checksum.to_le_bytes())
+        })
+    }
 
-        let tree = PagedTree::from_loaded_parts(nodes, root, height, num_items, pages, clusters);
-        tree.verify()
-            .map_err(|e| corrupt(&format!("structural verification failed: {e}")))?;
+    /// Reads a tree previously written by [`PagedTree::save_to`] (either
+    /// format version), rejecting any corruption.
+    pub fn load_from(path: &Path) -> io::Result<PagedTree> {
+        let raw = read_tree_file(path, false)?;
+        debug_assert!(raw.corrupt_pages.is_empty());
+        let tree = PagedTree::from_loaded_parts(
+            raw.nodes,
+            raw.root,
+            raw.height,
+            raw.num_items,
+            raw.pages,
+            raw.clusters,
+        );
+        tree.verify().map_err(|e| {
+            corrupt(&format!(
+                "{}: structural verification failed: {e}",
+                path.display()
+            ))
+        })?;
         Ok(tree)
     }
+
+    /// Loads a (possibly damaged) `PSJT2` tree, salvaging what verifies:
+    /// pages with failed CRC footers become poisoned placeholders, a
+    /// damaged cluster section yields an index without geometry, and the
+    /// whole-file checksum result is reported rather than enforced.
+    ///
+    /// Fails only if the header is unusable or the *surviving* structure is
+    /// inconsistent. A clean file loads with no poisoned pages and
+    /// `checksum_ok == true` — identical to [`PagedTree::load_from`].
+    pub fn load_from_lenient(path: &Path) -> io::Result<LenientLoad> {
+        let raw = read_tree_file(path, true)?;
+        let mut tree = PagedTree::from_loaded_parts(
+            raw.nodes,
+            raw.root,
+            raw.height,
+            raw.num_items,
+            raw.pages,
+            raw.clusters,
+        );
+        tree.set_poisoned(
+            raw.corrupt_pages
+                .iter()
+                .map(|p| p.0)
+                .collect::<BTreeSet<u32>>(),
+        );
+        tree.verify().map_err(|e| {
+            corrupt(&format!(
+                "{}: surviving structure inconsistent: {e}",
+                path.display()
+            ))
+        })?;
+        Ok(LenientLoad {
+            tree,
+            corrupt_pages: raw.corrupt_pages,
+            checksum_ok: raw.checksum_ok,
+            clusters_ok: raw.clusters_ok,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Versioned manifest: generational index files with atomic flip-over.
+// ---------------------------------------------------------------------------
+
+/// The manifest format version written by this build.
+pub const MANIFEST_FORMAT: u32 = 1;
+
+/// A versioned pointer to the current generation of an index.
+///
+/// Stored as `<base>.manifest`, a small JSON file naming the current
+/// generation file `<base>.g<n>`. Writers create the next generation beside
+/// the current one and flip the manifest atomically; a crash at any point
+/// leaves the manifest pointing at a complete previous generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Manifest format version ([`MANIFEST_FORMAT`]).
+    pub format: u32,
+    /// Current generation number (starts at 1).
+    pub generation: u64,
+    /// File name (relative to the manifest's directory) of the current
+    /// generation.
+    pub file: String,
+}
+
+/// Path of the manifest for index base path `base`.
+pub fn manifest_path(base: &Path) -> PathBuf {
+    let mut name = base.file_name().unwrap_or_default().to_os_string();
+    name.push(".manifest");
+    base.with_file_name(name)
+}
+
+/// File name of generation `generation` for `base`.
+fn generation_file_name(base: &Path, generation: u64) -> String {
+    format!(
+        "{}.g{generation}",
+        base.file_name().unwrap_or_default().to_string_lossy()
+    )
+}
+
+/// Path of generation `generation` for `base`.
+pub fn generation_path(base: &Path, generation: u64) -> PathBuf {
+    base.with_file_name(generation_file_name(base, generation))
+}
+
+impl Manifest {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"format\":{},\"generation\":{},\"file\":\"{}\"}}",
+            self.format,
+            self.generation,
+            self.file.replace('\\', "\\\\").replace('"', "\\\"")
+        )
+    }
+
+    fn parse(text: &str) -> Result<Manifest, String> {
+        let format = json_u64(text, "format").ok_or("manifest: missing 'format'")? as u32;
+        let generation = json_u64(text, "generation").ok_or("manifest: missing 'generation'")?;
+        let file = json_str(text, "file").ok_or("manifest: missing 'file'")?;
+        if format != MANIFEST_FORMAT {
+            return Err(format!("manifest: unsupported format {format}"));
+        }
+        if file.contains('/') || file.contains("..") {
+            return Err("manifest: file name must be a plain sibling name".into());
+        }
+        Ok(Manifest {
+            format,
+            generation,
+            file,
+        })
+    }
+
+    /// Loads the manifest for `base`, if one exists.
+    pub fn load(base: &Path) -> io::Result<Option<Manifest>> {
+        let path = manifest_path(base);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io::Error::new(e.kind(), format!("{}: {e}", path.display()))),
+        };
+        Manifest::parse(&text)
+            .map(Some)
+            .map_err(|e| corrupt(&format!("{}: {e}", path.display())))
+    }
+
+    /// Writes the manifest for `base` atomically.
+    pub fn store(&self, base: &Path) -> io::Result<()> {
+        let path = manifest_path(base);
+        let json = self.to_json();
+        atomic_write(&path, |w| w.write_all(json.as_bytes()))
+    }
+}
+
+/// Minimal JSON field extraction (numbers and plain strings) — enough for
+/// the manifest's flat schema without a JSON dependency.
+fn json_u64(text: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = text[start..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn json_str(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = text[start..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+impl PagedTree {
+    /// Saves this tree as the next generation of `base` and flips the
+    /// manifest to it. Returns the new generation number.
+    ///
+    /// The sequence is crash-safe at every step: the new generation file is
+    /// written atomically beside the old one, then the manifest flips
+    /// atomically. Only after the flip is the *previous* previous
+    /// generation pruned; the immediately preceding generation is kept as a
+    /// rollback target.
+    pub fn save_generation(&self, base: &Path) -> io::Result<u64> {
+        let current = Manifest::load(base)?;
+        let prev_gen = current.as_ref().map(|m| m.generation).unwrap_or(0);
+        let next_gen = prev_gen + 1;
+        self.save_to(&generation_path(base, next_gen))?;
+        Manifest {
+            format: MANIFEST_FORMAT,
+            generation: next_gen,
+            file: generation_file_name(base, next_gen),
+        }
+        .store(base)?;
+        // Prune generations older than the one we just superseded.
+        for old in (1..prev_gen).rev() {
+            let p = generation_path(base, old);
+            if p.exists() {
+                let _ = std::fs::remove_file(p);
+            } else {
+                break;
+            }
+        }
+        Ok(next_gen)
+    }
+
+    /// Loads the current generation of `base` per its manifest.
+    pub fn load_latest(base: &Path) -> io::Result<(PagedTree, u64)> {
+        let manifest = Manifest::load(base)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{}: no manifest", manifest_path(base).display()),
+            )
+        })?;
+        let path = base.with_file_name(&manifest.file);
+        let tree = PagedTree::load_from(&path)?;
+        Ok((tree, manifest.generation))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fsck: offline integrity scan.
+// ---------------------------------------------------------------------------
+
+/// The result of scanning an index file with [`fsck_file`].
+#[derive(Debug)]
+pub struct FsckReport {
+    /// The file actually scanned.
+    pub path: String,
+    /// Tree format version (1 or 2), when the magic was readable.
+    pub format: Option<u32>,
+    /// Manifest generation, when `path` (or its base) has a manifest.
+    pub manifest_generation: Option<u64>,
+    /// Pages scanned.
+    pub pages_scanned: u64,
+    /// Pages whose CRC footer failed (always empty for v1 files, which
+    /// have no per-page checksums).
+    pub corrupt_pages: Vec<u32>,
+    /// Whether the whole-file checksum matched.
+    pub file_checksum_ok: bool,
+    /// Whether the (surviving) structure verified.
+    pub structure_ok: bool,
+    /// Fatal problem that prevented scanning, if any.
+    pub error: Option<String>,
+}
+
+impl FsckReport {
+    /// Whether the file is fully healthy.
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+            && self.corrupt_pages.is_empty()
+            && self.file_checksum_ok
+            && self.structure_ok
+    }
+
+    /// JSON rendering for the `psj fsck` CLI.
+    pub fn to_json(&self) -> String {
+        let pages = self
+            .corrupt_pages
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"path\":\"{}\",\"ok\":{},\"format\":{},\"manifest_generation\":{},\"pages_scanned\":{},\"corrupt_pages\":[{}],\"file_checksum_ok\":{},\"structure_ok\":{},\"error\":{}}}",
+            self.path.replace('\\', "\\\\").replace('"', "\\\""),
+            self.ok(),
+            self.format.map_or("null".into(), |v| v.to_string()),
+            self.manifest_generation
+                .map_or("null".into(), |v| v.to_string()),
+            self.pages_scanned,
+            pages,
+            self.file_checksum_ok,
+            self.structure_ok,
+            self.error.as_ref().map_or("null".into(), |e| format!(
+                "\"{}\"",
+                e.replace('\\', "\\\\").replace('"', "\\\"")
+            )),
+        )
+    }
+}
+
+/// Scans an index file, verifying every page checksum, the whole-file
+/// checksum, and the structure. `path` may be either a tree file or an
+/// index *base* whose manifest names the current generation.
+pub fn fsck_file(path: &Path) -> FsckReport {
+    let mut report = FsckReport {
+        path: path.display().to_string(),
+        format: None,
+        manifest_generation: None,
+        pages_scanned: 0,
+        corrupt_pages: Vec::new(),
+        file_checksum_ok: false,
+        structure_ok: false,
+        error: None,
+    };
+
+    // Resolve through the manifest when present (path given as a base, or
+    // a tree file that also has a sibling manifest).
+    let mut target = path.to_path_buf();
+    match Manifest::load(path) {
+        Ok(Some(m)) => {
+            report.manifest_generation = Some(m.generation);
+            if !target.exists() {
+                target = path.with_file_name(&m.file);
+                report.path = target.display().to_string();
+            }
+        }
+        Ok(None) => {}
+        Err(e) => {
+            report.error = Some(format!("manifest unreadable: {e}"));
+            return report;
+        }
+    }
+
+    // Peek the magic to report the format even for corrupt files.
+    match std::fs::File::open(&target) {
+        Ok(mut f) => {
+            let mut magic = [0u8; 6];
+            if f.read_exact(&mut magic).is_ok() {
+                report.format = match &magic {
+                    m if m == MAGIC_V2 => Some(2),
+                    m if m == MAGIC_V1 => Some(1),
+                    _ => None,
+                };
+            }
+        }
+        Err(e) => {
+            report.error = Some(format!("{}: {e}", target.display()));
+            return report;
+        }
+    }
+
+    match report.format {
+        Some(2) => match read_tree_file(&target, true) {
+            Ok(raw) => {
+                report.pages_scanned = raw.nodes.len() as u64;
+                report.corrupt_pages = raw.corrupt_pages.iter().map(|p| p.0).collect();
+                report.file_checksum_ok = raw.checksum_ok;
+                let mut tree = PagedTree::from_loaded_parts(
+                    raw.nodes,
+                    raw.root,
+                    raw.height,
+                    raw.num_items,
+                    raw.pages,
+                    raw.clusters,
+                );
+                tree.set_poisoned(report.corrupt_pages.iter().copied().collect());
+                report.structure_ok = tree.verify().is_ok();
+            }
+            Err(e) => report.error = Some(e.to_string()),
+        },
+        Some(1) => match PagedTree::load_from(&target) {
+            // v1 has no per-page checksums: the whole-file hash is the only
+            // integrity signal, so a failure cannot name specific pages.
+            Ok(tree) => {
+                report.pages_scanned = tree.num_pages() as u64;
+                report.file_checksum_ok = true;
+                report.structure_ok = true;
+            }
+            Err(e) => report.error = Some(e.to_string()),
+        },
+        _ => report.error = Some("not a psj tree file (bad magic)".into()),
+    }
+    report
 }
 
 #[cfg(test)]
@@ -270,6 +783,12 @@ mod tests {
         p
     }
 
+    /// Byte offset of page `n`'s record in a v2 file.
+    fn record_offset(n: usize) -> usize {
+        // magic 6 + root 4 + height 4 + items 8 + pages 4 + clusters 4
+        30 + n * PAGE_RECORD_SIZE
+    }
+
     #[test]
     fn save_load_roundtrip() {
         let tree = sample_tree(500);
@@ -282,6 +801,7 @@ mod tests {
         assert_eq!(loaded.height(), tree.height());
         assert_eq!(loaded.num_pages(), tree.num_pages());
         assert_eq!(loaded.stats(), tree.stats());
+        assert_eq!(loaded.poisoned_count(), 0);
         // Queries agree.
         let w = Rect::new(3.0, 2.0, 17.0, 9.0);
         let a: Vec<u64> = tree.window_query(&w).iter().map(|e| e.oid).collect();
@@ -311,6 +831,59 @@ mod tests {
     }
 
     #[test]
+    fn flipped_page_bit_names_the_page() {
+        let tree = sample_tree(200);
+        let path = tmpfile("flip-named");
+        tree.save_to(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit in page 2's payload.
+        bytes[record_offset(2) + 77] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = PagedTree::load_from(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("p2"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lenient_load_salvages_around_corrupt_pages() {
+        let tree = sample_tree(400);
+        let path = tmpfile("lenient");
+        tree.save_to(&path).unwrap();
+        // Corrupt a *leaf* page (not the root) so structure survives.
+        let victim = (0..tree.num_pages())
+            .rev()
+            .find(|&n| tree.node(PageId(n as u32)).is_leaf())
+            .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[record_offset(victim) + 500] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let loaded = PagedTree::load_from_lenient(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.corrupt_pages, vec![PageId(victim as u32)]);
+        assert!(!loaded.checksum_ok, "file checksum must fail");
+        assert!(loaded.clusters_ok);
+        assert_eq!(loaded.tree.poisoned_count(), 1);
+        assert!(loaded.tree.is_poisoned(PageId(victim as u32)));
+        assert!(!loaded.tree.is_poisoned(PageId(0)));
+    }
+
+    #[test]
+    fn lenient_load_of_clean_file_matches_strict() {
+        let tree = sample_tree(300);
+        let path = tmpfile("lenient-clean");
+        tree.save_to(&path).unwrap();
+        let loaded = PagedTree::load_from_lenient(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(loaded.corrupt_pages.is_empty());
+        assert!(loaded.checksum_ok);
+        assert!(loaded.clusters_ok);
+        assert_eq!(loaded.tree.poisoned_count(), 0);
+        assert_eq!(loaded.tree.len(), tree.len());
+    }
+
+    #[test]
     fn truncated_file_rejected() {
         let tree = sample_tree(100);
         let path = tmpfile("truncate");
@@ -331,6 +904,15 @@ mod tests {
     }
 
     #[test]
+    fn save_leaves_no_tmp_file() {
+        let tree = sample_tree(50);
+        let path = tmpfile("no-tmp");
+        tree.save_to(&path).unwrap();
+        assert!(!psj_store::tmp_path(&path).exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn cluster_sizes_preserved() {
         let tree = sample_tree(300);
         let path = tmpfile("clusters");
@@ -344,5 +926,90 @@ mod tests {
                 "cluster size of {pid}"
             );
         }
+    }
+
+    #[test]
+    fn manifest_generations_flip_atomically() {
+        let base = tmpfile("genbase");
+        let tree = sample_tree(120);
+        let g1 = tree.save_generation(&base).unwrap();
+        assert_eq!(g1, 1);
+        let (loaded, gen) = PagedTree::load_latest(&base).unwrap();
+        assert_eq!(gen, 1);
+        assert_eq!(loaded.len(), tree.len());
+
+        let tree2 = sample_tree(240);
+        let g2 = tree2.save_generation(&base).unwrap();
+        assert_eq!(g2, 2);
+        let (loaded2, gen2) = PagedTree::load_latest(&base).unwrap();
+        assert_eq!(gen2, 2);
+        assert_eq!(loaded2.len(), 240);
+        // Previous generation is kept as a rollback target.
+        assert!(generation_path(&base, 1).exists());
+
+        // A third save prunes generation 1.
+        let g3 = sample_tree(60).save_generation(&base).unwrap();
+        assert_eq!(g3, 3);
+        assert!(!generation_path(&base, 1).exists());
+        assert!(generation_path(&base, 2).exists());
+
+        for g in 1..=3 {
+            std::fs::remove_file(generation_path(&base, g)).ok();
+        }
+        std::fs::remove_file(manifest_path(&base)).ok();
+    }
+
+    #[test]
+    fn manifest_rejects_path_traversal() {
+        assert!(Manifest::parse("{\"format\":1,\"generation\":2,\"file\":\"../evil\"}").is_err());
+        assert!(Manifest::parse("{\"format\":9,\"generation\":2,\"file\":\"x.g2\"}").is_err());
+        let m = Manifest::parse("{\"format\":1,\"generation\":2,\"file\":\"x.g2\"}").unwrap();
+        assert_eq!(m.generation, 2);
+        assert_eq!(m.file, "x.g2");
+    }
+
+    #[test]
+    fn fsck_clean_file_reports_ok() {
+        let tree = sample_tree(150);
+        let path = tmpfile("fsck-clean");
+        tree.save_to(&path).unwrap();
+        let report = fsck_file(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(report.ok(), "{}", report.to_json());
+        assert_eq!(report.format, Some(2));
+        assert_eq!(report.pages_scanned, tree.num_pages() as u64);
+        assert!(report.corrupt_pages.is_empty());
+        let json = report.to_json();
+        assert!(json.contains("\"ok\":true"), "{json}");
+    }
+
+    #[test]
+    fn fsck_flags_corrupt_pages() {
+        let tree = sample_tree(400);
+        let path = tmpfile("fsck-corrupt");
+        tree.save_to(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[record_offset(1) + 9] ^= 0x40;
+        bytes[record_offset(3) + 2048] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let report = fsck_file(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(!report.ok());
+        assert_eq!(report.corrupt_pages, vec![1, 3]);
+        assert!(!report.file_checksum_ok);
+        let json = report.to_json();
+        assert!(json.contains("\"corrupt_pages\":[1,3]"), "{json}");
+    }
+
+    #[test]
+    fn fsck_resolves_manifest_base() {
+        let base = tmpfile("fsck-base");
+        let tree = sample_tree(80);
+        tree.save_generation(&base).unwrap();
+        let report = fsck_file(&base);
+        assert!(report.ok(), "{}", report.to_json());
+        assert_eq!(report.manifest_generation, Some(1));
+        std::fs::remove_file(generation_path(&base, 1)).ok();
+        std::fs::remove_file(manifest_path(&base)).ok();
     }
 }

@@ -18,13 +18,23 @@
 //! Both check their deadline cooperatively at every node fetch; an expired
 //! query is dropped from the traversal (its partial results discarded)
 //! without disturbing batch-mates.
+//!
+//! # Storage failures
+//!
+//! Every traversal returns an [`Outcome`]: a page that cannot be read —
+//! quarantined by the cache, poisoned at (lenient) load time, or failed by
+//! an injected [`FaultPlan`] — degrades only the queries that needed that
+//! page, to [`Outcome::Storage`]; batch-mates on healthy subtrees complete
+//! normally, and other trees are entirely unaffected. A query never
+//! returns a silently partial result: if any page it touched was
+//! unreadable, the whole query reports the storage error.
 
 use psj_buffer::SharedPageCache;
-use psj_core::{run_native_join_cancellable, CancelToken, NativeConfig};
+use psj_core::{try_run_native_join, CancelToken, NativeConfig, NativeError, RunControl};
 use psj_geom::{Point, Rect};
 use psj_rtree::nn::min_dist;
 use psj_rtree::{Node, NodeKind, PagedTree};
-use psj_store::PageId;
+use psj_store::{FaultPlan, PageError, PageId};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -41,6 +51,8 @@ pub const MAX_TREES: usize = 127;
 #[derive(Debug)]
 pub struct TreeSet {
     trees: Vec<Arc<PagedTree>>,
+    /// Injected fault plan applied to every cache fill (testing/chaos).
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl TreeSet {
@@ -61,7 +73,18 @@ impl TreeSet {
                 ));
             }
         }
-        Ok(TreeSet { trees })
+        Ok(TreeSet { trees, fault: None })
+    }
+
+    /// Applies an injected fault plan to every subsequent cache fill.
+    pub fn with_fault(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Total pages poisoned at load time across all trees.
+    pub fn poisoned_total(&self) -> u64 {
+        self.trees.iter().map(|t| t.poisoned_count() as u64).sum()
     }
 
     /// Number of trees.
@@ -97,14 +120,53 @@ impl TreeSet {
 impl psj_buffer::PageSource for TreeSet {
     type Item = Node;
 
-    fn fetch_page(&self, key: PageId) -> std::io::Result<Node> {
+    fn fetch_page(&self, key: PageId) -> Result<Node, PageError> {
         let tree = (key.0 >> TREE_SHIFT) as usize;
         let page = PageId(key.0 & ((1 << TREE_SHIFT) - 1));
+        // Pages poisoned at (lenient) load time hold placeholder nodes;
+        // serving one would silently return wrong answers.
+        if self.trees[tree].is_poisoned(page) {
+            return Err(PageError::Corrupt {
+                page: key,
+                context: format!("tree {tree} {page} poisoned at load time"),
+            });
+        }
+        if let Some(plan) = &self.fault {
+            plan.before_fetch(key)?;
+        }
         Ok(Node::decode(self.trees[tree].pages().read(page)))
     }
 
     fn page_count(&self) -> usize {
         self.total_pages()
+    }
+}
+
+/// How one query (or batch member) ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome<T> {
+    /// The query completed; results are exact.
+    Ok(T),
+    /// The deadline expired mid-traversal; partial results discarded.
+    DeadlineExceeded,
+    /// A page the query needed could not be read (corrupt, quarantined, or
+    /// unavailable after retries). Partial results discarded — a storage
+    /// error never yields a silently incomplete answer.
+    Storage(PageError),
+}
+
+impl<T> Outcome<T> {
+    /// The completed result, if any.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            Outcome::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether the query completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Outcome::Ok(_))
     }
 }
 
@@ -120,18 +182,20 @@ pub struct WindowQuery {
 /// Runs a batch of window queries on tree `tree` with one shared descent
 /// through `cache`. `worker` indexes the cache's per-worker statistics.
 ///
-/// `results[i]` is `Some(oids)` exactly matching a direct
-/// [`PagedTree::window_query`], or `None` if query `i`'s deadline expired
-/// mid-traversal (partial results are discarded, batch-mates unaffected).
+/// `results[i]` is `Outcome::Ok(oids)` exactly matching a direct
+/// [`PagedTree::window_query`]; `Outcome::DeadlineExceeded` if query `i`'s
+/// deadline expired mid-traversal; `Outcome::Storage` if a page it needed
+/// was unreadable. Either way partial results are discarded and batch-mates
+/// on healthy subtrees are unaffected.
 pub fn window_batch(
     trees: &TreeSet,
     cache: &SharedPageCache<Node>,
     worker: usize,
     tree: u16,
     queries: &[WindowQuery],
-) -> Vec<Option<Vec<u64>>> {
+) -> Vec<Outcome<Vec<u64>>> {
     let n = queries.len();
-    let mut out: Vec<Option<Vec<u64>>> = (0..n).map(|_| Some(Vec::new())).collect();
+    let mut out: Vec<Outcome<Vec<u64>>> = (0..n).map(|_| Outcome::Ok(Vec::new())).collect();
     if n == 0 {
         return out;
     }
@@ -142,7 +206,7 @@ pub fn window_batch(
     // deadline passes; `next_deadline` keeps the per-node check to one
     // clock read and one comparison.
     let mut dead = vec![false; n];
-    let expire = |dead: &mut Vec<bool>, out: &mut Vec<Option<Vec<u64>>>, now: Instant| {
+    let expire = |dead: &mut Vec<bool>, out: &mut Vec<Outcome<Vec<u64>>>, now: Instant| {
         let mut next: Option<Instant> = None;
         for (i, q) in queries.iter().enumerate() {
             if dead[i] {
@@ -151,7 +215,7 @@ pub fn window_batch(
             match q.deadline {
                 Some(d) if d <= now => {
                     dead[i] = true;
-                    out[i] = None;
+                    out[i] = Outcome::DeadlineExceeded;
                 }
                 Some(d) => next = Some(next.map_or(d, |n: Instant| n.min(d))),
                 None => {}
@@ -173,7 +237,20 @@ pub fn window_batch(
         if next_deadline.is_some_and(|d| Instant::now() >= d) {
             next_deadline = expire(&mut dead, &mut out, Instant::now());
         }
-        let node = cache.get(worker, trees.key(tree_idx, page), trees).0;
+        let node = match cache.try_get(worker, trees.key(tree_idx, page), trees) {
+            Ok((node, _)) => node,
+            Err(e) => {
+                // Only the members that needed this subtree degrade; their
+                // partial results are replaced by the typed error.
+                for &q in &live {
+                    if !dead[q as usize] {
+                        dead[q as usize] = true;
+                        out[q as usize] = Outcome::Storage(e.clone());
+                    }
+                }
+                continue;
+            }
+        };
         match &node.kind {
             NodeKind::Dir(entries) => {
                 for e in entries {
@@ -193,10 +270,10 @@ pub fn window_batch(
                 for e in entries {
                     for &q in &live {
                         if !dead[q as usize] && e.mbr.intersects(&queries[q as usize].rect) {
-                            out[q as usize]
-                                .as_mut()
-                                .expect("live query has output")
-                                .push(e.oid);
+                            match &mut out[q as usize] {
+                                Outcome::Ok(oids) => oids.push(e.oid),
+                                _ => unreachable!("live query has output"),
+                            }
                         }
                     }
                 }
@@ -238,8 +315,8 @@ impl Ord for HeapItem {
 }
 
 /// Best-first k-nearest-neighbor query through the cache; results match
-/// [`PagedTree::nearest_neighbors`]. Returns `None` if the deadline expired
-/// mid-traversal.
+/// [`PagedTree::nearest_neighbors`]. Reports an expired deadline or an
+/// unreadable page as the corresponding non-`Ok` [`Outcome`].
 pub fn nearest(
     trees: &TreeSet,
     cache: &SharedPageCache<Node>,
@@ -248,12 +325,12 @@ pub fn nearest(
     query: Point,
     k: usize,
     deadline: Option<Instant>,
-) -> Option<Vec<(f64, u64)>> {
+) -> Outcome<Vec<(f64, u64)>> {
     let t = &trees.trees[tree as usize];
     let tree_idx = tree as usize;
     let mut out = Vec::with_capacity(k.min(64));
     if k == 0 || t.is_empty() {
-        return Some(out);
+        return Outcome::Ok(out);
     }
     let mut heap = BinaryHeap::new();
     heap.push(HeapItem {
@@ -262,11 +339,14 @@ pub fn nearest(
     });
     while let Some(HeapItem { dist, entry }) = heap.pop() {
         if deadline.is_some_and(|d| Instant::now() >= d) {
-            return None;
+            return Outcome::DeadlineExceeded;
         }
         match entry {
             HeapEntry::Node(page) => {
-                let node = cache.get(worker, trees.key(tree_idx, page), trees).0;
+                let node = match cache.try_get(worker, trees.key(tree_idx, page), trees) {
+                    Ok((node, _)) => node,
+                    Err(e) => return Outcome::Storage(e),
+                };
                 match &node.kind {
                     NodeKind::Dir(entries) => {
                         for e in entries {
@@ -294,15 +374,18 @@ pub fn nearest(
             }
         }
     }
-    Some(out)
+    Outcome::Ok(out)
 }
 
 /// Spatial join of two loaded trees with a deadline, on `threads` worker
 /// threads. Joins descend the frozen trees directly (their node accesses
 /// are not routed through the query cache: the join kernel has its own
 /// buffer-organization machinery studied by the paper, and sharing the
-/// query cache's key space across arbitrary tree *pairs* would alias).
-/// Returns `None` if the deadline expired mid-join.
+/// query cache's key space across arbitrary tree *pairs* would alias; for
+/// the same reason, an injected [`TreeSet`] fault plan does not apply to
+/// joins). A tree with load-time poisoned pages is refused outright with
+/// [`Outcome::Storage`] — the direct descent would read the placeholder
+/// nodes and silently return wrong pairs.
 pub fn join(
     trees: &TreeSet,
     tree_a: u16,
@@ -310,18 +393,33 @@ pub fn join(
     refine: bool,
     threads: usize,
     deadline: Option<Instant>,
-) -> Option<Vec<(u64, u64)>> {
+) -> Outcome<Vec<(u64, u64)>> {
     let a = &trees.trees[tree_a as usize];
     let b = &trees.trees[tree_b as usize];
+    for (idx, t) in [(tree_a, a), (tree_b, b)] {
+        if t.poisoned_count() > 0 {
+            let page = t.poisoned_pages().next().expect("count > 0");
+            return Outcome::Storage(PageError::Corrupt {
+                page,
+                context: format!(
+                    "tree {idx} has {} poisoned pages; joins need a fully intact index",
+                    t.poisoned_count()
+                ),
+            });
+        }
+    }
     let mut cfg = NativeConfig::new(threads.max(1));
     cfg.refine = refine;
     let token = match deadline {
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::new(),
     };
-    run_native_join_cancellable(a, b, &cfg, &token)
-        .ok()
-        .map(|r| r.pairs)
+    let ctl = RunControl::default().with_cancel(&token);
+    match try_run_native_join(a, b, &cfg, &ctl) {
+        Ok(r) => Outcome::Ok(r.pairs),
+        Err(NativeError::Cancelled) => Outcome::DeadlineExceeded,
+        Err(NativeError::Storage(e)) => Outcome::Storage(e.error),
+    }
 }
 
 #[cfg(test)]
@@ -358,7 +456,7 @@ mod tests {
                 .collect();
             let got = window_batch(&trees, &cache, 0, tree_idx, &queries);
             for (i, q) in queries.iter().enumerate() {
-                let mut got_i = got[i].clone().expect("no deadline set");
+                let mut got_i = got[i].clone().ok().expect("no deadline set");
                 let mut want: Vec<u64> = trees.trees[tree_idx as usize]
                     .window_query(&q.rect)
                     .iter()
@@ -381,7 +479,7 @@ mod tests {
         }];
         let got = window_batch(&trees, &cache, 0, 0, &queries);
         assert_eq!(
-            got[0].as_ref().unwrap().len(),
+            got[0].clone().ok().unwrap().len(),
             trees.trees[0].window_query(&queries[0].rect).len()
         );
         assert!(cache.total_stats().evictions > 0, "tiny cache thrashes");
@@ -403,9 +501,13 @@ mod tests {
             },
         ];
         let got = window_batch(&trees, &cache, 0, 0, &queries);
-        assert!(got[0].is_none(), "expired member dropped");
+        assert_eq!(got[0], Outcome::DeadlineExceeded, "expired member dropped");
         let want = trees.trees[0].window_query(&queries[1].rect).len();
-        assert_eq!(got[1].as_ref().unwrap().len(), want, "live member served");
+        assert_eq!(
+            got[1].clone().ok().unwrap().len(),
+            want,
+            "live member served"
+        );
     }
 
     #[test]
@@ -413,7 +515,7 @@ mod tests {
         let trees = set();
         let cache = SharedPageCache::new(1, 256, 4, Policy::Lru);
         let q = Point::new(11.3, 4.2);
-        let got = nearest(&trees, &cache, 0, 0, q, 7, None).unwrap();
+        let got = nearest(&trees, &cache, 0, 0, q, 7, None).ok().unwrap();
         let want = trees.trees[0].nearest_neighbors(&q, 7);
         assert_eq!(got.len(), want.len());
         for ((gd, _), (wd, _)) in got.iter().zip(&want) {
@@ -426,23 +528,136 @@ mod tests {
         let trees = set();
         let cache = SharedPageCache::new(1, 256, 4, Policy::Lru);
         let past = Instant::now() - Duration::from_millis(5);
-        assert!(nearest(&trees, &cache, 0, 0, Point::new(1.0, 1.0), 3, Some(past)).is_none());
+        assert_eq!(
+            nearest(&trees, &cache, 0, 0, Point::new(1.0, 1.0), 3, Some(past)),
+            Outcome::DeadlineExceeded
+        );
     }
 
     #[test]
     fn join_matches_core_and_respects_deadline() {
         let trees = set();
         let want = psj_core::join_refined(&trees.trees[0], &trees.trees[1]);
-        let got = join(&trees, 0, 1, true, 2, None).unwrap();
+        let got = join(&trees, 0, 1, true, 2, None).ok().unwrap();
         let as_set =
             |v: &[(u64, u64)]| v.iter().copied().collect::<std::collections::BTreeSet<_>>();
         assert_eq!(as_set(&got), as_set(&want));
         let past = Instant::now() - Duration::from_millis(1);
-        assert!(join(&trees, 0, 1, true, 2, Some(past)).is_none());
+        assert_eq!(
+            join(&trees, 0, 1, true, 2, Some(past)),
+            Outcome::DeadlineExceeded
+        );
     }
 
     #[test]
     fn tree_set_rejects_oversized() {
         assert!(TreeSet::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn injected_corruption_degrades_to_storage_not_wrong_answers() {
+        // Every fetch corrupt: all queries must report Storage, none may
+        // return results.
+        let trees = set().with_fault(Arc::new(FaultPlan::new(3).with_flip(1.0)));
+        let cache = SharedPageCache::new(1, 256, 4, Policy::Lru);
+        let queries = vec![WindowQuery {
+            rect: Rect::new(0.0, 0.0, 40.0, 40.0),
+            deadline: None,
+        }];
+        let got = window_batch(&trees, &cache, 0, 0, &queries);
+        assert!(
+            matches!(&got[0], Outcome::Storage(e) if e.is_corrupt()),
+            "{:?}",
+            got[0]
+        );
+        let nn = nearest(&trees, &cache, 0, 0, Point::new(1.0, 1.0), 3, None);
+        assert!(matches!(nn, Outcome::Storage(_)), "{nn:?}");
+        assert!(cache.corrupt_detected() > 0);
+        assert!(cache.quarantined_pages() > 0);
+    }
+
+    #[test]
+    fn partial_corruption_degrades_only_affected_queries() {
+        // Seeded partial plans: some queries fail with Storage, and every
+        // query that completes must be exactly correct. Whether the root
+        // page flips depends on the seed, so sweep several and assert both
+        // outcomes occur across the sweep while the correctness invariant
+        // holds in every single run.
+        let (mut completed, mut failed) = (0u32, 0u32);
+        for seed in 0..8u64 {
+            let trees = set().with_fault(Arc::new(FaultPlan::new(seed).with_flip(0.3)));
+            let cache = SharedPageCache::new(1, 256, 4, Policy::Lru);
+            // Small tiles: each touches only a few pages, so a 30% flip
+            // rate leaves many queries with an all-clean path.
+            let queries: Vec<WindowQuery> = (0..16)
+                .map(|i| {
+                    let (x, y) = (((i % 4) * 9) as f64, ((i / 4) * 7) as f64);
+                    WindowQuery {
+                        rect: Rect::new(x, y, x + 3.0, y + 3.0),
+                        deadline: None,
+                    }
+                })
+                .collect();
+            let got = window_batch(&trees, &cache, 0, 0, &queries);
+            for (i, (outcome, q)) in got.iter().zip(&queries).enumerate() {
+                match outcome {
+                    Outcome::Ok(oids) => {
+                        completed += 1;
+                        let mut got_i = oids.clone();
+                        let mut want: Vec<u64> = trees.trees[0]
+                            .window_query(&q.rect)
+                            .iter()
+                            .map(|e| e.oid)
+                            .collect();
+                        got_i.sort_unstable();
+                        want.sort_unstable();
+                        assert_eq!(got_i, want, "seed {seed} query {i} completed but wrong");
+                    }
+                    Outcome::Storage(e) => {
+                        failed += 1;
+                        assert!(e.is_corrupt(), "seed {seed} query {i}: {e}");
+                    }
+                    Outcome::DeadlineExceeded => panic!("no deadlines set"),
+                }
+            }
+        }
+        assert!(completed > 0, "no query ever completed across 8 seeds");
+        assert!(failed > 0, "30% flips never hit any query across 8 seeds");
+    }
+
+    #[test]
+    fn join_refuses_poisoned_tree() {
+        // Persist a tree, corrupt a leaf page on disk, lenient-load it.
+        let healthy = tree(900, 0.3);
+        let victim_src = tree(1200, 0.0);
+        let mut path = std::env::temp_dir();
+        path.push(format!("psj-exec-poison-{}.idx", std::process::id()));
+        victim_src.save_to(&path).unwrap();
+        let leaf = (0..victim_src.num_pages())
+            .rev()
+            .find(|&n| victim_src.node(PageId(n as u32)).is_leaf())
+            .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let off = 30 + leaf * psj_store::PAGE_RECORD_SIZE + 100;
+        bytes[off] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = PagedTree::load_from_lenient(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.tree.poisoned_count(), 1);
+
+        let trees = TreeSet::new(vec![Arc::new(loaded.tree), healthy]).unwrap();
+        let got = join(&trees, 0, 1, true, 2, None);
+        assert!(
+            matches!(&got, Outcome::Storage(e) if e.is_corrupt()),
+            "{got:?}"
+        );
+        // The healthy tree still serves window queries.
+        let cache = SharedPageCache::new(1, 256, 4, Policy::Lru);
+        let queries = vec![WindowQuery {
+            rect: Rect::new(0.0, 0.0, 40.0, 40.0),
+            deadline: None,
+        }];
+        let got = window_batch(&trees, &cache, 0, 1, &queries);
+        assert!(got[0].is_ok(), "healthy tree unaffected");
     }
 }

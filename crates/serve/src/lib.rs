@@ -30,9 +30,9 @@ pub mod server;
 pub mod telemetry;
 
 pub use client::{Client, ClientError};
-pub use exec::{TreeSet, WindowQuery};
+pub use exec::{Outcome, TreeSet, WindowQuery};
 pub use loadgen::{LoadConfig, LoadReport};
-pub use protocol::{Request, Response, ServerStats, TreeInfo};
+pub use protocol::{Request, Response, ServerStats, StorageErrorKind, TreeInfo};
 pub use server::{ServeConfig, Server, ServerReport};
 pub use telemetry::{Histogram, Telemetry};
 

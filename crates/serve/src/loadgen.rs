@@ -71,6 +71,9 @@ pub struct LoadReport {
     pub shed: u64,
     /// Requests answered `DeadlineExceeded`.
     pub timeouts: u64,
+    /// Requests answered with a typed storage error (corrupt or
+    /// unavailable pages).
+    pub storage: u64,
     /// Transport/protocol failures observed client-side.
     pub errors: u64,
     /// Wall-clock duration of the run, seconds.
@@ -105,6 +108,7 @@ impl LoadReport {
         s.push_str(&format!("  \"completed\": {},\n", self.completed));
         s.push_str(&format!("  \"shed\": {},\n", self.shed));
         s.push_str(&format!("  \"timeouts\": {},\n", self.timeouts));
+        s.push_str(&format!("  \"storage\": {},\n", self.storage));
         s.push_str(&format!("  \"errors\": {},\n", self.errors));
         s.push_str(&format!("  \"elapsed_s\": {:.6},\n", self.elapsed_s));
         s.push_str(&format!(
@@ -136,7 +140,24 @@ impl LoadReport {
                 sv.cache_evictions
             ));
             s.push_str(&format!("    \"resident_pages\": {},\n", sv.resident_pages));
-            s.push_str(&format!("    \"capacity_pages\": {}\n", sv.capacity_pages));
+            s.push_str(&format!("    \"capacity_pages\": {},\n", sv.capacity_pages));
+            s.push_str(&format!(
+                "    \"storage_corrupt\": {},\n",
+                sv.storage_corrupt
+            ));
+            s.push_str(&format!(
+                "    \"storage_unavailable\": {},\n",
+                sv.storage_unavailable
+            ));
+            s.push_str(&format!(
+                "    \"corrupt_pages_detected\": {},\n",
+                sv.corrupt_pages_detected
+            ));
+            s.push_str(&format!(
+                "    \"quarantined_pages\": {},\n",
+                sv.quarantined_pages
+            ));
+            s.push_str(&format!("    \"page_retries\": {}\n", sv.page_retries));
             s.push_str("  }");
         }
         s.push_str("\n}\n");
@@ -149,6 +170,7 @@ struct ClientOutcome {
     completed: u64,
     shed: u64,
     timeouts: u64,
+    storage: u64,
     errors: u64,
     latencies_ms: Vec<f64>,
 }
@@ -206,6 +228,10 @@ fn client_loop(cfg: &LoadConfig, id: usize, trees: &[TreeInfo]) -> io::Result<Cl
                     out.timeouts += 1;
                     out.latencies_ms.push(ms);
                 }
+                Response::Storage { .. } => {
+                    out.storage += 1;
+                    out.latencies_ms.push(ms);
+                }
                 _ => out.errors += 1,
             },
             Err(ClientError::Io(e)) => {
@@ -259,6 +285,7 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
                 total.completed += o.completed;
                 total.shed += o.shed;
                 total.timeouts += o.timeouts;
+                total.storage += o.storage;
                 total.errors += o.errors;
                 total.latencies_ms.extend(o.latencies_ms);
             }
@@ -276,6 +303,7 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         completed: total.completed,
         shed: total.shed,
         timeouts: total.timeouts,
+        storage: total.storage,
         errors: total.errors + io_failures,
         elapsed_s,
         throughput_rps: if elapsed_s > 0.0 {

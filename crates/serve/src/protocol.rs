@@ -137,6 +137,19 @@ pub struct ServerStats {
     pub resident_pages: u32,
     /// Page-cache capacity.
     pub capacity_pages: u32,
+    /// Requests answered with [`Response::Storage`] of kind
+    /// [`StorageErrorKind::Corrupt`].
+    pub storage_corrupt: u64,
+    /// Requests answered with [`Response::Storage`] of kind
+    /// [`StorageErrorKind::Unavailable`].
+    pub storage_unavailable: u64,
+    /// Distinct corrupt pages detected since start (checksum failures at
+    /// cache fill plus pages poisoned at load time).
+    pub corrupt_pages_detected: u64,
+    /// Pages currently quarantined in the page cache.
+    pub quarantined_pages: u64,
+    /// Page fetches retried by the cache's retry policy since start.
+    pub page_retries: u64,
 }
 
 impl std::fmt::Display for ServerStats {
@@ -156,7 +169,7 @@ impl std::fmt::Display for ServerStats {
             "batching:   {} batches, {} queries batched",
             self.batches, self.batched_queries
         )?;
-        write!(
+        writeln!(
             f,
             "page cache: {} requests, {} hits, {} misses, {} evictions, {}/{} pages resident",
             self.cache_requests,
@@ -165,7 +178,53 @@ impl std::fmt::Display for ServerStats {
             self.cache_evictions,
             self.resident_pages,
             self.capacity_pages
+        )?;
+        write!(
+            f,
+            "storage:    {} corrupt replies, {} unavailable replies, {} corrupt pages detected, {} quarantined, {} retries",
+            self.storage_corrupt,
+            self.storage_unavailable,
+            self.corrupt_pages_detected,
+            self.quarantined_pages,
+            self.page_retries
         )
+    }
+}
+
+/// Classification of a storage failure carried by [`Response::Storage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageErrorKind {
+    /// Data failed its checksum (or the page was quarantined/poisoned):
+    /// retrying will not help, the index needs repair.
+    Corrupt,
+    /// The page could not be read (transient or permanent I/O failure that
+    /// survived retries); the data itself may be intact.
+    Unavailable,
+}
+
+impl StorageErrorKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            StorageErrorKind::Corrupt => 0,
+            StorageErrorKind::Unavailable => 1,
+        }
+    }
+
+    fn from_wire(v: u8) -> Result<Self, ProtoError> {
+        match v {
+            0 => Ok(StorageErrorKind::Corrupt),
+            1 => Ok(StorageErrorKind::Unavailable),
+            _ => Err(ProtoError(format!("unknown storage error kind {v}"))),
+        }
+    }
+}
+
+impl std::fmt::Display for StorageErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageErrorKind::Corrupt => write!(f, "corrupt"),
+            StorageErrorKind::Unavailable => write!(f, "unavailable"),
+        }
     }
 }
 
@@ -190,6 +249,14 @@ pub enum Response {
     Error(String),
     /// Acknowledges a [`Request::Shutdown`].
     ShutdownAck,
+    /// The request touched storage that is corrupt or unreadable; other
+    /// trees and requests are unaffected.
+    Storage {
+        /// Failure classification.
+        kind: StorageErrorKind,
+        /// Human-readable detail (page id, checksum context).
+        msg: String,
+    },
 }
 
 // Opcodes. Requests are < 0x80, responses >= 0x80.
@@ -208,6 +275,7 @@ const OP_OVERLOADED: u8 = 0x86;
 const OP_DEADLINE: u8 = 0x87;
 const OP_ERROR: u8 = 0x88;
 const OP_SHUTDOWN_ACK: u8 = 0x89;
+const OP_STORAGE: u8 = 0x8A;
 
 /// Bounds-checked little-endian reader over a frame payload.
 struct Cur<'a> {
@@ -442,6 +510,11 @@ impl Response {
                 put_u64(&mut out, s.cache_evictions);
                 put_u32(&mut out, s.resident_pages);
                 put_u32(&mut out, s.capacity_pages);
+                put_u64(&mut out, s.storage_corrupt);
+                put_u64(&mut out, s.storage_unavailable);
+                put_u64(&mut out, s.corrupt_pages_detected);
+                put_u64(&mut out, s.quarantined_pages);
+                put_u64(&mut out, s.page_retries);
             }
             Response::Info(trees) => {
                 out.push(OP_INFO_REPORT);
@@ -461,6 +534,13 @@ impl Response {
                 out.extend_from_slice(bytes);
             }
             Response::ShutdownAck => out.push(OP_SHUTDOWN_ACK),
+            Response::Storage { kind, msg } => {
+                out.push(OP_STORAGE);
+                out.push(kind.to_wire());
+                let bytes = msg.as_bytes();
+                put_u32(&mut out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
         }
         out
     }
@@ -510,6 +590,11 @@ impl Response {
                 cache_evictions: c.u64()?,
                 resident_pages: c.u32()?,
                 capacity_pages: c.u32()?,
+                storage_corrupt: c.u64()?,
+                storage_unavailable: c.u64()?,
+                corrupt_pages_detected: c.u64()?,
+                quarantined_pages: c.u64()?,
+                page_retries: c.u64()?,
             }),
             OP_INFO_REPORT => {
                 let n = c.len(44)?;
@@ -535,6 +620,17 @@ impl Response {
                 )
             }
             OP_SHUTDOWN_ACK => Response::ShutdownAck,
+            OP_STORAGE => {
+                let kind = StorageErrorKind::from_wire(c.u8()?)?;
+                let n = c.len(1)?;
+                let bytes = c.take(n)?;
+                Response::Storage {
+                    kind,
+                    msg: std::str::from_utf8(bytes)
+                        .map_err(|_| ProtoError("storage message is not UTF-8".into()))?
+                        .to_string(),
+                }
+            }
             op => return Err(ProtoError(format!("unknown response opcode {op:#04x}"))),
         };
         c.finish()?;
@@ -631,6 +727,10 @@ mod tests {
             completed: 10,
             shed: 2,
             p99_ms: 1.5,
+            storage_corrupt: 3,
+            corrupt_pages_detected: 5,
+            quarantined_pages: 2,
+            page_retries: 17,
             ..Default::default()
         }));
         roundtrip_resp(Response::Info(vec![TreeInfo {
@@ -642,6 +742,21 @@ mod tests {
         roundtrip_resp(Response::DeadlineExceeded);
         roundtrip_resp(Response::Error("unknown tree 9".into()));
         roundtrip_resp(Response::ShutdownAck);
+        roundtrip_resp(Response::Storage {
+            kind: StorageErrorKind::Corrupt,
+            msg: "page p7 checksum mismatch".into(),
+        });
+        roundtrip_resp(Response::Storage {
+            kind: StorageErrorKind::Unavailable,
+            msg: "page p3: i/o error".into(),
+        });
+    }
+
+    #[test]
+    fn storage_response_rejects_bad_kind() {
+        let mut enc = vec![OP_STORAGE, 7];
+        enc.extend_from_slice(&0u32.to_le_bytes());
+        assert!(Response::decode(&enc).is_err());
     }
 
     #[test]

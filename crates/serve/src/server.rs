@@ -27,15 +27,17 @@
 //!   acceptor are halted and joined. Connection threads notice the halt
 //!   flag at their next read timeout.
 
-use crate::exec::{self, TreeSet, WindowQuery};
+use crate::exec::{self, Outcome, TreeSet, WindowQuery};
 use crate::protocol::{
-    read_frame, write_frame, Request, Response, ServerStats, TreeInfo, MAX_REQUEST_FRAME,
+    read_frame, write_frame, Request, Response, ServerStats, StorageErrorKind, TreeInfo,
+    MAX_REQUEST_FRAME,
 };
 use crate::telemetry::Telemetry;
 use psj_buffer::{Policy, SharedPageCache};
 use psj_core::deque::{Injector, Steal, Worker};
 use psj_geom::Point;
 use psj_rtree::{Node, PagedTree};
+use psj_store::{FaultPlan, PageError, RetryPolicy};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -67,6 +69,11 @@ pub struct ServeConfig {
     /// Socket read timeout; also the cadence at which idle connection
     /// threads re-check the halt flag.
     pub read_timeout: Duration,
+    /// Injected fault plan applied to query-cache fills (chaos testing;
+    /// joins are unaffected, see [`exec::join`]).
+    pub fault: Option<Arc<FaultPlan>>,
+    /// Retry policy for failed page-cache fills.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +88,8 @@ impl Default for ServeConfig {
             cache_shards: 16,
             join_threads: 4,
             read_timeout: Duration::from_millis(250),
+            fault: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -194,6 +203,11 @@ impl Shared {
             cache_evictions: snap.stats.evictions,
             resident_pages: snap.resident_pages as u32,
             capacity_pages: snap.capacity_pages as u32,
+            storage_corrupt: t.storage_corrupt.load(Ordering::Relaxed),
+            storage_unavailable: t.storage_unavailable.load(Ordering::Relaxed),
+            corrupt_pages_detected: snap.corrupt_detected + self.trees.poisoned_total(),
+            quarantined_pages: snap.quarantined_pages as u64,
+            page_retries: snap.stats.retries,
         }
     }
 
@@ -250,8 +264,11 @@ impl Server {
     /// Binds `cfg.addr`, loads `trees` behind a fresh shared cache, and
     /// starts the acceptor, batcher, and worker threads.
     pub fn start(cfg: ServeConfig, trees: Vec<Arc<PagedTree>>) -> io::Result<Server> {
-        let trees =
+        let mut trees =
             TreeSet::new(trees).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        if let Some(plan) = cfg.fault.clone() {
+            trees = trees.with_fault(plan);
+        }
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
@@ -260,7 +277,8 @@ impl Server {
             cfg.cache_pages.max(workers),
             cfg.cache_shards.max(1),
             Policy::Lru,
-        );
+        )
+        .with_retry(cfg.retry);
         let (shutdown_tx, shutdown_rx) = mpsc::channel();
         let shared = Arc::new(Shared {
             trees,
@@ -456,6 +474,42 @@ fn worker_loop(shared: &Shared, idx: usize) {
     }
 }
 
+/// Maps an execution outcome to the wire response, bumping the matching
+/// telemetry counter. `ok` builds the success payload.
+fn respond<T>(
+    t: &Telemetry,
+    latency: Duration,
+    outcome: Outcome<T>,
+    ok: impl FnOnce(T) -> Response,
+) -> Response {
+    match outcome {
+        Outcome::Ok(v) => {
+            t.complete(latency);
+            ok(v)
+        }
+        Outcome::DeadlineExceeded => {
+            t.timeout(latency);
+            Response::DeadlineExceeded
+        }
+        Outcome::Storage(e) => {
+            t.storage(latency, e.is_corrupt());
+            storage_response(&e)
+        }
+    }
+}
+
+/// The wire reply for a storage-layer failure.
+fn storage_response(e: &PageError) -> Response {
+    Response::Storage {
+        kind: if e.is_corrupt() {
+            StorageErrorKind::Corrupt
+        } else {
+            StorageErrorKind::Unavailable
+        },
+        msg: e.to_string(),
+    }
+}
+
 fn execute(shared: &Shared, worker: usize, item: WorkItem) {
     let t = &shared.telemetry;
     match item {
@@ -467,16 +521,7 @@ fn execute(shared: &Shared, worker: usize, item: WorkItem) {
             let results = exec::window_batch(&shared.trees, &shared.cache, worker, tree, &queries);
             for ((_, ctx), result) in members.into_iter().zip(results) {
                 let latency = ctx.arrival.elapsed();
-                let resp = match result {
-                    Some(oids) => {
-                        t.complete(latency);
-                        Response::Entries(oids)
-                    }
-                    None => {
-                        t.timeout(latency);
-                        Response::DeadlineExceeded
-                    }
-                };
+                let resp = respond(t, latency, result, Response::Entries);
                 let _ = ctx.reply.send(resp);
             }
         }
@@ -495,16 +540,7 @@ fn execute(shared: &Shared, worker: usize, item: WorkItem) {
                     q.deadline,
                 );
                 let latency = ctx.arrival.elapsed();
-                let resp = match result {
-                    Some(nn) => {
-                        t.complete(latency);
-                        Response::Neighbors(nn)
-                    }
-                    None => {
-                        t.timeout(latency);
-                        Response::DeadlineExceeded
-                    }
-                };
+                let resp = respond(t, latency, result, Response::Neighbors);
                 let _ = ctx.reply.send(resp);
             }
         }
@@ -524,16 +560,7 @@ fn execute(shared: &Shared, worker: usize, item: WorkItem) {
                 deadline,
             );
             let latency = ctx.arrival.elapsed();
-            let resp = match result {
-                Some(pairs) => {
-                    t.complete(latency);
-                    Response::Pairs(pairs)
-                }
-                None => {
-                    t.timeout(latency);
-                    Response::DeadlineExceeded
-                }
-            };
+            let resp = respond(t, latency, result, Response::Pairs);
             let _ = ctx.reply.send(resp);
         }
     }
@@ -613,7 +640,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                     bad_tree(shared, tree)
                 } else {
                     match admit(shared) {
-                        Err(resp) => resp,
+                        Err(resp) => *resp,
                         Ok(arrival) => {
                             let deadline = abs_deadline(arrival, deadline_ms);
                             let (tx, rx) = mpsc::channel();
@@ -636,7 +663,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                     bad_tree(shared, tree)
                 } else {
                     match admit(shared) {
-                        Err(resp) => resp,
+                        Err(resp) => *resp,
                         Ok(arrival) => {
                             let deadline = abs_deadline(arrival, deadline_ms);
                             let (tx, rx) = mpsc::channel();
@@ -664,7 +691,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                     bad_tree(shared, tree_b)
                 } else {
                     match admit(shared) {
-                        Err(resp) => resp,
+                        Err(resp) => *resp,
                         Ok(arrival) => {
                             let deadline = abs_deadline(arrival, deadline_ms);
                             let (tx, rx) = mpsc::channel();
@@ -709,12 +736,12 @@ fn bad_tree(shared: &Shared, tree: u16) -> Response {
 /// Increment-then-check closes the race against concurrent admitters — the
 /// counter can transiently overshoot the bound but admitted requests never
 /// exceed it.
-fn admit(shared: &Shared) -> Result<Instant, Response> {
+fn admit(shared: &Shared) -> Result<Instant, Box<Response>> {
     let q = shared.queued.fetch_add(1, Ordering::SeqCst) + 1;
     if shared.shutting_down.load(Ordering::SeqCst) || q > shared.cfg.queue_bound {
         shared.queued.fetch_sub(1, Ordering::SeqCst);
         shared.telemetry.shed.fetch_add(1, Ordering::Relaxed);
-        return Err(Response::Overloaded);
+        return Err(Box::new(Response::Overloaded));
     }
     Ok(Instant::now())
 }

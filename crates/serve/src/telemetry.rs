@@ -94,6 +94,10 @@ pub struct Telemetry {
     pub batches: AtomicU64,
     /// Queries carried inside those batches.
     pub batched_queries: AtomicU64,
+    /// Requests answered with a corrupt-storage error.
+    pub storage_corrupt: AtomicU64,
+    /// Requests answered with an unavailable-storage error.
+    pub storage_unavailable: AtomicU64,
 }
 
 impl Telemetry {
@@ -111,6 +115,17 @@ impl Telemetry {
     /// Records a deadline miss (also an observation: the client waited).
     pub fn timeout(&self, latency: Duration) {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// Records a storage-error reply (`corrupt` selects which counter);
+    /// the client waited for it, so it is also a latency observation.
+    pub fn storage(&self, latency: Duration, corrupt: bool) {
+        if corrupt {
+            self.storage_corrupt.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.storage_unavailable.fetch_add(1, Ordering::Relaxed);
+        }
         self.latency.record(latency);
     }
 }

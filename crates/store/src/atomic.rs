@@ -1,0 +1,106 @@
+//! Crash-safe file writes: tmp file + fsync + atomic rename + dir fsync.
+//!
+//! Shared by the pager and the R-tree persistence layer. The invariant is
+//! that `path` either holds its previous complete contents or the new
+//! complete contents — never a partial write. A crash at any point leaves
+//! at worst a stale `<name>.tmp` sibling, which the next successful write
+//! replaces.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The sibling tmp path used by [`atomic_write`] for `path`.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Write a file crash-safely: `fill` streams the contents into a sibling
+/// tmp file, which is then fsynced and atomically renamed over `path`,
+/// followed by an fsync of the containing directory so the rename itself
+/// is durable.
+pub fn atomic_write(
+    path: &Path,
+    fill: impl FnOnce(&mut io::BufWriter<File>) -> io::Result<()>,
+) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    let file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", tmp.display())))?;
+    let mut writer = io::BufWriter::new(file);
+    fill(&mut writer)?;
+    io::Write::flush(&mut writer)?;
+    let file = writer
+        .into_inner()
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!("renaming {} -> {}: {e}", tmp.display(), path.display()),
+        )
+    })?;
+    // Make the rename durable: fsync the parent directory. Failure here is
+    // ignored on filesystems that refuse directory fsync; the rename is
+    // still atomic.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        }) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("psj-atomic-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn writes_contents_and_removes_tmp() {
+        let path = temp_path("basic");
+        atomic_write(&path, |w| io::Write::write_all(w, b"hello")).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        assert!(!tmp_path(&path).exists());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn failed_fill_leaves_previous_contents() {
+        let path = temp_path("failed");
+        atomic_write(&path, |w| io::Write::write_all(w, b"generation-1")).unwrap();
+        let err = atomic_write(&path, |w| {
+            io::Write::write_all(w, b"partial")?;
+            Err(io::Error::other("simulated crash"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert_eq!(std::fs::read(&path).unwrap(), b"generation-1");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(tmp_path(&path)).ok();
+    }
+
+    #[test]
+    fn stale_tmp_is_overwritten() {
+        let path = temp_path("stale");
+        std::fs::write(tmp_path(&path), b"stale garbage").unwrap();
+        atomic_write(&path, |w| io::Write::write_all(w, b"fresh")).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"fresh");
+        std::fs::remove_file(path).ok();
+    }
+}

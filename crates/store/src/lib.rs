@@ -18,14 +18,27 @@
 
 #![warn(missing_docs)]
 
+pub mod atomic;
+pub mod checksum;
 pub mod cluster;
 pub mod disk;
+pub mod error;
+pub mod fault;
 pub mod page;
 pub mod pager;
+pub mod retry;
 pub mod timing;
 
+pub use atomic::{atomic_write, tmp_path};
+pub use checksum::{
+    crc32, encode_record, page_footer, verify_record, PAGE_FOOTER_SIZE, PAGE_FORMAT_VERSION,
+    PAGE_RECORD_SIZE,
+};
 pub use cluster::ClusterStore;
 pub use disk::DiskModel;
+pub use error::PageError;
+pub use fault::FaultPlan;
 pub use page::{Page, PageId, PageStore, PAGE_SIZE};
-pub use pager::FilePager;
+pub use pager::{FaultPager, FilePager};
+pub use retry::RetryPolicy;
 pub use timing::{Nanos, MICROS, MILLIS, SECS};
