@@ -120,6 +120,7 @@ pub struct SharedPageCache<T> {
     stats: Vec<WorkerStats>,
     retry: RetryPolicy,
     corrupt_detected: AtomicU64,
+    trace: Option<Arc<psj_obs::TraceSink>>,
 }
 
 impl<T> SharedPageCache<T> {
@@ -156,12 +157,24 @@ impl<T> SharedPageCache<T> {
             stats: (0..workers).map(|_| WorkerStats::default()).collect(),
             retry: RetryPolicy::default(),
             corrupt_detected: AtomicU64::new(0),
+            trace: None,
         }
     }
 
     /// Replace the retry policy applied to fills (builder style).
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Attach a trace sink (builder style): every fill that reaches the
+    /// source emits a `page_read` span, every retried attempt a
+    /// `page_retry` instant, and every quarantine a `page_quarantine`
+    /// instant, all on the requesting worker's cache thread row. Hits stay
+    /// untraced — the slow path is the only place the `Option` is checked,
+    /// so a disabled trace costs nothing on the hit path.
+    pub fn with_trace(mut self, trace: Arc<psj_obs::TraceSink>) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -328,7 +341,36 @@ impl<T> SharedPageCache<T> {
             // pages of this shard stay accessible during the fetch.
             state.loading.insert(page);
             drop(state);
-            let (fetched, retries) = self.retry.run(page.0 as u64, |_| source.fetch_page(page));
+            let fill_start = self.trace.as_ref().map(|t| t.now_ns());
+            let (fetched, retries) = match &self.trace {
+                None => self.retry.run(page.0 as u64, |_| source.fetch_page(page)),
+                Some(t) => self.retry.run_observed(
+                    page.0 as u64,
+                    |_| source.fetch_page(page),
+                    |attempt, _| {
+                        t.instant(
+                            psj_obs::trace::cache_tid(worker),
+                            "page_retry",
+                            "storage",
+                            &[("page", page.0 as u64), ("attempt", attempt as u64)],
+                        );
+                    },
+                ),
+            };
+            if let (Some(t), Some(start)) = (&self.trace, fill_start) {
+                t.span(
+                    psj_obs::trace::cache_tid(worker),
+                    "page_read",
+                    "storage",
+                    start,
+                    &[
+                        ("page", page.0 as u64),
+                        ("worker", worker as u64),
+                        ("retries", retries),
+                        ("ok", fetched.is_ok() as u64),
+                    ],
+                );
+            }
             let mut state = shard.state.lock().unwrap();
             state.loading.remove(&page);
             let value = match fetched {
@@ -339,6 +381,14 @@ impl<T> SharedPageCache<T> {
                         // the typed error without hitting the device again.
                         state.quarantined.insert(page, e.clone());
                         self.corrupt_detected.fetch_add(1, Ordering::Relaxed);
+                        if let Some(t) = &self.trace {
+                            t.instant(
+                                psj_obs::trace::cache_tid(worker),
+                                "page_quarantine",
+                                "storage",
+                                &[("page", page.0 as u64)],
+                            );
+                        }
                     }
                     drop(state);
                     shard.loaded.notify_all();
@@ -654,6 +704,41 @@ mod tests {
         assert_eq!((*v, a), (5, SharedAccess::HitLocal));
         assert_eq!(src.fetches.load(Ordering::Relaxed), 1);
         cache.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn traced_fills_emit_read_retry_and_quarantine_events() {
+        let sink = psj_obs::TraceSink::new(1 << 12);
+        let cache: SharedPageCache<u32> =
+            SharedPageCache::new(2, 8, 2, Policy::Lru).with_trace(Arc::clone(&sink));
+
+        // A clean miss: one page_read span, no retry instants.
+        let src = Counting::new(100);
+        cache.get(0, p(1), &src);
+        // A hit: no new events (the fast path never sees the sink).
+        cache.get(0, p(1), &src);
+        assert_eq!(sink.event_count(), 1);
+
+        // Two transient failures then success: two page_retry instants
+        // plus the page_read span.
+        let flaky = Flaky {
+            failures: AtomicU64::new(2),
+        };
+        cache.try_get(1, p(2), &flaky).unwrap();
+        assert_eq!(sink.event_count(), 4);
+
+        // Corruption: page_read span + page_quarantine instant.
+        assert!(cache.try_get(0, p(3), &Rotten).is_err());
+        assert_eq!(sink.event_count(), 6);
+
+        let mut out = Vec::new();
+        sink.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let summary = psj_obs::validate_jsonl(&text).unwrap();
+        assert_eq!(summary.spans, 3, "{text}");
+        assert_eq!(summary.instants, 3, "{text}");
+        assert!(text.contains("page_quarantine"));
+        assert!(text.contains("page_retry"));
     }
 
     #[test]

@@ -3,10 +3,11 @@
 use crate::args::Args;
 use psj_core::{
     run_sim_join, try_run_native_join, BufferConfig, BufferOrg, NativeConfig, NativeError,
-    RunControl, SimConfig,
+    RunControl, SimConfig, TaskOrigin,
 };
 use psj_datagen::io::{load_map, save_map};
 use psj_datagen::Scenario;
+use psj_obs::TraceSink;
 use psj_rtree::{bulk::bulk_load_str, fsck_file, PagedTree, RTree};
 use psj_serve::{loadgen, Client, ClientError, LoadConfig, Response, ServeConfig, Server};
 use psj_store::{FaultPlan, RetryPolicy};
@@ -26,6 +27,9 @@ commands:
   join     --tree1 <tree> --tree2 <tree> [--threads <n>] [--no-refine]
            [--cache <pages>] [--cache-org local|global] [--cache-shards <n>]
            [--inject-faults <spec>] [--retry-attempts <n>]
+           [--trace <file.jsonl>] [--tasks] — --trace writes a Perfetto/
+           chrome://tracing-loadable JSONL trace; --tasks prints per-task
+           attribution (pages, hits, steals, wall time)
   fsck     <tree>  (or --tree <tree>) — prints a JSON integrity report,
            exits nonzero if the index is damaged
   simulate --tree1 <tree> --tree2 <tree> [--procs <n>] [--disks <n>]
@@ -34,8 +38,13 @@ commands:
            [--queue-bound <n>] [--batch-window-us <us>] [--max-batch <n>]
            [--cache <pages>] [--cache-shards <n>] [--join-threads <n>]
            [--lenient] [--inject-faults <spec>] [--retry-attempts <n>]
+           [--trace <file.jsonl>] — --trace writes the trace at shutdown
   query    --addr <host:port> [--tree <n>] (--window xl,yl,xu,yu |
            --nearest x,y [--k <n>] | --join-with <n> | --stats | --shutdown)
+  metrics  --addr <host:port> — scrape Prometheus-text metrics from a
+           running server
+  trace-check <file.jsonl>  (or --file <file.jsonl>) — validate a trace
+           file: every line parses, spans nest or are disjoint per thread
   bench-serve --addr <host:port> [--clients <n>] [--requests <n>] [--seed <n>]
            [--window-frac <f>] [--nearest-frac <f>] [--deadline-ms <n>]
            [--k <n>] [--window-extent <f>] [--out <file.json>] [--shutdown]
@@ -158,6 +167,10 @@ pub fn join(args: &Args) -> CmdResult {
             .map_err(|_| format!("invalid value for --retry-attempts: {n}"))?;
         ctl = ctl.with_retry(RetryPolicy::attempts(attempts));
     }
+    let trace = args.get("trace").map(|_| TraceSink::new(1 << 22));
+    if let Some(sink) = &trace {
+        ctl = ctl.with_trace(Arc::clone(sink));
+    }
     let res = match try_run_native_join(&a, &b, &cfg, &ctl) {
         Ok(res) => res,
         Err(NativeError::Storage(je)) => {
@@ -207,6 +220,54 @@ pub fn join(args: &Args) -> CmdResult {
         if let Some(stats) = &res.buffer {
             println!("page retries:       {}", stats.retries);
         }
+    }
+    if !res.task_traces.is_empty() {
+        let (mut assigned, mut injector, mut stolen) = (0u64, 0u64, 0u64);
+        for t in &res.task_traces {
+            match t.origin {
+                TaskOrigin::Assigned => assigned += 1,
+                TaskOrigin::Injector => injector += 1,
+                TaskOrigin::Steal => stolen += 1,
+            }
+        }
+        println!(
+            "task segments:      {} ({assigned} assigned / {injector} injector / {stolen} stolen)",
+            res.task_traces.len()
+        );
+        if args.flag("tasks") {
+            println!(
+                "  {:<6} {:<8} {:>10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>7}  wall",
+                "worker", "origin", "node-prs", "cands", "pages", "hit-l", "hit-r", "miss", "retry"
+            );
+            for t in &res.task_traces {
+                let origin = match t.origin {
+                    TaskOrigin::Assigned => "assigned",
+                    TaskOrigin::Injector => "injector",
+                    TaskOrigin::Steal => "stolen",
+                };
+                println!(
+                    "  {:<6} {:<8} {:>10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>7}  {:.3?}",
+                    t.worker,
+                    origin,
+                    t.node_pairs,
+                    t.candidates,
+                    t.pages,
+                    t.hits_local,
+                    t.hits_remote,
+                    t.misses,
+                    t.retries,
+                    t.wall
+                );
+            }
+        }
+    }
+    if let Some(sink) = &trace {
+        let path = args.get("trace").expect("sink exists only with --trace");
+        let lines = sink.write_to_file(Path::new(path)).map_err(io_err)?;
+        println!(
+            "trace:              {lines} events -> {path} ({} dropped)",
+            sink.dropped()
+        );
     }
     println!("wall time:          {:.3?}", res.elapsed);
     Ok(())
@@ -270,8 +331,10 @@ pub fn serve(args: &Args) -> CmdResult {
             None => None,
         },
         retry: RetryPolicy::attempts(args.parse_or("retry-attempts", 3)?),
+        trace: args.get("trace").map(|_| TraceSink::new(1 << 22)),
         ..ServeConfig::default()
     };
+    let trace = cfg.trace.clone();
     let server = Server::start(cfg, trees).map_err(io_err)?;
     println!(
         "serving on {} (send a Shutdown request to stop)",
@@ -279,6 +342,48 @@ pub fn serve(args: &Args) -> CmdResult {
     );
     let report = server.wait();
     println!("--- server report ---\n{report}");
+    if let Some(sink) = &trace {
+        let path = args.get("trace").expect("sink exists only with --trace");
+        let lines = sink.write_to_file(Path::new(path)).map_err(io_err)?;
+        println!(
+            "trace: {lines} events -> {path} ({} dropped)",
+            sink.dropped()
+        );
+    }
+    Ok(())
+}
+
+/// `psj metrics` — scrape the Prometheus text exposition from a running
+/// server and print it. The counters are the same atomics the `--stats`
+/// report reads, so the two views always agree.
+pub fn metrics(args: &Args) -> CmdResult {
+    let addr_str = args.require("addr")?;
+    let addr: std::net::SocketAddr = addr_str
+        .parse()
+        .map_err(|_| format!("invalid address: {addr_str}"))?;
+    let mut client =
+        Client::connect_timeout(&addr, std::time::Duration::from_secs(30)).map_err(io_err)?;
+    let text = client.metrics().map_err(client_err)?;
+    print!("{text}");
+    Ok(())
+}
+
+/// `psj trace-check` — validate a JSONL trace file written by
+/// `join --trace` or `serve --trace`: every line must parse as a Chrome
+/// trace event and span begin/end pairs must balance on every thread row.
+/// Exits nonzero on a malformed trace.
+pub fn trace_check(args: &Args) -> CmdResult {
+    let path = args.require("file")?;
+    let text = std::fs::read_to_string(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    let summary =
+        psj_obs::validate_jsonl(&text).map_err(|e| format!("{path}: invalid trace: {e}"))?;
+    println!(
+        "{path}: ok — {} lines ({} spans, {} instants, {} metadata)",
+        summary.lines, summary.spans, summary.instants, summary.meta
+    );
+    if summary.spans == 0 {
+        return Err(format!("{path}: trace contains no spans"));
+    }
     Ok(())
 }
 

@@ -7,11 +7,14 @@
 //! psj fsck     tree1.psjt
 //! psj join     --tree1 tree1.psjt --tree2 tree2.psjt [--threads 8] [--no-refine]
 //!              [--inject-faults seed=42,flip=0.01] [--retry-attempts 4]
+//!              [--trace join.jsonl] [--tasks]
 //! psj simulate --tree1 tree1.psjt --tree2 tree2.psjt [--procs 8] [--disks 8]
 //!              [--buffer 800] [--variant lsr|gsrr|gd|best]
 //! psj serve    --trees tree1.psjt,tree2.psjt [--addr 127.0.0.1:7878]
 //!              [--workers 4] [--queue-bound 256] [--batch-window-us 2000]
 //! psj query    --addr 127.0.0.1:7878 --tree 0 --window 0,0,10,10
+//! psj metrics  --addr 127.0.0.1:7878
+//! psj trace-check join.jsonl
 //! psj bench-serve --addr 127.0.0.1:7878 [--clients 4] [--requests 250]
 //!              [--out results/serve_baseline.json] [--shutdown]
 //! ```
@@ -29,10 +32,14 @@ fn main() {
         std::process::exit(2);
     }
     let cmd = argv.remove(0);
-    // `psj fsck <index>` is the natural spelling; rewrite the bare path to
-    // the --tree option the parser expects (it rejects stray positionals).
+    // `psj fsck <index>` / `psj trace-check <trace>` are the natural
+    // spellings; rewrite the bare path to the option the parser expects
+    // (it rejects stray positionals).
     if cmd == "fsck" && argv.len() == 1 && !argv[0].starts_with("--") {
         argv[0] = format!("--tree={}", argv[0]);
+    }
+    if cmd == "trace-check" && argv.len() == 1 && !argv[0].starts_with("--") {
+        argv[0] = format!("--file={}", argv[0]);
     }
     let parsed = match args::Args::parse(&argv) {
         Ok(parsed) => parsed,
@@ -50,6 +57,8 @@ fn main() {
         "simulate" => commands::simulate(&parsed),
         "serve" => commands::serve(&parsed),
         "query" => commands::query(&parsed),
+        "metrics" => commands::metrics(&parsed),
+        "trace-check" => commands::trace_check(&parsed),
         "bench-serve" => commands::bench_serve(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

@@ -64,7 +64,7 @@ pub use cancel::{CancelToken, Cancelled};
 pub use cost::{CostModel, Platform};
 pub use distance_join::{distance_join, distance_join_candidates};
 pub use estimate::{estimate_join, JoinEstimate};
-pub use metrics::JoinMetrics;
+pub use metrics::{JoinMetrics, TaskOrigin, TaskTrace};
 pub use native::{
     run_native_join, run_native_join_cancellable, run_native_join_with_cache, try_run_native_join,
     try_run_native_join_with_cache, BufferConfig, JoinError, NativeConfig, NativeError,

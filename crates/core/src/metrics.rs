@@ -77,6 +77,51 @@ impl JoinMetrics {
     }
 }
 
+/// How the first pair of a task segment reached the worker that ran it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskOrigin {
+    /// Popped from the worker's own deque (static assignment, or a batch
+    /// previously moved there — see [`TaskTrace::origin`]).
+    Assigned,
+    /// Taken from the shared injector (dynamic assignment).
+    Injector,
+    /// Stolen from another worker's deque (the paper's reassignment).
+    Steal,
+}
+
+/// Per-task attribution recorded by the native executor on every run: what
+/// one phase-1 task cost the worker that executed it. These are the
+/// quantities behind the paper's Figures 7–9 — per-processor page accesses,
+/// local vs. remote buffer hits, and the task-time skew that reassignment
+/// is meant to flatten — surfaced per task instead of per run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TaskTrace {
+    /// Worker that executed the task.
+    pub worker: usize,
+    /// How the task's first pair was acquired. Local pops inherit the
+    /// origin of the batch move that put them there: a task popped out of
+    /// a freshly stolen batch reports [`TaskOrigin::Steal`].
+    pub origin: TaskOrigin,
+    /// Node pairs expanded while executing the task (descendants included).
+    pub node_pairs: u64,
+    /// Filter-step candidates produced (and, if enabled, refined).
+    pub candidates: u64,
+    /// Node/page requests issued: cache requests when buffered, node
+    /// fetches otherwise.
+    pub pages: u64,
+    /// Cache hits on pages this worker itself faulted in.
+    pub hits_local: u64,
+    /// Cache hits on pages another worker faulted in (the accesses the
+    /// paper charges with the interconnect penalty).
+    pub hits_remote: u64,
+    /// Cache misses (pages fetched from the source).
+    pub misses: u64,
+    /// Page-fetch retries absorbed inside the cache.
+    pub retries: u64,
+    /// Wall-clock time from acquiring the task to finishing it.
+    pub wall: std::time::Duration,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

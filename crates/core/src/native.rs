@@ -44,12 +44,16 @@
 use crate::assign::{static_range, static_round_robin, Assignment};
 use crate::cancel::{CancelToken, Cancelled};
 use crate::deque::{Injector, Steal, Stealer, Worker};
+use crate::metrics::{TaskOrigin, TaskTrace};
 use crate::sim::BufferOrg;
 use crate::task::{create_tasks, expand_pair, Candidate, KernelScratch, TaskPair};
 use psj_buffer::{BufferStats, FaultSource, PageSource, Policy, SharedPageCache};
+use psj_obs::trace::{worker_tid, TID_MAIN};
+use psj_obs::{ThreadTracer, TraceSink};
 use psj_rtree::{Node, PagedTree};
 use psj_store::{FaultPlan, PageError, PageId, RetryPolicy};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -150,6 +154,13 @@ pub struct RunControl<'c> {
     pub fault: Option<Arc<FaultPlan>>,
     /// Retry policy for failed page fetches (applied inside the cache).
     pub retry: RetryPolicy,
+    /// Trace sink for structured tracing. When set, the run emits
+    /// `create_tasks`/`join` spans on the driver row, one `task` span per
+    /// task segment on each worker row, `steal` instants, and (via the
+    /// caches this run builds) `page_read`/`page_retry`/`page_quarantine`
+    /// events. When `None`, tracing costs one `Option` check per task
+    /// boundary — per-task attribution itself is always collected.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl<'c> RunControl<'c> {
@@ -168,6 +179,12 @@ impl<'c> RunControl<'c> {
     /// Sets the storage retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Attaches a trace sink.
+    pub fn with_trace(mut self, trace: Arc<TraceSink>) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -234,6 +251,9 @@ pub struct NativeResult {
     pub buffer: Option<BufferStats>,
     /// Per-worker page-cache statistics (empty when unbuffered).
     pub buffer_per_worker: Vec<BufferStats>,
+    /// Per-task attribution: one entry per task segment (phase-1 task or
+    /// stolen batch), recorded on every run. Order is unspecified.
+    pub task_traces: Vec<TaskTrace>,
 }
 
 /// High bit of a [`PageId`] distinguishes tree B's pages from tree A's in
@@ -350,11 +370,15 @@ enum CacheSet<'c> {
 }
 
 impl<'c> CacheSet<'c> {
-    fn build(cfg: &NativeConfig, retry: RetryPolicy) -> Self {
+    fn build(cfg: &NativeConfig, retry: RetryPolicy, trace: Option<&Arc<TraceSink>>) -> Self {
+        let traced = |cache: SharedPageCache<Node>| match trace {
+            Some(t) => cache.with_trace(Arc::clone(t)),
+            None => cache,
+        };
         match &cfg.buffer {
             None => CacheSet::None,
             Some(b) => match b.org {
-                BufferOrg::Global => CacheSet::Global(
+                BufferOrg::Global => CacheSet::Global(traced(
                     SharedPageCache::new(
                         cfg.num_threads,
                         b.capacity_pages,
@@ -362,13 +386,16 @@ impl<'c> CacheSet<'c> {
                         b.policy,
                     )
                     .with_retry(retry),
-                ),
+                )),
                 BufferOrg::Local => {
                     let per_worker = (b.capacity_pages / cfg.num_threads).max(1);
                     CacheSet::Local(
                         (0..cfg.num_threads)
                             .map(|_| {
-                                SharedPageCache::new(1, per_worker, 1, b.policy).with_retry(retry)
+                                traced(
+                                    SharedPageCache::new(1, per_worker, 1, b.policy)
+                                        .with_retry(retry),
+                                )
                             })
                             .collect(),
                     )
@@ -397,6 +424,9 @@ impl<'c> CacheSet<'c> {
         }
     }
 }
+
+/// One worker's run output: its result pairs and attribution segments.
+type WorkerOutput = (Vec<(u64, u64)>, Vec<TaskTrace>);
 
 /// Cross-worker failure state: the first unrecoverable page error raises
 /// `abort`; every worker bails out at its next loop iteration.
@@ -432,7 +462,7 @@ pub fn run_native_join(a: &PagedTree, b: &PagedTree, cfg: &NativeConfig) -> Nati
         a,
         b,
         cfg,
-        CacheSet::build(cfg, retry),
+        CacheSet::build(cfg, retry, None),
         &RunControl::default(),
     ) {
         Ok(res) => res,
@@ -454,7 +484,7 @@ pub fn run_native_join_cancellable(
     cancel: &CancelToken,
 ) -> Result<NativeResult, Cancelled> {
     let ctl = RunControl::default().with_cancel(cancel);
-    match run_with_caches(a, b, cfg, CacheSet::build(cfg, ctl.retry), &ctl) {
+    match run_with_caches(a, b, cfg, CacheSet::build(cfg, ctl.retry, None), &ctl) {
         Ok(res) => Ok(res),
         Err(NativeError::Cancelled) => Err(Cancelled),
         Err(e @ NativeError::Storage(_)) => unreachable!("in-memory join cannot fail: {e}"),
@@ -482,10 +512,16 @@ pub fn try_run_native_join(
         forced.buffer = Some(BufferConfig::global(
             (a.pages().len() + b.pages().len()).max(1),
         ));
-        let caches = CacheSet::build(&forced, ctl.retry);
+        let caches = CacheSet::build(&forced, ctl.retry, ctl.trace.as_ref());
         return run_with_caches(a, b, &forced, caches, ctl);
     }
-    run_with_caches(a, b, cfg, CacheSet::build(cfg, ctl.retry), ctl)
+    run_with_caches(
+        a,
+        b,
+        cfg,
+        CacheSet::build(cfg, ctl.retry, ctl.trace.as_ref()),
+        ctl,
+    )
 }
 
 /// Runs the join with a caller-owned shared cache (global organization).
@@ -545,8 +581,35 @@ fn run_with_caches(
         "page id tag bit collision"
     );
     let cancel = ctl.cancel;
+    let trace = ctl.trace.as_ref();
+    let join_start_ns = trace.map(|t| {
+        t.set_thread_name(TID_MAIN, "join driver");
+        for id in 0..cfg.num_threads {
+            t.set_thread_name(worker_tid(id), format!("worker {id}"));
+            t.set_thread_name(
+                psj_obs::trace::cache_tid(id),
+                format!("cache (worker {id})"),
+            );
+        }
+        t.now_ns()
+    });
+    let tasks_start_ns = trace.map(|t| t.now_ns());
     let tc = create_tasks(a, b, cfg.min_tasks_factor * cfg.num_threads);
     let tasks = tc.tasks.len();
+    if let (Some(t), Some(start)) = (trace, tasks_start_ns) {
+        t.span(
+            TID_MAIN,
+            "create_tasks",
+            "join",
+            start,
+            &[
+                ("tasks", tasks as u64),
+                ("pages_a", tc.pages_a.len() as u64),
+                ("pages_b", tc.pages_b.len() as u64),
+            ],
+        );
+    }
+    let task_keys = tc.key_set();
     if let Some(token) = cancel {
         token.check().map_err(|_| NativeError::Cancelled)?;
     }
@@ -591,7 +654,7 @@ fn run_with_caches(
     let fail = FailState::default();
     let start = Instant::now();
 
-    let mut results: Vec<Vec<(u64, u64)>> = Vec::with_capacity(cfg.num_threads);
+    let mut results: Vec<WorkerOutput> = Vec::with_capacity(cfg.num_threads);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.num_threads);
         for (id, worker) in workers.into_iter().enumerate() {
@@ -604,6 +667,8 @@ fn run_with_caches(
             let active = &active;
             let fail = &fail;
             let fault = ctl.fault.clone();
+            let tracer = ctl.trace.as_ref().map(|t| t.tracer(worker_tid(id)));
+            let task_keys = &task_keys;
             handles.push(scope.spawn(move || {
                 let join_source = JoinSource { a, b };
                 let fetcher = NodeFetcher {
@@ -617,7 +682,7 @@ fn run_with_caches(
                 };
                 run_worker(
                     id, a, b, cfg, &fetcher, worker, injector, stealers, candidates, node_pairs,
-                    steals, active, cancel, fail,
+                    steals, active, cancel, fail, task_keys, tracer,
                 )
             }));
         }
@@ -626,6 +691,19 @@ fn run_with_caches(
         }
     });
     let elapsed = start.elapsed();
+    if let (Some(t), Some(start_ns)) = (trace, join_start_ns) {
+        t.span(
+            TID_MAIN,
+            "join",
+            "join",
+            start_ns,
+            &[
+                ("tasks", tasks as u64),
+                ("threads", cfg.num_threads as u64),
+                ("steals", steals.load(Ordering::Relaxed)),
+            ],
+        );
+    }
 
     let buffer_per_worker: Vec<BufferStats> = caches
         .per_worker_stats(cfg.num_threads)
@@ -662,9 +740,11 @@ fn run_with_caches(
         token.check().map_err(|_| NativeError::Cancelled)?;
     }
 
-    let mut pairs = Vec::with_capacity(results.iter().map(Vec::len).sum());
-    for mut r in results {
-        pairs.append(&mut r);
+    let mut pairs = Vec::with_capacity(results.iter().map(|(p, _)| p.len()).sum());
+    let mut task_traces = Vec::with_capacity(results.iter().map(|(_, t)| t.len()).sum());
+    for (mut p, mut t) in results {
+        pairs.append(&mut p);
+        task_traces.append(&mut t);
     }
     Ok(NativeResult {
         pairs,
@@ -675,7 +755,74 @@ fn run_with_caches(
         steals: steals.load(Ordering::Relaxed),
         buffer,
         buffer_per_worker,
+        task_traces,
     })
+}
+
+/// One open task segment: the attribution baseline captured when the
+/// segment's first pair was acquired (see [`TaskTrace`]).
+struct Segment {
+    origin: TaskOrigin,
+    start: Instant,
+    start_ns: u64,
+    base_stats: BufferStats,
+    base_pairs: u64,
+    base_cands: u64,
+}
+
+/// Closes `seg`: computes the deltas since its baseline, records a
+/// [`TaskTrace`], and (when tracing) emits the `task` span.
+#[allow(clippy::too_many_arguments)]
+fn close_segment(
+    seg: Segment,
+    id: usize,
+    buffered: bool,
+    now_stats: BufferStats,
+    pairs: u64,
+    cands: u64,
+    traces: &mut Vec<TaskTrace>,
+    tracer: Option<&mut ThreadTracer>,
+) {
+    let delta = now_stats.since(&seg.base_stats);
+    let node_pairs = pairs - seg.base_pairs;
+    let candidates = cands - seg.base_cands;
+    let pages = if buffered {
+        delta.requests()
+    } else {
+        // Unbuffered fetches bypass the cache counters: each processed
+        // node pair reads its two nodes, each candidate its two leaves.
+        2 * node_pairs + 2 * candidates
+    };
+    let tt = TaskTrace {
+        worker: id,
+        origin: seg.origin,
+        node_pairs,
+        candidates,
+        pages,
+        hits_local: delta.hits_local,
+        hits_remote: delta.hits_remote,
+        misses: delta.misses,
+        retries: delta.retries,
+        wall: seg.start.elapsed(),
+    };
+    if let Some(tr) = tracer {
+        tr.span(
+            "task",
+            "join",
+            seg.start_ns,
+            &[
+                ("worker", id as u64),
+                ("origin", seg.origin as u64),
+                ("node_pairs", tt.node_pairs),
+                ("candidates", tt.candidates),
+                ("pages", tt.pages),
+                ("hits_local", tt.hits_local),
+                ("hits_remote", tt.hits_remote),
+                ("retries", tt.retries),
+            ],
+        );
+    }
+    traces.push(tt);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -694,13 +841,27 @@ fn run_worker(
     active: &AtomicUsize,
     cancel: Option<&CancelToken>,
     fail: &FailState,
-) -> Vec<(u64, u64)> {
+    task_keys: &HashSet<(u32, u32, u8, u8)>,
+    mut tracer: Option<ThreadTracer>,
+) -> (Vec<(u64, u64)>, Vec<TaskTrace>) {
     let mut scratch = KernelScratch::default();
     let mut children: Vec<TaskPair> = Vec::new();
     let mut cands: Vec<Candidate> = Vec::new();
     let mut out: Vec<(u64, u64)> = Vec::new();
     let mut local_candidates = 0u64;
     let mut local_pairs = 0u64;
+
+    // Per-task attribution state. `cache_stats` reads this worker's own
+    // counters: exclusive to it, so deltas between boundaries are exact.
+    let buffered = fetcher.cache.is_some();
+    let cache_stats = |fetcher: &NodeFetcher<'_>| match fetcher.cache {
+        Some((c, w)) => c.stats(w),
+        None => BufferStats::default(),
+    };
+    let mut traces: Vec<TaskTrace> = Vec::new();
+    let mut seg: Option<Segment> = None;
+    // Origin inherited by tasks popped locally out of a moved batch.
+    let mut local_origin = TaskOrigin::Assigned;
 
     'outer: loop {
         // Cooperative cancellation / failure abort: each worker bails out on
@@ -709,11 +870,12 @@ fn run_worker(
         if cancel.is_some_and(|t| t.is_cancelled()) || fail.abort.load(Ordering::Relaxed) {
             break 'outer;
         }
-        // Local work first, then the shared queue, then stealing.
-        let pair = worker.pop().or_else(|| {
+        // Local work first, then the shared queue, then stealing. `Some`
+        // in the second tuple slot marks a non-local acquisition.
+        let pair = worker.pop().map(|t| (t, None)).or_else(|| {
             loop {
                 match injector.steal_batch_and_pop(&worker) {
-                    Steal::Success(t) => return Some(t),
+                    Steal::Success(t) => return Some((t, Some(TaskOrigin::Injector))),
                     Steal::Empty => break,
                     Steal::Retry => continue,
                 }
@@ -728,7 +890,10 @@ fn run_worker(
                     match stealers[v].steal_batch_and_pop(&worker) {
                         Steal::Success(t) => {
                             steals.fetch_add(1, Ordering::Relaxed);
-                            return Some(t);
+                            if let Some(tr) = tracer.as_mut() {
+                                tr.instant("steal", "join", &[("victim", v as u64)]);
+                            }
+                            return Some((t, Some(TaskOrigin::Steal)));
                         }
                         Steal::Empty => break,
                         Steal::Retry => continue,
@@ -738,7 +903,21 @@ fn run_worker(
             None
         });
 
-        let Some(pair) = pair else {
+        let Some((pair, nonlocal)) = pair else {
+            // Ran dry: the current segment ends here, before the idle wait,
+            // so spin time is not charged to the last task.
+            if let Some(s) = seg.take() {
+                close_segment(
+                    s,
+                    id,
+                    buffered,
+                    cache_stats(fetcher),
+                    local_pairs,
+                    local_candidates,
+                    &mut traces,
+                    tracer.as_mut(),
+                );
+            }
             // Nothing found: deregister; if others are still active they may
             // still produce work, so spin-wait politely and re-check.
             let remaining = active.fetch_sub(1, Ordering::SeqCst) - 1;
@@ -761,6 +940,36 @@ fn run_worker(
                 }
             }
         };
+
+        // Task boundary: any non-local acquisition starts a new segment, as
+        // does a phase-1 task surfacing from the local deque (batch moves
+        // put whole runs of tasks there).
+        let boundary = seg.is_none() || nonlocal.is_some() || task_keys.contains(&pair.key());
+        if boundary {
+            if let Some(s) = seg.take() {
+                close_segment(
+                    s,
+                    id,
+                    buffered,
+                    cache_stats(fetcher),
+                    local_pairs,
+                    local_candidates,
+                    &mut traces,
+                    tracer.as_mut(),
+                );
+            }
+            if let Some(o) = nonlocal {
+                local_origin = o;
+            }
+            seg = Some(Segment {
+                origin: nonlocal.unwrap_or(local_origin),
+                start: Instant::now(),
+                start_ns: tracer.as_ref().map_or(0, ThreadTracer::now_ns),
+                base_stats: cache_stats(fetcher),
+                base_pairs: local_pairs,
+                base_cands: local_candidates,
+            });
+        }
 
         local_pairs += 1;
         let fetched = fetcher
@@ -813,9 +1022,22 @@ fn run_worker(
         }
     }
 
+    // Abort/cancel paths land here with a segment still open.
+    if let Some(s) = seg.take() {
+        close_segment(
+            s,
+            id,
+            buffered,
+            cache_stats(fetcher),
+            local_pairs,
+            local_candidates,
+            &mut traces,
+            tracer.as_mut(),
+        );
+    }
     candidates.fetch_add(local_candidates, Ordering::Relaxed);
     node_pairs.fetch_add(local_pairs, Ordering::Relaxed);
-    out
+    (out, traces)
 }
 
 #[cfg(test)]
@@ -1066,5 +1288,63 @@ mod tests {
             .expect("no faults, no cancel");
         assert_eq!(as_set(&res.pairs), want);
         assert!(res.buffer.is_none(), "no fault plan: no forced buffer");
+    }
+
+    #[test]
+    fn task_traces_reconcile_with_run_aggregates() {
+        let a = tree(600, 0.0);
+        let b = tree(600, 0.4);
+        let mut cfg = NativeConfig::buffered(4, BufferConfig::global(64));
+        cfg.refine = false;
+        let res = try_run_native_join(&a, &b, &cfg, &RunControl::default()).unwrap();
+        assert!(res.tasks > 0);
+        assert!(
+            res.task_traces.len() >= res.tasks,
+            "at least one segment per task ({} segments, {} tasks)",
+            res.task_traces.len(),
+            res.tasks
+        );
+        let cands: u64 = res.task_traces.iter().map(|t| t.candidates).sum();
+        assert_eq!(cands, res.candidates, "candidates attribute fully");
+        let stats = res.buffer.expect("buffered run");
+        let pages: u64 = res.task_traces.iter().map(|t| t.pages).sum();
+        assert_eq!(pages, stats.requests(), "page requests attribute fully");
+        let hits: u64 = res
+            .task_traces
+            .iter()
+            .map(|t| t.hits_local + t.hits_remote)
+            .sum();
+        assert_eq!(hits, stats.hits_local + stats.hits_remote);
+        let misses: u64 = res.task_traces.iter().map(|t| t.misses).sum();
+        assert_eq!(misses, stats.misses);
+    }
+
+    #[test]
+    fn traced_join_emits_one_span_per_task_and_validates() {
+        let a = tree(600, 0.0);
+        let b = tree(600, 0.4);
+        let mut cfg = NativeConfig::buffered(3, BufferConfig::global(64));
+        cfg.refine = false;
+        let sink = psj_obs::TraceSink::new(1 << 20);
+        let ctl = RunControl::default().with_trace(Arc::clone(&sink));
+        let res = try_run_native_join(&a, &b, &cfg, &ctl).unwrap();
+        assert!(res.tasks > 0);
+        let mut buf = Vec::new();
+        sink.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let summary = psj_obs::validate_jsonl(&text).expect("trace must validate");
+        assert!(summary.spans > 0);
+        let task_spans = text
+            .lines()
+            .filter(|l| l.contains("\"name\":\"task\""))
+            .count();
+        assert!(
+            task_spans >= res.tasks,
+            "{} task spans for {} tasks",
+            task_spans,
+            res.tasks
+        );
+        assert_eq!(task_spans, res.task_traces.len());
+        assert_eq!(sink.dropped(), 0);
     }
 }

@@ -44,6 +44,14 @@ impl TaskPair {
     pub fn level(&self) -> u8 {
         self.la.max(self.lb)
     }
+
+    /// Identity key for task attribution: the node pages and levels,
+    /// ignoring the (floating-point) restriction window. Two pairs over the
+    /// same nodes at the same levels are the same unit of work even if
+    /// their windows differ.
+    pub fn key(&self) -> (u32, u32, u8, u8) {
+        (self.a.0, self.b.0, self.la, self.lb)
+    }
 }
 
 /// A candidate produced at the leaf level: indices of the data entries
@@ -232,6 +240,16 @@ pub struct TaskCreation {
     pub pages_a: Vec<PageId>,
     /// Pages of tree B read during creation.
     pub pages_b: Vec<PageId>,
+}
+
+impl TaskCreation {
+    /// The identity keys (see [`TaskPair::key`]) of the created tasks.
+    /// Executors use this set for per-task attribution: it lets a worker
+    /// recognize a phase-1 task surfacing from its deque among that task's
+    /// descendants.
+    pub fn key_set(&self) -> std::collections::HashSet<(u32, u32, u8, u8)> {
+        self.tasks.iter().map(TaskPair::key).collect()
+    }
 }
 
 /// Phase 1: creates the task set for joining `a` and `b`.

@@ -1,0 +1,26 @@
+//! Observability primitives for the parallel spatial-join stack.
+//!
+//! Two halves, both `std`-only and allocation-light:
+//!
+//! * [`metrics`] — lock-free counters, gauges, and the power-of-two latency
+//!   [`Histogram`] (previously private to `psj-serve`, now the one histogram
+//!   type for the whole workspace), collected in a named [`Registry`] that
+//!   renders the Prometheus text exposition format.
+//! * [`trace`] — a per-thread span/event recorder with nanosecond
+//!   timestamps and bounded buffers, drained into a JSONL trace file that
+//!   `chrome://tracing` and Perfetto can load. Workers record into private
+//!   buffers (no locks, no allocation after warm-up); cross-thread event
+//!   streams (cache fills, server admission) go through a short mutex push.
+//!
+//! The design constraint throughout: when tracing is disabled the cost is a
+//! single `Option` check on cold paths only, and metrics are relaxed atomic
+//! increments — cheap enough to stay on in production, which is the point.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry, BUCKETS};
+pub use trace::{validate_jsonl, ThreadTracer, TraceEvent, TraceSink, TraceSummary};

@@ -1,0 +1,566 @@
+//! Structured tracing: bounded per-thread event buffers with nanosecond
+//! timestamps, drained into a JSONL file in the Chrome trace event format
+//! (loadable by Perfetto and `chrome://tracing`).
+//!
+//! Recording model:
+//!
+//! * Each worker thread owns a [`ThreadTracer`] — events go into a private
+//!   `Vec` with no synchronization; the buffer is retired into the shared
+//!   sink in one short lock when full and on drop.
+//! * Cross-thread event streams that have no natural owner (cache fills,
+//!   server admission) push through [`TraceSink::instant`] /
+//!   [`TraceSink::span`], a short mutex push on cold paths.
+//! * Everything is bounded: the sink stops accepting past its event budget
+//!   and counts drops instead of growing without limit. A truncated trace
+//!   is still a valid trace.
+//!
+//! Spans are recorded at close (begin timestamp captured first, one event
+//! pushed when the span ends) and serialized as Chrome "X" complete events
+//! — a single line carrying both begin (`ts`) and end (`ts + dur`), which
+//! every viewer reconstructs into begin/end pairs. [`validate_jsonl`]
+//! performs that reconstruction and checks the pairs balance (spans on one
+//! thread row must nest or be disjoint, never partially overlap).
+
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Trace thread-row id of the thread that drives the join (task creation,
+/// whole-join span).
+pub const TID_MAIN: u32 = 0;
+
+/// Trace thread-row id for server-side request lifecycle events
+/// (admit/shed/batch flush), which are emitted by many connection threads
+/// and carry no ordering guarantee (instants only).
+pub const TID_SERVE: u32 = 2001;
+
+/// Trace thread-row id of join worker `w`.
+pub fn worker_tid(w: usize) -> u32 {
+    1 + w as u32
+}
+
+/// Trace thread-row id for page-cache activity performed on behalf of
+/// worker `w` (kept on separate rows so page reads do not distort the
+/// nesting of task spans).
+pub fn cache_tid(w: usize) -> u32 {
+    1001 + w as u32
+}
+
+/// One recorded event. `dur_ns: Some(_)` makes it a span (serialized as a
+/// Chrome "X" complete event), `None` an instant ("i").
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event name (shown on the span in viewers).
+    pub name: &'static str,
+    /// Category, e.g. `"join"`, `"storage"`, `"serve"`.
+    pub cat: &'static str,
+    /// Thread row this event belongs to.
+    pub tid: u32,
+    /// Begin time, nanoseconds since the sink's epoch.
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds; `None` for instants.
+    pub dur_ns: Option<u64>,
+    /// Numeric arguments attached to the event.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// How many events a single [`ThreadTracer`] batches locally before
+/// retiring them to the sink.
+const THREAD_BATCH: usize = 1024;
+
+/// Shared trace collector: the epoch, the retired events, and the drop
+/// counter. Create one per traced run, hand clones of the `Arc` to every
+/// participating subsystem, then [`TraceSink::write_jsonl`] at the end.
+#[derive(Debug)]
+pub struct TraceSink {
+    epoch: Instant,
+    max_events: usize,
+    events: Mutex<Vec<TraceEvent>>,
+    names: Mutex<Vec<(u32, String)>>,
+    dropped: AtomicU64,
+}
+
+impl TraceSink {
+    /// A sink that retains at most `max_events` events; further events are
+    /// dropped (and counted) rather than growing the buffer.
+    pub fn new(max_events: usize) -> Arc<Self> {
+        Arc::new(TraceSink {
+            epoch: Instant::now(),
+            max_events: max_events.max(1),
+            events: Mutex::new(Vec::new()),
+            names: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Nanoseconds since this sink was created.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// A per-thread tracer recording onto thread row `tid`.
+    pub fn tracer(self: &Arc<Self>, tid: u32) -> ThreadTracer {
+        ThreadTracer {
+            sink: Arc::clone(self),
+            tid,
+            buf: Vec::with_capacity(THREAD_BATCH.min(self.max_events)),
+        }
+    }
+
+    /// Names a thread row (emitted as Chrome `thread_name` metadata so
+    /// viewers label the row).
+    pub fn set_thread_name(&self, tid: u32, name: impl Into<String>) {
+        let mut names = self.names.lock().unwrap_or_else(|e| e.into_inner());
+        let name = name.into();
+        match names.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, n)) => *n = name,
+            None => names.push((tid, name)),
+        }
+    }
+
+    /// Records an instant event from any thread (short mutex push; use
+    /// [`ThreadTracer`] on hot paths).
+    pub fn instant(
+        &self,
+        tid: u32,
+        name: &'static str,
+        cat: &'static str,
+        args: &[(&'static str, u64)],
+    ) {
+        let ts_ns = self.now_ns();
+        self.push(TraceEvent {
+            name,
+            cat,
+            tid,
+            ts_ns,
+            dur_ns: None,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Records a span that began at `start_ns` (from [`TraceSink::now_ns`])
+    /// and ends now, from any thread.
+    pub fn span(
+        &self,
+        tid: u32,
+        name: &'static str,
+        cat: &'static str,
+        start_ns: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        let end = self.now_ns();
+        self.push(TraceEvent {
+            name,
+            cat,
+            tid,
+            ts_ns: start_ns,
+            dur_ns: Some(end.saturating_sub(start_ns)),
+            args: args.to_vec(),
+        });
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let mut events = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        if events.len() < self.max_events {
+            events.push(ev);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn push_batch(&self, batch: &mut Vec<TraceEvent>) {
+        let mut events = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        let room = self.max_events.saturating_sub(events.len());
+        if batch.len() > room {
+            self.dropped
+                .fetch_add((batch.len() - room) as u64, Ordering::Relaxed);
+            batch.truncate(room);
+        }
+        events.append(batch);
+    }
+
+    /// Events dropped because a buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events currently retained (retired buffers only; live
+    /// [`ThreadTracer`] buffers are not counted until flushed).
+    pub fn event_count(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Serializes the trace as JSONL, one Chrome trace event per line,
+    /// sorted by begin timestamp. Returns the number of lines written.
+    ///
+    /// Perfetto ingests the file as-is; for `chrome://tracing` wrap the
+    /// lines in a JSON array (see the README recipe).
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<usize> {
+        let mut lines = 0usize;
+        {
+            let names = self.names.lock().unwrap_or_else(|e| e.into_inner());
+            for (tid, name) in names.iter() {
+                writeln!(
+                    w,
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+                    escape(name)
+                )?;
+                lines += 1;
+            }
+        }
+        let mut events = {
+            let guard = self.events.lock().unwrap_or_else(|e| e.into_inner());
+            guard.clone()
+        };
+        events.sort_by_key(|e| e.ts_ns);
+        for ev in &events {
+            let ts = ev.ts_ns as f64 / 1_000.0;
+            write!(
+                w,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{ts:.3}",
+                escape(ev.name),
+                escape(ev.cat),
+                if ev.dur_ns.is_some() { "X" } else { "i" }
+            )?;
+            if let Some(dur) = ev.dur_ns {
+                write!(w, ",\"dur\":{:.3}", dur as f64 / 1_000.0)?;
+            } else {
+                // Thread-scoped instant.
+                write!(w, ",\"s\":\"t\"")?;
+            }
+            write!(w, ",\"pid\":1,\"tid\":{}", ev.tid)?;
+            write!(w, ",\"args\":{{")?;
+            for (i, (k, v)) in ev.args.iter().enumerate() {
+                if i > 0 {
+                    write!(w, ",")?;
+                }
+                write!(w, "\"{}\":{v}", escape(k))?;
+            }
+            writeln!(w, "}}}}")?;
+            lines += 1;
+        }
+        Ok(lines)
+    }
+
+    /// Writes the JSONL trace to `path`. Returns the number of lines.
+    pub fn write_to_file(&self, path: impl AsRef<Path>) -> io::Result<usize> {
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        let n = self.write_jsonl(&mut f)?;
+        f.flush()?;
+        Ok(n)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A per-thread event recorder: pushes are plain `Vec` appends (no locks,
+/// no allocation once warm); the batch retires into the sink when full and
+/// on drop.
+#[derive(Debug)]
+pub struct ThreadTracer {
+    sink: Arc<TraceSink>,
+    tid: u32,
+    buf: Vec<TraceEvent>,
+}
+
+impl ThreadTracer {
+    /// Nanoseconds since the sink's epoch (capture before work, pass to
+    /// [`ThreadTracer::span`] after).
+    pub fn now_ns(&self) -> u64 {
+        self.sink.now_ns()
+    }
+
+    /// The thread row this tracer records onto.
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    /// Records an instant event.
+    pub fn instant(&mut self, name: &'static str, cat: &'static str, args: &[(&'static str, u64)]) {
+        let ts_ns = self.now_ns();
+        self.push(TraceEvent {
+            name,
+            cat,
+            tid: self.tid,
+            ts_ns,
+            dur_ns: None,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Records a span that began at `start_ns` and ends now.
+    pub fn span(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        start_ns: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        let end = self.now_ns();
+        self.push(TraceEvent {
+            name,
+            cat,
+            tid: self.tid,
+            ts_ns: start_ns,
+            dur_ns: Some(end.saturating_sub(start_ns)),
+            args: args.to_vec(),
+        });
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        self.buf.push(ev);
+        if self.buf.len() >= THREAD_BATCH {
+            self.flush();
+        }
+    }
+
+    /// Retires the local batch into the sink.
+    pub fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.sink.push_batch(&mut self.buf);
+            self.buf.clear();
+        }
+    }
+}
+
+impl Drop for ThreadTracer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// What [`validate_jsonl`] found in a well-formed trace.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total lines (all of which parsed).
+    pub lines: usize,
+    /// Span events ("X", or matched "B"/"E" pairs).
+    pub spans: usize,
+    /// Instant events ("i").
+    pub instants: usize,
+    /// Metadata events ("M").
+    pub meta: usize,
+}
+
+/// Validates a JSONL trace: every line parses as a JSON object with the
+/// required Chrome trace fields, and the begin/end pairs of spans balance
+/// on every thread row (spans nest or are disjoint; a partial overlap or
+/// an unmatched "B"/"E" is an error).
+pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
+    use crate::json::Value;
+
+    let mut summary = TraceSummary::default();
+    // (tid, begin_ns, end_ns) for X spans; per-tid open-count for B/E.
+    let mut spans: Vec<(u64, u64, u64)> = Vec::new();
+    let mut open: Vec<(u64, i64)> = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = crate::json::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {n}: missing \"name\""))?;
+        if name.is_empty() {
+            return Err(format!("line {n}: empty \"name\""));
+        }
+        let ph = v
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {n}: missing \"ph\""))?;
+        let tid = v
+            .get("tid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("line {n}: missing numeric \"tid\""))? as u64;
+        v.get("pid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("line {n}: missing numeric \"pid\""))?;
+        let ts_of = |v: &Value| -> Result<f64, String> {
+            let ts = v
+                .get("ts")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("line {n}: missing numeric \"ts\""))?;
+            if !ts.is_finite() || ts < 0.0 {
+                return Err(format!("line {n}: bad \"ts\" {ts}"));
+            }
+            Ok(ts)
+        };
+        match ph {
+            "M" => summary.meta += 1,
+            "i" | "I" => {
+                ts_of(&v)?;
+                summary.instants += 1;
+            }
+            "X" => {
+                let ts = ts_of(&v)?;
+                let dur = v
+                    .get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("line {n}: span missing numeric \"dur\""))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("line {n}: bad \"dur\" {dur}"));
+                }
+                let begin = (ts * 1_000.0) as u64;
+                let end = begin.saturating_add((dur * 1_000.0) as u64);
+                spans.push((tid, begin, end));
+                summary.spans += 1;
+            }
+            "B" | "E" => {
+                ts_of(&v)?;
+                let slot = match open.iter_mut().find(|(t, _)| *t == tid) {
+                    Some(s) => s,
+                    None => {
+                        open.push((tid, 0));
+                        open.last_mut().expect("just pushed")
+                    }
+                };
+                if ph == "B" {
+                    slot.1 += 1;
+                    summary.spans += 1;
+                } else {
+                    slot.1 -= 1;
+                    if slot.1 < 0 {
+                        return Err(format!(
+                            "line {n}: \"E\" without matching \"B\" on tid {tid}"
+                        ));
+                    }
+                }
+            }
+            other => return Err(format!("line {n}: unknown phase {other:?}")),
+        }
+        summary.lines += 1;
+    }
+
+    for (tid, depth) in &open {
+        if *depth != 0 {
+            return Err(format!("tid {tid}: {depth} unclosed \"B\" span(s)"));
+        }
+    }
+
+    // Begin/end pairs of complete spans must balance per thread row: when
+    // the spans are replayed as (begin, end) events, every inner span must
+    // close before its parent does — nesting or disjointness, never a
+    // partial overlap.
+    spans.sort_by(|a, b| {
+        (a.0, a.1, std::cmp::Reverse(a.2)).cmp(&(b.0, b.1, std::cmp::Reverse(b.2)))
+    });
+    let mut stack: Vec<(u64, u64, u64)> = Vec::new();
+    for &(tid, begin, end) in &spans {
+        while let Some(&(ptid, _, pend)) = stack.last() {
+            if ptid != tid || pend <= begin {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&(_, pbegin, pend)) = stack.last() {
+            if end > pend {
+                return Err(format!(
+                    "tid {tid}: span [{begin}, {end}]ns partially overlaps [{pbegin}, {pend}]ns — begin/end pairs do not balance"
+                ));
+            }
+        }
+        stack.push((tid, begin, end));
+    }
+
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_serializes_round_trip() {
+        let sink = TraceSink::new(1 << 16);
+        sink.set_thread_name(TID_MAIN, "main");
+        let mut tr = sink.tracer(worker_tid(0));
+        let t0 = tr.now_ns();
+        tr.instant("steal", "join", &[("victim", 2)]);
+        tr.span("task", "join", t0, &[("pages", 7), ("worker", 0)]);
+        drop(tr);
+        sink.instant(TID_SERVE, "shed", "serve", &[]);
+        let start = sink.now_ns();
+        sink.span(cache_tid(0), "page_read", "storage", start, &[("page", 3)]);
+        assert_eq!(sink.event_count(), 4);
+        assert_eq!(sink.dropped(), 0);
+
+        let mut out = Vec::new();
+        let lines = sink.write_jsonl(&mut out).unwrap();
+        assert_eq!(lines, 5); // 1 metadata + 4 events
+        let text = String::from_utf8(out).unwrap();
+        let summary = validate_jsonl(&text).unwrap();
+        assert_eq!(summary.lines, 5);
+        assert_eq!(summary.spans, 2);
+        assert_eq!(summary.instants, 2);
+        assert_eq!(summary.meta, 1);
+    }
+
+    #[test]
+    fn sink_bounds_events_and_counts_drops() {
+        let sink = TraceSink::new(8);
+        for _ in 0..20 {
+            sink.instant(TID_MAIN, "e", "t", &[]);
+        }
+        assert_eq!(sink.event_count(), 8);
+        assert_eq!(sink.dropped(), 12);
+        // Batched tracer drops are counted too.
+        let mut tr = sink.tracer(worker_tid(0));
+        tr.instant("e", "t", &[]);
+        tr.flush();
+        assert_eq!(sink.event_count(), 8);
+        assert_eq!(sink.dropped(), 13);
+    }
+
+    #[test]
+    fn validator_rejects_garbage_and_imbalance() {
+        assert!(validate_jsonl("not json").is_err());
+        assert!(
+            validate_jsonl("{\"name\":\"x\"}").is_err(),
+            "missing ph/tid"
+        );
+        // Unmatched explicit begin.
+        let b = "{\"name\":\"a\",\"ph\":\"B\",\"ts\":1,\"pid\":1,\"tid\":1}";
+        assert!(validate_jsonl(b).is_err());
+        // Partially-overlapping spans on one tid do not balance.
+        let overlap = "\
+{\"name\":\"a\",\"ph\":\"X\",\"ts\":0.0,\"dur\":10.0,\"pid\":1,\"tid\":1,\"args\":{}}\n\
+{\"name\":\"b\",\"ph\":\"X\",\"ts\":5.0,\"dur\":10.0,\"pid\":1,\"tid\":1,\"args\":{}}\n";
+        assert!(validate_jsonl(overlap).is_err());
+        // Same intervals on different tids are fine.
+        let two_tids = overlap.replacen("\"tid\":1", "\"tid\":2", 1);
+        assert!(validate_jsonl(&two_tids).is_ok());
+        // Nested spans balance; matched B/E balance.
+        let nested = "\
+{\"name\":\"outer\",\"ph\":\"X\",\"ts\":0.0,\"dur\":10.0,\"pid\":1,\"tid\":1,\"args\":{}}\n\
+{\"name\":\"inner\",\"ph\":\"X\",\"ts\":2.0,\"dur\":3.0,\"pid\":1,\"tid\":1,\"args\":{}}\n\
+{\"name\":\"p\",\"ph\":\"B\",\"ts\":1,\"pid\":1,\"tid\":7}\n\
+{\"name\":\"p\",\"ph\":\"E\",\"ts\":2,\"pid\":1,\"tid\":7}\n";
+        let s = validate_jsonl(nested).unwrap();
+        assert_eq!(s.spans, 3);
+    }
+
+    #[test]
+    fn escapes_hostile_names() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+}

@@ -158,6 +158,15 @@ impl Client {
         }
     }
 
+    /// Prometheus-text metrics exposition (same counters as
+    /// [`Client::stats`]).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
     /// Loaded-tree descriptions.
     pub fn info(&mut self) -> Result<Vec<TreeInfo>, ClientError> {
         match self.request(&Request::Info)? {

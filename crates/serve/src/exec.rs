@@ -377,6 +377,19 @@ pub fn nearest(
     Outcome::Ok(out)
 }
 
+/// What a completed join reports back to the server: the pairs plus the
+/// kernel's own work accounting (phase-1 tasks, successful steals) so the
+/// serving layer can expose the paper's parallelism counters per service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinRun {
+    /// Joined `(oid_a, oid_b)` pairs.
+    pub pairs: Vec<(u64, u64)>,
+    /// Phase-1 tasks created for this join.
+    pub tasks: u64,
+    /// Successful steals across this join's workers.
+    pub steals: u64,
+}
+
 /// Spatial join of two loaded trees with a deadline, on `threads` worker
 /// threads. Joins descend the frozen trees directly (their node accesses
 /// are not routed through the query cache: the join kernel has its own
@@ -393,7 +406,7 @@ pub fn join(
     refine: bool,
     threads: usize,
     deadline: Option<Instant>,
-) -> Outcome<Vec<(u64, u64)>> {
+) -> Outcome<JoinRun> {
     let a = &trees.trees[tree_a as usize];
     let b = &trees.trees[tree_b as usize];
     for (idx, t) in [(tree_a, a), (tree_b, b)] {
@@ -416,7 +429,11 @@ pub fn join(
     };
     let ctl = RunControl::default().with_cancel(&token);
     match try_run_native_join(a, b, &cfg, &ctl) {
-        Ok(r) => Outcome::Ok(r.pairs),
+        Ok(r) => Outcome::Ok(JoinRun {
+            pairs: r.pairs,
+            tasks: r.tasks as u64,
+            steals: r.steals,
+        }),
         Err(NativeError::Cancelled) => Outcome::DeadlineExceeded,
         Err(NativeError::Storage(e)) => Outcome::Storage(e.error),
     }
@@ -539,9 +556,10 @@ mod tests {
         let trees = set();
         let want = psj_core::join_refined(&trees.trees[0], &trees.trees[1]);
         let got = join(&trees, 0, 1, true, 2, None).ok().unwrap();
+        assert!(got.tasks > 0, "phase-1 task count travels with the result");
         let as_set =
             |v: &[(u64, u64)]| v.iter().copied().collect::<std::collections::BTreeSet<_>>();
-        assert_eq!(as_set(&got), as_set(&want));
+        assert_eq!(as_set(&got.pairs), as_set(&want));
         let past = Instant::now() - Duration::from_millis(1);
         assert_eq!(
             join(&trees, 0, 1, true, 2, Some(past)),

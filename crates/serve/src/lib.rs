@@ -16,7 +16,8 @@
 //!   stage, and a work-stealing worker pool; admission control sheds
 //!   load past a bound, deadlines cancel cooperatively.
 //! * [`telemetry`] — lock-free counters and a log-bucket latency
-//!   histogram (p50/p95/p99).
+//!   histogram (p50/p95/p99) on the [`psj_obs`] registry, rendered as
+//!   Prometheus text by the `Metrics` request.
 //! * [`client`] — a blocking client for the protocol.
 //! * [`loadgen`] — a seeded closed-loop load generator.
 
@@ -30,7 +31,7 @@ pub mod server;
 pub mod telemetry;
 
 pub use client::{Client, ClientError};
-pub use exec::{Outcome, TreeSet, WindowQuery};
+pub use exec::{JoinRun, Outcome, TreeSet, WindowQuery};
 pub use loadgen::{LoadConfig, LoadReport};
 pub use protocol::{Request, Response, ServerStats, StorageErrorKind, TreeInfo};
 pub use server::{ServeConfig, Server, ServerReport};

@@ -175,6 +175,14 @@ struct ClientOutcome {
     latencies_ms: Vec<f64>,
 }
 
+/// Sorts latency samples with a total order. `partial_cmp(..).unwrap()`
+/// here would panic the whole load run if any sample were NaN (e.g. a
+/// future clock-math regression); `total_cmp` sorts NaN to the end
+/// instead, leaving the finite percentiles intact.
+fn sort_latencies(samples: &mut [f64]) {
+    samples.sort_by(f64::total_cmp);
+}
+
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -292,7 +300,7 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
             Err(_) => io_failures += 1,
         }
     }
-    total.latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sort_latencies(&mut total.latencies_ms);
 
     let server = Client::connect_timeout(&cfg.addr, Duration::from_secs(10))
         .ok()
@@ -316,4 +324,27 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         p99_ms: percentile(&total.latencies_ms, 0.99),
         server,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_sort_survives_nan_samples() {
+        // Regression: this sort used partial_cmp(..).unwrap(), which
+        // panics on any NaN sample and lost the entire load report.
+        let mut samples = vec![3.5, f64::NAN, 0.25, f64::INFINITY, 1.0];
+        sort_latencies(&mut samples);
+        assert_eq!(&samples[..3], &[0.25, 1.0, 3.5]);
+        assert_eq!(samples[3], f64::INFINITY);
+        assert!(samples[4].is_nan(), "NaN sorts to the end under total_cmp");
+        assert_eq!(percentile(&samples, 0.5), 3.5);
+    }
+
+    #[test]
+    fn percentile_handles_empty_and_singleton() {
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
 }

@@ -84,6 +84,8 @@ pub enum Request {
     },
     /// Server statistics (histogram percentiles, queue depth, cache deltas).
     Stats,
+    /// Prometheus-text metrics exposition (same counters as [`Request::Stats`]).
+    Metrics,
     /// The loaded trees: MBRs, sizes, page counts.
     Info,
     /// Graceful shutdown: server acks, drains, prints its report and exits.
@@ -150,14 +152,21 @@ pub struct ServerStats {
     pub quarantined_pages: u64,
     /// Page fetches retried by the cache's retry policy since start.
     pub page_retries: u64,
+    /// Worker panics caught and recovered (the pool kept serving).
+    pub worker_panics: u64,
 }
 
 impl std::fmt::Display for ServerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "requests:   {} completed, {} shed, {} timed out, {} protocol errors, {} queued",
-            self.completed, self.shed, self.timeouts, self.proto_errors, self.queue_depth
+            "requests:   {} completed, {} shed, {} timed out, {} protocol errors, {} queued, {} worker panics",
+            self.completed,
+            self.shed,
+            self.timeouts,
+            self.proto_errors,
+            self.queue_depth,
+            self.worker_panics
         )?;
         writeln!(
             f,
@@ -257,6 +266,8 @@ pub enum Response {
         /// Human-readable detail (page id, checksum context).
         msg: String,
     },
+    /// Prometheus-text metrics exposition.
+    Metrics(String),
 }
 
 // Opcodes. Requests are < 0x80, responses >= 0x80.
@@ -266,6 +277,7 @@ const OP_JOIN: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_INFO: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
+const OP_METRICS: u8 = 0x07;
 const OP_ENTRIES: u8 = 0x81;
 const OP_NEIGHBORS: u8 = 0x82;
 const OP_PAIRS: u8 = 0x83;
@@ -276,6 +288,7 @@ const OP_DEADLINE: u8 = 0x87;
 const OP_ERROR: u8 = 0x88;
 const OP_SHUTDOWN_ACK: u8 = 0x89;
 const OP_STORAGE: u8 = 0x8A;
+const OP_METRICS_REPORT: u8 = 0x8B;
 
 /// Bounds-checked little-endian reader over a frame payload.
 struct Cur<'a> {
@@ -419,6 +432,7 @@ impl Request {
                 put_u32(&mut out, *deadline_ms);
             }
             Request::Stats => out.push(OP_STATS),
+            Request::Metrics => out.push(OP_METRICS),
             Request::Info => out.push(OP_INFO),
             Request::Shutdown => out.push(OP_SHUTDOWN),
         }
@@ -455,6 +469,7 @@ impl Request {
                 deadline_ms: c.u32()?,
             },
             OP_STATS => Request::Stats,
+            OP_METRICS => Request::Metrics,
             OP_INFO => Request::Info,
             OP_SHUTDOWN => Request::Shutdown,
             op => return Err(ProtoError(format!("unknown request opcode {op:#04x}"))),
@@ -515,6 +530,7 @@ impl Response {
                 put_u64(&mut out, s.corrupt_pages_detected);
                 put_u64(&mut out, s.quarantined_pages);
                 put_u64(&mut out, s.page_retries);
+                put_u64(&mut out, s.worker_panics);
             }
             Response::Info(trees) => {
                 out.push(OP_INFO_REPORT);
@@ -538,6 +554,12 @@ impl Response {
                 out.push(OP_STORAGE);
                 out.push(kind.to_wire());
                 let bytes = msg.as_bytes();
+                put_u32(&mut out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
+            Response::Metrics(text) => {
+                out.push(OP_METRICS_REPORT);
+                let bytes = text.as_bytes();
                 put_u32(&mut out, bytes.len() as u32);
                 out.extend_from_slice(bytes);
             }
@@ -595,6 +617,7 @@ impl Response {
                 corrupt_pages_detected: c.u64()?,
                 quarantined_pages: c.u64()?,
                 page_retries: c.u64()?,
+                worker_panics: c.u64()?,
             }),
             OP_INFO_REPORT => {
                 let n = c.len(44)?;
@@ -630,6 +653,15 @@ impl Response {
                         .map_err(|_| ProtoError("storage message is not UTF-8".into()))?
                         .to_string(),
                 }
+            }
+            OP_METRICS_REPORT => {
+                let n = c.len(1)?;
+                let bytes = c.take(n)?;
+                Response::Metrics(
+                    std::str::from_utf8(bytes)
+                        .map_err(|_| ProtoError("metrics text is not UTF-8".into()))?
+                        .to_string(),
+                )
             }
             op => return Err(ProtoError(format!("unknown response opcode {op:#04x}"))),
         };
@@ -714,6 +746,7 @@ mod tests {
             deadline_ms: 10_000,
         });
         roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Metrics);
         roundtrip_req(Request::Info);
         roundtrip_req(Request::Shutdown);
     }
@@ -731,6 +764,7 @@ mod tests {
             corrupt_pages_detected: 5,
             quarantined_pages: 2,
             page_retries: 17,
+            worker_panics: 1,
             ..Default::default()
         }));
         roundtrip_resp(Response::Info(vec![TreeInfo {
@@ -750,6 +784,9 @@ mod tests {
             kind: StorageErrorKind::Unavailable,
             msg: "page p3: i/o error".into(),
         });
+        roundtrip_resp(Response::Metrics(
+            "# TYPE psj_requests_completed_total counter\npsj_requests_completed_total 7\n".into(),
+        ));
     }
 
     #[test]

@@ -32,19 +32,32 @@ use crate::protocol::{
     read_frame, write_frame, Request, Response, ServerStats, StorageErrorKind, TreeInfo,
     MAX_REQUEST_FRAME,
 };
-use crate::telemetry::Telemetry;
+use crate::telemetry::{GaugeSnapshot, Telemetry};
 use psj_buffer::{Policy, SharedPageCache};
 use psj_core::deque::{Injector, Steal, Worker};
 use psj_geom::Point;
+use psj_obs::trace::TID_SERVE;
+use psj_obs::TraceSink;
 use psj_rtree::{Node, PagedTree};
 use psj_store::{FaultPlan, PageError, RetryPolicy};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering a poisoned guard. A worker that panicked
+/// while holding (or racing for) one of the server's locks must not wedge
+/// every later request and the shutdown drain — the protected state
+/// (batch maps, join-handle lists, condvar companions) stays structurally
+/// valid across a panic, so serving continues and the panic is surfaced
+/// through the `worker_panics` counter instead.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -74,6 +87,11 @@ pub struct ServeConfig {
     pub fault: Option<Arc<FaultPlan>>,
     /// Retry policy for failed page-cache fills.
     pub retry: RetryPolicy,
+    /// Structured-trace sink: when set, admissions, sheds, and batch
+    /// flushes emit instants on the server's trace row and the query
+    /// cache emits page events. `None` (the default) costs one pointer
+    /// check per admission.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +108,7 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_millis(250),
             fault: None,
             retry: RetryPolicy::default(),
+            trace: None,
         }
     }
 }
@@ -122,6 +141,10 @@ enum WorkItem {
         deadline: Option<Instant>,
         ctx: ReqCtx,
     },
+    /// Test-only: a work item whose handler panics, for exercising the
+    /// pool's panic containment.
+    #[cfg(test)]
+    Panic,
 }
 
 /// Pending not-yet-flushed query groups.
@@ -173,7 +196,7 @@ struct Shared {
 
 impl Shared {
     fn notify_workers(&self) {
-        let _g = self.work_mutex.lock().unwrap();
+        let _g = lock_clean(&self.work_mutex);
         self.work_signal.notify_all();
     }
 
@@ -187,13 +210,13 @@ impl Shared {
         let snap = self.cache.snapshot();
         let requests = snap.stats.requests();
         ServerStats {
-            completed: t.completed.load(Ordering::Relaxed),
-            shed: t.shed.load(Ordering::Relaxed),
-            timeouts: t.timeouts.load(Ordering::Relaxed),
-            proto_errors: t.proto_errors.load(Ordering::Relaxed),
+            completed: t.completed.get(),
+            shed: t.shed.get(),
+            timeouts: t.timeouts.get(),
+            proto_errors: t.proto_errors.get(),
             queue_depth: self.queued.load(Ordering::Relaxed) as u32,
-            batches: t.batches.load(Ordering::Relaxed),
-            batched_queries: t.batched_queries.load(Ordering::Relaxed),
+            batches: t.batches.get(),
+            batched_queries: t.batched_queries.get(),
             p50_ms: t.latency.quantile_ms(0.50),
             p95_ms: t.latency.quantile_ms(0.95),
             p99_ms: t.latency.quantile_ms(0.99),
@@ -203,11 +226,37 @@ impl Shared {
             cache_evictions: snap.stats.evictions,
             resident_pages: snap.resident_pages as u32,
             capacity_pages: snap.capacity_pages as u32,
-            storage_corrupt: t.storage_corrupt.load(Ordering::Relaxed),
-            storage_unavailable: t.storage_unavailable.load(Ordering::Relaxed),
+            storage_corrupt: t.storage_corrupt.get(),
+            storage_unavailable: t.storage_unavailable.get(),
             corrupt_pages_detected: snap.corrupt_detected + self.trees.poisoned_total(),
             quarantined_pages: snap.quarantined_pages as u64,
             page_retries: snap.stats.retries,
+            worker_panics: t.worker_panics.get(),
+        }
+    }
+
+    /// Prometheus-text exposition of every counter plus point-in-time
+    /// gauges; by construction the counters match [`Shared::stats`].
+    fn metrics_text(&self) -> String {
+        let snap = self.cache.snapshot();
+        self.telemetry.render_prometheus(&GaugeSnapshot {
+            queue_depth: self.queued.load(Ordering::Relaxed) as u64,
+            cache_requests: snap.stats.requests(),
+            cache_hits: snap.stats.requests() - snap.stats.misses,
+            cache_misses: snap.stats.misses,
+            cache_evictions: snap.stats.evictions,
+            resident_pages: snap.resident_pages as u64,
+            capacity_pages: snap.capacity_pages as u64,
+            corrupt_pages: snap.corrupt_detected + self.trees.poisoned_total(),
+            quarantined_pages: snap.quarantined_pages as u64,
+            page_retries: snap.stats.retries,
+        })
+    }
+
+    /// Emits a trace instant on the server's row, if tracing is on.
+    fn trace_instant(&self, name: &'static str, args: &[(&'static str, u64)]) {
+        if let Some(t) = &self.cfg.trace {
+            t.instant(TID_SERVE, name, "serve", args);
         }
     }
 
@@ -224,8 +273,9 @@ impl Shared {
 
     /// Moves every pending batch group to the injector, regardless of age.
     fn flush_batches(&self) {
-        let items = self.batch.lock().unwrap().drain();
+        let items = lock_clean(&self.batch).drain();
         if !items.is_empty() {
+            self.trace_instant("batch_flush", &[("groups", items.len() as u64)]);
             for item in items {
                 self.injector.push(item);
             }
@@ -272,13 +322,17 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
-        let cache = SharedPageCache::new(
+        let mut cache = SharedPageCache::new(
             workers,
             cfg.cache_pages.max(workers),
             cfg.cache_shards.max(1),
             Policy::Lru,
         )
         .with_retry(cfg.retry);
+        if let Some(trace) = &cfg.trace {
+            trace.set_thread_name(TID_SERVE, "psj-serve");
+            cache = cache.with_trace(Arc::clone(trace));
+        }
         let (shutdown_tx, shutdown_rx) = mpsc::channel();
         let shared = Arc::new(Shared {
             trees,
@@ -331,7 +385,7 @@ impl Server {
                             .name("psj-serve-conn".into())
                             .spawn(move || handle_conn(&shared, stream))
                             .expect("spawn connection thread");
-                        conns.lock().unwrap().push(h);
+                        lock_clean(&conns).push(h);
                     }
                 })
                 .expect("spawn acceptor")
@@ -376,7 +430,7 @@ impl Server {
         shared.halt.store(true, Ordering::SeqCst);
         shared.notify_workers();
         {
-            let _g = shared.batch.lock().unwrap();
+            let _g = lock_clean(&shared.batch);
             shared.batch_signal.notify_all();
         }
         if let Some(b) = self.batcher.take() {
@@ -392,7 +446,7 @@ impl Server {
         }
         // 5. Connection threads exit at their next read timeout (or when
         //    their client hangs up).
-        let conns: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conns.lock().unwrap());
+        let conns: Vec<JoinHandle<()>> = std::mem::take(&mut *lock_clean(&self.conns));
         for c in conns {
             let _ = c.join();
         }
@@ -403,7 +457,7 @@ impl Server {
 }
 
 fn batcher_loop(shared: &Shared) {
-    let mut st = shared.batch.lock().unwrap();
+    let mut st = lock_clean(&shared.batch);
     loop {
         // Wait for pending queries (or halt).
         while st.is_empty() {
@@ -413,7 +467,7 @@ fn batcher_loop(shared: &Shared) {
             let (g, _) = shared
                 .batch_signal
                 .wait_timeout(st, Duration::from_millis(50))
-                .unwrap();
+                .unwrap_or_else(|e| e.into_inner());
             st = g;
         }
         // Run the window down from the oldest pending arrival. New
@@ -428,7 +482,7 @@ fn batcher_loop(shared: &Shared) {
             let (g, _) = shared
                 .batch_signal
                 .wait_timeout(st, flush_at - now)
-                .unwrap();
+                .unwrap_or_else(|e| e.into_inner());
             st = g;
             if st.is_empty() {
                 break; // a max_batch flush emptied the state under us
@@ -437,12 +491,13 @@ fn batcher_loop(shared: &Shared) {
         let items = st.drain();
         drop(st);
         if !items.is_empty() {
+            shared.trace_instant("batch_flush", &[("groups", items.len() as u64)]);
             for item in items {
                 shared.injector.push(item);
             }
             shared.notify_workers();
         }
-        st = shared.batch.lock().unwrap();
+        st = lock_clean(&shared.batch);
     }
 }
 
@@ -457,18 +512,26 @@ fn worker_loop(shared: &Shared, idx: usize) {
             }
         });
         match item {
-            Some(item) => execute(shared, idx, item),
+            Some(item) => {
+                // A panicking handler must not take the worker (or the
+                // pool) down: contain it, count it, keep serving. The
+                // request's reply sender is dropped with the work item, so
+                // its connection thread gets a typed error, not a hang.
+                if catch_unwind(AssertUnwindSafe(|| execute(shared, idx, item))).is_err() {
+                    shared.telemetry.worker_panics.inc();
+                }
+            }
             None => {
                 if shared.halted() {
                     return;
                 }
-                let g = shared.work_mutex.lock().unwrap();
+                let g = lock_clean(&shared.work_mutex);
                 // Re-check under the lock so a notify between the failed
                 // steal and this wait is not lost for long.
                 let _ = shared
                     .work_signal
                     .wait_timeout(g, Duration::from_millis(20))
-                    .unwrap();
+                    .unwrap_or_else(|e| e.into_inner());
             }
         }
     }
@@ -514,9 +577,8 @@ fn execute(shared: &Shared, worker: usize, item: WorkItem) {
     let t = &shared.telemetry;
     match item {
         WorkItem::Windows { tree, members } => {
-            t.batches.fetch_add(1, Ordering::Relaxed);
-            t.batched_queries
-                .fetch_add(members.len() as u64, Ordering::Relaxed);
+            t.batches.inc();
+            t.batched_queries.add(members.len() as u64);
             let queries: Vec<WindowQuery> = members.iter().map(|(q, _)| *q).collect();
             let results = exec::window_batch(&shared.trees, &shared.cache, worker, tree, &queries);
             for ((_, ctx), result) in members.into_iter().zip(results) {
@@ -526,9 +588,8 @@ fn execute(shared: &Shared, worker: usize, item: WorkItem) {
             }
         }
         WorkItem::Nearests { tree, members } => {
-            t.batches.fetch_add(1, Ordering::Relaxed);
-            t.batched_queries
-                .fetch_add(members.len() as u64, Ordering::Relaxed);
+            t.batches.inc();
+            t.batched_queries.add(members.len() as u64);
             for (q, ctx) in members {
                 let result = exec::nearest(
                     &shared.trees,
@@ -559,10 +620,16 @@ fn execute(shared: &Shared, worker: usize, item: WorkItem) {
                 shared.cfg.join_threads,
                 deadline,
             );
+            if let Outcome::Ok(run) = &result {
+                t.join_tasks.add(run.tasks);
+                t.join_steals.add(run.steals);
+            }
             let latency = ctx.arrival.elapsed();
-            let resp = respond(t, latency, result, Response::Pairs);
+            let resp = respond(t, latency, result, |run| Response::Pairs(run.pairs));
             let _ = ctx.reply.send(resp);
         }
+        #[cfg(test)]
+        WorkItem::Panic => panic!("injected worker panic (test)"),
     }
 }
 
@@ -595,10 +662,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
             Err(e) => {
                 // Oversized prefix or mid-frame EOF: the stream cannot be
                 // resynchronized — report (best effort) and hang up.
-                shared
-                    .telemetry
-                    .proto_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.proto_errors.inc();
                 if e.kind() == io::ErrorKind::InvalidData {
                     let _ = write_frame(&mut writer, &Response::Error(e.to_string()).encode());
                 }
@@ -610,10 +674,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
             Err(e) => {
                 // Framing was sound, the payload was not: the stream is
                 // still in sync, so answer and keep serving.
-                shared
-                    .telemetry
-                    .proto_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.proto_errors.inc();
                 if write_frame(&mut writer, &Response::Error(e.to_string()).encode()).is_err() {
                     return;
                 }
@@ -623,10 +684,11 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
 
         let resp = match req {
             Request::Stats => shared.stats_response(),
+            Request::Metrics => Response::Metrics(shared.metrics_text()),
             Request::Info => Response::Info(shared.info()),
             Request::Shutdown => {
                 let _ = write_frame(&mut writer, &Response::ShutdownAck.encode());
-                if let Some(tx) = shared.shutdown_tx.lock().unwrap().take() {
+                if let Some(tx) = lock_clean(&shared.shutdown_tx).take() {
                     let _ = tx.send(());
                 }
                 return;
@@ -722,10 +784,7 @@ impl Shared {
 }
 
 fn bad_tree(shared: &Shared, tree: u16) -> Response {
-    shared
-        .telemetry
-        .proto_errors
-        .fetch_add(1, Ordering::Relaxed);
+    shared.telemetry.proto_errors.inc();
     Response::Error(format!(
         "unknown tree {tree} ({} loaded)",
         shared.trees.len()
@@ -740,9 +799,11 @@ fn admit(shared: &Shared) -> Result<Instant, Box<Response>> {
     let q = shared.queued.fetch_add(1, Ordering::SeqCst) + 1;
     if shared.shutting_down.load(Ordering::SeqCst) || q > shared.cfg.queue_bound {
         shared.queued.fetch_sub(1, Ordering::SeqCst);
-        shared.telemetry.shed.fetch_add(1, Ordering::Relaxed);
+        shared.telemetry.shed.inc();
+        shared.trace_instant("shed", &[("queued", q as u64)]);
         return Err(Box::new(Response::Overloaded));
     }
+    shared.trace_instant("admit", &[("queued", q as u64)]);
     Ok(Instant::now())
 }
 
@@ -764,7 +825,7 @@ fn enqueue_window(shared: &Shared, tree: u16, q: WindowQuery, ctx: ReqCtx) {
         shared.notify_workers();
         return;
     }
-    let mut st = shared.batch.lock().unwrap();
+    let mut st = lock_clean(&shared.batch);
     if st.oldest.is_none() {
         st.oldest = Some(ctx.arrival);
     }
@@ -793,7 +854,7 @@ fn enqueue_nearest(shared: &Shared, tree: u16, q: NearestQuery, ctx: ReqCtx) {
         shared.notify_workers();
         return;
     }
-    let mut st = shared.batch.lock().unwrap();
+    let mut st = lock_clean(&shared.batch);
     if st.oldest.is_none() {
         st.oldest = Some(ctx.arrival);
     }
@@ -810,5 +871,124 @@ fn enqueue_nearest(shared: &Shared, tree: u16, q: NearestQuery, ctx: ReqCtx) {
     } else {
         drop(st);
         shared.batch_signal.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use psj_geom::Rect;
+    use psj_rtree::RTree;
+
+    fn tree(n: usize) -> Arc<PagedTree> {
+        let mut t = RTree::new();
+        for i in 0..n {
+            let x = (i % 30) as f64;
+            let y = (i / 30) as f64;
+            t.insert(Rect::new(x, y, x + 0.9, y + 0.9), i as u64);
+        }
+        Arc::new(PagedTree::freeze(&t, |_| None))
+    }
+
+    fn start() -> Server {
+        let cfg = ServeConfig {
+            workers: 2,
+            batch_window: Duration::from_millis(1),
+            read_timeout: Duration::from_millis(50),
+            ..ServeConfig::default()
+        };
+        Server::start(cfg, vec![tree(900)]).expect("bind loopback")
+    }
+
+    #[test]
+    fn panicking_handler_leaves_the_server_serving() {
+        let server = start();
+        let addr = server.local_addr();
+        let mut c = Client::connect(addr).unwrap();
+        let rect = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let before = c.window(0, rect, 0).unwrap();
+
+        // Inject work whose handler panics — repeatedly, so with two
+        // workers both absorb at least one panic with high likelihood.
+        for _ in 0..8 {
+            server.shared.injector.push(WorkItem::Panic);
+        }
+        server.shared.notify_workers();
+
+        // Every later request is still answered, by the same pool.
+        for _ in 0..10 {
+            let got = c.window(0, rect, 0).unwrap();
+            assert_eq!(got.len(), before.len());
+        }
+        let stats = c.stats().unwrap();
+        assert_eq!(
+            stats.worker_panics, 8,
+            "each injected panic is counted, none kills a worker"
+        );
+        let report = server.stop();
+        assert_eq!(report.stats.worker_panics, 8);
+        assert_eq!(report.stats.queue_depth, 0, "shutdown drain unaffected");
+    }
+
+    #[test]
+    fn poisoned_batch_lock_does_not_wedge_requests_or_shutdown() {
+        let server = start();
+        let addr = server.local_addr();
+
+        // Poison the batch mutex deliberately: a thread panics while
+        // holding it. Pre-fix, every subsequent lock().unwrap() on the
+        // batcher/enqueue/flush path would propagate the poison and wedge
+        // admission and the shutdown drain.
+        {
+            let shared = Arc::clone(&server.shared);
+            let _ = std::thread::spawn(move || {
+                let _g = shared.batch.lock().unwrap();
+                panic!("poison the batch lock (test)");
+            })
+            .join();
+        }
+        assert!(server.shared.batch.is_poisoned(), "lock really is poisoned");
+
+        let mut c = Client::connect(addr).unwrap();
+        let rect = Rect::new(0.0, 0.0, 8.0, 8.0);
+        // Batched queries route through the poisoned lock and must still
+        // be answered.
+        for _ in 0..5 {
+            assert!(!c.window(0, rect, 0).unwrap().is_empty());
+        }
+        let report = server.stop();
+        assert!(report.stats.completed >= 5);
+        assert_eq!(report.stats.queue_depth, 0, "drain completes");
+    }
+
+    #[test]
+    fn metrics_exposition_matches_stats_counters() {
+        let server = start();
+        let addr = server.local_addr();
+        let mut c = Client::connect(addr).unwrap();
+        for _ in 0..4 {
+            c.window(0, Rect::new(0.0, 0.0, 6.0, 6.0), 0).unwrap();
+        }
+        let stats = c.stats().unwrap();
+        let text = c.metrics().unwrap();
+        for (name, value) in [
+            ("psj_requests_completed_total", stats.completed),
+            ("psj_requests_shed_total", stats.shed),
+            ("psj_batches_total", stats.batches),
+            ("psj_batched_queries_total", stats.batched_queries),
+            ("psj_worker_panics_total", stats.worker_panics),
+            ("psj_cache_requests", stats.cache_requests),
+        ] {
+            assert!(
+                text.lines().any(|l| l == format!("{name} {value}")),
+                "{name} {value} missing from exposition:\n{text}"
+            );
+        }
+        assert!(
+            text.contains("psj_request_latency_seconds_bucket"),
+            "{text}"
+        );
+        server.stop();
     }
 }

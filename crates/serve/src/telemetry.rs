@@ -1,103 +1,144 @@
-//! Latency and load telemetry: lock-free counters plus a fixed-bucket
-//! latency histogram with percentile estimation.
+//! Latency and load telemetry, built on the [`psj_obs`] metrics registry.
 //!
 //! Every counter is a relaxed atomic — recording a completed request is a
-//! handful of uncontended `fetch_add`s, cheap enough to sit on the hot
-//! path of every response. The histogram uses logarithmic (power-of-two)
-//! buckets over microseconds, so percentiles carry ~±50% resolution across
-//! nine orders of magnitude with 40 fixed buckets and zero allocation.
+//! handful of uncontended increments, cheap enough to sit on the hot path
+//! of every response. The latency histogram is the shared
+//! [`psj_obs::Histogram`]: logarithmic (power-of-two) buckets over
+//! microseconds, so percentiles carry ~±50% resolution across nine orders
+//! of magnitude with [`BUCKETS`] fixed buckets and zero allocation.
+//!
+//! All counters and the histogram live in one [`Registry`], so the same
+//! values that feed [`crate::protocol::ServerStats`] render as
+//! Prometheus text for the `Metrics` request — the two reports cannot
+//! drift apart. Point-in-time values (queue depth, cache residency) are
+//! published as gauges refreshed at scrape time.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+pub use psj_obs::{Histogram, BUCKETS};
+
+use psj_obs::{Counter, Gauge, Registry};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Number of histogram buckets: bucket `i` holds latencies in
-/// `[2^i, 2^(i+1))` microseconds, the last bucket everything above.
-pub const BUCKETS: usize = 40;
-
-/// A fixed-bucket, power-of-two latency histogram over microseconds.
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Histogram::default()
-    }
-
-    fn bucket_of(micros: u64) -> usize {
-        // floor(log2(max(micros, 1))), clamped into range.
-        (63 - (micros | 1).leading_zeros() as usize).min(BUCKETS - 1)
-    }
-
-    /// Records one latency observation.
-    pub fn record(&self, latency: Duration) {
-        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total number of observations.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// The `q`-quantile (`0 < q <= 1`) in milliseconds, estimated as the
-    /// geometric midpoint of the bucket holding the rank; 0 when empty.
-    pub fn quantile_ms(&self, q: f64) -> f64 {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // Bucket i covers [2^i, 2^(i+1)) µs; report its geometric
-                // midpoint, in ms.
-                let lo = (1u64 << i) as f64;
-                return lo * std::f64::consts::SQRT_2 / 1_000.0;
-            }
-        }
-        unreachable!("rank <= total")
-    }
-}
-
 /// The server's counters; one instance shared by all threads.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Telemetry {
+    registry: Registry,
     /// Latency of completed requests (admission to reply).
-    pub latency: Histogram,
+    pub latency: Arc<Histogram>,
     /// Requests answered successfully.
-    pub completed: AtomicU64,
+    pub completed: Arc<Counter>,
     /// Requests shed by admission control.
-    pub shed: AtomicU64,
+    pub shed: Arc<Counter>,
     /// Requests that missed their deadline.
-    pub timeouts: AtomicU64,
+    pub timeouts: Arc<Counter>,
     /// Malformed frames / payloads.
-    pub proto_errors: AtomicU64,
+    pub proto_errors: Arc<Counter>,
     /// Query batches executed.
-    pub batches: AtomicU64,
+    pub batches: Arc<Counter>,
     /// Queries carried inside those batches.
-    pub batched_queries: AtomicU64,
+    pub batched_queries: Arc<Counter>,
     /// Requests answered with a corrupt-storage error.
-    pub storage_corrupt: AtomicU64,
+    pub storage_corrupt: Arc<Counter>,
     /// Requests answered with an unavailable-storage error.
-    pub storage_unavailable: AtomicU64,
+    pub storage_unavailable: Arc<Counter>,
+    /// Worker panics caught and recovered (the pool keeps serving).
+    pub worker_panics: Arc<Counter>,
+    /// Phase-1 tasks created by join requests.
+    pub join_tasks: Arc<Counter>,
+    /// Successful steals inside join requests.
+    pub join_steals: Arc<Counter>,
+    // Point-in-time values, refreshed by `render_prometheus`.
+    queue_depth: Arc<Gauge>,
+    cache_requests: Arc<Gauge>,
+    cache_hits: Arc<Gauge>,
+    cache_misses: Arc<Gauge>,
+    cache_evictions: Arc<Gauge>,
+    resident_pages: Arc<Gauge>,
+    capacity_pages: Arc<Gauge>,
+    corrupt_pages: Arc<Gauge>,
+    quarantined_pages: Arc<Gauge>,
+    page_retries: Arc<Gauge>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        let r = Registry::new();
+        Telemetry {
+            latency: r.histogram(
+                "psj_request_latency_seconds",
+                "Request latency, admission to reply",
+            ),
+            completed: r.counter(
+                "psj_requests_completed_total",
+                "Requests answered successfully",
+            ),
+            shed: r.counter(
+                "psj_requests_shed_total",
+                "Requests shed by admission control",
+            ),
+            timeouts: r.counter(
+                "psj_requests_timeout_total",
+                "Requests that missed their deadline",
+            ),
+            proto_errors: r.counter("psj_proto_errors_total", "Malformed frames / payloads"),
+            batches: r.counter("psj_batches_total", "Query batches executed"),
+            batched_queries: r.counter(
+                "psj_batched_queries_total",
+                "Queries carried inside batches",
+            ),
+            storage_corrupt: r.counter("psj_storage_corrupt_total", "Corrupt-storage replies"),
+            storage_unavailable: r.counter(
+                "psj_storage_unavailable_total",
+                "Unavailable-storage replies",
+            ),
+            worker_panics: r.counter(
+                "psj_worker_panics_total",
+                "Worker panics caught and recovered",
+            ),
+            join_tasks: r.counter("psj_join_tasks_total", "Phase-1 join tasks created"),
+            join_steals: r.counter("psj_join_steals_total", "Successful steals inside joins"),
+            queue_depth: r.gauge("psj_queue_depth", "Admitted-but-unanswered requests"),
+            cache_requests: r.gauge("psj_cache_requests", "Page-cache requests since start"),
+            cache_hits: r.gauge("psj_cache_hits", "Page-cache hits since start"),
+            cache_misses: r.gauge("psj_cache_misses", "Page-cache misses since start"),
+            cache_evictions: r.gauge("psj_cache_evictions", "Page-cache evictions since start"),
+            resident_pages: r.gauge("psj_cache_resident_pages", "Pages resident right now"),
+            capacity_pages: r.gauge("psj_cache_capacity_pages", "Page-cache capacity"),
+            corrupt_pages: r.gauge(
+                "psj_corrupt_pages_detected",
+                "Distinct corrupt pages detected",
+            ),
+            quarantined_pages: r.gauge("psj_quarantined_pages", "Pages currently quarantined"),
+            page_retries: r.gauge("psj_page_retries", "Page fetches retried by the cache"),
+            registry: r,
+        }
+    }
+}
+
+/// Point-in-time values the scrape publishes as gauges; the caller reads
+/// them from the cache snapshot and admission counter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GaugeSnapshot {
+    /// Admitted-but-unanswered requests.
+    pub queue_depth: u64,
+    /// Page-cache requests since start.
+    pub cache_requests: u64,
+    /// Page-cache hits since start.
+    pub cache_hits: u64,
+    /// Page-cache misses since start.
+    pub cache_misses: u64,
+    /// Page-cache evictions since start.
+    pub cache_evictions: u64,
+    /// Pages resident at scrape time.
+    pub resident_pages: u64,
+    /// Page-cache capacity.
+    pub capacity_pages: u64,
+    /// Distinct corrupt pages detected since start.
+    pub corrupt_pages: u64,
+    /// Pages currently quarantined.
+    pub quarantined_pages: u64,
+    /// Page fetches retried by the cache since start.
+    pub page_retries: u64,
 }
 
 impl Telemetry {
@@ -108,13 +149,13 @@ impl Telemetry {
 
     /// Records a successful reply and its latency.
     pub fn complete(&self, latency: Duration) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.completed.inc();
         self.latency.record(latency);
     }
 
     /// Records a deadline miss (also an observation: the client waited).
     pub fn timeout(&self, latency: Duration) {
-        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.timeouts.inc();
         self.latency.record(latency);
     }
 
@@ -122,11 +163,27 @@ impl Telemetry {
     /// the client waited for it, so it is also a latency observation.
     pub fn storage(&self, latency: Duration, corrupt: bool) {
         if corrupt {
-            self.storage_corrupt.fetch_add(1, Ordering::Relaxed);
+            self.storage_corrupt.inc();
         } else {
-            self.storage_unavailable.fetch_add(1, Ordering::Relaxed);
+            self.storage_unavailable.inc();
         }
         self.latency.record(latency);
+    }
+
+    /// Refreshes the point-in-time gauges and renders every metric as
+    /// Prometheus text exposition.
+    pub fn render_prometheus(&self, snap: &GaugeSnapshot) -> String {
+        self.queue_depth.set(snap.queue_depth);
+        self.cache_requests.set(snap.cache_requests);
+        self.cache_hits.set(snap.cache_hits);
+        self.cache_misses.set(snap.cache_misses);
+        self.cache_evictions.set(snap.cache_evictions);
+        self.resident_pages.set(snap.resident_pages);
+        self.capacity_pages.set(snap.capacity_pages);
+        self.corrupt_pages.set(snap.corrupt_pages);
+        self.quarantined_pages.set(snap.quarantined_pages);
+        self.page_retries.set(snap.page_retries);
+        self.registry.render_prometheus()
     }
 }
 
@@ -167,5 +224,34 @@ mod tests {
         h.record(Duration::from_secs(1 << 30));
         assert_eq!(h.count(), 2);
         assert!(h.quantile_ms(1.0) > 0.0);
+    }
+
+    #[test]
+    fn prometheus_text_carries_counters_and_gauges() {
+        let t = Telemetry::new();
+        t.complete(Duration::from_micros(150));
+        t.complete(Duration::from_micros(150));
+        t.timeout(Duration::from_millis(80));
+        t.storage(Duration::from_millis(1), true);
+        t.worker_panics.inc();
+        let text = t.render_prometheus(&GaugeSnapshot {
+            queue_depth: 3,
+            resident_pages: 17,
+            ..Default::default()
+        });
+        assert!(text.contains("psj_requests_completed_total 2"), "{text}");
+        assert!(text.contains("psj_requests_timeout_total 1"), "{text}");
+        assert!(text.contains("psj_storage_corrupt_total 1"), "{text}");
+        assert!(text.contains("psj_worker_panics_total 1"), "{text}");
+        assert!(text.contains("psj_queue_depth 3"), "{text}");
+        assert!(text.contains("psj_cache_resident_pages 17"), "{text}");
+        assert!(
+            text.contains("psj_request_latency_seconds_count 4"),
+            "{text}"
+        );
+        // Scrape twice: gauges are refreshed, counters keep accumulating.
+        let text2 = t.render_prometheus(&GaugeSnapshot::default());
+        assert!(text2.contains("psj_queue_depth 0"), "{text2}");
+        assert!(text2.contains("psj_requests_completed_total 2"), "{text2}");
     }
 }

@@ -39,6 +39,6 @@ pub use disk::DiskModel;
 pub use error::PageError;
 pub use fault::FaultPlan;
 pub use page::{Page, PageId, PageStore, PAGE_SIZE};
-pub use pager::{FaultPager, FilePager};
+pub use pager::{FaultPager, FilePager, PagerIoStats};
 pub use retry::RetryPolicy;
 pub use timing::{Nanos, MICROS, MILLIS, SECS};

@@ -99,7 +99,21 @@ impl RetryPolicy {
     pub fn run<T>(
         &self,
         key: u64,
+        op: impl FnMut(u32) -> Result<T, PageError>,
+    ) -> (Result<T, PageError>, u64) {
+        self.run_observed(key, op, |_, _| {})
+    }
+
+    /// Like [`RetryPolicy::run`], but calls `on_retry(attempt, error)` for
+    /// every attempt that is about to be retried (before the backoff
+    /// sleep). Tracing hooks in here: a retry storm shows up in the trace
+    /// as it happens, with the failing attempt's error, rather than as one
+    /// summary count after the final attempt settles.
+    pub fn run_observed<T>(
+        &self,
+        key: u64,
         mut op: impl FnMut(u32) -> Result<T, PageError>,
+        mut on_retry: impl FnMut(u32, &PageError),
     ) -> (Result<T, PageError>, u64) {
         let mut retries = 0u64;
         let mut attempt = 0u32;
@@ -107,6 +121,7 @@ impl RetryPolicy {
             match op(attempt) {
                 Ok(v) => return (Ok(v), retries),
                 Err(e) if e.is_retryable() && attempt + 1 < self.max_attempts => {
+                    on_retry(attempt, &e);
                     let delay = self.backoff_for(attempt, key);
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
@@ -148,6 +163,28 @@ mod tests {
         });
         assert_eq!(res.unwrap(), 42);
         assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn observer_sees_each_retried_error() {
+        let policy = RetryPolicy::attempts(3);
+        let mut fails = 2;
+        let mut observed = Vec::new();
+        let (res, retries) = policy.run_observed(
+            7,
+            |_| {
+                if fails > 0 {
+                    fails -= 1;
+                    Err(PageError::io(PageId(7), io::ErrorKind::Other, "blip"))
+                } else {
+                    Ok(1)
+                }
+            },
+            |attempt, err| observed.push((attempt, err.is_retryable())),
+        );
+        assert_eq!(res.unwrap(), 1);
+        assert_eq!(retries, 2);
+        assert_eq!(observed, vec![(0, true), (1, true)]);
     }
 
     #[test]
