@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod global;
+pub mod l1;
 pub mod local;
 pub mod lru;
 pub mod path;
@@ -33,6 +34,7 @@ pub mod shared;
 pub mod stats;
 
 pub use global::{GlobalAccess, GlobalBuffer};
+pub use l1::L1Front;
 pub use local::LocalBuffers;
 pub use lru::Lru;
 pub use path::PathBuffer;

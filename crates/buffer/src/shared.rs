@@ -104,14 +104,43 @@ struct Shard<T> {
     state: Mutex<ShardState<T>>,
     loaded: Condvar,
     capacity: usize,
+    /// Bumped (under the shard lock, published with `Release`) whenever a
+    /// resident page leaves this shard — eviction or quarantine. A reader
+    /// holding `(page, generation)` from an earlier fill knows the page is
+    /// still resident while the generation is unchanged; the per-worker
+    /// [`L1Front`](crate::L1Front) builds on exactly this.
+    generation: AtomicU64,
 }
 
 /// Per-worker counters, padded out so workers on different cores don't
-/// false-share a cache line.
+/// false-share a cache line. Plain relaxed atomics: each field is written
+/// by its own worker on the hot path and only read (racily, monotonically)
+/// by stats observers, so no mutex is needed.
 #[repr(align(64))]
 #[derive(Default)]
 struct WorkerStats {
-    stats: Mutex<BufferStats>,
+    hits_local: AtomicU64,
+    hits_l1: AtomicU64,
+    hits_remote: AtomicU64,
+    hits_in_flight: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl WorkerStats {
+    fn snapshot(&self) -> BufferStats {
+        BufferStats {
+            hits_local: self.hits_local.load(Ordering::Relaxed),
+            hits_l1: self.hits_l1.load(Ordering::Relaxed),
+            hits_remote: self.hits_remote.load(Ordering::Relaxed),
+            hits_in_flight: self.hits_in_flight.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            hits_path: 0,
+            retries: self.retries.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// The concurrent sharded page cache.
@@ -152,6 +181,7 @@ impl<T> SharedPageCache<T> {
                     }),
                     loaded: Condvar::new(),
                     capacity: per_shard,
+                    generation: AtomicU64::new(0),
                 })
                 .collect(),
             stats: (0..workers).map(|_| WorkerStats::default()).collect(),
@@ -243,24 +273,49 @@ impl<T> SharedPageCache<T> {
         &self.shards[(h >> 32) as usize % self.shards.len()]
     }
 
+    /// Counter updates run outside every shard lock (callers invoke this
+    /// after dropping the shard state), so a hit holds the shard mutex only
+    /// for the map probe + `Arc` clone and never serializes on stats.
     fn bump(&self, worker: usize, access: SharedAccess, evicted: bool, retries: u64) {
-        let mut s = self.stats[worker].stats.lock().unwrap();
+        let s = &self.stats[worker];
         match access {
-            SharedAccess::HitLocal => s.hits_local += 1,
-            SharedAccess::HitRemote { .. } => s.hits_remote += 1,
-            SharedAccess::HitInFlight => s.hits_in_flight += 1,
-            SharedAccess::Miss => s.misses += 1,
-        }
+            SharedAccess::HitLocal => s.hits_local.fetch_add(1, Ordering::Relaxed),
+            SharedAccess::HitRemote { .. } => s.hits_remote.fetch_add(1, Ordering::Relaxed),
+            SharedAccess::HitInFlight => s.hits_in_flight.fetch_add(1, Ordering::Relaxed),
+            SharedAccess::Miss => s.misses.fetch_add(1, Ordering::Relaxed),
+        };
         if evicted {
-            s.evictions += 1;
+            s.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        s.retries += retries;
+        if retries > 0 {
+            s.retries.fetch_add(retries, Ordering::Relaxed);
+        }
     }
 
     fn bump_retries(&self, worker: usize, retries: u64) {
         if retries > 0 {
-            self.stats[worker].stats.lock().unwrap().retries += retries;
+            self.stats[worker]
+                .retries
+                .fetch_add(retries, Ordering::Relaxed);
         }
+    }
+
+    /// Credits `n` hits absorbed by `worker`'s private L1 front. The front
+    /// accumulates locally and flushes through here before any stats read,
+    /// keeping [`SharedPageCache::stats`] exact.
+    pub fn add_l1_hits(&self, worker: usize, n: u64) {
+        if n > 0 {
+            self.stats[worker].hits_l1.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current generation of the shard holding `page`. The generation
+    /// advances whenever any page leaves that shard (eviction or
+    /// quarantine); a value read *before* a successful
+    /// [`SharedPageCache::try_get`] therefore certifies, for as long as it
+    /// remains current, that the returned page is still resident.
+    pub fn shard_generation(&self, page: PageId) -> u64 {
+        self.shard_of(page).generation.load(Ordering::Acquire)
     }
 
     /// Looks up `page`, fetching it from `source` on a miss. Returns the
@@ -380,6 +435,10 @@ impl<T> SharedPageCache<T> {
                         // Unrecoverable: quarantine so later requesters get
                         // the typed error without hitting the device again.
                         state.quarantined.insert(page, e.clone());
+                        // Conservatively invalidate L1 slots for this shard:
+                        // no front may keep serving a page the shard now
+                        // refuses.
+                        shard.generation.fetch_add(1, Ordering::Release);
                         self.corrupt_detected.fetch_add(1, Ordering::Relaxed);
                         if let Some(t) = &self.trace {
                             t.instant(
@@ -400,6 +459,9 @@ impl<T> SharedPageCache<T> {
             if let Some(victim) = state.buf.insert(page) {
                 state.data.remove(&victim);
                 state.owner.remove(&victim);
+                // The victim left the shard: invalidate generation-checked
+                // L1 slots before any reader can observe the new residency.
+                shard.generation.fetch_add(1, Ordering::Release);
                 evicted = true;
             }
             state.data.insert(page, Arc::clone(&value));
@@ -418,15 +480,12 @@ impl<T> SharedPageCache<T> {
 
     /// One worker's statistics.
     pub fn stats(&self, worker: usize) -> BufferStats {
-        *self.stats[worker].stats.lock().unwrap()
+        self.stats[worker].snapshot()
     }
 
     /// Per-worker statistics, indexed by worker.
     pub fn per_worker_stats(&self) -> Vec<BufferStats> {
-        self.stats
-            .iter()
-            .map(|w| *w.stats.lock().unwrap())
-            .collect()
+        self.stats.iter().map(WorkerStats::snapshot).collect()
     }
 
     /// Aggregated statistics over all workers.

@@ -10,6 +10,12 @@ use serde::{Deserialize, Serialize};
 pub struct BufferStats {
     /// Hits served from the requesting processor's own memory.
     pub hits_local: u64,
+    /// Hits absorbed by a worker's private L1 front (`L1Front`) without
+    /// consulting the shared cache's shards at all. A subset of what would
+    /// otherwise be `hits_local`: the page was resident and owned by this
+    /// worker when the front last filled the slot, and the shard generation
+    /// proves it has not been evicted since.
+    pub hits_l1: u64,
     /// Hits served from another processor's partition over the interconnect
     /// (global buffer only).
     pub hits_remote: u64,
@@ -31,7 +37,7 @@ impl BufferStats {
     /// Total page requests that reached the buffer layer (excludes path
     /// buffer hits, which are absorbed before the buffer is consulted).
     pub fn requests(&self) -> u64 {
-        self.hits_local + self.hits_remote + self.hits_in_flight + self.misses
+        self.hits_local + self.hits_l1 + self.hits_remote + self.hits_in_flight + self.misses
     }
 
     /// Hit ratio over buffer-layer requests, in `[0, 1]`; 0 when idle.
@@ -54,6 +60,7 @@ impl BufferStats {
     pub fn since(&self, earlier: &BufferStats) -> BufferStats {
         BufferStats {
             hits_local: self.hits_local - earlier.hits_local,
+            hits_l1: self.hits_l1 - earlier.hits_l1,
             hits_remote: self.hits_remote - earlier.hits_remote,
             hits_in_flight: self.hits_in_flight - earlier.hits_in_flight,
             misses: self.misses - earlier.misses,
@@ -67,6 +74,7 @@ impl BufferStats {
     pub fn merged(&self, other: &BufferStats) -> BufferStats {
         BufferStats {
             hits_local: self.hits_local + other.hits_local,
+            hits_l1: self.hits_l1 + other.hits_l1,
             hits_remote: self.hits_remote + other.hits_remote,
             hits_in_flight: self.hits_in_flight + other.hits_in_flight,
             misses: self.misses + other.misses,

@@ -2,8 +2,9 @@
 
 use crate::args::Args;
 use psj_core::{
-    run_sim_join, try_run_native_join, BufferConfig, BufferOrg, NativeConfig, NativeError,
-    RunControl, SimConfig, TaskOrigin,
+    create_tasks, expand_pair, run_native_join, run_sim_join, try_run_native_join, Assignment,
+    BufferConfig, BufferOrg, KernelScratch, NativeConfig, NativeError, RunControl, SimConfig,
+    TaskOrigin,
 };
 use psj_datagen::io::{load_map, save_map};
 use psj_datagen::Scenario;
@@ -48,6 +49,14 @@ commands:
   bench-serve --addr <host:port> [--clients <n>] [--requests <n>] [--seed <n>]
            [--window-frac <f>] [--nearest-frac <f>] [--deadline-ms <n>]
            [--k <n>] [--window-extent <f>] [--out <file.json>] [--shutdown]
+  bench-join [--scale <f>] [--seed <n>] [--reps <n>] [--quick]
+           [--out <file.json>] — in-process join benchmark: scalar-vs-SoA
+           sweep kernel plus a join matrix (threads × assignment × buffer
+           org); writes BENCH_join.json unless --out is given
+  bench-check --baseline <file.json> --candidate <file.json>
+           [--tolerance <f>] — compare two bench-join reports on their
+           machine-independent ratios (kernel speedup, speedup vs t=1);
+           exits nonzero if the candidate regresses past the tolerance
   help
 
 options may be written --key value or --key=value
@@ -204,10 +213,11 @@ pub fn join(args: &Args) -> CmdResult {
             _ => "global",
         };
         println!(
-            "page cache ({org}):  {} requests, {:.1}% hit ({} local / {} remote / {} in-flight), \
-             {} misses, {} evictions",
+            "page cache ({org}):  {} requests, {:.1}% hit ({} L1 / {} local / {} remote / \
+             {} in-flight), {} misses, {} evictions",
             stats.requests(),
             100.0 * stats.hit_ratio(),
+            stats.hits_l1,
             stats.hits_local,
             stats.hits_remote,
             stats.hits_in_flight,
@@ -564,4 +574,367 @@ pub fn simulate(args: &Args) -> CmdResult {
     println!("reassignments:      {}", m.reassignments);
     println!("total busy time:    {:.1} s", m.total_busy_secs());
     Ok(())
+}
+
+/// Builds an in-memory STR-packed tree over `objects`, with geometry
+/// attached so the join's refinement step is exercised.
+fn bench_tree(objects: &[psj_datagen::MapObject]) -> PagedTree {
+    let items: Vec<(psj_geom::Rect, u64)> = objects.iter().map(|o| (o.mbr(), o.oid)).collect();
+    let tree = bulk_load_str(&items);
+    let geoms: HashMap<u64, psj_geom::Polyline> =
+        objects.iter().map(|o| (o.oid, o.geom.clone())).collect();
+    PagedTree::freeze_with_attrs(&tree, |oid| geoms.get(&oid).cloned(), 1365)
+}
+
+/// One row of the bench-join matrix.
+struct BenchJoinRow {
+    id: String,
+    threads: usize,
+    assignment: &'static str,
+    org: &'static str,
+    wall_ms: f64,
+    speedup_vs_t1: f64,
+    pairs: usize,
+    hits_local: u64,
+    hits_l1: u64,
+    hits_remote: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// `psj bench-join` — in-process join benchmark. Times the sweep kernel
+/// (pre-change scalar path with its per-call MBR copy vs. the SoA chunked
+/// path) over the real node-pair stream of a join, then runs a matrix of
+/// full joins (threads × assignment × buffer organization) and writes one
+/// JSON report. The committed `BENCH_join.json` at the repo root is the
+/// baseline `bench-check` compares against.
+pub fn bench_join(args: &Args) -> CmdResult {
+    let quick = args.flag("quick");
+    let scale: f64 = args.parse_or("scale", if quick { 0.08 } else { 0.25 })?;
+    let seed: u64 = args.parse_or("seed", 1996)?;
+    let reps: u32 = args.parse_or("reps", if quick { 3 } else { 7 })?;
+    let out = args.get("out").unwrap_or("BENCH_join.json");
+
+    println!("generating scenario (scale {scale}, seed {seed})...");
+    let (m1, m2) = Scenario::scaled(seed, scale).generate();
+    let a = bench_tree(&m1);
+    let b = bench_tree(&m2);
+    let total_pages = a.num_pages() + b.num_pages();
+    println!(
+        "trees: {} + {} objects, {} pages total",
+        a.len(),
+        b.len(),
+        total_pages
+    );
+
+    // --- Kernel micro-benchmark -------------------------------------------
+    // Collect the equal-level node-pair stream a join actually sweeps, by
+    // expanding the phase-1 task set to exhaustion.
+    let tc = create_tasks(&a, &b, 64);
+    let mut stream = Vec::new();
+    {
+        let mut scratch = KernelScratch::default();
+        let mut stack = tc.tasks.clone();
+        let mut candidates = Vec::new();
+        while let Some(p) = stack.pop() {
+            if p.la == p.lb {
+                stream.push(p);
+            }
+            let na = a.node(p.a);
+            let nb = b.node(p.b);
+            expand_pair(na, nb, &p, &mut scratch, &mut stack, &mut candidates);
+        }
+    }
+    println!("kernel stream: {} node pairs", stream.len());
+
+    use psj_geom::sweep::{sweep_pairs_restricted, sweep_pairs_soa, SweepScratch};
+    let mut filt_a = Vec::new();
+    let mut filt_b = Vec::new();
+    let mut sweep_scratch = SweepScratch::default();
+    let mut pairs = Vec::new();
+    let mut mbrs_a: Vec<psj_geom::Rect> = Vec::new();
+    let mut mbrs_b: Vec<psj_geom::Rect> = Vec::new();
+
+    // Scalar baseline: the pre-SoA kernel copied every entry MBR into a
+    // scratch vector on each call, then ran the scalar restricted sweep.
+    let mut scalar_pairs = 0u64;
+    let mut scalar_ns = u128::MAX;
+    // SoA path: the frozen per-node SoA view feeds the chunked filter.
+    let mut soa_pairs = 0u64;
+    let mut soa_ns = u128::MAX;
+    // The two passes interleave and each path keeps its *minimum* rep time:
+    // the minimum is the least contaminated by scheduler noise and frequency
+    // scaling, which on small containers can double a single rep's time.
+    for rep in 0..=reps {
+        // rep 0 is an untimed warm-up for both paths.
+        let t0 = Instant::now();
+        let mut produced = 0u64;
+        for p in &stream {
+            let na = a.node(p.a);
+            let nb = b.node(p.b);
+            mbrs_a.clear();
+            mbrs_b.clear();
+            if p.la == 0 {
+                mbrs_a.extend(na.data_entries().iter().map(|e| e.mbr));
+                mbrs_b.extend(nb.data_entries().iter().map(|e| e.mbr));
+            } else {
+                mbrs_a.extend(na.dir_entries().iter().map(|e| e.mbr));
+                mbrs_b.extend(nb.dir_entries().iter().map(|e| e.mbr));
+            }
+            pairs.clear();
+            sweep_pairs_restricted(
+                &mbrs_a,
+                &mbrs_b,
+                &p.window,
+                &mut filt_a,
+                &mut filt_b,
+                &mut pairs,
+            );
+            produced += pairs.len() as u64;
+        }
+        if rep > 0 {
+            scalar_ns = scalar_ns.min(t0.elapsed().as_nanos());
+            scalar_pairs = produced;
+        }
+
+        let t1 = Instant::now();
+        let mut produced = 0u64;
+        for p in &stream {
+            let na = a.node(p.a);
+            let nb = b.node(p.b);
+            pairs.clear();
+            sweep_pairs_soa(
+                na.soa_mbrs(),
+                nb.soa_mbrs(),
+                &p.window,
+                &mut sweep_scratch,
+                &mut pairs,
+            );
+            produced += pairs.len() as u64;
+        }
+        if rep > 0 {
+            soa_ns = soa_ns.min(t1.elapsed().as_nanos());
+            soa_pairs = produced;
+        }
+    }
+    if scalar_pairs != soa_pairs {
+        return Err(format!(
+            "kernel mismatch: scalar produced {scalar_pairs} pairs, SoA {soa_pairs}"
+        ));
+    }
+    let scalar_pps = scalar_pairs as f64 / (scalar_ns as f64 / 1e9);
+    let soa_pps = soa_pairs as f64 / (soa_ns as f64 / 1e9);
+    let kernel_speedup = soa_pps / scalar_pps;
+    println!(
+        "kernel: scalar {:.2} Mpairs/s, SoA {:.2} Mpairs/s, speedup {kernel_speedup:.2}x",
+        scalar_pps / 1e6,
+        soa_pps / 1e6
+    );
+
+    // --- Join matrix ------------------------------------------------------
+    let thread_list: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    let combos: &[(Assignment, &str, BufferOrg, &str)] = if quick {
+        &[(Assignment::Dynamic, "gd", BufferOrg::Global, "global")]
+    } else {
+        &[
+            (Assignment::Dynamic, "gd", BufferOrg::Global, "global"),
+            (Assignment::Dynamic, "gd", BufferOrg::Local, "local"),
+            (
+                Assignment::StaticRoundRobin,
+                "gsrr",
+                BufferOrg::Global,
+                "global",
+            ),
+        ]
+    };
+    let capacity = (total_pages / 2).max(8);
+    let mut rows: Vec<BenchJoinRow> = Vec::new();
+    for &(assignment, aname, org, oname) in combos {
+        let mut t1_ms = 0.0f64;
+        for &threads in thread_list {
+            let mut buffer = BufferConfig::global(capacity);
+            buffer.org = org;
+            let mut cfg = NativeConfig::buffered(threads, buffer);
+            cfg.assignment = assignment;
+            let res = run_native_join(&a, &b, &cfg);
+            let stats = res.buffer.unwrap_or_default();
+            let wall_ms = res.elapsed.as_secs_f64() * 1e3;
+            if threads == 1 {
+                t1_ms = wall_ms;
+            }
+            let speedup = if t1_ms > 0.0 { t1_ms / wall_ms } else { 1.0 };
+            println!(
+                "join t={threads} {aname}/{oname}: {:.1} ms ({:.2}x vs t=1), \
+                 {} pairs, L1 {} / local {} / remote {} hits, {} misses",
+                wall_ms,
+                speedup,
+                res.pairs.len(),
+                stats.hits_l1,
+                stats.hits_local,
+                stats.hits_remote,
+                stats.misses
+            );
+            rows.push(BenchJoinRow {
+                id: format!("t{threads}_{aname}_{oname}"),
+                threads,
+                assignment: aname,
+                org: oname,
+                wall_ms,
+                speedup_vs_t1: speedup,
+                pairs: res.pairs.len(),
+                hits_local: stats.hits_local,
+                hits_l1: stats.hits_l1,
+                hits_remote: stats.hits_remote,
+                misses: stats.misses,
+                evictions: stats.evictions,
+            });
+        }
+    }
+
+    // --- Report -----------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"psj-bench-join-v1\",\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"scale\": {scale},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"total_pages\": {total_pages},\n"));
+    json.push_str("  \"kernel\": {\n");
+    json.push_str(&format!("    \"node_pairs\": {},\n", stream.len()));
+    json.push_str(&format!("    \"sweep_pairs\": {scalar_pairs},\n"));
+    json.push_str(&format!("    \"reps\": {reps},\n"));
+    json.push_str(&format!("    \"scalar_ns\": {scalar_ns},\n"));
+    json.push_str(&format!("    \"soa_ns\": {soa_ns},\n"));
+    json.push_str(&format!(
+        "    \"scalar_pairs_per_sec\": {:.1},\n",
+        scalar_pps
+    ));
+    json.push_str(&format!("    \"soa_pairs_per_sec\": {:.1},\n", soa_pps));
+    json.push_str(&format!("    \"speedup\": {:.4}\n", kernel_speedup));
+    json.push_str("  },\n");
+    json.push_str("  \"joins\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"threads\": {}, \"assignment\": \"{}\", \"org\": \"{}\", \
+             \"wall_ms\": {:.3}, \"speedup_vs_t1\": {:.4}, \"pairs\": {}, \
+             \"hits_local\": {}, \"hits_l1\": {}, \"hits_remote\": {}, \
+             \"misses\": {}, \"evictions\": {}}}{}\n",
+            r.id,
+            r.threads,
+            r.assignment,
+            r.org,
+            r.wall_ms,
+            r.speedup_vs_t1,
+            r.pairs,
+            r.hits_local,
+            r.hits_l1,
+            r.hits_remote,
+            r.misses,
+            r.evictions,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out, &json).map_err(io_err)?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// Scans `text` for `"key": <number>` and returns the number, searching
+/// forward from `from`. Enough of a JSON reader for the reports this
+/// binary writes itself (no external JSON dependency in this workspace).
+fn json_number_after(text: &str, key: &str, from: usize) -> Option<(f64, usize)> {
+    let needle = format!("\"{key}\":");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let rest = text[at..].trim_start();
+    let off = at + (text[at..].len() - rest.len());
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse::<f64>().ok().map(|v| (v, off + end))
+}
+
+/// Extracts the per-join `id -> speedup_vs_t1` map from a bench-join report.
+fn bench_speedups(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while let Some(i) = text[pos..].find("\"id\": \"") {
+        let start = pos + i + "\"id\": \"".len();
+        let Some(len) = text[start..].find('"') else {
+            break;
+        };
+        let id = text[start..start + len].to_string();
+        let Some((v, next)) = json_number_after(text, "speedup_vs_t1", start + len) else {
+            break;
+        };
+        out.push((id, v));
+        pos = next;
+    }
+    out
+}
+
+/// `psj bench-check` — compare a fresh bench-join report against the
+/// committed baseline on machine-independent ratios: the kernel's SoA/scalar
+/// speedup and each matrix row's speedup vs. its own t=1 run. Absolute
+/// wall-clock numbers are reported but never compared, so the check is
+/// stable across machines. Exits nonzero if the candidate falls more than
+/// `--tolerance` (default 0.25) below the baseline on any compared ratio.
+pub fn bench_check(args: &Args) -> CmdResult {
+    let baseline_path = args.require("baseline")?;
+    let candidate_path = args.require("candidate")?;
+    let tolerance: f64 = args.parse_or("tolerance", 0.25)?;
+    let baseline = std::fs::read_to_string(Path::new(baseline_path))
+        .map_err(|e| format!("{baseline_path}: {e}"))?;
+    let candidate = std::fs::read_to_string(Path::new(candidate_path))
+        .map_err(|e| format!("{candidate_path}: {e}"))?;
+
+    let mut failures = Vec::new();
+    let kernel_at = |t: &str| t.find("\"kernel\"").unwrap_or(0);
+    let base_kernel = json_number_after(&baseline, "speedup", kernel_at(&baseline))
+        .map(|(v, _)| v)
+        .ok_or_else(|| format!("{baseline_path}: no kernel speedup found"))?;
+    let cand_kernel = json_number_after(&candidate, "speedup", kernel_at(&candidate))
+        .map(|(v, _)| v)
+        .ok_or_else(|| format!("{candidate_path}: no kernel speedup found"))?;
+    let floor = base_kernel * (1.0 - tolerance);
+    println!(
+        "kernel speedup: baseline {base_kernel:.3}x, candidate {cand_kernel:.3}x \
+         (floor {floor:.3}x)"
+    );
+    if cand_kernel < floor {
+        failures.push(format!(
+            "kernel speedup regressed: {cand_kernel:.3}x < {floor:.3}x \
+             (baseline {base_kernel:.3}x - {:.0}%)",
+            tolerance * 100.0
+        ));
+    }
+
+    let base_rows = bench_speedups(&baseline);
+    let cand_rows = bench_speedups(&candidate);
+    for (id, cand_v) in &cand_rows {
+        let Some((_, base_v)) = base_rows.iter().find(|(b, _)| b == id) else {
+            println!("join {id}: not in baseline, skipped");
+            continue;
+        };
+        let floor = base_v * (1.0 - tolerance);
+        let verdict = if *cand_v < floor { "REGRESSED" } else { "ok" };
+        println!(
+            "join {id}: baseline {base_v:.3}x, candidate {cand_v:.3}x \
+             (floor {floor:.3}x) {verdict}"
+        );
+        if *cand_v < floor {
+            failures.push(format!(
+                "join {id} speedup_vs_t1 regressed: {cand_v:.3}x < {floor:.3}x"
+            ));
+        }
+    }
+    if cand_rows.is_empty() {
+        failures.push(format!("{candidate_path}: no join rows found"));
+    }
+    if failures.is_empty() {
+        println!("bench-check: ok ({} rows compared)", cand_rows.len());
+        Ok(())
+    } else {
+        Err(format!("bench-check failed:\n  {}", failures.join("\n  ")))
+    }
 }

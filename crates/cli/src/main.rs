@@ -17,6 +17,10 @@
 //! psj trace-check join.jsonl
 //! psj bench-serve --addr 127.0.0.1:7878 [--clients 4] [--requests 250]
 //!              [--out results/serve_baseline.json] [--shutdown]
+//! psj bench-join [--scale 0.25] [--seed 1996] [--reps 7] [--quick]
+//!              [--out BENCH_join.json]
+//! psj bench-check --baseline BENCH_join.json --candidate /tmp/bench.json
+//!              [--tolerance 0.25]
 //! ```
 //!
 //! Options are accepted as `--key value` or `--key=value`; stray
@@ -60,6 +64,8 @@ fn main() {
         "metrics" => commands::metrics(&parsed),
         "trace-check" => commands::trace_check(&parsed),
         "bench-serve" => commands::bench_serve(&parsed),
+        "bench-join" => commands::bench_join(&parsed),
+        "bench-check" => commands::bench_check(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -63,16 +63,18 @@ fn traverse_entries(
         return;
     }
     let mut stack: Vec<(PageId, PageId)> = vec![(a.root(), b.root())];
+    // Reused row-scan output of the SoA `filter_within` passes below.
+    let mut row = Vec::new();
     while let Some((pa, pb)) = stack.pop() {
         let na = a.node(pa);
         let nb = b.node(pb);
         match (&na.kind, &nb.kind) {
             (NodeKind::Dir(ea), NodeKind::Dir(eb)) => {
+                let soa_b = nb.soa_mbrs();
                 for x in ea {
-                    for y in eb {
-                        if rect_distance(&x.mbr, &y.mbr) <= eps {
-                            stack.push((PageId(x.child), PageId(y.child)));
-                        }
+                    soa_b.filter_within(&x.mbr, eps, &mut row);
+                    for &j in &row {
+                        stack.push((PageId(x.child), PageId(eb[j as usize].child)));
                     }
                 }
             }
@@ -93,11 +95,11 @@ fn traverse_entries(
                 }
             }
             (NodeKind::Leaf(ea), NodeKind::Leaf(eb)) => {
+                let soa_b = nb.soa_mbrs();
                 for x in ea {
-                    for y in eb {
-                        if rect_distance(&x.mbr, &y.mbr) <= eps {
-                            emit(*x, *y);
-                        }
+                    soa_b.filter_within(&x.mbr, eps, &mut row);
+                    for &j in &row {
+                        emit(*x, eb[j as usize]);
                     }
                 }
             }

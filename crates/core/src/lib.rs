@@ -79,4 +79,4 @@ pub use shnothing::{
     run_sharded_join, Network, Placement, ShardedConfig, ShardedMetrics, ShardedResult,
 };
 pub use sim::{run_sim_join, BufferOrg, Reassignment, SimConfig, SimResult, VictimSelection};
-pub use task::{create_tasks, TaskPair};
+pub use task::{create_tasks, expand_pair, Candidate, KernelScratch, TaskPair};

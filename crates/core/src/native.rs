@@ -47,7 +47,7 @@ use crate::deque::{Injector, Steal, Stealer, Worker};
 use crate::metrics::{TaskOrigin, TaskTrace};
 use crate::sim::BufferOrg;
 use crate::task::{create_tasks, expand_pair, Candidate, KernelScratch, TaskPair};
-use psj_buffer::{BufferStats, FaultSource, PageSource, Policy, SharedPageCache};
+use psj_buffer::{BufferStats, FaultSource, L1Front, PageSource, Policy, SharedPageCache};
 use psj_obs::trace::{worker_tid, TID_MAIN};
 use psj_obs::{ThreadTracer, TraceSink};
 use psj_rtree::{Node, PagedTree};
@@ -328,7 +328,9 @@ impl std::ops::Deref for NodeRef<'_> {
 }
 
 /// One worker's view of the node storage: direct tree access, or a cache
-/// (shared or private) in front of the serialized pages.
+/// (shared or private) in front of the serialized pages, with a private
+/// direct-mapped L1 front absorbing this worker's repeat hits before they
+/// reach the shard locks (tagged page ids keep both trees in one front).
 struct NodeFetcher<'t> {
     a: &'t PagedTree,
     b: &'t PagedTree,
@@ -336,26 +338,58 @@ struct NodeFetcher<'t> {
     /// `(cache, stats index)` — the stats index is the worker id for the
     /// shared cache and 0 for a private one.
     cache: Option<(&'t SharedPageCache<Node>, usize)>,
+    /// Present exactly when `cache` is. Exclusive to this worker's thread.
+    l1: Option<L1Front<Node>>,
 }
+
+/// Slots in each worker's L1 front. Covers a join's working set of hot
+/// directory pages; data pages churn through and rarely repeat.
+const L1_SLOTS: usize = 64;
 
 impl<'t> NodeFetcher<'t> {
     #[inline]
-    fn node_a(&self, page: PageId) -> Result<NodeRef<'t>, PageError> {
+    fn node_a(&mut self, page: PageId) -> Result<NodeRef<'t>, PageError> {
         match self.cache {
             None => Ok(NodeRef::Borrowed(self.a.node(page))),
-            Some((cache, w)) => cache
-                .try_get(w, page, &self.source)
-                .map(|(n, _)| NodeRef::Cached(n)),
+            Some((cache, w)) => match &mut self.l1 {
+                Some(l1) => l1
+                    .try_get(cache, w, page, &self.source)
+                    .map(|(n, _)| NodeRef::Cached(n)),
+                None => cache
+                    .try_get(w, page, &self.source)
+                    .map(|(n, _)| NodeRef::Cached(n)),
+            },
         }
     }
 
     #[inline]
-    fn node_b(&self, page: PageId) -> Result<NodeRef<'t>, PageError> {
+    fn node_b(&mut self, page: PageId) -> Result<NodeRef<'t>, PageError> {
+        let tagged = PageId(page.0 | TREE_B_TAG);
         match self.cache {
             None => Ok(NodeRef::Borrowed(self.b.node(page))),
-            Some((cache, w)) => cache
-                .try_get(w, PageId(page.0 | TREE_B_TAG), &self.source)
-                .map(|(n, _)| NodeRef::Cached(n)),
+            Some((cache, w)) => match &mut self.l1 {
+                Some(l1) => l1
+                    .try_get(cache, w, tagged, &self.source)
+                    .map(|(n, _)| NodeRef::Cached(n)),
+                None => cache
+                    .try_get(w, tagged, &self.source)
+                    .map(|(n, _)| NodeRef::Cached(n)),
+            },
+        }
+    }
+
+    /// This worker's buffer counters with the L1 front flushed first, so
+    /// every front hit up to this call is included — segment deltas taken
+    /// from consecutive calls reconcile exactly with the run aggregates.
+    fn synced_stats(&mut self) -> BufferStats {
+        match self.cache {
+            Some((c, w)) => {
+                if let Some(l1) = &mut self.l1 {
+                    l1.flush(c, w);
+                }
+                c.stats(w)
+            }
+            None => BufferStats::default(),
         }
     }
 }
@@ -671,18 +705,34 @@ fn run_with_caches(
             let task_keys = &task_keys;
             handles.push(scope.spawn(move || {
                 let join_source = JoinSource { a, b };
-                let fetcher = NodeFetcher {
+                let cache = caches.for_worker(id);
+                let mut fetcher = NodeFetcher {
                     a,
                     b,
                     source: match fault {
                         Some(plan) => Source::Faulted(FaultSource::new(join_source, plan)),
                         None => Source::Plain(join_source),
                     },
-                    cache: caches.for_worker(id),
+                    cache,
+                    l1: cache.map(|_| L1Front::new(L1_SLOTS)),
                 };
                 run_worker(
-                    id, a, b, cfg, &fetcher, worker, injector, stealers, candidates, node_pairs,
-                    steals, active, cancel, fail, task_keys, tracer,
+                    id,
+                    a,
+                    b,
+                    cfg,
+                    &mut fetcher,
+                    worker,
+                    injector,
+                    stealers,
+                    candidates,
+                    node_pairs,
+                    steals,
+                    active,
+                    cancel,
+                    fail,
+                    task_keys,
+                    tracer,
                 )
             }));
         }
@@ -800,6 +850,7 @@ fn close_segment(
         candidates,
         pages,
         hits_local: delta.hits_local,
+        hits_l1: delta.hits_l1,
         hits_remote: delta.hits_remote,
         misses: delta.misses,
         retries: delta.retries,
@@ -831,7 +882,7 @@ fn run_worker(
     a: &PagedTree,
     b: &PagedTree,
     cfg: &NativeConfig,
-    fetcher: &NodeFetcher<'_>,
+    fetcher: &mut NodeFetcher<'_>,
     worker: Worker<TaskPair>,
     injector: &Injector<TaskPair>,
     stealers: &[Stealer<TaskPair>],
@@ -851,13 +902,10 @@ fn run_worker(
     let mut local_candidates = 0u64;
     let mut local_pairs = 0u64;
 
-    // Per-task attribution state. `cache_stats` reads this worker's own
-    // counters: exclusive to it, so deltas between boundaries are exact.
+    // Per-task attribution state. `synced_stats` flushes this worker's L1
+    // front and reads its own counters: both exclusive to it, so deltas
+    // between boundaries are exact.
     let buffered = fetcher.cache.is_some();
-    let cache_stats = |fetcher: &NodeFetcher<'_>| match fetcher.cache {
-        Some((c, w)) => c.stats(w),
-        None => BufferStats::default(),
-    };
     let mut traces: Vec<TaskTrace> = Vec::new();
     let mut seg: Option<Segment> = None;
     // Origin inherited by tasks popped locally out of a moved batch.
@@ -911,7 +959,7 @@ fn run_worker(
                     s,
                     id,
                     buffered,
-                    cache_stats(fetcher),
+                    fetcher.synced_stats(),
                     local_pairs,
                     local_candidates,
                     &mut traces,
@@ -951,7 +999,7 @@ fn run_worker(
                     s,
                     id,
                     buffered,
-                    cache_stats(fetcher),
+                    fetcher.synced_stats(),
                     local_pairs,
                     local_candidates,
                     &mut traces,
@@ -965,7 +1013,7 @@ fn run_worker(
                 origin: nonlocal.unwrap_or(local_origin),
                 start: Instant::now(),
                 start_ns: tracer.as_ref().map_or(0, ThreadTracer::now_ns),
-                base_stats: cache_stats(fetcher),
+                base_stats: fetcher.synced_stats(),
                 base_pairs: local_pairs,
                 base_cands: local_candidates,
             });
@@ -1028,7 +1076,7 @@ fn run_worker(
             s,
             id,
             buffered,
-            cache_stats(fetcher),
+            fetcher.synced_stats(),
             local_pairs,
             local_candidates,
             &mut traces,
@@ -1233,10 +1281,16 @@ mod tests {
         let total_pages = a.pages().len() + b.pages().len();
         let mut cfg = NativeConfig::buffered(4, BufferConfig::global(total_pages * 2));
         cfg.refine = false;
+        // Static assignment without stealing: every worker must execute its
+        // own tasks, so cross-worker page sharing cannot be raced away by a
+        // single fast worker draining the whole injector.
+        cfg.assignment = Assignment::StaticRoundRobin;
+        cfg.work_stealing = false;
         let res = run_native_join(&a, &b, &cfg);
         let stats = res.buffer.unwrap();
         // With a cache big enough to hold everything, each page is fetched
-        // once; any other worker touching it scores a remote hit.
+        // once; another worker's first touch of it scores a remote hit (its
+        // repeats are absorbed by that worker's L1 front).
         assert!(stats.hits_remote > 0, "4 workers sharing pages: {stats:?}");
         assert!(stats.misses as usize <= total_pages);
     }
@@ -1312,9 +1366,15 @@ mod tests {
         let hits: u64 = res
             .task_traces
             .iter()
-            .map(|t| t.hits_local + t.hits_remote)
+            .map(|t| t.hits_local + t.hits_l1 + t.hits_remote)
             .sum();
-        assert_eq!(hits, stats.hits_local + stats.hits_remote);
+        assert_eq!(hits, stats.hits_local + stats.hits_l1 + stats.hits_remote);
+        let l1: u64 = res.task_traces.iter().map(|t| t.hits_l1).sum();
+        assert_eq!(l1, stats.hits_l1, "L1 front hits attribute fully");
+        assert!(
+            stats.hits_l1 > 0,
+            "a buffered join's repeat parent-page reads must hit the L1 front"
+        );
         let misses: u64 = res.task_traces.iter().map(|t| t.misses).sum();
         assert_eq!(misses, stats.misses);
     }

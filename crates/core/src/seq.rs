@@ -45,10 +45,14 @@ pub fn join_candidates(a: &PagedTree, b: &PagedTree) -> SeqJoinResult {
             expand_pair(na, nb, &pair, &mut scratch, &mut children, &mut cands);
             // Depth-first in sweep order: push in reverse.
             stack.extend(children.drain(..).rev());
-            for c in &cands[before..] {
-                let oa = a.node(c.page_a).data_entries()[c.idx_a as usize].oid;
-                let ob = b.node(c.page_b).data_entries()[c.idx_b as usize].oid;
-                out.push((oa, ob));
+            if cands.len() > before {
+                // All candidates from one expansion share (page_a, page_b):
+                // resolve each leaf once for the whole run, not per candidate.
+                let ea = na.data_entries();
+                let eb = nb.data_entries();
+                for c in &cands[before..] {
+                    out.push((ea[c.idx_a as usize].oid, eb[c.idx_b as usize].oid));
+                }
             }
             cands.truncate(before);
         }
@@ -78,9 +82,15 @@ pub fn join_refined(a: &PagedTree, b: &PagedTree) -> Vec<(u64, u64)> {
         cands.clear();
         expand_pair(na, nb, &pair, &mut scratch, &mut children, &mut cands);
         stack.extend(children.drain(..).rev());
+        if cands.is_empty() {
+            continue;
+        }
+        // One leaf resolution per (page_a, page_b) run, as above.
+        let entries_a = na.data_entries();
+        let entries_b = nb.data_entries();
         for c in &cands {
-            let ea = a.node(c.page_a).data_entries()[c.idx_a as usize];
-            let eb = b.node(c.page_b).data_entries()[c.idx_b as usize];
+            let ea = entries_a[c.idx_a as usize];
+            let eb = entries_b[c.idx_b as usize];
             let ga = a.clusters().geometry(ea.geom.page, ea.geom.slot);
             let gb = b.clusters().geometry(eb.geom.page, eb.geom.slot);
             let hit = match (ga, gb) {

@@ -14,9 +14,9 @@
 //! yields child pairs (directory level) or candidate pairs (leaf level).
 //! Both executors (simulated and native) drive this kernel.
 
-use psj_geom::sweep::sweep_pairs_restricted;
+use psj_geom::sweep::{sweep_pairs_soa, SweepScratch};
 use psj_geom::Rect;
-use psj_rtree::{Node, NodeKind, PagedTree};
+use psj_rtree::{Node, PagedTree};
 use psj_store::PageId;
 use serde::{Deserialize, Serialize};
 
@@ -78,12 +78,12 @@ pub struct SweepWork {
 }
 
 /// Reusable scratch buffers for the kernel, so executors allocate once.
+/// The kernel reads MBRs from each node's frozen SoA view, so no per-call
+/// rectangle copies remain — only the sweep's filtered/gathered buffers and
+/// the pair output.
 #[derive(Debug, Default)]
 pub struct KernelScratch {
-    mbrs_a: Vec<Rect>,
-    mbrs_b: Vec<Rect>,
-    filt_a: Vec<u32>,
-    filt_b: Vec<u32>,
+    sweep: SweepScratch,
     pairs: Vec<(u32, u32)>,
 }
 
@@ -116,21 +116,16 @@ pub fn expand_pair(
         return expand_unequal(na, nb, pair, children);
     }
 
-    scratch.mbrs_a.clear();
-    scratch.mbrs_b.clear();
-    collect_mbrs(na, &mut scratch.mbrs_a);
-    collect_mbrs(nb, &mut scratch.mbrs_b);
     scratch.pairs.clear();
-    sweep_pairs_restricted(
-        &scratch.mbrs_a,
-        &scratch.mbrs_b,
+    sweep_pairs_soa(
+        na.soa_mbrs(),
+        nb.soa_mbrs(),
         &pair.window,
-        &mut scratch.filt_a,
-        &mut scratch.filt_b,
+        &mut scratch.sweep,
         &mut scratch.pairs,
     );
     let work = SweepWork {
-        entries: scratch.filt_a.len() + scratch.filt_b.len(),
+        entries: scratch.sweep.filt_r.len() + scratch.sweep.filt_s.len(),
         pairs: scratch.pairs.len(),
     };
 
@@ -164,13 +159,6 @@ pub fn expand_pair(
         }
     }
     work
-}
-
-fn collect_mbrs(node: &Node, out: &mut Vec<Rect>) {
-    match &node.kind {
-        NodeKind::Dir(v) => out.extend(v.iter().map(|e| e.mbr)),
-        NodeKind::Leaf(v) => out.extend(v.iter().map(|e| e.mbr)),
-    }
 }
 
 /// Aligns trees of unequal height: descend only in the deeper side.

@@ -22,6 +22,7 @@ pub mod polygon;
 pub mod polyline;
 pub mod rect;
 pub mod segment;
+pub mod soa;
 pub mod sweep;
 
 pub use distance::{polyline_distance, polylines_within, rect_distance, segment_distance};
@@ -30,4 +31,7 @@ pub use polygon::Polygon;
 pub use polyline::Polyline;
 pub use rect::Rect;
 pub use segment::Segment;
-pub use sweep::{sweep_pairs, sweep_pairs_into, SweepPair};
+pub use soa::SoaMbrs;
+pub use sweep::{
+    sweep_pairs, sweep_pairs_into, sweep_pairs_restricted, sweep_pairs_soa, SweepPair, SweepScratch,
+};

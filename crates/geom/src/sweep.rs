@@ -18,7 +18,7 @@
 //! Complexity: `O(k·(|R| + |S|) + #pairs)` where `k` is the average overlap
 //! fan-out; no allocation beyond the output vector.
 
-use crate::Rect;
+use crate::{Rect, SoaMbrs};
 
 /// A pair of indices `(i, j)` into the two input sequences whose rectangles
 /// intersect.
@@ -128,6 +128,325 @@ pub fn sweep_pairs_restricted(
                     out.push((rk as u32, sj as u32));
                 }
                 k += 1;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// How many survivor entries one sweep-scan probe tests at once. Four `f64`
+/// lanes fill one AVX2 vector, and the average restricted scan is shorter
+/// than this — most stops finish in a single probe.
+const SCAN_LANES: usize = 4;
+
+/// Reusable buffers for [`sweep_pairs_soa`]: the filtered index lists plus
+/// the survivors' coordinates gathered into compact arrays
+/// ([`SoaMbrs::filter_window_gather`]). One instance per worker amortizes
+/// every allocation across the join.
+#[derive(Debug, Default)]
+pub struct SweepScratch {
+    /// Indices of `r` entries intersecting the window (ascending, xl-sorted).
+    pub filt_r: Vec<u32>,
+    /// Indices of `s` entries intersecting the window (ascending, xl-sorted).
+    pub filt_s: Vec<u32>,
+    rxl: Vec<f64>,
+    rxh: Vec<f64>,
+    ryl: Vec<f64>,
+    ryh: Vec<f64>,
+    sxl: Vec<f64>,
+    sxh: Vec<f64>,
+    syl: Vec<f64>,
+    syh: Vec<f64>,
+}
+
+/// Struct-of-arrays variant of [`sweep_pairs_restricted`]: same restriction,
+/// same sweep, identical output — pairs, filtered index lists and their order
+/// are byte-for-byte what the scalar path produces. The window filter runs
+/// over frozen coordinate arrays in fixed-width branch-free chunks
+/// ([`SoaMbrs::filter_window_gather`]) and gathers the survivors' coordinates
+/// into compact arrays as it goes; the sweep's forward scans then probe the
+/// compacted lanes [`SCAN_LANES`] at a time — branch-free x/y tests into a
+/// bitmask, matches popped in ascending order — so a typical stop costs one
+/// probe instead of a data-dependent branch per scanned entry.
+///
+/// Both inputs must be xl-sorted in entry order, exactly as for the scalar
+/// sweep.
+pub fn sweep_pairs_soa(
+    r: &SoaMbrs,
+    s: &SoaMbrs,
+    window: &Rect,
+    scratch: &mut SweepScratch,
+    out: &mut Vec<SweepPair>,
+) {
+    // One AVX2 dispatch for the whole kernel call: both window filters and
+    // the sweep inline into the feature-gated copy, so per-node-pair cost
+    // carries a single predicted branch instead of per-filter dispatches
+    // and opaque function calls.
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by the runtime AVX2 check above.
+        unsafe { sweep_pairs_soa_avx2(r, s, window, scratch, out) };
+        return;
+    }
+    sweep_pairs_soa_body(r, s, window, scratch, out);
+}
+
+/// Explicit-intrinsics AVX2 copy of [`sweep_pairs_soa_body`]: the window
+/// filters run their packed-compare variant and each forward scan becomes a
+/// 4-lane probe — one packed x-gate, one packed y-overlap test, survivors
+/// popped from the combined movemask in ascending lane order. Emission order
+/// and accept/reject decisions are identical to the scalar sweep.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn sweep_pairs_soa_avx2(
+    r: &SoaMbrs,
+    s: &SoaMbrs,
+    window: &Rect,
+    scratch: &mut SweepScratch,
+    out: &mut Vec<SweepPair>,
+) {
+    use core::arch::x86_64::*;
+    // SAFETY (whole function): AVX2 is guaranteed by the dispatching caller;
+    // every pointer load reads `SCAN_LANES` lanes at `k`, which the sentinel
+    // padding keeps in bounds (see the padding comment below).
+    unsafe {
+        r.filter_window_gather_avx2(
+            window,
+            &mut scratch.filt_r,
+            &mut scratch.rxl,
+            &mut scratch.rxh,
+            &mut scratch.ryl,
+            &mut scratch.ryh,
+        );
+        s.filter_window_gather_avx2(
+            window,
+            &mut scratch.filt_s,
+            &mut scratch.sxl,
+            &mut scratch.sxh,
+            &mut scratch.syl,
+            &mut scratch.syh,
+        );
+    }
+    let (n, m) = (scratch.filt_r.len(), scratch.filt_s.len());
+    if n == 0 || m == 0 {
+        return;
+    }
+    // Sentinel-pad the scanned streams: `+inf` fails the x-gate in every
+    // sentinel lane, and a failed gate also vetoes the pair test. A probe at
+    // position `k` reads lanes `k..k + SCAN_LANES`; `k` never exceeds the
+    // survivor count (the gate of the last lane must pass, on a real entry,
+    // for `k` to advance), so padded length `len + SCAN_LANES` covers every
+    // probe.
+    for _ in 0..SCAN_LANES {
+        scratch.rxl.push(f64::INFINITY);
+        scratch.ryl.push(0.0);
+        scratch.ryh.push(0.0);
+        scratch.sxl.push(f64::INFINITY);
+        scratch.syl.push(0.0);
+        scratch.syh.push(0.0);
+    }
+    let SweepScratch {
+        filt_r,
+        filt_s,
+        rxl,
+        rxh,
+        ryl,
+        ryh,
+        sxl,
+        sxh,
+        syl,
+        syh,
+    } = scratch;
+    let all_gates = (1u32 << SCAN_LANES) - 1;
+    let mut i = 0usize;
+    let mut j = 0usize;
+    while i < n && j < m {
+        if rxl[i] <= sxl[j] {
+            let (t_xu, t_yl, t_yu) = (rxh[i], ryl[i], ryh[i]);
+            let ri = filt_r[i];
+            // SAFETY: loads stay within the padded streams (see above).
+            unsafe {
+                let xu_v = _mm256_set1_pd(t_xu);
+                let yl_v = _mm256_set1_pd(t_yl);
+                let yu_v = _mm256_set1_pd(t_yu);
+                let mut k = j;
+                loop {
+                    let gate =
+                        _mm256_cmp_pd::<_CMP_LE_OQ>(_mm256_loadu_pd(sxl.as_ptr().add(k)), xu_v);
+                    let ylo =
+                        _mm256_cmp_pd::<_CMP_LE_OQ>(_mm256_loadu_pd(syl.as_ptr().add(k)), yu_v);
+                    let yhi =
+                        _mm256_cmp_pd::<_CMP_GE_OQ>(_mm256_loadu_pd(syh.as_ptr().add(k)), yl_v);
+                    let gates = _mm256_movemask_pd(gate) as u32;
+                    let mut mask = gates & _mm256_movemask_pd(_mm256_and_pd(ylo, yhi)) as u32;
+                    while mask != 0 {
+                        let l = (mask.trailing_zeros() & 3) as usize;
+                        out.push((ri, filt_s[k + l]));
+                        mask &= mask - 1;
+                    }
+                    if gates != all_gates {
+                        break;
+                    }
+                    k += SCAN_LANES;
+                }
+            }
+            i += 1;
+        } else {
+            let (t_xu, t_yl, t_yu) = (sxh[j], syl[j], syh[j]);
+            let sj = filt_s[j];
+            // SAFETY: loads stay within the padded streams (see above).
+            unsafe {
+                let xu_v = _mm256_set1_pd(t_xu);
+                let yl_v = _mm256_set1_pd(t_yl);
+                let yu_v = _mm256_set1_pd(t_yu);
+                let mut k = i;
+                loop {
+                    let gate =
+                        _mm256_cmp_pd::<_CMP_LE_OQ>(_mm256_loadu_pd(rxl.as_ptr().add(k)), xu_v);
+                    let ylo =
+                        _mm256_cmp_pd::<_CMP_LE_OQ>(_mm256_loadu_pd(ryl.as_ptr().add(k)), yu_v);
+                    let yhi =
+                        _mm256_cmp_pd::<_CMP_GE_OQ>(_mm256_loadu_pd(ryh.as_ptr().add(k)), yl_v);
+                    let gates = _mm256_movemask_pd(gate) as u32;
+                    let mut mask = gates & _mm256_movemask_pd(_mm256_and_pd(ylo, yhi)) as u32;
+                    while mask != 0 {
+                        let l = (mask.trailing_zeros() & 3) as usize;
+                        out.push((filt_r[k + l], sj));
+                        mask &= mask - 1;
+                    }
+                    if gates != all_gates {
+                        break;
+                    }
+                    k += SCAN_LANES;
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Reborrows `a[k..k + SCAN_LANES]` as a fixed-size lane block: one range
+/// check, then check-free lane indexing.
+#[inline(always)]
+fn lanes(a: &[f64], k: usize) -> &[f64; SCAN_LANES] {
+    a[k..k + SCAN_LANES]
+        .try_into()
+        .expect("slice of SCAN_LANES length")
+}
+
+#[inline(always)]
+fn sweep_pairs_soa_body(
+    r: &SoaMbrs,
+    s: &SoaMbrs,
+    window: &Rect,
+    scratch: &mut SweepScratch,
+    out: &mut Vec<SweepPair>,
+) {
+    r.filter_window_gather_body(
+        window,
+        &mut scratch.filt_r,
+        &mut scratch.rxl,
+        &mut scratch.rxh,
+        &mut scratch.ryl,
+        &mut scratch.ryh,
+    );
+    s.filter_window_gather_body(
+        window,
+        &mut scratch.filt_s,
+        &mut scratch.sxl,
+        &mut scratch.sxh,
+        &mut scratch.syl,
+        &mut scratch.syh,
+    );
+    let (n, m) = (scratch.filt_r.len(), scratch.filt_s.len());
+    if n == 0 || m == 0 {
+        return;
+    }
+    // Sentinel-pad the scanned streams so the lane probes below never read
+    // past the survivors: `+inf` fails the `xl <= t.xu` gate in every
+    // sentinel lane, and a failed gate also vetoes the pair test, so the
+    // y sentinels' values are irrelevant.
+    for _ in 0..SCAN_LANES {
+        scratch.rxl.push(f64::INFINITY);
+        scratch.ryl.push(0.0);
+        scratch.ryh.push(0.0);
+        scratch.sxl.push(f64::INFINITY);
+        scratch.syl.push(0.0);
+        scratch.syh.push(0.0);
+    }
+    let SweepScratch {
+        filt_r,
+        filt_s,
+        rxl,
+        rxh,
+        ryl,
+        ryh,
+        sxl,
+        sxh,
+        syl,
+        syh,
+    } = scratch;
+    // Inline sweep over the compacted survivors (they remain xl-sorted).
+    // A stop on r[i] probes s's streams SCAN_LANES at a time: branch-free
+    // x-gate and y-overlap tests folded into a bitmask, survivors popped in
+    // ascending lane order — exactly the scalar scan's emission order. The
+    // x-gate of the last lane decides whether the scan continues, and the
+    // sentinel padding guarantees every probe is in bounds.
+    let mut i = 0usize;
+    let mut j = 0usize;
+    while i < n && j < m {
+        if rxl[i] <= sxl[j] {
+            let (t_xu, t_yl, t_yu) = (rxh[i], ryl[i], ryh[i]);
+            let ri = filt_r[i];
+            let mut k = j;
+            while sxl[k] <= t_xu {
+                let (lx, ll, lh) = (lanes(sxl, k), lanes(syl, k), lanes(syh, k));
+                let mut gate = [false; SCAN_LANES];
+                let mut hit = [false; SCAN_LANES];
+                for l in 0..SCAN_LANES {
+                    gate[l] = lx[l] <= t_xu;
+                    hit[l] = gate[l] & (ll[l] <= t_yu) & (lh[l] >= t_yl);
+                }
+                let mut mask = 0u32;
+                for (l, &h) in hit.iter().enumerate() {
+                    mask |= (h as u32) << l;
+                }
+                while mask != 0 {
+                    let l = (mask.trailing_zeros() & 3) as usize;
+                    out.push((ri, filt_s[k + l]));
+                    mask &= mask - 1;
+                }
+                if !gate[SCAN_LANES - 1] {
+                    break;
+                }
+                k += SCAN_LANES;
+            }
+            i += 1;
+        } else {
+            let (t_xu, t_yl, t_yu) = (sxh[j], syl[j], syh[j]);
+            let sj = filt_s[j];
+            let mut k = i;
+            while rxl[k] <= t_xu {
+                let (lx, ll, lh) = (lanes(rxl, k), lanes(ryl, k), lanes(ryh, k));
+                let mut gate = [false; SCAN_LANES];
+                let mut hit = [false; SCAN_LANES];
+                for l in 0..SCAN_LANES {
+                    gate[l] = lx[l] <= t_xu;
+                    hit[l] = gate[l] & (ll[l] <= t_yu) & (lh[l] >= t_yl);
+                }
+                let mut mask = 0u32;
+                for (l, &h) in hit.iter().enumerate() {
+                    mask |= (h as u32) << l;
+                }
+                while mask != 0 {
+                    let l = (mask.trailing_zeros() & 3) as usize;
+                    out.push((filt_r[k + l], sj));
+                    mask &= mask - 1;
+                }
+                if !gate[SCAN_LANES - 1] {
+                    break;
+                }
+                k += SCAN_LANES;
             }
             j += 1;
         }
@@ -271,6 +590,38 @@ mod tests {
         let (mut sr, mut ssc, mut out) = (Vec::new(), Vec::new(), Vec::new());
         sweep_pairs_restricted(&rs, &ss, &window, &mut sr, &mut ssc, &mut out);
         assert_eq!(out, sweep_pairs(&rs, &ss));
+    }
+
+    #[test]
+    fn soa_sweep_matches_scalar_restricted() {
+        // Dense lattice with xl ties plus a disjoint far cluster; several
+        // windows including degenerate and disjoint ones.
+        let mut rs = Vec::new();
+        let mut ss = Vec::new();
+        for k in 0..40 {
+            let x = (k / 2) as f64 * 0.5;
+            rs.push(r(x, 0.0, x + 1.0, 1.0));
+            ss.push(r(x + 0.25, 0.5, x + 0.75, 1.5));
+        }
+        rs.push(r(100.0, 100.0, 101.0, 101.0));
+        ss.push(r(100.5, 100.5, 101.5, 101.5));
+        let soa_r = SoaMbrs::from_rects(&rs);
+        let soa_s = SoaMbrs::from_rects(&ss);
+        for window in [
+            r(-10.0, -10.0, 200.0, 200.0),
+            r(2.0, 0.0, 4.0, 1.0),
+            r(3.0, 0.5, 3.0, 0.5),
+            r(-5.0, -5.0, -1.0, -1.0),
+        ] {
+            let (mut fr, mut fs, mut scalar) = (Vec::new(), Vec::new(), Vec::new());
+            sweep_pairs_restricted(&rs, &ss, &window, &mut fr, &mut fs, &mut scalar);
+            let mut scratch = SweepScratch::default();
+            let mut soa = Vec::new();
+            sweep_pairs_soa(&soa_r, &soa_s, &window, &mut scratch, &mut soa);
+            assert_eq!(soa, scalar, "pairs diverge for {window:?}");
+            assert_eq!(scratch.filt_r, fr, "R filter diverges for {window:?}");
+            assert_eq!(scratch.filt_s, fs, "S filter diverges for {window:?}");
+        }
     }
 
     #[test]

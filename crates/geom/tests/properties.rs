@@ -1,8 +1,11 @@
 //! Property-based tests for the geometry crate.
 
 use proptest::prelude::*;
-use psj_geom::sweep::{nested_loop_pairs, sort_by_xl, sweep_pairs};
-use psj_geom::{Point, Polygon, Polyline, Rect, Segment};
+use psj_geom::sweep::{
+    nested_loop_pairs, sort_by_xl, sweep_pairs, sweep_pairs_restricted, sweep_pairs_soa,
+    SweepScratch,
+};
+use psj_geom::{rect_distance, Point, Polygon, Polyline, Rect, Segment, SoaMbrs};
 use std::collections::BTreeSet;
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
@@ -186,5 +189,127 @@ proptest! {
             prop_assert!(pa.mbr().intersects(&pb.mbr()));
         }
         prop_assert_eq!(pa.intersects(&pb), pb.intersects(&pa));
+    }
+}
+
+// --- SoA kernel equivalence --------------------------------------------
+//
+// The chunked SoA filter/sweep kernel must be a drop-in replacement for the
+// scalar plane sweep: identical pairs, identical filter index lists,
+// identical order — on every input, including xl ties, touching and
+// degenerate rectangles, empty sides, and window-disjoint sides.
+
+/// Rectangles with a coarse coordinate grid (quantized to 0.5) so xl ties,
+/// touching edges and degenerate (zero-area) rects occur constantly.
+fn arb_grid_rect() -> impl Strategy<Value = Rect> {
+    (-40i32..40, -40i32..40, 0i32..12, 0i32..12).prop_map(|(x, y, w, h)| {
+        Rect::new(
+            x as f64 * 0.5,
+            y as f64 * 0.5,
+            (x + w) as f64 * 0.5,
+            (y + h) as f64 * 0.5,
+        )
+    })
+}
+
+/// An xl-sorted sequence sized across node shapes: empty, a single entry,
+/// leaf-sized (26), and directory-sized (102) inputs all fall in range.
+fn arb_sorted_side(max: usize) -> impl Strategy<Value = Vec<Rect>> {
+    prop::collection::vec(arb_grid_rect(), 0..max).prop_map(|mut v| {
+        sort_by_xl(&mut v);
+        v
+    })
+}
+
+/// Windows both overlapping and far outside the rect population, plus
+/// degenerate point windows.
+fn arb_window() -> impl Strategy<Value = Rect> {
+    (-120i32..120, -120i32..120, 0i32..80, 0i32..80).prop_map(|(x, y, w, h)| {
+        Rect::new(
+            x as f64 * 0.5,
+            y as f64 * 0.5,
+            (x + w) as f64 * 0.5,
+            (y + h) as f64 * 0.5,
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn soa_sweep_equals_scalar_sweep(
+        r in arb_sorted_side(110),
+        s in arb_sorted_side(110),
+        window in arb_window(),
+    ) {
+        let (mut fr, mut fs, mut scalar) = (Vec::new(), Vec::new(), Vec::new());
+        sweep_pairs_restricted(&r, &s, &window, &mut fr, &mut fs, &mut scalar);
+
+        let soa_r = SoaMbrs::from_rects(&r);
+        let soa_s = SoaMbrs::from_rects(&s);
+        let mut scratch = SweepScratch::default();
+        let mut soa = Vec::new();
+        sweep_pairs_soa(&soa_r, &soa_s, &window, &mut scratch, &mut soa);
+
+        prop_assert_eq!(&soa, &scalar, "pairs diverge");
+        prop_assert_eq!(&scratch.filt_r, &fr, "R filter list diverges");
+        prop_assert_eq!(&scratch.filt_s, &fs, "S filter list diverges");
+    }
+
+    #[test]
+    fn soa_filter_window_equals_scalar_intersects(
+        rects in prop::collection::vec(arb_grid_rect(), 0..110),
+        window in arb_window(),
+    ) {
+        // filter_window has no sortedness requirement: any entry order.
+        let soa = SoaMbrs::from_rects(&rects);
+        let mut got = Vec::new();
+        soa.filter_window(&window, &mut got);
+        let want: Vec<u32> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, rc)| rc.intersects(&window))
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn soa_gather_equals_filter_window_on_sorted_input(
+        rects in arb_sorted_side(110),
+        window in arb_window(),
+    ) {
+        let soa = SoaMbrs::from_rects(&rects);
+        let mut plain = Vec::new();
+        soa.filter_window(&window, &mut plain);
+        let mut idx = vec![7u32];
+        let (mut xl, mut xh, mut yl, mut yh) = (vec![1.0], vec![1.0], vec![1.0], vec![1.0]);
+        soa.filter_window_gather(&window, &mut idx, &mut xl, &mut xh, &mut yl, &mut yh);
+        prop_assert_eq!(&idx, &plain, "gather index list diverges");
+        for (pos, &i) in idx.iter().enumerate() {
+            let want = rects[i as usize];
+            prop_assert_eq!(
+                (xl[pos], yl[pos], xh[pos], yh[pos]),
+                (want.xl, want.yl, want.xu, want.yu),
+                "gathered coords diverge at {}", pos
+            );
+        }
+    }
+
+    #[test]
+    fn soa_filter_within_equals_scalar_distance(
+        rects in prop::collection::vec(arb_grid_rect(), 0..110),
+        q in arb_grid_rect(),
+        eps in 0.0f64..30.0,
+    ) {
+        let soa = SoaMbrs::from_rects(&rects);
+        let mut got = Vec::new();
+        soa.filter_within(&q, eps, &mut got);
+        let want: Vec<u32> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, rc)| rect_distance(&q, rc) <= eps)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, want);
     }
 }

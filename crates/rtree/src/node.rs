@@ -2,8 +2,9 @@
 
 use crate::entry::{DataEntry, DirEntry, DATA_ENTRY_BYTES, DIR_ENTRY_BYTES};
 use bytes::{Buf, BufMut};
-use psj_geom::Rect;
+use psj_geom::{Rect, SoaMbrs};
 use psj_store::{Page, PAGE_SIZE};
+use std::sync::OnceLock;
 
 /// Bytes reserved for the node header (level, kind, entry count).
 pub const NODE_HEADER_BYTES: usize = 16;
@@ -32,12 +33,26 @@ pub enum NodeKind {
 }
 
 /// One R\*-tree node. `level` counts from the leaves (0 = leaf).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// Level of the node; leaves are level 0.
     pub level: u32,
     /// The node's entries.
     pub kind: NodeKind,
+    /// Frozen struct-of-arrays view of the entry MBRs, built once per node
+    /// (eagerly at freeze/decode, lazily otherwise) and reused by every
+    /// plane-sweep that restricts this node. Invalidated by the `&mut`
+    /// entry accessors; not part of the node's identity or page encoding.
+    pub(crate) soa: OnceLock<SoaMbrs>,
+}
+
+/// Node equality is entry equality: the cached SoA view is derived state and
+/// deliberately ignored (a freshly decoded node must compare equal to the
+/// node it was encoded from).
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.level == other.level && self.kind == other.kind
+    }
 }
 
 impl Node {
@@ -46,6 +61,7 @@ impl Node {
         Node {
             level: 0,
             kind: NodeKind::Leaf(Vec::with_capacity(DATA_FANOUT + 1)),
+            soa: OnceLock::new(),
         }
     }
 
@@ -54,6 +70,16 @@ impl Node {
         Node {
             level,
             kind: NodeKind::Dir(Vec::with_capacity(DIR_FANOUT + 1)),
+            soa: OnceLock::new(),
+        }
+    }
+
+    /// Builds a node from a level and entry set.
+    pub fn from_parts(level: u32, kind: NodeKind) -> Self {
+        Node {
+            level,
+            kind,
+            soa: OnceLock::new(),
         }
     }
 
@@ -150,6 +176,7 @@ impl Node {
 
     /// Mutable directory entries; see [`Node::dir_entries`].
     pub fn dir_entries_mut(&mut self) -> &mut Vec<DirEntry> {
+        self.soa.take();
         match &mut self.kind {
             NodeKind::Dir(v) => v,
             NodeKind::Leaf(_) => panic!("dir_entries_mut on a leaf"),
@@ -158,6 +185,7 @@ impl Node {
 
     /// Mutable data entries; see [`Node::data_entries`].
     pub fn data_entries_mut(&mut self) -> &mut Vec<DataEntry> {
+        self.soa.take();
         match &mut self.kind {
             NodeKind::Leaf(v) => v,
             NodeKind::Dir(_) => panic!("data_entries_mut on a directory node"),
@@ -172,9 +200,27 @@ impl Node {
         }
     }
 
+    /// Frozen struct-of-arrays view of the entry MBRs (same entry order as
+    /// [`Node::entry_mbrs`]), built on first use and cached for the node's
+    /// lifetime. The join kernel filters restriction windows over this view
+    /// instead of copying `Rect`s per call.
+    pub fn soa_mbrs(&self) -> &SoaMbrs {
+        self.soa.get_or_init(|| match &self.kind {
+            NodeKind::Dir(v) => SoaMbrs::from_iter(v.iter().map(|e| e.mbr)),
+            NodeKind::Leaf(v) => SoaMbrs::from_iter(v.iter().map(|e| e.mbr)),
+        })
+    }
+
+    /// Eagerly builds the SoA view so the join never pays construction cost
+    /// on the hot path. Called at freeze and decode time.
+    pub fn prime_soa(&self) {
+        let _ = self.soa_mbrs();
+    }
+
     /// Sorts the entries by their lower x bound, the precondition of the
     /// plane-sweep join. Called when the tree is frozen into pages.
     pub fn sort_entries_by_xl(&mut self) {
+        self.soa.take();
         match &mut self.kind {
             NodeKind::Dir(v) => {
                 v.sort_by(|a, b| a.mbr.xl.partial_cmp(&b.mbr.xl).expect("NaN coordinate"))
@@ -235,7 +281,16 @@ impl Node {
             }
             NodeKind::Dir(v)
         };
-        Node { level, kind }
+        let node = Node {
+            level,
+            kind,
+            soa: OnceLock::new(),
+        };
+        // Decode is how pages enter the join (load and cache miss paths):
+        // prime here so the SoA view is "persisted alongside" every page —
+        // deterministically rebuilt from the page bytes it mirrors.
+        node.prime_soa();
+        node
     }
 }
 
@@ -311,6 +366,31 @@ mod tests {
     fn mbr_is_union_of_entries() {
         let node = leaf_with(3);
         assert_eq!(node.mbr(), Rect::new(0.0, 0.0, 3.0, 1.0));
+    }
+
+    #[test]
+    fn soa_view_tracks_entries_through_mutation() {
+        let mut node = leaf_with(3);
+        assert_eq!(node.soa_mbrs().len(), 3);
+        assert_eq!(node.soa_mbrs().rect(1), node.mbr_of(1));
+        // Mutation through the accessor invalidates the cached view.
+        node.data_entries_mut().pop();
+        assert_eq!(node.soa_mbrs().len(), 2);
+        node.sort_entries_by_xl();
+        for i in 0..node.len() {
+            assert_eq!(node.soa_mbrs().rect(i), node.mbr_of(i));
+        }
+    }
+
+    #[test]
+    fn decode_primes_soa_and_roundtrip_equality_ignores_it() {
+        let node = leaf_with(5);
+        let mut page = Page::zeroed();
+        node.encode(&mut page);
+        let back = Node::decode(&page);
+        // `back` has a primed SoA, `node` does not — they still compare equal.
+        assert_eq!(back, node);
+        assert_eq!(back.soa_mbrs(), node.soa_mbrs());
     }
 
     #[test]

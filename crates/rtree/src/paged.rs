@@ -99,6 +99,7 @@ impl PagedTree {
                     };
                 }
             }
+            node.prime_soa();
             nodes.push(node);
         }
 

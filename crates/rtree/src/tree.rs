@@ -361,18 +361,12 @@ impl RTree {
             NodeKind::Leaf(v) => {
                 let (a, b) = rstar_split(std::mem::take(v), min_fill);
                 *v = a;
-                Node {
-                    level,
-                    kind: NodeKind::Leaf(b),
-                }
+                Node::from_parts(level, NodeKind::Leaf(b))
             }
             NodeKind::Dir(v) => {
                 let (a, b) = rstar_split(std::mem::take(v), min_fill);
                 *v = a;
-                Node {
-                    level,
-                    kind: NodeKind::Dir(b),
-                }
+                Node::from_parts(level, NodeKind::Dir(b))
             }
         };
         let sibling_idx = self.nodes.len() as u32;

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Benchmark smoke test: run the quick `psj bench-join` suite and compare the
+# result against the committed baseline (BENCH_join.json) with bench-check.
+# CI machines are noisy and slower than the baseline host, so only the
+# *relative* numbers are gated: kernel and join speedups must stay within
+# the tolerance of the committed run; absolute throughput is reported but
+# not asserted.
+set -euo pipefail
+
+PSJ="${PSJ:-target/release/psj}"
+BASELINE="${BENCH_BASELINE:-BENCH_join.json}"
+TOLERANCE="${BENCH_TOLERANCE:-0.25}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+if [ ! -f "$BASELINE" ]; then
+  echo "FAIL: committed baseline $BASELINE not found"; exit 1
+fi
+
+echo "== bench-join (quick) =="
+"$PSJ" bench-join --quick --seed 1996 --out "$WORK/candidate.json" \
+  | tee "$WORK/bench.log"
+
+echo "== bench-check vs $BASELINE (tolerance $TOLERANCE) =="
+"$PSJ" bench-check --baseline "$BASELINE" --candidate "$WORK/candidate.json" \
+  --tolerance "$TOLERANCE"
+
+echo "bench smoke test passed"
