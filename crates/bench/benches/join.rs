@@ -59,12 +59,9 @@ fn bench_native_assignments(c: &mut Criterion) {
         Assignment::StaticRoundRobin,
     ] {
         let cfg = NativeConfig {
-            num_threads: 4,
             assignment,
-            work_stealing: true,
-            min_tasks_factor: 8,
             refine: false,
-            buffer: None,
+            ..NativeConfig::new(4)
         };
         g.bench_function(format!("{:?}_4threads", assignment), |bch| {
             bch.iter(|| black_box(run_native_join(&a, &b, &cfg).pairs.len()))

@@ -9,7 +9,6 @@
 //! * **Dynamic** (`gd`'s assignment): tasks stay in a shared queue and are
 //!   handed out one at a time on demand.
 
-use crate::task::TaskPair;
 use serde::{Deserialize, Serialize};
 
 /// Which task-assignment strategy an executor uses.
@@ -38,7 +37,11 @@ impl Assignment {
 /// Splits `tasks` (already in plane-sweep order) into `n` contiguous
 /// work loads: the first `m mod n` processors receive `⌈m/n⌉` tasks, the
 /// rest `⌊m/n⌋` (paper §3.1).
-pub fn static_range(tasks: &[TaskPair], n: usize) -> Vec<Vec<TaskPair>> {
+///
+/// Generic over the unit of assignment: the executors deal both raw
+/// [`crate::task::TaskPair`]s (simulator) and whole morsels (native) this
+/// way.
+pub fn static_range<T: Clone>(tasks: &[T], n: usize) -> Vec<Vec<T>> {
     assert!(n > 0);
     let m = tasks.len();
     let big = m.div_ceil(n);
@@ -60,12 +63,13 @@ pub fn static_range(tasks: &[TaskPair], n: usize) -> Vec<Vec<TaskPair>> {
     out
 }
 
-/// Deals `tasks` round-robin over `n` processors (paper §3.3).
-pub fn static_round_robin(tasks: &[TaskPair], n: usize) -> Vec<Vec<TaskPair>> {
+/// Deals `tasks` round-robin over `n` processors (paper §3.3). Generic
+/// like [`static_range`].
+pub fn static_round_robin<T: Clone>(tasks: &[T], n: usize) -> Vec<Vec<T>> {
     assert!(n > 0);
     let mut out = vec![Vec::with_capacity(tasks.len() / n + 1); n];
     for (i, t) in tasks.iter().enumerate() {
-        out[i % n].push(*t);
+        out[i % n].push(t.clone());
     }
     out
 }
@@ -73,6 +77,7 @@ pub fn static_round_robin(tasks: &[TaskPair], n: usize) -> Vec<Vec<TaskPair>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::task::TaskPair;
     use psj_geom::Rect;
     use psj_store::PageId;
 

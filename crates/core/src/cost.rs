@@ -170,6 +170,180 @@ pub fn ms(v: f64) -> Nanos {
     millis_f(v)
 }
 
+/// Shape statistics of one frozen tree, collected with a single cheap pass
+/// over (a sample of) its leaf pages. These drive the analytic candidate
+/// estimates behind morsel sizing: how many data entries a subtree at a
+/// given level holds, and how wide a typical data MBR is.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeProfile {
+    /// Mean data entries per leaf page.
+    pub avg_leaf_entries: f64,
+    /// Mean directory fanout, derived from leaf count and height.
+    pub dir_fanout: f64,
+    /// Mean data-entry MBR width.
+    pub avg_entry_w: f64,
+    /// Mean data-entry MBR height.
+    pub avg_entry_h: f64,
+}
+
+/// Leaf pages sampled by [`TreeProfile::scan`]; extents converge fast and
+/// phase 1½ must stay a negligible fraction of the join.
+const PROFILE_SAMPLE_LEAVES: usize = 64;
+
+impl TreeProfile {
+    /// Profiles `tree` by sampling its leaf pages.
+    pub fn scan(tree: &psj_rtree::PagedTree) -> Self {
+        let num_pages = tree.pages().len();
+        let mut leaves = 0usize;
+        let mut entries_sampled = 0usize;
+        let mut sum_w = 0.0f64;
+        let mut sum_h = 0.0f64;
+        // Count every leaf (cheap level check) but read extents only from an
+        // evenly spread sample.
+        let mut next_sample = 0usize;
+        let stride = num_pages.div_ceil(PROFILE_SAMPLE_LEAVES).max(1);
+        for p in 0..num_pages {
+            let node = tree.node(psj_store::PageId(p as u32));
+            if node.level != 0 {
+                continue;
+            }
+            leaves += 1;
+            if leaves > next_sample {
+                next_sample += stride;
+                for e in node.data_entries() {
+                    sum_w += e.mbr.width();
+                    sum_h += e.mbr.height();
+                }
+                entries_sampled += node.len();
+            }
+        }
+        let avg_leaf_entries = if leaves == 0 {
+            1.0
+        } else {
+            (tree.len() as f64 / leaves as f64).max(1.0)
+        };
+        let (avg_entry_w, avg_entry_h) = if entries_sampled == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                sum_w / entries_sampled as f64,
+                sum_h / entries_sampled as f64,
+            )
+        };
+        // `leaves = fanout^(height-1)` under uniform fanout.
+        let height = tree.height().max(1);
+        let dir_fanout = if height <= 1 || leaves <= 1 {
+            1.0
+        } else {
+            (leaves as f64).powf(1.0 / (height - 1) as f64).max(1.0)
+        };
+        TreeProfile {
+            avg_leaf_entries,
+            dir_fanout,
+            avg_entry_w,
+            avg_entry_h,
+        }
+    }
+
+    /// Expected data entries below a node with `len` entries at `level`
+    /// (0 = leaf, so the node's own entries are the data entries).
+    pub fn subtree_entries(&self, len: usize, level: u8) -> f64 {
+        if level == 0 {
+            len as f64
+        } else {
+            len as f64 * self.avg_leaf_entries * self.dir_fanout.powi(level as i32 - 1)
+        }
+    }
+}
+
+/// Analytic estimator of the filter-step candidates one task (a pair of
+/// subtrees plus a restriction window) will produce. The morsel planner
+/// sizes work units by these estimates; the reassignment policy uses the
+/// same numbers as its live `(remaining work, remaining morsels)` load
+/// signal.
+///
+/// The model is the classic uniform-density one: each subtree contributes
+/// `entries × clip` objects inside the window (`clip` = the window's share
+/// of the subtree MBR), and two uniformly placed objects intersect with the
+/// Minkowski probability `min(1, (w_a+w_b)/W) × min(1, (h_a+h_b)/H)`.
+/// [`CandidateEstimator::scale`] calibrates the absolute level against
+/// measured [`crate::metrics::TaskTrace`] candidates from a previous run.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateEstimator {
+    /// Profile of the first tree.
+    pub a: TreeProfile,
+    /// Profile of the second tree.
+    pub b: TreeProfile,
+    /// Multiplicative calibration applied to every estimate.
+    pub scale: f64,
+}
+
+impl CandidateEstimator {
+    /// Profiles both trees (uncalibrated, `scale = 1`).
+    pub fn new(a: &psj_rtree::PagedTree, b: &psj_rtree::PagedTree) -> Self {
+        CandidateEstimator {
+            a: TreeProfile::scan(a),
+            b: TreeProfile::scan(b),
+            scale: 1.0,
+        }
+    }
+
+    /// The same estimator with a calibration factor applied.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale.max(f64::MIN_POSITIVE);
+        self
+    }
+
+    /// The calibration factor that would have made `estimated` match the
+    /// `measured` candidate total of a completed run (both > 0; returns 1
+    /// otherwise). Feed the result to [`CandidateEstimator::with_scale`]
+    /// on the next join over the same data.
+    pub fn calibration_scale(estimated: f64, measured: u64) -> f64 {
+        if estimated > 0.0 && measured > 0 {
+            measured as f64 / estimated
+        } else {
+            1.0
+        }
+    }
+
+    /// Estimated candidates of the task joining a subtree of `len_a`
+    /// entries at `level_a` with MBR `mbr_a` against `len_b`/`level_b`/
+    /// `mbr_b`, restricted to `window`. Always ≥ 1: a task exists because
+    /// its parents' MBRs intersect, so zero-cost tasks don't.
+    #[allow(clippy::too_many_arguments)]
+    pub fn estimate(
+        &self,
+        len_a: usize,
+        level_a: u8,
+        mbr_a: &Rect,
+        len_b: usize,
+        level_b: u8,
+        mbr_b: &Rect,
+        window: &Rect,
+    ) -> f64 {
+        let clip = |mbr: &Rect| {
+            let area = mbr.area();
+            if area <= 0.0 {
+                1.0
+            } else {
+                (mbr.overlap_area(window) / area).clamp(0.0, 1.0)
+            }
+        };
+        let ea = self.a.subtree_entries(len_a, level_a) * clip(mbr_a);
+        let eb = self.b.subtree_entries(len_b, level_b) * clip(mbr_b);
+        let p_axis = |ext_a: f64, ext_b: f64, span: f64| {
+            if span <= 0.0 {
+                1.0
+            } else {
+                ((ext_a + ext_b) / span).min(1.0)
+            }
+        };
+        let px = p_axis(self.a.avg_entry_w, self.b.avg_entry_w, window.width());
+        let py = p_axis(self.a.avg_entry_h, self.b.avg_entry_h, window.height());
+        (self.scale * ea * eb * px * py).max(1.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -146,6 +146,62 @@ impl<T> Stealer<T> {
     }
 }
 
+/// A worker's morsel queue: the owner consumes from the front (plane-sweep
+/// order), a thief reassigns exactly **one** morsel from the back — the far
+/// end of the owner's sweep, which both minimizes contention and matches
+/// the paper's "reassign one task" granularity. Exact-one-steal semantics
+/// are what make steal accounting reconcile: every acquisition is either an
+/// owner pop, a shared-queue pop, or one recorded steal.
+///
+/// Unlike [`Worker`]/[`Stealer`], nothing is ever pushed after execution
+/// starts (workers keep task descendants on a private stack), so queue
+/// lengths only shrink — a worker observing every queue empty can retire
+/// without a termination barrier.
+#[derive(Debug)]
+pub struct MorselQueue<T> {
+    q: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for MorselQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MorselQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        MorselQueue {
+            q: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends a morsel (setup phase only).
+    pub fn push_back(&self, m: T) {
+        self.q.lock().unwrap().push_back(m);
+    }
+
+    /// Owner acquisition: next morsel in plane-sweep order.
+    pub fn pop_front(&self) -> Option<T> {
+        self.q.lock().unwrap().pop_front()
+    }
+
+    /// Thief acquisition: exactly one morsel from the far end.
+    pub fn steal_back(&self) -> Option<T> {
+        self.q.lock().unwrap().pop_back()
+    }
+
+    /// Morsels currently queued.
+    pub fn len(&self) -> usize {
+        self.q.lock().unwrap().len()
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.lock().unwrap().is_empty()
+    }
+}
+
 /// Installs a stolen batch into `worker` and pops one task from it.
 fn refill<T>(worker: &Worker<T>, mut batch: Vec<T>) -> Steal<T> {
     match batch.pop() {
@@ -220,6 +276,58 @@ mod tests {
         assert_eq!(victim.stealer().steal_batch_and_pop(&thief), Steal::Empty);
         let inj: Injector<u32> = Injector::new();
         assert_eq!(inj.steal_batch_and_pop(&thief), Steal::Empty);
+    }
+
+    #[test]
+    fn morsel_queue_owner_front_thief_back() {
+        let q = MorselQueue::new();
+        for i in 0..4 {
+            q.push_back(i);
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop_front(), Some(0), "owner follows sweep order");
+        assert_eq!(q.steal_back(), Some(3), "thief takes the far end");
+        assert_eq!(q.pop_front(), Some(1));
+        assert_eq!(q.steal_back(), Some(2));
+        assert!(q.is_empty());
+        assert_eq!(q.pop_front(), None);
+        assert_eq!(q.steal_back(), None);
+    }
+
+    #[test]
+    fn morsel_queue_drains_exactly_once_under_contention() {
+        const MORSELS: usize = 5_000;
+        let q: MorselQueue<usize> = MorselQueue::new();
+        for i in 0..MORSELS {
+            q.push_back(i);
+        }
+        let seen: Mutex<BTreeSet<usize>> = Mutex::new(BTreeSet::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let q = &q;
+                let seen = &seen;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        // Half the threads act as owners, half as thieves.
+                        let got = if t % 2 == 0 {
+                            q.pop_front()
+                        } else {
+                            q.steal_back()
+                        };
+                        match got {
+                            Some(m) => local.push(m),
+                            None => break,
+                        }
+                    }
+                    let mut set = seen.lock().unwrap();
+                    for m in local {
+                        assert!(set.insert(m), "morsel {m} acquired twice");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len(), MORSELS);
     }
 
     #[test]

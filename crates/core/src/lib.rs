@@ -52,6 +52,7 @@ pub mod deque;
 pub mod distance_join;
 pub mod estimate;
 pub mod metrics;
+pub mod morsel;
 pub mod native;
 pub mod queries;
 pub mod seq;
@@ -61,10 +62,11 @@ pub mod task;
 
 pub use assign::Assignment;
 pub use cancel::{CancelToken, Cancelled};
-pub use cost::{CostModel, Platform};
+pub use cost::{CandidateEstimator, CostModel, Platform, TreeProfile};
 pub use distance_join::{distance_join, distance_join_candidates};
 pub use estimate::{estimate_join, JoinEstimate};
 pub use metrics::{JoinMetrics, TaskOrigin, TaskTrace};
+pub use morsel::{morselize, Morsel, MorselOptions, MorselPlan, StealPolicy};
 pub use native::{
     run_native_join, run_native_join_cancellable, run_native_join_with_cache, try_run_native_join,
     try_run_native_join_with_cache, BufferConfig, JoinError, NativeConfig, NativeError,

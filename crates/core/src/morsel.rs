@@ -1,0 +1,362 @@
+//! Morsel planning — phase 1½ of the parallel join.
+//!
+//! Phase 1 ([`crate::task::create_tasks`]) produces tasks in local
+//! plane-sweep order, but their costs are wildly skewed: a task near the
+//! dense center of two maps can hold orders of magnitude more candidates
+//! than one at the fringe, and a static split over *counts* of such tasks
+//! loses the paper's speedup to stragglers. The planner therefore regroups
+//! the task list into **morsels**: contiguous runs of tasks whose *estimated
+//! candidate count* ([`CandidateEstimator`]) adds up to roughly one budget.
+//! Oversized tasks are split one tree level at a time (their children stay
+//! contiguous in plane-sweep order, so execution order — and therefore the
+//! merged output order — is unchanged); undersized neighbors are packed
+//! together so scheduling overhead stays amortized.
+//!
+//! Morsels are numbered in plane-sweep order. The native executor merges
+//! worker-local outputs in morsel-id order, which makes the parallel result
+//! byte-identical to the sequential oracle regardless of which worker ran
+//! which morsel or in what interleaving (see `DESIGN.md` §11).
+
+use crate::cost::CandidateEstimator;
+use crate::task::{expand_pair, KernelScratch, TaskPair};
+use psj_rtree::PagedTree;
+use serde::{Deserialize, Serialize};
+
+/// How an idle worker picks the victim of a morsel reassignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StealPolicy {
+    /// The victim with the most remaining estimated work (live `(remaining
+    /// candidates, remaining morsels)` stats) — the paper's reassignment
+    /// heuristic of helping the most loaded processor.
+    Busiest,
+    /// Probe victims round-robin from the thief's own id (the old
+    /// behavior; kept for comparison benchmarks).
+    RoundRobin,
+    /// Probe victims in the order of the seeded
+    /// [`psj_desim::StealOrder`] shim — used by tests to force
+    /// adversarial steal interleavings reproducibly.
+    Seeded,
+}
+
+impl StealPolicy {
+    /// Short name used in CLI flags and experiment output.
+    pub fn short(&self) -> &'static str {
+        match self {
+            StealPolicy::Busiest => "busiest",
+            StealPolicy::RoundRobin => "rr",
+            StealPolicy::Seeded => "seeded",
+        }
+    }
+
+    /// Parses a CLI spelling (`busiest`, `rr`/`round-robin`, `seeded`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "busiest" => Some(StealPolicy::Busiest),
+            "rr" | "round-robin" => Some(StealPolicy::RoundRobin),
+            "seeded" => Some(StealPolicy::Seeded),
+            _ => None,
+        }
+    }
+}
+
+/// One morsel: a contiguous run of tasks (in plane-sweep order) sized to
+/// roughly one candidate budget.
+#[derive(Debug, Clone)]
+pub struct Morsel {
+    /// Position in plane-sweep order; doubles as the merge key.
+    pub id: u32,
+    /// The tasks, in plane-sweep order. Never empty.
+    pub tasks: Vec<TaskPair>,
+    /// Estimated filter-step candidates (≥ 1).
+    pub est: u64,
+}
+
+/// Planner tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct MorselOptions {
+    /// Target estimated candidates per morsel; `0` = auto: the total
+    /// estimate split into [`MORSELS_PER_WORKER`] morsels per worker,
+    /// clamped to `[`[`AUTO_BUDGET_MIN`]`, `[`AUTO_BUDGET_MAX`]`]`.
+    pub budget: u64,
+    /// Workers the auto budget divides work over.
+    pub workers: usize,
+    /// How many tree levels an oversized task may be split down. `0`
+    /// disables splitting (pure packing).
+    pub max_split_levels: u8,
+}
+
+/// Auto-budget morsels per worker: enough slack for reassignment to
+/// flatten skew, few enough that per-morsel overhead stays negligible.
+pub const MORSELS_PER_WORKER: u64 = 16;
+/// Auto-budget floor (estimated candidates).
+pub const AUTO_BUDGET_MIN: u64 = 64;
+/// Auto-budget ceiling (estimated candidates).
+pub const AUTO_BUDGET_MAX: u64 = 65_536;
+/// Default split depth for oversized tasks.
+pub const MAX_SPLIT_LEVELS: u8 = 2;
+
+impl MorselOptions {
+    /// Auto budget for `workers` workers, default split depth.
+    pub fn new(workers: usize) -> Self {
+        MorselOptions {
+            budget: 0,
+            workers: workers.max(1),
+            max_split_levels: MAX_SPLIT_LEVELS,
+        }
+    }
+}
+
+/// Result of morsel planning.
+#[derive(Debug, Clone)]
+pub struct MorselPlan {
+    /// The morsels, ids `0..n` in plane-sweep order.
+    pub morsels: Vec<Morsel>,
+    /// The budget actually used (resolved auto budget).
+    pub budget: u64,
+    /// Total estimated candidates over all phase-1 tasks (pre-split).
+    pub total_est: u64,
+    /// Node pairs expanded while splitting oversized tasks.
+    pub split_expansions: u64,
+}
+
+impl MorselPlan {
+    /// Per-morsel estimates in id order — the cost vector fed to
+    /// [`psj_desim::simulate_schedule`].
+    pub fn cost_vector(&self) -> Vec<u64> {
+        self.morsels.iter().map(|m| m.est).collect()
+    }
+}
+
+/// A task is split when its estimate exceeds this multiple of the budget;
+/// between 1× and 2× it is simply packed alone.
+const SPLIT_FACTOR: f64 = 2.0;
+
+/// Plans morsels for `tasks` (phase-1 output, plane-sweep order).
+pub fn morselize(
+    a: &PagedTree,
+    b: &PagedTree,
+    tasks: &[TaskPair],
+    est: &CandidateEstimator,
+    opts: &MorselOptions,
+) -> MorselPlan {
+    let rate = |t: &TaskPair| {
+        let na = a.node(t.a);
+        let nb = b.node(t.b);
+        est.estimate(
+            na.len(),
+            t.la,
+            &na.mbr(),
+            nb.len(),
+            t.lb,
+            &nb.mbr(),
+            &t.window,
+        )
+    };
+    let rated: Vec<(TaskPair, f64)> = tasks.iter().map(|t| (*t, rate(t))).collect();
+    let total: f64 = rated.iter().map(|(_, e)| e).sum();
+    let budget = if opts.budget > 0 {
+        opts.budget
+    } else {
+        let per = total / (opts.workers.max(1) as u64 * MORSELS_PER_WORKER) as f64;
+        (per.round() as u64).clamp(AUTO_BUDGET_MIN, AUTO_BUDGET_MAX)
+    };
+
+    // Split pass: depth-first in order, so children replace their parent
+    // in place and the unit stream stays in plane-sweep order.
+    let split_threshold = budget as f64 * SPLIT_FACTOR;
+    let mut units: Vec<(TaskPair, f64)> = Vec::with_capacity(rated.len());
+    let mut stack: Vec<(TaskPair, f64, u8)> =
+        rated.into_iter().rev().map(|(t, e)| (t, e, 0u8)).collect();
+    let mut scratch = KernelScratch::default();
+    let mut children: Vec<TaskPair> = Vec::new();
+    let mut cands = Vec::new();
+    let mut split_expansions = 0u64;
+    while let Some((t, e, depth)) = stack.pop() {
+        if e > split_threshold && t.level() > 0 && depth < opts.max_split_levels {
+            children.clear();
+            let na = a.node(t.a);
+            let nb = b.node(t.b);
+            expand_pair(na, nb, &t, &mut scratch, &mut children, &mut cands);
+            split_expansions += 1;
+            debug_assert!(
+                cands.is_empty(),
+                "split above leaf level yields no candidates"
+            );
+            for c in children.drain(..).rev() {
+                let ce = rate(&c);
+                stack.push((c, ce, depth + 1));
+            }
+        } else {
+            units.push((t, e));
+        }
+    }
+
+    // Pack pass: greedy contiguous next-fit. A morsel exceeds the budget
+    // only when it holds exactly one (unsplittable or depth-limited) task.
+    let mut morsels: Vec<Morsel> = Vec::new();
+    let mut cur_tasks: Vec<TaskPair> = Vec::new();
+    let mut cur_est = 0.0f64;
+    let flush = |tasks: &mut Vec<TaskPair>, est: &mut f64, morsels: &mut Vec<Morsel>| {
+        if !tasks.is_empty() {
+            morsels.push(Morsel {
+                id: morsels.len() as u32,
+                tasks: std::mem::take(tasks),
+                est: (est.round() as u64).max(1),
+            });
+            *est = 0.0;
+        }
+    };
+    for (t, e) in units {
+        if !cur_tasks.is_empty() && cur_est + e > budget as f64 {
+            flush(&mut cur_tasks, &mut cur_est, &mut morsels);
+        }
+        cur_tasks.push(t);
+        cur_est += e;
+    }
+    flush(&mut cur_tasks, &mut cur_est, &mut morsels);
+
+    MorselPlan {
+        morsels,
+        budget,
+        total_est: total.round() as u64,
+        split_expansions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psj_geom::Rect;
+    use psj_rtree::RTree;
+
+    fn grid_tree(n: usize, offset: f64) -> PagedTree {
+        let mut t = RTree::new();
+        for i in 0..n {
+            let x = (i % 30) as f64 + offset;
+            let y = (i / 30) as f64 + offset;
+            t.insert(Rect::new(x, y, x + 1.1, y + 1.1), i as u64);
+        }
+        PagedTree::freeze(&t, |_| None)
+    }
+
+    fn plan(n: usize, budget: u64, split: u8) -> (PagedTree, PagedTree, MorselPlan) {
+        let a = grid_tree(n, 0.0);
+        let b = grid_tree(n, 0.4);
+        let tc = crate::task::create_tasks(&a, &b, 8);
+        let est = CandidateEstimator::new(&a, &b);
+        let opts = MorselOptions {
+            budget,
+            workers: 4,
+            max_split_levels: split,
+        };
+        let p = morselize(&a, &b, &tc.tasks, &est, &opts);
+        (a, b, p)
+    }
+
+    #[test]
+    fn morsels_cover_all_tasks_in_order_without_splitting() {
+        let a = grid_tree(900, 0.0);
+        let b = grid_tree(900, 0.4);
+        let tc = crate::task::create_tasks(&a, &b, 8);
+        let est = CandidateEstimator::new(&a, &b);
+        let opts = MorselOptions {
+            budget: 0,
+            workers: 4,
+            max_split_levels: 0,
+        };
+        let p = morselize(&a, &b, &tc.tasks, &est, &opts);
+        let flat: Vec<_> = p
+            .morsels
+            .iter()
+            .flat_map(|m| m.tasks.iter().map(TaskPair::key))
+            .collect();
+        let want: Vec<_> = tc.tasks.iter().map(TaskPair::key).collect();
+        assert_eq!(flat, want, "packing must preserve order and coverage");
+        for (i, m) in p.morsels.iter().enumerate() {
+            assert_eq!(m.id as usize, i);
+            assert!(!m.tasks.is_empty());
+            assert!(m.est >= 1);
+        }
+    }
+
+    #[test]
+    fn over_budget_morsels_are_singletons() {
+        let (_, _, p) = plan(2000, 32, 1);
+        for m in &p.morsels {
+            assert!(
+                m.est <= p.budget || m.tasks.len() == 1,
+                "over-budget morsel with {} tasks (est {} > budget {})",
+                m.tasks.len(),
+                m.est,
+                p.budget
+            );
+        }
+    }
+
+    #[test]
+    fn splitting_produces_more_finer_morsels() {
+        // min_tasks = 1 keeps phase 1 at the root pair: the only way to get
+        // parallelism is the planner's own split pass.
+        let a = grid_tree(2000, 0.0);
+        let b = grid_tree(2000, 0.4);
+        let tc = crate::task::create_tasks(&a, &b, 1);
+        assert!(
+            tc.tasks.iter().any(|t| t.level() > 0),
+            "coarse phase 1 must leave directory-level tasks"
+        );
+        let est = CandidateEstimator::new(&a, &b);
+        let mk = |split| {
+            let opts = MorselOptions {
+                budget: 64,
+                workers: 4,
+                max_split_levels: split,
+            };
+            morselize(&a, &b, &tc.tasks, &est, &opts)
+        };
+        let coarse = mk(0);
+        let fine = mk(2);
+        assert!(
+            fine.split_expansions > 0,
+            "a tight budget must force splits"
+        );
+        assert!(fine.morsels.len() > coarse.morsels.len());
+    }
+
+    #[test]
+    fn auto_budget_scales_with_workers() {
+        let a = grid_tree(2000, 0.0);
+        let b = grid_tree(2000, 0.4);
+        let tc = crate::task::create_tasks(&a, &b, 8);
+        let est = CandidateEstimator::new(&a, &b);
+        let p1 = morselize(&a, &b, &tc.tasks, &est, &MorselOptions::new(1));
+        let p8 = morselize(&a, &b, &tc.tasks, &est, &MorselOptions::new(8));
+        assert!(p8.budget <= p1.budget, "more workers, finer morsels");
+        assert!(p8.morsels.len() >= p1.morsels.len());
+    }
+
+    #[test]
+    fn steal_policy_round_trips_through_parse() {
+        for p in [
+            StealPolicy::Busiest,
+            StealPolicy::RoundRobin,
+            StealPolicy::Seeded,
+        ] {
+            assert_eq!(StealPolicy::parse(p.short()), Some(p));
+        }
+        assert_eq!(
+            StealPolicy::parse("round-robin"),
+            Some(StealPolicy::RoundRobin)
+        );
+        assert_eq!(StealPolicy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn empty_task_list_yields_empty_plan() {
+        let a = grid_tree(50, 0.0);
+        let b = grid_tree(50, 0.4);
+        let est = CandidateEstimator::new(&a, &b);
+        let p = morselize(&a, &b, &[], &est, &MorselOptions::new(4));
+        assert!(p.morsels.is_empty());
+        assert_eq!(p.total_est, 0);
+    }
+}

@@ -1,13 +1,25 @@
 //! Native multithreaded executor: the same three-phase parallel join run on
-//! real OS threads.
+//! real OS threads, scheduled morsel-at-a-time.
 //!
 //! While [`crate::sim`] reproduces the paper's *evaluation* (virtual time,
 //! KSR1 cost model), this executor is what a downstream user calls to
-//! actually join two indexed relations fast: `n` worker threads drain the
-//! task set, descend the trees with the same kernel, refine candidates with
-//! the *exact* polyline geometry from the clusters, and steal work from each
-//! other when they run dry (work-stealing deques — the moral equivalent of
-//! the paper's task reassignment, without the cost model).
+//! actually join two indexed relations fast. Execution is **morsel-driven**
+//! (see [`crate::morsel`]): phase 1's tasks are regrouped into morsels of
+//! roughly equal *estimated candidate count*, dealt to the workers per the
+//! configured [`Assignment`], and executed whole — each worker keeps a
+//! morsel's task descendants on a private stack, so the shared queues only
+//! ever drain and no per-node-pair locking remains on the hot path. An
+//! idle worker performs the paper's dynamic task reassignment: it takes
+//! exactly one morsel from the victim chosen by [`StealPolicy`] (by
+//! default the measured-busiest worker, using the live `(remaining
+//! candidates, remaining morsels)` stats every queue publishes).
+//!
+//! Each morsel's result pairs go to a morsel-local output buffer; the
+//! driver concatenates the buffers in morsel-id order, which makes the
+//! output **byte-identical to the sequential oracle** ([`crate::seq`]) at
+//! every thread count and under every steal interleaving (morsels hold
+//! contiguous runs of tasks in plane-sweep order, and the in-morsel
+//! traversal is the same depth-first sweep order the oracle uses).
 //!
 //! # Out-of-core execution
 //!
@@ -43,18 +55,20 @@
 
 use crate::assign::{static_range, static_round_robin, Assignment};
 use crate::cancel::{CancelToken, Cancelled};
-use crate::deque::{Injector, Steal, Stealer, Worker};
+use crate::cost::CandidateEstimator;
+use crate::deque::MorselQueue;
 use crate::metrics::{TaskOrigin, TaskTrace};
+use crate::morsel::{morselize, Morsel, MorselOptions, StealPolicy};
 use crate::sim::BufferOrg;
 use crate::task::{create_tasks, expand_pair, Candidate, KernelScratch, TaskPair};
 use psj_buffer::{BufferStats, FaultSource, L1Front, PageSource, Policy, SharedPageCache};
+use psj_desim::StealOrder;
 use psj_obs::trace::{worker_tid, TID_MAIN};
 use psj_obs::{ThreadTracer, TraceSink};
 use psj_rtree::{Node, PagedTree};
 use psj_store::{FaultPlan, PageError, PageId, RetryPolicy};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -117,6 +131,16 @@ pub struct NativeConfig {
     /// `Some`: run out-of-core, reading nodes through a bounded page cache
     /// with this configuration. `None`: read the frozen trees directly.
     pub buffer: Option<BufferConfig>,
+    /// Target estimated filter-step candidates per morsel (phase 1½).
+    /// `0` = auto: the run's total estimate split into roughly
+    /// [`crate::morsel::MORSELS_PER_WORKER`] morsels per worker. Larger
+    /// morsels amortize scheduling overhead; smaller ones balance better.
+    pub morsel_candidates: u64,
+    /// Victim selection when an idle worker reassigns a morsel.
+    pub steal: StealPolicy,
+    /// Seed of the [`StealPolicy::Seeded`] victim-order shim (ignored by
+    /// the other policies).
+    pub steal_seed: u64,
 }
 
 impl NativeConfig {
@@ -130,6 +154,9 @@ impl NativeConfig {
             min_tasks_factor: 8,
             refine: true,
             buffer: None,
+            morsel_candidates: 0,
+            steal: StealPolicy::Busiest,
+            steal_seed: 0,
         }
     }
 
@@ -235,24 +262,32 @@ impl std::error::Error for NativeError {}
 #[derive(Debug, Clone)]
 pub struct NativeResult {
     /// Joined `(oid_a, oid_b)` pairs: exact results when `refine` was set,
-    /// filter-step candidates otherwise. Order is unspecified (parallel).
+    /// filter-step candidates otherwise. Worker-local morsel outputs are
+    /// merged in morsel-id order, so the sequence is *deterministic* and
+    /// byte-identical to the sequential oracle at every thread count.
     pub pairs: Vec<(u64, u64)>,
     /// Number of filter-step candidates (before refinement).
     pub candidates: u64,
-    /// Node pairs visited across all threads.
+    /// Node pairs visited across all threads (morsel execution only;
+    /// expansions performed while splitting oversized tasks in phase 1½
+    /// are not included).
     pub node_pairs: u64,
     /// Wall-clock duration of the parallel phase.
     pub elapsed: std::time::Duration,
-    /// Number of tasks created in phase 1.
+    /// Number of tasks created in phase 1 (before morsel splitting).
     pub tasks: usize,
-    /// Successful steals across all workers.
+    /// Number of morsels planned in phase 1½. A completed run records
+    /// exactly one [`TaskTrace`] per morsel.
+    pub morsels: usize,
+    /// Morsels acquired by reassignment — exactly one morsel per steal, so
+    /// this equals the number of traces with [`TaskOrigin::Steal`].
     pub steals: u64,
     /// Aggregate page-cache statistics (`None` when unbuffered).
     pub buffer: Option<BufferStats>,
     /// Per-worker page-cache statistics (empty when unbuffered).
     pub buffer_per_worker: Vec<BufferStats>,
-    /// Per-task attribution: one entry per task segment (phase-1 task or
-    /// stolen batch), recorded on every run. Order is unspecified.
+    /// Per-morsel attribution: one entry per acquired morsel, recorded on
+    /// every run. Order is unspecified (group by [`TaskTrace::morsel`]).
     pub task_traces: Vec<TaskTrace>,
 }
 
@@ -459,8 +494,19 @@ impl<'c> CacheSet<'c> {
     }
 }
 
-/// One worker's run output: its result pairs and attribution segments.
-type WorkerOutput = (Vec<(u64, u64)>, Vec<TaskTrace>);
+/// One worker's run output: completed morsels' result pairs (keyed by
+/// morsel id for the deterministic merge) and attribution segments.
+type WorkerOutput = (Vec<(u32, Vec<(u64, u64)>)>, Vec<TaskTrace>);
+
+/// Live load stats one worker's queue publishes for busiest-victim
+/// selection — the paper's `(hl, ns)`: remaining estimated candidates and
+/// remaining morsels. Decremented by whoever removes a morsel (owner or
+/// thief), so reads are at worst momentarily stale, never wrong in sum.
+#[derive(Default)]
+struct WorkerLoad {
+    est: AtomicU64,
+    morsels: AtomicU64,
+}
 
 /// Cross-worker failure state: the first unrecoverable page error raises
 /// `abort`; every worker bails out at its next loop iteration.
@@ -643,36 +689,56 @@ fn run_with_caches(
             ],
         );
     }
-    let task_keys = tc.key_set();
     if let Some(token) = cancel {
         token.check().map_err(|_| NativeError::Cancelled)?;
     }
 
-    let injector: Injector<TaskPair> = Injector::new();
-    let workers: Vec<Worker<TaskPair>> = (0..cfg.num_threads).map(|_| Worker::new_lifo()).collect();
-    let stealers: Vec<Stealer<TaskPair>> = workers.iter().map(|w| w.stealer()).collect();
+    // Phase 1½: regroup the task list into morsels sized by estimated
+    // candidate counts (split oversized tasks, pack undersized neighbors).
+    let morsel_start_ns = trace.map(|t| t.now_ns());
+    let estimator = CandidateEstimator::new(a, b);
+    let mut opts = MorselOptions::new(cfg.num_threads);
+    opts.budget = cfg.morsel_candidates;
+    let plan = morselize(a, b, &tc.tasks, &estimator, &opts);
+    let num_morsels = plan.morsels.len();
+    if let (Some(t), Some(start)) = (trace, morsel_start_ns) {
+        t.span(
+            TID_MAIN,
+            "morselize",
+            "join",
+            start,
+            &[
+                ("morsels", num_morsels as u64),
+                ("budget", plan.budget),
+                ("total_est", plan.total_est),
+                ("split_expansions", plan.split_expansions),
+            ],
+        );
+    }
 
+    let injector: MorselQueue<Morsel> = MorselQueue::new();
+    let queues: Vec<MorselQueue<Morsel>> =
+        (0..cfg.num_threads).map(|_| MorselQueue::new()).collect();
+    let loads: Vec<WorkerLoad> = (0..cfg.num_threads)
+        .map(|_| WorkerLoad::default())
+        .collect();
     match cfg.assignment {
         Assignment::Dynamic => {
-            for t in &tc.tasks {
-                injector.push(*t);
+            for m in plan.morsels {
+                injector.push_back(m);
             }
         }
-        Assignment::StaticRange => {
-            for (w, load) in workers.iter().zip(static_range(&tc.tasks, cfg.num_threads)) {
-                // LIFO worker: push in reverse so pops follow sweep order.
-                for t in load.into_iter().rev() {
-                    w.push(t);
-                }
-            }
-        }
-        Assignment::StaticRoundRobin => {
-            for (w, load) in workers
-                .iter()
-                .zip(static_round_robin(&tc.tasks, cfg.num_threads))
-            {
-                for t in load.into_iter().rev() {
-                    w.push(t);
+        Assignment::StaticRange | Assignment::StaticRoundRobin => {
+            let dealt = if cfg.assignment == Assignment::StaticRange {
+                static_range(&plan.morsels, cfg.num_threads)
+            } else {
+                static_round_robin(&plan.morsels, cfg.num_threads)
+            };
+            for (w, load) in dealt.into_iter().enumerate() {
+                for m in load {
+                    loads[w].est.fetch_add(m.est, Ordering::Relaxed);
+                    loads[w].morsels.fetch_add(1, Ordering::Relaxed);
+                    queues[w].push_back(m);
                 }
             }
         }
@@ -684,25 +750,23 @@ fn run_with_caches(
     let candidates = AtomicU64::new(0);
     let node_pairs = AtomicU64::new(0);
     let steals = AtomicU64::new(0);
-    let active = AtomicUsize::new(cfg.num_threads);
     let fail = FailState::default();
     let start = Instant::now();
 
     let mut results: Vec<WorkerOutput> = Vec::with_capacity(cfg.num_threads);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.num_threads);
-        for (id, worker) in workers.into_iter().enumerate() {
+        for id in 0..cfg.num_threads {
             let injector = &injector;
-            let stealers = &stealers;
+            let queues = &queues;
+            let loads = &loads;
             let caches = &caches;
             let candidates = &candidates;
             let node_pairs = &node_pairs;
             let steals = &steals;
-            let active = &active;
             let fail = &fail;
             let fault = ctl.fault.clone();
             let tracer = ctl.trace.as_ref().map(|t| t.tracer(worker_tid(id)));
-            let task_keys = &task_keys;
             handles.push(scope.spawn(move || {
                 let join_source = JoinSource { a, b };
                 let cache = caches.for_worker(id);
@@ -722,16 +786,14 @@ fn run_with_caches(
                     b,
                     cfg,
                     &mut fetcher,
-                    worker,
+                    queues,
                     injector,
-                    stealers,
+                    loads,
                     candidates,
                     node_pairs,
                     steals,
-                    active,
                     cancel,
                     fail,
-                    task_keys,
                     tracer,
                 )
             }));
@@ -749,6 +811,7 @@ fn run_with_caches(
             start_ns,
             &[
                 ("tasks", tasks as u64),
+                ("morsels", num_morsels as u64),
                 ("threads", cfg.num_threads as u64),
                 ("steals", steals.load(Ordering::Relaxed)),
             ],
@@ -790,11 +853,32 @@ fn run_with_caches(
         token.check().map_err(|_| NativeError::Cancelled)?;
     }
 
-    let mut pairs = Vec::with_capacity(results.iter().map(|(p, _)| p.len()).sum());
-    let mut task_traces = Vec::with_capacity(results.iter().map(|(_, t)| t.len()).sum());
-    for (mut p, mut t) in results {
-        pairs.append(&mut p);
+    // Deterministic merge: every completed morsel's output lands in its
+    // id slot exactly once; concatenating slots in id order reproduces the
+    // sequential oracle's byte order. A lost or duplicated morsel is an
+    // executor bug, not a data error — fail loudly.
+    let mut task_traces = Vec::with_capacity(num_morsels);
+    let mut slots: Vec<Option<Vec<(u64, u64)>>> = Vec::new();
+    slots.resize_with(num_morsels, || None);
+    for (outputs, mut t) in results {
+        for (mid, out) in outputs {
+            let slot = &mut slots[mid as usize];
+            assert!(slot.is_none(), "morsel {mid} executed twice");
+            *slot = Some(out);
+        }
         task_traces.append(&mut t);
+    }
+    let mut pairs = Vec::with_capacity(
+        slots
+            .iter()
+            .map(|s| s.as_ref().map_or(0, Vec::len))
+            .sum::<usize>(),
+    );
+    for (mid, slot) in slots.iter_mut().enumerate() {
+        match slot.take() {
+            Some(mut v) => pairs.append(&mut v),
+            None => panic!("morsel {mid} lost"),
+        }
     }
     Ok(NativeResult {
         pairs,
@@ -802,6 +886,7 @@ fn run_with_caches(
         node_pairs: node_pairs.load(Ordering::Relaxed),
         elapsed,
         tasks,
+        morsels: num_morsels,
         steals: steals.load(Ordering::Relaxed),
         buffer,
         buffer_per_worker,
@@ -809,10 +894,12 @@ fn run_with_caches(
     })
 }
 
-/// One open task segment: the attribution baseline captured when the
-/// segment's first pair was acquired (see [`TaskTrace`]).
+/// One open morsel segment: the attribution baseline captured when the
+/// morsel was acquired (see [`TaskTrace`]).
 struct Segment {
     origin: TaskOrigin,
+    morsel: u32,
+    tasks: u32,
     start: Instant,
     start_ns: u64,
     base_stats: BufferStats,
@@ -845,6 +932,8 @@ fn close_segment(
     };
     let tt = TaskTrace {
         worker: id,
+        morsel: seg.morsel,
+        tasks: seg.tasks,
         origin: seg.origin,
         node_pairs,
         candidates,
@@ -863,6 +952,8 @@ fn close_segment(
             seg.start_ns,
             &[
                 ("worker", id as u64),
+                ("morsel", seg.morsel as u64),
+                ("tasks", seg.tasks as u64),
                 ("origin", seg.origin as u64),
                 ("node_pairs", tt.node_pairs),
                 ("candidates", tt.candidates),
@@ -876,6 +967,91 @@ fn close_segment(
     traces.push(tt);
 }
 
+/// Acquires the next morsel for worker `id`: own queue front (plane-sweep
+/// order), then the shared queue, then — with stealing on — exactly one
+/// morsel from the victim picked by the configured [`StealPolicy`]. Load
+/// stats are decremented by whoever removes a morsel, so the busiest
+/// snapshot is at worst momentarily stale. Returns `None` when every queue
+/// was observed empty — queues only drain after setup, so that worker is
+/// done for good.
+#[allow(clippy::too_many_arguments)]
+fn acquire_morsel(
+    id: usize,
+    cfg: &NativeConfig,
+    queues: &[MorselQueue<Morsel>],
+    injector: &MorselQueue<Morsel>,
+    loads: &[WorkerLoad],
+    steals: &AtomicU64,
+    shim: &StealOrder,
+    attempts: &mut u64,
+    tracer: Option<&mut ThreadTracer>,
+) -> Option<(Morsel, TaskOrigin)> {
+    if let Some(m) = queues[id].pop_front() {
+        loads[id].est.fetch_sub(m.est, Ordering::Relaxed);
+        loads[id].morsels.fetch_sub(1, Ordering::Relaxed);
+        return Some((m, TaskOrigin::Assigned));
+    }
+    if let Some(m) = injector.pop_front() {
+        return Some((m, TaskOrigin::Injector));
+    }
+    if !cfg.work_stealing || queues.len() < 2 {
+        return None;
+    }
+    let n = queues.len();
+    let try_steal = |v: usize| -> Option<Morsel> {
+        let m = queues[v].steal_back()?;
+        loads[v].est.fetch_sub(m.est, Ordering::Relaxed);
+        loads[v].morsels.fetch_sub(1, Ordering::Relaxed);
+        Some(m)
+    };
+    let stolen = match cfg.steal {
+        StealPolicy::Busiest => {
+            // Snapshot the live (remaining est, remaining morsels) stats and
+            // probe victims busiest-first; ties break toward the lower id.
+            let mut victims: Vec<(u64, u64, usize)> = (0..n)
+                .filter(|&w| w != id)
+                .map(|w| {
+                    (
+                        loads[w].est.load(Ordering::Relaxed),
+                        loads[w].morsels.load(Ordering::Relaxed),
+                        w,
+                    )
+                })
+                .collect();
+            victims.sort_unstable_by(|x, y| y.0.cmp(&x.0).then(y.1.cmp(&x.1)).then(x.2.cmp(&y.2)));
+            victims
+                .into_iter()
+                .find_map(|(_, _, w)| try_steal(w).map(|m| (m, w)))
+        }
+        StealPolicy::RoundRobin => (1..n).find_map(|k| {
+            let w = (id + k) % n;
+            try_steal(w).map(|m| (m, w))
+        }),
+        StealPolicy::Seeded => {
+            *attempts += 1;
+            let start = shim.first_victim(id, *attempts, n);
+            (0..n).find_map(|k| {
+                let w = (start + k) % n;
+                if w == id {
+                    return None;
+                }
+                try_steal(w).map(|m| (m, w))
+            })
+        }
+    };
+    stolen.map(|(m, v)| {
+        steals.fetch_add(1, Ordering::Relaxed);
+        if let Some(tr) = tracer {
+            tr.instant(
+                "steal",
+                "join",
+                &[("victim", v as u64), ("morsel", m.id as u64)],
+            );
+        }
+        (m, TaskOrigin::Steal)
+    })
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_worker(
     id: usize,
@@ -883,33 +1059,33 @@ fn run_worker(
     b: &PagedTree,
     cfg: &NativeConfig,
     fetcher: &mut NodeFetcher<'_>,
-    worker: Worker<TaskPair>,
-    injector: &Injector<TaskPair>,
-    stealers: &[Stealer<TaskPair>],
+    queues: &[MorselQueue<Morsel>],
+    injector: &MorselQueue<Morsel>,
+    loads: &[WorkerLoad],
     candidates: &AtomicU64,
     node_pairs: &AtomicU64,
     steals: &AtomicU64,
-    active: &AtomicUsize,
     cancel: Option<&CancelToken>,
     fail: &FailState,
-    task_keys: &HashSet<(u32, u32, u8, u8)>,
     mut tracer: Option<ThreadTracer>,
-) -> (Vec<(u64, u64)>, Vec<TaskTrace>) {
+) -> WorkerOutput {
     let mut scratch = KernelScratch::default();
     let mut children: Vec<TaskPair> = Vec::new();
     let mut cands: Vec<Candidate> = Vec::new();
-    let mut out: Vec<(u64, u64)> = Vec::new();
+    // Morsel-private DFS stack: task descendants never re-enter the shared
+    // queues, so no locking happens between morsel boundaries.
+    let mut stack: Vec<TaskPair> = Vec::new();
+    let mut outputs: Vec<(u32, Vec<(u64, u64)>)> = Vec::new();
     let mut local_candidates = 0u64;
     let mut local_pairs = 0u64;
 
-    // Per-task attribution state. `synced_stats` flushes this worker's L1
+    // Per-morsel attribution state. `synced_stats` flushes this worker's L1
     // front and reads its own counters: both exclusive to it, so deltas
     // between boundaries are exact.
     let buffered = fetcher.cache.is_some();
     let mut traces: Vec<TaskTrace> = Vec::new();
-    let mut seg: Option<Segment> = None;
-    // Origin inherited by tasks popped locally out of a moved batch.
-    let mut local_origin = TaskOrigin::Assigned;
+    let shim = StealOrder::new(cfg.steal_seed);
+    let mut attempts = 0u64;
 
     'outer: loop {
         // Cooperative cancellation / failure abort: each worker bails out on
@@ -918,162 +1094,103 @@ fn run_worker(
         if cancel.is_some_and(|t| t.is_cancelled()) || fail.abort.load(Ordering::Relaxed) {
             break 'outer;
         }
-        // Local work first, then the shared queue, then stealing. `Some`
-        // in the second tuple slot marks a non-local acquisition.
-        let pair = worker.pop().map(|t| (t, None)).or_else(|| {
-            loop {
-                match injector.steal_batch_and_pop(&worker) {
-                    Steal::Success(t) => return Some((t, Some(TaskOrigin::Injector))),
-                    Steal::Empty => break,
-                    Steal::Retry => continue,
-                }
-            }
-            if !cfg.work_stealing {
-                return None;
-            }
-            // Steal half a victim's deque, round-robin from our own id.
-            for k in 1..stealers.len() {
-                let v = (id + k) % stealers.len();
-                loop {
-                    match stealers[v].steal_batch_and_pop(&worker) {
-                        Steal::Success(t) => {
-                            steals.fetch_add(1, Ordering::Relaxed);
-                            if let Some(tr) = tracer.as_mut() {
-                                tr.instant("steal", "join", &[("victim", v as u64)]);
-                            }
-                            return Some((t, Some(TaskOrigin::Steal)));
-                        }
-                        Steal::Empty => break,
-                        Steal::Retry => continue,
-                    }
-                }
-            }
-            None
-        });
-
-        let Some((pair, nonlocal)) = pair else {
-            // Ran dry: the current segment ends here, before the idle wait,
-            // so spin time is not charged to the last task.
-            if let Some(s) = seg.take() {
-                close_segment(
-                    s,
-                    id,
-                    buffered,
-                    fetcher.synced_stats(),
-                    local_pairs,
-                    local_candidates,
-                    &mut traces,
-                    tracer.as_mut(),
-                );
-            }
-            // Nothing found: deregister; if others are still active they may
-            // still produce work, so spin-wait politely and re-check.
-            let remaining = active.fetch_sub(1, Ordering::SeqCst) - 1;
-            if remaining == 0 {
-                break 'outer;
-            }
-            loop {
-                std::thread::yield_now();
-                if cancel.is_some_and(|t| t.is_cancelled()) || fail.abort.load(Ordering::Relaxed) {
-                    break 'outer;
-                }
-                if active.load(Ordering::SeqCst) == 0 {
-                    break 'outer;
-                }
-                let has_work = !injector.is_empty()
-                    || (cfg.work_stealing && stealers.iter().any(|s| !s.is_empty()));
-                if has_work {
-                    active.fetch_add(1, Ordering::SeqCst);
-                    continue 'outer;
-                }
-            }
+        let Some((morsel, origin)) = acquire_morsel(
+            id,
+            cfg,
+            queues,
+            injector,
+            loads,
+            steals,
+            &shim,
+            &mut attempts,
+            tracer.as_mut(),
+        ) else {
+            // Every queue observed empty. Queues only drain after setup
+            // (descendants stay on the private stack), so nothing can
+            // appear later: retire without a termination barrier.
+            break 'outer;
         };
 
-        // Task boundary: any non-local acquisition starts a new segment, as
-        // does a phase-1 task surfacing from the local deque (batch moves
-        // put whole runs of tasks there).
-        let boundary = seg.is_none() || nonlocal.is_some() || task_keys.contains(&pair.key());
-        if boundary {
-            if let Some(s) = seg.take() {
-                close_segment(
-                    s,
-                    id,
-                    buffered,
-                    fetcher.synced_stats(),
-                    local_pairs,
-                    local_candidates,
-                    &mut traces,
-                    tracer.as_mut(),
-                );
-            }
-            if let Some(o) = nonlocal {
-                local_origin = o;
-            }
-            seg = Some(Segment {
-                origin: nonlocal.unwrap_or(local_origin),
-                start: Instant::now(),
-                start_ns: tracer.as_ref().map_or(0, ThreadTracer::now_ns),
-                base_stats: fetcher.synced_stats(),
-                base_pairs: local_pairs,
-                base_cands: local_candidates,
-            });
-        }
-
-        local_pairs += 1;
-        let fetched = fetcher
-            .node_a(pair.a)
-            .and_then(|na| fetcher.node_b(pair.b).map(|nb| (na, nb)));
-        let (na, nb) = match fetched {
-            Ok(v) => v,
-            Err(e) => {
-                fail.record(e);
-                break 'outer;
-            }
+        let seg = Segment {
+            origin,
+            morsel: morsel.id,
+            tasks: morsel.tasks.len() as u32,
+            start: Instant::now(),
+            start_ns: tracer.as_ref().map_or(0, ThreadTracer::now_ns),
+            base_stats: fetcher.synced_stats(),
+            base_pairs: local_pairs,
+            base_cands: local_candidates,
         };
-        children.clear();
-        cands.clear();
-        expand_pair(&na, &nb, &pair, &mut scratch, &mut children, &mut cands);
-        drop((na, nb));
-        for c in children.drain(..).rev() {
-            worker.push(c);
-        }
-        for c in &cands {
-            local_candidates += 1;
+        let mid = morsel.id;
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        // Execute the morsel's tasks in plane-sweep order, each depth-first
+        // with children pushed in reverse — the sequential oracle's exact
+        // traversal, so `out` is byte-identical to the oracle's slice for
+        // this morsel. `dirty` marks an abort mid-morsel: the segment still
+        // closes (attribution stays exact) but the partial output is
+        // discarded and the worker unwinds.
+        let mut dirty = false;
+        stack.clear();
+        stack.extend(morsel.tasks.into_iter().rev());
+        'morsel: while let Some(pair) = stack.pop() {
+            if cancel.is_some_and(|t| t.is_cancelled()) || fail.abort.load(Ordering::Relaxed) {
+                dirty = true;
+                break 'morsel;
+            }
+            local_pairs += 1;
             let fetched = fetcher
-                .node_a(c.page_a)
-                .and_then(|na| fetcher.node_b(c.page_b).map(|nb| (na, nb)));
+                .node_a(pair.a)
+                .and_then(|na| fetcher.node_b(pair.b).map(|nb| (na, nb)));
             let (na, nb) = match fetched {
                 Ok(v) => v,
                 Err(e) => {
                     fail.record(e);
-                    break 'outer;
+                    dirty = true;
+                    break 'morsel;
                 }
             };
-            let ea = na.data_entries()[c.idx_a as usize];
-            let eb = nb.data_entries()[c.idx_b as usize];
-            if cfg.refine {
-                // Refinement geometry lives in the cluster store, outside the
-                // page budget: the paper reads clusters once per data page and
-                // does not buffer them (§4.2).
-                let ga = a.clusters().geometry(ea.geom.page, ea.geom.slot);
-                let gb = b.clusters().geometry(eb.geom.page, eb.geom.slot);
-                let hit = match (ga, gb) {
-                    (Some(ga), Some(gb)) => ga.intersects(gb),
-                    _ => true,
+            children.clear();
+            cands.clear();
+            expand_pair(&na, &nb, &pair, &mut scratch, &mut children, &mut cands);
+            drop((na, nb));
+            for c in children.drain(..).rev() {
+                stack.push(c);
+            }
+            for c in &cands {
+                local_candidates += 1;
+                let fetched = fetcher
+                    .node_a(c.page_a)
+                    .and_then(|na| fetcher.node_b(c.page_b).map(|nb| (na, nb)));
+                let (na, nb) = match fetched {
+                    Ok(v) => v,
+                    Err(e) => {
+                        fail.record(e);
+                        dirty = true;
+                        break 'morsel;
+                    }
                 };
-                if hit {
+                let ea = na.data_entries()[c.idx_a as usize];
+                let eb = nb.data_entries()[c.idx_b as usize];
+                if cfg.refine {
+                    // Refinement geometry lives in the cluster store, outside
+                    // the page budget: the paper reads clusters once per data
+                    // page and does not buffer them (§4.2).
+                    let ga = a.clusters().geometry(ea.geom.page, ea.geom.slot);
+                    let gb = b.clusters().geometry(eb.geom.page, eb.geom.slot);
+                    let hit = match (ga, gb) {
+                        (Some(ga), Some(gb)) => ga.intersects(gb),
+                        _ => true,
+                    };
+                    if hit {
+                        out.push((ea.oid, eb.oid));
+                    }
+                } else {
                     out.push((ea.oid, eb.oid));
                 }
-            } else {
-                out.push((ea.oid, eb.oid));
             }
         }
-    }
-
-    // Abort/cancel paths land here with a segment still open.
-    if let Some(s) = seg.take() {
         close_segment(
-            s,
+            seg,
             id,
             buffered,
             fetcher.synced_stats(),
@@ -1082,10 +1199,15 @@ fn run_worker(
             &mut traces,
             tracer.as_mut(),
         );
+        if dirty {
+            break 'outer;
+        }
+        outputs.push((mid, out));
     }
+
     candidates.fetch_add(local_candidates, Ordering::Relaxed);
     node_pairs.fetch_add(local_pairs, Ordering::Relaxed);
-    (out, traces)
+    (outputs, traces)
 }
 
 #[cfg(test)]
@@ -1149,10 +1271,9 @@ mod tests {
             let cfg = NativeConfig {
                 num_threads: 4,
                 assignment,
-                work_stealing: true,
                 min_tasks_factor: 4,
                 refine: false,
-                buffer: None,
+                ..NativeConfig::new(4)
             };
             let res = run_native_join(&a, &b, &cfg);
             assert_eq!(as_set(&res.pairs), want, "{assignment:?}");
@@ -1170,7 +1291,7 @@ mod tests {
             work_stealing: false,
             min_tasks_factor: 2,
             refine: false,
-            buffer: None,
+            ..NativeConfig::new(3)
         };
         let res = run_native_join(&a, &b, &cfg);
         assert_eq!(as_set(&res.pairs), want);
@@ -1352,11 +1473,25 @@ mod tests {
         cfg.refine = false;
         let res = try_run_native_join(&a, &b, &cfg, &RunControl::default()).unwrap();
         assert!(res.tasks > 0);
-        assert!(
-            res.task_traces.len() >= res.tasks,
-            "at least one segment per task ({} segments, {} tasks)",
+        assert!(res.morsels > 0);
+        assert_eq!(
             res.task_traces.len(),
+            res.morsels,
+            "exactly one trace per morsel"
+        );
+        let task_sum: u64 = res.task_traces.iter().map(|t| u64::from(t.tasks)).sum();
+        assert!(
+            task_sum as usize >= res.tasks,
+            "morsels cover every phase-1 task ({task_sum} vs {})",
             res.tasks
+        );
+        assert_eq!(
+            res.steals,
+            res.task_traces
+                .iter()
+                .filter(|t| t.origin == TaskOrigin::Steal)
+                .count() as u64,
+            "steal counter equals the number of Steal-origin traces"
         );
         let cands: u64 = res.task_traces.iter().map(|t| t.candidates).sum();
         assert_eq!(cands, res.candidates, "candidates attribute fully");
@@ -1398,13 +1533,57 @@ mod tests {
             .lines()
             .filter(|l| l.contains("\"name\":\"task\""))
             .count();
-        assert!(
-            task_spans >= res.tasks,
-            "{} task spans for {} tasks",
-            task_spans,
-            res.tasks
+        assert_eq!(
+            task_spans, res.morsels,
+            "{} task spans for {} morsels",
+            task_spans, res.morsels
         );
         assert_eq!(task_spans, res.task_traces.len());
         assert_eq!(sink.dropped(), 0);
+    }
+
+    /// The tentpole guarantee: at every thread count, under every
+    /// assignment, the merged output is *byte-identical* (same pairs, same
+    /// order) to the sequential oracle — not merely set-equal.
+    #[test]
+    fn pair_output_is_byte_identical_to_sequential_oracle() {
+        let a = tree(800, 0.0);
+        let b = tree(800, 0.4);
+        let want = join_refined(&a, &b);
+        for threads in [1, 2, 4, 8] {
+            for assignment in [
+                Assignment::Dynamic,
+                Assignment::StaticRange,
+                Assignment::StaticRoundRobin,
+            ] {
+                let mut cfg = NativeConfig::new(threads);
+                cfg.assignment = assignment;
+                let res = run_native_join(&a, &b, &cfg);
+                assert_eq!(
+                    res.pairs, want,
+                    "byte order diverged: {threads} threads, {assignment:?}"
+                );
+            }
+        }
+    }
+
+    /// Steal policies change who runs what, never what comes out.
+    #[test]
+    fn steal_policies_do_not_change_output() {
+        let a = tree(600, 0.0);
+        let b = tree(600, 0.4);
+        let want = join_refined(&a, &b);
+        for steal in [
+            StealPolicy::Busiest,
+            StealPolicy::RoundRobin,
+            StealPolicy::Seeded,
+        ] {
+            let mut cfg = NativeConfig::new(4);
+            cfg.assignment = Assignment::StaticRange;
+            cfg.steal = steal;
+            cfg.steal_seed = 17;
+            let res = run_native_join(&a, &b, &cfg);
+            assert_eq!(res.pairs, want, "{steal:?}");
+        }
     }
 }

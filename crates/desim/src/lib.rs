@@ -11,6 +11,9 @@
 //!   (one disk); a request made at time `t` starts at `max(t, free_at)` and
 //!   occupies the server for its service time.
 //! * [`ResourcePool`] — a bank of FCFS resources (the disk array).
+//! * [`schedule`] — exact list scheduling of morsel cost vectors (scheduled
+//!   speedup) and the seeded steal-order shim behind adversarial
+//!   interleaving tests.
 //!
 //! The engine deliberately has no notion of "process"; executors drive
 //! explicit state machines from the event loop. That keeps the join logic in
@@ -18,6 +21,12 @@
 //! suspend at every page fault.
 
 #![warn(missing_docs)]
+
+pub mod schedule;
+
+pub use schedule::{
+    simulate_schedule, splitmix64, ScheduleAssign, ScheduleResult, ScheduleSpec, StealOrder,
+};
 
 use psj_store::Nanos;
 use std::cmp::Reverse;

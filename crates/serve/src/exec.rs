@@ -30,7 +30,9 @@
 //! unreadable, the whole query reports the storage error.
 
 use psj_buffer::SharedPageCache;
-use psj_core::{try_run_native_join, CancelToken, NativeConfig, NativeError, RunControl};
+use psj_core::{
+    try_run_native_join, CancelToken, NativeConfig, NativeError, RunControl, StealPolicy,
+};
 use psj_geom::{Point, Rect};
 use psj_rtree::nn::min_dist;
 use psj_rtree::{Node, NodeKind, PagedTree};
@@ -390,8 +392,31 @@ pub struct JoinRun {
     pub steals: u64,
 }
 
-/// Spatial join of two loaded trees with a deadline, on `threads` worker
-/// threads. Joins descend the frozen trees directly (their node accesses
+/// Join-executor tuning copied from the server configuration: thread count
+/// plus the morsel-scheduler knobs threaded through to [`NativeConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct JoinTuning {
+    /// Worker threads per join request.
+    pub threads: usize,
+    /// Target estimated candidates per morsel (`0` = auto).
+    pub morsel_candidates: u64,
+    /// Victim selection for morsel reassignment.
+    pub steal: StealPolicy,
+}
+
+impl JoinTuning {
+    /// Default scheduler knobs at the given thread count.
+    pub fn threads(threads: usize) -> Self {
+        JoinTuning {
+            threads,
+            morsel_candidates: 0,
+            steal: StealPolicy::Busiest,
+        }
+    }
+}
+
+/// Spatial join of two loaded trees with a deadline, on `tuning.threads`
+/// worker threads. Joins descend the frozen trees directly (their node accesses
 /// are not routed through the query cache: the join kernel has its own
 /// buffer-organization machinery studied by the paper, and sharing the
 /// query cache's key space across arbitrary tree *pairs* would alias; for
@@ -404,7 +429,7 @@ pub fn join(
     tree_a: u16,
     tree_b: u16,
     refine: bool,
-    threads: usize,
+    tuning: JoinTuning,
     deadline: Option<Instant>,
 ) -> Outcome<JoinRun> {
     let a = &trees.trees[tree_a as usize];
@@ -421,8 +446,10 @@ pub fn join(
             });
         }
     }
-    let mut cfg = NativeConfig::new(threads.max(1));
+    let mut cfg = NativeConfig::new(tuning.threads.max(1));
     cfg.refine = refine;
+    cfg.morsel_candidates = tuning.morsel_candidates;
+    cfg.steal = tuning.steal;
     let token = match deadline {
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::new(),
@@ -555,14 +582,16 @@ mod tests {
     fn join_matches_core_and_respects_deadline() {
         let trees = set();
         let want = psj_core::join_refined(&trees.trees[0], &trees.trees[1]);
-        let got = join(&trees, 0, 1, true, 2, None).ok().unwrap();
+        let got = join(&trees, 0, 1, true, JoinTuning::threads(2), None)
+            .ok()
+            .unwrap();
         assert!(got.tasks > 0, "phase-1 task count travels with the result");
         let as_set =
             |v: &[(u64, u64)]| v.iter().copied().collect::<std::collections::BTreeSet<_>>();
         assert_eq!(as_set(&got.pairs), as_set(&want));
         let past = Instant::now() - Duration::from_millis(1);
         assert_eq!(
-            join(&trees, 0, 1, true, 2, Some(past)),
+            join(&trees, 0, 1, true, JoinTuning::threads(2), Some(past)),
             Outcome::DeadlineExceeded
         );
     }
@@ -664,7 +693,7 @@ mod tests {
         assert_eq!(loaded.tree.poisoned_count(), 1);
 
         let trees = TreeSet::new(vec![Arc::new(loaded.tree), healthy]).unwrap();
-        let got = join(&trees, 0, 1, true, 2, None);
+        let got = join(&trees, 0, 1, true, JoinTuning::threads(2), None);
         assert!(
             matches!(&got, Outcome::Storage(e) if e.is_corrupt()),
             "{got:?}"

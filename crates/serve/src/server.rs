@@ -35,6 +35,7 @@ use crate::protocol::{
 use crate::telemetry::{GaugeSnapshot, Telemetry};
 use psj_buffer::{Policy, SharedPageCache};
 use psj_core::deque::{Injector, Steal, Worker};
+use psj_core::StealPolicy;
 use psj_geom::Point;
 use psj_obs::trace::TID_SERVE;
 use psj_obs::TraceSink;
@@ -79,6 +80,10 @@ pub struct ServeConfig {
     pub cache_shards: usize,
     /// Threads per join request.
     pub join_threads: usize,
+    /// Target estimated candidates per join morsel (`0` = auto-sized).
+    pub join_morsel_candidates: u64,
+    /// Victim selection when an idle join worker reassigns a morsel.
+    pub join_steal: StealPolicy,
     /// Socket read timeout; also the cadence at which idle connection
     /// threads re-check the halt flag.
     pub read_timeout: Duration,
@@ -105,6 +110,8 @@ impl Default for ServeConfig {
             cache_pages: 4096,
             cache_shards: 16,
             join_threads: 4,
+            join_morsel_candidates: 0,
+            join_steal: StealPolicy::Busiest,
             read_timeout: Duration::from_millis(250),
             fault: None,
             retry: RetryPolicy::default(),
@@ -617,7 +624,11 @@ fn execute(shared: &Shared, worker: usize, item: WorkItem) {
                 tree_a,
                 tree_b,
                 refine,
-                shared.cfg.join_threads,
+                exec::JoinTuning {
+                    threads: shared.cfg.join_threads,
+                    morsel_candidates: shared.cfg.join_morsel_candidates,
+                    steal: shared.cfg.join_steal,
+                },
                 deadline,
             );
             if let Outcome::Ok(run) = &result {

@@ -92,7 +92,12 @@ fn traced_join_attribution_and_spans_agree() {
         .filter(|l| l.contains("\"name\":\"task\""))
         .count();
     assert_eq!(task_spans, res.task_traces.len());
-    assert!(task_spans >= res.tasks, "at least one span per join task");
+    assert_eq!(task_spans, res.morsels, "one span per acquired morsel");
+    let covered: u64 = res.task_traces.iter().map(|t| u64::from(t.tasks)).sum();
+    assert!(
+        covered as usize >= res.tasks,
+        "morsel spans cover every phase-1 task"
+    );
 }
 
 /// The Prometheus text scrape and the binary stats report read the same
