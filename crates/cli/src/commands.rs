@@ -2,9 +2,10 @@
 
 use crate::args::Args;
 use psj_core::{
-    create_tasks, expand_pair, morselize, run_native_join, run_sim_join, try_run_native_join,
-    Assignment, BufferConfig, BufferOrg, CandidateEstimator, KernelScratch, MorselOptions,
-    NativeConfig, NativeError, RunControl, SimConfig, StealPolicy, TaskOrigin,
+    create_tasks, expand_pair, morselize, run_join, run_native_join, run_sim_join, try_run_join,
+    Assignment, BufferConfig, BufferOrg, CandidateEstimator, JoinEngine, KernelScratch,
+    MorselOptions, NativeConfig, NativeError, RectItem, RunControl, SimConfig, StealPolicy,
+    TaskOrigin,
 };
 use psj_datagen::io::{load_map, save_map};
 use psj_datagen::Scenario;
@@ -27,13 +28,18 @@ commands:
   build    --map <map> --out <tree> [--attrs <bytes>] [--str|--hilbert]
   stats    --tree <tree>
   join     --tree1 <tree> --tree2 <tree> [--threads <n>] [--no-refine]
-           [--morsel-cands <n>] [--steal busiest|rr|seeded] [--steal-seed <n>]
+           [--engine rtree|partition|auto] [--morsel-cands <n>]
+           [--steal busiest|rr|seeded] [--steal-seed <n>]
            [--cache <pages>] [--cache-org local|global] [--cache-shards <n>]
            [--inject-faults <spec>] [--retry-attempts <n>]
-           [--trace <file.jsonl>] [--tasks] — --trace writes a Perfetto/
-           chrome://tracing-loadable JSONL trace; --tasks prints per-morsel
-           attribution (pages, hits, steals, wall time); --morsel-cands
-           sets the target estimated candidates per morsel (0 = auto)
+           [--trace <file.jsonl>] [--tasks] — --engine picks the executor:
+           rtree (the paper's synchronized traversal, default), partition
+           (in-memory uniform grid + per-cell sweep), or auto (chosen per
+           run from estimated candidates and cache budget); --trace writes
+           a Perfetto/chrome://tracing-loadable JSONL trace; --tasks prints
+           per-morsel attribution (pages, hits, steals, wall time);
+           --morsel-cands sets the target estimated candidates per morsel
+           (0 = auto)
   fsck     <tree>  (or --tree <tree>) — prints a JSON integrity report,
            exits nonzero if the index is damaged
   simulate --tree1 <tree> --tree2 <tree> [--procs <n>] [--disks <n>]
@@ -42,8 +48,10 @@ commands:
            [--queue-bound <n>] [--batch-window-us <us>] [--max-batch <n>]
            [--cache <pages>] [--cache-shards <n>] [--join-threads <n>]
            [--join-morsel-cands <n>] [--join-steal busiest|rr|seeded]
+           [--join-steal-seed <n>] [--join-engine rtree|partition|auto]
            [--lenient] [--inject-faults <spec>] [--retry-attempts <n>]
-           [--trace <file.jsonl>] — --trace writes the trace at shutdown
+           [--trace <file.jsonl>] — --trace writes the trace at shutdown;
+           the --join-* tuning flags mirror `join`'s flags exactly
   query    --addr <host:port> [--tree <n>] (--window xl,yl,xu,yu |
            --nearest x,y [--k <n>] | --join-with <n> | --stats | --shutdown)
   metrics  --addr <host:port> — scrape Prometheus-text metrics from a
@@ -56,18 +64,26 @@ commands:
   bench-join [--scale <f>] [--seed <n>] [--reps <n>] [--quick]
            [--out <file.json>] — in-process join benchmark: scalar-vs-SoA
            sweep kernel plus a join matrix (1/2/4/8 threads × assignment ×
-           buffer org; --quick: 1/2/4 threads). speedup_vs_t1 is the
-           *scheduled* speedup: the t=1 run's per-morsel wall costs replayed
-           through the deterministic scheduler simulation with n virtual
-           workers (machine-independent; wall_speedup_vs_t1 reports the raw
-           wall ratio). Writes BENCH_join.json unless --out is given
+           buffer org; --quick: 1/2/4 threads) and an in-memory engine
+           comparison (R-tree vs partition on identical unbuffered joins,
+           both pre-indexed and from raw streams where the R-tree engine
+           pays index construction; reported as `engines` rows with both
+           partition/rtree wall ratios).
+           speedup_vs_t1 is the *scheduled* speedup: the t=1 run's
+           per-morsel wall costs replayed through the deterministic
+           scheduler simulation with n virtual workers (machine-
+           independent; wall_speedup_vs_t1 reports the raw wall ratio).
+           Writes BENCH_join.json unless --out is given
   bench-check --baseline <file.json> --candidate <file.json>
            [--tolerance <f>] [--min <id>=<floor>[,...]] [--require-steals]
-           — compare two bench-join reports on their machine-independent
-           ratios (kernel speedup, scheduled speedup vs t=1); --min adds
-           absolute floors on named rows (e.g. t4_gd_global=1.2);
-           --require-steals fails unless some candidate row stole; exits
-           nonzero on any regression
+           [--min-partition <f>] — compare two bench-join reports on their
+           machine-independent ratios (kernel speedup, scheduled speedup vs
+           t=1); --min adds absolute floors on named rows (e.g.
+           t4_gd_global=1.2); --require-steals fails unless some candidate
+           row stole; --min-partition puts an absolute floor on the
+           candidate's stream-input partition-vs-rtree wall ratio (index
+           build counted on the rtree side); exits nonzero on any
+           regression
   help
 
 options may be written --key value or --key=value
@@ -80,6 +96,44 @@ type CmdResult = Result<(), String>;
 
 fn io_err<E: std::fmt::Display>(e: E) -> String {
     e.to_string()
+}
+
+/// The join-tuning knobs `psj join` and `psj serve` share. Both surfaces
+/// parse through [`parse_join_tuning`] — `join` with bare flag names
+/// (`--morsel-cands`, `--steal`, `--steal-seed`, `--engine`), `serve` with
+/// the `join-` prefix (`--join-morsel-cands`, ...) — so the two flag sets
+/// and their validation cannot drift.
+struct JoinTuningArgs {
+    morsel_candidates: u64,
+    steal: StealPolicy,
+    steal_seed: u64,
+    engine: JoinEngine,
+}
+
+/// Parses the shared join-tuning flags, each named `--{prefix}{flag}`.
+fn parse_join_tuning(args: &Args, prefix: &str) -> Result<JoinTuningArgs, String> {
+    let key = |flag: &str| format!("{prefix}{flag}");
+    let morsel_candidates = args.parse_or(&key("morsel-cands"), 0u64)?;
+    let steal_key = key("steal");
+    let steal = match args.get(&steal_key) {
+        Some(policy) => StealPolicy::parse(policy).ok_or_else(|| {
+            format!("unknown --{steal_key} policy: {policy} (use busiest|rr|seeded)")
+        })?,
+        None => StealPolicy::Busiest,
+    };
+    let steal_seed = args.parse_or(&key("steal-seed"), 0u64)?;
+    let engine_key = key("engine");
+    let engine = match args.get(&engine_key) {
+        Some(name) => JoinEngine::parse(name)
+            .ok_or_else(|| format!("unknown --{engine_key}: {name} (use rtree|partition|auto)"))?,
+        None => JoinEngine::RTree,
+    };
+    Ok(JoinTuningArgs {
+        morsel_candidates,
+        steal,
+        steal_seed,
+        engine,
+    })
 }
 
 /// `psj generate` — write a synthetic TIGER-like scenario to two map files.
@@ -159,12 +213,11 @@ pub fn join(args: &Args) -> CmdResult {
     )?;
     let mut cfg = NativeConfig::new(threads);
     cfg.refine = !args.flag("no-refine");
-    cfg.morsel_candidates = args.parse_or("morsel-cands", 0u64)?;
-    if let Some(policy) = args.get("steal") {
-        cfg.steal = StealPolicy::parse(policy)
-            .ok_or_else(|| format!("unknown steal policy: {policy} (use busiest|rr|seeded)"))?;
-    }
-    cfg.steal_seed = args.parse_or("steal-seed", 0u64)?;
+    let tuning = parse_join_tuning(args, "")?;
+    cfg.morsel_candidates = tuning.morsel_candidates;
+    cfg.steal = tuning.steal;
+    cfg.steal_seed = tuning.steal_seed;
+    cfg.engine = tuning.engine;
     if let Some(pages) = args.get("cache") {
         let capacity_pages: usize = pages
             .parse()
@@ -197,7 +250,7 @@ pub fn join(args: &Args) -> CmdResult {
     if let Some(sink) = &trace {
         ctl = ctl.with_trace(Arc::clone(sink));
     }
-    let res = match try_run_native_join(&a, &b, &cfg, &ctl) {
+    let res = match try_run_join(&a, &b, &cfg, &ctl) {
         Ok(res) => res,
         Err(NativeError::Storage(je)) => {
             if let Some(plan) = &fault {
@@ -211,6 +264,15 @@ pub fn join(args: &Args) -> CmdResult {
         Err(NativeError::Cancelled) => unreachable!("no cancel token installed"),
     };
     println!("threads:            {threads}");
+    println!(
+        "engine:             {}{}",
+        res.engine.short(),
+        if cfg.engine == JoinEngine::Auto {
+            " (auto-selected)"
+        } else {
+            ""
+        }
+    );
     println!("tasks:              {}", res.tasks);
     println!(
         "morsels:            {} (steal policy {})",
@@ -219,6 +281,12 @@ pub fn join(args: &Args) -> CmdResult {
     );
     println!("node pairs:         {}", res.node_pairs);
     println!("filter candidates:  {}", res.candidates);
+    if res.engine == JoinEngine::Partition {
+        println!(
+            "grid replication:   {} replicated placements, {} cross-cell pairs deduped",
+            res.replicated, res.deduped
+        );
+    }
     println!(
         "{} {}",
         if cfg.refine {
@@ -358,6 +426,7 @@ pub fn serve(args: &Args) -> CmdResult {
         );
         trees.push(Arc::new(t));
     }
+    let tuning = parse_join_tuning(args, "join-")?;
     let cfg = ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         workers: args.parse_or(
@@ -372,12 +441,10 @@ pub fn serve(args: &Args) -> CmdResult {
         cache_pages: args.parse_or("cache", 4096)?,
         cache_shards: args.parse_or("cache-shards", 16)?,
         join_threads: args.parse_or("join-threads", 4)?,
-        join_morsel_candidates: args.parse_or("join-morsel-cands", 0u64)?,
-        join_steal: match args.get("join-steal") {
-            Some(policy) => StealPolicy::parse(policy)
-                .ok_or_else(|| format!("invalid --join-steal policy: {policy}"))?,
-            None => StealPolicy::Busiest,
-        },
+        join_morsel_candidates: tuning.morsel_candidates,
+        join_steal: tuning.steal,
+        join_steal_seed: tuning.steal_seed,
+        join_engine: tuning.engine,
         fault: match args.get("inject-faults") {
             Some(spec) => Some(Arc::new(FaultPlan::parse(spec)?)),
             None => None,
@@ -904,6 +971,188 @@ pub fn bench_join(args: &Args) -> CmdResult {
         }
     }
 
+    // --- Engine comparison (in-memory) ------------------------------------
+    // Both engines answer the *identical* unbuffered filter-step join (no
+    // page cache, no refinement, same datasets): the R-tree engine's
+    // synchronized traversal vs. the partition engine's uniform grid +
+    // per-cell sweep. Per-row wall is the minimum over `reps` runs (same
+    // noise rationale as the kernel micro-benchmark); the gated ratio is
+    // rtree_wall / partition_wall at the highest thread count — > 1 means
+    // the partition engine wins in memory, which is the Tsitsigkos et al.
+    // result this bench reproduces.
+    struct EngineRow {
+        id: String,
+        engine: &'static str,
+        threads: usize,
+        wall_ms: f64,
+        pairs: usize,
+        morsels: usize,
+        steals: u64,
+        replicated: u64,
+        deduped: u64,
+    }
+    let engine_threads: &[usize] = if quick { &[1, 2] } else { &[1, 4] };
+    let mut engine_rows: Vec<EngineRow> = Vec::new();
+    for &threads in engine_threads {
+        for engine in [JoinEngine::RTree, JoinEngine::Partition] {
+            let mut cfg = NativeConfig::new(threads);
+            cfg.refine = false;
+            cfg.engine = engine;
+            let mut wall_ms = f64::INFINITY;
+            let mut last = None;
+            for _ in 0..reps.max(1) {
+                let res = run_join(&a, &b, &cfg);
+                wall_ms = wall_ms.min(res.elapsed.as_secs_f64() * 1e3);
+                last = Some(res);
+            }
+            let res = last.expect("reps >= 1");
+            println!(
+                "engine t={threads} {}: {:.1} ms, {} pairs, {} morsels, {} steals{}",
+                engine.short(),
+                wall_ms,
+                res.pairs.len(),
+                res.morsels,
+                res.steals,
+                if engine == JoinEngine::Partition {
+                    format!(", {} replicated, {} deduped", res.replicated, res.deduped)
+                } else {
+                    String::new()
+                }
+            );
+            engine_rows.push(EngineRow {
+                id: format!("t{threads}_{}_mem", engine.short()),
+                engine: engine.short(),
+                threads,
+                wall_ms,
+                pairs: res.pairs.len(),
+                morsels: res.morsels,
+                steals: res.steals,
+                replicated: res.replicated,
+                deduped: res.deduped,
+            });
+        }
+    }
+    // Sanity: the engines must agree exactly on the filter-step output size.
+    for pair in engine_rows.chunks(2) {
+        if pair.len() == 2 && pair[0].pairs != pair[1].pairs {
+            return Err(format!(
+                "engine mismatch at t={}: rtree produced {} pairs, partition {}",
+                pair[0].threads, pair[0].pairs, pair[1].pairs
+            ));
+        }
+    }
+    let top = *engine_threads.last().expect("non-empty");
+    let find_wall = |rows: &[EngineRow], engine: &str, suffix: &str| {
+        rows.iter()
+            .find(|r| r.threads == top && r.engine == engine && r.id.ends_with(suffix))
+            .map(|r| r.wall_ms)
+            .expect("row exists")
+    };
+    let partition_vs_rtree_indexed =
+        find_wall(&engine_rows, "rtree", "_mem") / find_wall(&engine_rows, "partition", "_mem");
+    println!(
+        "engines: pre-indexed, partition is {partition_vs_rtree_indexed:.2}x the rtree \
+         engine (t={top}, >1 = partition faster)"
+    );
+
+    // --- Engine comparison (stream input) ---------------------------------
+    // Neither side is indexed: the R-tree engine first has to *build* its
+    // indexes (STR bulk load + freeze, the cheapest construction this
+    // workspace has) before it can traverse, while the partition engine
+    // plans its grid directly from the rectangle streams. This is the
+    // comparison the partitioning literature makes — a one-off join where
+    // no index pre-exists — and the config the gated
+    // `partition_speedup_vs_rtree` ratio is computed from.
+    {
+        let items_a: Vec<(psj_geom::Rect, u64)> = m1.iter().map(|o| (o.mbr(), o.oid)).collect();
+        let items_b: Vec<(psj_geom::Rect, u64)> = m2.iter().map(|o| (o.mbr(), o.oid)).collect();
+        let ra: Vec<RectItem> = m1
+            .iter()
+            .map(|o| RectItem {
+                mbr: o.mbr(),
+                oid: o.oid,
+            })
+            .collect();
+        let rb: Vec<RectItem> = m2
+            .iter()
+            .map(|o| RectItem {
+                mbr: o.mbr(),
+                oid: o.oid,
+            })
+            .collect();
+        let mut cfg = NativeConfig::new(top);
+        cfg.refine = false;
+        let mut rt_wall = f64::INFINITY;
+        let mut rt_last = None;
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            let sa = PagedTree::freeze(&bulk_load_str(&items_a), |_| None);
+            let sb = PagedTree::freeze(&bulk_load_str(&items_b), |_| None);
+            let res = run_join(&sa, &sb, &cfg);
+            rt_wall = rt_wall.min(t0.elapsed().as_secs_f64() * 1e3);
+            rt_last = Some(res);
+        }
+        let rt_res = rt_last.expect("reps >= 1");
+        let mut pt_wall = f64::INFINITY;
+        let mut pt_last = None;
+        for _ in 0..reps.max(1) {
+            let res = psj_core::run_partition_join(
+                psj_core::PartitionInput::Rects(&ra),
+                psj_core::PartitionInput::Rects(&rb),
+                &cfg,
+            );
+            pt_wall = pt_wall.min(res.elapsed.as_secs_f64() * 1e3);
+            pt_last = Some(res);
+        }
+        let pt_res = pt_last.expect("reps >= 1");
+        if rt_res.pairs.len() != pt_res.pairs.len() {
+            return Err(format!(
+                "engine mismatch on stream input: rtree produced {} pairs, partition {}",
+                rt_res.pairs.len(),
+                pt_res.pairs.len()
+            ));
+        }
+        println!(
+            "engine t={top} rtree (stream, index build included): {rt_wall:.1} ms, {} pairs",
+            rt_res.pairs.len()
+        );
+        println!(
+            "engine t={top} partition (stream): {pt_wall:.1} ms, {} pairs, \
+             {} replicated, {} deduped",
+            pt_res.pairs.len(),
+            pt_res.replicated,
+            pt_res.deduped
+        );
+        engine_rows.push(EngineRow {
+            id: format!("t{top}_rtree_stream"),
+            engine: "rtree",
+            threads: top,
+            wall_ms: rt_wall,
+            pairs: rt_res.pairs.len(),
+            morsels: rt_res.morsels,
+            steals: rt_res.steals,
+            replicated: 0,
+            deduped: 0,
+        });
+        engine_rows.push(EngineRow {
+            id: format!("t{top}_partition_stream"),
+            engine: "partition",
+            threads: top,
+            wall_ms: pt_wall,
+            pairs: pt_res.pairs.len(),
+            morsels: pt_res.morsels,
+            steals: pt_res.steals,
+            replicated: pt_res.replicated,
+            deduped: pt_res.deduped,
+        });
+    }
+    let partition_vs_rtree = find_wall(&engine_rows, "rtree", "_stream")
+        / find_wall(&engine_rows, "partition", "_stream");
+    println!(
+        "engines: on unindexed streams, partition is {partition_vs_rtree:.2}x the rtree \
+         engine (t={top}, index build counted, >1 = partition faster)"
+    );
+
     // --- Report -----------------------------------------------------------
     let mut json = String::new();
     json.push_str("{\n");
@@ -951,7 +1200,34 @@ pub fn bench_join(args: &Args) -> CmdResult {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"engines\": {\n");
+    json.push_str("    \"rows\": [\n");
+    for (i, r) in engine_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"id\": \"{}\", \"engine\": \"{}\", \"threads\": {}, \
+             \"wall_ms\": {:.3}, \"pairs\": {}, \"morsels\": {}, \"steals\": {}, \
+             \"replicated\": {}, \"deduped\": {}}}{}\n",
+            r.id,
+            r.engine,
+            r.threads,
+            r.wall_ms,
+            r.pairs,
+            r.morsels,
+            r.steals,
+            r.replicated,
+            r.deduped,
+            if i + 1 < engine_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"partition_vs_rtree_preindexed\": {partition_vs_rtree_indexed:.4},\n"
+    ));
+    json.push_str(&format!(
+        "    \"partition_speedup_vs_rtree\": {partition_vs_rtree:.4}\n"
+    ));
+    json.push_str("  }\n}\n");
     std::fs::write(out, &json).map_err(io_err)?;
     println!("wrote {out}");
     Ok(())
@@ -1075,6 +1351,27 @@ pub fn bench_check(args: &Args) -> CmdResult {
                 "join {id} below absolute floor: {v:.3}x < {floor:.3}x"
             )),
             None => failures.push(format!("--min {id}: row not in candidate report")),
+        }
+    }
+
+    // Absolute floor on the in-memory engine comparison: the candidate's
+    // partition/rtree wall ratio must meet it. Wall ratios on the same
+    // machine in the same process are machine-independent enough to gate.
+    if let Some(floor) = args.get("min-partition") {
+        let floor: f64 = floor
+            .parse()
+            .map_err(|_| format!("--min-partition '{floor}' is not a number"))?;
+        match json_number_after(&candidate, "partition_speedup_vs_rtree", 0).map(|(v, _)| v) {
+            Some(v) if v >= floor => {
+                println!("engines: partition {v:.3}x vs rtree meets floor {floor:.3}x");
+            }
+            Some(v) => failures.push(format!(
+                "partition engine below floor: {v:.3}x vs rtree < {floor:.3}x"
+            )),
+            None => failures.push(format!(
+                "{candidate_path}: no partition_speedup_vs_rtree in report \
+                 (re-run bench-join)"
+            )),
         }
     }
 

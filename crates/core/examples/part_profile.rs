@@ -1,0 +1,159 @@
+//! Dev profiling harness: where does the partition engine's time go vs the
+//! R-tree engine on the bench workload? Run with
+//! `cargo run --release -p psj-core --example part_profile`.
+
+use psj_core::native::run_native_join;
+use psj_core::partition::grid::{plan_grid, CellIndex, ItemStats};
+use psj_core::{plan_partition, run_partition_join, NativeConfig, PartitionInput};
+use psj_datagen::Scenario;
+use psj_rtree::{PagedTree, RTree};
+use std::time::Instant;
+
+fn index(objs: &[psj_datagen::MapObject]) -> PagedTree {
+    let mut t = RTree::new();
+    for o in objs {
+        t.insert(o.mbr(), o.oid);
+    }
+    PagedTree::freeze(&t, |_| None)
+}
+
+fn min_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(v);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn main() {
+    const REPS: usize = 9;
+    let (m1, m2) = Scenario::scaled(1996, 0.25).generate();
+    let a = index(&m1);
+    let b = index(&m2);
+    let mut cfg = NativeConfig::new(1);
+    cfg.refine = false;
+
+    let mbrs_a: Vec<psj_geom::Rect> = a.window_query(&a.mbr()).iter().map(|e| e.mbr).collect();
+    let mbrs_b: Vec<psj_geom::Rect> = b.window_query(&b.mbr()).iter().map(|e| e.mbr).collect();
+    let (t_stats, (sa, sb)) = min_ms(REPS, || {
+        (ItemStats::scan(&mbrs_a), ItemStats::scan(&mbrs_b))
+    });
+    let uni = {
+        let (ra, rb) = (sa.bbox.unwrap(), sb.bbox.unwrap());
+        psj_geom::Rect {
+            xl: ra.xl.max(rb.xl),
+            yl: ra.yl.max(rb.yl),
+            xu: ra.xu.min(rb.xu),
+            yu: ra.yu.min(rb.yu),
+        }
+    };
+    let grid = plan_grid(uni, &sa, &sb, 8);
+    let (t_csr, (ia, ib)) = min_ms(REPS, || {
+        (
+            CellIndex::build(&grid, &mbrs_a),
+            CellIndex::build(&grid, &mbrs_b),
+        )
+    });
+    println!(
+        "stats {t_stats:.3}ms  csr {t_csr:.3}ms  grid {}x{}  placed {} + {}  placements {} + {}",
+        grid.nx,
+        grid.ny,
+        ia.placed,
+        ib.placed,
+        ia.items.len(),
+        ib.items.len(),
+    );
+
+    let (t_plan, plan) = min_ms(REPS, || {
+        plan_partition(PartitionInput::Tree(&a), PartitionInput::Tree(&b), &cfg)
+    });
+    let (t_part, res) = min_ms(REPS, || {
+        run_partition_join(PartitionInput::Tree(&a), PartitionInput::Tree(&b), &cfg)
+    });
+    let (t_rtree, rres) = min_ms(REPS, || run_native_join(&a, &b, &cfg));
+    println!(
+        "plan {:>7.3}ms (cells {} occupied {} morsels {})  partition {:>7.3}ms ({} pairs)  rtree {:>7.3}ms ({} pairs)",
+        t_plan,
+        plan.grid.cells(),
+        plan.occupied,
+        plan.morsels.len(),
+        t_part,
+        res.pairs.len(),
+        t_rtree,
+        rres.pairs.len(),
+    );
+
+    // Dense overlapping grid: every node pair qualifies, tree traversal
+    // has nothing to prune — the partition engine's home turf.
+    let dense = |n: usize, offset: f64| {
+        let mut t = RTree::new();
+        for i in 0..n {
+            let x = (i % 200) as f64 + offset;
+            let y = (i / 200) as f64 + offset;
+            t.insert(psj_geom::Rect::new(x, y, x + 1.2, y + 1.2), i as u64);
+        }
+        PagedTree::freeze(&t, |_| None)
+    };
+    // Stream input: neither side has an index yet. The R-tree engine must
+    // build (insert + freeze) before it can join; the partition engine
+    // plans its grid from the raw stream. This is the comparison the
+    // partition literature actually makes.
+    let ra: Vec<psj_core::RectItem> = m1
+        .iter()
+        .map(|o| psj_core::RectItem {
+            mbr: o.mbr(),
+            oid: o.oid,
+        })
+        .collect();
+    let rb: Vec<psj_core::RectItem> = m2
+        .iter()
+        .map(|o| psj_core::RectItem {
+            mbr: o.mbr(),
+            oid: o.oid,
+        })
+        .collect();
+    let items_a: Vec<(psj_geom::Rect, u64)> = m1.iter().map(|o| (o.mbr(), o.oid)).collect();
+    let items_b: Vec<(psj_geom::Rect, u64)> = m2.iter().map(|o| (o.mbr(), o.oid)).collect();
+    let (t_build, _) = min_ms(REPS, || {
+        (
+            PagedTree::freeze(&psj_rtree::bulk::bulk_load_str(&items_a), |_| None),
+            PagedTree::freeze(&psj_rtree::bulk::bulk_load_str(&items_b), |_| None),
+        )
+    });
+    let (t_part_s, sres) = min_ms(REPS, || {
+        run_partition_join(PartitionInput::Rects(&ra), PartitionInput::Rects(&rb), &cfg)
+    });
+    println!(
+        "stream: rtree build {t_build:.3}ms + join {t_rtree:.3}ms = {:.3}ms  partition {t_part_s:.3}ms ({} pairs)  ratio {:.2}x",
+        t_build + t_rtree,
+        sres.pairs.len(),
+        (t_build + t_rtree) / t_part_s,
+    );
+
+    let da = dense(40_000, 0.0);
+    let db = dense(40_000, 0.5);
+    let (t_plan_d, dplan) = min_ms(5, || {
+        plan_partition(PartitionInput::Tree(&da), PartitionInput::Tree(&db), &cfg)
+    });
+    let (t_part_d, dres) = min_ms(5, || {
+        run_partition_join(PartitionInput::Tree(&da), PartitionInput::Tree(&db), &cfg)
+    });
+    let (t_rtree_d, drres) = min_ms(5, || run_native_join(&da, &db, &cfg));
+    println!(
+        "dense 40k: plan {:>7.3}ms (grid {}x{} placements {} + {})  partition {:>7.3}ms ({} pairs)  rtree {:>7.3}ms ({} pairs)  ratio {:.2}x",
+        t_plan_d,
+        dplan.grid.nx,
+        dplan.grid.ny,
+        dplan.a.items.len(),
+        dplan.b.items.len(),
+        t_part_d,
+        dres.pairs.len(),
+        t_rtree_d,
+        drres.pairs.len(),
+        t_rtree_d / t_part_d,
+    );
+}

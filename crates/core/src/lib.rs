@@ -54,6 +54,7 @@ pub mod estimate;
 pub mod metrics;
 pub mod morsel;
 pub mod native;
+pub mod partition;
 pub mod queries;
 pub mod seq;
 pub mod shnothing;
@@ -71,6 +72,10 @@ pub use native::{
     run_native_join, run_native_join_cancellable, run_native_join_with_cache, try_run_native_join,
     try_run_native_join_with_cache, BufferConfig, JoinError, NativeConfig, NativeError,
     NativeResult, RunControl,
+};
+pub use partition::{
+    plan_partition, run_join, run_partition_join, select_engine, try_run_join,
+    try_run_partition_join, JoinEngine, PartitionInput, PartitionPlan, RectItem,
 };
 pub use queries::{
     batched_window_queries, batched_window_queries_cancellable, parallel_nn_queries,

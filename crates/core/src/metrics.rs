@@ -1,6 +1,7 @@
 //! Metrics collected by the executors — the quantities the paper's figures
 //! plot.
 
+use crate::partition::JoinEngine;
 use psj_buffer::BufferStats;
 use psj_store::timing::to_secs;
 use psj_store::Nanos;
@@ -130,6 +131,15 @@ pub struct TaskTrace {
     pub retries: u64,
     /// Wall-clock time from acquiring the task to finishing it.
     pub wall: std::time::Duration,
+    /// Engine that executed the morsel ([`JoinEngine::RTree`] for native
+    /// tree-traversal morsels, [`JoinEngine::Partition`] for grid cells).
+    pub engine: JoinEngine,
+    /// Grid-replicated item placements touched by this morsel's cells
+    /// (always 0 for the R-tree engine, which never replicates).
+    pub replicated: u64,
+    /// Cross-cell duplicate pairs this morsel suppressed via the
+    /// reference-point test (always 0 for the R-tree engine).
+    pub deduped: u64,
 }
 
 #[cfg(test)]

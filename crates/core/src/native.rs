@@ -141,6 +141,12 @@ pub struct NativeConfig {
     /// Seed of the [`StealPolicy::Seeded`] victim-order shim (ignored by
     /// the other policies).
     pub steal_seed: u64,
+    /// Which join executor answers: the paper's R-tree traversal, the
+    /// in-memory grid partition, or a per-run automatic choice. Only the
+    /// engine-dispatching entry points ([`crate::partition::run_join`] /
+    /// [`crate::partition::try_run_join`]) consult this; calling
+    /// [`run_native_join`] directly always runs the R-tree engine.
+    pub engine: crate::partition::JoinEngine,
 }
 
 impl NativeConfig {
@@ -157,6 +163,7 @@ impl NativeConfig {
             morsel_candidates: 0,
             steal: StealPolicy::Busiest,
             steal_seed: 0,
+            engine: crate::partition::JoinEngine::RTree,
         }
     }
 
@@ -289,6 +296,15 @@ pub struct NativeResult {
     /// Per-morsel attribution: one entry per acquired morsel, recorded on
     /// every run. Order is unspecified (group by [`TaskTrace::morsel`]).
     pub task_traces: Vec<TaskTrace>,
+    /// Engine that produced this result. Every [`TaskTrace`] in
+    /// `task_traces` carries the same tag.
+    pub engine: crate::partition::JoinEngine,
+    /// Grid-replicated item placements (partition engine only; the sum of
+    /// the traces' [`TaskTrace::replicated`] — 0 for the R-tree engine).
+    pub replicated: u64,
+    /// Cross-cell duplicate pairs suppressed by the reference-point test
+    /// (partition engine only; sums the traces' [`TaskTrace::deduped`]).
+    pub deduped: u64,
 }
 
 /// High bit of a [`PageId`] distinguishes tree B's pages from tree A's in
@@ -891,6 +907,9 @@ fn run_with_caches(
         buffer,
         buffer_per_worker,
         task_traces,
+        engine: crate::partition::JoinEngine::RTree,
+        replicated: 0,
+        deduped: 0,
     })
 }
 
@@ -944,6 +963,9 @@ fn close_segment(
         misses: delta.misses,
         retries: delta.retries,
         wall: seg.start.elapsed(),
+        engine: crate::partition::JoinEngine::RTree,
+        replicated: 0,
+        deduped: 0,
     };
     if let Some(tr) = tracer {
         tr.span(

@@ -1,0 +1,558 @@
+//! Grid planning for the partition join engine.
+//!
+//! The planner sizes a uniform grid over the **universe** — the
+//! intersection of the two inputs' bounding boxes (any result pair's MBR
+//! intersection lies inside both boxes, so nothing outside the universe can
+//! contribute) — from the same input statistics the morsel planner's cost
+//! model uses ([`crate::cost`]): item counts size the grid for work and
+//! parallelism, average entry extents bound how finely it may be cut before
+//! replication explodes. Every item is then *replicated* into each cell its
+//! MBR overlaps (CSR layout, one index per side, each cell's run pre-sorted
+//! by `xl` for the plane sweep), and cross-cell duplicate results are
+//! suppressed at execution time with the **reference-point test**: a pair is
+//! reported only by the cell containing the bottom-left corner of its MBR
+//! intersection, which lies in exactly one cell.
+//!
+//! Cell membership is decided by [`GridPlan::cell_x`]/[`GridPlan::cell_y`]
+//! everywhere — item placement and the reference-point test share the same
+//! clamped float→cell mapping, so a pair's owning cell is always among the
+//! cells both items were placed in (the mapping is monotone and
+//! `a.xl ≤ ref.x ≤ a.xu` brackets the reference point inside both items'
+//! cell ranges). Floating-point cell *boundaries* never enter any decision.
+
+use psj_geom::Rect;
+
+/// Target combined items per cell: small enough that a per-cell sweep stays
+/// in cache, large enough that per-cell overhead amortizes.
+pub const TARGET_CELL_ITEMS: usize = 256;
+/// Minimum cells per worker, so the scheduler has slack to balance.
+pub const CELLS_PER_WORKER: usize = 16;
+/// Hard ceiling on grid size, bounding planner memory on huge inputs.
+pub const MAX_CELLS: usize = 1 << 14;
+
+/// A uniform grid over the join universe.
+#[derive(Debug, Clone, Copy)]
+pub struct GridPlan {
+    /// Intersection of the two inputs' bounding boxes.
+    pub universe: Rect,
+    /// Grid columns.
+    pub nx: u32,
+    /// Grid rows.
+    pub ny: u32,
+    /// Precomputed `nx / width` (0 when the universe is degenerate), so
+    /// the cell mapping multiplies instead of dividing — it runs per MBR
+    /// corner at placement and per result pair in the reference-point
+    /// test, where a dependent divide per call is measurable.
+    sx: f64,
+    /// Precomputed `ny / height`, same role as `sx`.
+    sy: f64,
+}
+
+impl GridPlan {
+    /// Builds a grid, precomputing the coordinate→cell scale factors.
+    pub fn new(universe: Rect, nx: u32, ny: u32) -> Self {
+        let scale = |n: u32, span: f64| {
+            if span <= 0.0 || n <= 1 {
+                0.0
+            } else {
+                f64::from(n) / span
+            }
+        };
+        GridPlan {
+            universe,
+            nx,
+            ny,
+            sx: scale(nx, universe.width()),
+            sy: scale(ny, universe.height()),
+        }
+    }
+
+    /// Total cell count.
+    pub fn cells(&self) -> usize {
+        self.nx as usize * self.ny as usize
+    }
+
+    /// Column of coordinate `x`, clamped into the grid. Monotone in `x`
+    /// (`sx > 0` and subtraction, multiplication, floor and clamp all
+    /// preserve order; a degenerate axis maps everything to column 0).
+    #[inline]
+    pub fn cell_x(&self, x: f64) -> u32 {
+        let t = (x - self.universe.xl) * self.sx;
+        (t.floor() as i64).clamp(0, i64::from(self.nx) - 1) as u32
+    }
+
+    /// Row of coordinate `y`, clamped into the grid. Monotone in `y`.
+    #[inline]
+    pub fn cell_y(&self, y: f64) -> u32 {
+        let t = (y - self.universe.yl) * self.sy;
+        (t.floor() as i64).clamp(0, i64::from(self.ny) - 1) as u32
+    }
+
+    /// Row-major id of cell `(cx, cy)`.
+    #[inline]
+    pub fn cell_id(&self, cx: u32, cy: u32) -> u32 {
+        cy * self.nx + cx
+    }
+
+    /// Cells an MBR overlaps: `(cx0, cx1, cy0, cy1)`, all inclusive.
+    #[inline]
+    pub fn cell_range(&self, r: &Rect) -> (u32, u32, u32, u32) {
+        (
+            self.cell_x(r.xl),
+            self.cell_x(r.xu),
+            self.cell_y(r.yl),
+            self.cell_y(r.yu),
+        )
+    }
+
+    /// The cell that owns a result pair: the one containing the bottom-left
+    /// corner of the two MBRs' intersection (the reference point). Exactly
+    /// one cell owns each pair, and both items are guaranteed to have been
+    /// replicated into it.
+    #[inline]
+    pub fn owner_cell(&self, a: &Rect, b: &Rect) -> u32 {
+        self.cell_id(self.cell_x(a.xl.max(b.xl)), self.cell_y(a.yl.max(b.yl)))
+    }
+}
+
+/// One pass of summary statistics over an item stream, mirroring what
+/// [`crate::cost::TreeProfile`] samples from a frozen tree — here exact,
+/// since planning already walks every item.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ItemStats {
+    /// Item count.
+    pub n: usize,
+    /// Bounding box of all items (`None` when empty).
+    pub bbox: Option<Rect>,
+    /// Mean MBR width.
+    pub avg_w: f64,
+    /// Mean MBR height.
+    pub avg_h: f64,
+}
+
+impl ItemStats {
+    /// Scans `mbrs`.
+    pub fn scan(mbrs: &[Rect]) -> Self {
+        let mut bbox: Option<Rect> = None;
+        let (mut sw, mut sh) = (0.0f64, 0.0f64);
+        for r in mbrs {
+            sw += r.width();
+            sh += r.height();
+            bbox = Some(match bbox {
+                None => *r,
+                Some(acc) => Rect {
+                    xl: acc.xl.min(r.xl),
+                    yl: acc.yl.min(r.yl),
+                    xu: acc.xu.max(r.xu),
+                    yu: acc.yu.max(r.yu),
+                },
+            });
+        }
+        let n = mbrs.len();
+        ItemStats {
+            n,
+            bbox,
+            avg_w: if n == 0 { 0.0 } else { sw / n as f64 },
+            avg_h: if n == 0 { 0.0 } else { sh / n as f64 },
+        }
+    }
+}
+
+/// Sizes the grid for the given universe and input statistics.
+///
+/// Cell count targets [`TARGET_CELL_ITEMS`] combined items per cell and at
+/// least [`CELLS_PER_WORKER`] cells per worker, clamped to [`MAX_CELLS`];
+/// columns and rows are apportioned by the universe's aspect ratio. Each
+/// axis is then capped so a cell is no narrower than the mean entry extent
+/// on that axis — cutting finer than the data multiplies replication
+/// without shrinking per-cell work.
+pub fn plan_grid(universe: Rect, a: &ItemStats, b: &ItemStats, workers: usize) -> GridPlan {
+    let n_total = a.n + b.n;
+    let cells_work = n_total.div_ceil(TARGET_CELL_ITEMS);
+    let cells_par = workers.max(1) * CELLS_PER_WORKER;
+    let cells = cells_work.max(cells_par).clamp(1, MAX_CELLS);
+
+    let w = universe.width().max(0.0);
+    let h = universe.height().max(0.0);
+    let cap = |span: f64, avg_a: f64, avg_b: f64| -> u32 {
+        if span <= 0.0 {
+            return 1;
+        }
+        let avg = (avg_a.max(avg_b)).max(f64::MIN_POSITIVE);
+        ((span / avg).floor().max(1.0)).min(MAX_CELLS as f64) as u32
+    };
+    let cap_x = cap(w, a.avg_w, b.avg_w);
+    let cap_y = cap(h, a.avg_h, b.avg_h);
+
+    let aspect = if h > 0.0 && w > 0.0 { w / h } else { 1.0 };
+    let nx = ((cells as f64 * aspect).sqrt().round().max(1.0) as u32).min(cap_x);
+    let ny = ((cells as f64 / f64::from(nx.max(1))).round().max(1.0) as u32).min(cap_y);
+    GridPlan::new(universe, nx, ny)
+}
+
+/// `f64` → `u64` map that preserves [`f64::total_cmp`] order: flip the
+/// sign bit on non-negatives, flip every bit on negatives. Radix-sorting
+/// the mapped keys sorts exactly like `sort_by(total_cmp)`.
+#[inline]
+fn f64_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Stable LSD radix sort of `(key, payload)` pairs by key: six 11-bit
+/// counting passes cover all 64 bits. Small inputs fall back to the
+/// comparison sort — with distinct payloads the tuple order equals the
+/// stable by-key order, so both paths produce identical sequences.
+fn radix_sort_by_key(kv: &mut Vec<(u64, u32)>) {
+    const BITS: usize = 11;
+    const BUCKETS: usize = 1 << BITS;
+    const PASSES: usize = 64usize.div_ceil(BITS);
+    let n = kv.len();
+    if n < 2 * BUCKETS {
+        kv.sort_unstable();
+        return;
+    }
+    let mut tmp: Vec<(u64, u32)> = vec![(0, 0); n];
+    let mut counts = [0u32; BUCKETS];
+    for pass in 0..PASSES {
+        let shift = pass * BITS;
+        counts.fill(0);
+        for &(k, _) in kv.iter() {
+            counts[(k >> shift) as usize & (BUCKETS - 1)] += 1;
+        }
+        let mut acc = 0u32;
+        for c in counts.iter_mut() {
+            let t = *c;
+            *c = acc;
+            acc += t;
+        }
+        for &(k, v) in kv.iter() {
+            let d = (k >> shift) as usize & (BUCKETS - 1);
+            tmp[counts[d] as usize] = (k, v);
+            counts[d] += 1;
+        }
+        std::mem::swap(kv, &mut tmp);
+    }
+    // An even pass count leaves the result in `kv` after the final swap.
+    const { assert!(PASSES.is_multiple_of(2)) };
+}
+
+/// Per-side cell index in CSR layout: `items[offsets[c]..offsets[c + 1]]`
+/// are the global indices of the items replicated into cell `c`, sorted by
+/// `(xl, index)` so each cell's run is directly sweepable.
+#[derive(Debug, Clone, Default)]
+pub struct CellIndex {
+    /// CSR offsets, length `cells + 1`.
+    pub offsets: Vec<u32>,
+    /// Global item indices, grouped by cell.
+    pub items: Vec<u32>,
+    /// Per-cell replica placements: entries of the cell whose *home* cell
+    /// (bottom-left corner of their MBR) is a different cell. Summing over
+    /// the cells of a morsel gives that morsel's replication attribution;
+    /// summing over all executed cells gives the run aggregate — the same
+    /// numbers by construction.
+    pub replicas: Vec<u32>,
+    /// Items that intersect the universe (each counted once, not per cell).
+    pub placed: usize,
+}
+
+impl CellIndex {
+    /// Builds the index: drops items disjoint from the universe (they
+    /// cannot contribute a pair) and replicates the rest into every
+    /// overlapped cell, leaving each cell's run sorted by `(xl, index)`.
+    ///
+    /// The runs come out sorted without any per-cell sort: the items are
+    /// sorted **once** by `(xl, index)` and the CSR is filled in that
+    /// order, so every cell inherits the global order. One `n log n` sort
+    /// of contiguous keys replaces `placements log(run)` comparisons
+    /// through cache-missing `mbrs[items[i]]` indirections — on the bench
+    /// workload (~3× replication) this is most of the planning cost.
+    pub fn build(grid: &GridPlan, mbrs: &[Rect]) -> Self {
+        let cells = grid.cells();
+        // One sequential pass computes each placed item's cell range and
+        // per-cell counts; the compact records are then sorted by
+        // `(xl, index)` once and the CSR filled from them, so every cell
+        // run inherits the global order with no per-cell sort and no
+        // further `mbrs` access. One `n log n` sort of contiguous records
+        // replaces `placements log(run)` comparisons through cache-missing
+        // `mbrs[items[i]]` indirections — on the bench workload (~3×
+        // replication) those sorts were most of the planning cost.
+        struct Placed {
+            xl: f64,
+            i: u32,
+            cx0: u32,
+            cx1: u32,
+            cy0: u32,
+            cy1: u32,
+        }
+        let mut counts = vec![0u32; cells];
+        let mut replicas = vec![0u32; cells];
+        let mut order: Vec<Placed> = Vec::with_capacity(mbrs.len());
+        for (i, r) in mbrs.iter().enumerate() {
+            if !r.intersects(&grid.universe) {
+                continue;
+            }
+            let (cx0, cx1, cy0, cy1) = grid.cell_range(r);
+            for cy in cy0..=cy1 {
+                for cx in cx0..=cx1 {
+                    let c = grid.cell_id(cx, cy) as usize;
+                    counts[c] += 1;
+                    if (cx, cy) != (cx0, cy0) {
+                        replicas[c] += 1;
+                    }
+                }
+            }
+            order.push(Placed {
+                xl: r.xl,
+                i: i as u32,
+                cx0,
+                cx1,
+                cy0,
+                cy1,
+            });
+        }
+        // Sort compact (key, record) pairs, not the 32-byte records: the
+        // key is `xl`'s order-preserving bit pattern (`total_cmp` order),
+        // so an LSD radix pass replaces `n log n` float comparisons with
+        // six counting passes. Equal keys keep insertion order either way
+        // (radix is stable; the comparison fallback ties on the record
+        // position), which is exactly the `(xl, index)` order the sweep
+        // and the deterministic merge rely on.
+        let mut kv: Vec<(u64, u32)> = order
+            .iter()
+            .enumerate()
+            .map(|(p, rec)| (f64_key(rec.xl), p as u32))
+            .collect();
+        radix_sort_by_key(&mut kv);
+        let placed = order.len();
+
+        let mut offsets = Vec::with_capacity(cells + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut items = vec![0u32; acc as usize];
+        let mut fill: Vec<u32> = offsets[..cells].to_vec();
+        for &(_, p) in &kv {
+            let p = &order[p as usize];
+            for cy in p.cy0..=p.cy1 {
+                for cx in p.cx0..=p.cx1 {
+                    let c = grid.cell_id(cx, cy) as usize;
+                    items[fill[c] as usize] = p.i;
+                    fill[c] += 1;
+                }
+            }
+        }
+        CellIndex {
+            offsets,
+            items,
+            replicas,
+            placed,
+        }
+    }
+
+    /// The sorted item run of cell `c`.
+    #[inline]
+    pub fn cell(&self, c: usize) -> &[u32] {
+        &self.items[self.offsets[c] as usize..self.offsets[c + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(xl: f64, yl: f64, xu: f64, yu: f64) -> Rect {
+        Rect::new(xl, yl, xu, yu)
+    }
+
+    #[test]
+    fn radix_order_equals_total_cmp_order() {
+        // Keys crossing every tricky region: negatives, ±0.0, subnormals,
+        // infinities, plus ties (distinct payloads decide, as insertion
+        // order would under a stable sort).
+        let xs = [
+            -1e300,
+            -1.5,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            1.5,
+            1.5,
+            1e300,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            42.0,
+            -42.0,
+        ];
+        for x in xs {
+            for y in xs {
+                assert_eq!(
+                    f64_key(x).cmp(&f64_key(y)),
+                    x.total_cmp(&y),
+                    "key order diverges for {x} vs {y}"
+                );
+            }
+        }
+        // Radix path (forced over the small-input fallback) must equal the
+        // comparison sort on a deterministic pseudo-random sequence.
+        let mut kv: Vec<(u64, u32)> = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for i in 0..5000u32 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // Bias towards collisions so stability is actually exercised.
+            kv.push((f64_key((state >> 50) as f64), i));
+        }
+        let mut want = kv.clone();
+        want.sort_unstable();
+        radix_sort_by_key(&mut kv);
+        assert_eq!(kv, want);
+    }
+
+    fn grid_over(mbrs: &[Rect], workers: usize) -> GridPlan {
+        let s = ItemStats::scan(mbrs);
+        plan_grid(s.bbox.unwrap(), &s, &s, workers)
+    }
+
+    #[test]
+    fn stats_scan_is_exact() {
+        let mbrs = vec![r(0.0, 0.0, 2.0, 4.0), r(1.0, 1.0, 3.0, 2.0)];
+        let s = ItemStats::scan(&mbrs);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.bbox, Some(r(0.0, 0.0, 3.0, 4.0)));
+        assert_eq!(s.avg_w, 2.0);
+        assert_eq!(s.avg_h, 2.5);
+        assert!(ItemStats::scan(&[]).bbox.is_none());
+    }
+
+    #[test]
+    fn cell_mapping_is_clamped_and_monotone() {
+        let g = GridPlan::new(r(0.0, 0.0, 10.0, 10.0), 4, 4);
+        assert_eq!(g.cell_x(-5.0), 0);
+        assert_eq!(g.cell_x(0.0), 0);
+        assert_eq!(g.cell_x(9.99), 3);
+        assert_eq!(g.cell_x(10.0), 3, "upper boundary clamps into the grid");
+        assert_eq!(g.cell_x(50.0), 3);
+        let mut prev = 0;
+        for i in 0..100 {
+            let c = g.cell_x(i as f64 * 0.1);
+            assert!(c >= prev, "cell_x must be monotone");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn degenerate_universe_collapses_to_one_cell() {
+        let g = plan_grid(
+            r(5.0, 0.0, 5.0, 10.0),
+            &ItemStats {
+                n: 100,
+                bbox: None,
+                avg_w: 0.0,
+                avg_h: 1.0,
+            },
+            &ItemStats::default(),
+            4,
+        );
+        assert_eq!(g.nx, 1, "zero-width universe keeps one column");
+        assert!(g.ny >= 1);
+        assert_eq!(g.cell_x(5.0), 0);
+    }
+
+    #[test]
+    fn entry_extent_caps_grid_resolution() {
+        // Items as wide as the universe: any cut would replicate every item
+        // into every column.
+        let mbrs: Vec<Rect> = (0..1000)
+            .map(|i| r(0.0, i as f64, 100.0, i as f64 + 1.0))
+            .collect();
+        let g = grid_over(&mbrs, 4);
+        assert_eq!(g.nx, 1, "full-width items forbid column cuts");
+        assert!(g.ny > 1, "rows may still cut");
+    }
+
+    #[test]
+    fn owner_cell_is_within_both_items_ranges() {
+        let mbrs: Vec<Rect> = (0..500)
+            .map(|i| {
+                let x = (i % 25) as f64 * 0.83;
+                let y = (i / 25) as f64 * 1.07;
+                r(x, y, x + 1.9, y + 1.4)
+            })
+            .collect();
+        let g = grid_over(&mbrs, 4);
+        assert!(g.cells() > 1);
+        for (i, a) in mbrs.iter().enumerate() {
+            for b in &mbrs[i..] {
+                if !a.intersects(b) {
+                    continue;
+                }
+                let owner = g.owner_cell(a, b);
+                let (ax0, ax1, ay0, ay1) = g.cell_range(a);
+                let (bx0, bx1, by0, by1) = g.cell_range(b);
+                let (ox, oy) = (owner % g.nx, owner / g.nx);
+                assert!(
+                    (ax0..=ax1).contains(&ox) && (ay0..=ay1).contains(&oy),
+                    "owner outside a's range"
+                );
+                assert!(
+                    (bx0..=bx1).contains(&ox) && (by0..=by1).contains(&oy),
+                    "owner outside b's range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csr_covers_every_overlapped_cell_and_sorts_runs() {
+        let mbrs: Vec<Rect> = (0..300)
+            .map(|i| {
+                let x = (i % 20) as f64;
+                let y = (i / 20) as f64;
+                r(x, y, x + 2.5, y + 2.5)
+            })
+            .collect();
+        let g = grid_over(&mbrs, 2);
+        let idx = CellIndex::build(&g, &mbrs);
+        assert_eq!(idx.placed, mbrs.len());
+        assert_eq!(idx.offsets.len(), g.cells() + 1);
+        // Every (item, overlapped cell) placement is present exactly once.
+        let mut want = 0usize;
+        for r in &mbrs {
+            let (cx0, cx1, cy0, cy1) = g.cell_range(r);
+            want += ((cx1 - cx0 + 1) * (cy1 - cy0 + 1)) as usize;
+        }
+        assert_eq!(idx.items.len(), want);
+        let total_replicas: u64 = idx.replicas.iter().map(|&x| u64::from(x)).sum();
+        assert_eq!(
+            total_replicas as usize,
+            want - idx.placed,
+            "replicas = placements beyond each item's home cell"
+        );
+        for c in 0..g.cells() {
+            let run = idx.cell(c);
+            for w in run.windows(2) {
+                let (ra, rb) = (mbrs[w[0] as usize], mbrs[w[1] as usize]);
+                assert!(
+                    ra.xl < rb.xl || (ra.xl == rb.xl && w[0] < w[1]),
+                    "cell runs sorted by (xl, index)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn items_outside_universe_are_dropped() {
+        let g = GridPlan::new(r(0.0, 0.0, 10.0, 10.0), 2, 2);
+        let mbrs = vec![r(20.0, 20.0, 21.0, 21.0), r(1.0, 1.0, 2.0, 2.0)];
+        let idx = CellIndex::build(&g, &mbrs);
+        assert_eq!(idx.placed, 1);
+        assert_eq!(idx.items, vec![1]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Property tests for the partition engine's two correctness pillars:
+//!
+//! * **grid coverage** — every intersecting pair of input rectangles shares
+//!   at least one cell, and in particular both items land in the pair's
+//!   reference-point *owner* cell, so no result can be lost to the grid;
+//! * **reference-point dedup** — exactly one cell owns each pair, so no
+//!   result can be reported twice, with no hash table needed to prove it.
+//!
+//! Plus end-to-end closures: the full engine equals the brute-force
+//! quadratic join on arbitrary rectangle soups, and the plan's replication
+//! counters reconcile with the placement lists they summarize.
+
+use proptest::prelude::*;
+use psj_core::partition::grid::{plan_grid, CellIndex, GridPlan, ItemStats};
+use psj_core::{run_partition_join, NativeConfig, PartitionInput, RectItem};
+use psj_geom::Rect;
+
+/// Rectangle soup over a [0, 40)² universe with non-degenerate extents.
+fn rects() -> impl Strategy<Value = Vec<Rect>> {
+    prop::collection::vec(
+        (0u16..400, 0u16..400, 1u16..40, 1u16..40).prop_map(|(x, y, w, h)| {
+            Rect::new(
+                f64::from(x) / 10.0,
+                f64::from(y) / 10.0,
+                f64::from(x) / 10.0 + f64::from(w) / 10.0,
+                f64::from(y) / 10.0 + f64::from(h) / 10.0,
+            )
+        }),
+        40..250,
+    )
+}
+
+/// Plans a grid over both inputs the way the executor does (intersection
+/// universe; items outside it cannot contribute a pair).
+fn plan(a: &[Rect], b: &[Rect], workers: usize) -> Option<GridPlan> {
+    let sa = ItemStats::scan(a);
+    let sb = ItemStats::scan(b);
+    let (ra, rb) = (sa.bbox?, sb.bbox?);
+    if !ra.intersects(&rb) {
+        return None;
+    }
+    let universe = Rect {
+        xl: ra.xl.max(rb.xl),
+        yl: ra.yl.max(rb.yl),
+        xu: ra.xu.min(rb.xu),
+        yu: ra.yu.min(rb.yu),
+    };
+    Some(plan_grid(universe, &sa, &sb, workers))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Grid coverage: for every intersecting pair, the owner cell (the one
+    /// holding the bottom-left corner of the MBR intersection) appears in
+    /// BOTH sides' placement lists — the per-cell sweep that runs there
+    /// sees both items, so the pair cannot be lost.
+    #[test]
+    fn every_intersecting_pair_shares_its_owner_cell(
+        a in rects(),
+        b in rects(),
+        workers in 1usize..9,
+    ) {
+        let Some(grid) = plan(&a, &b, workers) else { return Ok(()); };
+        let idx_a = CellIndex::build(&grid, &a);
+        let idx_b = CellIndex::build(&grid, &b);
+        // Invert the CSR into per-item cell sets once.
+        let cells_of = |idx: &CellIndex, n: usize| {
+            let mut cells = vec![Vec::new(); n];
+            for c in 0..grid.cells() {
+                for &i in idx.cell(c) {
+                    cells[i as usize].push(c);
+                }
+            }
+            cells
+        };
+        let cells_a = cells_of(&idx_a, a.len());
+        let cells_b = cells_of(&idx_b, b.len());
+        for (i, ra) in a.iter().enumerate() {
+            for (j, rb) in b.iter().enumerate() {
+                if !ra.intersects(rb) {
+                    continue;
+                }
+                let owner = grid.owner_cell(ra, rb) as usize;
+                prop_assert!(
+                    cells_a[i].contains(&owner) && cells_b[j].contains(&owner),
+                    "pair ({i},{j}) owner cell {owner} missing a side \
+                     (a in {:?}, b in {:?})",
+                    cells_a[i],
+                    cells_b[j]
+                );
+            }
+        }
+    }
+
+    /// Reference-point dedup: replaying the executor's per-cell loop —
+    /// every cell, every co-located pair, count it when this cell is the
+    /// owner — reports each intersecting pair exactly once, even though
+    /// replication makes many pairs co-located in several cells.
+    #[test]
+    fn reference_point_reports_each_pair_exactly_once(
+        a in rects(),
+        b in rects(),
+        workers in 1usize..9,
+    ) {
+        let Some(grid) = plan(&a, &b, workers) else { return Ok(()); };
+        let idx_a = CellIndex::build(&grid, &a);
+        let idx_b = CellIndex::build(&grid, &b);
+        let mut reported = vec![0u32; a.len() * b.len()];
+        for c in 0..grid.cells() {
+            for &i in idx_a.cell(c) {
+                for &j in idx_b.cell(c) {
+                    let (ra, rb) = (&a[i as usize], &b[j as usize]);
+                    if ra.intersects(rb) && grid.owner_cell(ra, rb) as usize == c {
+                        reported[i as usize * b.len() + j as usize] += 1;
+                    }
+                }
+            }
+        }
+        for (i, ra) in a.iter().enumerate() {
+            for (j, rb) in b.iter().enumerate() {
+                let want = u32::from(ra.intersects(rb));
+                prop_assert_eq!(
+                    reported[i * b.len() + j],
+                    want,
+                    "pair ({}, {}) reported {} times (want {})",
+                    i, j, reported[i * b.len() + j], want
+                );
+            }
+        }
+    }
+
+    /// End-to-end: the full partition engine on raw rectangle streams
+    /// equals the brute-force quadratic join, at several thread counts.
+    #[test]
+    fn engine_equals_brute_force_on_rect_soups(
+        a in rects(),
+        b in rects(),
+        threads in 1usize..5,
+    ) {
+        let items = |v: &[Rect]| -> Vec<RectItem> {
+            v.iter()
+                .enumerate()
+                .map(|(i, &mbr)| RectItem { mbr, oid: i as u64 })
+                .collect()
+        };
+        let (ia, ib) = (items(&a), items(&b));
+        let mut want: Vec<(u64, u64)> = Vec::new();
+        for (i, ra) in a.iter().enumerate() {
+            for (j, rb) in b.iter().enumerate() {
+                if ra.intersects(rb) {
+                    want.push((i as u64, j as u64));
+                }
+            }
+        }
+        want.sort_unstable();
+        let mut cfg = NativeConfig::new(threads);
+        cfg.refine = false;
+        let res = run_partition_join(
+            PartitionInput::Rects(&ia),
+            PartitionInput::Rects(&ib),
+            &cfg,
+        );
+        let mut got = res.pairs.clone();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(res.candidates as usize, res.pairs.len());
+    }
+
+    /// The CSR's per-cell replica counters reconcile with the placement
+    /// lists: replicas[c] counts exactly the items in cell c whose home
+    /// (first-overlapped) cell is some other cell.
+    #[test]
+    fn replica_counters_reconcile_with_placements(
+        a in rects(),
+        b in rects(),
+    ) {
+        let Some(grid) = plan(&a, &b, 4) else { return Ok(()); };
+        for side in [&a, &b] {
+            let idx = CellIndex::build(&grid, side);
+            for c in 0..grid.cells() {
+                let non_home = idx
+                    .cell(c)
+                    .iter()
+                    .filter(|&&i| {
+                        let r = &side[i as usize];
+                        let (cx0, _, cy0, _) = grid.cell_range(r);
+                        grid.cell_id(cx0, cy0) as usize != c
+                    })
+                    .count();
+                prop_assert_eq!(
+                    idx.replicas[c] as usize,
+                    non_home,
+                    "cell {} replica counter disagrees with placements",
+                    c
+                );
+            }
+        }
+    }
+}

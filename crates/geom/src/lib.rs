@@ -33,5 +33,6 @@ pub use rect::Rect;
 pub use segment::Segment;
 pub use soa::SoaMbrs;
 pub use sweep::{
-    sweep_pairs, sweep_pairs_into, sweep_pairs_restricted, sweep_pairs_soa, SweepPair, SweepScratch,
+    sweep_pairs, sweep_pairs_into, sweep_pairs_restricted, sweep_pairs_soa, sweep_pairs_soa_runs,
+    SoaRun, SweepPair, SweepScratch,
 };

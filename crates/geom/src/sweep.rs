@@ -191,6 +191,80 @@ pub fn sweep_pairs_soa(
     sweep_pairs_soa_body(r, s, window, scratch, out);
 }
 
+/// A borrowed xl-sorted coordinate run — column slices of a larger SoA
+/// layout, typically one cell of a partitioned join. All four slices must
+/// have the same length.
+#[derive(Debug, Clone, Copy)]
+pub struct SoaRun<'a> {
+    /// Lower x bounds, xl-sorted.
+    pub xl: &'a [f64],
+    /// Upper x bounds, by entry position.
+    pub xh: &'a [f64],
+    /// Lower y bounds, by entry position.
+    pub yl: &'a [f64],
+    /// Upper y bounds, by entry position.
+    pub yh: &'a [f64],
+}
+
+impl SoaRun<'_> {
+    /// Number of rectangles in the run.
+    pub fn len(&self) -> usize {
+        self.xl.len()
+    }
+
+    /// Whether the run is empty.
+    pub fn is_empty(&self) -> bool {
+        self.xl.is_empty()
+    }
+}
+
+/// [`sweep_pairs_soa`] without the window filter: both runs participate
+/// wholesale. This is the partition-join kernel — every item replicated
+/// into a grid cell intersects that cell by construction, so a window pass
+/// over the cell would accept everything and its per-entry compares (and
+/// the gather of an owned [`SoaMbrs`] per cell before it) are pure
+/// overhead. The slices are memcpy'd into `scratch` (the sweep needs
+/// sentinel padding), index lists become the identity, and the identical
+/// sweep core runs — emission order matches [`sweep_pairs_soa`] over the
+/// same entries with a covering window, with positions relative to each
+/// run's start. Appends to `out` without clearing it.
+///
+/// Both runs must be xl-sorted, exactly as for [`sweep_pairs_soa`].
+pub fn sweep_pairs_soa_runs(
+    r: &SoaRun<'_>,
+    s: &SoaRun<'_>,
+    scratch: &mut SweepScratch,
+    out: &mut Vec<SweepPair>,
+) {
+    let (n, m) = (r.len(), s.len());
+    if n == 0 || m == 0 {
+        return;
+    }
+    scratch.filt_r.clear();
+    scratch.filt_r.extend(0..n as u32);
+    scratch.filt_s.clear();
+    scratch.filt_s.extend(0..m as u32);
+    let copy = |dst: &mut Vec<f64>, src: &[f64]| {
+        dst.clear();
+        dst.extend_from_slice(src);
+    };
+    copy(&mut scratch.rxl, r.xl);
+    copy(&mut scratch.rxh, r.xh);
+    copy(&mut scratch.ryl, r.yl);
+    copy(&mut scratch.ryh, r.yh);
+    copy(&mut scratch.sxl, s.xl);
+    copy(&mut scratch.sxh, s.xh);
+    copy(&mut scratch.syl, s.yl);
+    copy(&mut scratch.syh, s.yh);
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by the runtime AVX2 check above.
+        unsafe { sweep_scratch_avx2(scratch, n, m, out) };
+        return;
+    }
+    sweep_scratch_body(scratch, n, m, out);
+}
+
 /// Explicit-intrinsics AVX2 copy of [`sweep_pairs_soa_body`]: the window
 /// filters run their packed-compare variant and each forward scan becomes a
 /// 4-lane probe — one packed x-gate, one packed y-overlap test, survivors
@@ -205,10 +279,7 @@ unsafe fn sweep_pairs_soa_avx2(
     scratch: &mut SweepScratch,
     out: &mut Vec<SweepPair>,
 ) {
-    use core::arch::x86_64::*;
-    // SAFETY (whole function): AVX2 is guaranteed by the dispatching caller;
-    // every pointer load reads `SCAN_LANES` lanes at `k`, which the sentinel
-    // padding keeps in bounds (see the padding comment below).
+    // SAFETY: AVX2 is guaranteed by the dispatching caller.
     unsafe {
         r.filter_window_gather_avx2(
             window,
@@ -228,6 +299,23 @@ unsafe fn sweep_pairs_soa_avx2(
         );
     }
     let (n, m) = (scratch.filt_r.len(), scratch.filt_s.len());
+    // SAFETY: AVX2 is guaranteed by the dispatching caller.
+    unsafe { sweep_scratch_avx2(scratch, n, m, out) }
+}
+
+/// The post-filter half of [`sweep_pairs_soa_avx2`]: sentinel-pads the
+/// compacted streams already sitting in `scratch` and sweeps them. Split
+/// out so [`sweep_pairs_soa_runs`] can feed pre-sorted runs straight in
+/// without a window-filter pass.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn sweep_scratch_avx2(
+    scratch: &mut SweepScratch,
+    n: usize,
+    m: usize,
+    out: &mut Vec<SweepPair>,
+) {
+    use core::arch::x86_64::*;
     if n == 0 || m == 0 {
         return;
     }
@@ -359,6 +447,12 @@ fn sweep_pairs_soa_body(
         &mut scratch.syh,
     );
     let (n, m) = (scratch.filt_r.len(), scratch.filt_s.len());
+    sweep_scratch_body(scratch, n, m, out);
+}
+
+/// The post-filter half of [`sweep_pairs_soa_body`] — see
+/// [`sweep_scratch_avx2`] for why it is split out.
+fn sweep_scratch_body(scratch: &mut SweepScratch, n: usize, m: usize, out: &mut Vec<SweepPair>) {
     if n == 0 || m == 0 {
         return;
     }
@@ -621,6 +715,48 @@ mod tests {
             assert_eq!(soa, scalar, "pairs diverge for {window:?}");
             assert_eq!(scratch.filt_r, fr, "R filter diverges for {window:?}");
             assert_eq!(scratch.filt_s, fs, "S filter diverges for {window:?}");
+        }
+    }
+
+    #[test]
+    fn runs_sweep_matches_windowed_soa_on_full_runs() {
+        // Same lattice as above; the runs variant must emit exactly what
+        // the windowed variant does under a covering window, for whole
+        // runs and for arbitrary sub-runs (a cell of a larger layout).
+        let mut rs = Vec::new();
+        let mut ss = Vec::new();
+        for k in 0..40 {
+            let x = (k / 2) as f64 * 0.5;
+            rs.push(r(x, 0.0, x + 1.0, 1.0));
+            ss.push(r(x + 0.25, 0.5, x + 0.75, 1.5));
+        }
+        let cover = r(-10.0, -10.0, 200.0, 200.0);
+        for (lo_r, hi_r, lo_s, hi_s) in [(0, 40, 0, 40), (5, 25, 10, 30), (0, 0, 0, 40)] {
+            let sub_r = &rs[lo_r..hi_r];
+            let sub_s = &ss[lo_s..hi_s];
+            let soa_r = SoaMbrs::from_rects(sub_r);
+            let soa_s = SoaMbrs::from_rects(sub_s);
+            let mut scratch = SweepScratch::default();
+            let mut want = Vec::new();
+            sweep_pairs_soa(&soa_r, &soa_s, &cover, &mut scratch, &mut want);
+            let run_r = SoaRun {
+                xl: soa_r.xl(),
+                xh: soa_r.xh(),
+                yl: soa_r.yl(),
+                yh: soa_r.yh(),
+            };
+            let run_s = SoaRun {
+                xl: soa_s.xl(),
+                xh: soa_s.xh(),
+                yl: soa_s.yl(),
+                yh: soa_s.yh(),
+            };
+            let mut got = Vec::new();
+            sweep_pairs_soa_runs(&run_r, &run_s, &mut scratch, &mut got);
+            assert_eq!(
+                got, want,
+                "runs sweep diverges for {lo_r}..{hi_r} x {lo_s}..{hi_s}"
+            );
         }
     }
 

@@ -31,7 +31,7 @@
 
 use psj_buffer::SharedPageCache;
 use psj_core::{
-    try_run_native_join, CancelToken, NativeConfig, NativeError, RunControl, StealPolicy,
+    try_run_join, CancelToken, JoinEngine, NativeConfig, NativeError, RunControl, StealPolicy,
 };
 use psj_geom::{Point, Rect};
 use psj_rtree::nn::min_dist;
@@ -402,6 +402,12 @@ pub struct JoinTuning {
     pub morsel_candidates: u64,
     /// Victim selection for morsel reassignment.
     pub steal: StealPolicy,
+    /// Seed of the seeded steal policy (ignored by the others).
+    pub steal_seed: u64,
+    /// Join engine: the R-tree traversal, the in-memory grid partition, or
+    /// a per-request automatic choice. Served joins descend frozen trees
+    /// directly (no page cache), so every engine is safe here.
+    pub engine: JoinEngine,
 }
 
 impl JoinTuning {
@@ -411,6 +417,8 @@ impl JoinTuning {
             threads,
             morsel_candidates: 0,
             steal: StealPolicy::Busiest,
+            steal_seed: 0,
+            engine: JoinEngine::RTree,
         }
     }
 }
@@ -450,12 +458,14 @@ pub fn join(
     cfg.refine = refine;
     cfg.morsel_candidates = tuning.morsel_candidates;
     cfg.steal = tuning.steal;
+    cfg.steal_seed = tuning.steal_seed;
+    cfg.engine = tuning.engine;
     let token = match deadline {
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::new(),
     };
     let ctl = RunControl::default().with_cancel(&token);
-    match try_run_native_join(a, b, &cfg, &ctl) {
+    match try_run_join(a, b, &cfg, &ctl) {
         Ok(r) => Outcome::Ok(JoinRun {
             pairs: r.pairs,
             tasks: r.tasks as u64,

@@ -84,6 +84,11 @@ pub struct ServeConfig {
     pub join_morsel_candidates: u64,
     /// Victim selection when an idle join worker reassigns a morsel.
     pub join_steal: StealPolicy,
+    /// Seed of the seeded join steal policy (ignored by the others).
+    pub join_steal_seed: u64,
+    /// Join engine answering join requests: the R-tree traversal, the
+    /// in-memory grid partition, or a per-request automatic choice.
+    pub join_engine: psj_core::JoinEngine,
     /// Socket read timeout; also the cadence at which idle connection
     /// threads re-check the halt flag.
     pub read_timeout: Duration,
@@ -112,6 +117,8 @@ impl Default for ServeConfig {
             join_threads: 4,
             join_morsel_candidates: 0,
             join_steal: StealPolicy::Busiest,
+            join_steal_seed: 0,
+            join_engine: psj_core::JoinEngine::RTree,
             read_timeout: Duration::from_millis(250),
             fault: None,
             retry: RetryPolicy::default(),
@@ -628,6 +635,8 @@ fn execute(shared: &Shared, worker: usize, item: WorkItem) {
                     threads: shared.cfg.join_threads,
                     morsel_candidates: shared.cfg.join_morsel_candidates,
                     steal: shared.cfg.join_steal,
+                    steal_seed: shared.cfg.join_steal_seed,
+                    engine: shared.cfg.join_engine,
                 },
                 deadline,
             );
