@@ -50,17 +50,35 @@ commands:
            [--join-morsel-cands <n>] [--join-steal busiest|rr|seeded]
            [--join-steal-seed <n>] [--join-engine rtree|partition|auto]
            [--lenient] [--inject-faults <spec>] [--retry-attempts <n>]
-           [--trace <file.jsonl>] — --trace writes the trace at shutdown;
-           the --join-* tuning flags mirror `join`'s flags exactly
+           [--trace <file.jsonl>] [--shard-id <n>] — --trace writes the
+           trace at shutdown; the --join-* tuning flags mirror `join`'s
+           flags exactly; --shard-id tags this server for cluster routing
+  shard-plan --map1 <map> --map2 <map> --shards <n> --out <dir>
+           [--host <ip>] [--base-port <n>] — partition both maps into x-slab
+           shards balanced by estimated join work; writes per-shard tree
+           pairs plus topology.txt for cluster-serve
+  cluster-serve --topology <file> [--addr 127.0.0.1:7900] — scatter-gather
+           router over `psj serve --shard-id <n>` shard processes; speaks
+           the same wire protocol as a single server, degrades to partial
+           answers when shards are down
+  bench-cluster [--scale <f>] [--seed <n>] [--clients <n>] [--requests <n>]
+           [--out <file.json>] — in-process cluster benchmark: the same
+           workload through a router over 1/2/4 shards plus a degraded run
+           (3 shards, one down); writes results/cluster_baseline.json with
+           cluster_scaling_4v1 for bench-check
   query    --addr <host:port> [--tree <n>] (--window xl,yl,xu,yu |
            --nearest x,y [--k <n>] | --join-with <n> | --stats | --shutdown)
+           — partial answers from a degraded cluster print a
+           `partial (missing shards: ...)` banner before the payload
   metrics  --addr <host:port> — scrape Prometheus-text metrics from a
            running server
   trace-check <file.jsonl>  (or --file <file.jsonl>) — validate a trace
            file: every line parses, spans nest or are disjoint per thread
   bench-serve --addr <host:port> [--clients <n>] [--requests <n>] [--seed <n>]
            [--window-frac <f>] [--nearest-frac <f>] [--deadline-ms <n>]
-           [--k <n>] [--window-extent <f>] [--out <file.json>] [--shutdown]
+           [--k <n>] [--window-extent <f>] [--reconnect] [--out <file.json>]
+           [--shutdown] — --reconnect retries dropped connections with
+           bounded backoff (for load against a cluster router)
   bench-join [--scale <f>] [--seed <n>] [--reps <n>] [--quick]
            [--out <file.json>] — in-process join benchmark: scalar-vs-SoA
            sweep kernel plus a join matrix (1/2/4/8 threads × assignment ×
@@ -82,8 +100,10 @@ commands:
            t4_gd_global=1.2); --require-steals fails unless some candidate
            row stole; --min-partition puts an absolute floor on the
            candidate's stream-input partition-vs-rtree wall ratio (index
-           build counted on the rtree side); exits nonzero on any
-           regression
+           build counted on the rtree side); --min-cluster-scaling <f>
+           [--cluster <file.json>] puts a floor on bench-cluster's 4-shard
+           vs 1-shard throughput ratio (standalone: baseline/candidate may
+           be omitted); exits nonzero on any regression
   help
 
 options may be written --key value or --key=value
@@ -451,6 +471,7 @@ pub fn serve(args: &Args) -> CmdResult {
         },
         retry: RetryPolicy::attempts(args.parse_or("retry-attempts", 3)?),
         trace: args.get("trace").map(|_| TraceSink::new(1 << 22)),
+        shard_id: args.parse_or("shard-id", 0u16)?,
         ..ServeConfig::default()
     };
     let trace = cfg.trace.clone();
@@ -536,6 +557,28 @@ fn client_err(e: ClientError) -> String {
     }
 }
 
+/// Peels one `Partial` wrapper off a query reply error: a router degrades
+/// to `Partial { missing_shards, inner }` when shards are down, and `psj
+/// query` should print the surviving payload under a `partial` banner
+/// rather than exit nonzero.
+fn split_partial(e: ClientError) -> Result<(Vec<u16>, Response), String> {
+    match e {
+        ClientError::Unexpected(r) => match *r {
+            Response::Partial {
+                missing_shards,
+                inner,
+            } => Ok((missing_shards, *inner)),
+            other => Err(describe_response(other)),
+        },
+        other => Err(client_err(other)),
+    }
+}
+
+fn partial_banner(missing: &[u16]) {
+    let ids: Vec<String> = missing.iter().map(u16::to_string).collect();
+    println!("partial (missing shards: {})", ids.join(","));
+}
+
 /// `psj query` — one-shot client: issue a single query (or stats/shutdown)
 /// against a running server. Exits nonzero on any non-payload reply, with
 /// storage errors reported as `storage error (corrupt|unavailable): ...`.
@@ -560,9 +603,16 @@ pub fn query(args: &Args) -> CmdResult {
     let deadline_ms: u32 = args.parse_or("deadline-ms", 0u32)?;
     if let Some(w) = args.get("window") {
         let [xl, yl, xu, yu] = parse_floats::<4>("window", w)?;
-        let oids = client
-            .window(tree, psj_geom::Rect::new(xl, yl, xu, yu), deadline_ms)
-            .map_err(client_err)?;
+        let oids = match client.window(tree, psj_geom::Rect::new(xl, yl, xu, yu), deadline_ms) {
+            Ok(oids) => oids,
+            Err(e) => match split_partial(e)? {
+                (missing, Response::Entries(oids)) => {
+                    partial_banner(&missing);
+                    oids
+                }
+                (_, other) => return Err(describe_response(other)),
+            },
+        };
         println!("{} entries", oids.len());
         for oid in oids {
             println!("{oid}");
@@ -570,9 +620,16 @@ pub fn query(args: &Args) -> CmdResult {
     } else if let Some(p) = args.get("nearest") {
         let [x, y] = parse_floats::<2>("nearest", p)?;
         let k: u32 = args.parse_or("k", 10u32)?;
-        let nn = client
-            .nearest(tree, x, y, k, deadline_ms)
-            .map_err(client_err)?;
+        let nn = match client.nearest(tree, x, y, k, deadline_ms) {
+            Ok(nn) => nn,
+            Err(e) => match split_partial(e)? {
+                (missing, Response::Neighbors(nn)) => {
+                    partial_banner(&missing);
+                    nn
+                }
+                (_, other) => return Err(describe_response(other)),
+            },
+        };
         println!("{} neighbors", nn.len());
         for (dist, oid) in nn {
             println!("{oid}\t{dist}");
@@ -581,9 +638,16 @@ pub fn query(args: &Args) -> CmdResult {
         let other: u16 = other
             .parse()
             .map_err(|_| format!("invalid --join-with: {other}"))?;
-        let pairs = client
-            .join(tree, other, true, deadline_ms)
-            .map_err(client_err)?;
+        let pairs = match client.join(tree, other, true, deadline_ms) {
+            Ok(pairs) => pairs,
+            Err(e) => match split_partial(e)? {
+                (missing, Response::Pairs(pairs)) => {
+                    partial_banner(&missing);
+                    pairs
+                }
+                (_, other) => return Err(describe_response(other)),
+            },
+        };
         println!("{} pairs", pairs.len());
     } else {
         return Err(
@@ -609,15 +673,17 @@ pub fn bench_serve(args: &Args) -> CmdResult {
         deadline_ms: args.parse_or("deadline-ms", 0)?,
         k: args.parse_or("k", 10)?,
         window_extent: args.parse_or("window-extent", 0.05)?,
+        reconnect: args.flag("reconnect"),
     };
     if cfg.window_frac < 0.0 || cfg.nearest_frac < 0.0 || cfg.window_frac + cfg.nearest_frac > 1.0 {
         return Err("window-frac and nearest-frac must be non-negative and sum to <= 1".into());
     }
     let report = loadgen::run(&cfg).map_err(io_err)?;
     println!(
-        "{} offered, {} completed, {} shed, {} timed out, {} storage errors, {} errors in {:.3} s",
+        "{} offered, {} completed ({} partial), {} shed, {} timed out, {} storage errors, {} errors in {:.3} s",
         report.offered,
         report.completed,
+        report.partials,
         report.shed,
         report.timeouts,
         report.storage,
@@ -1275,6 +1341,18 @@ fn bench_row_field(text: &str, field: &str) -> Vec<(String, f64)> {
 /// below any `--min id=floor` absolute floor, or (with `--require-steals`)
 /// if no candidate row exercised the steal path.
 pub fn bench_check(args: &Args) -> CmdResult {
+    let mut failures = Vec::new();
+    // Cluster scaling gate — read from bench-cluster's own report, so it
+    // can run standalone (no --baseline/--candidate join reports needed).
+    let cluster_checked = check_cluster_scaling(args, &mut failures)?;
+    if cluster_checked && args.get("baseline").is_none() && args.get("candidate").is_none() {
+        return if failures.is_empty() {
+            println!("bench-check: ok (cluster scaling only)");
+            Ok(())
+        } else {
+            Err(format!("bench-check failed:\n  {}", failures.join("\n  ")))
+        };
+    }
     let baseline_path = args.require("baseline")?;
     let candidate_path = args.require("candidate")?;
     let tolerance: f64 = args.parse_or("tolerance", 0.25)?;
@@ -1296,7 +1374,6 @@ pub fn bench_check(args: &Args) -> CmdResult {
     let candidate = std::fs::read_to_string(Path::new(candidate_path))
         .map_err(|e| format!("{candidate_path}: {e}"))?;
 
-    let mut failures = Vec::new();
     let kernel_at = |t: &str| t.find("\"kernel\"").unwrap_or(0);
     let base_kernel = json_number_after(&baseline, "speedup", kernel_at(&baseline))
         .map(|(v, _)| v)
@@ -1394,4 +1471,33 @@ pub fn bench_check(args: &Args) -> CmdResult {
     } else {
         Err(format!("bench-check failed:\n  {}", failures.join("\n  ")))
     }
+}
+
+/// The `--min-cluster-scaling` gate: reads `psj bench-cluster`'s report
+/// (default `results/cluster_baseline.json`, override with `--cluster`)
+/// and requires the 4-shard vs 1-shard throughput ratio to meet the
+/// floor. Returns whether the gate was requested at all.
+fn check_cluster_scaling(args: &Args, failures: &mut Vec<String>) -> Result<bool, String> {
+    let Some(floor) = args.get("min-cluster-scaling") else {
+        return Ok(false);
+    };
+    let floor: f64 = floor
+        .parse()
+        .map_err(|_| format!("--min-cluster-scaling '{floor}' is not a number"))?;
+    let path = args
+        .get("cluster")
+        .unwrap_or("results/cluster_baseline.json");
+    let text = std::fs::read_to_string(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    match json_number_after(&text, "cluster_scaling_4v1", 0).map(|(v, _)| v) {
+        Some(v) if v >= floor => {
+            println!("cluster: 4-shard vs 1-shard throughput {v:.3}x meets floor {floor:.3}x");
+        }
+        Some(v) => failures.push(format!(
+            "cluster scaling below floor: {v:.3}x < {floor:.3}x"
+        )),
+        None => failures.push(format!(
+            "{path}: no cluster_scaling_4v1 in report (re-run bench-cluster)"
+        )),
+    }
+    Ok(true)
 }

@@ -12,6 +12,12 @@
 //!              [--buffer 800] [--variant lsr|gsrr|gd|best]
 //! psj serve    --trees tree1.psjt,tree2.psjt [--addr 127.0.0.1:7878]
 //!              [--workers 4] [--queue-bound 256] [--batch-window-us 2000]
+//!              [--shard-id 0]
+//! psj shard-plan --map1 map1.psjm --map2 map2.psjm --shards 3 --out cluster/
+//!              [--host 127.0.0.1] [--base-port 7001]
+//! psj cluster-serve --topology cluster/topology.txt [--addr 127.0.0.1:7900]
+//! psj bench-cluster [--scale 0.05] [--seed 1996] [--clients 2]
+//!              [--requests 150] [--out results/cluster_baseline.json]
 //! psj query    --addr 127.0.0.1:7878 --tree 0 --window 0,0,10,10
 //! psj metrics  --addr 127.0.0.1:7878
 //! psj trace-check join.jsonl
@@ -27,6 +33,7 @@
 //! positional tokens are an error.
 
 mod args;
+mod cluster;
 mod commands;
 
 fn main() {
@@ -60,6 +67,9 @@ fn main() {
         "fsck" => commands::fsck(&parsed),
         "simulate" => commands::simulate(&parsed),
         "serve" => commands::serve(&parsed),
+        "shard-plan" => cluster::shard_plan(&parsed),
+        "cluster-serve" => cluster::cluster_serve(&parsed),
+        "bench-cluster" => cluster::bench_cluster(&parsed),
         "query" => commands::query(&parsed),
         "metrics" => commands::metrics(&parsed),
         "trace-check" => commands::trace_check(&parsed),

@@ -1,0 +1,255 @@
+//! Per-shard health tracking for the router.
+//!
+//! Each shard's connectivity is summarized by a four-state machine:
+//!
+//! ```text
+//!            failure              fails >= down_after
+//! Healthy ───────────▶ Suspect ─────────────────────▶ Down
+//!    ▲                    │ success                     │ probe due
+//!    │                    ▼                             ▼
+//!    └──────────────── Healthy ◀── success ────────  Probing
+//!                                     (probe failure → Down again)
+//! ```
+//!
+//! `Down` shards are skipped by the scatter path entirely — no connect
+//! attempts, no latency — until the probe interval elapses; then exactly
+//! one request is let through as a probe (`Probing`). A probe success
+//! restores `Healthy`; a probe failure returns to `Down` and re-arms the
+//! timer. `Suspect` shards still receive traffic (one failure may be a
+//! blip), which is what distinguishes them from `Down`.
+//!
+//! Everything here takes `now: Instant` explicitly instead of reading the
+//! clock, so tests can drive the machine through arbitrary schedules.
+
+use std::time::{Duration, Instant};
+
+/// The four health states, ordered by severity for the gauge encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Health {
+    /// Responding normally.
+    Healthy = 0,
+    /// Recent failures below the down threshold; still routed to.
+    Suspect = 1,
+    /// Failure threshold reached; skipped until the next probe is due.
+    Down = 2,
+    /// One probe request is in flight; everything else skips.
+    Probing = 3,
+}
+
+impl Health {
+    /// Numeric encoding for the `psj_router_shard_health` gauge.
+    pub fn as_gauge(self) -> u64 {
+        self as u64
+    }
+}
+
+/// Thresholds and timing for the health machine.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthPolicy {
+    /// Consecutive failures that demote a shard to `Down`.
+    pub down_after: u32,
+    /// How long a `Down` shard rests before a probe is allowed.
+    pub probe_interval: Duration,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            down_after: 3,
+            probe_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A state transition, reported so the router can count it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// State before the event.
+    pub from: Health,
+    /// State after the event.
+    pub to: Health,
+}
+
+/// What the router should do with a request for this shard right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Send normally (retries allowed).
+    Route,
+    /// Send exactly one attempt as a probe.
+    Probe,
+    /// Don't send; count the shard missing.
+    Skip,
+}
+
+/// Mutable health record for one shard.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthState {
+    health: Health,
+    /// Consecutive failures since the last success.
+    fails: u32,
+    /// When a `Down` shard may next be probed.
+    next_probe: Option<Instant>,
+}
+
+impl Default for HealthState {
+    fn default() -> Self {
+        HealthState {
+            health: Health::Healthy,
+            fails: 0,
+            next_probe: None,
+        }
+    }
+}
+
+impl HealthState {
+    /// A fresh, healthy record.
+    pub fn new() -> Self {
+        HealthState::default()
+    }
+
+    /// Current state.
+    pub fn health(&self) -> Health {
+        self.health
+    }
+
+    /// Records a successful exchange with the shard.
+    pub fn on_success(&mut self) -> Option<Transition> {
+        self.fails = 0;
+        self.next_probe = None;
+        let from = self.health;
+        self.health = Health::Healthy;
+        (from != Health::Healthy).then_some(Transition {
+            from,
+            to: Health::Healthy,
+        })
+    }
+
+    /// Records a failed exchange (connect error, transport error, or
+    /// read timeout) observed at `now`.
+    pub fn on_failure(&mut self, policy: &HealthPolicy, now: Instant) -> Option<Transition> {
+        self.fails = self.fails.saturating_add(1);
+        let from = self.health;
+        // A failed probe goes straight back to Down regardless of the
+        // count: the shard just demonstrated it is still unreachable.
+        let to = if from == Health::Probing || self.fails >= policy.down_after {
+            Health::Down
+        } else {
+            Health::Suspect
+        };
+        self.health = to;
+        if to == Health::Down {
+            self.next_probe = Some(now + policy.probe_interval);
+        }
+        (from != to).then_some(Transition { from, to })
+    }
+
+    /// Routing decision for a request arriving at `now`. Transitions
+    /// `Down` to `Probing` when a probe is due (the caller must then
+    /// report the probe's outcome via `on_success`/`on_failure`).
+    pub fn route(&mut self, now: Instant) -> RouteDecision {
+        match self.health {
+            Health::Healthy | Health::Suspect => RouteDecision::Route,
+            Health::Probing => RouteDecision::Skip,
+            Health::Down => match self.next_probe {
+                Some(due) if now >= due => {
+                    self.health = Health::Probing;
+                    RouteDecision::Probe
+                }
+                _ => RouteDecision::Skip,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> HealthPolicy {
+        HealthPolicy {
+            down_after: 3,
+            probe_interval: Duration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn failures_escalate_healthy_suspect_down() {
+        let p = policy();
+        let t0 = Instant::now();
+        let mut s = HealthState::new();
+        assert_eq!(
+            s.on_failure(&p, t0),
+            Some(Transition {
+                from: Health::Healthy,
+                to: Health::Suspect
+            })
+        );
+        assert_eq!(s.on_failure(&p, t0), None, "suspect stays suspect");
+        assert_eq!(
+            s.on_failure(&p, t0),
+            Some(Transition {
+                from: Health::Suspect,
+                to: Health::Down
+            })
+        );
+        assert_eq!(s.health(), Health::Down);
+    }
+
+    #[test]
+    fn success_resets_from_any_state() {
+        let p = policy();
+        let t0 = Instant::now();
+        let mut s = HealthState::new();
+        assert_eq!(
+            s.on_success(),
+            None,
+            "healthy → healthy is not a transition"
+        );
+        s.on_failure(&p, t0);
+        let t = s.on_success().expect("suspect → healthy transitions");
+        assert_eq!((t.from, t.to), (Health::Suspect, Health::Healthy));
+        // And the failure counter really reset: two more failures stay
+        // below the three-strike threshold.
+        s.on_failure(&p, t0);
+        s.on_failure(&p, t0);
+        assert_eq!(s.health(), Health::Suspect);
+    }
+
+    #[test]
+    fn down_shards_skip_until_probe_due_then_probe_once() {
+        let p = policy();
+        let t0 = Instant::now();
+        let mut s = HealthState::new();
+        for _ in 0..3 {
+            s.on_failure(&p, t0);
+        }
+        assert_eq!(s.route(t0), RouteDecision::Skip, "probe not yet due");
+        let due = t0 + p.probe_interval;
+        assert_eq!(s.route(due), RouteDecision::Probe);
+        assert_eq!(s.health(), Health::Probing);
+        // While the probe is in flight everyone else skips.
+        assert_eq!(s.route(due), RouteDecision::Skip);
+    }
+
+    #[test]
+    fn failed_probe_rearms_the_timer_successful_probe_recovers() {
+        let p = policy();
+        let t0 = Instant::now();
+        let mut s = HealthState::new();
+        for _ in 0..3 {
+            s.on_failure(&p, t0);
+        }
+        let t1 = t0 + p.probe_interval;
+        assert_eq!(s.route(t1), RouteDecision::Probe);
+        let t = s.on_failure(&p, t1).expect("probing → down transitions");
+        assert_eq!((t.from, t.to), (Health::Probing, Health::Down));
+        // Timer re-armed from the probe failure, not the original demotion.
+        assert_eq!(s.route(t1 + Duration::from_millis(50)), RouteDecision::Skip);
+        let t2 = t1 + p.probe_interval;
+        assert_eq!(s.route(t2), RouteDecision::Probe);
+        let t = s.on_success().expect("probing → healthy transitions");
+        assert_eq!((t.from, t.to), (Health::Probing, Health::Healthy));
+        assert_eq!(s.route(t2), RouteDecision::Route);
+    }
+}

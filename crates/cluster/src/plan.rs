@@ -1,0 +1,503 @@
+//! Spatial shard planning and the cluster topology format.
+//!
+//! Shards are vertical slabs: shard `i` owns the half-open x-interval
+//! `[x_lo, x_hi)`, with the first slab open to `-inf` and the last to
+//! `+inf`, so every reference point `x` has exactly one owner. Items are
+//! *replicated* into every slab their MBR overlaps — a window query then
+//! only needs the slabs its rectangle touches, and a join fans out to
+//! every slab with each shard keeping only the pairs whose reference
+//! point (`a.xl.max(b.xl)`) it owns, which yields each cross-shard pair
+//! exactly once.
+//!
+//! Cut placement reuses the morsel cost model: the planner builds
+//! throwaway trees over both inputs, runs task creation and
+//! [`psj_core::morsel::morselize`] to get the plane-sweep-ordered work
+//! estimate, and places cuts so each slab carries an equal share of the
+//! *estimated join work* rather than an equal object count — skew in
+//! overlap density moves the cuts, exactly like morsel budgets move task
+//! boundaries. When the cost model has nothing to say (an empty side,
+//! disjoint MBRs, or degenerate estimates) the planner falls back to
+//! object-count quantiles of the lower x-edges.
+
+use psj_core::cost::CandidateEstimator;
+use psj_core::morsel::{morselize, MorselOptions};
+use psj_core::task::create_tasks;
+use psj_geom::Rect;
+use psj_rtree::bulk::bulk_load_str;
+use psj_rtree::PagedTree;
+
+/// One shard's identity and owned x-interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSpec {
+    /// Shard id, dense from 0.
+    pub id: u16,
+    /// Inclusive lower bound of the owned interval (`-inf` on shard 0).
+    pub x_lo: f64,
+    /// Exclusive upper bound of the owned interval (`+inf` on the last).
+    pub x_hi: f64,
+}
+
+/// An ordered, gap-free partition of the x-axis into shard slabs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    /// The slabs, ascending by interval, ids `0..n`.
+    pub shards: Vec<ShardSpec>,
+}
+
+impl ShardPlan {
+    /// Builds a plan from strictly increasing, finite cut positions:
+    /// `k` cuts make `k + 1` shards. No cuts makes the trivial
+    /// single-shard plan.
+    ///
+    /// # Panics
+    /// If `cuts` is not strictly increasing or contains non-finite values.
+    pub fn from_cuts(cuts: &[f64]) -> ShardPlan {
+        assert!(
+            cuts.windows(2).all(|w| w[0] < w[1]) && cuts.iter().all(|c| c.is_finite()),
+            "cuts must be strictly increasing and finite: {cuts:?}"
+        );
+        let mut shards = Vec::with_capacity(cuts.len() + 1);
+        let mut lo = f64::NEG_INFINITY;
+        for (i, &c) in cuts.iter().enumerate() {
+            shards.push(ShardSpec {
+                id: i as u16,
+                x_lo: lo,
+                x_hi: c,
+            });
+            lo = c;
+        }
+        shards.push(ShardSpec {
+            id: cuts.len() as u16,
+            x_lo: lo,
+            x_hi: f64::INFINITY,
+        });
+        ShardPlan { shards }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the plan is empty (never true for a constructed plan).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard owning reference point `x` (exactly one, by the
+    /// half-open gap-free construction).
+    pub fn owner_of(&self, x: f64) -> u16 {
+        self.shards
+            .iter()
+            .find(|s| x >= s.x_lo && x < s.x_hi)
+            .map(|s| s.id)
+            // Only x = +inf falls through every half-open interval; it
+            // belongs to the last slab.
+            .unwrap_or((self.shards.len() - 1) as u16)
+    }
+
+    /// Ids of the shards whose slab overlaps the x-range `[xl, xu]`.
+    pub fn overlapping(&self, xl: f64, xu: f64) -> Vec<u16> {
+        self.shards
+            .iter()
+            .filter(|s| s.x_lo <= xu && s.x_hi > xl)
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Distributes items into per-shard buckets, replicating each item
+    /// into every slab its MBR overlaps.
+    pub fn assign(&self, items: &[(Rect, u64)]) -> Vec<Vec<(Rect, u64)>> {
+        let mut buckets: Vec<Vec<(Rect, u64)>> = vec![Vec::new(); self.shards.len()];
+        for &(rect, oid) in items {
+            for sid in self.overlapping(rect.xl, rect.xu) {
+                buckets[sid as usize].push((rect, oid));
+            }
+        }
+        buckets
+    }
+}
+
+/// Plans `n` shards over the two join inputs, balancing estimated join
+/// work across slabs (see the module docs for the fallbacks).
+pub fn plan_shards(a: &[(Rect, u64)], b: &[(Rect, u64)], n: usize) -> ShardPlan {
+    let n = n.clamp(1, usize::from(u16::MAX - 1));
+    if n == 1 {
+        return ShardPlan::from_cuts(&[]);
+    }
+    let cuts = match morsel_cuts(a, b, n) {
+        // The cost model found enough structure to place every cut.
+        Some(cuts) if cuts.len() == n - 1 => cuts,
+        _ => quantile_cuts(a, b, n),
+    };
+    ShardPlan::from_cuts(&cuts)
+}
+
+/// Cut positions from the morsel cost model: walk the plane-sweep-ordered
+/// morsels accumulating estimated candidates and cut whenever the running
+/// share crosses the next `k/n` boundary, at the x where the following
+/// morsel's restriction window begins.
+fn morsel_cuts(a: &[(Rect, u64)], b: &[(Rect, u64)], n: usize) -> Option<Vec<f64>> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let ta = PagedTree::freeze(&bulk_load_str(a), |_| None);
+    let tb = PagedTree::freeze(&bulk_load_str(b), |_| None);
+    let creation = create_tasks(&ta, &tb, n * 16);
+    if creation.tasks.is_empty() {
+        // Disjoint MBRs: the join is empty and carries no cost signal.
+        return None;
+    }
+    let est = CandidateEstimator::new(&ta, &tb);
+    let plan = morselize(&ta, &tb, &creation.tasks, &est, &MorselOptions::new(n));
+    if plan.morsels.is_empty() {
+        return None;
+    }
+    // `max(1)` keeps zero-estimate morsels from collapsing whole regions
+    // into one slab.
+    let total: u64 = plan.morsels.iter().map(|m| m.est.max(1)).sum();
+    let mut cuts: Vec<f64> = Vec::with_capacity(n - 1);
+    let mut acc = 0u64;
+    for (i, m) in plan.morsels.iter().enumerate() {
+        acc += m.est.max(1);
+        let k = (cuts.len() + 1) as u64;
+        if k < n as u64 && acc.saturating_mul(n as u64) >= total.saturating_mul(k) {
+            let Some(next) = plan.morsels.get(i + 1) else {
+                break;
+            };
+            let Some(task) = next.tasks.first() else {
+                continue;
+            };
+            let x = task.window.xl;
+            if x.is_finite() && cuts.last().is_none_or(|&c| x > c) {
+                cuts.push(x);
+            }
+        }
+    }
+    (!cuts.is_empty()).then_some(cuts)
+}
+
+/// Fallback cuts: quantiles of the combined lower x-edges.
+fn quantile_cuts(a: &[(Rect, u64)], b: &[(Rect, u64)], n: usize) -> Vec<f64> {
+    let mut xs: Vec<f64> = a
+        .iter()
+        .chain(b)
+        .map(|(r, _)| r.xl)
+        .filter(|x| x.is_finite())
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    let mut cuts = Vec::with_capacity(n - 1);
+    if xs.is_empty() {
+        // No data at all: arbitrary but valid cuts so the requested shard
+        // count still stands up (the shards will simply be empty).
+        cuts.extend((1..n).map(|k| k as f64));
+        return cuts;
+    }
+    for k in 1..n {
+        let x = xs[(k * xs.len() / n).min(xs.len() - 1)];
+        // Heavy duplication can make quantiles collide; a plan with fewer
+        // slabs than asked is still correct, just less parallel.
+        if cuts.last().is_none_or(|&c| x > c) {
+            cuts.push(x);
+        }
+    }
+    cuts
+}
+
+/// One line of a parsed topology file: a shard's id, address, owned
+/// interval, and tree files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoShard {
+    /// Shard id (must be unique in the file).
+    pub id: u16,
+    /// Listen address, e.g. `127.0.0.1:7001`.
+    pub addr: String,
+    /// Inclusive lower bound of the owned interval.
+    pub x_lo: f64,
+    /// Exclusive upper bound of the owned interval.
+    pub x_hi: f64,
+    /// Paths of the tree files this shard serves, in tree-index order.
+    pub trees: Vec<String>,
+}
+
+/// The topology file header; bumped if the line format ever changes.
+const TOPOLOGY_HEADER: &str = "psj-topology v1";
+
+/// Serializes a topology: one header line, then one
+/// `shard <id> <addr> <x_lo> <x_hi> <tree>...` line per shard. `{:?}`
+/// float formatting round-trips `inf`/`-inf` through `f64::from_str`.
+pub fn format_topology(shards: &[TopoShard]) -> String {
+    let mut out = String::new();
+    out.push_str(TOPOLOGY_HEADER);
+    out.push('\n');
+    for s in shards {
+        out.push_str(&format!(
+            "shard {} {} {:?} {:?}",
+            s.id, s.addr, s.x_lo, s.x_hi
+        ));
+        for t in &s.trees {
+            out.push(' ');
+            out.push_str(t);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a topology file. Empty lines and `#` comments are skipped.
+/// Errors carry the offending line for diagnostics.
+pub fn parse_topology(text: &str) -> Result<Vec<TopoShard>, String> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    match lines.next() {
+        Some(TOPOLOGY_HEADER) => {}
+        other => {
+            return Err(format!(
+                "expected '{TOPOLOGY_HEADER}' header, got {other:?}"
+            ))
+        }
+    }
+    fn field<'a>(s: Option<&'a str>, what: &str, line: &str) -> Result<&'a str, String> {
+        s.ok_or_else(|| format!("missing {what} in line: {line}"))
+    }
+    let mut shards: Vec<TopoShard> = Vec::new();
+    for line in lines {
+        let mut f = line.split_whitespace();
+        if field(f.next(), "keyword", line)? != "shard" {
+            return Err(format!("expected 'shard' line, got: {line}"));
+        }
+        let id: u16 = field(f.next(), "id", line)?
+            .parse()
+            .map_err(|e| format!("bad shard id in line '{line}': {e}"))?;
+        let addr = field(f.next(), "address", line)?.to_string();
+        let x_lo: f64 = field(f.next(), "x_lo", line)?
+            .parse()
+            .map_err(|e| format!("bad x_lo in line '{line}': {e}"))?;
+        let x_hi: f64 = field(f.next(), "x_hi", line)?
+            .parse()
+            .map_err(|e| format!("bad x_hi in line '{line}': {e}"))?;
+        if x_lo.is_nan() || x_hi.is_nan() || x_lo >= x_hi {
+            return Err(format!("bad interval [{x_lo}, {x_hi}) in line: {line}"));
+        }
+        let trees: Vec<String> = f.map(str::to_string).collect();
+        if trees.is_empty() {
+            return Err(format!("shard {id} lists no tree files: {line}"));
+        }
+        if shards.iter().any(|s| s.id == id) {
+            return Err(format!("duplicate shard id {id}"));
+        }
+        shards.push(TopoShard {
+            id,
+            addr,
+            x_lo,
+            x_hi,
+            trees,
+        });
+    }
+    if shards.is_empty() {
+        return Err("topology lists no shards".to_string());
+    }
+    Ok(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize, offset: f64) -> Vec<(Rect, u64)> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 40) as f64 * 2.0 + offset;
+                let y = (i / 40) as f64 * 2.0 + offset;
+                (Rect::new(x, y, x + 1.5, y + 1.5), i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn from_cuts_partitions_the_axis_without_gaps() {
+        let plan = ShardPlan::from_cuts(&[10.0, 20.0, 30.0]);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.shards[0].x_lo, f64::NEG_INFINITY);
+        assert_eq!(plan.shards[3].x_hi, f64::INFINITY);
+        for w in plan.shards.windows(2) {
+            assert_eq!(w[0].x_hi, w[1].x_lo, "slabs abut with no gap");
+        }
+        // Every reference point has exactly one owner, including the cut
+        // positions themselves (half-open: a cut belongs to the right slab).
+        for (x, want) in [
+            (f64::NEG_INFINITY, 0),
+            (-1e300, 0),
+            (9.999, 0),
+            (10.0, 1),
+            (19.999, 1),
+            (20.0, 2),
+            (30.0, 3),
+            (1e300, 3),
+            (f64::INFINITY, 3),
+        ] {
+            assert_eq!(plan.owner_of(x), want, "owner of {x}");
+            let owners: Vec<u16> = plan
+                .shards
+                .iter()
+                .filter(|s| x >= s.x_lo && x < s.x_hi)
+                .map(|s| s.id)
+                .collect();
+            assert!(owners.len() <= 1, "at most one interval holds {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_cuts_rejects_unsorted_cuts() {
+        ShardPlan::from_cuts(&[10.0, 10.0]);
+    }
+
+    #[test]
+    fn overlapping_and_assign_replicate_straddlers() {
+        let plan = ShardPlan::from_cuts(&[10.0]);
+        assert_eq!(plan.overlapping(-5.0, 3.0), vec![0]);
+        assert_eq!(plan.overlapping(11.0, 15.0), vec![1]);
+        assert_eq!(plan.overlapping(8.0, 12.0), vec![0, 1]);
+        // xu exactly at the cut still touches the right slab (closed MBRs).
+        assert_eq!(plan.overlapping(8.0, 10.0), vec![0, 1]);
+        let items = vec![
+            (Rect::new(0.0, 0.0, 1.0, 1.0), 1),
+            (Rect::new(9.0, 0.0, 11.0, 1.0), 2),
+            (Rect::new(20.0, 0.0, 21.0, 1.0), 3),
+        ];
+        let buckets = plan.assign(&items);
+        let oids = |b: &[(Rect, u64)]| b.iter().map(|&(_, o)| o).collect::<Vec<_>>();
+        assert_eq!(oids(&buckets[0]), vec![1, 2]);
+        assert_eq!(oids(&buckets[1]), vec![2, 3]);
+    }
+
+    #[test]
+    fn planned_cuts_are_increasing_and_cover_the_data() {
+        let a = grid(1200, 0.0);
+        let b = grid(900, 0.7);
+        for n in [1usize, 2, 3, 4, 7] {
+            let plan = plan_shards(&a, &b, n);
+            assert!(plan.len() <= n, "never more shards than asked");
+            assert!(!plan.is_empty());
+            let cuts: Vec<f64> = plan.shards[..plan.len() - 1]
+                .iter()
+                .map(|s| s.x_hi)
+                .collect();
+            assert!(
+                cuts.windows(2).all(|w| w[0] < w[1]),
+                "cuts increase: {cuts:?}"
+            );
+            // Every candidate reference point is owned exactly once.
+            for &(ra, _) in &a {
+                for &(rb, _) in b.iter().take(50) {
+                    let refpt = ra.xl.max(rb.xl);
+                    let owner = plan.owner_of(refpt);
+                    let holders = plan
+                        .shards
+                        .iter()
+                        .filter(|s| refpt >= s.x_lo && refpt < s.x_hi)
+                        .count();
+                    assert_eq!(holders, 1, "refpt {refpt} owned once (owner {owner})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planner_balances_work_not_counts() {
+        // Heavily skewed overlap: the left half is dense, the right sparse.
+        let mut a = Vec::new();
+        for i in 0..1500u64 {
+            let x = (i % 30) as f64 * 0.5;
+            let y = (i / 30) as f64 * 0.5;
+            a.push((Rect::new(x, y, x + 2.0, y + 2.0), i));
+        }
+        for i in 0..100u64 {
+            let x = 100.0 + (i as f64) * 3.0;
+            a.push((Rect::new(x, 0.0, x + 1.0, 1.0), 1500 + i));
+        }
+        let b = a
+            .iter()
+            .map(|&(r, o)| (Rect::new(r.xl + 0.2, r.yl + 0.2, r.xu + 0.2, r.yu + 0.2), o))
+            .collect::<Vec<_>>();
+        let plan = plan_shards(&a, &b, 3);
+        // With 94% of objects (and nearly all overlap) left of x = 16, a
+        // work-balanced 3-way split must place every cut in the dense
+        // region, not at the object-count thirds.
+        for s in &plan.shards[..plan.len() - 1] {
+            assert!(
+                s.x_hi < 100.0,
+                "cut at {} should fall inside the dense region",
+                s.x_hi
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_still_plan() {
+        // Empty side: quantile fallback over the other side.
+        let a = grid(100, 0.0);
+        let plan = plan_shards(&a, &[], 3);
+        assert!(!plan.is_empty() && plan.len() <= 3);
+        // Both empty: arbitrary cuts, requested count honored.
+        let plan = plan_shards(&[], &[], 4);
+        assert_eq!(plan.len(), 4);
+        // Disjoint MBRs: create_tasks is empty, fallback engages.
+        let far = grid(100, 1e6);
+        let plan = plan_shards(&a, &far, 2);
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn topology_round_trips_including_infinite_bounds() {
+        let shards = vec![
+            TopoShard {
+                id: 0,
+                addr: "127.0.0.1:7001".into(),
+                x_lo: f64::NEG_INFINITY,
+                x_hi: 12.5,
+                trees: vec!["shard0_a.psjt".into(), "shard0_b.psjt".into()],
+            },
+            TopoShard {
+                id: 1,
+                addr: "127.0.0.1:7002".into(),
+                x_lo: 12.5,
+                x_hi: f64::INFINITY,
+                trees: vec!["shard1_a.psjt".into(), "shard1_b.psjt".into()],
+            },
+        ];
+        let text = format_topology(&shards);
+        assert!(text.starts_with("psj-topology v1\n"));
+        let parsed = parse_topology(&text).unwrap();
+        assert_eq!(parsed, shards);
+        // Comments and blank lines are tolerated.
+        let commented = format!("# cluster of two\n\n{text}");
+        assert_eq!(parse_topology(&commented).unwrap(), shards);
+    }
+
+    #[test]
+    fn topology_rejects_malformed_input() {
+        assert!(parse_topology("").is_err(), "missing header");
+        assert!(parse_topology("psj-topology v2\n").is_err(), "bad version");
+        let head = "psj-topology v1\n";
+        assert!(
+            parse_topology(&format!("{head}shard 0 127.0.0.1:1 5.0 4.0 t.psjt")).is_err(),
+            "inverted interval"
+        );
+        assert!(
+            parse_topology(&format!("{head}shard 0 127.0.0.1:1 0.0 1.0")).is_err(),
+            "no trees"
+        );
+        assert!(
+            parse_topology(&format!(
+                "{head}shard 0 127.0.0.1:1 0.0 1.0 t\nshard 0 127.0.0.1:2 1.0 2.0 t"
+            ))
+            .is_err(),
+            "duplicate id"
+        );
+        assert!(parse_topology(head).is_err(), "no shards");
+    }
+}

@@ -1,0 +1,1001 @@
+//! The scatter-gather router.
+//!
+//! A [`Router`] is itself a protocol server: it listens on a socket,
+//! speaks the same length-prefixed frames as `psj-serve`, and forwards
+//! each request to the shards that can answer it:
+//!
+//! * window queries go to the shards whose slab overlaps the query
+//!   rectangle (often just one);
+//! * nearest queries go to every shard (the true neighbors of a point
+//!   near a slab boundary may live on either side) and the merged
+//!   distance order is truncated back to `k`;
+//! * joins fan out to every shard, each carrying that shard's owned
+//!   interval so the reference-point filter yields every cross-shard
+//!   pair exactly once (see `plan`);
+//! * `Stats`/`Metrics` answer from the router's own counters; `Info`
+//!   merges the shard views.
+//!
+//! Robustness is the point of this module. Each shard has a health state
+//! machine (`health`), a small connection pool, and a latency histogram.
+//! Failed exchanges retry under bounded jittered backoff while the
+//! request's deadline allows; slow window/nearest scatters are hedged
+//! with a second connection after a p99-based delay; shards that keep
+//! failing are marked down and skipped (a background prober readmits
+//! them). When shards are unreachable past their budget, the router
+//! answers [`Response::Partial`] with the data the live shards produced
+//! and the missing ids — degraded, never wedged: every gather is bounded
+//! by the request deadline.
+
+use crate::health::{Health, HealthPolicy, HealthState, RouteDecision, Transition};
+use psj_obs::{Counter, Gauge, Histogram, Registry};
+use psj_serve::protocol::{
+    read_frame, write_frame, Request, Response, ServerStats, TreeInfo, MAX_REQUEST_FRAME,
+    ROUTER_SHARD,
+};
+use psj_serve::{BackoffPolicy, Client};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A shard's address and owned x-interval, as the router sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardAddr {
+    /// Shard id (must match the `--shard-id` the shard serves with).
+    pub id: u16,
+    /// The shard's listen address.
+    pub addr: SocketAddr,
+    /// Inclusive lower bound of the owned interval.
+    pub x_lo: f64,
+    /// Exclusive upper bound of the owned interval.
+    pub x_hi: f64,
+}
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen address (`127.0.0.1:0` for tests).
+    pub addr: SocketAddr,
+    /// The shards, ascending by owned interval.
+    pub shards: Vec<ShardAddr>,
+    /// Per-attempt connect timeout to a shard.
+    pub connect_timeout: Duration,
+    /// Per-attempt read timeout on a shard connection.
+    pub read_timeout: Duration,
+    /// Gather budget for requests that carry no deadline of their own.
+    pub default_deadline: Duration,
+    /// Retry budget and backoff shape for failed shard exchanges.
+    pub retry: BackoffPolicy,
+    /// Health state machine thresholds.
+    pub health: HealthPolicy,
+    /// Hedge slow window/nearest reads with a second connection.
+    pub hedge: bool,
+    /// Latency samples required before hedging engages (the p99 of an
+    /// empty histogram is meaningless).
+    pub hedge_min_samples: u64,
+    /// Concurrent in-flight client requests before the router sheds.
+    pub queue_bound: usize,
+    /// Run the background prober (tests of pure routing turn it off).
+    pub probe: bool,
+    /// Read timeout on the router's own client connections (bounds how
+    /// long a halt takes to propagate).
+    pub conn_read_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            shards: Vec::new(),
+            connect_timeout: Duration::from_millis(250),
+            read_timeout: Duration::from_secs(2),
+            default_deadline: Duration::from_secs(2),
+            retry: BackoffPolicy {
+                max_retries: 2,
+                base: Duration::from_millis(5),
+                cap: Duration::from_millis(100),
+                jitter_seed: 0x9E37,
+            },
+            health: HealthPolicy::default(),
+            hedge: true,
+            hedge_min_samples: 32,
+            queue_bound: 256,
+            probe: true,
+            conn_read_timeout: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Per-shard runtime state: spec, pooled connections, health, metrics.
+struct ShardSlot {
+    spec: ShardAddr,
+    /// Idle connections, reused across requests (bounded).
+    pool: Mutex<Vec<Client>>,
+    state: Mutex<HealthState>,
+    /// Per-shard latency of successful exchanges; feeds the hedge delay.
+    /// Internal — not registered (histogram families are unlabeled).
+    latency: Histogram,
+    retries: Arc<Counter>,
+    hedges: Arc<Counter>,
+    failures: Arc<Counter>,
+    down_total: Arc<Counter>,
+    probes: Arc<Counter>,
+    recovered: Arc<Counter>,
+    health_gauge: Arc<Gauge>,
+}
+
+/// Connections kept idle per shard.
+const POOL_CAP: usize = 4;
+
+struct Shared {
+    cfg: RouterConfig,
+    slots: Vec<ShardSlot>,
+    registry: Registry,
+    requests: Arc<Counter>,
+    completed: Arc<Counter>,
+    partials: Arc<Counter>,
+    deadlines: Arc<Counter>,
+    proto_errors: Arc<Counter>,
+    shed: Arc<Counter>,
+    latency: Arc<Histogram>,
+    inflight: AtomicUsize,
+    halt: AtomicBool,
+}
+
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Shared {
+    fn halted(&self) -> bool {
+        self.halt.load(Ordering::Acquire)
+    }
+
+    /// Applies a health transition to the per-shard metrics.
+    fn record_transition(&self, idx: usize, t: Option<Transition>) {
+        let slot = &self.slots[idx];
+        if let Some(t) = t {
+            if t.to == Health::Down && t.from != Health::Down {
+                slot.down_total.inc();
+            }
+            if t.to == Health::Healthy && matches!(t.from, Health::Down | Health::Probing) {
+                slot.recovered.inc();
+            }
+        }
+        slot.health_gauge
+            .set(lock_clean(&slot.state).health().as_gauge());
+    }
+}
+
+/// The scatter-gather router process.
+pub struct Router {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shutdown_rx: mpsc::Receiver<()>,
+    shutdown_tx_probe: mpsc::Sender<()>,
+}
+
+impl Router {
+    /// Binds `cfg.addr` and starts the acceptor (and prober).
+    pub fn start(cfg: RouterConfig) -> io::Result<Router> {
+        if cfg.shards.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router needs at least one shard",
+            ));
+        }
+        let listener = TcpListener::bind(cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let registry = Registry::new();
+        let slots: Vec<ShardSlot> = cfg
+            .shards
+            .iter()
+            .map(|&spec| {
+                let sid = spec.id.to_string();
+                let slot = ShardSlot {
+                    spec,
+                    pool: Mutex::new(Vec::new()),
+                    state: Mutex::new(HealthState::new()),
+                    latency: Histogram::new(),
+                    retries: registry.counter_with_label(
+                        "psj_router_shard_retries_total",
+                        "Shard exchanges retried after a failure",
+                        "shard",
+                        &sid,
+                    ),
+                    hedges: registry.counter_with_label(
+                        "psj_router_shard_hedges_total",
+                        "Hedge connections opened against a slow shard",
+                        "shard",
+                        &sid,
+                    ),
+                    failures: registry.counter_with_label(
+                        "psj_router_shard_failures_total",
+                        "Failed shard exchanges (connect, transport, timeout)",
+                        "shard",
+                        &sid,
+                    ),
+                    down_total: registry.counter_with_label(
+                        "psj_router_shard_down_total",
+                        "Transitions into the Down state",
+                        "shard",
+                        &sid,
+                    ),
+                    probes: registry.counter_with_label(
+                        "psj_router_shard_probes_total",
+                        "Probe attempts against a Down shard",
+                        "shard",
+                        &sid,
+                    ),
+                    recovered: registry.counter_with_label(
+                        "psj_router_shard_recovered_total",
+                        "Recoveries from Down/Probing back to Healthy",
+                        "shard",
+                        &sid,
+                    ),
+                    health_gauge: registry.gauge_with_label(
+                        "psj_router_shard_health",
+                        "Shard health: 0 healthy, 1 suspect, 2 down, 3 probing",
+                        "shard",
+                        &sid,
+                    ),
+                };
+                slot.health_gauge.set(Health::Healthy.as_gauge());
+                slot
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            requests: registry.counter("psj_router_requests_total", "Requests accepted"),
+            completed: registry.counter(
+                "psj_router_completed_total",
+                "Requests answered with a payload (full or partial)",
+            ),
+            partials: registry.counter(
+                "psj_router_partial_responses_total",
+                "Degraded answers with missing shards",
+            ),
+            deadlines: registry.counter(
+                "psj_router_deadline_total",
+                "Gathers that ran out of deadline budget",
+            ),
+            proto_errors: registry
+                .counter("psj_router_proto_errors_total", "Malformed client frames"),
+            shed: registry.counter(
+                "psj_router_shed_total",
+                "Requests shed by router admission control",
+            ),
+            latency: registry.histogram(
+                "psj_router_latency_seconds",
+                "End-to-end router latency over answered requests",
+            ),
+            registry,
+            slots,
+            inflight: AtomicUsize::new(0),
+            halt: AtomicBool::new(false),
+            cfg,
+        });
+
+        let (shutdown_tx, shutdown_rx) = mpsc::channel();
+        let shutdown_tx = Arc::new(Mutex::new(Some(shutdown_tx)));
+        let shutdown_tx_probe = {
+            // A second sender keyed off the same channel so `stop` can
+            // unblock `wait` without a client Shutdown.
+            let guard = lock_clean(&shutdown_tx);
+            guard.as_ref().expect("fresh sender").clone()
+        };
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("psj-router-acceptor".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.halted() {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let shared = Arc::clone(&shared);
+                        let shutdown_tx = Arc::clone(&shutdown_tx);
+                        let h = std::thread::Builder::new()
+                            .name("psj-router-conn".into())
+                            .spawn(move || handle_conn(&shared, stream, &shutdown_tx))
+                            .expect("spawn router connection thread");
+                        lock_clean(&conns).push(h);
+                    }
+                })
+                .expect("spawn router acceptor")
+        };
+        let prober = shared.cfg.probe.then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("psj-router-prober".into())
+                .spawn(move || prober_loop(&shared))
+                .expect("spawn router prober")
+        });
+
+        Ok(Router {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            prober,
+            conns,
+            shutdown_rx,
+            shutdown_tx_probe,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router's metrics in Prometheus text format (same content a
+    /// `Metrics` request returns).
+    pub fn metrics_text(&self) -> String {
+        metrics_text(&self.shared)
+    }
+
+    /// Blocks until a client sends [`Request::Shutdown`], then stops.
+    pub fn wait(self) {
+        let _ = self.shutdown_rx.recv();
+        self.stop();
+    }
+
+    /// Stops the acceptor, prober, and connection threads. Shards are not
+    /// contacted — a router shutdown never takes data nodes with it.
+    pub fn stop(mut self) {
+        self.shared.halt.store(true, Ordering::SeqCst);
+        // In case someone is blocked in `wait`.
+        let _ = self.shutdown_tx_probe.send(());
+        // Unblock the acceptor with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        if let Some(p) = self.prober.take() {
+            let _ = p.join();
+        }
+        let conns: Vec<JoinHandle<()>> = std::mem::take(&mut *lock_clean(&self.conns));
+        for c in conns {
+            let _ = c.join();
+        }
+    }
+}
+
+/// One gathered shard answer (or the lack of one).
+enum ShardAnswer {
+    /// A payload response (`Entries`/`Neighbors`/`Pairs`).
+    Payload(Response),
+    /// A well-formed non-payload response (`Overloaded`, `Error`, ...):
+    /// the shard is healthy but contributed no data.
+    Typed(Response),
+    /// Nothing usable arrived before the deadline.
+    Missing,
+}
+
+fn handle_conn(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    shutdown_tx: &Arc<Mutex<Option<mpsc::Sender<()>>>>,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.conn_read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        let payload = match read_frame(&mut reader, MAX_REQUEST_FRAME) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.halted() {
+                    return;
+                }
+                continue;
+            }
+            Err(e) => {
+                shared.proto_errors.inc();
+                if e.kind() == io::ErrorKind::InvalidData {
+                    let _ = write_frame(&mut writer, &Response::Error(e.to_string()).encode());
+                }
+                return;
+            }
+        };
+        let req = match Request::decode(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                shared.proto_errors.inc();
+                if write_frame(&mut writer, &Response::Error(e.to_string()).encode()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if matches!(req, Request::Shutdown) {
+            let _ = write_frame(&mut writer, &Response::ShutdownAck.encode());
+            if let Some(tx) = lock_clean(shutdown_tx).take() {
+                let _ = tx.send(());
+            }
+            return;
+        }
+        let resp = dispatch(shared, req);
+        if write_frame(&mut writer, &resp.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Routes one decoded request and produces the reply.
+fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
+    shared.requests.inc();
+    match req {
+        Request::Stats => stats_response(shared),
+        Request::Metrics => Response::Metrics(metrics_text(shared)),
+        Request::Info => info_response(shared),
+        Request::Shutdown => unreachable!("handled in the connection loop"),
+        Request::Window { .. } | Request::Nearest { .. } | Request::Join { .. } => {
+            // Admission control: bound concurrent scatters.
+            if shared.inflight.fetch_add(1, Ordering::SeqCst) >= shared.cfg.queue_bound {
+                shared.inflight.fetch_sub(1, Ordering::SeqCst);
+                shared.shed.inc();
+                return Response::Overloaded;
+            }
+            let started = Instant::now();
+            let resp = scatter_gather(shared, &req, started);
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            match &resp {
+                Response::Entries(_) | Response::Neighbors(_) | Response::Pairs(_) => {
+                    shared.completed.inc();
+                    shared.latency.record(started.elapsed());
+                }
+                Response::Partial { .. } => {
+                    shared.completed.inc();
+                    shared.partials.inc();
+                    shared.latency.record(started.elapsed());
+                }
+                Response::DeadlineExceeded => {
+                    shared.deadlines.inc();
+                }
+                _ => {}
+            }
+            resp
+        }
+    }
+}
+
+/// The scatter targets for a data request: `(slot index, per-shard
+/// request)` pairs.
+fn targets_for(shared: &Shared, req: &Request) -> Vec<(usize, Request)> {
+    match req {
+        Request::Window { rect, .. } => shared
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.spec.x_lo <= rect.xu && s.spec.x_hi > rect.xl)
+            .map(|(i, _)| (i, req.clone()))
+            .collect(),
+        Request::Nearest { .. } => (0..shared.slots.len()).map(|i| (i, req.clone())).collect(),
+        Request::Join {
+            tree_a,
+            tree_b,
+            refine,
+            deadline_ms,
+            ..
+        } => shared
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                // Each shard keeps only the pairs whose reference point it
+                // owns; any owner interval the client sent is superseded.
+                (
+                    i,
+                    Request::Join {
+                        tree_a: *tree_a,
+                        tree_b: *tree_b,
+                        refine: *refine,
+                        deadline_ms: *deadline_ms,
+                        owner: Some((s.spec.x_lo, s.spec.x_hi)),
+                    },
+                )
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn request_deadline(shared: &Shared, req: &Request, arrival: Instant) -> Instant {
+    let ms = match req {
+        Request::Window { deadline_ms, .. }
+        | Request::Nearest { deadline_ms, .. }
+        | Request::Join { deadline_ms, .. } => *deadline_ms,
+        _ => 0,
+    };
+    let budget = if ms > 0 {
+        Duration::from_millis(u64::from(ms))
+    } else {
+        shared.cfg.default_deadline
+    };
+    arrival + budget
+}
+
+/// Whether this request kind may be hedged (reads only; a join is too
+/// expensive to run twice on a hunch).
+fn hedgeable(req: &Request) -> bool {
+    matches!(req, Request::Window { .. } | Request::Nearest { .. })
+}
+
+/// Fans the request out and gathers under the deadline. Returns the
+/// merged payload, a `Partial` when shards are missing, or a typed
+/// error/`DeadlineExceeded` for degenerate outcomes.
+fn scatter_gather(shared: &Arc<Shared>, req: &Request, arrival: Instant) -> Response {
+    let targets = targets_for(shared, req);
+    if targets.is_empty() {
+        return Response::Error("request resolves to no shard".into());
+    }
+    let deadline = request_deadline(shared, req, arrival);
+    let hedge = hedgeable(req);
+
+    let (tx, rx) = mpsc::channel::<(usize, ShardAnswer)>();
+    let n = targets.len();
+    for (idx, shard_req) in targets {
+        let shared = Arc::clone(shared);
+        let tx = tx.clone();
+        // Detached on purpose: a thread stuck on a black-holed shard must
+        // not wedge the gather — the channel simply never hears from it
+        // and the deadline prevails.
+        std::thread::Builder::new()
+            .name(format!("psj-router-scatter-{}", shared.slots[idx].spec.id))
+            .spawn(move || {
+                let answer = query_shard(&shared, idx, &shard_req, deadline, hedge);
+                let _ = tx.send((idx, answer));
+            })
+            .expect("spawn scatter thread");
+    }
+    drop(tx);
+
+    let mut answers: Vec<(usize, ShardAnswer)> = Vec::with_capacity(n);
+    let mut deadline_hit = false;
+    while answers.len() < n {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            deadline_hit = true;
+            break;
+        }
+        match rx.recv_timeout(remaining) {
+            Ok(a) => answers.push(a),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                deadline_hit = true;
+                break;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    if deadline_hit {
+        shared.deadlines.inc();
+    }
+
+    merge(shared, req, answers)
+}
+
+/// Merges gathered answers into the client-facing response.
+fn merge(shared: &Shared, req: &Request, answers: Vec<(usize, ShardAnswer)>) -> Response {
+    let mut answered: Vec<usize> = Vec::new();
+    let mut payloads: Vec<Response> = Vec::new();
+    let mut typed: Vec<Response> = Vec::new();
+    let mut typed_missing: Vec<u16> = Vec::new();
+    for (idx, a) in answers {
+        match a {
+            ShardAnswer::Payload(r) => {
+                answered.push(idx);
+                payloads.push(r);
+            }
+            ShardAnswer::Typed(r) => {
+                typed_missing.push(shared.slots[idx].spec.id);
+                typed.push(r);
+            }
+            ShardAnswer::Missing => {}
+        }
+    }
+    // Shards that produced no payload — transport-missing, typed, or
+    // never heard from — are the partial set.
+    let mut missing: Vec<u16> = shared
+        .slots
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !answered.contains(i))
+        // Only shards that were actually targeted count as missing: a
+        // window over slab 2 is not "missing" slabs 0 and 1.
+        .filter(|(_, s)| match req {
+            Request::Window { rect, .. } => s.spec.x_lo <= rect.xu && s.spec.x_hi > rect.xl,
+            _ => true,
+        })
+        .map(|(_, s)| s.spec.id)
+        .collect();
+    missing.sort_unstable();
+    missing.dedup();
+
+    if payloads.is_empty() {
+        // No data at all. If every targeted shard answered with the same
+        // kind of typed refusal, pass the first through for single-node
+        // parity (e.g. `Error("unknown tree")`); otherwise report the
+        // outage as a deadline/partial problem.
+        if missing.len() == typed_missing.len() && !typed.is_empty() {
+            return typed.into_iter().next().expect("nonempty");
+        }
+        if missing.is_empty() {
+            return Response::Error("no shard produced a response".into());
+        }
+        return Response::Partial {
+            missing_shards: missing,
+            inner: Box::new(empty_payload(req)),
+        };
+    }
+
+    let inner = merge_payloads(req, payloads);
+    if missing.is_empty() {
+        inner
+    } else {
+        Response::Partial {
+            missing_shards: missing,
+            inner: Box::new(inner),
+        }
+    }
+}
+
+/// The empty payload of the right kind for a degraded answer with no
+/// surviving data.
+fn empty_payload(req: &Request) -> Response {
+    match req {
+        Request::Window { .. } => Response::Entries(Vec::new()),
+        Request::Nearest { .. } => Response::Neighbors(Vec::new()),
+        _ => Response::Pairs(Vec::new()),
+    }
+}
+
+/// Merges same-kind payloads. Replication makes duplicates *expected*
+/// for entries (an item in two slabs answers from both); joins are
+/// disjoint by the owner filter but are deduplicated anyway so a
+/// misconfigured shard cannot double-report.
+fn merge_payloads(req: &Request, payloads: Vec<Response>) -> Response {
+    match req {
+        Request::Window { .. } => {
+            let mut oids: Vec<u64> = Vec::new();
+            for p in payloads {
+                if let Response::Entries(mut e) = p {
+                    oids.append(&mut e);
+                }
+            }
+            oids.sort_unstable();
+            oids.dedup();
+            Response::Entries(oids)
+        }
+        Request::Nearest { k, .. } => {
+            let mut nn: Vec<(f64, u64)> = Vec::new();
+            for p in payloads {
+                if let Response::Neighbors(mut e) = p {
+                    nn.append(&mut e);
+                }
+            }
+            // Replicas of one object report identical (distance, oid)
+            // tuples; sort by distance then oid and drop exact repeats.
+            nn.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            nn.dedup_by(|a, b| a.0.to_bits() == b.0.to_bits() && a.1 == b.1);
+            nn.truncate(*k as usize);
+            Response::Neighbors(nn)
+        }
+        _ => {
+            let mut pairs: Vec<(u64, u64)> = Vec::new();
+            for p in payloads {
+                if let Response::Pairs(mut e) = p {
+                    pairs.append(&mut e);
+                }
+            }
+            pairs.sort_unstable();
+            pairs.dedup();
+            Response::Pairs(pairs)
+        }
+    }
+}
+
+/// Sends one request to one shard under the health machine, retry
+/// budget, and deadline. Returns the shard's answer classification.
+fn query_shard(
+    shared: &Arc<Shared>,
+    idx: usize,
+    req: &Request,
+    deadline: Instant,
+    hedge: bool,
+) -> ShardAnswer {
+    let slot = &shared.slots[idx];
+    let decision = lock_clean(&slot.state).route(Instant::now());
+    let attempts = match decision {
+        RouteDecision::Skip => return ShardAnswer::Missing,
+        RouteDecision::Probe => {
+            slot.probes.inc();
+            slot.health_gauge.set(Health::Probing.as_gauge());
+            1
+        }
+        RouteDecision::Route => shared.cfg.retry.max_retries + 1,
+    };
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            let delay = shared.cfg.retry.delay(attempt - 1);
+            if Instant::now() + delay >= deadline {
+                break;
+            }
+            std::thread::sleep(delay);
+            slot.retries.inc();
+        }
+        let result = if hedge && decision == RouteDecision::Route {
+            attempt_hedged(shared, idx, req, deadline)
+        } else {
+            attempt_once(shared, idx, req, deadline)
+        };
+        match result {
+            Ok(resp) => {
+                let t = lock_clean(&slot.state).on_success();
+                shared.record_transition(idx, t);
+                return match resp {
+                    Response::Entries(_) | Response::Neighbors(_) | Response::Pairs(_) => {
+                        ShardAnswer::Payload(resp)
+                    }
+                    // The shard answered but contributed no data
+                    // (overloaded, deadline, storage, bad tree, ...).
+                    other => ShardAnswer::Typed(other),
+                };
+            }
+            Err(_) => {
+                slot.failures.inc();
+                let t = lock_clean(&slot.state).on_failure(&shared.cfg.health, Instant::now());
+                shared.record_transition(idx, t);
+            }
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    ShardAnswer::Missing
+}
+
+/// One exchange on a pooled (or fresh) connection, bounded by the
+/// remaining deadline budget.
+fn attempt_once(
+    shared: &Arc<Shared>,
+    idx: usize,
+    req: &Request,
+    deadline: Instant,
+) -> io::Result<Response> {
+    let slot = &shared.slots[idx];
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "deadline exhausted before the attempt",
+        ));
+    }
+    let mut client = match lock_clean(&slot.pool).pop() {
+        Some(c) => c,
+        None => {
+            Client::connect_timeout(&slot.spec.addr, shared.cfg.connect_timeout.min(remaining))?
+        }
+    };
+    let timeout = shared.cfg.read_timeout.min(remaining);
+    client.set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+    let started = Instant::now();
+    // A failed exchange drops the connection (its stream may hold a
+    // half-read frame); only clean exchanges return to the pool.
+    let resp = client.request(req)?;
+    if matches!(resp, Response::Partial { .. }) {
+        // Shards never answer Partial; a shard that does is broken.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "shard answered with a router-only Partial response",
+        ));
+    }
+    slot.latency.record(started.elapsed());
+    let mut pool = lock_clean(&slot.pool);
+    if pool.len() < POOL_CAP {
+        pool.push(client);
+    }
+    Ok(resp)
+}
+
+/// The hedge delay for a shard: its observed p99, clamped to something
+/// sane (a cold or absurd histogram must not produce a 0 ns or 10 s
+/// hedge).
+fn hedge_delay(slot: &ShardSlot) -> Duration {
+    let p99_ms = slot.latency.quantile_ms(0.99);
+    Duration::from_micros((p99_ms * 1_000.0).clamp(1_000.0, 250_000.0) as u64)
+}
+
+/// An attempt with a hedge: if the primary exchange has not answered
+/// within the shard's p99, a second connection races it; first answer
+/// wins. Only engaged once enough latency samples exist.
+fn attempt_hedged(
+    shared: &Arc<Shared>,
+    idx: usize,
+    req: &Request,
+    deadline: Instant,
+) -> io::Result<Response> {
+    let slot = &shared.slots[idx];
+    if !shared.cfg.hedge || slot.latency.count() < shared.cfg.hedge_min_samples {
+        return attempt_once(shared, idx, req, deadline);
+    }
+    let delay = hedge_delay(slot);
+    let (tx, rx) = mpsc::channel::<io::Result<Response>>();
+    let spawn_attempt = |tx: mpsc::Sender<io::Result<Response>>| {
+        let shared = Arc::clone(shared);
+        let req = req.clone();
+        std::thread::Builder::new()
+            .name("psj-router-hedge".into())
+            .spawn(move || {
+                let _ = tx.send(attempt_once(&shared, idx, &req, deadline));
+            })
+            .expect("spawn hedge thread");
+    };
+    spawn_attempt(tx.clone());
+    match rx.recv_timeout(delay) {
+        Ok(first) => first,
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "hedge primary vanished",
+        )),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            // Primary is slow: open the hedge and take whichever answers
+            // first, within what remains of the deadline.
+            slot.hedges.inc();
+            spawn_attempt(tx.clone());
+            drop(tx);
+            let mut last_err: Option<io::Error> = None;
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(last_err.unwrap_or_else(|| {
+                        io::Error::new(io::ErrorKind::TimedOut, "hedged attempts timed out")
+                    }));
+                }
+                match rx.recv_timeout(remaining) {
+                    Ok(Ok(resp)) => return Ok(resp),
+                    Ok(Err(e)) => last_err = Some(e),
+                    Err(_) => {
+                        return Err(last_err.unwrap_or_else(|| {
+                            io::Error::new(io::ErrorKind::TimedOut, "hedged attempts timed out")
+                        }))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Verifies a Down shard has come back: fresh connection, `Info`, and
+/// the responder must identify as the shard the topology expects.
+fn probe_shard(shared: &Shared, idx: usize) -> bool {
+    let slot = &shared.slots[idx];
+    let Ok(mut client) = Client::connect_timeout(&slot.spec.addr, shared.cfg.connect_timeout)
+    else {
+        return false;
+    };
+    if client
+        .set_read_timeout(Some(shared.cfg.read_timeout))
+        .is_err()
+    {
+        return false;
+    }
+    match client.info_tagged() {
+        Ok((sid, trees)) => sid == slot.spec.id && !trees.is_empty(),
+        Err(_) => false,
+    }
+}
+
+/// Background prober: readmits Down shards without waiting for client
+/// traffic to trip over them.
+fn prober_loop(shared: &Arc<Shared>) {
+    let tick = shared
+        .cfg
+        .health
+        .probe_interval
+        .min(Duration::from_millis(50));
+    let tick = tick.max(Duration::from_millis(5));
+    while !shared.halted() {
+        std::thread::sleep(tick);
+        for idx in 0..shared.slots.len() {
+            let slot = &shared.slots[idx];
+            let decision = {
+                let mut st = lock_clean(&slot.state);
+                if st.health() != Health::Down {
+                    continue;
+                }
+                st.route(Instant::now())
+            };
+            if decision != RouteDecision::Probe {
+                continue;
+            }
+            slot.probes.inc();
+            slot.health_gauge.set(Health::Probing.as_gauge());
+            let ok = probe_shard(shared, idx);
+            let t = if ok {
+                lock_clean(&slot.state).on_success()
+            } else {
+                lock_clean(&slot.state).on_failure(&shared.cfg.health, Instant::now())
+            };
+            shared.record_transition(idx, t);
+        }
+    }
+}
+
+/// Router stats in the server's stats shape, so `psj stats` and the
+/// load generator work unchanged against a router.
+fn stats_response(shared: &Shared) -> Response {
+    Response::Stats(ServerStats {
+        completed: shared.completed.get(),
+        shed: shared.shed.get(),
+        timeouts: shared.deadlines.get(),
+        proto_errors: shared.proto_errors.get(),
+        queue_depth: shared.inflight.load(Ordering::SeqCst) as u32,
+        p50_ms: shared.latency.quantile_ms(0.50),
+        p95_ms: shared.latency.quantile_ms(0.95),
+        p99_ms: shared.latency.quantile_ms(0.99),
+        ..ServerStats::default()
+    })
+}
+
+fn metrics_text(shared: &Shared) -> String {
+    // Health gauges are refreshed at scrape time so a state that changed
+    // without a transition event still renders correctly.
+    for slot in shared.slots.iter() {
+        slot.health_gauge
+            .set(lock_clean(&slot.state).health().as_gauge());
+    }
+    shared.registry.render_prometheus()
+}
+
+/// Merged cluster view: per tree index, the union MBR and summed sizes
+/// across the shards that answered. Replicated items are counted once
+/// per replica — the numbers describe the physical cluster, not the
+/// logical dataset.
+fn info_response(shared: &Arc<Shared>) -> Response {
+    let deadline = Instant::now() + shared.cfg.default_deadline;
+    let mut merged: Vec<TreeInfo> = Vec::new();
+    let mut any = false;
+    for idx in 0..shared.slots.len() {
+        let Ok(resp) = attempt_once(shared, idx, &Request::Info, deadline) else {
+            continue;
+        };
+        let Response::Info { trees, .. } = resp else {
+            continue;
+        };
+        any = true;
+        for (t, info) in trees.into_iter().enumerate() {
+            match merged.get_mut(t) {
+                Some(m) => {
+                    m.mbr = m.mbr.union(&info.mbr);
+                    m.len += info.len;
+                    m.pages += info.pages;
+                }
+                None => merged.push(info),
+            }
+        }
+    }
+    if !any {
+        return Response::Error("no shard reachable for info".into());
+    }
+    Response::Info {
+        shard: ROUTER_SHARD,
+        trees: merged,
+    }
+}

@@ -179,7 +179,21 @@ enum Metric {
 struct Entry {
     name: String,
     help: String,
+    /// `Some((key, value))` renders the series as `name{key="value"}`;
+    /// entries sharing a name form one family with a single HELP/TYPE
+    /// header.
+    label: Option<(String, String)>,
     metric: Metric,
+}
+
+impl Entry {
+    /// The series identifier as rendered: bare name, or `name{k="v"}`.
+    fn series(&self) -> String {
+        match &self.label {
+            Some((k, v)) => format!("{}{{{k}=\"{v}\"}}", self.name),
+            None => self.name.clone(),
+        }
+    }
 }
 
 /// A named collection of metrics, rendered on demand in the Prometheus
@@ -211,24 +225,65 @@ impl Registry {
         self.entries.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Inserts a new entry adjacent to its family (same `name`), so a
+    /// family's series render contiguously under one HELP/TYPE header.
+    fn insert_entry(entries: &mut Vec<Entry>, entry: Entry) {
+        let pos = entries
+            .iter()
+            .rposition(|e| e.name == entry.name)
+            .map(|i| i + 1)
+            .unwrap_or(entries.len());
+        entries.insert(pos, entry);
+    }
+
     /// Returns the counter named `name`, creating it if absent.
     ///
     /// # Panics
     /// If `name` is already registered as a different metric kind.
     pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_entry(name, help, None)
+    }
+
+    /// Returns the counter series `name{key="value"}`, creating it if
+    /// absent. Series sharing `name` form one family (one HELP/TYPE
+    /// header, one line per label value).
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter_with_label(
+        &self,
+        name: &str,
+        help: &str,
+        key: &str,
+        value: &str,
+    ) -> Arc<Counter> {
+        self.counter_entry(name, help, Some((key.to_string(), value.to_string())))
+    }
+
+    fn counter_entry(
+        &self,
+        name: &str,
+        help: &str,
+        label: Option<(String, String)>,
+    ) -> Arc<Counter> {
         let mut entries = self.lock();
-        if let Some(e) = entries.iter().find(|e| e.name == name) {
+        for e in entries.iter().filter(|e| e.name == name) {
             match &e.metric {
-                Metric::Counter(c) => return Arc::clone(c),
+                Metric::Counter(c) if e.label == label => return Arc::clone(c),
+                Metric::Counter(_) => {}
                 _ => panic!("metric {name} already registered with a different kind"),
             }
         }
         let c = Arc::new(Counter::new());
-        entries.push(Entry {
-            name: name.to_string(),
-            help: help.to_string(),
-            metric: Metric::Counter(Arc::clone(&c)),
-        });
+        Self::insert_entry(
+            &mut entries,
+            Entry {
+                name: name.to_string(),
+                help: help.to_string(),
+                label,
+                metric: Metric::Counter(Arc::clone(&c)),
+            },
+        );
         c
     }
 
@@ -237,19 +292,37 @@ impl Registry {
     /// # Panics
     /// If `name` is already registered as a different metric kind.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_entry(name, help, None)
+    }
+
+    /// Returns the gauge series `name{key="value"}`, creating it if
+    /// absent.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge_with_label(&self, name: &str, help: &str, key: &str, value: &str) -> Arc<Gauge> {
+        self.gauge_entry(name, help, Some((key.to_string(), value.to_string())))
+    }
+
+    fn gauge_entry(&self, name: &str, help: &str, label: Option<(String, String)>) -> Arc<Gauge> {
         let mut entries = self.lock();
-        if let Some(e) = entries.iter().find(|e| e.name == name) {
+        for e in entries.iter().filter(|e| e.name == name) {
             match &e.metric {
-                Metric::Gauge(g) => return Arc::clone(g),
+                Metric::Gauge(g) if e.label == label => return Arc::clone(g),
+                Metric::Gauge(_) => {}
                 _ => panic!("metric {name} already registered with a different kind"),
             }
         }
         let g = Arc::new(Gauge::new());
-        entries.push(Entry {
-            name: name.to_string(),
-            help: help.to_string(),
-            metric: Metric::Gauge(Arc::clone(&g)),
-        });
+        Self::insert_entry(
+            &mut entries,
+            Entry {
+                name: name.to_string(),
+                help: help.to_string(),
+                label,
+                metric: Metric::Gauge(Arc::clone(&g)),
+            },
+        );
         g
     }
 
@@ -269,6 +342,7 @@ impl Registry {
         entries.push(Entry {
             name: name.to_string(),
             help: help.to_string(),
+            label: None,
             metric: Metric::Histogram(Arc::clone(&h)),
         });
         h
@@ -282,17 +356,26 @@ impl Registry {
     pub fn render_prometheus(&self) -> String {
         let entries = self.lock();
         let mut out = String::new();
+        let mut prev_name: Option<&str> = None;
         for e in entries.iter() {
+            // Labeled series sharing a name are one family: emit the
+            // HELP/TYPE header only for the first entry of a run.
+            let new_family = prev_name != Some(e.name.as_str());
+            prev_name = Some(e.name.as_str());
             match &e.metric {
                 Metric::Counter(c) => {
-                    let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
-                    let _ = writeln!(out, "# TYPE {} counter", e.name);
-                    let _ = writeln!(out, "{} {}", e.name, c.get());
+                    if new_family {
+                        let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                        let _ = writeln!(out, "# TYPE {} counter", e.name);
+                    }
+                    let _ = writeln!(out, "{} {}", e.series(), c.get());
                 }
                 Metric::Gauge(g) => {
-                    let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
-                    let _ = writeln!(out, "# TYPE {} gauge", e.name);
-                    let _ = writeln!(out, "{} {}", e.name, g.get());
+                    if new_family {
+                        let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                        let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                    }
+                    let _ = writeln!(out, "{} {}", e.series(), g.get());
                 }
                 Metric::Histogram(h) => {
                     let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
@@ -343,6 +426,49 @@ mod tests {
         let r = Registry::new();
         r.counter("x", "");
         r.gauge("x", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics_across_labels() {
+        let r = Registry::new();
+        r.counter_with_label("x", "", "shard", "0");
+        r.gauge_with_label("x", "", "shard", "1");
+    }
+
+    #[test]
+    fn labeled_series_share_one_family_header() {
+        let r = Registry::new();
+        let a = r.counter_with_label("psj_shard_retries_total", "Retries", "shard", "0");
+        // An unrelated registration in between must not split the family.
+        r.counter("psj_other_total", "Other").inc();
+        let b = r.counter_with_label("psj_shard_retries_total", "Retries", "shard", "1");
+        a.add(2);
+        b.add(5);
+        // Get-or-create is keyed on (name, label).
+        assert_eq!(
+            r.counter_with_label("psj_shard_retries_total", "Retries", "shard", "0")
+                .get(),
+            2
+        );
+        let g = r.gauge_with_label("psj_shard_health", "Health", "shard", "0");
+        g.set(3);
+        let text = r.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE psj_shard_retries_total counter")
+                .count(),
+            1,
+            "one TYPE header per family:\n{text}"
+        );
+        assert!(text.contains("psj_shard_retries_total{shard=\"0\"} 2"));
+        assert!(text.contains("psj_shard_retries_total{shard=\"1\"} 5"));
+        assert!(text.contains("psj_shard_health{shard=\"0\"} 3"));
+        // Family lines are contiguous despite interleaved registration.
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("psj_shard_retries_total"))
+            .collect();
+        assert_eq!(lines.len(), 2);
     }
 
     #[test]

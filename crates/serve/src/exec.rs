@@ -432,11 +432,20 @@ impl JoinTuning {
 /// joins). A tree with load-time poisoned pages is refused outright with
 /// [`Outcome::Storage`] — the direct descent would read the placeholder
 /// nodes and silently return wrong pairs.
+///
+/// `owner` restricts the result to pairs this shard *owns* (sharded
+/// clusters replicate boundary items into every overlapping shard, so an
+/// unrestricted fan-out would report boundary pairs once per replica):
+/// a pair is kept iff its reference point — `a.xl.max(b.xl)`, the lower-x
+/// edge of the MBR intersection — lies in `[lo, hi)`. The half-open
+/// intervals of a shard plan tile the x-axis, so exactly one shard keeps
+/// each pair. `None` keeps everything (the standalone-server case).
 pub fn join(
     trees: &TreeSet,
     tree_a: u16,
     tree_b: u16,
     refine: bool,
+    owner: Option<(f64, f64)>,
     tuning: JoinTuning,
     deadline: Option<Instant>,
 ) -> Outcome<JoinRun> {
@@ -466,14 +475,53 @@ pub fn join(
     };
     let ctl = RunControl::default().with_cancel(&token);
     match try_run_join(a, b, &cfg, &ctl) {
-        Ok(r) => Outcome::Ok(JoinRun {
-            pairs: r.pairs,
-            tasks: r.tasks as u64,
-            steals: r.steals,
-        }),
+        Ok(r) => {
+            let mut pairs = r.pairs;
+            if let Some((lo, hi)) = owner {
+                retain_owned_pairs(a, b, &mut pairs, lo, hi);
+            }
+            Outcome::Ok(JoinRun {
+                pairs,
+                tasks: r.tasks as u64,
+                steals: r.steals,
+            })
+        }
         Err(NativeError::Cancelled) => Outcome::DeadlineExceeded,
         Err(NativeError::Storage(e)) => Outcome::Storage(e.error),
     }
+}
+
+/// Keeps only the pairs whose reference point (`a.xl.max(b.xl)`) lies in
+/// the owned interval `[lo, hi)`. Reference points are computed from the
+/// stored MBRs, which are bit-identical across replicas of an item, so
+/// every shard of a plan makes the same keep/drop decision for a pair and
+/// the decisions tile: each pair survives on exactly one shard.
+fn retain_owned_pairs(a: &PagedTree, b: &PagedTree, pairs: &mut Vec<(u64, u64)>, lo: f64, hi: f64) {
+    let xa = leaf_xl_index(a);
+    let xb = leaf_xl_index(b);
+    pairs.retain(|&(oa, ob)| match (xa.get(&oa), xb.get(&ob)) {
+        (Some(&ax), Some(&bx)) => {
+            let r = ax.max(bx);
+            lo <= r && r < hi
+        }
+        // A joined oid always has a leaf entry; keep rather than silently
+        // drop if that invariant ever breaks.
+        _ => true,
+    });
+}
+
+/// oid → `mbr.xl` over a tree's leaf entries.
+fn leaf_xl_index(t: &PagedTree) -> std::collections::HashMap<u64, f64> {
+    let mut m = std::collections::HashMap::with_capacity(t.len() as usize);
+    for p in 0..t.num_pages() {
+        let node = t.node(PageId(p as u32));
+        if let NodeKind::Leaf(entries) = &node.kind {
+            for e in entries {
+                m.insert(e.oid, e.mbr.xl);
+            }
+        }
+    }
+    m
 }
 
 #[cfg(test)]
@@ -592,7 +640,7 @@ mod tests {
     fn join_matches_core_and_respects_deadline() {
         let trees = set();
         let want = psj_core::join_refined(&trees.trees[0], &trees.trees[1]);
-        let got = join(&trees, 0, 1, true, JoinTuning::threads(2), None)
+        let got = join(&trees, 0, 1, true, None, JoinTuning::threads(2), None)
             .ok()
             .unwrap();
         assert!(got.tasks > 0, "phase-1 task count travels with the result");
@@ -601,7 +649,7 @@ mod tests {
         assert_eq!(as_set(&got.pairs), as_set(&want));
         let past = Instant::now() - Duration::from_millis(1);
         assert_eq!(
-            join(&trees, 0, 1, true, JoinTuning::threads(2), Some(past)),
+            join(&trees, 0, 1, true, None, JoinTuning::threads(2), Some(past)),
             Outcome::DeadlineExceeded
         );
     }
@@ -609,6 +657,41 @@ mod tests {
     #[test]
     fn tree_set_rejects_oversized() {
         assert!(TreeSet::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn owner_intervals_partition_the_join_exactly_once() {
+        let trees = set();
+        let all = join(&trees, 0, 1, true, None, JoinTuning::threads(2), None)
+            .ok()
+            .unwrap()
+            .pairs;
+        // Half-open intervals tiling the x-axis, boundary chosen to split
+        // the data; pair ownership must partition the unrestricted result.
+        let cuts = [f64::NEG_INFINITY, 13.0, 27.5, f64::INFINITY];
+        let mut union: Vec<(u64, u64)> = Vec::new();
+        let mut total = 0usize;
+        for w in cuts.windows(2) {
+            let owned = join(
+                &trees,
+                0,
+                1,
+                true,
+                Some((w[0], w[1])),
+                JoinTuning::threads(2),
+                None,
+            )
+            .ok()
+            .unwrap()
+            .pairs;
+            total += owned.len();
+            union.extend(owned);
+        }
+        let as_set =
+            |v: &[(u64, u64)]| v.iter().copied().collect::<std::collections::BTreeSet<_>>();
+        assert_eq!(as_set(&union), as_set(&all), "intervals cover everything");
+        assert_eq!(total, all.len(), "no pair owned twice");
+        assert!(total > 0, "non-trivial join");
     }
 
     #[test]
@@ -703,7 +786,7 @@ mod tests {
         assert_eq!(loaded.tree.poisoned_count(), 1);
 
         let trees = TreeSet::new(vec![Arc::new(loaded.tree), healthy]).unwrap();
-        let got = join(&trees, 0, 1, true, JoinTuning::threads(2), None);
+        let got = join(&trees, 0, 1, true, None, JoinTuning::threads(2), None);
         assert!(
             matches!(&got, Outcome::Storage(e) if e.is_corrupt()),
             "{got:?}"

@@ -30,10 +30,10 @@ pub mod protocol;
 pub mod server;
 pub mod telemetry;
 
-pub use client::{Client, ClientError};
+pub use client::{BackoffPolicy, Client, ClientError};
 pub use exec::{JoinRun, Outcome, TreeSet, WindowQuery};
 pub use loadgen::{LoadConfig, LoadReport};
-pub use protocol::{Request, Response, ServerStats, StorageErrorKind, TreeInfo};
+pub use protocol::{Request, Response, ServerStats, StorageErrorKind, TreeInfo, ROUTER_SHARD};
 pub use server::{ServeConfig, Server, ServerReport};
 pub use telemetry::{Histogram, Telemetry};
 

@@ -42,6 +42,10 @@ pub struct LoadConfig {
     pub k: u32,
     /// Window side length as a fraction of the tree extent per axis.
     pub window_extent: f64,
+    /// Reconnect with bounded backoff on transport failure instead of
+    /// ending the client's run (useful against a router whose shards
+    /// may drop connections mid-load).
+    pub reconnect: bool,
 }
 
 impl Default for LoadConfig {
@@ -56,6 +60,7 @@ impl Default for LoadConfig {
             deadline_ms: 0,
             k: 10,
             window_extent: 0.05,
+            reconnect: false,
         }
     }
 }
@@ -67,6 +72,9 @@ pub struct LoadReport {
     pub offered: u64,
     /// Requests answered with a result payload.
     pub completed: u64,
+    /// Requests answered with a `Partial` payload (degraded cluster
+    /// reads; counted in `completed` as well).
+    pub partials: u64,
     /// Requests shed with `Overloaded`.
     pub shed: u64,
     /// Requests answered `DeadlineExceeded`.
@@ -106,6 +114,7 @@ impl LoadReport {
         s.push_str(&format!("  \"deadline_ms\": {},\n", cfg.deadline_ms));
         s.push_str(&format!("  \"offered\": {},\n", self.offered));
         s.push_str(&format!("  \"completed\": {},\n", self.completed));
+        s.push_str(&format!("  \"partials\": {},\n", self.partials));
         s.push_str(&format!("  \"shed\": {},\n", self.shed));
         s.push_str(&format!("  \"timeouts\": {},\n", self.timeouts));
         s.push_str(&format!("  \"storage\": {},\n", self.storage));
@@ -168,6 +177,7 @@ impl LoadReport {
 #[derive(Default)]
 struct ClientOutcome {
     completed: u64,
+    partials: u64,
     shed: u64,
     timeouts: u64,
     storage: u64,
@@ -202,6 +212,12 @@ fn random_window(rng: &mut StdRng, mbr: &Rect, extent: f64) -> Rect {
 fn client_loop(cfg: &LoadConfig, id: usize, trees: &[TreeInfo]) -> io::Result<ClientOutcome> {
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(id as u64));
     let mut client = Client::connect_timeout(&cfg.addr, Duration::from_secs(30))?;
+    if cfg.reconnect {
+        client.set_reconnect(Some(crate::client::BackoffPolicy {
+            jitter_seed: cfg.seed.wrapping_add(id as u64),
+            ..Default::default()
+        }));
+    }
     let mut out = ClientOutcome {
         latencies_ms: Vec::with_capacity(cfg.requests_per_client),
         ..Default::default()
@@ -231,6 +247,13 @@ fn client_loop(cfg: &LoadConfig, id: usize, trees: &[TreeInfo]) -> io::Result<Cl
                 out.latencies_ms.push(ms);
             }
             Err(ClientError::Unexpected(r)) => match *r {
+                // A degraded cluster read still carries a payload; it
+                // counts as completed (and separately as partial).
+                Response::Partial { .. } => {
+                    out.completed += 1;
+                    out.partials += 1;
+                    out.latencies_ms.push(ms);
+                }
                 Response::Overloaded => out.shed += 1,
                 Response::DeadlineExceeded => {
                     out.timeouts += 1;
@@ -291,6 +314,7 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         match o {
             Ok(o) => {
                 total.completed += o.completed;
+                total.partials += o.partials;
                 total.shed += o.shed;
                 total.timeouts += o.timeouts;
                 total.storage += o.storage;
@@ -309,6 +333,7 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
     Ok(LoadReport {
         offered: (cfg.clients * cfg.requests_per_client) as u64,
         completed: total.completed,
+        partials: total.partials,
         shed: total.shed,
         timeouts: total.timeouts,
         storage: total.storage,

@@ -81,6 +81,13 @@ pub enum Request {
         refine: bool,
         /// Deadline in milliseconds from arrival; 0 = none.
         deadline_ms: u32,
+        /// Owned x-interval `[lo, hi)` for sharded joins: the server keeps
+        /// only pairs whose reference point (`a.xl.max(b.xl)` — the lower-x
+        /// edge of the MBR intersection) falls inside the interval, so a
+        /// router fanning one join out across overlapping shards gets every
+        /// cross-shard pair exactly once. Bounds may be infinite (the edge
+        /// shards own half-lines); `None` keeps all pairs.
+        owner: Option<(f64, f64)>,
     },
     /// Server statistics (histogram percentiles, queue depth, cache deltas).
     Stats,
@@ -248,8 +255,14 @@ pub enum Response {
     Pairs(Vec<(u64, u64)>),
     /// Server statistics.
     Stats(ServerStats),
-    /// Loaded trees.
-    Info(Vec<TreeInfo>),
+    /// Loaded trees, tagged with the responding shard's id (0 for a
+    /// standalone server, [`ROUTER_SHARD`] for a router's merged view).
+    Info {
+        /// Shard id of the responder.
+        shard: u16,
+        /// Per-tree descriptions.
+        trees: Vec<TreeInfo>,
+    },
     /// Admission control shed this request; retry later.
     Overloaded,
     /// The request's deadline expired before it finished.
@@ -268,7 +281,25 @@ pub enum Response {
     },
     /// Prometheus-text metrics exposition.
     Metrics(String),
+    /// A scatter-gather answer with incomplete shard coverage: `inner`
+    /// carries the data the reachable shards produced, `missing_shards`
+    /// the ids that contributed nothing (down, timed out, or degraded).
+    /// Routers return this instead of an error so one dead shard degrades
+    /// answers rather than taking the cluster down.
+    Partial {
+        /// Shards whose data is absent from `inner`, ascending.
+        missing_shards: Vec<u16>,
+        /// The merged payload from the shards that did answer. On the wire
+        /// this is restricted to the payload kinds ([`Response::Entries`],
+        /// [`Response::Neighbors`], [`Response::Pairs`]) — nesting is one
+        /// level deep by construction.
+        inner: Box<Response>,
+    },
 }
+
+/// Sentinel shard id used by a router when answering [`Request::Info`]
+/// with its merged cluster view (real shards use their configured id).
+pub const ROUTER_SHARD: u16 = 0xFFFF;
 
 // Opcodes. Requests are < 0x80, responses >= 0x80.
 const OP_WINDOW: u8 = 0x01;
@@ -289,6 +320,7 @@ const OP_ERROR: u8 = 0x88;
 const OP_SHUTDOWN_ACK: u8 = 0x89;
 const OP_STORAGE: u8 = 0x8A;
 const OP_METRICS_REPORT: u8 = 0x8B;
+const OP_PARTIAL: u8 = 0x8C;
 
 /// Bounds-checked little-endian reader over a frame payload.
 struct Cur<'a> {
@@ -424,12 +456,21 @@ impl Request {
                 tree_b,
                 refine,
                 deadline_ms,
+                owner,
             } => {
                 out.push(OP_JOIN);
                 put_u16(&mut out, *tree_a);
                 put_u16(&mut out, *tree_b);
                 out.push(u8::from(*refine));
                 put_u32(&mut out, *deadline_ms);
+                match owner {
+                    Some((lo, hi)) => {
+                        out.push(1);
+                        put_f64(&mut out, *lo);
+                        put_f64(&mut out, *hi);
+                    }
+                    None => out.push(0),
+                }
             }
             Request::Stats => out.push(OP_STATS),
             Request::Metrics => out.push(OP_METRICS),
@@ -462,12 +503,36 @@ impl Request {
                     deadline_ms: c.u32()?,
                 }
             }
-            OP_JOIN => Request::Join {
-                tree_a: c.u16()?,
-                tree_b: c.u16()?,
-                refine: c.u8()? != 0,
-                deadline_ms: c.u32()?,
-            },
+            OP_JOIN => {
+                let (tree_a, tree_b) = (c.u16()?, c.u16()?);
+                let refine = c.u8()? != 0;
+                let deadline_ms = c.u32()?;
+                // The owner interval is an x-slab boundary pair: infinities
+                // are legitimate (edge shards own half-lines), NaN is not.
+                let owner = match c.u8()? {
+                    0 => None,
+                    1 => {
+                        let (lo, hi) = (c.f64()?, c.f64()?);
+                        if lo.is_nan() || hi.is_nan() {
+                            return Err(ProtoError("NaN join owner bound".into()));
+                        }
+                        if lo >= hi {
+                            return Err(ProtoError(format!(
+                                "empty join owner interval [{lo}, {hi})"
+                            )));
+                        }
+                        Some((lo, hi))
+                    }
+                    v => return Err(ProtoError(format!("bad join owner flag {v}"))),
+                };
+                Request::Join {
+                    tree_a,
+                    tree_b,
+                    refine,
+                    deadline_ms,
+                    owner,
+                }
+            }
             OP_STATS => Request::Stats,
             OP_METRICS => Request::Metrics,
             OP_INFO => Request::Info,
@@ -532,8 +597,9 @@ impl Response {
                 put_u64(&mut out, s.page_retries);
                 put_u64(&mut out, s.worker_panics);
             }
-            Response::Info(trees) => {
+            Response::Info { shard, trees } => {
                 out.push(OP_INFO_REPORT);
+                put_u16(&mut out, *shard);
                 put_u32(&mut out, trees.len() as u32);
                 for t in trees {
                     put_rect(&mut out, &t.mbr);
@@ -562,6 +628,19 @@ impl Response {
                 let bytes = text.as_bytes();
                 put_u32(&mut out, bytes.len() as u32);
                 out.extend_from_slice(bytes);
+            }
+            Response::Partial {
+                missing_shards,
+                inner,
+            } => {
+                out.push(OP_PARTIAL);
+                put_u32(&mut out, missing_shards.len() as u32);
+                for s in missing_shards {
+                    put_u16(&mut out, *s);
+                }
+                let nested = inner.encode();
+                put_u32(&mut out, nested.len() as u32);
+                out.extend_from_slice(&nested);
             }
         }
         out
@@ -620,6 +699,7 @@ impl Response {
                 worker_panics: c.u64()?,
             }),
             OP_INFO_REPORT => {
+                let shard = c.u16()?;
                 let n = c.len(44)?;
                 let mut trees = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -629,7 +709,7 @@ impl Response {
                         pages: c.u32()?,
                     });
                 }
-                Response::Info(trees)
+                Response::Info { shard, trees }
             }
             OP_OVERLOADED => Response::Overloaded,
             OP_DEADLINE => Response::DeadlineExceeded,
@@ -662,6 +742,31 @@ impl Response {
                         .map_err(|_| ProtoError("metrics text is not UTF-8".into()))?
                         .to_string(),
                 )
+            }
+            OP_PARTIAL => {
+                let n = c.len(2)?;
+                let mut missing_shards = Vec::with_capacity(n);
+                for _ in 0..n {
+                    missing_shards.push(c.u16()?);
+                }
+                let nested_len = c.len(1)?;
+                let nested = c.take(nested_len)?;
+                // Only data payloads may nest: decoding stays total (no
+                // recursion a hostile frame could deepen) and a Partial
+                // wrapping Partial/Error/etc. is framing corruption.
+                match nested.first() {
+                    Some(&op) if op == OP_ENTRIES || op == OP_NEIGHBORS || op == OP_PAIRS => {}
+                    Some(&op) => {
+                        return Err(ProtoError(format!(
+                            "partial response wraps non-payload opcode {op:#04x}"
+                        )))
+                    }
+                    None => return Err(ProtoError("empty nested payload in partial".into())),
+                }
+                Response::Partial {
+                    missing_shards,
+                    inner: Box::new(Response::decode(nested)?),
+                }
             }
             op => return Err(ProtoError(format!("unknown response opcode {op:#04x}"))),
         };
@@ -744,6 +849,21 @@ mod tests {
             tree_b: 1,
             refine: true,
             deadline_ms: 10_000,
+            owner: None,
+        });
+        roundtrip_req(Request::Join {
+            tree_a: 2,
+            tree_b: 3,
+            refine: false,
+            deadline_ms: 0,
+            owner: Some((f64::NEG_INFINITY, 4.5)),
+        });
+        roundtrip_req(Request::Join {
+            tree_a: 0,
+            tree_b: 0,
+            refine: true,
+            deadline_ms: 7,
+            owner: Some((-1.0, f64::INFINITY)),
         });
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Metrics);
@@ -767,11 +887,26 @@ mod tests {
             worker_panics: 1,
             ..Default::default()
         }));
-        roundtrip_resp(Response::Info(vec![TreeInfo {
-            mbr: Rect::new(0.0, 0.0, 1.0, 1.0),
-            len: 42,
-            pages: 7,
-        }]));
+        roundtrip_resp(Response::Info {
+            shard: 3,
+            trees: vec![TreeInfo {
+                mbr: Rect::new(0.0, 0.0, 1.0, 1.0),
+                len: 42,
+                pages: 7,
+            }],
+        });
+        roundtrip_resp(Response::Partial {
+            missing_shards: vec![1, 4],
+            inner: Box::new(Response::Entries(vec![9, 10])),
+        });
+        roundtrip_resp(Response::Partial {
+            missing_shards: vec![],
+            inner: Box::new(Response::Neighbors(vec![(0.25, 3)])),
+        });
+        roundtrip_resp(Response::Partial {
+            missing_shards: vec![0, 1, 2],
+            inner: Box::new(Response::Pairs(vec![])),
+        });
         roundtrip_resp(Response::Overloaded);
         roundtrip_resp(Response::DeadlineExceeded);
         roundtrip_resp(Response::Error("unknown tree 9".into()));
@@ -812,6 +947,74 @@ mod tests {
         let mut resp = vec![OP_ENTRIES];
         resp.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(Response::decode(&resp).is_err());
+    }
+
+    #[test]
+    fn join_owner_bounds_validated() {
+        fn join_with_owner(lo: f64, hi: f64) -> Vec<u8> {
+            let mut enc = Request::Join {
+                tree_a: 0,
+                tree_b: 1,
+                refine: false,
+                deadline_ms: 0,
+                owner: Some((1.0, 2.0)),
+            }
+            .encode();
+            let n = enc.len();
+            enc[n - 16..n - 8].copy_from_slice(&lo.to_le_bytes());
+            enc[n - 8..].copy_from_slice(&hi.to_le_bytes());
+            enc
+        }
+        assert!(Request::decode(&join_with_owner(f64::NAN, 1.0)).is_err());
+        assert!(Request::decode(&join_with_owner(0.0, f64::NAN)).is_err());
+        assert!(
+            Request::decode(&join_with_owner(2.0, 2.0)).is_err(),
+            "empty"
+        );
+        assert!(
+            Request::decode(&join_with_owner(3.0, 2.0)).is_err(),
+            "inverted"
+        );
+        // Infinite bounds are the edge shards' half-lines: accepted.
+        assert!(Request::decode(&join_with_owner(f64::NEG_INFINITY, f64::INFINITY)).is_ok());
+        // A bad flag byte is rejected.
+        let mut enc = Request::Join {
+            tree_a: 0,
+            tree_b: 1,
+            refine: false,
+            deadline_ms: 0,
+            owner: None,
+        }
+        .encode();
+        *enc.last_mut().unwrap() = 7;
+        assert!(Request::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn partial_rejects_non_payload_nesting() {
+        fn partial_wrapping(inner: &Response) -> Vec<u8> {
+            let nested = inner.encode();
+            let mut enc = vec![OP_PARTIAL];
+            enc.extend_from_slice(&1u32.to_le_bytes());
+            enc.extend_from_slice(&2u16.to_le_bytes());
+            enc.extend_from_slice(&(nested.len() as u32).to_le_bytes());
+            enc.extend_from_slice(&nested);
+            enc
+        }
+        // Partial-in-Partial (unbounded nesting) is rejected.
+        let nested_partial = Response::Partial {
+            missing_shards: vec![1],
+            inner: Box::new(Response::Entries(vec![])),
+        };
+        assert!(Response::decode(&partial_wrapping(&nested_partial)).is_err());
+        // So are typed errors and control responses.
+        assert!(Response::decode(&partial_wrapping(&Response::Overloaded)).is_err());
+        assert!(Response::decode(&partial_wrapping(&Response::Error("x".into()))).is_err());
+        // An empty nested payload is rejected.
+        let mut enc = vec![OP_PARTIAL];
+        enc.extend_from_slice(&0u32.to_le_bytes());
+        enc.extend_from_slice(&0u32.to_le_bytes());
+        assert!(Response::decode(&enc).is_err());
     }
 
     #[test]

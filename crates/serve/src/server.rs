@@ -102,6 +102,10 @@ pub struct ServeConfig {
     /// cache emits page events. `None` (the default) costs one pointer
     /// check per admission.
     pub trace: Option<Arc<TraceSink>>,
+    /// This server's shard id, echoed in [`Response::Info`] so cluster
+    /// routers can verify a dialed address is the shard their topology
+    /// says it is. Standalone servers keep the default 0.
+    pub shard_id: u16,
 }
 
 impl Default for ServeConfig {
@@ -123,6 +127,7 @@ impl Default for ServeConfig {
             fault: None,
             retry: RetryPolicy::default(),
             trace: None,
+            shard_id: 0,
         }
     }
 }
@@ -153,6 +158,7 @@ enum WorkItem {
         tree_b: u16,
         refine: bool,
         deadline: Option<Instant>,
+        owner: Option<(f64, f64)>,
         ctx: ReqCtx,
     },
     /// Test-only: a work item whose handler panics, for exercising the
@@ -624,6 +630,7 @@ fn execute(shared: &Shared, worker: usize, item: WorkItem) {
             tree_b,
             refine,
             deadline,
+            owner,
             ctx,
         } => {
             let result = exec::join(
@@ -631,6 +638,7 @@ fn execute(shared: &Shared, worker: usize, item: WorkItem) {
                 tree_a,
                 tree_b,
                 refine,
+                owner,
                 exec::JoinTuning {
                     threads: shared.cfg.join_threads,
                     morsel_candidates: shared.cfg.join_morsel_candidates,
@@ -705,7 +713,10 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
         let resp = match req {
             Request::Stats => shared.stats_response(),
             Request::Metrics => Response::Metrics(shared.metrics_text()),
-            Request::Info => Response::Info(shared.info()),
+            Request::Info => Response::Info {
+                shard: shared.cfg.shard_id,
+                trees: shared.info(),
+            },
             Request::Shutdown => {
                 let _ = write_frame(&mut writer, &Response::ShutdownAck.encode());
                 if let Some(tx) = lock_clean(&shared.shutdown_tx).take() {
@@ -725,11 +736,15 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                         Err(resp) => *resp,
                         Ok(arrival) => {
                             let deadline = abs_deadline(arrival, deadline_ms);
-                            let (tx, rx) = mpsc::channel();
-                            let ctx = ReqCtx { arrival, reply: tx };
-                            let q = WindowQuery { rect, deadline };
-                            enqueue_window(shared, tree, q, ctx);
-                            finish(shared, &rx)
+                            if sheds_at_admission(shared, arrival, deadline) {
+                                shed_expired(shared, arrival)
+                            } else {
+                                let (tx, rx) = mpsc::channel();
+                                let ctx = ReqCtx { arrival, reply: tx };
+                                let q = WindowQuery { rect, deadline };
+                                enqueue_window(shared, tree, q, ctx);
+                                finish(shared, &rx)
+                            }
                         }
                     }
                 }
@@ -748,15 +763,19 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                         Err(resp) => *resp,
                         Ok(arrival) => {
                             let deadline = abs_deadline(arrival, deadline_ms);
-                            let (tx, rx) = mpsc::channel();
-                            let ctx = ReqCtx { arrival, reply: tx };
-                            let q = NearestQuery {
-                                point: Point::new(x, y),
-                                k: k as usize,
-                                deadline,
-                            };
-                            enqueue_nearest(shared, tree, q, ctx);
-                            finish(shared, &rx)
+                            if sheds_at_admission(shared, arrival, deadline) {
+                                shed_expired(shared, arrival)
+                            } else {
+                                let (tx, rx) = mpsc::channel();
+                                let ctx = ReqCtx { arrival, reply: tx };
+                                let q = NearestQuery {
+                                    point: Point::new(x, y),
+                                    k: k as usize,
+                                    deadline,
+                                };
+                                enqueue_nearest(shared, tree, q, ctx);
+                                finish(shared, &rx)
+                            }
                         }
                     }
                 }
@@ -766,6 +785,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 tree_b,
                 refine,
                 deadline_ms,
+                owner,
             } => {
                 if shared.trees.get(tree_a).is_none() {
                     bad_tree(shared, tree_a)
@@ -782,6 +802,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                                 tree_b,
                                 refine,
                                 deadline,
+                                owner,
                                 ctx: ReqCtx { arrival, reply: tx },
                             });
                             shared.notify_workers();
@@ -825,6 +846,25 @@ fn admit(shared: &Shared) -> Result<Instant, Box<Response>> {
     }
     shared.trace_instant("admit", &[("queued", q as u64)]);
     Ok(Instant::now())
+}
+
+/// Pre-admission deadline check for batchable queries: a deadline that
+/// cannot outlive the batch window is guaranteed to expire while (or right
+/// after) waiting to be grouped, so grouping it only wastes a descent on
+/// work the executor will discard. Shedding it here answers the client
+/// just as fast and keeps the batcher's groups free of dead weight.
+fn sheds_at_admission(shared: &Shared, arrival: Instant, deadline: Option<Instant>) -> bool {
+    !shared.cfg.batch_window.is_zero()
+        && deadline.is_some_and(|d| d <= arrival + shared.cfg.batch_window)
+}
+
+/// Answers a pre-admission shed: releases the slot [`admit`] took and
+/// counts the miss like any other expiry.
+fn shed_expired(shared: &Shared, arrival: Instant) -> Response {
+    shared.queued.fetch_sub(1, Ordering::SeqCst);
+    shared.telemetry.timeout(arrival.elapsed());
+    shared.trace_instant("early_shed", &[]);
+    Response::DeadlineExceeded
 }
 
 /// Waits for the worker's reply and releases the admission slot.
@@ -980,6 +1020,49 @@ mod tests {
         let report = server.stop();
         assert!(report.stats.completed >= 5);
         assert_eq!(report.stats.queue_depth, 0, "drain completes");
+    }
+
+    #[test]
+    fn near_expired_requests_shed_before_batching() {
+        // A long batch window makes the expiry deterministic: a 5 ms
+        // deadline cannot survive a 200 ms grouping wait.
+        let cfg = ServeConfig {
+            workers: 2,
+            batch_window: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(50),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg, vec![tree(100)]).expect("bind loopback");
+        let addr = server.local_addr();
+        let mut c = Client::connect(addr).unwrap();
+        let rect = Rect::new(0.0, 0.0, 5.0, 5.0);
+
+        let start = Instant::now();
+        match c.window(0, rect, 5) {
+            Err(crate::ClientError::Unexpected(r)) => {
+                assert_eq!(*r, Response::DeadlineExceeded)
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_millis(150),
+            "shed at admission, not after the batch window: {:?}",
+            start.elapsed()
+        );
+        match c.nearest(0, 1.0, 1.0, 4, 5) {
+            Err(crate::ClientError::Unexpected(r)) => {
+                assert_eq!(*r, Response::DeadlineExceeded)
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.timeouts, 2, "pre-admission sheds count as expiries");
+        assert_eq!(stats.batches, 0, "no batch was ever formed for them");
+        assert_eq!(stats.queue_depth, 0, "admission slots were released");
+
+        // A viable deadline still rides the batcher normally.
+        assert!(!c.window(0, rect, 5_000).unwrap().is_empty());
+        server.stop();
     }
 
     #[test]
