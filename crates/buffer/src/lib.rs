@@ -40,4 +40,4 @@ pub use lru::Lru;
 pub use path::PathBuffer;
 pub use policy::{Clock, Fifo, PageBuffer, Policy};
 pub use shared::{CacheSnapshot, FaultSource, PageSource, SharedAccess, SharedPageCache};
-pub use stats::BufferStats;
+pub use stats::{BufferStats, OptStats};

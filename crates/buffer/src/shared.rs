@@ -39,12 +39,39 @@
 //! is stored and replayed to every later requester without touching the
 //! source again, so one poisoned page degrades exactly the requests that
 //! need it while the device is spared a re-read storm.
+//!
+//! ## Optimistic reads (seqlock)
+//!
+//! Hits on resident pages take **no shard mutex**. Each shard carries a
+//! version-stamped seqlock word (odd = a structural mutation is in
+//! progress) plus a fixed open-addressed *mirror* of atomic slots — one
+//! `(tag, owner, payload pointer, pin count)` quadruple per resident page.
+//! A reader snapshots the version, probes the mirror, *pins* the matching
+//! slot, re-validates the version, and only then clones the `Arc` out of
+//! the slot; any mismatch unpins and retries, and after
+//! [`OPT_ATTEMPTS`](SharedPageCache) failed validations the read falls
+//! back to the pessimistic mutex path (a bounded `repeat`-style protocol).
+//! Mutations — fills, evictions, quarantine — keep the mutex+condvar write
+//! path but bump the version to odd around every *removal* and wait for
+//! the victim slot's pin count to drain before freeing its payload, so a
+//! validated pin is a guarantee the pointee outlives the clone. Inserts
+//! into empty slots publish the tag last (release) and need no version
+//! bump, which preserves the old `generation` semantics exactly: the word
+//! advances precisely when a resident page leaves the shard, and the
+//! per-worker [`L1Front`](crate::L1Front) keeps validating against it via
+//! [`SharedPageCache::shard_generation`]. Optimistic hits skip replacement
+//! promotion (`touch`) by design — a hot page served optimistically is,
+//! by definition, recently used, and the pessimistic path still promotes.
+//! Per-read statistics are striped per worker (relaxed atomics on
+//! cacheline-padded counters), so a hot root page never touches a
+//! contended line; the seqlock-path counters are surfaced separately as
+//! [`OptStats`].
 
 use crate::policy::{PageBuffer, Policy};
-use crate::stats::BufferStats;
-use psj_store::{FaultPlan, Page, PageError, PageId, RetryPolicy};
+use crate::stats::{BufferStats, OptStats};
+use psj_store::{lock_clean, wait_clean, FaultPlan, Page, PageError, PageId, RetryPolicy};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Where a page's bytes come from on a cache miss.
@@ -100,16 +127,201 @@ struct ShardState<T> {
     quarantined: HashMap<PageId, PageError>,
 }
 
+/// Validation attempts an optimistic read makes before falling back to the
+/// pessimistic mutex path. Low on purpose: a failed validation means a
+/// writer is churning this shard right now, and queueing on the mutex is
+/// cheaper than spinning through its critical section.
+const OPT_ATTEMPTS: usize = 3;
+
+/// Linear-probe window in the mirror. With the mirror sized at 2× the
+/// shard's capacity (load factor ≤ 0.5) a window of 8 makes an
+/// unmirrorable page vanishingly rare; such a page is still served
+/// correctly, just pessimistically.
+const MIRROR_PROBE: usize = 8;
+
+/// Tag value of an empty mirror slot ([`OptSlot::tag`]).
+const TAG_EMPTY: u64 = 0;
+
+/// One slot of a shard's lock-free mirror: the subset of shard state an
+/// optimistic reader needs, republished as atomics. All *writes* happen
+/// under the shard mutex (there is exactly one mutator at a time); readers
+/// never write anything but `pins`.
+struct OptSlot<T> {
+    /// `page.0 + 1` for an occupied slot, [`TAG_EMPTY`] otherwise. Stored
+    /// `Release` *after* `ptr`/`owner` on insert, so a reader that observes
+    /// the tag observes the payload.
+    tag: AtomicU64,
+    /// Worker whose fetch loaded the page (mirrors `ShardState::owner`).
+    owner: AtomicUsize,
+    /// `Arc::into_raw` of the mirror's own strong reference to the value.
+    /// Null iff the slot is empty.
+    ptr: AtomicPtr<T>,
+    /// Readers between "validated the version" and "cloned the Arc" hold a
+    /// pin; a remover waits for pins to drain (after flipping the version
+    /// odd) before releasing the slot's reference. SeqCst pairs the
+    /// reader's `pin ; load version` against the writer's
+    /// `store version ; load pins` (Dekker), so either the reader sees the
+    /// odd/advanced version and aborts, or the writer sees the pin and
+    /// waits.
+    pins: AtomicUsize,
+}
+
+impl<T> OptSlot<T> {
+    fn empty() -> Self {
+        OptSlot {
+            tag: AtomicU64::new(TAG_EMPTY),
+            owner: AtomicUsize::new(0),
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+            pins: AtomicUsize::new(0),
+        }
+    }
+}
+
 struct Shard<T> {
     state: Mutex<ShardState<T>>,
     loaded: Condvar,
     capacity: usize,
-    /// Bumped (under the shard lock, published with `Release`) whenever a
-    /// resident page leaves this shard — eviction or quarantine. A reader
-    /// holding `(page, generation)` from an earlier fill knows the page is
-    /// still resident while the generation is unchanged; the per-worker
-    /// [`L1Front`](crate::L1Front) builds on exactly this.
-    generation: AtomicU64,
+    /// The seqlock word (absorbs the old `generation` counter). Odd while
+    /// a mutator is removing a resident page; advances (by 2) exactly when
+    /// a page leaves the shard — eviction or quarantine. A reader holding
+    /// `(page, version)` from an earlier access knows the page is still
+    /// resident while the version is unchanged; both the optimistic read
+    /// path and the per-worker [`L1Front`](crate::L1Front) validate
+    /// against it.
+    version: AtomicU64,
+    /// Lock-free mirror of the resident-page table; power-of-two sized.
+    mirror: Box<[OptSlot<T>]>,
+}
+
+impl<T> Shard<T> {
+    /// Slot probe sequence for `page`: start index plus the next
+    /// [`MIRROR_PROBE`]-1 slots, wrapping. Decorrelated from shard
+    /// selection (which consumes the hash's top bits) by using the low
+    /// bits.
+    #[inline]
+    fn slot_base(&self, page: PageId) -> usize {
+        let h = (page.0 as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        h as usize & (self.mirror.len() - 1)
+    }
+
+    #[inline]
+    fn tag_of(page: PageId) -> u64 {
+        page.0 as u64 + 1
+    }
+
+    /// Begins a structural mutation: flips the version odd. Callers hold
+    /// the shard mutex (one mutator at a time) and must pair with
+    /// [`Shard::end_mutate`].
+    fn begin_mutate(&self) {
+        let v = self.version.fetch_add(1, Ordering::SeqCst);
+        debug_assert!(v.is_multiple_of(2), "nested begin_mutate");
+    }
+
+    /// Ends a structural mutation: flips the version back to even.
+    fn end_mutate(&self) {
+        let v = self.version.fetch_add(1, Ordering::SeqCst);
+        debug_assert!(!v.is_multiple_of(2), "end_mutate without begin");
+    }
+
+    /// Publishes `page` in the mirror (under the shard mutex). No version
+    /// bump: concurrent readers either miss (slot still empty — they go
+    /// pessimistic and find the page under the lock) or see the fully
+    /// published entry, because the tag is stored last with `Release`.
+    /// A full probe window leaves the page unmirrored — correct, merely
+    /// pessimistic for that page.
+    fn mirror_insert(&self, page: PageId, owner: usize, value: &Arc<T>) {
+        let base = self.slot_base(page);
+        let mask = self.mirror.len() - 1;
+        // Scan the whole window for an existing entry before choosing an
+        // empty slot: a page inserted deep in the window (earlier slots
+        // were occupied then) must not gain a duplicate in a slot that has
+        // since been freed — `mirror_remove` clears only the first match.
+        let mut empty = None;
+        for i in 0..MIRROR_PROBE {
+            let slot = &self.mirror[(base + i) & mask];
+            let tag = slot.tag.load(Ordering::Relaxed);
+            if tag == Self::tag_of(page) {
+                return; // already mirrored
+            }
+            if tag == TAG_EMPTY && empty.is_none() {
+                empty = Some(slot);
+            }
+        }
+        if let Some(slot) = empty {
+            let raw = Arc::into_raw(Arc::clone(value)) as *mut T;
+            slot.ptr.store(raw, Ordering::Relaxed);
+            slot.owner.store(owner, Ordering::Relaxed);
+            slot.tag.store(Self::tag_of(page), Ordering::Release);
+        }
+    }
+
+    /// Unpublishes `page` (under the shard mutex, **between**
+    /// [`Shard::begin_mutate`] and [`Shard::end_mutate`]): clears the tag,
+    /// waits for pinned readers to drain, then releases the mirror's
+    /// reference. The odd version guarantees no *new* reader validates
+    /// against this slot while we wait.
+    fn mirror_remove(&self, page: PageId) {
+        let base = self.slot_base(page);
+        let mask = self.mirror.len() - 1;
+        for i in 0..MIRROR_PROBE {
+            let slot = &self.mirror[(base + i) & mask];
+            if slot.tag.load(Ordering::Relaxed) != Self::tag_of(page) {
+                continue;
+            }
+            slot.tag.store(TAG_EMPTY, Ordering::SeqCst);
+            // Readers hold a pin only across a handful of loads and an
+            // Arc clone — no blocking, no allocation — so this drains in
+            // nanoseconds; yield only if the pinned thread lost its slice.
+            let mut spins = 0u32;
+            while slot.pins.load(Ordering::SeqCst) != 0 {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            let raw = slot.ptr.swap(std::ptr::null_mut(), Ordering::SeqCst);
+            debug_assert!(!raw.is_null());
+            // SAFETY: `raw` came from `Arc::into_raw` in `mirror_insert`
+            // and is released exactly once, here, after the pin drain.
+            unsafe { drop(Arc::from_raw(raw)) };
+            return;
+        }
+    }
+}
+
+impl<T> Drop for Shard<T> {
+    fn drop(&mut self) {
+        for slot in self.mirror.iter_mut() {
+            let raw = *slot.ptr.get_mut();
+            if !raw.is_null() {
+                // SAFETY: the slot holds the strong reference created by
+                // `mirror_insert`; no readers exist during drop.
+                unsafe { drop(Arc::from_raw(raw)) };
+            }
+        }
+    }
+}
+
+/// Clears a shard's in-flight marker if a fill unwinds: a source that
+/// panics mid-fetch (worker bug, injected fault) must not leave every
+/// later requester of the page blocked on the condvar.
+struct LoadingGuard<'a, T> {
+    shard: &'a Shard<T>,
+    page: PageId,
+    armed: bool,
+}
+
+impl<T> Drop for LoadingGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut state = lock_clean(&self.shard.state);
+            state.loading.remove(&self.page);
+            drop(state);
+            self.shard.loaded.notify_all();
+        }
+    }
 }
 
 /// Per-worker counters, padded out so workers on different cores don't
@@ -126,6 +338,11 @@ struct WorkerStats {
     misses: AtomicU64,
     evictions: AtomicU64,
     retries: AtomicU64,
+    /// Seqlock-path counters (see [`OptStats`]); striped with the rest so
+    /// the optimistic hit path touches only this worker's line.
+    opt_hits: AtomicU64,
+    opt_retries: AtomicU64,
+    opt_fallbacks: AtomicU64,
 }
 
 impl WorkerStats {
@@ -139,6 +356,14 @@ impl WorkerStats {
             evictions: self.evictions.load(Ordering::Relaxed),
             hits_path: 0,
             retries: self.retries.load(Ordering::Relaxed),
+        }
+    }
+
+    fn opt_snapshot(&self) -> OptStats {
+        OptStats {
+            hits: self.opt_hits.load(Ordering::Relaxed),
+            retries: self.opt_retries.load(Ordering::Relaxed),
+            fallbacks: self.opt_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -169,6 +394,9 @@ impl<T> SharedPageCache<T> {
         assert!(shards > 0, "need at least one shard");
         assert!(workers > 0, "need at least one worker");
         let per_shard = capacity.div_ceil(shards).max(1);
+        // Mirror at 2× capacity (min 16), power of two: load factor ≤ 0.5
+        // keeps linear probes inside MIRROR_PROBE with high probability.
+        let mirror_slots = (per_shard * 2).next_power_of_two().max(16);
         SharedPageCache {
             shards: (0..shards)
                 .map(|_| Shard {
@@ -181,7 +409,8 @@ impl<T> SharedPageCache<T> {
                     }),
                     loaded: Condvar::new(),
                     capacity: per_shard,
-                    generation: AtomicU64::new(0),
+                    version: AtomicU64::new(0),
+                    mirror: (0..mirror_slots).map(|_| OptSlot::empty()).collect(),
                 })
                 .collect(),
             stats: (0..workers).map(|_| WorkerStats::default()).collect(),
@@ -232,7 +461,7 @@ impl<T> SharedPageCache<T> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.state.lock().unwrap().buf.len())
+            .map(|s| lock_clean(&s.state).buf.len())
             .sum()
     }
 
@@ -245,16 +474,13 @@ impl<T> SharedPageCache<T> {
     pub fn quarantined_pages(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.state.lock().unwrap().quarantined.len())
+            .map(|s| lock_clean(&s.state).quarantined.len())
             .sum()
     }
 
     /// Whether `page` is quarantined.
     pub fn is_quarantined(&self, page: PageId) -> bool {
-        self.shard_of(page)
-            .state
-            .lock()
-            .unwrap()
+        lock_clean(&self.shard_of(page).state)
             .quarantined
             .contains_key(&page)
     }
@@ -309,13 +535,101 @@ impl<T> SharedPageCache<T> {
         }
     }
 
-    /// Current generation of the shard holding `page`. The generation
-    /// advances whenever any page leaves that shard (eviction or
-    /// quarantine); a value read *before* a successful
-    /// [`SharedPageCache::try_get`] therefore certifies, for as long as it
-    /// remains current, that the returned page is still resident.
+    /// Current generation of the shard holding `page` — since the seqlock
+    /// rework this is the shard's version word. It advances whenever any
+    /// page leaves that shard (eviction or quarantine) and is momentarily
+    /// *odd* while such a removal is in progress; a value read *before* a
+    /// successful [`SharedPageCache::try_get`] therefore certifies, for as
+    /// long as it remains current, that the returned page is still
+    /// resident. (An odd value can never falsely certify: the removal in
+    /// progress advances the word before any reader could observe the odd
+    /// value twice.)
     pub fn shard_generation(&self, page: PageId) -> u64 {
-        self.shard_of(page).generation.load(Ordering::Acquire)
+        self.shard_of(page).version.load(Ordering::Acquire)
+    }
+
+    /// The optimistic read: serve `page` from the shard's mirror without
+    /// the mutex. Returns `Ok` on a validated hit; `Err(retries)` when the
+    /// caller must go pessimistic, carrying the number of failed
+    /// validations (0 = clean miss, `>= OPT_ATTEMPTS` = fallback after
+    /// contention).
+    fn opt_get(&self, worker: usize, page: PageId) -> Result<(Arc<T>, SharedAccess), u64> {
+        let shard = self.shard_of(page);
+        let tag = Shard::<T>::tag_of(page);
+        let base = shard.slot_base(page);
+        let mask = shard.mirror.len() - 1;
+        let mut retries = 0u64;
+        while retries < OPT_ATTEMPTS as u64 {
+            let v1 = shard.version.load(Ordering::SeqCst);
+            if !v1.is_multiple_of(2) {
+                // A removal is in flight; its version bump would fail the
+                // validation anyway.
+                retries += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut found = None;
+            for i in 0..MIRROR_PROBE {
+                let slot = &shard.mirror[(base + i) & mask];
+                if slot.tag.load(Ordering::Acquire) == tag {
+                    found = Some(slot);
+                    break;
+                }
+            }
+            let Some(slot) = found else {
+                if shard.version.load(Ordering::SeqCst) == v1 {
+                    // Stable version across the whole probe: the page
+                    // really is absent from the mirror. Miss, not failure.
+                    return Err(retries);
+                }
+                retries += 1;
+                continue;
+            };
+            // Pin, then re-validate. SeqCst makes `pin ; load version`
+            // rank against the remover's `store version ; load pins`: if
+            // our validation sees the version unchanged and even, the
+            // remover has not started, and it must observe our pin before
+            // freeing the payload.
+            slot.pins.fetch_add(1, Ordering::SeqCst);
+            let raw = slot.ptr.load(Ordering::SeqCst);
+            let owner = slot.owner.load(Ordering::Relaxed);
+            let tag2 = slot.tag.load(Ordering::SeqCst);
+            let valid = shard.version.load(Ordering::SeqCst) == v1 && tag2 == tag && !raw.is_null();
+            let value = if valid {
+                // SAFETY: `raw` came from `Arc::into_raw`; the validated
+                // pin (above) keeps the remover from releasing the slot's
+                // strong reference until we drop the pin below, so the
+                // pointee is alive for the clone.
+                Some(unsafe {
+                    Arc::increment_strong_count(raw);
+                    Arc::from_raw(raw)
+                })
+            } else {
+                None
+            };
+            slot.pins.fetch_sub(1, Ordering::SeqCst);
+            match value {
+                Some(v) => {
+                    let access = if owner == worker {
+                        SharedAccess::HitLocal
+                    } else {
+                        SharedAccess::HitRemote { owner }
+                    };
+                    let s = &self.stats[worker];
+                    s.opt_hits.fetch_add(1, Ordering::Relaxed);
+                    if retries > 0 {
+                        s.opt_retries.fetch_add(retries, Ordering::Relaxed);
+                    }
+                    self.bump(worker, access, false, 0);
+                    return Ok((v, access));
+                }
+                None => {
+                    retries += 1;
+                    continue;
+                }
+            }
+        }
+        Err(retries)
     }
 
     /// Looks up `page`, fetching it from `source` on a miss. Returns the
@@ -355,8 +669,23 @@ impl<T> SharedPageCache<T> {
     where
         S: PageSource<Item = T> + ?Sized,
     {
+        // Fast path: version-validated read against the shard's mirror, no
+        // mutex. Falls through on a clean miss (page not mirrored) or
+        // after OPT_ATTEMPTS failed validations.
+        match self.opt_get(worker, page) {
+            Ok(hit) => return Ok(hit),
+            Err(retries) => {
+                let s = &self.stats[worker];
+                if retries > 0 {
+                    s.opt_retries.fetch_add(retries, Ordering::Relaxed);
+                }
+                if retries >= OPT_ATTEMPTS as u64 {
+                    s.opt_fallbacks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         let shard = self.shard_of(page);
-        let mut state = shard.state.lock().unwrap();
+        let mut state = lock_clean(&shard.state);
         let mut waited = false;
         loop {
             if let Some(err) = state.quarantined.get(&page) {
@@ -378,6 +707,11 @@ impl<T> SharedPageCache<T> {
                         None => SharedAccess::HitLocal,
                     }
                 };
+                // A resident page can be missing from the mirror (probe
+                // window was full at fill time); repair while we hold the
+                // lock so later reads go optimistic.
+                let owner = state.owner.get(&page).copied().unwrap_or(worker);
+                shard.mirror_insert(page, owner, &value);
                 drop(state);
                 self.bump(worker, access, false, 0);
                 return Ok((value, access));
@@ -389,13 +723,21 @@ impl<T> SharedPageCache<T> {
                 // us around the loop to retry the fetch ourselves (or to
                 // pick up the quarantine entry if it was corrupt).
                 waited = true;
-                state = shard.loaded.wait(state).unwrap();
+                state = wait_clean(&shard.loaded, state);
                 continue;
             }
             // We fetch. Mark in flight and release the shard lock so other
-            // pages of this shard stay accessible during the fetch.
+            // pages of this shard stay accessible during the fetch. The
+            // guard clears the marker if the source panics mid-fetch —
+            // without it, every later requester of this page would block
+            // on the condvar forever.
             state.loading.insert(page);
             drop(state);
+            let mut guard = LoadingGuard {
+                shard,
+                page,
+                armed: true,
+            };
             let fill_start = self.trace.as_ref().map(|t| t.now_ns());
             let (fetched, retries) = match &self.trace {
                 None => self.retry.run(page.0 as u64, |_| source.fetch_page(page)),
@@ -426,7 +768,8 @@ impl<T> SharedPageCache<T> {
                     ],
                 );
             }
-            let mut state = shard.state.lock().unwrap();
+            guard.armed = false;
+            let mut state = lock_clean(&shard.state);
             state.loading.remove(&page);
             let value = match fetched {
                 Ok(v) => Arc::new(v),
@@ -435,10 +778,14 @@ impl<T> SharedPageCache<T> {
                         // Unrecoverable: quarantine so later requesters get
                         // the typed error without hitting the device again.
                         state.quarantined.insert(page, e.clone());
-                        // Conservatively invalidate L1 slots for this shard:
-                        // no front may keep serving a page the shard now
-                        // refuses.
-                        shard.generation.fetch_add(1, Ordering::Release);
+                        // Advance the version so generation-checked L1
+                        // slots and optimistic readers conservatively
+                        // re-validate: no front may keep serving a page
+                        // the shard now refuses. (The page was loading,
+                        // not resident, so there is no mirror entry to
+                        // clear.)
+                        shard.begin_mutate();
+                        shard.end_mutate();
                         self.corrupt_detected.fetch_add(1, Ordering::Relaxed);
                         if let Some(t) = &self.trace {
                             t.instant(
@@ -459,13 +806,19 @@ impl<T> SharedPageCache<T> {
             if let Some(victim) = state.buf.insert(page) {
                 state.data.remove(&victim);
                 state.owner.remove(&victim);
-                // The victim left the shard: invalidate generation-checked
-                // L1 slots before any reader can observe the new residency.
-                shard.generation.fetch_add(1, Ordering::Release);
+                // The victim leaves the shard: flip the version odd, drain
+                // pinned optimistic readers of the victim's slot, release
+                // its mirror reference, then flip back even. Generation-
+                // checked L1 slots and in-flight optimistic reads both
+                // observe the advance and re-validate.
+                shard.begin_mutate();
+                shard.mirror_remove(victim);
+                shard.end_mutate();
                 evicted = true;
             }
             state.data.insert(page, Arc::clone(&value));
             state.owner.insert(page, worker);
+            shard.mirror_insert(page, worker, &value);
             drop(state);
             shard.loaded.notify_all();
             self.bump(worker, SharedAccess::Miss, evicted, retries);
@@ -475,7 +828,7 @@ impl<T> SharedPageCache<T> {
 
     /// Read-only residency test (no promotion, no stats).
     pub fn contains(&self, page: PageId) -> bool {
-        self.shard_of(page).state.lock().unwrap().buf.contains(page)
+        lock_clean(&self.shard_of(page).state).buf.contains(page)
     }
 
     /// One worker's statistics.
@@ -495,6 +848,19 @@ impl<T> SharedPageCache<T> {
             .fold(BufferStats::default(), |acc, s| acc.merged(s))
     }
 
+    /// One worker's optimistic-path counters.
+    pub fn opt_stats_for(&self, worker: usize) -> OptStats {
+        self.stats[worker].opt_snapshot()
+    }
+
+    /// Aggregated optimistic-path counters over all workers.
+    pub fn opt_stats(&self) -> OptStats {
+        self.stats
+            .iter()
+            .map(WorkerStats::opt_snapshot)
+            .fold(OptStats::default(), |acc, s| acc.merged(&s))
+    }
+
     /// A point-in-time view of the cache: aggregate counters plus residency.
     ///
     /// Counters are monotone, so the delta between two snapshots
@@ -504,6 +870,7 @@ impl<T> SharedPageCache<T> {
     pub fn snapshot(&self) -> CacheSnapshot {
         CacheSnapshot {
             stats: self.total_stats(),
+            opt: self.opt_stats(),
             resident_pages: self.len(),
             capacity_pages: self.capacity(),
             quarantined_pages: self.quarantined_pages(),
@@ -521,7 +888,7 @@ impl<T> SharedPageCache<T> {
     /// construction of [`BufferStats::requests`]).
     pub fn check_invariants(&self) -> Result<(), String> {
         for (i, shard) in self.shards.iter().enumerate() {
-            let state = shard.state.lock().unwrap();
+            let state = lock_clean(&shard.state);
             if state.buf.len() > shard.capacity {
                 return Err(format!(
                     "shard {i}: {} resident pages exceed capacity {}",
@@ -561,6 +928,55 @@ impl<T> SharedPageCache<T> {
                     return Err(format!("shard {i}: owner {owner} out of range"));
                 }
             }
+            // Seqlock/mirror invariants at rest.
+            let version = shard.version.load(Ordering::SeqCst);
+            if !version.is_multiple_of(2) {
+                return Err(format!("shard {i}: version {version} odd at rest"));
+            }
+            let mut mirrored = std::collections::HashSet::new();
+            for (j, slot) in shard.mirror.iter().enumerate() {
+                let pins = slot.pins.load(Ordering::SeqCst);
+                if pins != 0 {
+                    return Err(format!("shard {i} slot {j}: {pins} pins at rest"));
+                }
+                let tag = slot.tag.load(Ordering::SeqCst);
+                let raw = slot.ptr.load(Ordering::SeqCst);
+                if tag == TAG_EMPTY {
+                    if !raw.is_null() {
+                        return Err(format!("shard {i} slot {j}: empty slot holds a payload"));
+                    }
+                    continue;
+                }
+                let page = PageId((tag - 1) as u32);
+                if !mirrored.insert(page) {
+                    return Err(format!("shard {i}: page {page} mirrored twice"));
+                }
+                match state.data.get(&page) {
+                    None => {
+                        return Err(format!("shard {i}: mirrored page {page} not resident"));
+                    }
+                    Some(value) => {
+                        if !std::ptr::eq(Arc::as_ptr(value), raw) {
+                            return Err(format!(
+                                "shard {i}: mirror payload for {page} diverges from the map"
+                            ));
+                        }
+                    }
+                }
+                let owner = slot.owner.load(Ordering::SeqCst);
+                if state.owner.get(&page) != Some(&owner) {
+                    return Err(format!("shard {i}: mirror owner for {page} diverges"));
+                }
+            }
+            // Every resident page should normally be mirrored; a full
+            // probe window can leave gaps, but never extras.
+            if mirrored.len() > state.data.len() {
+                return Err(format!(
+                    "shard {i}: {} mirrored pages exceed {} resident",
+                    mirrored.len(),
+                    state.data.len()
+                ));
+            }
         }
         Ok(())
     }
@@ -583,6 +999,8 @@ impl<T> std::fmt::Debug for SharedPageCache<T> {
 pub struct CacheSnapshot {
     /// Aggregate counters over all workers at snapshot time.
     pub stats: BufferStats,
+    /// Aggregate optimistic-read-path counters at snapshot time.
+    pub opt: OptStats,
     /// Pages resident at snapshot time.
     pub resident_pages: usize,
     /// Maximum resident pages (constant over the cache's life).

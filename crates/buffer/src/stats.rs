@@ -85,9 +85,72 @@ impl BufferStats {
     }
 }
 
+/// Counters for the optimistic (seqlock) read path of
+/// [`SharedPageCache`](crate::SharedPageCache), kept separately from
+/// [`BufferStats`] so the wire format and every existing reconciliation
+/// (`BufferStats` vs `TaskTrace`) are unchanged: an optimistic hit is still
+/// counted as a local/remote hit in [`BufferStats`]; these counters only
+/// say *how* the read path got there.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptStats {
+    /// Hits served without taking the shard mutex (version validated).
+    pub hits: u64,
+    /// Validation failures: the shard version moved (or a writer was
+    /// active) between snapshot and validation, and the read was retried.
+    pub retries: u64,
+    /// Reads that exhausted their validation attempts and fell back to the
+    /// pessimistic mutex path.
+    pub fallbacks: u64,
+}
+
+impl OptStats {
+    /// Element-wise sum, for aggregating per-worker counters.
+    pub fn merged(&self, other: &OptStats) -> OptStats {
+        OptStats {
+            hits: self.hits + other.hits,
+            retries: self.retries + other.retries,
+            fallbacks: self.fallbacks + other.fallbacks,
+        }
+    }
+
+    /// Element-wise difference against an earlier snapshot (see
+    /// [`BufferStats::since`]).
+    pub fn since(&self, earlier: &OptStats) -> OptStats {
+        OptStats {
+            hits: self.hits - earlier.hits,
+            retries: self.retries - earlier.retries,
+            fallbacks: self.fallbacks - earlier.fallbacks,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn opt_stats_merge_and_since() {
+        let a = OptStats {
+            hits: 5,
+            retries: 1,
+            fallbacks: 0,
+        };
+        let b = OptStats {
+            hits: 2,
+            retries: 0,
+            fallbacks: 1,
+        };
+        let m = a.merged(&b);
+        assert_eq!(
+            m,
+            OptStats {
+                hits: 7,
+                retries: 1,
+                fallbacks: 1
+            }
+        );
+        assert_eq!(m.since(&b), a);
+    }
 
     #[test]
     fn hit_ratio_zero_when_idle() {

@@ -86,7 +86,9 @@ commands:
            comparison (R-tree vs partition on identical unbuffered joins,
            both pre-indexed and from raw streams where the R-tree engine
            pays index construction; reported as `engines` rows with both
-           partition/rtree wall ratios).
+           partition/rtree wall ratios), plus a contended-read row (N
+           workers re-reading one tree through a shared cache; reports
+           the optimistic-hit share of the seqlock read path).
            speedup_vs_t1 is the *scheduled* speedup: the t=1 run's
            per-morsel wall costs replayed through the deterministic
            scheduler simulation with n virtual workers (machine-
@@ -100,7 +102,10 @@ commands:
            t4_gd_global=1.2); --require-steals fails unless some candidate
            row stole; --min-partition puts an absolute floor on the
            candidate's stream-input partition-vs-rtree wall ratio (index
-           build counted on the rtree side); --min-cluster-scaling <f>
+           build counted on the rtree side); --min-opt-share <f> puts a
+           floor on the candidate's contended-read optimistic-hit share
+           (which code path served resident-page reads — machine-
+           independent); --min-cluster-scaling <f>
            [--cluster <file.json>] puts a floor on bench-cluster's 4-shard
            vs 1-shard throughput ratio (standalone: baseline/candidate may
            be omitted); exits nonzero on any regression
@@ -282,6 +287,7 @@ pub fn join(args: &Args) -> CmdResult {
             ));
         }
         Err(NativeError::Cancelled) => unreachable!("no cancel token installed"),
+        Err(e @ NativeError::WorkerPanic { .. }) => return Err(e.to_string()),
     };
     println!("threads:            {threads}");
     println!(
@@ -1037,6 +1043,93 @@ pub fn bench_join(args: &Args) -> CmdResult {
         }
     }
 
+    // --- Contended-read micro-benchmark -----------------------------------
+    // N workers re-read one small tree through a shared cache whose budget
+    // covers every page, so after a single warm pass the whole tree stays
+    // resident and every timed read is a hit. What this measures is *which
+    // code path* serves those hits: the gated `opt_hit_share` is the
+    // fraction served by the seqlock optimistic path (no shard mutex
+    // taken) — a pure path-count ratio, machine-independent — while
+    // reads/sec is reported for context and never gated. Capacity is 2x
+    // the page count because the shard hash can skew pages across shards;
+    // an exactly-covering budget could overflow one shard's slice and
+    // evict, which would poison the share with refill misses.
+    struct ContendedRow {
+        workers: usize,
+        pages: usize,
+        reads: u64,
+        wall_ms: f64,
+        reads_per_sec: f64,
+        opt: psj_buffer::OptStats,
+        opt_hit_share: f64,
+    }
+    let contended = {
+        use psj_buffer::{PageSource, Policy, SharedPageCache};
+        use psj_rtree::Node;
+        use psj_store::{PageError, PageId};
+
+        struct TreeSource<'t> {
+            t: &'t PagedTree,
+        }
+        impl PageSource for TreeSource<'_> {
+            type Item = Node;
+            fn fetch_page(&self, page: PageId) -> Result<Node, PageError> {
+                Ok(Node::decode(self.t.pages().read(page)))
+            }
+            fn page_count(&self) -> usize {
+                self.t.num_pages()
+            }
+        }
+
+        const WORKERS: usize = 4;
+        let pages = b.num_pages();
+        let reads_per_worker: usize = if quick { 40_000 } else { 150_000 };
+        let cache: SharedPageCache<Node> = SharedPageCache::new(WORKERS, pages * 2, 8, Policy::Lru);
+        let src = TreeSource { t: &b };
+        for p in 0..pages {
+            let _ = cache.get(0, PageId(p as u32), &src);
+        }
+        let base = cache.opt_stats();
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for w in 0..WORKERS {
+                let (cache, src) = (&cache, &src);
+                s.spawn(move || {
+                    for i in 0..reads_per_worker {
+                        // Strides co-prime with typical page counts, offset
+                        // per worker: workers collide on the same pages,
+                        // which is the contention being measured.
+                        let p = (i * 7 + w * 13) % pages;
+                        let _ = cache.get(w, PageId(p as u32), src);
+                    }
+                });
+            }
+        });
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let opt = cache.opt_stats().since(&base);
+        let reads = (WORKERS * reads_per_worker) as u64;
+        let reads_per_sec = reads as f64 / (wall_ms / 1e3);
+        let opt_hit_share = opt.hits as f64 / reads as f64;
+        println!(
+            "contended: {WORKERS} workers x {reads_per_worker} reads over {pages} pages, \
+             {wall_ms:.1} ms ({:.1} Mreads/s), opt share {opt_hit_share:.3} \
+             ({} hits, {} retries, {} fallbacks)",
+            reads_per_sec / 1e6,
+            opt.hits,
+            opt.retries,
+            opt.fallbacks
+        );
+        ContendedRow {
+            workers: WORKERS,
+            pages,
+            reads,
+            wall_ms,
+            reads_per_sec,
+            opt,
+            opt_hit_share,
+        }
+    };
+
     // --- Engine comparison (in-memory) ------------------------------------
     // Both engines answer the *identical* unbuffered filter-step join (no
     // page cache, no refinement, same datasets): the R-tree engine's
@@ -1239,6 +1332,29 @@ pub fn bench_join(args: &Args) -> CmdResult {
     ));
     json.push_str(&format!("    \"soa_pairs_per_sec\": {:.1},\n", soa_pps));
     json.push_str(&format!("    \"speedup\": {:.4}\n", kernel_speedup));
+    json.push_str("  },\n");
+    json.push_str("  \"contended\": {\n");
+    json.push_str(&format!("    \"workers\": {},\n", contended.workers));
+    json.push_str(&format!("    \"pages\": {},\n", contended.pages));
+    json.push_str(&format!("    \"reads\": {},\n", contended.reads));
+    json.push_str(&format!("    \"wall_ms\": {:.3},\n", contended.wall_ms));
+    json.push_str(&format!(
+        "    \"reads_per_sec\": {:.1},\n",
+        contended.reads_per_sec
+    ));
+    json.push_str(&format!("    \"opt_hits\": {},\n", contended.opt.hits));
+    json.push_str(&format!(
+        "    \"opt_retries\": {},\n",
+        contended.opt.retries
+    ));
+    json.push_str(&format!(
+        "    \"opt_fallbacks\": {},\n",
+        contended.opt.fallbacks
+    ));
+    json.push_str(&format!(
+        "    \"opt_hit_share\": {:.4}\n",
+        contended.opt_hit_share
+    ));
     json.push_str("  },\n");
     json.push_str("  \"joins\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -1448,6 +1564,26 @@ pub fn bench_check(args: &Args) -> CmdResult {
             None => failures.push(format!(
                 "{candidate_path}: no partition_speedup_vs_rtree in report \
                  (re-run bench-join)"
+            )),
+        }
+    }
+
+    // Absolute floor on the contended-read optimistic-hit share: which code
+    // path served resident-page hits is a pure count ratio, fully
+    // machine-independent — on a healthy seqlock read path it is ~1.0.
+    if let Some(floor) = args.get("min-opt-share") {
+        let floor: f64 = floor
+            .parse()
+            .map_err(|_| format!("--min-opt-share '{floor}' is not a number"))?;
+        match json_number_after(&candidate, "opt_hit_share", 0).map(|(v, _)| v) {
+            Some(v) if v >= floor => {
+                println!("contended: optimistic hit share {v:.3} meets floor {floor:.3}");
+            }
+            Some(v) => failures.push(format!(
+                "contended optimistic hit share below floor: {v:.3} < {floor:.3}"
+            )),
+            None => failures.push(format!(
+                "{candidate_path}: no opt_hit_share in report (re-run bench-join)"
             )),
         }
     }

@@ -409,7 +409,10 @@ fn handle_conn(
             Err(e) => {
                 shared.proto_errors.inc();
                 if e.kind() == io::ErrorKind::InvalidData {
-                    let _ = write_frame(&mut writer, &Response::Error(e.to_string()).encode());
+                    let _ = write_frame(
+                        &mut writer,
+                        &Response::Error(e.to_string()).encode_or_error(),
+                    );
                 }
                 return;
             }
@@ -418,21 +421,26 @@ fn handle_conn(
             Ok(req) => req,
             Err(e) => {
                 shared.proto_errors.inc();
-                if write_frame(&mut writer, &Response::Error(e.to_string()).encode()).is_err() {
+                if write_frame(
+                    &mut writer,
+                    &Response::Error(e.to_string()).encode_or_error(),
+                )
+                .is_err()
+                {
                     return;
                 }
                 continue;
             }
         };
         if matches!(req, Request::Shutdown) {
-            let _ = write_frame(&mut writer, &Response::ShutdownAck.encode());
+            let _ = write_frame(&mut writer, &Response::ShutdownAck.encode_or_error());
             if let Some(tx) = lock_clean(shutdown_tx).take() {
                 let _ = tx.send(());
             }
             return;
         }
         let resp = dispatch(shared, req);
-        if write_frame(&mut writer, &resp.encode()).is_err() {
+        if write_frame(&mut writer, &resp.encode_or_error()).is_err() {
             return;
         }
     }

@@ -11,10 +11,16 @@
 //! Implementation is a `Mutex<VecDeque>` per queue. Locks are never nested:
 //! a batch steal pops under the victim's lock into a local buffer, releases
 //! it, then refills the thief under its own lock, so cyclic steals cannot
-//! deadlock. For the join workloads measured here, queue operations are a
-//! negligible fraction of kernel time (plane sweeps dominate); lock-free
-//! deques are a drop-in upgrade if that ever changes.
+//! deadlock. Every lock goes through [`psj_store::lock_clean`]: a worker
+//! that panics mid-morsel must not poison the queues and abort the sibling
+//! workers — the queues are structurally valid across a panic (a morsel is
+//! either still queued or already handed out), so the survivors drain the
+//! rest and the panic is surfaced as a typed error by the driver. For the
+//! join workloads measured here, queue operations are a negligible fraction
+//! of kernel time (plane sweeps dominate); lock-free deques are a drop-in
+//! upgrade if that ever changes.
 
+use psj_store::lock_clean;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
@@ -51,12 +57,12 @@ impl<T> Injector<T> {
 
     /// Adds a task to the back of the queue.
     pub fn push(&self, task: T) {
-        self.q.lock().unwrap().push_back(task);
+        lock_clean(&self.q).push_back(task);
     }
 
     /// Takes one task from the front of the queue.
     pub fn steal(&self) -> Steal<T> {
-        match self.q.lock().unwrap().pop_front() {
+        match lock_clean(&self.q).pop_front() {
             Some(t) => Steal::Success(t),
             None => Steal::Empty,
         }
@@ -65,7 +71,7 @@ impl<T> Injector<T> {
     /// Moves a batch of tasks into `worker`'s deque and pops one of them.
     pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
         let batch = {
-            let mut q = self.q.lock().unwrap();
+            let mut q = lock_clean(&self.q);
             let n = q.len().div_ceil(2).min(BATCH_LIMIT);
             q.drain(..n).collect::<Vec<_>>()
         };
@@ -74,7 +80,7 @@ impl<T> Injector<T> {
 
     /// Whether the queue was observed empty.
     pub fn is_empty(&self) -> bool {
-        self.q.lock().unwrap().is_empty()
+        lock_clean(&self.q).is_empty()
     }
 }
 
@@ -96,12 +102,12 @@ impl<T> Worker<T> {
 
     /// Pushes a task onto the owner's end.
     pub fn push(&self, task: T) {
-        self.q.lock().unwrap().push_back(task);
+        lock_clean(&self.q).push_back(task);
     }
 
     /// Pops the most recently pushed task (depth-first order).
     pub fn pop(&self) -> Option<T> {
-        self.q.lock().unwrap().pop_back()
+        lock_clean(&self.q).pop_back()
     }
 
     /// A handle other workers can steal through.
@@ -131,7 +137,7 @@ impl<T> Stealer<T> {
     /// subtrees) into `worker`'s deque and pops one.
     pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
         let batch = {
-            let mut q = self.q.lock().unwrap();
+            let mut q = lock_clean(&self.q);
             let n = (q.len() / 2)
                 .max(usize::from(!q.is_empty()))
                 .min(BATCH_LIMIT);
@@ -142,7 +148,7 @@ impl<T> Stealer<T> {
 
     /// Whether the victim's deque was observed empty.
     pub fn is_empty(&self) -> bool {
-        self.q.lock().unwrap().is_empty()
+        lock_clean(&self.q).is_empty()
     }
 }
 
@@ -178,27 +184,27 @@ impl<T> MorselQueue<T> {
 
     /// Appends a morsel (setup phase only).
     pub fn push_back(&self, m: T) {
-        self.q.lock().unwrap().push_back(m);
+        lock_clean(&self.q).push_back(m);
     }
 
     /// Owner acquisition: next morsel in plane-sweep order.
     pub fn pop_front(&self) -> Option<T> {
-        self.q.lock().unwrap().pop_front()
+        lock_clean(&self.q).pop_front()
     }
 
     /// Thief acquisition: exactly one morsel from the far end.
     pub fn steal_back(&self) -> Option<T> {
-        self.q.lock().unwrap().pop_back()
+        lock_clean(&self.q).pop_back()
     }
 
     /// Morsels currently queued.
     pub fn len(&self) -> usize {
-        self.q.lock().unwrap().len()
+        lock_clean(&self.q).len()
     }
 
     /// Whether the queue was observed empty.
     pub fn is_empty(&self) -> bool {
-        self.q.lock().unwrap().is_empty()
+        lock_clean(&self.q).is_empty()
     }
 }
 
@@ -208,7 +214,7 @@ fn refill<T>(worker: &Worker<T>, mut batch: Vec<T>) -> Steal<T> {
         None => Steal::Empty,
         Some(t) => {
             if !batch.is_empty() {
-                let mut q = worker.q.lock().unwrap();
+                let mut q = lock_clean(&worker.q);
                 // Preserve front-to-back order under the existing work.
                 for task in batch {
                     q.push_back(task);

@@ -66,7 +66,7 @@ use psj_desim::StealOrder;
 use psj_obs::trace::{worker_tid, TID_MAIN};
 use psj_obs::{ThreadTracer, TraceSink};
 use psj_rtree::{Node, PagedTree};
-use psj_store::{FaultPlan, PageError, PageId, RetryPolicy};
+use psj_store::{lock_clean, FaultPlan, PageError, PageId, RetryPolicy};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -252,6 +252,18 @@ pub enum NativeError {
     Cancelled,
     /// A page could not be read even after retries.
     Storage(JoinError),
+    /// A morsel panicked mid-execution. The panic was contained to that
+    /// morsel: its worker caught the unwind, kept its thread, and went on
+    /// to finish the rest of the plan — but the panicked morsel's output
+    /// is missing, so no (silently incomplete) result is returned.
+    WorkerPanic {
+        /// The first panic's payload, stringified.
+        message: String,
+        /// Morsels whose output was produced and merged normally.
+        completed_morsels: usize,
+        /// Total morsels planned for the run.
+        morsels: usize,
+    },
 }
 
 impl std::fmt::Display for NativeError {
@@ -259,6 +271,14 @@ impl std::fmt::Display for NativeError {
         match self {
             NativeError::Cancelled => write!(f, "join cancelled"),
             NativeError::Storage(e) => write!(f, "{e}"),
+            NativeError::WorkerPanic {
+                message,
+                completed_morsels,
+                morsels,
+            } => write!(
+                f,
+                "join morsel panicked ({completed_morsels}/{morsels} morsels completed): {message}"
+            ),
         }
     }
 }
@@ -525,23 +545,41 @@ struct WorkerLoad {
 }
 
 /// Cross-worker failure state: the first unrecoverable page error raises
-/// `abort`; every worker bails out at its next loop iteration.
+/// `abort`; every worker bails out at its next loop iteration. Contained
+/// morsel panics are recorded here too, but deliberately do NOT raise
+/// `abort` — the point of catching them is that the rest of the plan still
+/// runs.
 #[derive(Default)]
 struct FailState {
     abort: AtomicBool,
     failed_tasks: AtomicU64,
     first_error: Mutex<Option<PageError>>,
+    panics: AtomicU64,
+    first_panic: Mutex<Option<String>>,
 }
 
 impl FailState {
     fn record(&self, error: PageError) {
         self.failed_tasks.fetch_add(1, Ordering::Relaxed);
-        let mut slot = self.first_error.lock().unwrap();
+        let mut slot = lock_clean(&self.first_error);
         if slot.is_none() {
             *slot = Some(error);
         }
         drop(slot);
         self.abort.store(true, Ordering::SeqCst);
+    }
+
+    fn record_panic(&self, payload: &(dyn std::any::Any + Send)) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let mut slot = lock_clean(&self.first_panic);
+        if slot.is_none() {
+            *slot = Some(msg);
+        }
     }
 }
 
@@ -583,7 +621,7 @@ pub fn run_native_join_cancellable(
     match run_with_caches(a, b, cfg, CacheSet::build(cfg, ctl.retry, None), &ctl) {
         Ok(res) => Ok(res),
         Err(NativeError::Cancelled) => Err(Cancelled),
-        Err(e @ NativeError::Storage(_)) => unreachable!("in-memory join cannot fail: {e}"),
+        Err(e) => unreachable!("in-memory join cannot fail: {e}"),
     }
 }
 
@@ -851,10 +889,7 @@ fn run_with_caches(
     };
 
     if fail.abort.load(Ordering::SeqCst) {
-        let error = fail
-            .first_error
-            .lock()
-            .unwrap()
+        let error = lock_clean(&fail.first_error)
             .take()
             .expect("abort flag implies a recorded error");
         return Err(NativeError::Storage(JoinError {
@@ -872,7 +907,9 @@ fn run_with_caches(
     // Deterministic merge: every completed morsel's output lands in its
     // id slot exactly once; concatenating slots in id order reproduces the
     // sequential oracle's byte order. A lost or duplicated morsel is an
-    // executor bug, not a data error — fail loudly.
+    // executor bug, not a data error — fail loudly, unless a contained
+    // panic explains the hole, in which case the run reports it as a
+    // typed error (a partial merge would be a silently wrong answer).
     let mut task_traces = Vec::with_capacity(num_morsels);
     let mut slots: Vec<Option<Vec<(u64, u64)>>> = Vec::new();
     slots.resize_with(num_morsels, || None);
@@ -883,6 +920,16 @@ fn run_with_caches(
             *slot = Some(out);
         }
         task_traces.append(&mut t);
+    }
+    if fail.panics.load(Ordering::Relaxed) > 0 {
+        let message = lock_clean(&fail.first_panic)
+            .take()
+            .unwrap_or_else(|| "panic recorded without a message".to_string());
+        return Err(NativeError::WorkerPanic {
+            message,
+            completed_morsels: slots.iter().filter(|s| s.is_some()).count(),
+            morsels: num_morsels,
+        });
     }
     let mut pairs = Vec::with_capacity(
         slots
@@ -1144,45 +1191,34 @@ fn run_worker(
             base_cands: local_candidates,
         };
         let mid = morsel.id;
-        let mut out: Vec<(u64, u64)> = Vec::new();
+        stack.clear();
+        stack.extend(morsel.tasks.into_iter().rev());
         // Execute the morsel's tasks in plane-sweep order, each depth-first
         // with children pushed in reverse — the sequential oracle's exact
         // traversal, so `out` is byte-identical to the oracle's slice for
         // this morsel. `dirty` marks an abort mid-morsel: the segment still
         // closes (attribution stays exact) but the partial output is
         // discarded and the worker unwinds.
-        let mut dirty = false;
-        stack.clear();
-        stack.extend(morsel.tasks.into_iter().rev());
-        'morsel: while let Some(pair) = stack.pop() {
-            if cancel.is_some_and(|t| t.is_cancelled()) || fail.abort.load(Ordering::Relaxed) {
-                dirty = true;
-                break 'morsel;
-            }
-            local_pairs += 1;
-            let fetched = fetcher
-                .node_a(pair.a)
-                .and_then(|na| fetcher.node_b(pair.b).map(|nb| (na, nb)));
-            let (na, nb) = match fetched {
-                Ok(v) => v,
-                Err(e) => {
-                    fail.record(e);
+        //
+        // The whole morsel runs under `catch_unwind`: a panic (a kernel
+        // bug, an injected fault) is contained to the morsel that hit it —
+        // the worker records it, keeps its thread, and moves on to the
+        // next morsel. The shared structures stay usable across the unwind
+        // because every lock on the worker's path recovers from poisoning
+        // (`lock_clean`) and in-flight cache fills are cleaned up by a
+        // drop guard.
+        let run_morsel = std::panic::AssertUnwindSafe(|| {
+            let mut out: Vec<(u64, u64)> = Vec::new();
+            let mut dirty = false;
+            'morsel: while let Some(pair) = stack.pop() {
+                if cancel.is_some_and(|t| t.is_cancelled()) || fail.abort.load(Ordering::Relaxed) {
                     dirty = true;
                     break 'morsel;
                 }
-            };
-            children.clear();
-            cands.clear();
-            expand_pair(&na, &nb, &pair, &mut scratch, &mut children, &mut cands);
-            drop((na, nb));
-            for c in children.drain(..).rev() {
-                stack.push(c);
-            }
-            for c in &cands {
-                local_candidates += 1;
+                local_pairs += 1;
                 let fetched = fetcher
-                    .node_a(c.page_a)
-                    .and_then(|na| fetcher.node_b(c.page_b).map(|nb| (na, nb)));
+                    .node_a(pair.a)
+                    .and_then(|na| fetcher.node_b(pair.b).map(|nb| (na, nb)));
                 let (na, nb) = match fetched {
                     Ok(v) => v,
                     Err(e) => {
@@ -1191,26 +1227,60 @@ fn run_worker(
                         break 'morsel;
                     }
                 };
-                let ea = na.data_entries()[c.idx_a as usize];
-                let eb = nb.data_entries()[c.idx_b as usize];
-                if cfg.refine {
-                    // Refinement geometry lives in the cluster store, outside
-                    // the page budget: the paper reads clusters once per data
-                    // page and does not buffer them (§4.2).
-                    let ga = a.clusters().geometry(ea.geom.page, ea.geom.slot);
-                    let gb = b.clusters().geometry(eb.geom.page, eb.geom.slot);
-                    let hit = match (ga, gb) {
-                        (Some(ga), Some(gb)) => ga.intersects(gb),
-                        _ => true,
+                children.clear();
+                cands.clear();
+                expand_pair(&na, &nb, &pair, &mut scratch, &mut children, &mut cands);
+                drop((na, nb));
+                for c in children.drain(..).rev() {
+                    stack.push(c);
+                }
+                for c in &cands {
+                    local_candidates += 1;
+                    let fetched = fetcher
+                        .node_a(c.page_a)
+                        .and_then(|na| fetcher.node_b(c.page_b).map(|nb| (na, nb)));
+                    let (na, nb) = match fetched {
+                        Ok(v) => v,
+                        Err(e) => {
+                            fail.record(e);
+                            dirty = true;
+                            break 'morsel;
+                        }
                     };
-                    if hit {
+                    let ea = na.data_entries()[c.idx_a as usize];
+                    let eb = nb.data_entries()[c.idx_b as usize];
+                    if cfg.refine {
+                        // Refinement geometry lives in the cluster store,
+                        // outside the page budget: the paper reads clusters
+                        // once per data page and does not buffer them (§4.2).
+                        let ga = a.clusters().geometry(ea.geom.page, ea.geom.slot);
+                        let gb = b.clusters().geometry(eb.geom.page, eb.geom.slot);
+                        let hit = match (ga, gb) {
+                            (Some(ga), Some(gb)) => ga.intersects(gb),
+                            _ => true,
+                        };
+                        if hit {
+                            out.push((ea.oid, eb.oid));
+                        }
+                    } else {
                         out.push((ea.oid, eb.oid));
                     }
-                } else {
-                    out.push((ea.oid, eb.oid));
                 }
             }
-        }
+            (out, dirty)
+        });
+        let outcome = match std::panic::catch_unwind(run_morsel) {
+            Ok(v) => Some(v),
+            Err(payload) => {
+                fail.record_panic(payload.as_ref());
+                // Descendants of the panicked morsel must not leak into
+                // the next morsel's traversal.
+                stack.clear();
+                None
+            }
+        };
+        // The segment closes even for a panicked morsel, so per-worker
+        // attribution still accounts for the work it attempted.
         close_segment(
             seg,
             id,
@@ -1221,10 +1291,13 @@ fn run_worker(
             &mut traces,
             tracer.as_mut(),
         );
-        if dirty {
-            break 'outer;
+        match outcome {
+            Some((_, true)) => break 'outer,
+            Some((out, false)) => outputs.push((mid, out)),
+            // Panicked: the morsel's output is lost (the driver reports a
+            // typed error), but this worker keeps draining the queues.
+            None => {}
         }
-        outputs.push((mid, out));
     }
 
     candidates.fetch_add(local_candidates, Ordering::Relaxed);
@@ -1472,7 +1545,43 @@ mod tests {
                 assert!(e.error.is_corrupt(), "expected corruption: {}", e.error);
                 assert!(e.failed_tasks >= 1);
             }
-            NativeError::Cancelled => panic!("not a cancellation"),
+            other => panic!("expected a storage error, got {other}"),
+        }
+    }
+
+    /// A panic inside one morsel (here: an injected one-shot panic on a
+    /// page fetch) must not take down the run's other morsels: the hit
+    /// worker catches the unwind and keeps draining queues, the caches'
+    /// poison-recovering locks and fill guard keep the other workers
+    /// unblocked, and the driver reports a typed error instead of merging
+    /// a silently incomplete result.
+    #[test]
+    fn worker_panic_is_contained_and_other_morsels_complete() {
+        let a = tree(600, 0.0);
+        let b = tree(600, 0.4);
+        // Page 0 is the root, which only the (unfaulted) phase-1 descent
+        // reads; the last page is the rightmost leaf, which some morsel is
+        // certain to fetch through the cache.
+        let last_leaf = (a.pages().len() - 1) as u32;
+        let plan = Arc::new(FaultPlan::new(5).with_panic_page(last_leaf));
+        let ctl = RunControl::default().with_fault(plan);
+        let err = try_run_native_join(&a, &b, &NativeConfig::new(4), &ctl)
+            .expect_err("a panicked morsel cannot yield a full result");
+        match err {
+            NativeError::WorkerPanic {
+                message,
+                completed_morsels,
+                morsels,
+            } => {
+                assert!(message.contains("injected panic"), "message: {message}");
+                assert!(morsels > 1, "plan must have several morsels to contain");
+                assert_eq!(
+                    completed_morsels,
+                    morsels - 1,
+                    "exactly the panicked morsel is lost; the rest complete"
+                );
+            }
+            other => panic!("expected WorkerPanic, got {other}"),
         }
     }
 

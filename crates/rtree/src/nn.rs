@@ -29,7 +29,7 @@ struct HeapItem<T> {
 
 impl<T> PartialEq for HeapItem<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl<T> Eq for HeapItem<T> {}
@@ -40,11 +40,12 @@ impl<T> PartialOrd for HeapItem<T> {
 }
 impl<T> Ord for HeapItem<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap on distance; NaN-free by construction.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
+        // Reverse for a min-heap on distance. `total_cmp` keeps Eq/Ord
+        // consistent even for NaN distances (possible when a corrupt or
+        // adversarial rectangle carries NaN coordinates): NaN sorts after
+        // every finite distance, so such candidates drain last instead of
+        // corrupting the heap's ordering invariant.
+        other.dist.total_cmp(&self.dist)
     }
 }
 
@@ -225,6 +226,74 @@ mod tests {
         assert!(t.nearest_neighbors(&Point::new(0.0, 0.0), 0).is_empty());
         let empty = RTree::new();
         assert!(empty.nearest_neighbors(&Point::new(0.0, 0.0), 3).is_empty());
+    }
+
+    #[test]
+    fn heap_item_order_is_total_and_consistent_with_eq_under_nan() {
+        // Regression: `Ord` used `partial_cmp(..).unwrap_or(Equal)` while
+        // `PartialEq` compared the raw f64s, so a NaN distance made
+        // `a == b` disagree with `a.cmp(&b) == Equal` and silently broke
+        // the BinaryHeap ordering invariant.
+        let nan = HeapItem {
+            dist: f64::NAN,
+            item: (),
+        };
+        let fin = HeapItem {
+            dist: 1.0,
+            item: (),
+        };
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(nan == nan, "Eq must agree with Ord for NaN");
+        assert_ne!(nan.cmp(&fin), Ordering::Equal);
+        assert!(nan != fin);
+        // Min-heap order: NaN sorts after every finite distance, so it is
+        // the *smallest* element of the max-heap encoding.
+        assert_eq!(nan.cmp(&fin), Ordering::Less);
+
+        let mut heap: BinaryHeap<HeapItem<u32>> = BinaryHeap::new();
+        for (d, i) in [(2.0, 0), (f64::NAN, 1), (0.5, 2), (f64::NAN, 3), (1.5, 4)] {
+            heap.push(HeapItem { dist: d, item: i });
+        }
+        let drained: Vec<f64> = std::iter::from_fn(|| heap.pop().map(|h| h.dist)).collect();
+        assert_eq!(&drained[..3], &[0.5, 1.5, 2.0], "finite dists ascend");
+        assert!(drained[3..].iter().all(|d| d.is_nan()), "NaNs drain last");
+    }
+
+    #[test]
+    fn nan_coordinate_survives_freeze_and_nn() {
+        // A NaN rectangle (planted directly in a leaf, as a corrupt decode
+        // would produce — `Rect::new` debug-asserts, and the insert path
+        // would reject it earlier) must neither panic the freeze-time
+        // `sort_entries_by_xl` nor wedge the k-NN heap.
+        let mut t = build(100);
+        let nan_rect = Rect {
+            xl: f64::NAN,
+            yl: 0.0,
+            xu: f64::NAN,
+            yu: 0.5,
+        };
+        let leaf = (0..t.nodes().len() as u32)
+            .find(|&i| matches!(t.node(i).kind, NodeKind::Leaf(_)))
+            .expect("built tree has a leaf");
+        match &mut t.node_mut(leaf).kind {
+            NodeKind::Leaf(entries) => entries[0].mbr = nan_rect,
+            NodeKind::Dir(_) => unreachable!(),
+        }
+        let p = crate::paged::PagedTree::freeze(&t, |_| None);
+        for tree_nn in [t.nearest_neighbors(&Point::new(3.0, 3.0), 12), {
+            p.nearest_neighbors(&Point::new(3.0, 3.0), 12)
+        }] {
+            assert_eq!(tree_nn.len(), 12);
+            let finite: Vec<f64> = tree_nn
+                .iter()
+                .map(|(d, _)| *d)
+                .filter(|d| d.is_finite())
+                .collect();
+            assert!(
+                finite.windows(2).all(|w| w[0] <= w[1]),
+                "finite results stay sorted: {finite:?}"
+            );
+        }
     }
 
     #[test]

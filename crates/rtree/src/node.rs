@@ -219,15 +219,14 @@ impl Node {
 
     /// Sorts the entries by their lower x bound, the precondition of the
     /// plane-sweep join. Called when the tree is frozen into pages.
+    /// `total_cmp` gives a total order even for NaN coordinates (which sort
+    /// after every finite bound), so a degenerate rectangle degrades to a
+    /// deterministic order instead of a freeze-time panic.
     pub fn sort_entries_by_xl(&mut self) {
         self.soa.take();
         match &mut self.kind {
-            NodeKind::Dir(v) => {
-                v.sort_by(|a, b| a.mbr.xl.partial_cmp(&b.mbr.xl).expect("NaN coordinate"))
-            }
-            NodeKind::Leaf(v) => {
-                v.sort_by(|a, b| a.mbr.xl.partial_cmp(&b.mbr.xl).expect("NaN coordinate"))
-            }
+            NodeKind::Dir(v) => v.sort_by(|a, b| a.mbr.xl.total_cmp(&b.mbr.xl)),
+            NodeKind::Leaf(v) => v.sort_by(|a, b| a.mbr.xl.total_cmp(&b.mbr.xl)),
         }
     }
 

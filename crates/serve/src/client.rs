@@ -356,7 +356,7 @@ mod tests {
                 if let Ok(Some(payload)) = read_frame(&mut s, 64 << 10) {
                     if Request::decode(&payload).is_ok() {
                         let resp = Response::Stats(ServerStats::default());
-                        let _ = write_frame(&mut s, &resp.encode());
+                        let _ = write_frame(&mut s, &resp.encode_or_error());
                     }
                 }
                 // Connection dropped here.

@@ -297,7 +297,7 @@ enum HeapEntry {
 
 impl PartialEq for HeapItem {
     fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist
+        self.cmp(other) == CmpOrdering::Equal
     }
 }
 impl Eq for HeapItem {}
@@ -308,11 +308,10 @@ impl PartialOrd for HeapItem {
 }
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> CmpOrdering {
-        // Min-heap on distance; distances are NaN-free by construction.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(CmpOrdering::Equal)
+        // Min-heap on distance. `total_cmp` keeps the order total even if a
+        // decoded page carries NaN coordinates (NaN sorts last), so a
+        // corrupt rectangle cannot break the heap invariant mid-query.
+        other.dist.total_cmp(&self.dist)
     }
 }
 
@@ -488,6 +487,10 @@ pub fn join(
         }
         Err(NativeError::Cancelled) => Outcome::DeadlineExceeded,
         Err(NativeError::Storage(e)) => Outcome::Storage(e.error),
+        // Re-raise: the worker pool's panic containment (and its
+        // psj_worker_panics counter) is the serving layer's designated
+        // handler for panics, typed or not.
+        Err(e @ NativeError::WorkerPanic { .. }) => panic!("{e}"),
     }
 }
 

@@ -33,7 +33,9 @@ pub mod telemetry;
 pub use client::{BackoffPolicy, Client, ClientError};
 pub use exec::{JoinRun, Outcome, TreeSet, WindowQuery};
 pub use loadgen::{LoadConfig, LoadReport};
-pub use protocol::{Request, Response, ServerStats, StorageErrorKind, TreeInfo, ROUTER_SHARD};
+pub use protocol::{
+    EncodeError, Request, Response, ServerStats, StorageErrorKind, TreeInfo, ROUTER_SHARD,
+};
 pub use server::{ServeConfig, Server, ServerReport};
 pub use telemetry::{Histogram, Telemetry};
 

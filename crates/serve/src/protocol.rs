@@ -544,21 +544,62 @@ impl Request {
     }
 }
 
+/// A response collection too large for the wire format's u32 counts.
+///
+/// The frame layout prefixes every variable-length section with a `u32`
+/// count; encoding a larger collection with `as u32` would silently wrap
+/// the count and desync the stream (the receiver would read the remaining
+/// elements as the next frame's header). Encoders surface this instead,
+/// and servers map it to a [`Response::Error`] via
+/// [`Response::encode_or_error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError {
+    /// Which section overflowed (e.g. `"pairs"`).
+    pub what: &'static str,
+    /// The collection's actual length.
+    pub len: usize,
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "response too large for wire format: {} {} exceed the u32 count limit ({})",
+            self.len,
+            self.what,
+            u32::MAX
+        )
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Narrows a collection length to the wire's `u32` count, surfacing
+/// overflow as a typed error instead of wrapping.
+fn wire_count(len: usize, what: &'static str) -> Result<u32, EncodeError> {
+    u32::try_from(len).map_err(|_| EncodeError { what, len })
+}
+
 impl Response {
     /// Encodes the response into a frame payload.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// Fails with [`EncodeError`] when a section exceeds the wire format's
+    /// `u32` count limit — the caller decides whether to degrade to a
+    /// [`Response::Error`] frame ([`Response::encode_or_error`]) or to
+    /// propagate.
+    pub fn try_encode(&self) -> Result<Vec<u8>, EncodeError> {
         let mut out = Vec::with_capacity(32);
         match self {
             Response::Entries(oids) => {
                 out.push(OP_ENTRIES);
-                put_u32(&mut out, oids.len() as u32);
+                put_u32(&mut out, wire_count(oids.len(), "entries")?);
                 for oid in oids {
                     put_u64(&mut out, *oid);
                 }
             }
             Response::Neighbors(nn) => {
                 out.push(OP_NEIGHBORS);
-                put_u32(&mut out, nn.len() as u32);
+                put_u32(&mut out, wire_count(nn.len(), "neighbors")?);
                 for (d, oid) in nn {
                     put_f64(&mut out, *d);
                     put_u64(&mut out, *oid);
@@ -566,7 +607,7 @@ impl Response {
             }
             Response::Pairs(pairs) => {
                 out.push(OP_PAIRS);
-                put_u32(&mut out, pairs.len() as u32);
+                put_u32(&mut out, wire_count(pairs.len(), "pairs")?);
                 for (a, b) in pairs {
                     put_u64(&mut out, *a);
                     put_u64(&mut out, *b);
@@ -600,7 +641,7 @@ impl Response {
             Response::Info { shard, trees } => {
                 out.push(OP_INFO_REPORT);
                 put_u16(&mut out, *shard);
-                put_u32(&mut out, trees.len() as u32);
+                put_u32(&mut out, wire_count(trees.len(), "trees")?);
                 for t in trees {
                     put_rect(&mut out, &t.mbr);
                     put_u64(&mut out, t.len);
@@ -612,7 +653,7 @@ impl Response {
             Response::Error(msg) => {
                 out.push(OP_ERROR);
                 let bytes = msg.as_bytes();
-                put_u32(&mut out, bytes.len() as u32);
+                put_u32(&mut out, wire_count(bytes.len(), "error bytes")?);
                 out.extend_from_slice(bytes);
             }
             Response::ShutdownAck => out.push(OP_SHUTDOWN_ACK),
@@ -620,13 +661,13 @@ impl Response {
                 out.push(OP_STORAGE);
                 out.push(kind.to_wire());
                 let bytes = msg.as_bytes();
-                put_u32(&mut out, bytes.len() as u32);
+                put_u32(&mut out, wire_count(bytes.len(), "storage msg bytes")?);
                 out.extend_from_slice(bytes);
             }
             Response::Metrics(text) => {
                 out.push(OP_METRICS_REPORT);
                 let bytes = text.as_bytes();
-                put_u32(&mut out, bytes.len() as u32);
+                put_u32(&mut out, wire_count(bytes.len(), "metrics bytes")?);
                 out.extend_from_slice(bytes);
             }
             Response::Partial {
@@ -634,16 +675,30 @@ impl Response {
                 inner,
             } => {
                 out.push(OP_PARTIAL);
-                put_u32(&mut out, missing_shards.len() as u32);
+                put_u32(
+                    &mut out,
+                    wire_count(missing_shards.len(), "missing shards")?,
+                );
                 for s in missing_shards {
                     put_u16(&mut out, *s);
                 }
-                let nested = inner.encode();
-                put_u32(&mut out, nested.len() as u32);
+                let nested = inner.try_encode()?;
+                put_u32(&mut out, wire_count(nested.len(), "nested payload bytes")?);
                 out.extend_from_slice(&nested);
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Encodes for a server's write path: an over-limit response degrades
+    /// to a [`Response::Error`] frame carrying the [`EncodeError`] text, so
+    /// the client sees a typed failure instead of a desynced stream.
+    pub fn encode_or_error(&self) -> Vec<u8> {
+        self.try_encode().unwrap_or_else(|e| {
+            Response::Error(e.to_string())
+                .try_encode()
+                .expect("error frame is far below the wire limits")
+        })
     }
 
     /// Decodes a frame payload into a response.
@@ -826,7 +881,7 @@ mod tests {
     }
 
     fn roundtrip_resp(resp: Response) {
-        let enc = Response::encode(&resp);
+        let enc = resp.try_encode().unwrap();
         assert_eq!(Response::decode(&enc).unwrap(), resp);
     }
 
@@ -991,9 +1046,45 @@ mod tests {
     }
 
     #[test]
+    fn wire_count_is_exact_at_the_u32_boundary() {
+        // The count check, factored out so the boundary is testable without
+        // materializing a 32 GiB pair vector.
+        assert_eq!(wire_count(0, "pairs"), Ok(0));
+        assert_eq!(wire_count(u32::MAX as usize, "pairs"), Ok(u32::MAX));
+        let err = wire_count(u32::MAX as usize + 1, "pairs").unwrap_err();
+        assert_eq!(err.what, "pairs");
+        assert_eq!(err.len, u32::MAX as usize + 1);
+        assert!(
+            err.to_string().contains("pairs") && err.to_string().contains("u32"),
+            "error names the section and the limit: {err}"
+        );
+    }
+
+    #[test]
+    fn encode_or_error_degrades_to_typed_error_frame() {
+        // A real overflow needs a >u32::MAX-element vector, so exercise the
+        // degradation path with the EncodeError text a server would embed.
+        let e = EncodeError {
+            what: "pairs",
+            len: u32::MAX as usize + 1,
+        };
+        let frame = Response::Error(e.to_string()).encode_or_error();
+        match Response::decode(&frame).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("pairs"), "{msg}"),
+            other => panic!("expected Error frame, got {other:?}"),
+        }
+        // Ordinary responses are unaffected.
+        let ok = Response::Pairs(vec![(1, 2)]).encode_or_error();
+        assert_eq!(
+            Response::decode(&ok).unwrap(),
+            Response::Pairs(vec![(1, 2)])
+        );
+    }
+
+    #[test]
     fn partial_rejects_non_payload_nesting() {
         fn partial_wrapping(inner: &Response) -> Vec<u8> {
-            let nested = inner.encode();
+            let nested = inner.try_encode().unwrap();
             let mut enc = vec![OP_PARTIAL];
             enc.extend_from_slice(&1u32.to_le_bytes());
             enc.extend_from_slice(&2u16.to_le_bytes());

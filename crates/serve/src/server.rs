@@ -46,19 +46,16 @@ use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Locks a mutex, recovering a poisoned guard. A worker that panicked
-/// while holding (or racing for) one of the server's locks must not wedge
-/// every later request and the shutdown drain — the protected state
-/// (batch maps, join-handle lists, condvar companions) stays structurally
-/// valid across a panic, so serving continues and the panic is surfaced
-/// through the `worker_panics` counter instead.
-fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
+// A worker that panicked while holding (or racing for) one of the server's
+// locks must not wedge every later request and the shutdown drain — the
+// protected state (batch maps, join-handle lists, condvar companions) stays
+// structurally valid across a panic, so `lock_clean` recovers the guard and
+// the panic is surfaced through the `worker_panics` counter instead.
+use psj_store::lock_clean;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -270,6 +267,9 @@ impl Shared {
             corrupt_pages: snap.corrupt_detected + self.trees.poisoned_total(),
             quarantined_pages: snap.quarantined_pages as u64,
             page_retries: snap.stats.retries,
+            cache_opt_hits: snap.opt.hits,
+            cache_opt_retries: snap.opt.retries,
+            cache_opt_fallbacks: snap.opt.fallbacks,
         })
     }
 
@@ -692,7 +692,10 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 // resynchronized — report (best effort) and hang up.
                 shared.telemetry.proto_errors.inc();
                 if e.kind() == io::ErrorKind::InvalidData {
-                    let _ = write_frame(&mut writer, &Response::Error(e.to_string()).encode());
+                    let _ = write_frame(
+                        &mut writer,
+                        &Response::Error(e.to_string()).encode_or_error(),
+                    );
                 }
                 return;
             }
@@ -703,7 +706,12 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 // Framing was sound, the payload was not: the stream is
                 // still in sync, so answer and keep serving.
                 shared.telemetry.proto_errors.inc();
-                if write_frame(&mut writer, &Response::Error(e.to_string()).encode()).is_err() {
+                if write_frame(
+                    &mut writer,
+                    &Response::Error(e.to_string()).encode_or_error(),
+                )
+                .is_err()
+                {
                     return;
                 }
                 continue;
@@ -718,7 +726,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 trees: shared.info(),
             },
             Request::Shutdown => {
-                let _ = write_frame(&mut writer, &Response::ShutdownAck.encode());
+                let _ = write_frame(&mut writer, &Response::ShutdownAck.encode_or_error());
                 if let Some(tx) = lock_clean(&shared.shutdown_tx).take() {
                     let _ = tx.send(());
                 }
@@ -812,7 +820,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 }
             }
         };
-        if write_frame(&mut writer, &resp.encode()).is_err() {
+        if write_frame(&mut writer, &resp.encode_or_error()).is_err() {
             return;
         }
     }

@@ -58,6 +58,9 @@ pub struct Telemetry {
     corrupt_pages: Arc<Gauge>,
     quarantined_pages: Arc<Gauge>,
     page_retries: Arc<Gauge>,
+    cache_opt_hits: Arc<Gauge>,
+    cache_opt_retries: Arc<Gauge>,
+    cache_opt_fallbacks: Arc<Gauge>,
 }
 
 impl Default for Telemetry {
@@ -110,6 +113,18 @@ impl Default for Telemetry {
             ),
             quarantined_pages: r.gauge("psj_quarantined_pages", "Pages currently quarantined"),
             page_retries: r.gauge("psj_page_retries", "Page fetches retried by the cache"),
+            cache_opt_hits: r.gauge(
+                "psj_cache_opt_hits",
+                "Cache hits served without taking a shard mutex",
+            ),
+            cache_opt_retries: r.gauge(
+                "psj_cache_opt_retries",
+                "Optimistic-read validation failures that were retried",
+            ),
+            cache_opt_fallbacks: r.gauge(
+                "psj_cache_opt_fallbacks",
+                "Optimistic reads that fell back to the shard mutex",
+            ),
             registry: r,
         }
     }
@@ -139,6 +154,14 @@ pub struct GaugeSnapshot {
     pub quarantined_pages: u64,
     /// Page fetches retried by the cache since start.
     pub page_retries: u64,
+    /// Cache hits served by the optimistic (seqlock) read path, i.e.
+    /// without taking any shard mutex.
+    pub cache_opt_hits: u64,
+    /// Optimistic-read validation failures that were retried.
+    pub cache_opt_retries: u64,
+    /// Optimistic reads that exhausted their retries and fell back to the
+    /// pessimistic mutex path.
+    pub cache_opt_fallbacks: u64,
 }
 
 impl Telemetry {
@@ -183,6 +206,9 @@ impl Telemetry {
         self.corrupt_pages.set(snap.corrupt_pages);
         self.quarantined_pages.set(snap.quarantined_pages);
         self.page_retries.set(snap.page_retries);
+        self.cache_opt_hits.set(snap.cache_opt_hits);
+        self.cache_opt_retries.set(snap.cache_opt_retries);
+        self.cache_opt_fallbacks.set(snap.cache_opt_fallbacks);
         self.registry.render_prometheus()
     }
 }

@@ -30,9 +30,10 @@
 use crate::error::PageError;
 use crate::page::PageId;
 use crate::retry::splitmix64;
+use crate::sync::lock_clean;
 use std::collections::HashMap;
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -61,12 +62,17 @@ pub struct FaultPlan {
     /// The injected latency duration.
     latency: Duration,
 
+    /// Panic exactly once on the first fetch of this page (tests the
+    /// executors' panic containment, not storage errors).
+    panic_page: Option<u32>,
+
     /// Reads attempted so far per page; drives burst scheduling.
     attempts: Mutex<HashMap<u32, u32>>,
     transient_injected: AtomicU64,
     flips_injected: AtomicU64,
     torn_injected: AtomicU64,
     latency_injected: AtomicU64,
+    panic_fired: AtomicBool,
 }
 
 impl FaultPlan {
@@ -103,6 +109,16 @@ impl FaultPlan {
     pub fn with_latency(mut self, p: f64, latency: Duration) -> Self {
         self.latency_p = p.clamp(0.0, 1.0);
         self.latency = latency;
+        self
+    }
+
+    /// Panic (once, on the first fetch) when `page` is read through
+    /// [`FaultPlan::before_fetch`]. Unlike every other fault class this is
+    /// not a storage error: it exercises the *executors'* panic
+    /// containment — a worker thread must survive the unwind and the rest
+    /// of the join must still complete.
+    pub fn with_panic_page(mut self, page: u32) -> Self {
+        self.panic_page = Some(page);
         self
     }
 
@@ -152,7 +168,11 @@ impl FaultPlan {
 
     /// Whether the plan injects nothing at all.
     pub fn is_noop(&self) -> bool {
-        self.transient_p == 0.0 && self.flip_p == 0.0 && self.torn_p == 0.0 && self.latency_p == 0.0
+        self.transient_p == 0.0
+            && self.flip_p == 0.0
+            && self.torn_p == 0.0
+            && self.latency_p == 0.0
+            && self.panic_page.is_none()
     }
 
     /// Deterministic per-(class, page) hash in [0, 1).
@@ -174,7 +194,7 @@ impl FaultPlan {
     /// Record a read attempt on `page` and return its 0-based attempt
     /// number (monotonic across the plan's lifetime).
     pub fn next_attempt(&self, page: PageId) -> u32 {
-        let mut attempts = self.attempts.lock().unwrap();
+        let mut attempts = lock_clean(&self.attempts);
         let n = attempts.entry(page.0).or_insert(0);
         let attempt = *n;
         *n = n.saturating_add(1);
@@ -230,6 +250,9 @@ impl FaultPlan {
     /// ([`FaultPager`](crate::FaultPager)) proves the CRC footer detects
     /// them, so modelling detection as certain is sound.
     pub fn before_fetch(&self, page: PageId) -> Result<(), PageError> {
+        if self.panic_page == Some(page.0) && !self.panic_fired.swap(true, Ordering::AcqRel) {
+            panic!("injected panic on fetch of {page:?}");
+        }
         let attempt = self.next_attempt(page);
         self.inject_latency(page, attempt);
         if self.check_transient(page, attempt) {

@@ -27,6 +27,7 @@ pub mod fault;
 pub mod page;
 pub mod pager;
 pub mod retry;
+pub mod sync;
 pub mod timing;
 
 pub use atomic::{atomic_write, tmp_path};
@@ -41,4 +42,5 @@ pub use fault::FaultPlan;
 pub use page::{Page, PageId, PageStore, PAGE_SIZE};
 pub use pager::{FaultPager, FilePager, PagerIoStats};
 pub use retry::RetryPolicy;
+pub use sync::{lock_clean, wait_clean};
 pub use timing::{Nanos, MICROS, MILLIS, SECS};

@@ -1,0 +1,43 @@
+//! Poison-recovering lock helpers shared by the executor and cache crates.
+//!
+//! `std::sync::Mutex` poisons itself when a thread panics while holding the
+//! guard, and every later `lock().unwrap()` then panics too — one crashed
+//! worker wedges every queue, shard, and condvar it ever touched. All of the
+//! mutex-protected state in this workspace (morsel queues, cache shards,
+//! batch maps, condvar companions) stays structurally valid across a panic:
+//! each critical section either completes its update or leaves the
+//! collection as it was before the panic unwound through it. Recovering the
+//! guard is therefore always safe here, and it turns a cascading abort into
+//! a typed error surfaced by whoever observed the original panic.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`Condvar::wait`] that recovers a poisoned guard the same way.
+pub fn wait_clean<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_clean_recovers_poisoned_mutex() {
+        let m = Mutex::new(vec![1, 2, 3]);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("holder dies");
+        }));
+        assert!(err.is_err());
+        assert!(m.is_poisoned());
+        let g = lock_clean(&m);
+        assert_eq!(*g, vec![1, 2, 3], "state survives the poisoning panic");
+    }
+}

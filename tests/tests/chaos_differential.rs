@@ -104,7 +104,7 @@ fn corruption_plans_give_typed_errors_never_wrong_answers() {
                         assert!(je.error.is_corrupt(), "seed {seed}: {}", je.error);
                         assert!(je.failed_tasks >= 1);
                     }
-                    Err(NativeError::Cancelled) => panic!("no cancel token installed"),
+                    Err(other) => panic!("seed {seed}: unexpected error {other}"),
                 }
             }
         }
