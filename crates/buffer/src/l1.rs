@@ -19,7 +19,10 @@
 //!   minus the LRU recency touch (see below);
 //! * any eviction or quarantine in the shard invalidates every front slot
 //!   for that shard (conservative: generations are per shard, not per page),
-//!   after which the front falls through to the shared cache and refills.
+//!   after which the front falls through to the shared cache and refills —
+//!   via a borrowing [`PageGuard`](crate::PageGuard) read when the page is
+//!   still resident (no shard mutex; the slot's `Arc` is minted from the
+//!   guard), pessimistically only on a genuine miss.
 //!
 //! Reading the generation *before* the fill only errs toward a stale (too
 //! old) value, which makes slots expire sooner — never later — than a
@@ -42,9 +45,34 @@
 //! deltas and aggregates reconcile exactly; the executor's per-task traces
 //! assert this.
 
-use crate::shared::{PageSource, SharedAccess, SharedPageCache};
+use crate::shared::{OptCoupling, PageGuard, PageSource, SharedAccess, SharedPageCache};
 use psj_store::{PageError, PageId};
 use std::sync::Arc;
+
+/// Where a coupled lookup was served from; see [`L1Front::try_get_coupled`].
+pub enum L1Read<'c, T> {
+    /// A front slot hit: the pinned value, cloned. Counted in
+    /// [`L1Front::pending_hits`] like every other front hit.
+    Front(Arc<T>),
+    /// Served by a borrowing coupled guard ([`PageGuard`]); the front slot
+    /// was refilled from the guard so repeats hit the front.
+    Guard(PageGuard<'c, T>),
+    /// Served by the shared cache's fallback ladder (optimistic retry or
+    /// pessimistic path) after the coupled guard read failed.
+    Shared(Arc<T>, SharedAccess),
+}
+
+impl<T> std::ops::Deref for L1Read<'_, T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        match self {
+            L1Read::Front(v) | L1Read::Shared(v, _) => v,
+            L1Read::Guard(g) => g,
+        }
+    }
+}
 
 /// One direct-mapped slot: the page, the owning shard's generation at fill
 /// time, and the pinned value.
@@ -125,13 +153,71 @@ impl<T> L1Front<T> {
                 return Ok((Arc::clone(&slot.value), SharedAccess::HitLocal));
             }
         }
-        let (value, access) = cache.try_get(worker, page, source)?;
+        // Guard-renewable refill: a borrowing guard read validates the
+        // page is resident without the shard mutex, and `to_arc` pays the
+        // one refcount increment the slot needs to own the value. Only a
+        // genuine miss (or contention fallback) takes the pessimistic
+        // path. Stats stay exact: the guard path bumps the same
+        // local/remote hit counters `try_get`'s fast path would.
+        let (value, access) = match cache.guard_get(worker, page) {
+            Some(guard) => (guard.to_arc(), guard.access()),
+            None => cache.try_get(worker, page, source)?,
+        };
         self.slots[idx] = Some(Slot {
             page,
             generation,
             value: Arc::clone(&value),
         });
         Ok((value, access))
+    }
+
+    /// As [`L1Front::try_get`], but the refill read participates in a
+    /// cross-level coupling `chain` (see
+    /// [`SharedPageCache::guard_get_coupled`]) and the guard borrow is
+    /// returned to the caller instead of being collapsed into an `Arc` —
+    /// the caller's read costs no refcount traffic beyond the slot refill.
+    ///
+    /// A front hit does not advance the chain (no shard version was
+    /// validated); the next coupled read simply validates against the last
+    /// *guarded* ancestor, which is exactly as strong a check.
+    pub fn try_get_coupled<'c, S>(
+        &mut self,
+        cache: &'c SharedPageCache<T>,
+        worker: usize,
+        page: PageId,
+        chain: &mut OptCoupling,
+        source: &S,
+    ) -> Result<L1Read<'c, T>, PageError>
+    where
+        S: PageSource<Item = T> + ?Sized,
+    {
+        let idx = self.slot_of(page);
+        let generation = cache.shard_generation(page);
+        if let Some(slot) = &self.slots[idx] {
+            if slot.page == page && slot.generation == generation {
+                self.pending_hits += 1;
+                return Ok(L1Read::Front(Arc::clone(&slot.value)));
+            }
+        }
+        match cache.guard_get_coupled(worker, page, chain) {
+            Some(guard) => {
+                self.slots[idx] = Some(Slot {
+                    page,
+                    generation,
+                    value: guard.to_arc(),
+                });
+                Ok(L1Read::Guard(guard))
+            }
+            None => {
+                let (value, access) = cache.try_get(worker, page, source)?;
+                self.slots[idx] = Some(Slot {
+                    page,
+                    generation,
+                    value: Arc::clone(&value),
+                });
+                Ok(L1Read::Shared(value, access))
+            }
+        }
     }
 
     /// Flushes accumulated front hits into `worker`'s
@@ -256,6 +342,44 @@ mod tests {
         // But a repeat of the most recent page hits.
         let (_, a) = l1.try_get(&cache, 0, p(7), &src).unwrap();
         assert_eq!(a, SharedAccess::HitLocal);
+    }
+
+    #[test]
+    fn coupled_lookup_front_guard_and_fallback() {
+        let cache: SharedPageCache<u32> = SharedPageCache::new(1, 64, 2, Policy::Lru);
+        let src = counting();
+        let mut l1 = L1Front::new(16);
+        let mut chain = OptCoupling::root();
+        // Cold: nothing mirrored yet → the guard read fails and the
+        // pessimistic fallback fills.
+        let r = l1
+            .try_get_coupled(&cache, 0, p(5), &mut chain, &src)
+            .unwrap();
+        assert!(matches!(r, L1Read::Shared(_, SharedAccess::Miss)));
+        assert_eq!(*r, 5);
+        // Repeat: the refilled slot serves it.
+        let r = l1
+            .try_get_coupled(&cache, 0, p(5), &mut chain, &src)
+            .unwrap();
+        assert!(matches!(r, L1Read::Front(_)));
+        assert_eq!(l1.pending_hits(), 1);
+        // Front invalidated but the page is still resident: the coupled
+        // guard read serves the borrow and refills the slot.
+        l1.clear();
+        let r = l1
+            .try_get_coupled(&cache, 0, p(5), &mut chain, &src)
+            .unwrap();
+        assert!(matches!(r, L1Read::Guard(_)));
+        assert_eq!(*r, 5);
+        assert!(cache.opt_stats().guard_hits >= 1);
+        drop(r);
+        // ... and the refill means the next read is a front hit again.
+        let r = l1
+            .try_get_coupled(&cache, 0, p(5), &mut chain, &src)
+            .unwrap();
+        assert!(matches!(r, L1Read::Front(_)));
+        assert_eq!(src.fetches.load(Ordering::Relaxed), 1, "one disk read");
+        cache.check_invariants().unwrap();
     }
 
     #[test]

@@ -66,6 +66,34 @@
 //! cacheline-padded counters), so a hot root page never touches a
 //! contended line; the seqlock-path counters are surfaced separately as
 //! [`OptStats`].
+//!
+//! ## Borrowing guards and coupled descent
+//!
+//! [`PageGuard`] is the zero-copy variant of the optimistic read: instead
+//! of cloning the `Arc` under the pin and releasing it, the winning read
+//! *keeps* its pin and hands out `&T` directly — no refcount traffic at
+//! all on the hot descent path. To make that safe, removal no longer
+//! waits for pins to drain: a reader may legitimately hold a guard on the
+//! victim page *while* performing the pessimistic fill that evicts it, so
+//! a pin-drain wait would deadlock against the waiter's own pin. Instead
+//! [`Shard::mirror_remove`] clears the slot and, if pins remain, retires
+//! the payload's strong reference to a per-shard *graveyard* that later
+//! sweeps free once the pins drain. The Dekker pairing is unchanged:
+//! either the reader's validation fails, or its pin is visible to the
+//! remover — which now defers the free instead of spinning on it.
+//!
+//! [`OptCoupling`] chains guard reads across the levels of a descent
+//! (umolc-style coupled validation): acquiring the child guard
+//! revalidates the parent's seqlock version, so a root-to-leaf path forms
+//! one validation chain. A version advance with the parent still resident
+//! *renews* the chain; a vanished parent *breaks* it — the child guard is
+//! dropped and the caller falls back per-page to the pessimistic path,
+//! so correctness never depends on the chain.
+//!
+//! Because optimistic and guard hits skip replacement promotion, every
+//! [`TOUCH_SAMPLE`]-th such hit per worker re-touches the page under a
+//! `try_lock`, keeping hammered pages near the MRU end of their shard's
+//! replacement order even when cold fills churn it.
 
 use crate::policy::{PageBuffer, Policy};
 use crate::stats::{BufferStats, OptStats};
@@ -142,6 +170,14 @@ const MIRROR_PROBE: usize = 8;
 /// Tag value of an empty mirror slot ([`OptSlot::tag`]).
 const TAG_EMPTY: u64 = 0;
 
+/// Every `TOUCH_SAMPLE`-th optimistic or guard hit per worker re-touches
+/// the page in its shard's replacement order (under `try_lock`, skipped
+/// when the mutex is busy). Optimistic hits otherwise never promote, so a
+/// permanently hot page would look idle to the LRU and could be evicted
+/// by a stream of cold fills; sampling keeps the promotion cost off the
+/// hot path while bounding how stale a hot page's recency can get.
+const TOUCH_SAMPLE: u64 = 64;
+
 /// One slot of a shard's lock-free mirror: the subset of shard state an
 /// optimistic reader needs, republished as atomics. All *writes* happen
 /// under the shard mutex (there is exactly one mutator at a time); readers
@@ -177,6 +213,22 @@ impl<T> OptSlot<T> {
     }
 }
 
+/// A mirror payload whose slot was unpublished while readers still held
+/// pins on it. The remover transfers the mirror's strong reference here
+/// instead of blocking on the drain; [`Shard::sweep_graveyard`] frees it
+/// once the slot's pin count has been observed at zero.
+struct Retired<T> {
+    /// Index of the mirror slot the payload was published in.
+    slot: usize,
+    /// The `Arc::into_raw` strong reference the mirror gave up.
+    ptr: *const T,
+}
+
+// SAFETY: a retired entry owns an `Arc` strong reference (as a raw
+// pointer); moving it between threads moves that ownership, which is safe
+// exactly when `Arc<T>` itself is sendable.
+unsafe impl<T: Send + Sync> Send for Retired<T> {}
+
 struct Shard<T> {
     state: Mutex<ShardState<T>>,
     loaded: Condvar,
@@ -191,6 +243,12 @@ struct Shard<T> {
     version: AtomicU64,
     /// Lock-free mirror of the resident-page table; power-of-two sized.
     mirror: Box<[OptSlot<T>]>,
+    /// Payloads unpublished from the mirror while still pinned (a
+    /// [`PageGuard`] was outstanding). Swept opportunistically on every
+    /// mirror mutation and drained by [`SharedPageCache::check_invariants`]
+    /// and `Drop`. Its own mutex (not `state`): sweeps must be safe from a
+    /// thread that already holds — or is about to take — the state lock.
+    graveyard: Mutex<Vec<Retired<T>>>,
 }
 
 impl<T> Shard<T> {
@@ -256,38 +314,65 @@ impl<T> Shard<T> {
     }
 
     /// Unpublishes `page` (under the shard mutex, **between**
-    /// [`Shard::begin_mutate`] and [`Shard::end_mutate`]): clears the tag,
-    /// waits for pinned readers to drain, then releases the mirror's
-    /// reference. The odd version guarantees no *new* reader validates
-    /// against this slot while we wait.
+    /// [`Shard::begin_mutate`] and [`Shard::end_mutate`]): clears the tag
+    /// and either releases the mirror's reference immediately (no pinned
+    /// readers) or retires it to the graveyard for a later sweep. Never
+    /// blocks on the pin count — a reader may hold a [`PageGuard`] pin on
+    /// this very page *while* performing the pessimistic fill that evicts
+    /// it, and a drain-wait here would deadlock on the reader's own pin.
     fn mirror_remove(&self, page: PageId) {
+        self.sweep_graveyard();
         let base = self.slot_base(page);
         let mask = self.mirror.len() - 1;
         for i in 0..MIRROR_PROBE {
-            let slot = &self.mirror[(base + i) & mask];
+            let idx = (base + i) & mask;
+            let slot = &self.mirror[idx];
             if slot.tag.load(Ordering::Relaxed) != Self::tag_of(page) {
                 continue;
             }
             slot.tag.store(TAG_EMPTY, Ordering::SeqCst);
-            // Readers hold a pin only across a handful of loads and an
-            // Arc clone — no blocking, no allocation — so this drains in
-            // nanoseconds; yield only if the pinned thread lost its slice.
-            let mut spins = 0u32;
-            while slot.pins.load(Ordering::SeqCst) != 0 {
-                spins += 1;
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
-            }
             let raw = slot.ptr.swap(std::ptr::null_mut(), Ordering::SeqCst);
             debug_assert!(!raw.is_null());
-            // SAFETY: `raw` came from `Arc::into_raw` in `mirror_insert`
-            // and is released exactly once, here, after the pin drain.
-            unsafe { drop(Arc::from_raw(raw)) };
+            // Dekker pairing (see `OptSlot::pins`): this load is ordered
+            // after the version store in `begin_mutate`, so a reader whose
+            // validation succeeded has its pin visible here, and a reader
+            // pinning after this point fails its validation.
+            if slot.pins.load(Ordering::SeqCst) == 0 {
+                // SAFETY: `raw` came from `Arc::into_raw` in
+                // `mirror_insert`; no validated reader holds a pin and the
+                // slot no longer references the payload, so this is the
+                // single release of the mirror's reference.
+                unsafe { drop(Arc::from_raw(raw)) };
+            } else {
+                lock_clean(&self.graveyard).push(Retired {
+                    slot: idx,
+                    ptr: raw,
+                });
+            }
             return;
         }
+    }
+
+    /// Frees retired payloads whose slots have drained to zero pins. A pin
+    /// observed here may belong to a *newer* incarnation of the slot, which
+    /// only delays the free — never a double free (the graveyard mutex
+    /// serializes sweeps and each entry is freed as it is removed) and
+    /// never a use-after-free (a guard's pin is held continuously from
+    /// before retirement until after its last deref, so zero pins proves
+    /// no guard can still reach the retired payload).
+    fn sweep_graveyard(&self) {
+        let mut grave = lock_clean(&self.graveyard);
+        grave.retain(|r| {
+            if self.mirror[r.slot].pins.load(Ordering::SeqCst) == 0 {
+                // SAFETY: the retired entry owns the strong reference the
+                // mirror gave up; zero pins means no outstanding guard
+                // derefs it.
+                unsafe { drop(Arc::from_raw(r.ptr)) };
+                false
+            } else {
+                true
+            }
+        });
     }
 }
 
@@ -300,6 +385,15 @@ impl<T> Drop for Shard<T> {
                 // `mirror_insert`; no readers exist during drop.
                 unsafe { drop(Arc::from_raw(raw)) };
             }
+        }
+        let grave = self
+            .graveyard
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for r in grave.drain(..) {
+            // SAFETY: retired entries own their strong reference; guards
+            // borrow the cache, so none can outlive this drop.
+            unsafe { drop(Arc::from_raw(r.ptr)) };
         }
     }
 }
@@ -343,6 +437,14 @@ struct WorkerStats {
     opt_hits: AtomicU64,
     opt_retries: AtomicU64,
     opt_fallbacks: AtomicU64,
+    /// Guard-path counters: borrowing reads served with neither mutex nor
+    /// Arc clone, and how their cross-level validation chains resolved.
+    guard_hits: AtomicU64,
+    coupled: AtomicU64,
+    renewed: AtomicU64,
+    /// Rolling tick driving the sampled LRU touch on optimistic hits (not
+    /// a statistic; lives here for the per-worker cacheline).
+    touch_tick: AtomicU64,
 }
 
 impl WorkerStats {
@@ -364,7 +466,119 @@ impl WorkerStats {
             hits: self.opt_hits.load(Ordering::Relaxed),
             retries: self.opt_retries.load(Ordering::Relaxed),
             fallbacks: self.opt_fallbacks.load(Ordering::Relaxed),
+            guard_hits: self.guard_hits.load(Ordering::Relaxed),
+            coupled: self.coupled.load(Ordering::Relaxed),
+            renewed: self.renewed.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// A borrowing, pin-backed view of a cached page: derefs to `&T` with
+/// **no Arc clone and no shard mutex**. Produced by
+/// [`SharedPageCache::guard_get`] and
+/// [`SharedPageCache::guard_get_coupled`]. Holding one pins the page's
+/// mirror slot, which *defers* (never blocks) a concurrent eviction's
+/// payload free until the guard drops — see the module docs for the
+/// graveyard protocol that makes this safe even when the guard's own
+/// thread performs the eviction.
+pub struct PageGuard<'c, T> {
+    slot: &'c OptSlot<T>,
+    raw: *const T,
+    shard_idx: usize,
+    version: u64,
+    page: PageId,
+    access: SharedAccess,
+}
+
+impl<T> PageGuard<'_, T> {
+    /// How the read was satisfied (always a local or remote hit).
+    pub fn access(&self) -> SharedAccess {
+        self.access
+    }
+
+    /// The page this guard reads.
+    pub fn page(&self) -> PageId {
+        self.page
+    }
+
+    /// An owned handle to the page, for callers that must outlive the
+    /// guard (e.g. an L1 slot refill). Costs one refcount increment —
+    /// exactly what the Arc-path optimistic read pays.
+    pub fn to_arc(&self) -> Arc<T> {
+        // SAFETY: `raw` came from `Arc::into_raw`; the pin held by this
+        // guard keeps the mirror's (or graveyard's) strong reference
+        // alive until the guard drops, so the count is ≥ 1 throughout.
+        unsafe {
+            Arc::increment_strong_count(self.raw);
+            Arc::from_raw(self.raw)
+        }
+    }
+
+    /// The validation token linking this read into a parent→child chain;
+    /// pass to [`SharedPageCache::guard_get_coupled`] for the next level
+    /// of the descent.
+    pub fn coupling(&self) -> OptCoupling {
+        OptCoupling {
+            link: Some(CoupleLink {
+                shard: self.shard_idx,
+                version: self.version,
+                page: self.page,
+            }),
+        }
+    }
+}
+
+impl<T> std::ops::Deref for PageGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: validated at acquisition; the pin defers any free of the
+        // payload until this guard drops.
+        unsafe { &*self.raw }
+    }
+}
+
+impl<T> Drop for PageGuard<'_, T> {
+    fn drop(&mut self) {
+        // SeqCst: the release of the pin must rank against a remover's
+        // (or sweeper's) pins load, exactly like the acquisition did.
+        self.slot.pins.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl<T> std::fmt::Debug for PageGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageGuard")
+            .field("page", &self.page)
+            .field("access", &self.access)
+            .finish()
+    }
+}
+
+/// One validated `(shard, version, page)` link of a descent chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CoupleLink {
+    shard: usize,
+    version: u64,
+    page: PageId,
+}
+
+/// Cross-level validation token for optimistic descents (umolc-style
+/// coupled validation). Create one with [`OptCoupling::root`] at the top
+/// of a root-to-leaf traversal and thread it through
+/// [`SharedPageCache::guard_get_coupled`]: each successful child read
+/// revalidates the parent link and advances the token, so the whole path
+/// forms one validation chain; any broken link resets the token and sends
+/// that page to the pessimistic path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptCoupling {
+    link: Option<CoupleLink>,
+}
+
+impl OptCoupling {
+    /// A chain with no parent yet (the start of a descent).
+    pub fn root() -> Self {
+        OptCoupling::default()
     }
 }
 
@@ -411,6 +625,7 @@ impl<T> SharedPageCache<T> {
                     capacity: per_shard,
                     version: AtomicU64::new(0),
                     mirror: (0..mirror_slots).map(|_| OptSlot::empty()).collect(),
+                    graveyard: Mutex::new(Vec::new()),
                 })
                 .collect(),
             stats: (0..workers).map(|_| WorkerStats::default()).collect(),
@@ -492,11 +707,47 @@ impl<T> SharedPageCache<T> {
     }
 
     #[inline]
-    fn shard_of(&self, page: PageId) -> &Shard<T> {
+    fn shard_index(&self, page: PageId) -> usize {
         // Fibonacci hashing spreads the sequential page ids trees produce;
         // plain modulo would put all of a small tree in adjacent shards.
         let h = (page.0 as u64).wrapping_mul(0x9E3779B97F4A7C15);
-        &self.shards[(h >> 32) as usize % self.shards.len()]
+        (h >> 32) as usize % self.shards.len()
+    }
+
+    #[inline]
+    fn shard_of(&self, page: PageId) -> &Shard<T> {
+        &self.shards[self.shard_index(page)]
+    }
+
+    /// Sampled replacement promotion for reads that bypass the mutex:
+    /// every [`TOUCH_SAMPLE`]-th optimistic or guard hit per worker
+    /// re-touches the page under the shard mutex — but only if the mutex
+    /// is immediately available, so the hot path never queues on it.
+    fn sampled_touch(&self, worker: usize, shard: &Shard<T>, page: PageId) {
+        let tick = self.stats[worker]
+            .touch_tick
+            .fetch_add(1, Ordering::Relaxed);
+        if !tick.is_multiple_of(TOUCH_SAMPLE) {
+            return;
+        }
+        if let Ok(mut state) = shard.state.try_lock() {
+            if state.buf.contains(page) {
+                state.buf.touch(page);
+            }
+        }
+    }
+
+    /// Books a failed optimistic attempt: the validation retries, plus a
+    /// fallback when the attempts were exhausted by contention (rather
+    /// than the read being a clean mirror miss).
+    fn note_opt_failure(&self, worker: usize, retries: u64) {
+        let s = &self.stats[worker];
+        if retries > 0 {
+            s.opt_retries.fetch_add(retries, Ordering::Relaxed);
+        }
+        if retries >= OPT_ATTEMPTS as u64 {
+            s.opt_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Counter updates run outside every shard lock (callers invoke this
@@ -621,6 +872,7 @@ impl<T> SharedPageCache<T> {
                         s.opt_retries.fetch_add(retries, Ordering::Relaxed);
                     }
                     self.bump(worker, access, false, 0);
+                    self.sampled_touch(worker, shard, page);
                     return Ok((v, access));
                 }
                 None => {
@@ -630,6 +882,153 @@ impl<T> SharedPageCache<T> {
             }
         }
         Err(retries)
+    }
+
+    /// Core of the guard acquisition: [`SharedPageCache::opt_get`]'s
+    /// protocol, but the winning read *keeps* its pin instead of cloning
+    /// the `Arc` under it — the pin is the guard's lease on the payload.
+    /// Returns `Err(retries)` when the caller must go pessimistic.
+    fn guard_acquire(&self, worker: usize, page: PageId) -> Result<PageGuard<'_, T>, u64> {
+        let shard_idx = self.shard_index(page);
+        let shard = &self.shards[shard_idx];
+        let tag = Shard::<T>::tag_of(page);
+        let base = shard.slot_base(page);
+        let mask = shard.mirror.len() - 1;
+        let mut retries = 0u64;
+        while retries < OPT_ATTEMPTS as u64 {
+            let v1 = shard.version.load(Ordering::SeqCst);
+            if !v1.is_multiple_of(2) {
+                retries += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut found = None;
+            for i in 0..MIRROR_PROBE {
+                let slot = &shard.mirror[(base + i) & mask];
+                if slot.tag.load(Ordering::Acquire) == tag {
+                    found = Some(slot);
+                    break;
+                }
+            }
+            let Some(slot) = found else {
+                if shard.version.load(Ordering::SeqCst) == v1 {
+                    return Err(retries);
+                }
+                retries += 1;
+                continue;
+            };
+            // Pin, then re-validate — the same Dekker pairing as
+            // `opt_get`; see the comments there.
+            slot.pins.fetch_add(1, Ordering::SeqCst);
+            let raw = slot.ptr.load(Ordering::SeqCst);
+            let owner = slot.owner.load(Ordering::Relaxed);
+            let tag2 = slot.tag.load(Ordering::SeqCst);
+            if shard.version.load(Ordering::SeqCst) == v1 && tag2 == tag && !raw.is_null() {
+                let access = if owner == worker {
+                    SharedAccess::HitLocal
+                } else {
+                    SharedAccess::HitRemote { owner }
+                };
+                let s = &self.stats[worker];
+                s.guard_hits.fetch_add(1, Ordering::Relaxed);
+                if retries > 0 {
+                    s.opt_retries.fetch_add(retries, Ordering::Relaxed);
+                }
+                self.bump(worker, access, false, 0);
+                self.sampled_touch(worker, shard, page);
+                return Ok(PageGuard {
+                    slot,
+                    raw,
+                    shard_idx,
+                    version: v1,
+                    page,
+                    access,
+                });
+            }
+            slot.pins.fetch_sub(1, Ordering::SeqCst);
+            retries += 1;
+        }
+        Err(retries)
+    }
+
+    /// Borrowing optimistic read: a [`PageGuard`] handing out `&T` with
+    /// no Arc clone and no shard mutex, when `page` is resident and the
+    /// seqlock validates. `None` means the caller must take the
+    /// pessimistic path ([`SharedPageCache::try_get`] re-runs the full
+    /// ladder; the failure accounting matches the Arc fast path exactly).
+    pub fn guard_get(&self, worker: usize, page: PageId) -> Option<PageGuard<'_, T>> {
+        match self.guard_acquire(worker, page) {
+            Ok(g) => Some(g),
+            Err(retries) => {
+                self.note_opt_failure(worker, retries);
+                None
+            }
+        }
+    }
+
+    /// As [`SharedPageCache::guard_get`], chained into a descent: after
+    /// the child validates, the parent link recorded in `chain` is
+    /// revalidated. An unchanged parent shard version extends the chain
+    /// ([`OptStats::coupled`]); a version advance with the parent still
+    /// mirrored repairs it in place ([`OptStats::renewed`]); a vanished
+    /// parent breaks it — the child guard is dropped, the chain resets,
+    /// and `None` sends the caller to the pessimistic path for this page.
+    /// On success `chain` is advanced to the returned page, so a
+    /// root-to-leaf descent forms one validation chain.
+    pub fn guard_get_coupled(
+        &self,
+        worker: usize,
+        page: PageId,
+        chain: &mut OptCoupling,
+    ) -> Option<PageGuard<'_, T>> {
+        let guard = match self.guard_acquire(worker, page) {
+            Ok(g) => g,
+            Err(retries) => {
+                self.note_opt_failure(worker, retries);
+                *chain = OptCoupling::root();
+                return None;
+            }
+        };
+        let s = &self.stats[worker];
+        if let Some(link) = chain.link {
+            if self.shards[link.shard].version.load(Ordering::SeqCst) == link.version {
+                s.coupled.fetch_add(1, Ordering::Relaxed);
+            } else if self.still_mirrored(link.shard, link.page) {
+                s.renewed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // The parent left its shard mid-descent. The pages are
+                // frozen, but the protocol treats a broken chain as a
+                // failed validation: drop the child pin and let the
+                // caller re-read pessimistically, restarting the chain.
+                s.opt_fallbacks.fetch_add(1, Ordering::Relaxed);
+                *chain = OptCoupling::root();
+                drop(guard);
+                return None;
+            }
+        }
+        *chain = guard.coupling();
+        Some(guard)
+    }
+
+    /// Whether `page` is still published in `shard`'s mirror with the
+    /// shard at rest across the probe — i.e. a broken-version chain link
+    /// can be *renewed* (the parent never left) rather than broken.
+    fn still_mirrored(&self, shard_idx: usize, page: PageId) -> bool {
+        let shard = &self.shards[shard_idx];
+        let v = shard.version.load(Ordering::SeqCst);
+        if !v.is_multiple_of(2) {
+            return false;
+        }
+        let tag = Shard::<T>::tag_of(page);
+        let base = shard.slot_base(page);
+        let mask = shard.mirror.len() - 1;
+        for i in 0..MIRROR_PROBE {
+            let slot = &shard.mirror[(base + i) & mask];
+            if slot.tag.load(Ordering::Acquire) == tag {
+                return shard.version.load(Ordering::SeqCst) == v;
+            }
+        }
+        false
     }
 
     /// Looks up `page`, fetching it from `source` on a miss. Returns the
@@ -674,16 +1073,40 @@ impl<T> SharedPageCache<T> {
         // after OPT_ATTEMPTS failed validations.
         match self.opt_get(worker, page) {
             Ok(hit) => return Ok(hit),
-            Err(retries) => {
-                let s = &self.stats[worker];
-                if retries > 0 {
-                    s.opt_retries.fetch_add(retries, Ordering::Relaxed);
-                }
-                if retries >= OPT_ATTEMPTS as u64 {
-                    s.opt_fallbacks.fetch_add(1, Ordering::Relaxed);
-                }
-            }
+            Err(retries) => self.note_opt_failure(worker, retries),
         }
+        self.pessimistic_get(worker, page, source)
+    }
+
+    /// As [`SharedPageCache::try_get`] but skipping the optimistic fast
+    /// path entirely: every read takes the shard mutex (and pays its LRU
+    /// promotion). This is the contended-read benchmark's locked baseline;
+    /// regular callers should prefer [`SharedPageCache::try_get`].
+    pub fn try_get_locked<S>(
+        &self,
+        worker: usize,
+        page: PageId,
+        source: &S,
+    ) -> Result<(Arc<T>, SharedAccess), PageError>
+    where
+        S: PageSource<Item = T> + ?Sized,
+    {
+        self.pessimistic_get(worker, page, source)
+    }
+
+    /// The pessimistic path: shard mutex, quarantine replay, single-flight
+    /// fill, eviction. [`SharedPageCache::try_get`] lands here after the
+    /// optimistic fast path declines; [`SharedPageCache::try_get_locked`]
+    /// enters directly.
+    fn pessimistic_get<S>(
+        &self,
+        worker: usize,
+        page: PageId,
+        source: &S,
+    ) -> Result<(Arc<T>, SharedAccess), PageError>
+    where
+        S: PageSource<Item = T> + ?Sized,
+    {
         let shard = self.shard_of(page);
         let mut state = lock_clean(&shard.state);
         let mut waited = false;
@@ -975,6 +1398,15 @@ impl<T> SharedPageCache<T> {
                     "shard {i}: {} mirrored pages exceed {} resident",
                     mirrored.len(),
                     state.data.len()
+                ));
+            }
+            // At rest every pin has been dropped (checked above), so a
+            // sweep must clear the graveyard completely.
+            shard.sweep_graveyard();
+            let retired = lock_clean(&shard.graveyard).len();
+            if retired != 0 {
+                return Err(format!(
+                    "shard {i}: {retired} retired payloads still pinned at rest"
                 ));
             }
         }

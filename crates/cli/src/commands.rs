@@ -87,8 +87,10 @@ commands:
            both pre-indexed and from raw streams where the R-tree engine
            pays index construction; reported as `engines` rows with both
            partition/rtree wall ratios), plus a contended-read row (N
-           workers re-reading one tree through a shared cache; reports
-           the optimistic-hit share of the seqlock read path).
+           workers re-reading one tree through a shared cache over three
+           read paths — locked mutex, Arc-clone optimistic, borrowing
+           guard — reporting the seqlock hit shares and the
+           opt-vs-locked / guard-vs-arc wall speedups).
            speedup_vs_t1 is the *scheduled* speedup: the t=1 run's
            per-morsel wall costs replayed through the deterministic
            scheduler simulation with n virtual workers (machine-
@@ -105,7 +107,10 @@ commands:
            build counted on the rtree side); --min-opt-share <f> puts a
            floor on the candidate's contended-read optimistic-hit share
            (which code path served resident-page reads — machine-
-           independent); --min-cluster-scaling <f>
+           independent); --min-opt-speedup <f> and --min-guard-speedup
+           <f> put floors on the contended-read wall ratios (optimistic
+           vs locked, guard vs arc — same-process relative cost of the
+           read paths); --min-cluster-scaling <f>
            [--cluster <file.json>] puts a floor on bench-cluster's 4-shard
            vs 1-shard throughput ratio (standalone: baseline/candidate may
            be omitted); exits nonzero on any regression
@@ -1062,6 +1067,13 @@ pub fn bench_join(args: &Args) -> CmdResult {
         reads_per_sec: f64,
         opt: psj_buffer::OptStats,
         opt_hit_share: f64,
+        guard_hit_share: f64,
+        locked_wall_ms: f64,
+        guard_wall_ms: f64,
+        /// Arc-clone optimistic path vs the all-mutex pessimistic path.
+        opt_speedup_vs_locked: f64,
+        /// Borrowing-guard path vs the Arc-clone optimistic path.
+        guard_speedup_vs_arc: f64,
     }
     let contended = {
         use psj_buffer::{PageSource, Policy, SharedPageCache};
@@ -1089,33 +1101,77 @@ pub fn bench_join(args: &Args) -> CmdResult {
         for p in 0..pages {
             let _ = cache.get(0, PageId(p as u32), &src);
         }
-        let base = cache.opt_stats();
-        let t0 = Instant::now();
-        std::thread::scope(|s| {
-            for w in 0..WORKERS {
-                let (cache, src) = (&cache, &src);
-                s.spawn(move || {
-                    for i in 0..reads_per_worker {
-                        // Strides co-prime with typical page counts, offset
-                        // per worker: workers collide on the same pages,
-                        // which is the contention being measured.
-                        let p = (i * 7 + w * 13) % pages;
-                        let _ = cache.get(w, PageId(p as u32), src);
+
+        // One timed pass per read path over the identical resident working
+        // set: `locked` forces every read through the shard mutex
+        // (`try_get_locked`), `arc` is the seqlock optimistic path
+        // returning an owned Arc (`get`), `guard` is the borrowing
+        // pin-guarded read (`guard_get`, derefed in place — no Arc
+        // clone). Minimum over `reps` runs, the usual noise defense; the
+        // two speedup ratios are same-machine same-process wall ratios.
+        let reps = if quick { 2 } else { 3 };
+        let pass = |read: &(dyn Fn(usize, PageId) + Sync)| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                std::thread::scope(|s| {
+                    for w in 0..WORKERS {
+                        s.spawn(move || {
+                            for i in 0..reads_per_worker {
+                                // Strides co-prime with typical page
+                                // counts, offset per worker: workers
+                                // collide on the same pages, which is the
+                                // contention being measured.
+                                let p = (i * 7 + w * 13) % pages;
+                                read(w, PageId(p as u32));
+                            }
+                        });
                     }
                 });
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            best
+        };
+        let locked_wall_ms = pass(&|w, p| {
+            let _ = cache.try_get_locked(w, p, &src);
+        });
+        let base = cache.opt_stats();
+        let wall_ms = pass(&|w, p| {
+            let _ = cache.get(w, p, &src);
+        });
+        let arc_opt = cache.opt_stats().since(&base);
+        let base = cache.opt_stats();
+        let guard_wall_ms = pass(&|w, p| match cache.guard_get(w, p) {
+            Some(g) => {
+                std::hint::black_box(&*g);
+            }
+            None => {
+                let _ = cache.get(w, p, &src);
             }
         });
-        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let opt = cache.opt_stats().since(&base);
+        let guard_opt = cache.opt_stats().since(&base);
+        let opt = arc_opt.merged(&guard_opt);
+
         let reads = (WORKERS * reads_per_worker) as u64;
+        let pass_reads = reads * reps as u64;
         let reads_per_sec = reads as f64 / (wall_ms / 1e3);
-        let opt_hit_share = opt.hits as f64 / reads as f64;
+        // Path-count shares are per pass set: the arc passes feed `hits`,
+        // the guard passes feed `guard_hits`.
+        let opt_hit_share = arc_opt.hits as f64 / pass_reads as f64;
+        let guard_hit_share = guard_opt.guard_hits as f64 / pass_reads as f64;
+        let opt_speedup_vs_locked = locked_wall_ms / wall_ms;
+        let guard_speedup_vs_arc = wall_ms / guard_wall_ms;
         println!(
-            "contended: {WORKERS} workers x {reads_per_worker} reads over {pages} pages, \
-             {wall_ms:.1} ms ({:.1} Mreads/s), opt share {opt_hit_share:.3} \
-             ({} hits, {} retries, {} fallbacks)",
+            "contended: {WORKERS} workers x {reads_per_worker} reads over {pages} pages\n\
+             \x20 locked {locked_wall_ms:.1} ms, arc {wall_ms:.1} ms ({:.1} Mreads/s), \
+             guard {guard_wall_ms:.1} ms\n\
+             \x20 opt share {opt_hit_share:.3}, guard share {guard_hit_share:.3} \
+             ({} opt hits, {} guard hits, {} retries, {} fallbacks)\n\
+             \x20 opt vs locked {opt_speedup_vs_locked:.2}x, \
+             guard vs arc {guard_speedup_vs_arc:.2}x",
             reads_per_sec / 1e6,
             opt.hits,
+            opt.guard_hits,
             opt.retries,
             opt.fallbacks
         );
@@ -1127,6 +1183,11 @@ pub fn bench_join(args: &Args) -> CmdResult {
             reads_per_sec,
             opt,
             opt_hit_share,
+            guard_hit_share,
+            locked_wall_ms,
+            guard_wall_ms,
+            opt_speedup_vs_locked,
+            guard_speedup_vs_arc,
         }
     };
 
@@ -1352,8 +1413,32 @@ pub fn bench_join(args: &Args) -> CmdResult {
         contended.opt.fallbacks
     ));
     json.push_str(&format!(
-        "    \"opt_hit_share\": {:.4}\n",
+        "    \"guard_hits\": {},\n",
+        contended.opt.guard_hits
+    ));
+    json.push_str(&format!(
+        "    \"opt_hit_share\": {:.4},\n",
         contended.opt_hit_share
+    ));
+    json.push_str(&format!(
+        "    \"guard_hit_share\": {:.4},\n",
+        contended.guard_hit_share
+    ));
+    json.push_str(&format!(
+        "    \"locked_wall_ms\": {:.3},\n",
+        contended.locked_wall_ms
+    ));
+    json.push_str(&format!(
+        "    \"guard_wall_ms\": {:.3},\n",
+        contended.guard_wall_ms
+    ));
+    json.push_str(&format!(
+        "    \"opt_speedup_vs_locked\": {:.4},\n",
+        contended.opt_speedup_vs_locked
+    ));
+    json.push_str(&format!(
+        "    \"guard_speedup_vs_arc\": {:.4}\n",
+        contended.guard_speedup_vs_arc
     ));
     json.push_str("  },\n");
     json.push_str("  \"joins\": [\n");
@@ -1585,6 +1670,38 @@ pub fn bench_check(args: &Args) -> CmdResult {
             None => failures.push(format!(
                 "{candidate_path}: no opt_hit_share in report (re-run bench-join)"
             )),
+        }
+    }
+
+    // Absolute floors on the contended-read wall ratios. Both are
+    // same-process, same-machine ratios of identical read sequences, so
+    // they gate the *relative* cost of the read paths, not the machine:
+    // `min-opt-speedup` requires the seqlock optimistic path to beat the
+    // all-mutex pessimistic path, `min-guard-speedup` requires the
+    // borrowing guard read to beat the Arc-clone optimistic read.
+    for (flag, key, what) in [
+        (
+            "min-opt-speedup",
+            "opt_speedup_vs_locked",
+            "optimistic vs locked",
+        ),
+        ("min-guard-speedup", "guard_speedup_vs_arc", "guard vs arc"),
+    ] {
+        if let Some(floor) = args.get(flag) {
+            let floor: f64 = floor
+                .parse()
+                .map_err(|_| format!("--{flag} '{floor}' is not a number"))?;
+            match json_number_after(&candidate, key, 0).map(|(v, _)| v) {
+                Some(v) if v >= floor => {
+                    println!("contended: {what} {v:.3}x meets floor {floor:.3}x");
+                }
+                Some(v) => failures.push(format!(
+                    "contended {what} below floor: {v:.3}x < {floor:.3}x"
+                )),
+                None => failures.push(format!(
+                    "{candidate_path}: no {key} in report (re-run bench-join)"
+                )),
+            }
         }
     }
 

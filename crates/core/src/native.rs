@@ -61,7 +61,10 @@ use crate::metrics::{TaskOrigin, TaskTrace};
 use crate::morsel::{morselize, Morsel, MorselOptions, StealPolicy};
 use crate::sim::BufferOrg;
 use crate::task::{create_tasks, expand_pair, Candidate, KernelScratch, TaskPair};
-use psj_buffer::{BufferStats, FaultSource, L1Front, PageSource, Policy, SharedPageCache};
+use psj_buffer::{
+    BufferStats, FaultSource, L1Front, L1Read, OptCoupling, PageGuard, PageSource, Policy,
+    SharedPageCache,
+};
 use psj_desim::StealOrder;
 use psj_obs::trace::{worker_tid, TID_MAIN};
 use psj_obs::{ThreadTracer, TraceSink};
@@ -379,11 +382,13 @@ impl PageSource for Source<'_> {
     }
 }
 
-/// A node obtained either by direct reference into a frozen tree or as a
-/// cached decode owned by the page cache.
+/// A node obtained by direct reference into a frozen tree, as a cached
+/// decode owned by the page cache, or as a borrowing pin-guarded read out
+/// of the cache's mirror (no Arc clone, no shard mutex).
 enum NodeRef<'t> {
     Borrowed(&'t Node),
     Cached(Arc<Node>),
+    Guarded(PageGuard<'t, Node>),
 }
 
 impl std::ops::Deref for NodeRef<'_> {
@@ -394,6 +399,19 @@ impl std::ops::Deref for NodeRef<'_> {
         match self {
             NodeRef::Borrowed(n) => n,
             NodeRef::Cached(n) => n,
+            NodeRef::Guarded(g) => g,
+        }
+    }
+}
+
+impl<'t> NodeRef<'t> {
+    /// Collapses an L1 lookup outcome: front/pessimistic reads are owned
+    /// `Arc`s, guard reads keep the borrow (the pin drops with the ref).
+    #[inline]
+    fn from_l1(read: L1Read<'t, Node>) -> Self {
+        match read {
+            L1Read::Front(n) | L1Read::Shared(n, _) => NodeRef::Cached(n),
+            L1Read::Guard(g) => NodeRef::Guarded(g),
         }
     }
 }
@@ -411,6 +429,12 @@ struct NodeFetcher<'t> {
     cache: Option<(&'t SharedPageCache<Node>, usize)>,
     /// Present exactly when `cache` is. Exclusive to this worker's thread.
     l1: Option<L1Front<Node>>,
+    /// Per-tree coupling tokens: consecutive guarded reads of the same
+    /// tree chain parent→child seqlock validation across levels of the
+    /// depth-first descent. A broken chain resets per tree; the other
+    /// tree's descent is unaffected.
+    couple_a: OptCoupling,
+    couple_b: OptCoupling,
 }
 
 /// Slots in each worker's L1 front. Covers a join's working set of hot
@@ -424,11 +448,14 @@ impl<'t> NodeFetcher<'t> {
             None => Ok(NodeRef::Borrowed(self.a.node(page))),
             Some((cache, w)) => match &mut self.l1 {
                 Some(l1) => l1
-                    .try_get(cache, w, page, &self.source)
-                    .map(|(n, _)| NodeRef::Cached(n)),
-                None => cache
-                    .try_get(w, page, &self.source)
-                    .map(|(n, _)| NodeRef::Cached(n)),
+                    .try_get_coupled(cache, w, page, &mut self.couple_a, &self.source)
+                    .map(NodeRef::from_l1),
+                None => match cache.guard_get_coupled(w, page, &mut self.couple_a) {
+                    Some(g) => Ok(NodeRef::Guarded(g)),
+                    None => cache
+                        .try_get(w, page, &self.source)
+                        .map(|(n, _)| NodeRef::Cached(n)),
+                },
             },
         }
     }
@@ -440,11 +467,14 @@ impl<'t> NodeFetcher<'t> {
             None => Ok(NodeRef::Borrowed(self.b.node(page))),
             Some((cache, w)) => match &mut self.l1 {
                 Some(l1) => l1
-                    .try_get(cache, w, tagged, &self.source)
-                    .map(|(n, _)| NodeRef::Cached(n)),
-                None => cache
-                    .try_get(w, tagged, &self.source)
-                    .map(|(n, _)| NodeRef::Cached(n)),
+                    .try_get_coupled(cache, w, tagged, &mut self.couple_b, &self.source)
+                    .map(NodeRef::from_l1),
+                None => match cache.guard_get_coupled(w, tagged, &mut self.couple_b) {
+                    Some(g) => Ok(NodeRef::Guarded(g)),
+                    None => cache
+                        .try_get(w, tagged, &self.source)
+                        .map(|(n, _)| NodeRef::Cached(n)),
+                },
             },
         }
     }
@@ -833,6 +863,8 @@ fn run_with_caches(
                     },
                     cache,
                     l1: cache.map(|_| L1Front::new(L1_SLOTS)),
+                    couple_a: OptCoupling::root(),
+                    couple_b: OptCoupling::root(),
                 };
                 run_worker(
                     id,

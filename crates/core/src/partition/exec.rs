@@ -147,8 +147,14 @@ impl<'t> Side<'t> {
                 let mut mbrs = Vec::with_capacity(n);
                 let mut oids = Vec::with_capacity(n);
                 let mut geoms = Vec::with_capacity(n);
+                // Stream the leaves through the borrowing node accessor —
+                // the same read surface cache-backed executors use — so the
+                // materialization order is pinned to page order either way.
+                let mut access = t;
                 for p in 0..t.pages().len() {
-                    let node = t.node(psj_store::PageId(p as u32));
+                    let node =
+                        psj_rtree::NodeAccess::read(&mut access, psj_store::PageId(p as u32))
+                            .expect("in-memory node access is infallible");
                     if node.level != 0 {
                         continue;
                     }

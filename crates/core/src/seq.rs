@@ -6,7 +6,7 @@
 //! the correctness oracle for the parallel executors.
 
 use crate::task::{create_tasks, expand_pair, Candidate, KernelScratch, TaskPair};
-use psj_rtree::PagedTree;
+use psj_rtree::{NodeAccess, PagedTree};
 use serde::{Deserialize, Serialize};
 
 /// Result of a sequential join.
@@ -31,6 +31,10 @@ pub fn join_candidates(a: &PagedTree, b: &PagedTree) -> SeqJoinResult {
     let mut cands: Vec<Candidate> = Vec::new();
     let mut out = Vec::new();
     let mut node_pairs = 0u64;
+    // The oracle reads nodes through the same borrowing accessor surface
+    // the buffered executors use — one read per (page, step), no aliasing
+    // assumptions beyond what `NodeAccess` grants.
+    let (mut acc_a, mut acc_b) = (a, b);
 
     // Tasks are executed in plane-sweep order; within a task the traversal
     // is depth-first, again in sweep order.
@@ -38,8 +42,8 @@ pub fn join_candidates(a: &PagedTree, b: &PagedTree) -> SeqJoinResult {
         stack.push(*task);
         while let Some(pair) = stack.pop() {
             node_pairs += 1;
-            let na = a.node(pair.a);
-            let nb = b.node(pair.b);
+            let na = acc_a.read(pair.a).expect("in-memory access is infallible");
+            let nb = acc_b.read(pair.b).expect("in-memory access is infallible");
             children.clear();
             let before = cands.len();
             expand_pair(na, nb, &pair, &mut scratch, &mut children, &mut cands);
@@ -75,9 +79,10 @@ pub fn join_refined(a: &PagedTree, b: &PagedTree) -> Vec<(u64, u64)> {
     let mut children = Vec::new();
     let mut cands: Vec<Candidate> = Vec::new();
     let mut out = Vec::new();
+    let (mut acc_a, mut acc_b) = (a, b);
     while let Some(pair) = stack.pop() {
-        let na = a.node(pair.a);
-        let nb = b.node(pair.b);
+        let na = acc_a.read(pair.a).expect("in-memory access is infallible");
+        let nb = acc_b.read(pair.b).expect("in-memory access is infallible");
         children.clear();
         cands.clear();
         expand_pair(na, nb, &pair, &mut scratch, &mut children, &mut cands);

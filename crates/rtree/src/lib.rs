@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod bulk;
 pub mod delete;
 pub mod entry;
@@ -34,7 +35,9 @@ pub mod split;
 pub mod stats;
 pub mod tree;
 
+pub use access::{window_query_via, NodeAccess};
 pub use entry::{DataEntry, DirEntry, GeomRef, DATA_ENTRY_BYTES, DIR_ENTRY_BYTES};
+pub use nn::nearest_neighbors_via;
 pub use node::{Node, NodeKind, DATA_FANOUT, DATA_MIN_FILL, DIR_FANOUT, DIR_MIN_FILL};
 pub use paged::PagedTree;
 pub use persist::{

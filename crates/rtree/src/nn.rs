@@ -5,6 +5,7 @@
 //! integrate with parallel spatial query processing; the sequential
 //! building block is provided here for both tree forms.
 
+use crate::access::NodeAccess;
 use crate::entry::DataEntry;
 use crate::node::NodeKind;
 use crate::paged::PagedTree;
@@ -105,22 +106,31 @@ enum PagedCandidate {
     Entry(DataEntry),
 }
 
-impl PagedTree {
-    /// The `k` data entries whose MBRs are nearest to `query`; see
-    /// [`RTree::nearest_neighbors`].
-    pub fn nearest_neighbors(&self, query: &Point, k: usize) -> Vec<(f64, DataEntry)> {
-        if k == 0 || self.is_empty() {
-            return Vec::new();
-        }
-        let mut heap: BinaryHeap<HeapItem<PagedCandidate>> = BinaryHeap::new();
-        heap.push(HeapItem {
-            dist: 0.0,
-            item: PagedCandidate::Node(self.root()),
-        });
-        let mut out = Vec::with_capacity(k);
-        while let Some(HeapItem { dist, item }) = heap.pop() {
-            match item {
-                PagedCandidate::Node(page) => match &self.node(page).kind {
+/// Best-first k-NN descent over any [`NodeAccess`]: identical candidate
+/// order to [`RTree::nearest_neighbors`], so the in-memory delegation in
+/// [`PagedTree::nearest_neighbors`] and any cache-backed accessor produce
+/// the same distance sequence. Each node borrow is dropped before the next
+/// page is read, so pin-guard accessors hold at most one pin at a time.
+pub fn nearest_neighbors_via<A: NodeAccess>(
+    access: &mut A,
+    root: PageId,
+    query: &Point,
+    k: usize,
+) -> Result<Vec<(f64, DataEntry)>, psj_store::PageError> {
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let mut heap: BinaryHeap<HeapItem<PagedCandidate>> = BinaryHeap::new();
+    heap.push(HeapItem {
+        dist: 0.0,
+        item: PagedCandidate::Node(root),
+    });
+    let mut out = Vec::with_capacity(k);
+    while let Some(HeapItem { dist, item }) = heap.pop() {
+        match item {
+            PagedCandidate::Node(page) => {
+                let node = access.read(page)?;
+                match &node.kind {
                     NodeKind::Dir(entries) => {
                         for e in entries {
                             heap.push(HeapItem {
@@ -137,16 +147,29 @@ impl PagedTree {
                             });
                         }
                     }
-                },
-                PagedCandidate::Entry(e) => {
-                    out.push((dist, e));
-                    if out.len() == k {
-                        break;
-                    }
+                }
+            }
+            PagedCandidate::Entry(e) => {
+                out.push((dist, e));
+                if out.len() == k {
+                    break;
                 }
             }
         }
-        out
+    }
+    Ok(out)
+}
+
+impl PagedTree {
+    /// The `k` data entries whose MBRs are nearest to `query`; see
+    /// [`RTree::nearest_neighbors`]. Delegates to [`nearest_neighbors_via`]
+    /// over the infallible in-memory accessor.
+    pub fn nearest_neighbors(&self, query: &Point, k: usize) -> Vec<(f64, DataEntry)> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        nearest_neighbors_via(&mut &*self, self.root(), query, k)
+            .expect("in-memory node access is infallible")
     }
 }
 

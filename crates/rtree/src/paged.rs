@@ -207,29 +207,12 @@ impl PagedTree {
         self.node(self.root).mbr()
     }
 
-    /// Window query over the paged form.
+    /// Window query over the paged form. Delegates to
+    /// [`crate::access::window_query_via`] over the infallible in-memory
+    /// accessor, so the traversal order is shared with cache-backed readers.
     pub fn window_query(&self, window: &Rect) -> Vec<crate::entry::DataEntry> {
-        let mut out = Vec::new();
-        let mut stack = vec![self.root];
-        while let Some(page) = stack.pop() {
-            match &self.node(page).kind {
-                NodeKind::Dir(entries) => {
-                    for e in entries {
-                        if e.mbr.intersects(window) {
-                            stack.push(PageId(e.child));
-                        }
-                    }
-                }
-                NodeKind::Leaf(entries) => {
-                    for e in entries {
-                        if e.mbr.intersects(window) {
-                            out.push(*e);
-                        }
-                    }
-                }
-            }
-        }
-        out
+        crate::access::window_query_via(&mut &*self, self.root, window)
+            .expect("in-memory node access is infallible")
     }
 
     /// Table 1 statistics for this tree.

@@ -58,9 +58,16 @@ pub struct Telemetry {
     corrupt_pages: Arc<Gauge>,
     quarantined_pages: Arc<Gauge>,
     page_retries: Arc<Gauge>,
-    cache_opt_hits: Arc<Gauge>,
-    cache_opt_retries: Arc<Gauge>,
-    cache_opt_fallbacks: Arc<Gauge>,
+    // Monotonic cache counters mirrored from the shared cache's own
+    // atomics at scrape time (delta-add in `render_prometheus`), exposed
+    // as `counter` so rate()/increase() work on them — they only ever
+    // grow. Names kept from the earlier gauge exposition.
+    cache_opt_hits: Arc<Counter>,
+    cache_opt_retries: Arc<Counter>,
+    cache_opt_fallbacks: Arc<Counter>,
+    cache_guard_hits: Arc<Counter>,
+    cache_opt_coupled: Arc<Counter>,
+    cache_opt_renewed: Arc<Counter>,
 }
 
 impl Default for Telemetry {
@@ -113,17 +120,29 @@ impl Default for Telemetry {
             ),
             quarantined_pages: r.gauge("psj_quarantined_pages", "Pages currently quarantined"),
             page_retries: r.gauge("psj_page_retries", "Page fetches retried by the cache"),
-            cache_opt_hits: r.gauge(
+            cache_opt_hits: r.counter(
                 "psj_cache_opt_hits",
                 "Cache hits served without taking a shard mutex",
             ),
-            cache_opt_retries: r.gauge(
+            cache_opt_retries: r.counter(
                 "psj_cache_opt_retries",
                 "Optimistic-read validation failures that were retried",
             ),
-            cache_opt_fallbacks: r.gauge(
+            cache_opt_fallbacks: r.counter(
                 "psj_cache_opt_fallbacks",
                 "Optimistic reads that fell back to the shard mutex",
+            ),
+            cache_guard_hits: r.counter(
+                "psj_cache_guard_hits",
+                "Borrowing guard reads served with neither shard mutex nor Arc clone",
+            ),
+            cache_opt_coupled: r.counter(
+                "psj_cache_opt_coupled",
+                "Guard reads whose parent coupling link validated unchanged",
+            ),
+            cache_opt_renewed: r.counter(
+                "psj_cache_opt_renewed",
+                "Guard couplings renewed in place after a parent-shard version bump",
             ),
             registry: r,
         }
@@ -162,6 +181,12 @@ pub struct GaugeSnapshot {
     /// Optimistic reads that exhausted their retries and fell back to the
     /// pessimistic mutex path.
     pub cache_opt_fallbacks: u64,
+    /// Borrowing guard reads (no shard mutex, no Arc clone).
+    pub cache_guard_hits: u64,
+    /// Guard reads whose parent coupling link validated unchanged.
+    pub cache_opt_coupled: u64,
+    /// Guard couplings renewed in place after a parent-shard version bump.
+    pub cache_opt_renewed: u64,
 }
 
 impl Telemetry {
@@ -206,9 +231,17 @@ impl Telemetry {
         self.corrupt_pages.set(snap.corrupt_pages);
         self.quarantined_pages.set(snap.quarantined_pages);
         self.page_retries.set(snap.page_retries);
-        self.cache_opt_hits.set(snap.cache_opt_hits);
-        self.cache_opt_retries.set(snap.cache_opt_retries);
-        self.cache_opt_fallbacks.set(snap.cache_opt_fallbacks);
+        // The cache's own atomics are the source of truth for these
+        // monotonic counts; advance the exported counters by the delta so
+        // the exposition stays a counter (never decreases, never resets
+        // while the process lives).
+        let sync = |c: &Counter, v: u64| c.add(v.saturating_sub(c.get()));
+        sync(&self.cache_opt_hits, snap.cache_opt_hits);
+        sync(&self.cache_opt_retries, snap.cache_opt_retries);
+        sync(&self.cache_opt_fallbacks, snap.cache_opt_fallbacks);
+        sync(&self.cache_guard_hits, snap.cache_guard_hits);
+        sync(&self.cache_opt_coupled, snap.cache_opt_coupled);
+        sync(&self.cache_opt_renewed, snap.cache_opt_renewed);
         self.registry.render_prometheus()
     }
 }
@@ -279,5 +312,56 @@ mod tests {
         let text2 = t.render_prometheus(&GaugeSnapshot::default());
         assert!(text2.contains("psj_queue_depth 0"), "{text2}");
         assert!(text2.contains("psj_requests_completed_total 2"), "{text2}");
+    }
+
+    #[test]
+    fn optimistic_cache_metrics_are_exposed_as_counters() {
+        // Regression: these are monotonic counts (the cache's atomics only
+        // grow) but were exported with `# TYPE gauge`, which breaks
+        // rate()/increase() in Prometheus. Same names, counter type.
+        let t = Telemetry::new();
+        let text = t.render_prometheus(&GaugeSnapshot {
+            cache_opt_hits: 41,
+            cache_opt_retries: 7,
+            cache_opt_fallbacks: 2,
+            cache_guard_hits: 19,
+            cache_opt_coupled: 11,
+            cache_opt_renewed: 3,
+            ..Default::default()
+        });
+        for name in [
+            "psj_cache_opt_hits",
+            "psj_cache_opt_retries",
+            "psj_cache_opt_fallbacks",
+            "psj_cache_guard_hits",
+            "psj_cache_opt_coupled",
+            "psj_cache_opt_renewed",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {name} counter")),
+                "{name} must be a counter:\n{text}"
+            );
+            assert!(
+                !text.contains(&format!("# TYPE {name} gauge")),
+                "{name} must not be a gauge:\n{text}"
+            );
+        }
+        assert!(text.contains("psj_cache_opt_hits 41"), "{text}");
+        assert!(text.contains("psj_cache_guard_hits 19"), "{text}");
+        // A later scrape with larger cache counts advances the counters by
+        // the delta — values track the cache exactly, monotonically.
+        let text2 = t.render_prometheus(&GaugeSnapshot {
+            cache_opt_hits: 55,
+            cache_opt_retries: 7,
+            cache_opt_fallbacks: 4,
+            cache_guard_hits: 31,
+            cache_opt_coupled: 12,
+            cache_opt_renewed: 3,
+            ..Default::default()
+        });
+        assert!(text2.contains("psj_cache_opt_hits 55"), "{text2}");
+        assert!(text2.contains("psj_cache_opt_fallbacks 4"), "{text2}");
+        assert!(text2.contains("psj_cache_guard_hits 31"), "{text2}");
+        assert!(text2.contains("psj_cache_opt_coupled 12"), "{text2}");
     }
 }

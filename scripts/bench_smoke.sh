@@ -28,6 +28,14 @@ MIN_PARTITION="${BENCH_MIN_PARTITION:-1.3}"
 # a shard mutex. The share is a pure path-count ratio — machine-independent
 # — and sits at 1.0 when healthy; 0.9 tolerates scheduling artifacts only.
 MIN_OPT_SHARE="${BENCH_MIN_OPT_SHARE:-0.9}"
+# Wall ratios between the three contended read paths, measured back to back
+# in one process on identical read sequences — they gate the *relative*
+# cost of the paths, not the machine. The optimistic path must beat the
+# all-mutex locked path (baseline host ~1.45x), and the borrowing guard
+# read must beat the Arc-clone optimistic read (baseline host ~1.4x; the
+# guard halves the contended atomic RMWs per hit).
+MIN_OPT_SPEEDUP="${BENCH_MIN_OPT_SPEEDUP:-1.1}"
+MIN_GUARD_SPEEDUP="${BENCH_MIN_GUARD_SPEEDUP:-1.15}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -39,9 +47,10 @@ echo "== bench-join (quick) =="
 "$PSJ" bench-join --quick --seed 1996 --out "$WORK/candidate.json" \
   | tee "$WORK/bench.log"
 
-echo "== bench-check vs $BASELINE (tolerance $TOLERANCE, t4 floor $MIN_T4, partition floor $MIN_PARTITION, opt-share floor $MIN_OPT_SHARE) =="
+echo "== bench-check vs $BASELINE (tolerance $TOLERANCE, t4 floor $MIN_T4, partition floor $MIN_PARTITION, opt-share floor $MIN_OPT_SHARE, opt-speedup floor $MIN_OPT_SPEEDUP, guard-speedup floor $MIN_GUARD_SPEEDUP) =="
 "$PSJ" bench-check --baseline "$BASELINE" --candidate "$WORK/candidate.json" \
   --tolerance "$TOLERANCE" --min "t4_gd_global=$MIN_T4" --require-steals \
-  --min-partition "$MIN_PARTITION" --min-opt-share "$MIN_OPT_SHARE"
+  --min-partition "$MIN_PARTITION" --min-opt-share "$MIN_OPT_SHARE" \
+  --min-opt-speedup "$MIN_OPT_SPEEDUP" --min-guard-speedup "$MIN_GUARD_SPEEDUP"
 
 echo "bench smoke test passed"
